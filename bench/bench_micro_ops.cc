@@ -1,0 +1,178 @@
+// Micro-benchmarks (google-benchmark) for the substrate operations that
+// dominate URCL's runtime: tensor kernels, the GCN/TCN layers, a full
+// encoder forward/backward, augmentations, and RMIR components.
+#include <benchmark/benchmark.h>
+
+#include "augment/augmentation.h"
+#include "autograd/ops.h"
+#include "core/stencoder.h"
+#include "core/stmixup.h"
+#include "graph/generator.h"
+#include "graph/transition.h"
+#include "nn/gcn.h"
+#include "nn/tcn.h"
+#include "replay/replay_buffer.h"
+#include "replay/samplers.h"
+#include "tensor/tensor_ops.h"
+
+namespace urcl {
+namespace {
+
+namespace ag = ::urcl::autograd;
+
+void BM_TensorAddBroadcast(benchmark::State& state) {
+  Rng rng(1);
+  const int64_t n = state.range(0);
+  Tensor a = Tensor::RandomNormal(Shape{n, n}, rng);
+  Tensor b = Tensor::RandomNormal(Shape{n}, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(ops::Add(a, b));
+}
+BENCHMARK(BM_TensorAddBroadcast)->Arg(32)->Arg(128);
+
+void BM_MatMul(benchmark::State& state) {
+  Rng rng(2);
+  const int64_t n = state.range(0);
+  Tensor a = Tensor::RandomNormal(Shape{n, n}, rng);
+  Tensor b = Tensor::RandomNormal(Shape{n, n}, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(ops::MatMul(a, b));
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_BatchedMatMul(benchmark::State& state) {
+  Rng rng(3);
+  Tensor a = Tensor::RandomNormal(Shape{8, 16, 12, 24}, rng);
+  Tensor b = Tensor::RandomNormal(Shape{24, 24}, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(ops::MatMul(a, b));
+}
+BENCHMARK(BM_BatchedMatMul);
+
+void BM_Softmax(benchmark::State& state) {
+  Rng rng(4);
+  Tensor a = Tensor::RandomNormal(Shape{64, 64}, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(ops::Softmax(a, -1));
+}
+BENCHMARK(BM_Softmax);
+
+void BM_GatedTcnForward(benchmark::State& state) {
+  Rng rng(5);
+  nn::GatedTcn tcn(16, 16, 2, 2, rng);
+  ag::Variable x(Tensor::RandomNormal(Shape{8, 16, 24, 12}, rng), false);
+  for (auto _ : state) benchmark::DoNotOptimize(tcn.Forward(x));
+}
+BENCHMARK(BM_GatedTcnForward);
+
+void BM_DiffusionGcnForward(benchmark::State& state) {
+  Rng rng(6);
+  const int64_t nodes = state.range(0);
+  Rng graph_rng(7);
+  graph::SensorNetwork g = graph::RandomGeometricGraph(nodes, 0.3f, graph_rng);
+  const std::vector<Tensor> supports = graph::BuildSupports(g);
+  nn::DiffusionGcn gcn(16, 16, static_cast<int64_t>(supports.size()), false, 2, rng);
+  ag::Variable x(Tensor::RandomNormal(Shape{8, 16, nodes, 12}, rng), false);
+  for (auto _ : state) benchmark::DoNotOptimize(gcn.Forward(x, supports, ag::Variable()));
+}
+BENCHMARK(BM_DiffusionGcnForward)->Arg(12)->Arg(32);
+
+void BM_EncoderForwardBackward(benchmark::State& state) {
+  Rng rng(8);
+  Rng graph_rng(9);
+  graph::SensorNetwork g = graph::RandomGeometricGraph(12, 0.35f, graph_rng);
+  core::BackboneConfig config;
+  config.num_nodes = 12;
+  config.in_channels = 2;
+  config.input_steps = 12;
+  config.hidden_channels = 8;
+  config.latent_channels = 16;
+  config.num_layers = 5;
+  config.adaptive_embedding_dim = 6;
+  core::GraphWaveNetEncoder encoder(config, rng);
+  const Tensor adjacency = g.AdjacencyMatrix();
+  ag::Variable x(Tensor::RandomNormal(Shape{8, 12, 12, 2}, rng), false);
+  for (auto _ : state) {
+    ag::Variable loss = ag::Mean(ag::Square(encoder.Encode(x, adjacency)));
+    for (const auto& p : encoder.Parameters()) p.ZeroGrad();
+    loss.Backward();
+    benchmark::DoNotOptimize(loss.value().Item());
+  }
+}
+BENCHMARK(BM_EncoderForwardBackward);
+
+void BM_Augmentation(benchmark::State& state) {
+  Rng rng(10);
+  Rng graph_rng(11);
+  graph::SensorNetwork g = graph::RandomGeometricGraph(24, 0.3f, graph_rng);
+  Tensor obs = Tensor::RandomUniform(Shape{8, 12, 24, 2}, rng);
+  const auto augmentations = augment::MakeDefaultAugmentations();
+  const auto& augmentation = augmentations[static_cast<size_t>(state.range(0))];
+  state.SetLabel(augmentation->name());
+  for (auto _ : state) benchmark::DoNotOptimize(augmentation->Apply(obs, g, rng));
+}
+BENCHMARK(BM_Augmentation)->DenseRange(0, 4);
+
+void BM_StMixup(benchmark::State& state) {
+  Rng rng(12);
+  Tensor cx = Tensor::RandomUniform(Shape{8, 12, 24, 2}, rng);
+  Tensor cy = Tensor::RandomUniform(Shape{8, 1, 24, 1}, rng);
+  Tensor rx = Tensor::RandomUniform(Shape{4, 12, 24, 2}, rng);
+  Tensor ry = Tensor::RandomUniform(Shape{4, 1, 24, 1}, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(core::StMixup(cx, cy, rx, ry, 0.5f, rng));
+}
+BENCHMARK(BM_StMixup);
+
+void BM_ReplayBufferAdd(benchmark::State& state) {
+  Rng rng(13);
+  replay::ReplayBuffer buffer(256);
+  replay::ReplayItem item;
+  item.inputs = Tensor::RandomNormal(Shape{12, 24, 2}, rng);
+  item.targets = Tensor::RandomNormal(Shape{1, 24, 1}, rng);
+  for (auto _ : state) {
+    replay::ReplayItem copy = item;
+    buffer.Add(std::move(copy));
+  }
+}
+BENCHMARK(BM_ReplayBufferAdd);
+
+void BM_PearsonCorrelation(benchmark::State& state) {
+  Rng rng(14);
+  Tensor a = Tensor::RandomNormal(Shape{12, 24, 2}, rng);
+  Tensor b = Tensor::RandomNormal(Shape{12, 24, 2}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(replay::RmirSampler::PearsonCorrelation(a, b));
+  }
+}
+BENCHMARK(BM_PearsonCorrelation);
+
+void BM_RmirSelect(benchmark::State& state) {
+  Rng rng(15);
+  replay::ReplayBuffer buffer(256);
+  for (int i = 0; i < 256; ++i) {
+    replay::ReplayItem item;
+    item.inputs = Tensor::RandomNormal(Shape{12, 24, 2}, rng);
+    item.targets = Tensor::RandomNormal(Shape{1, 24, 1}, rng);
+    buffer.Add(std::move(item));
+  }
+  replay::RmirSampler sampler(replay::RmirConfig{32, 0.05f});
+  std::vector<float> interference(256);
+  for (auto& v : interference) v = rng.Uniform();
+  Tensor current = Tensor::RandomNormal(Shape{8, 12, 24, 2}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Select(buffer, current, interference, 4));
+  }
+}
+BENCHMARK(BM_RmirSelect);
+
+void BM_BuildSupportsDense(benchmark::State& state) {
+  Rng graph_rng(16);
+  graph::SensorNetwork g = graph::RandomGeometricGraph(32, 0.3f, graph_rng);
+  const Tensor adjacency = g.AdjacencyMatrix();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::BuildSupportsDense(adjacency, false));
+  }
+}
+BENCHMARK(BM_BuildSupportsDense);
+
+}  // namespace
+}  // namespace urcl
+
+BENCHMARK_MAIN();

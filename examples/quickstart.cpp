@@ -1,0 +1,73 @@
+// Quickstart: train URCL on a small synthetic traffic stream and watch it
+// stay accurate across concept drift.
+//
+//   ./quickstart [--nodes 16] [--days 12] [--epochs 4] [--seed 7]
+//
+// Walks through the full pipeline: generate a sensor network + streaming
+// traffic data, normalize to [0, 1], split into a base set and four
+// incremental sets, run the replay-based continual protocol, and report
+// MAE / RMSE per stage in real units (mph).
+#include <cstdio>
+
+#include "common/flags.h"
+#include "common/table_printer.h"
+#include "core/strategies.h"
+#include "core/urcl.h"
+#include "data/presets.h"
+#include "data/stream.h"
+
+using namespace urcl;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const int64_t nodes = flags.GetInt("nodes", 16);
+  const int64_t days = flags.GetInt("days", 12);
+  const int64_t epochs = flags.GetInt("epochs", 4);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+
+  // 1. Synthetic METR-LA-like stream (speed prediction, 15-min interval).
+  const data::DatasetPreset preset = data::MetrLaPreset();
+  data::SyntheticTraffic generator(preset.MakeTrafficConfig(nodes, days, seed));
+  const Tensor raw_series = generator.GenerateSeries();
+  std::printf("Generated %s-like stream: %lld steps x %lld sensors x %lld channels\n",
+              preset.name.c_str(), static_cast<long long>(raw_series.dim(0)),
+              static_cast<long long>(raw_series.dim(1)),
+              static_cast<long long>(raw_series.dim(2)));
+
+  // 2. Normalize into [0, 1] (the paper's setting) and window into samples.
+  const data::MinMaxNormalizer normalizer = data::MinMaxNormalizer::Fit(raw_series);
+  data::StDataset dataset(normalizer.Transform(raw_series), preset.MakeWindowConfig());
+
+  // 3. Base set + 4 incremental sets, each with train/val/test.
+  data::StreamSplitter stream(dataset, data::StreamConfig{});
+
+  // 4. Configure URCL (GraphWaveNet backbone, replay + RMIR + STMixup +
+  //    STSimSiam with spatio-temporal augmentation).
+  core::UrclConfig config;
+  config.encoder.num_nodes = nodes;
+  config.encoder.in_channels = preset.channels;
+  config.encoder.input_steps = preset.input_steps;
+  // Short-budget setting: keep the contrastive loss secondary (the paper's
+  // weight of 1.0 assumes 100 epochs per set; see DESIGN.md).
+  config.ssl_weight = 0.05f;
+  config.seed = seed;
+  core::UrclTrainer urcl(config, generator.network());
+
+  // 5. Run the continual protocol and print per-stage accuracy.
+  core::ProtocolOptions protocol;
+  protocol.epochs_per_stage = epochs;
+  const std::vector<core::StageResult> results = core::RunContinualProtocol(
+      urcl, stream, normalizer, preset.MakeWindowConfig().target_channel, protocol);
+
+  TablePrinter table({"Stage", "MAE (mph)", "RMSE (mph)", "train s", "infer ms/obs"});
+  for (const core::StageResult& r : results) {
+    table.AddRow({r.stage_name, TablePrinter::Num(r.metrics.mae),
+                  TablePrinter::Num(r.metrics.rmse), TablePrinter::Num(r.train_seconds, 1),
+                  TablePrinter::Num(1e3 * r.infer_seconds_per_observation, 2)});
+  }
+  table.Print();
+  std::printf("\nReplay buffer: %lld items (%lld evictions)\n",
+              static_cast<long long>(urcl.buffer().size()),
+              static_cast<long long>(urcl.buffer().evictions()));
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Streaming deployment scenario: core::OnlineLearner ingests observations
+// one step at a time, serves live one-step-ahead predictions, and retrains
+// itself continually — either when the Page-Hinkley detector flags concept
+// drift in the live prediction-error stream, or on a periodic schedule.
+// This is the setting the paper's introduction motivates.
+//
+//   ./streaming_forecaster [--nodes 12] [--days 8] [--periodic 0]
+#include <cstdio>
+
+#include "common/flags.h"
+#include "common/table_printer.h"
+#include "core/drift.h"
+#include "data/metrics.h"
+#include "data/presets.h"
+#include "tensor/tensor_ops.h"
+
+using namespace urcl;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const int64_t nodes = flags.GetInt("nodes", 12);
+  const int64_t days = flags.GetInt("days", 8);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+
+  // A stream with strong drift mid-way, so the detector has work to do.
+  const data::DatasetPreset preset = data::MetrLaPreset();
+  data::TrafficConfig traffic = preset.MakeTrafficConfig(nodes, days, seed);
+  traffic.abrupt_refresh_fraction = 0.9f;
+  data::SyntheticTraffic generator(traffic);
+  const Tensor raw = generator.GenerateSeries();
+  const data::MinMaxNormalizer normalizer = data::MinMaxNormalizer::Fit(raw);
+  const Tensor series = normalizer.Transform(raw);
+  const data::WindowConfig window = preset.MakeWindowConfig();
+
+  core::OnlineLearnerConfig config;
+  config.model.encoder.num_nodes = nodes;
+  config.model.encoder.in_channels = preset.channels;
+  config.model.encoder.input_steps = window.input_steps;
+  config.model.encoder.hidden_channels = 8;
+  config.model.encoder.latent_channels = 16;
+  config.model.max_batches_per_epoch = 20;
+  config.model.ssl_weight = 0.05f;
+  config.model.seed = seed;
+  config.window = window;
+  config.retrain_window_steps = 192;
+  config.retrain_epochs = 2;
+  config.periodic_retrain_every = flags.GetInt("periodic", 0);
+  config.drift.threshold = 0.08f;
+  config.drift.warmup = 24;
+  core::OnlineLearner learner(config, generator.network());
+
+  std::printf("Streaming %lld steps of %s-like data (%lld sensors) through "
+              "OnlineLearner (drift-triggered continual retraining)...\n\n",
+              static_cast<long long>(series.dim(0)), preset.name.c_str(),
+              static_cast<long long>(nodes));
+
+  TablePrinter log({"Step", "Event", "Live MAE so far (mph)", "Drift alarms",
+                    "Replay buffer"});
+  const float speed_span = normalizer.max(0) - normalizer.min(0);
+  for (int64_t t = 0; t < series.dim(0); ++t) {
+    if (learner.CanPredict()) learner.PredictNext();
+    const Tensor row = ops::Slice(series, {t, 0, 0}, {1, nodes, series.dim(2)})
+                           .Reshape(Shape{nodes, series.dim(2)});
+    if (learner.Ingest(row)) {
+      log.AddRow({std::to_string(t),
+                  learner.retrain_count() == 1 ? "initial train" : "retrained",
+                  TablePrinter::Num(learner.live_mae() * speed_span),
+                  std::to_string(learner.drift_alarms()),
+                  std::to_string(learner.trainer().buffer().size())});
+    }
+  }
+  log.Print();
+  std::printf("\n%lld retrains (%lld drift-triggered alarms); final live MAE "
+              "%.2f mph over %lld served predictions.\n",
+              static_cast<long long>(learner.retrain_count()),
+              static_cast<long long>(learner.drift_alarms()),
+              learner.live_mae() * speed_span,
+              static_cast<long long>(learner.steps_seen()));
+  std::printf("\nThe drift detector watches the live error stream; each regime change\n"
+              "in the data raises the error, fires the Page-Hinkley alarm, and the\n"
+              "learner retrains on its recent window while the replay buffer keeps\n"
+              "knowledge of earlier regimes alive.\n");
+  return 0;
+}

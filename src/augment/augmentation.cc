@@ -1,0 +1,240 @@
+#include "augment/augmentation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "graph/algorithms.h"
+#include "tensor/tensor_ops.h"
+
+namespace urcl {
+namespace augment {
+namespace {
+
+void CheckObservations(const Tensor& observations, const graph::SensorNetwork& graph) {
+  URCL_CHECK_EQ(observations.rank(), 4) << "observations must be [B, M, N, C]";
+  URCL_CHECK_EQ(observations.dim(2), graph.num_nodes())
+      << "observation node axis does not match the sensor network";
+}
+
+// Zeros the feature entries of `nodes` in a [B, M, N, C] tensor.
+void MaskNodesInObservations(Tensor* observations, const std::vector<bool>& dropped) {
+  const int64_t batch = observations->dim(0), steps = observations->dim(1),
+                nodes = observations->dim(2), channels = observations->dim(3);
+  float* p = observations->mutable_data();
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t m = 0; m < steps; ++m) {
+      for (int64_t n = 0; n < nodes; ++n) {
+        if (!dropped[static_cast<size_t>(n)]) continue;
+        float* cell = p + ((b * steps + m) * nodes + n) * channels;
+        std::fill(cell, cell + channels, 0.0f);
+      }
+    }
+  }
+}
+
+// Zeros adjacency rows and columns of `nodes`.
+void MaskNodesInAdjacency(Tensor* adjacency, const std::vector<bool>& dropped) {
+  const int64_t n = adjacency->dim(0);
+  float* p = adjacency->mutable_data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      if (dropped[static_cast<size_t>(i)] || dropped[static_cast<size_t>(j)]) {
+        p[i * n + j] = 0.0f;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+DropNodes::DropNodes(float drop_ratio) : drop_ratio_(drop_ratio) {
+  URCL_CHECK(drop_ratio >= 0.0f && drop_ratio < 1.0f);
+}
+
+AugmentedView DropNodes::Apply(const Tensor& observations, const graph::SensorNetwork& graph,
+                               Rng& rng) const {
+  CheckObservations(observations, graph);
+  const int64_t n = graph.num_nodes();
+  const int64_t drop = static_cast<int64_t>(std::floor(drop_ratio_ * n));
+  std::vector<bool> dropped(static_cast<size_t>(n), false);
+  for (const int64_t node : rng.SampleWithoutReplacement(n, drop)) {
+    dropped[static_cast<size_t>(node)] = true;
+  }
+  AugmentedView view{observations.Clone(), graph.AdjacencyMatrix()};
+  MaskNodesInObservations(&view.observations, dropped);
+  MaskNodesInAdjacency(&view.adjacency, dropped);
+  return view;
+}
+
+DropEdge::DropEdge(float sample_ratio, float threshold_quantile)
+    : sample_ratio_(sample_ratio), threshold_quantile_(threshold_quantile) {
+  URCL_CHECK(sample_ratio >= 0.0f && sample_ratio <= 1.0f);
+  URCL_CHECK(threshold_quantile >= 0.0f && threshold_quantile <= 1.0f);
+}
+
+AugmentedView DropEdge::Apply(const Tensor& observations, const graph::SensorNetwork& graph,
+                              Rng& rng) const {
+  CheckObservations(observations, graph);
+  AugmentedView view{observations.Clone(), graph.AdjacencyMatrix()};
+  const auto& edges = graph.edges();
+  if (edges.empty()) return view;
+
+  // Sample candidate edges, derive theta_DE from their weight distribution.
+  std::vector<int64_t> candidates;
+  for (int64_t e = 0; e < static_cast<int64_t>(edges.size()); ++e) {
+    if (rng.Bernoulli(sample_ratio_)) candidates.push_back(e);
+  }
+  if (candidates.empty()) return view;
+  std::vector<float> weights;
+  weights.reserve(candidates.size());
+  for (const int64_t e : candidates) weights.push_back(edges[static_cast<size_t>(e)].weight);
+  std::sort(weights.begin(), weights.end());
+  const size_t idx = std::min(weights.size() - 1,
+                              static_cast<size_t>(threshold_quantile_ * weights.size()));
+  const float threshold = weights[idx];
+
+  const int64_t n = graph.num_nodes();
+  float* p = view.adjacency.mutable_data();
+  for (const int64_t e : candidates) {
+    const graph::Edge& edge = edges[static_cast<size_t>(e)];
+    if (edge.weight < threshold) p[edge.src * n + edge.dst] = 0.0f;
+  }
+  return view;
+}
+
+SubGraph::SubGraph(float walk_length_factor) : walk_length_factor_(walk_length_factor) {
+  URCL_CHECK_GT(walk_length_factor, 0.0f);
+}
+
+AugmentedView SubGraph::Apply(const Tensor& observations, const graph::SensorNetwork& graph,
+                              Rng& rng) const {
+  CheckObservations(observations, graph);
+  const int64_t n = graph.num_nodes();
+  const int64_t start = rng.UniformInt(0, n - 1);
+  const int64_t walk_length =
+      static_cast<int64_t>(std::ceil(walk_length_factor_ * static_cast<float>(n)));
+  const std::vector<int64_t> kept = graph::RandomWalkNodes(graph, start, walk_length, rng);
+  std::vector<bool> dropped(static_cast<size_t>(n), true);
+  for (const int64_t node : kept) dropped[static_cast<size_t>(node)] = false;
+  AugmentedView view{observations.Clone(), graph.AdjacencyMatrix()};
+  MaskNodesInObservations(&view.observations, dropped);
+  MaskNodesInAdjacency(&view.adjacency, dropped);
+  return view;
+}
+
+AddEdge::AddEdge(float add_ratio, int64_t min_hops) : add_ratio_(add_ratio), min_hops_(min_hops) {
+  URCL_CHECK(add_ratio >= 0.0f && add_ratio <= 1.0f);
+  URCL_CHECK_GE(min_hops, 1);
+}
+
+AugmentedView AddEdge::Apply(const Tensor& observations, const graph::SensorNetwork& graph,
+                             Rng& rng) const {
+  CheckObservations(observations, graph);
+  AugmentedView view{observations.Clone(), graph.AdjacencyMatrix()};
+  const auto pairs = graph::DistantNodePairs(graph, min_hops_);
+  if (pairs.empty()) return view;
+  const int64_t add = std::max<int64_t>(
+      1, static_cast<int64_t>(add_ratio_ * static_cast<float>(pairs.size())));
+  const std::vector<int64_t> chosen =
+      rng.SampleWithoutReplacement(static_cast<int64_t>(pairs.size()),
+                                   std::min<int64_t>(add, static_cast<int64_t>(pairs.size())));
+
+  // Node feature vectors: mean over batch and time -> [N, C] (Eq. 8).
+  const Tensor features = ops::Mean(observations, {0, 1});
+  const int64_t n = graph.num_nodes();
+  const int64_t c = features.dim(1);
+  float* p = view.adjacency.mutable_data();
+  for (const int64_t k : chosen) {
+    const auto [i, j] = pairs[static_cast<size_t>(k)];
+    float dot = 0.0f;
+    for (int64_t ch = 0; ch < c; ++ch) {
+      dot += features.At({i, ch}) * features.At({j, ch});
+    }
+    p[i * n + j] = dot;
+    p[j * n + i] = dot;
+  }
+  return view;
+}
+
+TimeShifting::TimeShifting(float min_slice_fraction) : min_slice_fraction_(min_slice_fraction) {
+  URCL_CHECK(min_slice_fraction > 0.0f && min_slice_fraction <= 1.0f);
+}
+
+Tensor TimeShifting::SliceAndWarp(const Tensor& observations, int64_t slice_start,
+                                  int64_t slice_length) {
+  URCL_CHECK_EQ(observations.rank(), 4);
+  const int64_t steps = observations.dim(1);
+  URCL_CHECK(slice_start >= 0 && slice_length >= 2 && slice_start + slice_length <= steps);
+  const Tensor sliced =
+      ops::Slice(observations, {0, slice_start, 0, 0},
+                 {observations.dim(0), slice_length, observations.dim(2), observations.dim(3)});
+  // Linear interpolation back up to `steps` samples (time warping, Eq. 10).
+  Tensor warped(observations.shape());
+  const int64_t batch = observations.dim(0), nodes = observations.dim(2),
+                channels = observations.dim(3);
+  for (int64_t t = 0; t < steps; ++t) {
+    const float source =
+        steps > 1
+            ? static_cast<float>(t) * static_cast<float>(slice_length - 1) /
+                  static_cast<float>(steps - 1)
+            : 0.0f;
+    const int64_t lo = static_cast<int64_t>(std::floor(source));
+    const int64_t hi = std::min(lo + 1, slice_length - 1);
+    const float frac = source - static_cast<float>(lo);
+    for (int64_t b = 0; b < batch; ++b) {
+      for (int64_t n = 0; n < nodes; ++n) {
+        for (int64_t ch = 0; ch < channels; ++ch) {
+          const float v = (1.0f - frac) * sliced.At({b, lo, n, ch}) +
+                          frac * sliced.At({b, hi, n, ch});
+          warped.Set({b, t, n, ch}, v);
+        }
+      }
+    }
+  }
+  return warped;
+}
+
+AugmentedView TimeShifting::Apply(const Tensor& observations,
+                                  const graph::SensorNetwork& graph, Rng& rng) const {
+  CheckObservations(observations, graph);
+  const int64_t steps = observations.dim(1);
+  AugmentedView view{observations.Clone(), graph.AdjacencyMatrix()};
+
+  const int64_t mode = rng.UniformInt(0, 2);  // 0: slice+warp, 1: flip, 2: both
+  Tensor result = view.observations;
+  if (mode == 0 || mode == 2) {
+    const int64_t min_len = std::max<int64_t>(
+        2, static_cast<int64_t>(std::ceil(min_slice_fraction_ * static_cast<float>(steps))));
+    const int64_t slice_length = rng.UniformInt(min_len, steps);
+    const int64_t slice_start = rng.UniformInt(0, steps - slice_length);
+    result = SliceAndWarp(result, slice_start, slice_length);
+  }
+  if (mode == 1 || mode == 2) {
+    result = ops::Flip(result, /*axis=*/1);  // time flipping (Eq. 11)
+  }
+  view.observations = result;
+  return view;
+}
+
+std::vector<std::unique_ptr<Augmentation>> MakeDefaultAugmentations() {
+  std::vector<std::unique_ptr<Augmentation>> augmentations;
+  augmentations.push_back(std::make_unique<DropNodes>());
+  augmentations.push_back(std::make_unique<DropEdge>());
+  augmentations.push_back(std::make_unique<SubGraph>());
+  augmentations.push_back(std::make_unique<AddEdge>());
+  augmentations.push_back(std::make_unique<TimeShifting>());
+  return augmentations;
+}
+
+std::pair<const Augmentation*, const Augmentation*> PickTwoDistinct(
+    const std::vector<std::unique_ptr<Augmentation>>& augmentations, Rng& rng) {
+  URCL_CHECK_GE(augmentations.size(), 2u) << "need at least two augmentations";
+  const std::vector<int64_t> picks =
+      rng.SampleWithoutReplacement(static_cast<int64_t>(augmentations.size()), 2);
+  return {augmentations[static_cast<size_t>(picks[0])].get(),
+          augmentations[static_cast<size_t>(picks[1])].get()};
+}
+
+}  // namespace augment
+}  // namespace urcl

@@ -1,0 +1,121 @@
+// The five spatio-temporal data augmentations of Sec. IV-C1: DropNodes (DN),
+// DropEdge (DE), SubGraph (SG), AddEdge (AE) and TimeShifting (TS).
+//
+// All augmentations are shape-preserving: a sample G = [X; G] keeps its
+// [B, M, N, C] observation tensor and [N, N] adjacency, with dropped nodes /
+// edges masked to zero. This keeps the shared STEncoder (whose adaptive
+// adjacency embeddings are sized to N) applicable to both views.
+#ifndef URCL_AUGMENT_AUGMENTATION_H_
+#define URCL_AUGMENT_AUGMENTATION_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/sensor_network.h"
+#include "tensor/tensor.h"
+
+namespace urcl {
+namespace augment {
+
+// A perturbed view G' = [X'; G'].
+struct AugmentedView {
+  Tensor observations;  // [B, M, N, C]
+  Tensor adjacency;     // [N, N]
+};
+
+class Augmentation {
+ public:
+  virtual ~Augmentation() = default;
+  virtual std::string name() const = 0;
+
+  // Produces a perturbed view of (observations, graph). `observations` is
+  // [B, M, N, C]; the graph supplies the adjacency being perturbed.
+  virtual AugmentedView Apply(const Tensor& observations, const graph::SensorNetwork& graph,
+                              Rng& rng) const = 0;
+};
+
+// DN: discards a fraction of nodes; their adjacency rows/columns and feature
+// entries are masked to zero (Eq. 6).
+class DropNodes : public Augmentation {
+ public:
+  explicit DropNodes(float drop_ratio = 0.1f);
+  std::string name() const override { return "DN"; }
+  AugmentedView Apply(const Tensor& observations, const graph::SensorNetwork& graph,
+                      Rng& rng) const override;
+
+ private:
+  float drop_ratio_;
+};
+
+// DE: samples a fraction of edges and deletes those with weight below the
+// threshold (Eq. 7). threshold_quantile picks theta_DE as that quantile of
+// the sampled edges' weights, so "important connectives" are retained.
+class DropEdge : public Augmentation {
+ public:
+  explicit DropEdge(float sample_ratio = 0.3f, float threshold_quantile = 0.5f);
+  std::string name() const override { return "DE"; }
+  AugmentedView Apply(const Tensor& observations, const graph::SensorNetwork& graph,
+                      Rng& rng) const override;
+
+ private:
+  float sample_ratio_;
+  float threshold_quantile_;
+};
+
+// SG: keeps the nodes visited by a random walk, masking the rest.
+class SubGraph : public Augmentation {
+ public:
+  explicit SubGraph(float walk_length_factor = 2.0f);
+  std::string name() const override { return "SG"; }
+  AugmentedView Apply(const Tensor& observations, const graph::SensorNetwork& graph,
+                      Rng& rng) const override;
+
+ private:
+  float walk_length_factor_;
+};
+
+// AE: connects a fraction of distant node pairs (>= min_hops) with weights
+// set to the dot-product similarity of their feature vectors (Eq. 8).
+class AddEdge : public Augmentation {
+ public:
+  explicit AddEdge(float add_ratio = 0.1f, int64_t min_hops = 3);
+  std::string name() const override { return "AE"; }
+  AugmentedView Apply(const Tensor& observations, const graph::SensorNetwork& graph,
+                      Rng& rng) const override;
+
+ private:
+  float add_ratio_;
+  int64_t min_hops_;
+};
+
+// TS: one of time slicing + warping (Eq. 9-10), time flipping (Eq. 11), or
+// both, selected at random. Always returns a length-M sequence.
+class TimeShifting : public Augmentation {
+ public:
+  explicit TimeShifting(float min_slice_fraction = 0.5f);
+  std::string name() const override { return "TS"; }
+  AugmentedView Apply(const Tensor& observations, const graph::SensorNetwork& graph,
+                      Rng& rng) const override;
+
+  // Exposed for tests: slice then linearly re-warp to the original length.
+  static Tensor SliceAndWarp(const Tensor& observations, int64_t slice_start,
+                             int64_t slice_length);
+
+ private:
+  float min_slice_fraction_;
+};
+
+// The full augmentation set, in paper order {DN, DE, SG, AE, TS}.
+std::vector<std::unique_ptr<Augmentation>> MakeDefaultAugmentations();
+
+// Picks two *different* augmentations uniformly at random.
+std::pair<const Augmentation*, const Augmentation*> PickTwoDistinct(
+    const std::vector<std::unique_ptr<Augmentation>>& augmentations, Rng& rng);
+
+}  // namespace augment
+}  // namespace urcl
+
+#endif  // URCL_AUGMENT_AUGMENTATION_H_

@@ -1,0 +1,51 @@
+#include "autograd/grad_check.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace urcl {
+namespace autograd {
+
+GradCheckResult CheckGradients(
+    const std::function<Variable(const std::vector<Variable>&)>& fn,
+    std::vector<Variable>& inputs, float epsilon, float tolerance) {
+  // Analytic pass.
+  Variable out = fn(inputs);
+  URCL_CHECK_EQ(out.value().NumElements(), 1) << "grad check requires a scalar objective";
+  for (Variable& input : inputs) input.ZeroGrad();
+  out.Backward();
+
+  GradCheckResult result;
+  for (Variable& input : inputs) {
+    if (!input.requires_grad()) continue;
+    const Tensor analytic = input.grad();
+    Tensor perturbed = input.value().Clone();
+    for (int64_t i = 0; i < perturbed.NumElements(); ++i) {
+      const float original = perturbed.FlatAt(i);
+
+      perturbed.FlatSet(i, original + epsilon);
+      input.SetValue(perturbed);
+      const float up = fn(inputs).value().Item();
+
+      perturbed.FlatSet(i, original - epsilon);
+      input.SetValue(perturbed);
+      const float down = fn(inputs).value().Item();
+
+      perturbed.FlatSet(i, original);
+      input.SetValue(perturbed);
+
+      const float numeric = (up - down) / (2.0f * epsilon);
+      const float diff = std::fabs(numeric - analytic.FlatAt(i));
+      const float scale = std::max({1.0f, std::fabs(numeric), std::fabs(analytic.FlatAt(i))});
+      result.max_abs_error = std::max(result.max_abs_error, diff);
+      result.max_rel_error = std::max(result.max_rel_error, diff / scale);
+      if (diff / scale > tolerance) result.passed = false;
+    }
+  }
+  return result;
+}
+
+}  // namespace autograd
+}  // namespace urcl

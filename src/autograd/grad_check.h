@@ -1,0 +1,30 @@
+// Finite-difference gradient verification for differentiable ops; used by the
+// test suite to validate every backward implementation.
+#ifndef URCL_AUTOGRAD_GRAD_CHECK_H_
+#define URCL_AUTOGRAD_GRAD_CHECK_H_
+
+#include <functional>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace urcl {
+namespace autograd {
+
+struct GradCheckResult {
+  bool passed = true;
+  float max_abs_error = 0.0f;
+  float max_rel_error = 0.0f;
+};
+
+// Verifies analytic gradients of `fn` (which must return a scalar Variable
+// computed from `inputs`) against central finite differences. `fn` is called
+// repeatedly; it must be a pure function of the input values.
+GradCheckResult CheckGradients(
+    const std::function<Variable(const std::vector<Variable>&)>& fn,
+    std::vector<Variable>& inputs, float epsilon = 1e-3f, float tolerance = 2e-2f);
+
+}  // namespace autograd
+}  // namespace urcl
+
+#endif  // URCL_AUTOGRAD_GRAD_CHECK_H_

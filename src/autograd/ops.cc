@@ -1,0 +1,379 @@
+#include "autograd/ops.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "tensor/tensor_ops.h"
+
+namespace urcl {
+namespace autograd {
+
+namespace top = ::urcl::ops;
+
+Variable Add(const Variable& a, const Variable& b) {
+  Tensor value = top::Add(a.value(), b.value());
+  return Variable::MakeOp(std::move(value), "add", {a, b}, [a, b](const Tensor& g) {
+    a.AccumulateGrad(top::ReduceTo(g, a.shape()));
+    b.AccumulateGrad(top::ReduceTo(g, b.shape()));
+  });
+}
+
+Variable Sub(const Variable& a, const Variable& b) {
+  Tensor value = top::Sub(a.value(), b.value());
+  return Variable::MakeOp(std::move(value), "sub", {a, b}, [a, b](const Tensor& g) {
+    a.AccumulateGrad(top::ReduceTo(g, a.shape()));
+    b.AccumulateGrad(top::ReduceTo(top::Neg(g), b.shape()));
+  });
+}
+
+Variable Mul(const Variable& a, const Variable& b) {
+  Tensor value = top::Mul(a.value(), b.value());
+  return Variable::MakeOp(std::move(value), "mul", {a, b}, [a, b](const Tensor& g) {
+    a.AccumulateGrad(top::ReduceTo(top::Mul(g, b.value()), a.shape()));
+    b.AccumulateGrad(top::ReduceTo(top::Mul(g, a.value()), b.shape()));
+  });
+}
+
+Variable Div(const Variable& a, const Variable& b) {
+  Tensor value = top::Div(a.value(), b.value());
+  return Variable::MakeOp(std::move(value), "div", {a, b}, [a, b](const Tensor& g) {
+    a.AccumulateGrad(top::ReduceTo(top::Div(g, b.value()), a.shape()));
+    const Tensor b2 = top::Square(b.value());
+    const Tensor db = top::Neg(top::Div(top::Mul(g, a.value()), b2));
+    b.AccumulateGrad(top::ReduceTo(db, b.shape()));
+  });
+}
+
+Variable AddScalar(const Variable& a, float s) {
+  return Variable::MakeOp(top::AddScalar(a.value(), s), "add_scalar", {a},
+                          [a](const Tensor& g) { a.AccumulateGrad(g); });
+}
+
+Variable MulScalar(const Variable& a, float s) {
+  return Variable::MakeOp(top::MulScalar(a.value(), s), "mul_scalar", {a},
+                          [a, s](const Tensor& g) {
+                            a.AccumulateGrad(top::MulScalar(g, s));
+                          });
+}
+
+Variable Neg(const Variable& a) { return MulScalar(a, -1.0f); }
+
+Variable Exp(const Variable& a) {
+  Tensor value = top::Exp(a.value());
+  const Tensor saved = value;
+  return Variable::MakeOp(std::move(value), "exp", {a}, [a, saved](const Tensor& g) {
+    a.AccumulateGrad(top::Mul(g, saved));
+  });
+}
+
+Variable Log(const Variable& a) {
+  Tensor value = top::Log(a.value());
+  return Variable::MakeOp(std::move(value), "log", {a}, [a](const Tensor& g) {
+    a.AccumulateGrad(top::Div(g, a.value()));
+  });
+}
+
+Variable Sqrt(const Variable& a) {
+  Tensor value = top::Sqrt(a.value());
+  const Tensor saved = value;
+  return Variable::MakeOp(std::move(value), "sqrt", {a}, [a, saved](const Tensor& g) {
+    a.AccumulateGrad(top::Div(g, top::MulScalar(saved, 2.0f)));
+  });
+}
+
+Variable Abs(const Variable& a) {
+  Tensor value = top::Abs(a.value());
+  return Variable::MakeOp(std::move(value), "abs", {a}, [a](const Tensor& g) {
+    a.AccumulateGrad(top::Mul(g, top::Sign(a.value())));
+  });
+}
+
+Variable Tanh(const Variable& a) {
+  Tensor value = top::Tanh(a.value());
+  const Tensor saved = value;
+  return Variable::MakeOp(std::move(value), "tanh", {a}, [a, saved](const Tensor& g) {
+    // d/dx tanh = 1 - tanh^2
+    const Tensor one_minus = top::AddScalar(top::Neg(top::Square(saved)), 1.0f);
+    a.AccumulateGrad(top::Mul(g, one_minus));
+  });
+}
+
+Variable Sigmoid(const Variable& a) {
+  Tensor value = top::Sigmoid(a.value());
+  const Tensor saved = value;
+  return Variable::MakeOp(std::move(value), "sigmoid", {a},
+                          [a, saved](const Tensor& g) {
+                            // d/dx sigmoid = s * (1 - s)
+                            const Tensor ds =
+                                top::Mul(saved, top::AddScalar(top::Neg(saved), 1.0f));
+                            a.AccumulateGrad(top::Mul(g, ds));
+                          });
+}
+
+Variable Relu(const Variable& a) {
+  Tensor value = top::Relu(a.value());
+  return Variable::MakeOp(std::move(value), "relu", {a}, [a](const Tensor& g) {
+    const Tensor mask =
+        top::Map(a.value(), [](float x) { return x > 0.0f ? 1.0f : 0.0f; });
+    a.AccumulateGrad(top::Mul(g, mask));
+  });
+}
+
+Variable LeakyRelu(const Variable& a, float negative_slope) {
+  Tensor value = top::Map(a.value(), [negative_slope](float x) {
+    return x > 0.0f ? x : negative_slope * x;
+  });
+  return Variable::MakeOp(std::move(value), "leaky_relu", {a},
+                          [a, negative_slope](const Tensor& g) {
+                            const Tensor mask = top::Map(a.value(), [negative_slope](float x) {
+                              return x > 0.0f ? 1.0f : negative_slope;
+                            });
+                            a.AccumulateGrad(top::Mul(g, mask));
+                          });
+}
+
+Variable Square(const Variable& a) {
+  Tensor value = top::Square(a.value());
+  return Variable::MakeOp(std::move(value), "square", {a}, [a](const Tensor& g) {
+    a.AccumulateGrad(top::Mul(g, top::MulScalar(a.value(), 2.0f)));
+  });
+}
+
+Variable MatMul(const Variable& a, const Variable& b) {
+  Tensor value = top::MatMul(a.value(), b.value());
+  return Variable::MakeOp(std::move(value), "matmul", {a, b}, [a, b](const Tensor& g) {
+    const Tensor da = top::MatMul(g, top::TransposeLast2(b.value()));
+    const Tensor db = top::MatMul(top::TransposeLast2(a.value()), g);
+    a.AccumulateGrad(top::ReduceTo(da, a.shape()));
+    b.AccumulateGrad(top::ReduceTo(db, b.shape()));
+  });
+}
+
+namespace {
+
+// Shape of a reduction result with keepdims=true, for re-broadcast in backward.
+Shape KeepdimsShape(const Shape& in, const std::vector<int64_t>& axes) {
+  std::vector<int64_t> dims = in.dims();
+  if (axes.empty()) {
+    for (auto& d : dims) d = 1;
+  } else {
+    for (const int64_t axis : axes) dims[static_cast<size_t>(in.CanonicalAxis(axis))] = 1;
+  }
+  return Shape(dims);
+}
+
+}  // namespace
+
+Variable Sum(const Variable& a, const std::vector<int64_t>& axes, bool keepdims) {
+  Tensor value = top::Sum(a.value(), axes, keepdims);
+  const Shape kept = KeepdimsShape(a.shape(), axes);
+  return Variable::MakeOp(std::move(value), "sum", {a},
+                          [a, kept](const Tensor& g) {
+                            a.AccumulateGrad(top::BroadcastTo(g.Reshape(kept), a.shape()));
+                          });
+}
+
+Variable Mean(const Variable& a, const std::vector<int64_t>& axes, bool keepdims) {
+  Tensor value = top::Mean(a.value(), axes, keepdims);
+  const Shape kept = KeepdimsShape(a.shape(), axes);
+  const float scale =
+      static_cast<float>(kept.NumElements()) / static_cast<float>(a.shape().NumElements());
+  return Variable::MakeOp(std::move(value), "mean", {a},
+                          [a, kept, scale](const Tensor& g) {
+                            a.AccumulateGrad(top::MulScalar(
+                                top::BroadcastTo(g.Reshape(kept), a.shape()), scale));
+                          });
+}
+
+Variable Reshape(const Variable& a, const Shape& shape) {
+  Tensor value = a.value().Reshape(shape);
+  const Shape original = a.shape();
+  return Variable::MakeOp(std::move(value), "reshape", {a},
+                          [a, original](const Tensor& g) {
+                            a.AccumulateGrad(g.Reshape(original));
+                          });
+}
+
+Variable Transpose(const Variable& a, const std::vector<int64_t>& perm) {
+  Tensor value = top::Transpose(a.value(), perm);
+  // Inverse permutation for backward.
+  std::vector<int64_t> inverse(perm.size());
+  for (size_t i = 0; i < perm.size(); ++i) {
+    inverse[static_cast<size_t>(a.shape().CanonicalAxis(perm[i]))] = static_cast<int64_t>(i);
+  }
+  return Variable::MakeOp(std::move(value), "transpose", {a},
+                          [a, inverse](const Tensor& g) {
+                            a.AccumulateGrad(top::Transpose(g, inverse));
+                          });
+}
+
+Variable Slice(const Variable& a, const std::vector<int64_t>& starts,
+               const std::vector<int64_t>& sizes) {
+  Tensor value = top::Slice(a.value(), starts, sizes);
+  const Shape full = a.shape();
+  return Variable::MakeOp(std::move(value), "slice", {a},
+                          [a, full, starts](const Tensor& g) {
+                            a.AccumulateGrad(top::UnSlice(g, full, starts));
+                          });
+}
+
+Variable Concat(const std::vector<Variable>& parts, int64_t axis) {
+  URCL_CHECK(!parts.empty());
+  std::vector<Tensor> values;
+  values.reserve(parts.size());
+  for (const Variable& p : parts) values.push_back(p.value());
+  Tensor value = top::Concat(values, axis);
+  const int64_t canonical = parts[0].shape().CanonicalAxis(axis);
+  return Variable::MakeOp(
+      std::move(value), "concat", parts, [parts, canonical](const Tensor& g) {
+        int64_t offset = 0;
+        for (const Variable& p : parts) {
+          std::vector<int64_t> starts(static_cast<size_t>(g.rank()), 0);
+          starts[static_cast<size_t>(canonical)] = offset;
+          p.AccumulateGrad(top::Slice(g, starts, p.shape().dims()));
+          offset += p.shape().dim(canonical);
+        }
+      });
+}
+
+Variable Pad(const Variable& a, int64_t axis, int64_t before, int64_t after) {
+  Tensor value = top::Pad(a.value(), axis, before, after);
+  const int64_t canonical = a.shape().CanonicalAxis(axis);
+  return Variable::MakeOp(std::move(value), "pad", {a},
+                          [a, canonical, before](const Tensor& g) {
+                            std::vector<int64_t> starts(static_cast<size_t>(g.rank()), 0);
+                            starts[static_cast<size_t>(canonical)] = before;
+                            a.AccumulateGrad(top::Slice(g, starts, a.shape().dims()));
+                          });
+}
+
+Variable BroadcastTo(const Variable& a, const Shape& target) {
+  Tensor value = top::BroadcastTo(a.value(), target);
+  return Variable::MakeOp(std::move(value), "broadcast_to", {a},
+                          [a](const Tensor& g) {
+                            a.AccumulateGrad(top::ReduceTo(g, a.shape()));
+                          });
+}
+
+Variable Softmax(const Variable& a, int64_t axis) {
+  Tensor value = top::Softmax(a.value(), axis);
+  const Tensor saved = value;
+  const int64_t canonical = a.shape().CanonicalAxis(axis);
+  return Variable::MakeOp(
+      std::move(value), "softmax", {a}, [a, saved, canonical](const Tensor& g) {
+        // dL/dx = (g - sum(g*y, axis)) * y
+        const Tensor gy = top::Mul(g, saved);
+        const Tensor total = top::Sum(gy, {canonical}, /*keepdims=*/true);
+        a.AccumulateGrad(top::Mul(top::Sub(g, total), saved));
+      });
+}
+
+Variable StopGradient(const Variable& a) {
+  // A fresh leaf with no parents: gradient flow ends here.
+  return Variable(a.value(), /*requires_grad=*/false);
+}
+
+Variable Dropout(const Variable& a, float p, Rng& rng, bool training) {
+  if (!training || p <= 0.0f) return a;
+  URCL_CHECK_LT(p, 1.0f) << "dropout rate must be < 1";
+  Tensor mask(a.shape());
+  float* pm = mask.mutable_data();
+  const float keep_scale = 1.0f / (1.0f - p);
+  for (int64_t i = 0; i < mask.NumElements(); ++i) {
+    pm[i] = rng.Bernoulli(p) ? 0.0f : keep_scale;
+  }
+  Tensor value = top::Mul(a.value(), mask);
+  return Variable::MakeOp(std::move(value), "dropout", {a},
+                          [a, mask](const Tensor& g) {
+                            a.AccumulateGrad(top::Mul(g, mask));
+                          });
+}
+
+namespace {
+
+// Raw temporal convolution forward: out[b,co,n,t] += in[b,ci,n,t+d*k] * w[co,ci,0,k].
+Tensor TemporalConvForward(const Tensor& input, const Tensor& weight, int64_t dilation) {
+  const int64_t batch = input.dim(0), c_in = input.dim(1), nodes = input.dim(2),
+                time = input.dim(3);
+  const int64_t c_out = weight.dim(0), kernel = weight.dim(3);
+  URCL_CHECK_EQ(weight.dim(1), c_in) << "TemporalConv2d channel mismatch";
+  URCL_CHECK_EQ(weight.dim(2), 1);
+  const int64_t t_out = time - dilation * (kernel - 1);
+  URCL_CHECK_GT(t_out, 0) << "TemporalConv2d: receptive field " << dilation * (kernel - 1) + 1
+                          << " exceeds input length " << time;
+  Tensor out(Shape{batch, c_out, nodes, t_out});
+  const float* pi = input.data();
+  const float* pw = weight.data();
+  float* po = out.mutable_data();
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t co = 0; co < c_out; ++co) {
+      for (int64_t ci = 0; ci < c_in; ++ci) {
+        const float* w_row = pw + (co * c_in + ci) * kernel;
+        for (int64_t n = 0; n < nodes; ++n) {
+          const float* in_row = pi + ((b * c_in + ci) * nodes + n) * time;
+          float* out_row = po + ((b * c_out + co) * nodes + n) * t_out;
+          for (int64_t k = 0; k < kernel; ++k) {
+            const float w = w_row[k];
+            if (w == 0.0f) continue;
+            const int64_t shift = dilation * k;
+            for (int64_t t = 0; t < t_out; ++t) out_row[t] += w * in_row[t + shift];
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Variable TemporalConv2d(const Variable& input, const Variable& weight, int64_t dilation) {
+  URCL_CHECK_EQ(input.shape().rank(), 4) << "TemporalConv2d input must be [B, C, N, T]";
+  URCL_CHECK_EQ(weight.shape().rank(), 4) << "TemporalConv2d weight must be [Co, Ci, 1, K]";
+  URCL_CHECK_GE(dilation, 1);
+  Tensor value = TemporalConvForward(input.value(), weight.value(), dilation);
+  return Variable::MakeOp(
+      std::move(value), "temporal_conv2d", {input, weight},
+      [input, weight, dilation](const Tensor& g) {
+        const Tensor& in = input.value();
+        const Tensor& w = weight.value();
+        const int64_t batch = in.dim(0), c_in = in.dim(1), nodes = in.dim(2), time = in.dim(3);
+        const int64_t c_out = w.dim(0), kernel = w.dim(3);
+        const int64_t t_out = g.dim(3);
+        Tensor d_in(in.shape());
+        Tensor d_w(w.shape());
+        const float* pg = g.data();
+        const float* pi = in.data();
+        const float* pw = w.data();
+        float* pdi = d_in.mutable_data();
+        float* pdw = d_w.mutable_data();
+        for (int64_t b = 0; b < batch; ++b) {
+          for (int64_t co = 0; co < c_out; ++co) {
+            for (int64_t ci = 0; ci < c_in; ++ci) {
+              const float* w_row = pw + (co * c_in + ci) * kernel;
+              float* dw_row = pdw + (co * c_in + ci) * kernel;
+              for (int64_t n = 0; n < nodes; ++n) {
+                const float* g_row = pg + ((b * c_out + co) * nodes + n) * t_out;
+                const float* in_row = pi + ((b * c_in + ci) * nodes + n) * time;
+                float* di_row = pdi + ((b * c_in + ci) * nodes + n) * time;
+                for (int64_t k = 0; k < kernel; ++k) {
+                  const int64_t shift = dilation * k;
+                  const float wk = w_row[k];
+                  float dw_acc = 0.0f;
+                  for (int64_t t = 0; t < t_out; ++t) {
+                    dw_acc += g_row[t] * in_row[t + shift];
+                    di_row[t + shift] += g_row[t] * wk;
+                  }
+                  dw_row[k] += dw_acc;
+                }
+              }
+            }
+          }
+        }
+        input.AccumulateGrad(d_in);
+        weight.AccumulateGrad(d_w);
+      });
+}
+
+}  // namespace autograd
+}  // namespace urcl

@@ -1,0 +1,125 @@
+#include "autograd/variable.h"
+
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace urcl {
+namespace autograd {
+
+Variable::Variable(Tensor value, bool requires_grad)
+    : node_(std::make_shared<internal::Node>()) {
+  node_->value = std::move(value);
+  node_->requires_grad = requires_grad;
+}
+
+Variable Variable::MakeOp(Tensor value, std::string op_name, std::vector<Variable> parents,
+                          std::function<void(const Tensor&)> backward_fn) {
+  bool needs_grad = false;
+  for (const Variable& p : parents) {
+    URCL_CHECK(p.IsValid()) << "op " << op_name << " received an empty Variable";
+    needs_grad = needs_grad || p.requires_grad();
+  }
+  Variable out(std::move(value), needs_grad);
+  out.node_->op_name = std::move(op_name);
+  if (needs_grad) {
+    out.node_->parents.reserve(parents.size());
+    for (const Variable& p : parents) out.node_->parents.push_back(p.node_);
+    out.node_->backward_fn = std::move(backward_fn);
+  }
+  return out;
+}
+
+const Tensor& Variable::value() const {
+  URCL_CHECK(IsValid());
+  return node_->value;
+}
+
+bool Variable::requires_grad() const {
+  URCL_CHECK(IsValid());
+  return node_->requires_grad;
+}
+
+Tensor Variable::grad() const {
+  URCL_CHECK(IsValid());
+  if (!node_->has_grad) return Tensor::Zeros(node_->value.shape());
+  return node_->grad;
+}
+
+void Variable::AccumulateGrad(const Tensor& delta) const {
+  URCL_CHECK(IsValid());
+  if (!node_->requires_grad) return;
+  URCL_CHECK(delta.shape() == node_->value.shape())
+      << "gradient shape " << delta.shape().ToString() << " does not match value shape "
+      << node_->value.shape().ToString() << " at op " << node_->op_name;
+  if (!node_->has_grad) {
+    node_->grad = delta.Clone();
+    node_->has_grad = true;
+  } else {
+    node_->grad.AddInPlace(delta);
+  }
+}
+
+void Variable::ZeroGrad() const {
+  URCL_CHECK(IsValid());
+  node_->has_grad = false;
+  node_->grad = Tensor();
+}
+
+void Variable::SetValue(const Tensor& value) const {
+  URCL_CHECK(IsValid());
+  URCL_CHECK(value.shape() == node_->value.shape())
+      << "SetValue shape mismatch: " << value.shape().ToString() << " vs "
+      << node_->value.shape().ToString();
+  node_->value = value.Clone();
+}
+
+const std::string& Variable::op_name() const {
+  URCL_CHECK(IsValid());
+  return node_->op_name;
+}
+
+void Variable::Backward() {
+  URCL_CHECK(IsValid());
+  URCL_CHECK_EQ(node_->value.NumElements(), 1)
+      << "Backward() without a seed requires a scalar output";
+  BackwardWithSeed(Tensor::Full(node_->value.shape(), 1.0f));
+}
+
+void Variable::BackwardWithSeed(const Tensor& seed) {
+  URCL_CHECK(IsValid());
+  URCL_CHECK(requires_grad()) << "Backward on a node that does not require grad";
+
+  // Iterative post-order DFS to get a topological order (parents before
+  // children in `order`; we then walk it from the back).
+  std::vector<internal::Node*> order;
+  std::unordered_set<internal::Node*> visited;
+  struct Frame {
+    internal::Node* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  if (visited.insert(node_.get()).second) stack.push_back({node_.get(), 0});
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next_parent < frame.node->parents.size()) {
+      internal::Node* parent = frame.node->parents[frame.next_parent++].get();
+      if (parent->requires_grad && visited.insert(parent).second) {
+        stack.push_back({parent, 0});
+      }
+    } else {
+      order.push_back(frame.node);
+      stack.pop_back();
+    }
+  }
+
+  AccumulateGrad(seed);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    internal::Node* node = *it;
+    if (!node->backward_fn || !node->has_grad) continue;
+    node->backward_fn(node->grad);
+  }
+}
+
+}  // namespace autograd
+}  // namespace urcl

@@ -1,0 +1,86 @@
+// Tape-free reverse-mode automatic differentiation. A Variable is a cheap
+// shared handle to a graph node holding a value, an accumulated gradient,
+// parent edges, and a backward closure. Calling Backward() on a scalar root
+// topologically sorts the reachable graph and propagates gradients.
+#ifndef URCL_AUTOGRAD_VARIABLE_H_
+#define URCL_AUTOGRAD_VARIABLE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace urcl {
+namespace autograd {
+
+class Variable;
+
+namespace internal {
+
+struct Node {
+  Tensor value;
+  Tensor grad;  // allocated lazily on first accumulation
+  bool has_grad = false;
+  bool requires_grad = false;
+  std::string op_name = "leaf";
+  std::vector<std::shared_ptr<Node>> parents;
+  // Receives the gradient w.r.t. this node's value; must accumulate into the
+  // parents via Variable::AccumulateGrad (respecting requires_grad).
+  std::function<void(const Tensor& upstream)> backward_fn;
+};
+
+}  // namespace internal
+
+// Value-semantics handle; copying shares the underlying node.
+class Variable {
+ public:
+  // Empty handle (no node). Most APIs check validity.
+  Variable() = default;
+
+  // Leaf node wrapping `value`. Set requires_grad for trainable parameters.
+  explicit Variable(Tensor value, bool requires_grad = false);
+
+  // Interior node produced by an op.
+  static Variable MakeOp(Tensor value, std::string op_name,
+                         std::vector<Variable> parents,
+                         std::function<void(const Tensor&)> backward_fn);
+
+  bool IsValid() const { return node_ != nullptr; }
+
+  const Tensor& value() const;
+  const Shape& shape() const { return value().shape(); }
+  bool requires_grad() const;
+
+  // Gradient accumulated by the last Backward(); zero tensor if none reached.
+  Tensor grad() const;
+
+  // Adds `delta` into this node's gradient buffer (no-op if !requires_grad).
+  // Const because a Variable is a handle: it mutates the shared node.
+  void AccumulateGrad(const Tensor& delta) const;
+
+  // Clears this node's gradient buffer.
+  void ZeroGrad() const;
+
+  // Replaces the wrapped value in place (for optimizer updates on leaves).
+  void SetValue(const Tensor& value) const;
+
+  // Runs reverse-mode accumulation from this node. If `seed` is omitted the
+  // node must be scalar-shaped and is seeded with 1.
+  void Backward();
+  void BackwardWithSeed(const Tensor& seed);
+
+  // Identity used to deduplicate nodes.
+  const void* id() const { return node_.get(); }
+
+  const std::string& op_name() const;
+
+ private:
+  std::shared_ptr<internal::Node> node_;
+};
+
+}  // namespace autograd
+}  // namespace urcl
+
+#endif  // URCL_AUTOGRAD_VARIABLE_H_

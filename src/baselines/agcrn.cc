@@ -1,0 +1,65 @@
+#include "baselines/agcrn.h"
+
+#include "autograd/ops.h"
+#include "common/check.h"
+
+namespace urcl {
+namespace baselines {
+
+namespace ag = ::urcl::autograd;
+
+AgcrnEncoder::AgcrnEncoder(const core::BackboneConfig& config, Rng& rng) : config_(config) {
+  adaptive_ = std::make_unique<nn::AdaptiveAdjacency>(config.num_nodes,
+                                                      config.adaptive_embedding_dim, rng);
+  RegisterChild("adaptive", adaptive_.get());
+  // Gate input: [x_t, h] and its graph-convolved copy, concatenated.
+  const int64_t gate_in = 2 * (config.in_channels + config.hidden_channels);
+  update_gate_ = std::make_unique<nn::Linear>(gate_in, config.hidden_channels, rng);
+  RegisterChild("update_gate", update_gate_.get());
+  reset_gate_ = std::make_unique<nn::Linear>(gate_in, config.hidden_channels, rng);
+  RegisterChild("reset_gate", reset_gate_.get());
+  candidate_ = std::make_unique<nn::Linear>(gate_in, config.hidden_channels, rng);
+  RegisterChild("candidate", candidate_.get());
+  output_projection_ =
+      std::make_unique<nn::Linear>(config.hidden_channels, config.latent_channels, rng);
+  RegisterChild("output_projection", output_projection_.get());
+}
+
+Variable AgcrnEncoder::AdaptiveConv(const nn::Linear& projection, const Variable& x,
+                                    const Variable& adaptive) const {
+  // [N, N] x [B, N, F] -> [B, N, F]; concat with the identity term.
+  Variable mixed = ag::MatMul(adaptive, x);
+  return projection.Forward(ag::Concat({x, mixed}, -1));
+}
+
+Variable AgcrnEncoder::Encode(const Variable& observations, const Tensor& adjacency) const {
+  URCL_CHECK_EQ(observations.shape().rank(), 4) << "expected [B, M, N, C]";
+  (void)adjacency;  // AGCRN learns its graph from node embeddings
+  const int64_t batch = observations.shape().dim(0);
+  const int64_t steps = observations.shape().dim(1);
+  const int64_t nodes = observations.shape().dim(2);
+  const int64_t channels = observations.shape().dim(3);
+  URCL_CHECK_EQ(nodes, config_.num_nodes);
+
+  const Variable adaptive = adaptive_->Forward();
+  Variable h(Tensor::Zeros(Shape{batch, nodes, config_.hidden_channels}),
+             /*requires_grad=*/false);
+  for (int64_t t = 0; t < steps; ++t) {
+    Variable x_t = ag::Reshape(
+        ag::Slice(observations, {0, t, 0, 0}, {batch, 1, nodes, channels}),
+        Shape{batch, nodes, channels});
+    Variable xh = ag::Concat({x_t, h}, -1);
+    Variable u = ag::Sigmoid(AdaptiveConv(*update_gate_, xh, adaptive));
+    Variable r = ag::Sigmoid(AdaptiveConv(*reset_gate_, xh, adaptive));
+    Variable x_rh = ag::Concat({x_t, ag::Mul(r, h)}, -1);
+    Variable c = ag::Tanh(AdaptiveConv(*candidate_, x_rh, adaptive));
+    Variable one_minus_u = ag::AddScalar(ag::Neg(u), 1.0f);
+    h = ag::Add(ag::Mul(u, h), ag::Mul(one_minus_u, c));
+  }
+  Variable latent = output_projection_->Forward(h);  // [B, N, L]
+  latent = ag::Transpose(latent, {0, 2, 1});
+  return ag::Reshape(latent, Shape{batch, config_.latent_channels, nodes, 1});
+}
+
+}  // namespace baselines
+}  // namespace urcl

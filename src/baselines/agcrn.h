@@ -1,0 +1,43 @@
+// AGCRN-style encoder: a GRU whose gates are graph convolutions over a
+// fully-learned (node-embedding) adjacency — no predefined graph.
+#ifndef URCL_BASELINES_AGCRN_H_
+#define URCL_BASELINES_AGCRN_H_
+
+#include <memory>
+
+#include "core/backbone.h"
+#include "nn/gcn.h"
+#include "nn/linear.h"
+
+namespace urcl {
+namespace baselines {
+
+using autograd::Variable;
+
+class AgcrnEncoder : public core::StBackbone {
+ public:
+  AgcrnEncoder(const core::BackboneConfig& config, Rng& rng);
+
+  Variable Encode(const Variable& observations, const Tensor& adjacency) const override;
+
+  int64_t latent_channels() const override { return config_.latent_channels; }
+  int64_t latent_time() const override { return 1; }
+  std::string name() const override { return "AGCRN"; }
+
+ private:
+  // One adaptive graph convolution: Linear([x, A_adp x]) over node features.
+  Variable AdaptiveConv(const nn::Linear& projection, const Variable& x,
+                        const Variable& adaptive) const;
+
+  core::BackboneConfig config_;
+  std::unique_ptr<nn::AdaptiveAdjacency> adaptive_;
+  std::unique_ptr<nn::Linear> update_gate_;
+  std::unique_ptr<nn::Linear> reset_gate_;
+  std::unique_ptr<nn::Linear> candidate_;
+  std::unique_ptr<nn::Linear> output_projection_;
+};
+
+}  // namespace baselines
+}  // namespace urcl
+
+#endif  // URCL_BASELINES_AGCRN_H_

@@ -1,0 +1,179 @@
+#include "baselines/arima.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace urcl {
+namespace baselines {
+namespace {
+
+// Applies one round of differencing.
+std::vector<float> Difference(const std::vector<float>& series) {
+  URCL_CHECK_GE(series.size(), 2u);
+  std::vector<float> diff(series.size() - 1);
+  for (size_t i = 1; i < series.size(); ++i) diff[i - 1] = series[i] - series[i - 1];
+  return diff;
+}
+
+}  // namespace
+
+std::vector<float> SolveLinearSystem(std::vector<std::vector<double>> a,
+                                     std::vector<double> b) {
+  const size_t n = b.size();
+  URCL_CHECK_EQ(a.size(), n);
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    size_t pivot = col;
+    for (size_t row = col + 1; row < n; ++row) {
+      if (std::fabs(a[row][col]) > std::fabs(a[pivot][col])) pivot = row;
+    }
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    if (std::fabs(a[col][col]) < 1e-12) {
+      // Singular column (e.g. constant series): zero out this unknown.
+      a[col][col] = 1.0;
+      b[col] = 0.0;
+      for (size_t k = col + 1; k < n; ++k) a[col][k] = 0.0;
+    }
+    for (size_t row = col + 1; row < n; ++row) {
+      const double factor = a[row][col] / a[col][col];
+      for (size_t k = col; k < n; ++k) a[row][k] -= factor * a[col][k];
+      b[row] -= factor * b[col];
+    }
+  }
+  std::vector<float> x(n, 0.0f);
+  for (size_t row_plus1 = n; row_plus1 > 0; --row_plus1) {
+    const size_t row = row_plus1 - 1;
+    double acc = b[row];
+    for (size_t k = row + 1; k < n; ++k) acc -= a[row][k] * x[k];
+    x[row] = static_cast<float>(acc / a[row][row]);
+  }
+  return x;
+}
+
+ArimaPredictor::ArimaPredictor(const ArimaOptions& options, int64_t output_steps,
+                               int64_t target_channel)
+    : options_(options), output_steps_(output_steps), target_channel_(target_channel) {
+  URCL_CHECK_GE(options.ar_order, 1);
+  URCL_CHECK_GE(options.difference, 0);
+  URCL_CHECK_GT(output_steps, 0);
+}
+
+const std::vector<float>& ArimaPredictor::Coefficients(int64_t node) const {
+  URCL_CHECK(node >= 0 && node < static_cast<int64_t>(coefficients_.size()));
+  return coefficients_[static_cast<size_t>(node)];
+}
+
+std::vector<float> ArimaPredictor::TrainStage(const data::StDataset& train, int64_t epochs) {
+  (void)epochs;  // closed-form fit
+  const Tensor& series = train.series();
+  const int64_t steps = series.dim(0);
+  const int64_t nodes = series.dim(1);
+  const int64_t p = options_.ar_order;
+  coefficients_.assign(static_cast<size_t>(nodes), {});
+
+  double total_sq_residual = 0.0;
+  int64_t residual_count = 0;
+  for (int64_t node = 0; node < nodes; ++node) {
+    std::vector<float> values(static_cast<size_t>(steps));
+    for (int64_t t = 0; t < steps; ++t) {
+      values[static_cast<size_t>(t)] = series.At({t, node, target_channel_});
+    }
+    for (int64_t d = 0; d < options_.difference; ++d) values = Difference(values);
+    const int64_t usable = static_cast<int64_t>(values.size()) - p;
+    URCL_CHECK_GT(usable, p) << "series too short for AR(" << p << ") fit";
+
+    // Least squares: z_t = c + sum_i phi_i z_{t-i}. Normal equations X^T X w = X^T z.
+    const size_t dim = static_cast<size_t>(p) + 1;
+    std::vector<std::vector<double>> xtx(dim, std::vector<double>(dim, 0.0));
+    std::vector<double> xtz(dim, 0.0);
+    for (int64_t t = p; t < static_cast<int64_t>(values.size()); ++t) {
+      std::vector<double> row(dim, 1.0);  // row[0] = 1 (intercept)
+      for (int64_t i = 0; i < p; ++i) row[static_cast<size_t>(i) + 1] = values[static_cast<size_t>(t - 1 - i)];
+      const double z = values[static_cast<size_t>(t)];
+      for (size_t a = 0; a < dim; ++a) {
+        xtz[a] += row[a] * z;
+        for (size_t b = 0; b < dim; ++b) xtx[a][b] += row[a] * row[b];
+      }
+    }
+    // Ridge epsilon for numerical stability.
+    for (size_t a = 0; a < dim; ++a) xtx[a][a] += 1e-6;
+    coefficients_[static_cast<size_t>(node)] = SolveLinearSystem(xtx, xtz);
+
+    // Report in-sample residual as the "training loss".
+    const std::vector<float>& w = coefficients_[static_cast<size_t>(node)];
+    for (int64_t t = p; t < static_cast<int64_t>(values.size()); ++t) {
+      double pred = w[0];
+      for (int64_t i = 0; i < p; ++i) {
+        pred += w[static_cast<size_t>(i) + 1] * values[static_cast<size_t>(t - 1 - i)];
+      }
+      const double residual = values[static_cast<size_t>(t)] - pred;
+      total_sq_residual += residual * residual;
+      ++residual_count;
+    }
+  }
+  const float rmse =
+      residual_count > 0 ? static_cast<float>(std::sqrt(total_sq_residual / residual_count))
+                         : 0.0f;
+  return {rmse};
+}
+
+std::vector<float> ArimaPredictor::Forecast(const std::vector<float>& history, int64_t node,
+                                            int64_t steps) const {
+  const std::vector<float>& w = coefficients_[static_cast<size_t>(node)];
+  const int64_t p = options_.ar_order;
+
+  // Build the differencing stack: level values at each order.
+  std::vector<std::vector<float>> levels;
+  levels.push_back(history);
+  for (int64_t d = 0; d < options_.difference; ++d) levels.push_back(Difference(levels.back()));
+
+  std::vector<float> forecasts;
+  for (int64_t s = 0; s < steps; ++s) {
+    // AR prediction at the most-differenced level.
+    std::vector<float>& z = levels.back();
+    double next_z = w.empty() ? 0.0 : w[0];
+    for (int64_t i = 0; i < p; ++i) {
+      const int64_t idx = static_cast<int64_t>(z.size()) - 1 - i;
+      const float value = idx >= 0 ? z[static_cast<size_t>(idx)] : 0.0f;
+      if (!w.empty()) next_z += w[static_cast<size_t>(i) + 1] * value;
+    }
+    z.push_back(static_cast<float>(next_z));
+    // Integrate back through the levels.
+    double value = next_z;
+    for (int64_t level = static_cast<int64_t>(levels.size()) - 2; level >= 0; --level) {
+      value += levels[static_cast<size_t>(level)].back();
+      levels[static_cast<size_t>(level)].push_back(static_cast<float>(value));
+    }
+    forecasts.push_back(levels.front().back());
+  }
+  return forecasts;
+}
+
+Tensor ArimaPredictor::Predict(const Tensor& inputs) {
+  URCL_CHECK_EQ(inputs.rank(), 4) << "expected [B, M, N, C]";
+  URCL_CHECK(!coefficients_.empty()) << "ARIMA must be trained before prediction";
+  const int64_t batch = inputs.dim(0);
+  const int64_t steps = inputs.dim(1);
+  const int64_t nodes = inputs.dim(2);
+  URCL_CHECK_EQ(nodes, static_cast<int64_t>(coefficients_.size()));
+  Tensor out(Shape{batch, output_steps_, nodes, 1});
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t node = 0; node < nodes; ++node) {
+      std::vector<float> history(static_cast<size_t>(steps));
+      for (int64_t t = 0; t < steps; ++t) {
+        history[static_cast<size_t>(t)] = inputs.At({b, t, node, target_channel_});
+      }
+      const std::vector<float> forecasts = Forecast(history, node, output_steps_);
+      for (int64_t s = 0; s < output_steps_; ++s) {
+        out.Set({b, s, node, 0}, forecasts[static_cast<size_t>(s)]);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace baselines
+}  // namespace urcl

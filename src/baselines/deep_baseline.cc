@@ -1,0 +1,123 @@
+#include "baselines/deep_baseline.h"
+
+#include <algorithm>
+
+#include <limits>
+
+#include "common/check.h"
+#include "tensor/serialize.h"
+#include "nn/loss.h"
+
+namespace urcl {
+namespace baselines {
+
+DeepBaseline::DeepBaseline(std::string name, std::unique_ptr<core::StBackbone> encoder,
+                           const DeepBaselineOptions& options,
+                           const graph::SensorNetwork& network, Rng& rng)
+    : name_(std::move(name)),
+      options_(options),
+      adjacency_(network.AdjacencyMatrix()),
+      encoder_(std::move(encoder)) {
+  URCL_CHECK(encoder_ != nullptr);
+  RegisterChild("encoder", encoder_.get());
+  decoder_ = std::make_unique<core::StDecoder>(encoder_->latent_channels(),
+                                               encoder_->latent_time(), options.decoder_hidden,
+                                               options.output_steps, rng);
+  RegisterChild("decoder", decoder_.get());
+  optimizer_ = std::make_unique<nn::Adam>(Parameters(), options.learning_rate);
+}
+
+std::vector<float> DeepBaseline::TrainStage(const data::StDataset& train, int64_t epochs) {
+  URCL_CHECK_GT(epochs, 0);
+  const int64_t num_samples = train.NumSamples();
+  URCL_CHECK_GT(num_samples, 0) << "train split has no complete windows";
+  SetTraining(true);
+
+  const int64_t batch = options_.batch_size;
+  int64_t budget = num_samples;
+  if (options_.max_batches_per_epoch > 0) {
+    budget = std::min(budget, options_.max_batches_per_epoch * batch);
+  }
+  // Evenly spaced windows across the stage, interleaved so every minibatch
+  // spans the whole stage: batch k = {base[k], base[num_batches + k], ...}.
+  // In-batch diversity matters for the GraphCL negatives (consecutive
+  // overlapping windows would be indistinguishable) and stabilizes SGD.
+  std::vector<int64_t> base;
+  base.reserve(static_cast<size_t>(budget));
+  for (int64_t i = 0; i < budget; ++i) base.push_back(i * num_samples / budget);
+  const int64_t num_batches = (budget + batch - 1) / batch;
+  std::vector<int64_t> schedule;
+  schedule.reserve(static_cast<size_t>(budget));
+  for (int64_t k = 0; k < num_batches; ++k) {
+    for (int64_t j = 0; j < batch; ++j) {
+      const int64_t index = j * num_batches + k;
+      if (index < budget) schedule.push_back(base[static_cast<size_t>(index)]);
+    }
+  }
+
+  std::vector<float> epoch_losses;
+  for (int64_t epoch = 0; epoch < epochs; ++epoch) {
+    double loss_sum = 0.0;
+    int64_t steps = 0;
+    for (int64_t start = 0; start < static_cast<int64_t>(schedule.size()); start += batch) {
+      const int64_t count =
+          std::min<int64_t>(batch, static_cast<int64_t>(schedule.size()) - start);
+      std::vector<int64_t> indices(schedule.begin() + start, schedule.begin() + start + count);
+      const auto [inputs, targets] = train.MakeBatch(indices);
+      autograd::Variable x(inputs, /*requires_grad=*/false);
+      autograd::Variable y(targets, /*requires_grad=*/false);
+      autograd::Variable loss =
+          nn::MaeLoss(decoder_->Forward(encoder_->Encode(x, adjacency_)), y);
+      optimizer_->ZeroGrad();
+      loss.Backward();
+      if (options_.grad_clip > 0.0f) optimizer_->ClipGradNorm(options_.grad_clip);
+      optimizer_->Step();
+      loss_sum += loss.value().Item();
+      ++steps;
+    }
+    epoch_losses.push_back(steps > 0 ? static_cast<float>(loss_sum / steps) : 0.0f);
+  }
+  return epoch_losses;
+}
+
+std::vector<float> DeepBaseline::TrainStageWithValidation(const data::StDataset& train,
+                                                          const data::StDataset& val,
+                                                          int64_t max_epochs,
+                                                          int64_t patience) {
+  URCL_CHECK_GT(patience, 0);
+  std::vector<float> losses;
+  double best_val = std::numeric_limits<double>::infinity();
+  std::vector<Tensor> best_state;
+  int64_t stale_epochs = 0;
+  for (int64_t epoch = 0; epoch < max_epochs; ++epoch) {
+    const std::vector<float> epoch_losses = TrainStage(train, 1);
+    losses.push_back(epoch_losses.front());
+    const double val_mae = core::ValidationMae(*this, val);
+    if (val_mae < best_val) {
+      best_val = val_mae;
+      best_state = StateDict();
+      stale_epochs = 0;
+    } else if (++stale_epochs >= patience) {
+      break;
+    }
+  }
+  if (!best_state.empty()) LoadStateDict(best_state);
+  return losses;
+}
+
+void DeepBaseline::SaveCheckpoint(const std::string& path) const {
+  SaveTensors(StateDict(), path);
+}
+
+void DeepBaseline::LoadCheckpoint(const std::string& path) {
+  LoadStateDict(LoadTensors(path));
+}
+
+Tensor DeepBaseline::Predict(const Tensor& inputs) {
+  SetTraining(false);
+  autograd::Variable x(inputs, /*requires_grad=*/false);
+  return decoder_->Forward(encoder_->Encode(x, adjacency_)).value();
+}
+
+}  // namespace baselines
+}  // namespace urcl

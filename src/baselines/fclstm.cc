@@ -1,0 +1,52 @@
+#include "baselines/fclstm.h"
+
+#include "autograd/ops.h"
+#include "common/check.h"
+
+namespace urcl {
+namespace baselines {
+
+namespace ag = ::urcl::autograd;
+using autograd::Variable;
+
+FcLstmEncoder::FcLstmEncoder(const core::BackboneConfig& config, Rng& rng)
+    : config_(config) {
+  const int64_t h = config.hidden_channels;
+  gates_ = std::make_unique<nn::Linear>(config.in_channels + h, 4 * h, rng);
+  RegisterChild("gates", gates_.get());
+  output_projection_ = std::make_unique<nn::Linear>(h, config.latent_channels, rng);
+  RegisterChild("output_projection", output_projection_.get());
+}
+
+Variable FcLstmEncoder::Encode(const Variable& observations, const Tensor& adjacency) const {
+  URCL_CHECK_EQ(observations.shape().rank(), 4) << "expected [B, M, N, C]";
+  (void)adjacency;  // graph-blind by design
+  const int64_t batch = observations.shape().dim(0);
+  const int64_t steps = observations.shape().dim(1);
+  const int64_t nodes = observations.shape().dim(2);
+  const int64_t channels = observations.shape().dim(3);
+  URCL_CHECK_EQ(nodes, config_.num_nodes);
+  const int64_t h = config_.hidden_channels;
+
+  Variable hidden(Tensor::Zeros(Shape{batch, nodes, h}), /*requires_grad=*/false);
+  Variable cell(Tensor::Zeros(Shape{batch, nodes, h}), /*requires_grad=*/false);
+  for (int64_t t = 0; t < steps; ++t) {
+    Variable x_t = ag::Reshape(
+        ag::Slice(observations, {0, t, 0, 0}, {batch, 1, nodes, channels}),
+        Shape{batch, nodes, channels});
+    Variable fused = gates_->Forward(ag::Concat({x_t, hidden}, -1));  // [B, N, 4H]
+    Variable i = ag::Sigmoid(ag::Slice(fused, {0, 0, 0}, {batch, nodes, h}));
+    Variable f = ag::Sigmoid(ag::Slice(fused, {0, 0, h}, {batch, nodes, h}));
+    Variable g = ag::Tanh(ag::Slice(fused, {0, 0, 2 * h}, {batch, nodes, h}));
+    Variable o = ag::Sigmoid(ag::Slice(fused, {0, 0, 3 * h}, {batch, nodes, h}));
+    cell = ag::Add(ag::Mul(f, cell), ag::Mul(i, g));
+    hidden = ag::Mul(o, ag::Tanh(cell));
+  }
+
+  Variable latent = output_projection_->Forward(hidden);  // [B, N, L]
+  latent = ag::Transpose(latent, {0, 2, 1});
+  return ag::Reshape(latent, Shape{batch, config_.latent_channels, nodes, 1});
+}
+
+}  // namespace baselines
+}  // namespace urcl

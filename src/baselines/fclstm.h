@@ -1,0 +1,36 @@
+// FC-LSTM-style encoder: a per-node LSTM with fully-connected gates and no
+// graph structure (the classic sequence baseline the DCRNN line of work
+// compares against). Included to quantify what the spatial modules buy.
+#ifndef URCL_BASELINES_FCLSTM_H_
+#define URCL_BASELINES_FCLSTM_H_
+
+#include <memory>
+
+#include "core/backbone.h"
+#include "nn/linear.h"
+
+namespace urcl {
+namespace baselines {
+
+class FcLstmEncoder : public core::StBackbone {
+ public:
+  FcLstmEncoder(const core::BackboneConfig& config, Rng& rng);
+
+  autograd::Variable Encode(const autograd::Variable& observations,
+                            const Tensor& adjacency) const override;
+
+  int64_t latent_channels() const override { return config_.latent_channels; }
+  int64_t latent_time() const override { return 1; }
+  std::string name() const override { return "FC-LSTM"; }
+
+ private:
+  core::BackboneConfig config_;
+  // One fused gate projection: [x_t, h] -> 4H (input, forget, cell, output).
+  std::unique_ptr<nn::Linear> gates_;
+  std::unique_ptr<nn::Linear> output_projection_;
+};
+
+}  // namespace baselines
+}  // namespace urcl
+
+#endif  // URCL_BASELINES_FCLSTM_H_

@@ -1,0 +1,39 @@
+#include "baselines/historical_average.h"
+
+#include "common/check.h"
+
+namespace urcl {
+namespace baselines {
+
+HistoricalAverage::HistoricalAverage(int64_t output_steps, int64_t target_channel)
+    : output_steps_(output_steps), target_channel_(target_channel) {
+  URCL_CHECK_GT(output_steps, 0);
+  URCL_CHECK_GE(target_channel, 0);
+}
+
+std::vector<float> HistoricalAverage::TrainStage(const data::StDataset& train, int64_t epochs) {
+  (void)train;
+  (void)epochs;  // nothing to learn
+  return {0.0f};
+}
+
+Tensor HistoricalAverage::Predict(const Tensor& inputs) {
+  URCL_CHECK_EQ(inputs.rank(), 4) << "expected [B, M, N, C]";
+  const int64_t batch = inputs.dim(0);
+  const int64_t steps = inputs.dim(1);
+  const int64_t nodes = inputs.dim(2);
+  URCL_CHECK_LT(target_channel_, inputs.dim(3));
+  Tensor out(Shape{batch, output_steps_, nodes, 1});
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t node = 0; node < nodes; ++node) {
+      float mean = 0.0f;
+      for (int64_t t = 0; t < steps; ++t) mean += inputs.At({b, t, node, target_channel_});
+      mean /= static_cast<float>(steps);
+      for (int64_t s = 0; s < output_steps_; ++s) out.Set({b, s, node, 0}, mean);
+    }
+  }
+  return out;
+}
+
+}  // namespace baselines
+}  // namespace urcl

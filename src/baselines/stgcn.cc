@@ -1,0 +1,53 @@
+#include "baselines/stgcn.h"
+
+#include "autograd/ops.h"
+#include "common/check.h"
+#include "graph/transition.h"
+
+namespace urcl {
+namespace baselines {
+
+namespace ag = ::urcl::autograd;
+
+StgcnEncoder::StgcnEncoder(const core::BackboneConfig& config, int64_t cheb_order, Rng& rng)
+    : config_(config), cheb_order_(cheb_order) {
+  URCL_CHECK_GE(cheb_order, 1);
+  constexpr int64_t kNumBlocks = 2;
+  URCL_CHECK_GT(config.input_steps, 2 * kNumBlocks)
+      << "input window too short for two ST-Conv blocks";
+  input_projection_ =
+      std::make_unique<nn::ChannelLinear>(config.in_channels, config.hidden_channels, rng);
+  RegisterChild("input_projection", input_projection_.get());
+  for (int64_t block = 0; block < kNumBlocks; ++block) {
+    pre_tcn_.push_back(std::make_unique<nn::GatedTcn>(config.hidden_channels,
+                                                      config.hidden_channels, 2, 1, rng));
+    RegisterChild("pre_tcn" + std::to_string(block), pre_tcn_.back().get());
+    cheb_gcn_.push_back(std::make_unique<nn::DiffusionGcn>(
+        config.hidden_channels, config.hidden_channels, /*num_static_supports=*/cheb_order,
+        /*use_adaptive=*/false, /*max_diffusion_step=*/1, rng));
+    RegisterChild("cheb_gcn" + std::to_string(block), cheb_gcn_.back().get());
+    post_tcn_.push_back(std::make_unique<nn::GatedTcn>(config.hidden_channels,
+                                                       config.hidden_channels, 2, 1, rng));
+    RegisterChild("post_tcn" + std::to_string(block), post_tcn_.back().get());
+  }
+  latent_time_ = config.input_steps - 2 * kNumBlocks;
+  output_projection_ =
+      std::make_unique<nn::ChannelLinear>(config.hidden_channels, config.latent_channels, rng);
+  RegisterChild("output_projection", output_projection_.get());
+}
+
+Variable StgcnEncoder::Encode(const Variable& observations, const Tensor& adjacency) const {
+  URCL_CHECK_EQ(observations.shape().rank(), 4) << "expected [B, M, N, C]";
+  const std::vector<Tensor> supports = graph::ChebyshevSupports(adjacency, cheb_order_);
+  Variable h = ag::Transpose(observations, {0, 3, 2, 1});  // -> [B, C, N, M]
+  h = input_projection_->Forward(h);
+  for (size_t block = 0; block < pre_tcn_.size(); ++block) {
+    h = pre_tcn_[block]->Forward(h);
+    h = ag::Relu(cheb_gcn_[block]->Forward(h, supports, Variable()));
+    h = post_tcn_[block]->Forward(h);
+  }
+  return output_projection_->Forward(ag::Relu(h));
+}
+
+}  // namespace baselines
+}  // namespace urcl

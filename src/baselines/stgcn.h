@@ -1,0 +1,43 @@
+// STGCN-style encoder: the "sandwich" ST-Conv block — temporal gated conv,
+// Chebyshev graph conv, temporal gated conv — stacked twice.
+#ifndef URCL_BASELINES_STGCN_H_
+#define URCL_BASELINES_STGCN_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/backbone.h"
+#include "nn/gcn.h"
+#include "nn/linear.h"
+#include "nn/tcn.h"
+
+namespace urcl {
+namespace baselines {
+
+using autograd::Variable;
+
+class StgcnEncoder : public core::StBackbone {
+ public:
+  StgcnEncoder(const core::BackboneConfig& config, int64_t cheb_order, Rng& rng);
+
+  Variable Encode(const Variable& observations, const Tensor& adjacency) const override;
+
+  int64_t latent_channels() const override { return config_.latent_channels; }
+  int64_t latent_time() const override { return latent_time_; }
+  std::string name() const override { return "STGCN"; }
+
+ private:
+  core::BackboneConfig config_;
+  int64_t cheb_order_;
+  int64_t latent_time_ = 0;
+  std::unique_ptr<nn::ChannelLinear> input_projection_;
+  std::vector<std::unique_ptr<nn::GatedTcn>> pre_tcn_;
+  std::vector<std::unique_ptr<nn::DiffusionGcn>> cheb_gcn_;
+  std::vector<std::unique_ptr<nn::GatedTcn>> post_tcn_;
+  std::unique_ptr<nn::ChannelLinear> output_projection_;
+};
+
+}  // namespace baselines
+}  // namespace urcl
+
+#endif  // URCL_BASELINES_STGCN_H_

@@ -1,0 +1,59 @@
+#include "baselines/stgode.h"
+
+#include "autograd/ops.h"
+#include "common/check.h"
+#include "graph/transition.h"
+
+namespace urcl {
+namespace baselines {
+
+namespace ag = ::urcl::autograd;
+
+StgodeEncoder::StgodeEncoder(const core::BackboneConfig& config, int64_t ode_steps,
+                             float step_size, Rng& rng)
+    : config_(config), ode_steps_(ode_steps), step_size_(step_size) {
+  URCL_CHECK_GE(ode_steps, 1);
+  URCL_CHECK(step_size > 0.0f && step_size <= 1.0f);
+  URCL_CHECK_GT(config.input_steps, 4) << "input window too short for the TCN pair";
+  input_projection_ =
+      std::make_unique<nn::ChannelLinear>(config.in_channels, config.hidden_channels, rng);
+  RegisterChild("input_projection", input_projection_.get());
+  pre_tcn_ = std::make_unique<nn::GatedTcn>(config.hidden_channels, config.hidden_channels, 2,
+                                            1, rng);
+  RegisterChild("pre_tcn", pre_tcn_.get());
+  ode_gcn_ = std::make_unique<nn::DiffusionGcn>(
+      config.hidden_channels, config.hidden_channels,
+      /*num_static_supports=*/config.directed_graph ? 2 : 1,
+      /*use_adaptive=*/false, /*max_diffusion_step=*/1, rng);
+  RegisterChild("ode_gcn", ode_gcn_.get());
+  post_tcn_ = std::make_unique<nn::GatedTcn>(config.hidden_channels, config.hidden_channels, 2,
+                                             2, rng);
+  RegisterChild("post_tcn", post_tcn_.get());
+  latent_time_ = config.input_steps - 1 - 2;  // pre (1 step) + post (dilation 2)
+  output_projection_ =
+      std::make_unique<nn::ChannelLinear>(config.hidden_channels, config.latent_channels, rng);
+  RegisterChild("output_projection", output_projection_.get());
+}
+
+Variable StgodeEncoder::Encode(const Variable& observations, const Tensor& adjacency) const {
+  URCL_CHECK_EQ(observations.shape().rank(), 4) << "expected [B, M, N, C]";
+  const std::vector<Tensor> supports =
+      graph::BuildSupportsDense(adjacency, config_.directed_graph);
+  Variable h = ag::Transpose(observations, {0, 3, 2, 1});  // -> [B, C, N, M]
+  h = input_projection_->Forward(h);
+  h = pre_tcn_->Forward(h);
+
+  // Euler integration of dh/dt = GCN(h) + h0 - h.
+  const Variable h0 = h;
+  for (int64_t step = 0; step < ode_steps_; ++step) {
+    Variable derivative =
+        ag::Add(ag::Sub(ode_gcn_->Forward(h, supports, Variable()), h), h0);
+    h = ag::Add(h, ag::MulScalar(derivative, step_size_));
+  }
+
+  h = post_tcn_->Forward(h);
+  return output_projection_->Forward(ag::Relu(h));
+}
+
+}  // namespace baselines
+}  // namespace urcl

@@ -1,0 +1,45 @@
+// STGODE-style encoder: a tensor-ODE block — the latent evolves by explicit
+// Euler steps of dh/dt = GCN(h) + h0 - h (continuous residual propagation
+// with a restart term) — combined with temporal dilated convolutions.
+#ifndef URCL_BASELINES_STGODE_H_
+#define URCL_BASELINES_STGODE_H_
+
+#include <memory>
+
+#include "core/backbone.h"
+#include "nn/gcn.h"
+#include "nn/linear.h"
+#include "nn/tcn.h"
+
+namespace urcl {
+namespace baselines {
+
+using autograd::Variable;
+
+class StgodeEncoder : public core::StBackbone {
+ public:
+  StgodeEncoder(const core::BackboneConfig& config, int64_t ode_steps, float step_size,
+                Rng& rng);
+
+  Variable Encode(const Variable& observations, const Tensor& adjacency) const override;
+
+  int64_t latent_channels() const override { return config_.latent_channels; }
+  int64_t latent_time() const override { return latent_time_; }
+  std::string name() const override { return "STGODE"; }
+
+ private:
+  core::BackboneConfig config_;
+  int64_t ode_steps_;
+  float step_size_;
+  int64_t latent_time_ = 0;
+  std::unique_ptr<nn::ChannelLinear> input_projection_;
+  std::unique_ptr<nn::GatedTcn> pre_tcn_;
+  std::unique_ptr<nn::DiffusionGcn> ode_gcn_;
+  std::unique_ptr<nn::GatedTcn> post_tcn_;
+  std::unique_ptr<nn::ChannelLinear> output_projection_;
+};
+
+}  // namespace baselines
+}  // namespace urcl
+
+#endif  // URCL_BASELINES_STGODE_H_

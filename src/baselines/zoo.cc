@@ -1,0 +1,69 @@
+#include "baselines/zoo.h"
+
+#include "baselines/agcrn.h"
+#include "baselines/arima.h"
+#include "baselines/fclstm.h"
+#include "baselines/historical_average.h"
+#include "baselines/stgcn.h"
+#include "baselines/stgode.h"
+#include "common/check.h"
+#include "core/dcrnn_backbone.h"
+#include "core/geoman_backbone.h"
+#include "core/stencoder.h"
+
+namespace urcl {
+namespace baselines {
+
+std::vector<std::string> BaselineNames() {
+  return {"ARIMA", "DCRNN", "STGCN", "MTGNN", "AGCRN", "STGODE", "GeoMAN",
+          "FC-LSTM", "HistoricalAverage"};
+}
+
+std::unique_ptr<core::StPredictor> MakeBaseline(const std::string& name,
+                                                const ZooOptions& options,
+                                                const graph::SensorNetwork& network) {
+  Rng rng(options.deep.seed);
+  auto deep = [&](std::unique_ptr<core::StBackbone> encoder) {
+    return std::make_unique<DeepBaseline>(name, std::move(encoder), options.deep, network, rng);
+  };
+
+  if (name == "ARIMA") {
+    return std::make_unique<ArimaPredictor>(ArimaOptions{}, options.deep.output_steps,
+                                            options.target_channel);
+  }
+  if (name == "HistoricalAverage") {
+    return std::make_unique<HistoricalAverage>(options.deep.output_steps,
+                                               options.target_channel);
+  }
+  if (name == "DCRNN") {
+    return deep(std::make_unique<core::DcrnnEncoder>(options.encoder, rng));
+  }
+  if (name == "GeoMAN") {
+    return deep(std::make_unique<core::GeomanEncoder>(options.encoder, rng));
+  }
+  if (name == "STGCN") {
+    return deep(std::make_unique<StgcnEncoder>(options.encoder, /*cheb_order=*/2, rng));
+  }
+  if (name == "MTGNN") {
+    // MTGNN's defining idea: the graph is learned, not given.
+    core::BackboneConfig config = options.encoder;
+    config.use_static_supports = false;
+    config.use_adaptive_adjacency = true;
+    return deep(std::make_unique<core::GraphWaveNetEncoder>(config, rng));
+  }
+  if (name == "AGCRN") {
+    return deep(std::make_unique<AgcrnEncoder>(options.encoder, rng));
+  }
+  if (name == "FC-LSTM") {
+    return deep(std::make_unique<FcLstmEncoder>(options.encoder, rng));
+  }
+  if (name == "STGODE") {
+    return deep(std::make_unique<StgodeEncoder>(options.encoder, /*ode_steps=*/4,
+                                                /*step_size=*/0.25f, rng));
+  }
+  URCL_CHECK(false) << "unknown baseline: " << name;
+  return nullptr;
+}
+
+}  // namespace baselines
+}  // namespace urcl

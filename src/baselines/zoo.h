@@ -1,0 +1,35 @@
+// Factory for every evaluated model (Sec. V-A2): ARIMA, DCRNN, STGCN, MTGNN,
+// AGCRN, STGODE, GeoMAN and HistoricalAverage, all behind StPredictor so the
+// benchmark harness can iterate over them uniformly.
+#ifndef URCL_BASELINES_ZOO_H_
+#define URCL_BASELINES_ZOO_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/deep_baseline.h"
+#include "core/predictor.h"
+#include "graph/sensor_network.h"
+
+namespace urcl {
+namespace baselines {
+
+struct ZooOptions {
+  core::BackboneConfig encoder;  // shared encoder geometry
+  DeepBaselineOptions deep;      // shared deep-training options
+  int64_t target_channel = 0;    // for ARIMA / HistoricalAverage
+};
+
+// Names accepted by MakeBaseline.
+std::vector<std::string> BaselineNames();
+
+// Creates the named baseline; aborts on unknown names.
+std::unique_ptr<core::StPredictor> MakeBaseline(const std::string& name,
+                                                const ZooOptions& options,
+                                                const graph::SensorNetwork& network);
+
+}  // namespace baselines
+}  // namespace urcl
+
+#endif  // URCL_BASELINES_ZOO_H_

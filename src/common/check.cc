@@ -1,0 +1,12 @@
+#include "common/check.h"
+
+namespace urcl {
+namespace internal {
+
+void CheckFailed(const char* file, int line, const std::string& message) {
+  std::cerr << "[URCL FATAL] " << file << ":" << line << ": " << message << std::endl;
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace urcl

@@ -1,0 +1,55 @@
+// Invariant-checking macros in the style used by database engines: cheap,
+// always-on checks that abort with a readable message instead of throwing.
+#ifndef URCL_COMMON_CHECK_H_
+#define URCL_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace urcl {
+namespace internal {
+
+// Terminates the process after printing `message` with source location.
+[[noreturn]] void CheckFailed(const char* file, int line, const std::string& message);
+
+// Stream-capture helper so URCL_CHECK can accept `<<`-style payloads.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* condition)
+      : file_(file), line_(line) {
+    stream_ << "Check failed: " << condition << " ";
+  }
+
+  [[noreturn]] ~CheckMessageBuilder() { CheckFailed(file_, line_, stream_.str()); }
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace urcl
+
+// Aborts with a diagnostic when `condition` is false. Usable in headers and
+// hot paths; the happy path is a single branch.
+#define URCL_CHECK(condition)                                                   \
+  if (!(condition))                                                             \
+  ::urcl::internal::CheckMessageBuilder(__FILE__, __LINE__, #condition)
+
+#define URCL_CHECK_EQ(a, b) URCL_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define URCL_CHECK_NE(a, b) URCL_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define URCL_CHECK_LT(a, b) URCL_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define URCL_CHECK_LE(a, b) URCL_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define URCL_CHECK_GT(a, b) URCL_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define URCL_CHECK_GE(a, b) URCL_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#endif  // URCL_COMMON_CHECK_H_

@@ -1,0 +1,35 @@
+#include "common/csv_writer.h"
+
+#include "common/check.h"
+
+namespace urcl {
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header)
+    : path_(path), out_(path), columns_(header.size()) {
+  URCL_CHECK(out_.is_open()) << "cannot open " << path << " for writing";
+  URCL_CHECK_GT(columns_, 0u);
+  WriteRow(header);
+}
+
+std::string CsvWriter::Escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string escaped = "\"";
+  for (const char c : cell) {
+    if (c == '"') escaped += '"';
+    escaped += c;
+  }
+  escaped += '"';
+  return escaped;
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& cells) {
+  URCL_CHECK_EQ(cells.size(), columns_) << "row width does not match header";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << Escape(cells[i]);
+  }
+  out_ << '\n';
+  URCL_CHECK(out_.good()) << "CSV write failed for " << path_;
+}
+
+}  // namespace urcl

@@ -1,0 +1,31 @@
+// Minimal CSV writer so the figure benches can export plottable series.
+#ifndef URCL_COMMON_CSV_WRITER_H_
+#define URCL_COMMON_CSV_WRITER_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace urcl {
+
+// Streams rows to a CSV file; cells containing commas/quotes are quoted.
+class CsvWriter {
+ public:
+  // Opens `path` for writing and emits the header row. Aborts on failure.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  void WriteRow(const std::vector<std::string>& cells);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  static std::string Escape(const std::string& cell);
+
+  std::string path_;
+  std::ofstream out_;
+  size_t columns_;
+};
+
+}  // namespace urcl
+
+#endif  // URCL_COMMON_CSV_WRITER_H_

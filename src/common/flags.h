@@ -1,0 +1,30 @@
+// Minimal command-line flag parsing for the benchmark/example binaries.
+// Supports `--name value` and `--name=value` forms with typed lookups.
+#ifndef URCL_COMMON_FLAGS_H_
+#define URCL_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace urcl {
+
+// Parses flags once at startup; unknown flags are kept and retrievable so the
+// binaries can share a common set while adding their own.
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  bool Has(const std::string& name) const;
+  std::string GetString(const std::string& name, const std::string& fallback) const;
+  int64_t GetInt(const std::string& name, int64_t fallback) const;
+  double GetDouble(const std::string& name, double fallback) const;
+  bool GetBool(const std::string& name, bool fallback) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace urcl
+
+#endif  // URCL_COMMON_FLAGS_H_

@@ -1,0 +1,26 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace urcl {
+
+std::vector<int64_t> Rng::SampleWithoutReplacement(int64_t n, int64_t k) {
+  URCL_CHECK_GE(n, 0);
+  URCL_CHECK_GE(k, 0);
+  URCL_CHECK_LE(k, n) << "cannot sample " << k << " distinct items from " << n;
+  std::vector<int64_t> pool = Permutation(n);
+  pool.resize(static_cast<size_t>(k));
+  return pool;
+}
+
+std::vector<int64_t> Rng::Permutation(int64_t n) {
+  std::vector<int64_t> indices(static_cast<size_t>(n));
+  std::iota(indices.begin(), indices.end(), 0);
+  std::shuffle(indices.begin(), indices.end(), engine_);
+  return indices;
+}
+
+}  // namespace urcl

@@ -1,0 +1,69 @@
+// Deterministic random-number generation. Every stochastic component in the
+// library takes an explicit `Rng&` so experiments are reproducible per seed.
+#ifndef URCL_COMMON_RNG_H_
+#define URCL_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace urcl {
+
+// Wraps a 64-bit Mersenne engine with the sampling helpers the library needs.
+// Copyable so callers can fork an independent stream from a snapshot.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed) : engine_(seed) {}
+
+  Rng(const Rng& other) = default;
+  Rng& operator=(const Rng& other) = default;
+
+  // Uniform real in [lo, hi).
+  float Uniform(float lo = 0.0f, float hi = 1.0f) {
+    std::uniform_real_distribution<float> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  // Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  // Standard normal scaled to `stddev` around `mean`.
+  float Normal(float mean = 0.0f, float stddev = 1.0f) {
+    std::normal_distribution<float> dist(mean, stddev);
+    return dist(engine_);
+  }
+
+  // Beta(alpha, alpha) via two gamma draws; used by STMixup (Eq. 4).
+  float Beta(float alpha, float beta) {
+    std::gamma_distribution<float> ga(alpha, 1.0f);
+    std::gamma_distribution<float> gb(beta, 1.0f);
+    const float x = ga(engine_);
+    const float y = gb(engine_);
+    const float denom = x + y;
+    return denom > 0.0f ? x / denom : 0.5f;
+  }
+
+  // True with probability p.
+  bool Bernoulli(double p) {
+    std::bernoulli_distribution dist(p);
+    return dist(engine_);
+  }
+
+  // Samples `k` distinct indices from [0, n) without replacement.
+  std::vector<int64_t> SampleWithoutReplacement(int64_t n, int64_t k);
+
+  // Returns a random permutation of [0, n).
+  std::vector<int64_t> Permutation(int64_t n);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace urcl
+
+#endif  // URCL_COMMON_RNG_H_

@@ -1,0 +1,32 @@
+// Wall-clock stopwatch used by the efficiency experiments (Fig. 7).
+#ifndef URCL_COMMON_STOPWATCH_H_
+#define URCL_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace urcl {
+
+// Measures elapsed wall-clock time; Restart() returns the lap in seconds.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  // Seconds since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Restart() {
+    const double elapsed = ElapsedSeconds();
+    start_ = Clock::now();
+    return elapsed;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace urcl
+
+#endif  // URCL_COMMON_STOPWATCH_H_

@@ -1,0 +1,35 @@
+// Aligned ASCII table rendering for the benchmark binaries, so every
+// table/figure reproduction prints rows in the same layout the paper uses.
+#ifndef URCL_COMMON_TABLE_PRINTER_H_
+#define URCL_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace urcl {
+
+// Collects rows of string cells and renders them with per-column alignment.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  // Adds a row; it may be shorter than the header (remaining cells blank).
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience: formats a double with `precision` decimals.
+  static std::string Num(double value, int precision = 2);
+
+  // Renders the full table (header, separator, rows) as a string.
+  std::string ToString() const;
+
+  // Renders to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace urcl
+
+#endif  // URCL_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,47 @@
+#include "core/backbone.h"
+
+#include "autograd/ops.h"
+#include "common/check.h"
+#include "core/dcrnn_backbone.h"
+#include "core/geoman_backbone.h"
+#include "core/stencoder.h"
+
+namespace urcl {
+namespace core {
+
+namespace ag = ::urcl::autograd;
+
+Variable StBackbone::PoolLatent(const Variable& latent) {
+  URCL_CHECK_EQ(latent.shape().rank(), 4) << "latent must be [B, H, N, T']";
+  return ag::Mean(latent, {2, 3});  // -> [B, H]
+}
+
+std::string BackboneTypeName(BackboneType type) {
+  switch (type) {
+    case BackboneType::kGraphWaveNet:
+      return "GraphWaveNet";
+    case BackboneType::kDcrnn:
+      return "DCRNN";
+    case BackboneType::kGeoman:
+      return "GeoMAN";
+  }
+  URCL_CHECK(false) << "unknown backbone type";
+  return "";
+}
+
+std::unique_ptr<StBackbone> MakeBackbone(BackboneType type, const BackboneConfig& config,
+                                         Rng& rng) {
+  switch (type) {
+    case BackboneType::kGraphWaveNet:
+      return std::make_unique<GraphWaveNetEncoder>(config, rng);
+    case BackboneType::kDcrnn:
+      return std::make_unique<DcrnnEncoder>(config, rng);
+    case BackboneType::kGeoman:
+      return std::make_unique<GeomanEncoder>(config, rng);
+  }
+  URCL_CHECK(false) << "unknown backbone type";
+  return nullptr;
+}
+
+}  // namespace core
+}  // namespace urcl

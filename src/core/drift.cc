@@ -1,0 +1,124 @@
+#include "core/drift.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "tensor/tensor_ops.h"
+
+namespace urcl {
+namespace core {
+
+PageHinkleyDetector::PageHinkleyDetector(const PageHinkleyConfig& config) : config_(config) {
+  URCL_CHECK_GE(config.delta, 0.0f);
+  URCL_CHECK_GT(config.threshold, 0.0f);
+  URCL_CHECK_GE(config.warmup, 1);
+}
+
+void PageHinkleyDetector::Reset() {
+  count_ = 0;
+  mean_ = 0.0;
+  cumulative_ = 0.0;
+  minimum_ = 0.0;
+}
+
+bool PageHinkleyDetector::Update(float value) {
+  URCL_CHECK(std::isfinite(value)) << "drift detector fed a non-finite value";
+  ++count_;
+  // Running mean of the statistic.
+  mean_ += (value - mean_) / static_cast<double>(count_);
+  // Cumulative deviation above the mean (minus the tolerated delta).
+  cumulative_ += value - mean_ - config_.delta;
+  minimum_ = std::min(minimum_, cumulative_);
+  if (count_ < config_.warmup) return false;
+  if (cumulative_ - minimum_ > config_.threshold) {
+    Reset();
+    return true;
+  }
+  return false;
+}
+
+OnlineLearner::OnlineLearner(const OnlineLearnerConfig& config,
+                             const graph::SensorNetwork& network)
+    : config_(config),
+      trainer_(std::make_unique<UrclTrainer>(config.model, network)),
+      detector_(config.drift) {
+  URCL_CHECK_GE(config.retrain_window_steps,
+                config.window.input_steps + config.window.output_steps + 4)
+      << "retrain window too short to form training samples";
+  URCL_CHECK_GE(config.max_history_steps, config.retrain_window_steps);
+}
+
+Tensor OnlineLearner::HistoryWindow(int64_t steps) const {
+  URCL_CHECK_LE(steps, static_cast<int64_t>(history_.size()));
+  std::vector<Tensor> rows(history_.end() - steps, history_.end());
+  return ops::Stack(rows, 0);  // [steps, N, C]
+}
+
+bool OnlineLearner::CanPredict() const {
+  return trained_ && static_cast<int64_t>(history_.size()) >= config_.window.input_steps;
+}
+
+Tensor OnlineLearner::PredictNext() {
+  URCL_CHECK(CanPredict()) << "OnlineLearner cannot predict yet";
+  Tensor window = HistoryWindow(config_.window.input_steps);
+  Tensor batch = window.Reshape(Shape{1, window.dim(0), window.dim(1), window.dim(2)});
+  Tensor prediction = trainer_->Predict(batch);  // [1, N_out, N, 1]
+  pending_prediction_ =
+      ops::Slice(prediction, {0, 0, 0, 0}, {1, 1, prediction.dim(2), 1})
+          .Reshape(Shape{1, prediction.dim(2), 1});
+  has_pending_ = true;
+  return pending_prediction_;
+}
+
+void OnlineLearner::Retrain() {
+  const int64_t steps = std::min<int64_t>(config_.retrain_window_steps,
+                                          static_cast<int64_t>(history_.size()));
+  data::StDataset chunk(HistoryWindow(steps), config_.window);
+  if (chunk.NumSamples() < 2) return;
+  trainer_->TrainStage(chunk, config_.retrain_epochs);
+  trained_ = true;
+  ++retrain_count_;
+}
+
+bool OnlineLearner::Ingest(const Tensor& observation) {
+  URCL_CHECK_EQ(observation.rank(), 2) << "observation must be [N, C]";
+
+  bool drift = false;
+  if (has_pending_) {
+    // Score the outstanding prediction against this ground truth.
+    Tensor truth = ops::Slice(observation, {0, config_.window.target_channel},
+                              {observation.dim(0), 1})
+                       .Reshape(pending_prediction_.shape());
+    const float error = ops::Mean(ops::Abs(ops::Sub(pending_prediction_, truth))).Item();
+    abs_error_sum_ += error;
+    ++error_count_;
+    drift = detector_.Update(error);
+    if (drift) ++drift_alarms_;
+    has_pending_ = false;
+  }
+
+  history_.push_back(observation.Clone());
+  while (static_cast<int64_t>(history_.size()) > config_.max_history_steps) {
+    history_.pop_front();
+  }
+  ++steps_seen_;
+
+  bool retrained = false;
+  const bool first_train =
+      !trained_ && steps_seen_ >= config_.min_steps_before_first_train;
+  const bool periodic = config_.periodic_retrain_every > 0 && trained_ &&
+                        steps_seen_ % config_.periodic_retrain_every == 0;
+  if (first_train || periodic || (drift && trained_)) {
+    Retrain();
+    retrained = true;
+  }
+  return retrained;
+}
+
+double OnlineLearner::live_mae() const {
+  return error_count_ > 0 ? abs_error_sum_ / static_cast<double>(error_count_) : 0.0;
+}
+
+}  // namespace core
+}  // namespace urcl

@@ -1,0 +1,113 @@
+// Concept-drift detection for streaming deployment. The paper's framework
+// retrains on every incremental set unconditionally; in a live system one
+// wants to *detect* when the incoming distribution has drifted and retrain
+// then. PageHinkleyDetector implements the classic Page-Hinkley test on the
+// stream of prediction errors; OnlineLearner combines it with UrclTrainer
+// into an ingest -> predict -> (drift? retrain) loop.
+#ifndef URCL_CORE_DRIFT_H_
+#define URCL_CORE_DRIFT_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "core/urcl.h"
+#include "data/normalizer.h"
+
+namespace urcl {
+namespace core {
+
+struct PageHinkleyConfig {
+  // Minimum magnitude of change to care about (delta) and the alarm
+  // threshold (lambda), both in units of the monitored statistic.
+  float delta = 0.005f;
+  float threshold = 0.25f;
+  // Samples to observe before the detector may fire.
+  int64_t warmup = 30;
+};
+
+// One-sided Page-Hinkley test for an *increase* in the mean of a stream
+// (here: prediction error going up = drift).
+class PageHinkleyDetector {
+ public:
+  explicit PageHinkleyDetector(const PageHinkleyConfig& config);
+
+  // Feeds one observation; returns true when drift is detected. The detector
+  // resets itself after firing.
+  bool Update(float value);
+
+  void Reset();
+
+  int64_t samples_seen() const { return count_; }
+  float cumulative() const { return cumulative_; }
+
+ private:
+  PageHinkleyConfig config_;
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double cumulative_ = 0.0;
+  double minimum_ = 0.0;
+};
+
+struct OnlineLearnerConfig {
+  UrclConfig model;
+  PageHinkleyConfig drift;
+  data::WindowConfig window;
+  // Training chunk: most recent steps used when retraining fires.
+  int64_t retrain_window_steps = 384;
+  int64_t retrain_epochs = 2;
+  // Hard cap on the rolling history kept in memory.
+  int64_t max_history_steps = 2048;
+  // Steps between periodic (non-drift) retrains; 0 disables periodic.
+  int64_t periodic_retrain_every = 0;
+  int64_t min_steps_before_first_train = 64;
+};
+
+// A deployable streaming learner: ingest observations one step at a time,
+// serve one-step-ahead predictions, track live error, and retrain the URCL
+// model when the Page-Hinkley detector fires on the error stream (or
+// periodically, if configured).
+class OnlineLearner {
+ public:
+  OnlineLearner(const OnlineLearnerConfig& config, const graph::SensorNetwork& network);
+
+  // Feeds one observation row [N, C] (normalized). If a prediction was
+  // outstanding, its error feeds the drift detector first.
+  // Returns true when this step triggered a retrain.
+  bool Ingest(const Tensor& observation);
+
+  bool CanPredict() const;
+
+  // One-step-ahead prediction of the target channel: [1, N, 1] (normalized).
+  Tensor PredictNext();
+
+  int64_t retrain_count() const { return retrain_count_; }
+  int64_t drift_alarms() const { return drift_alarms_; }
+  int64_t steps_seen() const { return steps_seen_; }
+  // Mean absolute error of the live predictions so far (normalized units).
+  double live_mae() const;
+  UrclTrainer& trainer() { return *trainer_; }
+
+ private:
+  void Retrain();
+  Tensor HistoryWindow(int64_t steps) const;
+
+  OnlineLearnerConfig config_;
+  std::unique_ptr<UrclTrainer> trainer_;
+  PageHinkleyDetector detector_;
+  std::deque<Tensor> history_;  // rows [N, C]
+  Tensor pending_prediction_;   // [1, N, 1] awaiting ground truth
+  bool has_pending_ = false;
+  bool trained_ = false;
+  int64_t steps_seen_ = 0;
+  int64_t retrain_count_ = 0;
+  int64_t drift_alarms_ = 0;
+  double abs_error_sum_ = 0.0;
+  int64_t error_count_ = 0;
+};
+
+}  // namespace core
+}  // namespace urcl
+
+#endif  // URCL_CORE_DRIFT_H_

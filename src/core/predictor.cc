@@ -1,0 +1,55 @@
+#include "core/predictor.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace urcl {
+namespace core {
+
+void EvaluatePredictorInto(StPredictor& model, const data::StDataset& test,
+                           const data::MinMaxNormalizer& normalizer, int64_t target_channel,
+                           int64_t batch_size, data::MetricsAccumulator* accumulator) {
+  URCL_CHECK_GT(batch_size, 0);
+  URCL_CHECK(accumulator != nullptr);
+  const int64_t num_samples = test.NumSamples();
+  URCL_CHECK_GT(num_samples, 0) << "test split has no complete windows";
+  for (int64_t start = 0; start < num_samples; start += batch_size) {
+    const int64_t count = std::min(batch_size, num_samples - start);
+    std::vector<int64_t> indices(static_cast<size_t>(count));
+    for (int64_t i = 0; i < count; ++i) indices[static_cast<size_t>(i)] = start + i;
+    const auto [inputs, targets] = test.MakeBatch(indices);
+    const Tensor predictions = model.Predict(inputs);
+    URCL_CHECK(predictions.shape() == targets.shape())
+        << model.name() << " produced " << predictions.shape().ToString() << ", expected "
+        << targets.shape().ToString();
+    accumulator->Add(normalizer.InverseTransformChannel(predictions, target_channel),
+                     normalizer.InverseTransformChannel(targets, target_channel));
+  }
+}
+
+double ValidationMae(StPredictor& model, const data::StDataset& dataset, int64_t batch_size) {
+  URCL_CHECK_GT(batch_size, 0);
+  const int64_t num_samples = dataset.NumSamples();
+  URCL_CHECK_GT(num_samples, 0) << "validation split has no complete windows";
+  data::MetricsAccumulator accumulator;
+  for (int64_t start = 0; start < num_samples; start += batch_size) {
+    const int64_t count = std::min(batch_size, num_samples - start);
+    std::vector<int64_t> indices(static_cast<size_t>(count));
+    for (int64_t i = 0; i < count; ++i) indices[static_cast<size_t>(i)] = start + i;
+    const auto [inputs, targets] = dataset.MakeBatch(indices);
+    accumulator.Add(model.Predict(inputs), targets);
+  }
+  return accumulator.Result().mae;
+}
+
+data::EvalMetrics EvaluatePredictor(StPredictor& model, const data::StDataset& test,
+                                    const data::MinMaxNormalizer& normalizer,
+                                    int64_t target_channel, int64_t batch_size) {
+  data::MetricsAccumulator accumulator;
+  EvaluatePredictorInto(model, test, normalizer, target_channel, batch_size, &accumulator);
+  return accumulator.Result();
+}
+
+}  // namespace core
+}  // namespace urcl

@@ -1,0 +1,64 @@
+// The uniform training/prediction interface shared by URCL and every
+// baseline, so the continual-learning protocols (Fig. 5) and evaluation
+// harness treat all models identically.
+#ifndef URCL_CORE_PREDICTOR_H_
+#define URCL_CORE_PREDICTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/metrics.h"
+#include "data/normalizer.h"
+
+namespace urcl {
+namespace core {
+
+class StPredictor {
+ public:
+  virtual ~StPredictor() = default;
+
+  virtual std::string name() const = 0;
+
+  // Trains on one stage's train split for `epochs`; returns the per-epoch
+  // mean training loss (the convergence curve of Fig. 8).
+  virtual std::vector<float> TrainStage(const data::StDataset& train, int64_t epochs) = 0;
+
+  // Trains with validation-based early stopping (Algorithm 1 trains "while
+  // not converge"): stops after `patience` epochs without a new best
+  // validation MAE and restores the best parameters. The default ignores the
+  // validation split and trains for `max_epochs` (right for closed-form
+  // models like ARIMA).
+  virtual std::vector<float> TrainStageWithValidation(const data::StDataset& train,
+                                                      const data::StDataset& val,
+                                                      int64_t max_epochs, int64_t patience) {
+    (void)val;
+    (void)patience;
+    return TrainStage(train, max_epochs);
+  }
+
+  // Predicts [B, M, N, C] -> [B, N_out, N, 1] in normalized space.
+  virtual Tensor Predict(const Tensor& inputs) = 0;
+};
+
+// Mean absolute error of `model` on `dataset` in normalized space (no
+// denormalization; used for early stopping).
+double ValidationMae(StPredictor& model, const data::StDataset& dataset,
+                     int64_t batch_size = 16);
+
+// Evaluates `model` over every window of `test`, denormalizing predictions
+// and targets with `normalizer` (the paper reports MAE/RMSE in data units).
+data::EvalMetrics EvaluatePredictor(StPredictor& model, const data::StDataset& test,
+                                    const data::MinMaxNormalizer& normalizer,
+                                    int64_t target_channel, int64_t batch_size = 16);
+
+// Same, but accumulates into `accumulator` so several test sets can be
+// pooled (the seen-so-far continual evaluation protocol).
+void EvaluatePredictorInto(StPredictor& model, const data::StDataset& test,
+                           const data::MinMaxNormalizer& normalizer, int64_t target_channel,
+                           int64_t batch_size, data::MetricsAccumulator* accumulator);
+
+}  // namespace core
+}  // namespace urcl
+
+#endif  // URCL_CORE_PREDICTOR_H_

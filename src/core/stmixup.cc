@@ -1,0 +1,79 @@
+#include "core/stmixup.h"
+
+#include <vector>
+
+#include "common/check.h"
+#include "tensor/tensor_ops.h"
+
+namespace urcl {
+namespace core {
+namespace {
+
+// Repeats/cycles rows of `batch` ([K, ...]) until it has `target_rows` rows.
+Tensor CycleRows(const Tensor& batch, int64_t target_rows) {
+  const int64_t rows = batch.dim(0);
+  if (rows == target_rows) return batch;
+  std::vector<Tensor> slices;
+  slices.reserve(static_cast<size_t>(target_rows));
+  std::vector<int64_t> sizes = batch.shape().dims();
+  sizes[0] = 1;
+  for (int64_t i = 0; i < target_rows; ++i) {
+    std::vector<int64_t> starts(static_cast<size_t>(batch.rank()), 0);
+    starts[0] = i % rows;
+    slices.push_back(ops::Slice(batch, starts, sizes));
+  }
+  return ops::Concat(slices, 0);
+}
+
+}  // namespace
+
+MixupResult StMixup(const Tensor& current_inputs, const Tensor& current_targets,
+                    const Tensor& replay_inputs, const Tensor& replay_targets, float alpha,
+                    Rng& rng) {
+  URCL_CHECK_GT(alpha, 0.0f) << "mixup alpha must be positive";
+  URCL_CHECK_EQ(current_inputs.dim(0), current_targets.dim(0));
+  URCL_CHECK_EQ(replay_inputs.dim(0), replay_targets.dim(0));
+  URCL_CHECK_GT(replay_inputs.dim(0), 0) << "StMixup requires a non-empty replay batch";
+
+  const int64_t batch = current_inputs.dim(0);
+  const Tensor rx = CycleRows(replay_inputs, batch);
+  const Tensor ry = CycleRows(replay_targets, batch);
+  URCL_CHECK(rx.shape() == current_inputs.shape())
+      << "replay inputs " << rx.shape().ToString() << " incompatible with current "
+      << current_inputs.shape().ToString();
+  URCL_CHECK(ry.shape() == current_targets.shape());
+
+  // One lambda per observation-groundtruth pair (Eq. 4).
+  Tensor lambda_x(Shape{batch, 1, 1, 1});
+  float lambda_sum = 0.0f;
+  for (int64_t b = 0; b < batch; ++b) {
+    const float lambda = rng.Beta(alpha, alpha);
+    lambda_x.FlatSet(b, lambda);
+    lambda_sum += lambda;
+  }
+  const Tensor one_minus = ops::AddScalar(ops::Neg(lambda_x), 1.0f);
+  MixupResult result;
+  result.lambda = lambda_sum / static_cast<float>(batch);
+  result.inputs = ops::Add(ops::Mul(current_inputs, lambda_x), ops::Mul(rx, one_minus));
+  result.targets = ops::Add(ops::Mul(current_targets, lambda_x), ops::Mul(ry, one_minus));
+  return result;
+}
+
+MixupResult ConcatBatches(const Tensor& current_inputs, const Tensor& current_targets,
+                          const Tensor& replay_inputs, const Tensor& replay_targets) {
+  URCL_CHECK_EQ(current_inputs.dim(0), current_targets.dim(0));
+  URCL_CHECK_EQ(replay_inputs.dim(0), replay_targets.dim(0));
+  MixupResult result;
+  result.lambda = 1.0f;
+  if (replay_inputs.dim(0) == 0) {
+    result.inputs = current_inputs;
+    result.targets = current_targets;
+    return result;
+  }
+  result.inputs = ops::Concat({current_inputs, replay_inputs}, 0);
+  result.targets = ops::Concat({current_targets, replay_targets}, 0);
+  return result;
+}
+
+}  // namespace core
+}  // namespace urcl

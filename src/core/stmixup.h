@@ -1,0 +1,33 @@
+// STMixup (Sec. IV-B2): vicinal-risk interpolation between the current
+// observations X_M and replay samples X_B with lambda ~ Beta(alpha, alpha)
+// (Eq. 4-5), to preserve historical knowledge and regularize training.
+#ifndef URCL_CORE_STMIXUP_H_
+#define URCL_CORE_STMIXUP_H_
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace urcl {
+namespace core {
+
+struct MixupResult {
+  Tensor inputs;   // [B, M, N, C]
+  Tensor targets;  // [B, N_out, N, 1]
+  float lambda = 1.0f;
+};
+
+// Interpolates a current batch with a replay batch. The replay batch may be
+// smaller than the current batch; its rows are cycled. One lambda is drawn
+// per call (per minibatch), matching Eq. 5.
+MixupResult StMixup(const Tensor& current_inputs, const Tensor& current_targets,
+                    const Tensor& replay_inputs, const Tensor& replay_targets, float alpha,
+                    Rng& rng);
+
+// The w/o_STU ablation: concatenates the two batches instead of mixing.
+MixupResult ConcatBatches(const Tensor& current_inputs, const Tensor& current_targets,
+                          const Tensor& replay_inputs, const Tensor& replay_targets);
+
+}  // namespace core
+}  // namespace urcl
+
+#endif  // URCL_CORE_STMIXUP_H_

@@ -1,0 +1,64 @@
+#include "core/strategies.h"
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+
+namespace urcl {
+namespace core {
+
+std::vector<StageResult> RunContinualProtocol(StPredictor& model,
+                                              const data::StreamSplitter& stream,
+                                              const data::MinMaxNormalizer& normalizer,
+                                              int64_t target_channel,
+                                              const ProtocolOptions& options) {
+  URCL_CHECK_GT(options.epochs_per_stage, 0);
+  std::vector<StageResult> results;
+  for (int64_t i = 0; i < stream.NumStages(); ++i) {
+    const data::StreamStage& stage = stream.Stage(i);
+    StageResult result;
+    result.stage_name = stage.name;
+
+    const bool should_train =
+        options.strategy == TrainingStrategy::kContinual || i == 0;
+    if (should_train) {
+      Stopwatch train_timer;
+      if (options.early_stopping_patience > 0) {
+        result.epoch_losses = model.TrainStageWithValidation(
+            stage.train, stage.val, options.epochs_per_stage,
+            options.early_stopping_patience);
+      } else {
+        result.epoch_losses = model.TrainStage(stage.train, options.epochs_per_stage);
+      }
+      result.train_seconds = train_timer.ElapsedSeconds();
+      const size_t epochs_run =
+          result.epoch_losses.empty() ? 1 : result.epoch_losses.size();
+      result.train_seconds_per_epoch =
+          result.train_seconds / static_cast<double>(epochs_run);
+    }
+
+    Stopwatch eval_timer;
+    int64_t observations = 0;
+    if (options.eval_mode == EvalMode::kSeenSoFar) {
+      // Pool the test splits of every stage seen so far (0..i): this is the
+      // evaluation that exposes catastrophic forgetting.
+      data::MetricsAccumulator accumulator;
+      for (int64_t j = 0; j <= i; ++j) {
+        EvaluatePredictorInto(model, stream.Stage(j).test, normalizer, target_channel,
+                              options.eval_batch_size, &accumulator);
+        observations += stream.Stage(j).test.NumSamples();
+      }
+      result.metrics = accumulator.Result();
+    } else {
+      result.metrics = EvaluatePredictor(model, stage.test, normalizer, target_channel,
+                                         options.eval_batch_size);
+      observations = stage.test.NumSamples();
+    }
+    result.infer_seconds_per_observation =
+        observations > 0 ? eval_timer.ElapsedSeconds() / static_cast<double>(observations) : 0.0;
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+}  // namespace core
+}  // namespace urcl

@@ -1,0 +1,63 @@
+// Continual training protocols (Fig. 5 and Sec. V-B1): OneFitAll trains on
+// the base set only; FinetuneST / replay-based training revisit the model on
+// every incremental set. The replay behaviour itself lives inside the model
+// (UrclTrainer with enable_replay); the protocol runner is shared.
+#ifndef URCL_CORE_STRATEGIES_H_
+#define URCL_CORE_STRATEGIES_H_
+
+#include <string>
+#include <vector>
+
+#include "core/predictor.h"
+#include "data/stream.h"
+
+namespace urcl {
+namespace core {
+
+enum class TrainingStrategy {
+  kOneFitAll,   // train on B_set once, predict everything
+  kContinual,   // (re)train on every stage (FinetuneST or URCL-replay)
+};
+
+enum class EvalMode {
+  // After finishing stage k, evaluate on the pooled test splits of stages
+  // 0..k — the continual-learning "accuracy over everything seen so far"
+  // protocol, which is what makes forgetting visible (FinetuneST's scores
+  // in Table II degrade on incremental sets even though it just trained on
+  // them, because the earlier sets are forgotten).
+  kSeenSoFar,
+  // Evaluate on the current stage's test split only (plasticity view).
+  kCurrentStage,
+};
+
+struct StageResult {
+  std::string stage_name;
+  data::EvalMetrics metrics;            // on the stage's test split
+  double train_seconds = 0.0;           // wall clock spent training this stage
+  double train_seconds_per_epoch = 0.0;
+  double infer_seconds_per_observation = 0.0;
+  std::vector<float> epoch_losses;      // convergence curve (Fig. 8)
+};
+
+struct ProtocolOptions {
+  TrainingStrategy strategy = TrainingStrategy::kContinual;
+  EvalMode eval_mode = EvalMode::kSeenSoFar;
+  int64_t epochs_per_stage = 10;
+  // When > 0, stages train with validation-based early stopping on the
+  // stage's val split (max epochs_per_stage epochs, this patience).
+  int64_t early_stopping_patience = 0;
+  int64_t eval_batch_size = 16;
+};
+
+// Runs the protocol over every stage of `stream`; returns one result per
+// stage, evaluated on that stage's test split in denormalized units.
+std::vector<StageResult> RunContinualProtocol(StPredictor& model,
+                                              const data::StreamSplitter& stream,
+                                              const data::MinMaxNormalizer& normalizer,
+                                              int64_t target_channel,
+                                              const ProtocolOptions& options);
+
+}  // namespace core
+}  // namespace urcl
+
+#endif  // URCL_CORE_STRATEGIES_H_

@@ -1,0 +1,270 @@
+#include "core/urcl.h"
+
+#include "tensor/serialize.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "autograd/ops.h"
+#include "common/check.h"
+#include "core/stmixup.h"
+#include "nn/loss.h"
+#include "tensor/tensor_ops.h"
+
+namespace urcl {
+namespace core {
+
+namespace ag = ::urcl::autograd;
+
+UrclModel::UrclModel(const UrclConfig& config, Rng& rng) {
+  encoder_ = MakeBackbone(config.backbone, config.encoder, rng);
+  RegisterChild("encoder", encoder_.get());
+  decoder_ = std::make_unique<StDecoder>(encoder_->latent_channels(), encoder_->latent_time(),
+                                         config.decoder_hidden, config.output_steps, rng);
+  RegisterChild("decoder", decoder_.get());
+  simsiam_ = std::make_unique<StSimSiam>(encoder_.get(), config.proj_hidden, config.proj_dim,
+                                         config.ssl_temperature, rng);
+  RegisterChild("simsiam", simsiam_.get());
+}
+
+Variable UrclModel::Forward(const Variable& observations, const Tensor& adjacency) const {
+  return decoder_->Forward(encoder_->Encode(observations, adjacency));
+}
+
+UrclTrainer::UrclTrainer(const UrclConfig& config, const graph::SensorNetwork& network)
+    : config_(config),
+      rng_(config.seed),
+      adjacency_(network.AdjacencyMatrix()),
+      network_(network),
+      buffer_(config.buffer_capacity, config.buffer_policy, config.seed + 17),
+      rmir_sampler_(replay::RmirConfig{config.rmir_candidate_pool, config.rmir_virtual_lr}) {
+  URCL_CHECK_EQ(config.encoder.num_nodes, network.num_nodes())
+      << "encoder config does not match the sensor network";
+  model_ = std::make_unique<UrclModel>(config_, rng_);
+  optimizer_ = std::make_unique<nn::Adam>(model_->Parameters(), config_.learning_rate);
+  augmentations_ = augment::MakeDefaultAugmentations();
+}
+
+std::vector<float> UrclTrainer::PerItemLosses(const std::vector<int64_t>& indices) {
+  const auto [inputs, targets] = buffer_.MakeBatch(indices);
+  Variable x(inputs, /*requires_grad=*/false);
+  const Tensor predictions = model_->Forward(x, adjacency_).value();
+  // Per-item MAE: mean |pred - y| over all but the batch axis.
+  const Tensor abs_err = ops::Abs(ops::Sub(predictions, targets));
+  const Tensor per_item = ops::Mean(abs_err, {1, 2, 3});
+  std::vector<float> losses(static_cast<size_t>(per_item.NumElements()));
+  for (int64_t i = 0; i < per_item.NumElements(); ++i)
+    losses[static_cast<size_t>(i)] = per_item.FlatAt(i);
+  return losses;
+}
+
+UrclTrainer::ReplayDraw UrclTrainer::DrawReplaySamples(const Tensor& current_inputs,
+                                                       const Tensor& current_targets) {
+  ReplayDraw draw;
+  if (!config_.enable_replay || buffer_.size() < config_.replay_sample_count) return draw;
+
+  std::vector<int64_t> selected;
+  if (!config_.enable_rmir) {
+    selected = random_sampler_.Sample(buffer_, config_.replay_sample_count, rng_);
+  } else if (step_count_ % std::max<int64_t>(1, config_.rmir_refresh_every) == 0 ||
+             cached_selection_.empty()) {
+    // 1. Score a random scan subset for interference: loss increase after a
+    //    virtual gradient step on the incoming batch (Eq. 3).
+    const std::vector<int64_t> scan = random_sampler_.Sample(
+        buffer_, std::min(config_.rmir_scan_size, buffer_.size()), rng_);
+    const std::vector<float> before = PerItemLosses(scan);
+
+    // Virtual step: gradients from the incoming batch, SGD update, rollback.
+    const std::vector<Variable> params = model_->Parameters();
+    std::vector<Tensor> snapshot;
+    snapshot.reserve(params.size());
+    for (const Variable& p : params) snapshot.push_back(p.value().Clone());
+
+    for (const Variable& p : params) p.ZeroGrad();
+    Variable x(current_inputs, /*requires_grad=*/false);
+    Variable y(current_targets, /*requires_grad=*/false);
+    Variable loss = nn::MaeLoss(model_->Forward(x, adjacency_), y);
+    loss.Backward();
+    for (const Variable& p : params) {
+      Tensor updated = p.value().Clone();
+      Tensor grad = p.grad();
+      grad.MulInPlace(-config_.rmir_virtual_lr);
+      updated.AddInPlace(grad);
+      p.SetValue(updated);
+    }
+    const std::vector<float> after = PerItemLosses(scan);
+    for (size_t i = 0; i < params.size(); ++i) params[i].SetValue(snapshot[i]);
+    for (const Variable& p : params) p.ZeroGrad();
+
+    // 2+3. Rank by interference, re-rank by Pearson similarity (Sec. IV-B1).
+    std::vector<float> interference(static_cast<size_t>(buffer_.size()),
+                                    -std::numeric_limits<float>::infinity());
+    for (size_t i = 0; i < scan.size(); ++i) {
+      interference[static_cast<size_t>(scan[i])] = after[i] - before[i];
+    }
+    selected = rmir_sampler_.Select(buffer_, current_inputs, interference,
+                                    config_.replay_sample_count);
+    cached_selection_ = selected;
+  } else {
+    selected = cached_selection_;
+    // Cached indices may have been evicted since; clamp into range.
+    for (int64_t& index : selected) index = std::min(index, buffer_.size() - 1);
+  }
+
+  if (selected.empty()) return draw;
+  auto [inputs, targets] = buffer_.MakeBatch(selected);
+  draw.inputs = std::move(inputs);
+  draw.targets = std::move(targets);
+  draw.valid = true;
+  return draw;
+}
+
+float UrclTrainer::TrainStep(const Tensor& inputs, const Tensor& targets) {
+  model_->SetTraining(true);
+
+  // Data integration (Eq. 2): RMIR retrieval + STMixup.
+  const ReplayDraw draw = DrawReplaySamples(inputs, targets);
+  MixupResult mixed;
+  if (draw.valid && config_.enable_mixup) {
+    mixed = StMixup(inputs, targets, draw.inputs, draw.targets, config_.mixup_alpha, rng_);
+  } else if (draw.valid) {
+    mixed = ConcatBatches(inputs, targets, draw.inputs, draw.targets);  // w/o_STU
+  } else {
+    mixed.inputs = inputs;
+    mixed.targets = targets;
+  }
+
+  // Prediction branch (Eq. 17, 28).
+  Variable x(mixed.inputs, /*requires_grad=*/false);
+  Variable y(mixed.targets, /*requires_grad=*/false);
+  Variable task_loss = nn::MaeLoss(model_->Forward(x, adjacency_), y);
+
+  // STCRL branch (Sec. IV-C): two augmented views through STSimSiam.
+  Variable total_loss = task_loss;
+  if (config_.enable_ssl) {
+    augment::AugmentedView view1{mixed.inputs, adjacency_};
+    augment::AugmentedView view2{mixed.inputs, adjacency_};
+    if (config_.enable_augmentation) {
+      const auto [aug1, aug2] = augment::PickTwoDistinct(augmentations_, rng_);
+      view1 = aug1->Apply(mixed.inputs, network_, rng_);
+      view2 = aug2->Apply(mixed.inputs, network_, rng_);
+    }
+    Variable ssl_loss = model_->simsiam().Loss(view1, view2);
+    total_loss = ag::Add(task_loss, ag::MulScalar(ssl_loss, config_.ssl_weight));  // Eq. 29
+  }
+
+  optimizer_->ZeroGrad();
+  total_loss.Backward();
+  if (config_.grad_clip > 0.0f) optimizer_->ClipGradNorm(config_.grad_clip);
+  optimizer_->Step();
+
+  // Store the raw (pre-mixup) observations in the replay buffer.
+  if (config_.enable_replay) {
+    const int64_t batch = inputs.dim(0);
+    for (int64_t b = 0; b < batch; ++b) {
+      replay::ReplayItem item;
+      item.inputs = ops::Slice(inputs, {b, 0, 0, 0},
+                               {1, inputs.dim(1), inputs.dim(2), inputs.dim(3)})
+                        .Reshape(Shape{inputs.dim(1), inputs.dim(2), inputs.dim(3)});
+      item.targets = ops::Slice(targets, {b, 0, 0, 0},
+                                {1, targets.dim(1), targets.dim(2), targets.dim(3)})
+                         .Reshape(Shape{targets.dim(1), targets.dim(2), targets.dim(3)});
+      buffer_.Add(std::move(item));
+    }
+  }
+
+  ++step_count_;
+  return total_loss.value().Item();
+}
+
+std::vector<float> UrclTrainer::TrainStage(const data::StDataset& train, int64_t epochs) {
+  URCL_CHECK_GT(epochs, 0);
+  const int64_t num_samples = train.NumSamples();
+  URCL_CHECK_GT(num_samples, 0) << "train split has no complete windows";
+
+  // Sequentially select batches (Algorithm 1 line 5). When the stage has
+  // more windows than the per-epoch budget, pick evenly spaced windows in
+  // temporal order so each epoch still covers the whole stage.
+  const int64_t batch = config_.batch_size;
+  int64_t budget = num_samples;
+  if (config_.max_batches_per_epoch > 0) {
+    budget = std::min(budget, config_.max_batches_per_epoch * batch);
+  }
+  // Evenly spaced windows across the stage, interleaved so every minibatch
+  // spans the whole stage: batch k = {base[k], base[num_batches + k], ...}.
+  // In-batch diversity matters for the GraphCL negatives (consecutive
+  // overlapping windows would be indistinguishable) and stabilizes SGD.
+  std::vector<int64_t> base;
+  base.reserve(static_cast<size_t>(budget));
+  for (int64_t i = 0; i < budget; ++i) base.push_back(i * num_samples / budget);
+  const int64_t num_batches = (budget + batch - 1) / batch;
+  std::vector<int64_t> schedule;
+  schedule.reserve(static_cast<size_t>(budget));
+  for (int64_t k = 0; k < num_batches; ++k) {
+    for (int64_t j = 0; j < batch; ++j) {
+      const int64_t index = j * num_batches + k;
+      if (index < budget) schedule.push_back(base[static_cast<size_t>(index)]);
+    }
+  }
+
+  std::vector<float> epoch_losses;
+  for (int64_t epoch = 0; epoch < epochs; ++epoch) {
+    double loss_sum = 0.0;
+    int64_t steps = 0;
+    for (int64_t start = 0; start < static_cast<int64_t>(schedule.size()); start += batch) {
+      const int64_t count =
+          std::min<int64_t>(batch, static_cast<int64_t>(schedule.size()) - start);
+      if (count < 2) break;  // GraphCL needs >= 2 samples; skip the remainder
+      std::vector<int64_t> indices(schedule.begin() + start, schedule.begin() + start + count);
+      const auto [inputs, targets] = train.MakeBatch(indices);
+      const float loss = TrainStep(inputs, targets);
+      loss_history_.push_back(loss);
+      loss_sum += loss;
+      ++steps;
+    }
+    epoch_losses.push_back(steps > 0 ? static_cast<float>(loss_sum / steps) : 0.0f);
+  }
+  return epoch_losses;
+}
+
+std::vector<float> UrclTrainer::TrainStageWithValidation(const data::StDataset& train,
+                                                         const data::StDataset& val,
+                                                         int64_t max_epochs,
+                                                         int64_t patience) {
+  URCL_CHECK_GT(patience, 0);
+  std::vector<float> losses;
+  double best_val = std::numeric_limits<double>::infinity();
+  std::vector<Tensor> best_state;
+  int64_t stale_epochs = 0;
+  for (int64_t epoch = 0; epoch < max_epochs; ++epoch) {
+    const std::vector<float> epoch_losses = TrainStage(train, 1);
+    losses.push_back(epoch_losses.front());
+    const double val_mae = ValidationMae(*this, val);
+    if (val_mae < best_val) {
+      best_val = val_mae;
+      best_state = model_->StateDict();
+      stale_epochs = 0;
+    } else if (++stale_epochs >= patience) {
+      break;
+    }
+  }
+  if (!best_state.empty()) model_->LoadStateDict(best_state);
+  return losses;
+}
+
+void UrclTrainer::SaveCheckpoint(const std::string& path) const {
+  SaveTensors(model_->StateDict(), path);
+}
+
+void UrclTrainer::LoadCheckpoint(const std::string& path) {
+  model_->LoadStateDict(LoadTensors(path));
+}
+
+Tensor UrclTrainer::Predict(const Tensor& inputs) {
+  model_->SetTraining(false);
+  Variable x(inputs, /*requires_grad=*/false);
+  return model_->Forward(x, adjacency_).value();
+}
+
+}  // namespace core
+}  // namespace urcl

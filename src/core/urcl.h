@@ -1,0 +1,156 @@
+// URCL: the Unified Replay-based Continuous Learning framework (Sec. IV).
+// UrclModel wires the shared STEncoder, STDecoder and STSimSiam; UrclTrainer
+// implements Algorithm 1 — per-batch RMIR retrieval from the replay buffer,
+// STMixup fusion, spatio-temporal augmentation, the combined
+// L_all = L_task + L_ssl objective (Eq. 29), and buffer maintenance.
+#ifndef URCL_CORE_URCL_H_
+#define URCL_CORE_URCL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "augment/augmentation.h"
+#include "core/backbone.h"
+#include "core/predictor.h"
+#include "core/stdecoder.h"
+#include "core/stsimsiam.h"
+#include "graph/sensor_network.h"
+#include "nn/optimizer.h"
+#include "replay/replay_buffer.h"
+#include "replay/samplers.h"
+
+namespace urcl {
+namespace core {
+
+struct UrclConfig {
+  BackboneType backbone = BackboneType::kGraphWaveNet;
+  BackboneConfig encoder;  // num_nodes / in_channels / input_steps set by caller
+
+  // STDecoder (paper: two layers, 512 hidden).
+  int64_t decoder_hidden = 128;
+  int64_t output_steps = 1;
+
+  // STSimSiam projector.
+  int64_t proj_hidden = 32;
+  int64_t proj_dim = 16;
+  float ssl_temperature = 0.5f;
+  // Weight of L_ssl in L_all (Eq. 29 uses 1.0 with 100 epochs/set; shorter
+  // training budgets need a smaller weight so the contrastive gradient does
+  // not swamp the task gradient on the shared encoder).
+  float ssl_weight = 1.0f;
+
+  // Optimization.
+  int64_t batch_size = 8;
+  float learning_rate = 2e-3f;
+  float grad_clip = 5.0f;
+  // Caps the batches per epoch (indices evenly spaced over the stage,
+  // preserving temporal order); 0 = use every window.
+  int64_t max_batches_per_epoch = 40;
+
+  // Replay (Sec. IV-B). replay_sample_count is |S|; rmir_candidate_pool is
+  // |N|; rmir_scan_size items are scored per refresh (the MIR-style
+  // subsample that keeps interference scoring affordable).
+  int64_t buffer_capacity = 256;
+  replay::BufferPolicy buffer_policy = replay::BufferPolicy::kReservoir;
+  int64_t replay_sample_count = 4;
+  int64_t rmir_scan_size = 16;
+  int64_t rmir_candidate_pool = 8;
+  float rmir_virtual_lr = 0.05f;
+  int64_t rmir_refresh_every = 2;
+  float mixup_alpha = 0.5f;
+
+  // Ablation toggles (Sec. V-B3).
+  bool enable_mixup = true;         // w/o_STU: concatenate instead of mixup
+  bool enable_rmir = true;          // w/o_RMIR: uniform random sampling
+  bool enable_augmentation = true;  // w/o_STA: identity views
+  bool enable_ssl = true;           // w/o_GCL: task loss only
+  bool enable_replay = true;        // plain finetuning when false
+
+  uint64_t seed = 1;
+};
+
+// The model: shared encoder + decoder + SimSiam head.
+class UrclModel : public nn::Module {
+ public:
+  UrclModel(const UrclConfig& config, Rng& rng);
+
+  // Prediction path (Eq. 17): decoder(encoder(x)).
+  Variable Forward(const Variable& observations, const Tensor& adjacency) const;
+
+  StBackbone& encoder() { return *encoder_; }
+  const StBackbone& encoder() const { return *encoder_; }
+  StSimSiam& simsiam() { return *simsiam_; }
+  const StSimSiam& simsiam() const { return *simsiam_; }
+
+ private:
+  std::unique_ptr<StBackbone> encoder_;
+  std::unique_ptr<StDecoder> decoder_;
+  std::unique_ptr<StSimSiam> simsiam_;
+};
+
+// Trainer implementing Algorithm 1 over a stream of stages.
+class UrclTrainer : public StPredictor {
+ public:
+  UrclTrainer(const UrclConfig& config, const graph::SensorNetwork& network);
+
+  std::string name() const override { return "URCL"; }
+
+  // One while-loop of Algorithm 1 (lines 4-12) run for `epochs` epochs.
+  std::vector<float> TrainStage(const data::StDataset& train, int64_t epochs) override;
+
+  // Early-stopping variant: stops once validation MAE has not improved for
+  // `patience` epochs and restores the best parameters.
+  std::vector<float> TrainStageWithValidation(const data::StDataset& train,
+                                              const data::StDataset& val, int64_t max_epochs,
+                                              int64_t patience) override;
+
+  Tensor Predict(const Tensor& inputs) override;
+
+  // Saves/restores the model parameters (binary tensor file).
+  void SaveCheckpoint(const std::string& path) const;
+  void LoadCheckpoint(const std::string& path);
+
+  UrclModel& model() { return *model_; }
+  const replay::ReplayBuffer& buffer() const { return buffer_; }
+  const UrclConfig& config() const { return config_; }
+
+  // Full training-loss history across all stages (Fig. 8), one entry per
+  // optimization step.
+  const std::vector<float>& loss_history() const { return loss_history_; }
+
+ private:
+  struct ReplayDraw {
+    Tensor inputs;
+    Tensor targets;
+    bool valid = false;
+  };
+
+  // Executes one training step on a batch; returns L_all.
+  float TrainStep(const Tensor& inputs, const Tensor& targets);
+
+  // RMIR / random retrieval from the buffer (Sec. IV-B1).
+  ReplayDraw DrawReplaySamples(const Tensor& current_inputs, const Tensor& current_targets);
+
+  // Per-item MAE losses of buffer items `indices` under current parameters.
+  std::vector<float> PerItemLosses(const std::vector<int64_t>& indices);
+
+  UrclConfig config_;
+  Rng rng_;
+  Tensor adjacency_;  // clean adjacency of the sensor network
+  const graph::SensorNetwork& network_;
+  std::unique_ptr<UrclModel> model_;
+  std::unique_ptr<nn::Adam> optimizer_;
+  replay::ReplayBuffer buffer_;
+  replay::RandomSampler random_sampler_;
+  replay::RmirSampler rmir_sampler_;
+  std::vector<std::unique_ptr<augment::Augmentation>> augmentations_;
+  std::vector<float> loss_history_;
+  int64_t step_count_ = 0;
+  std::vector<int64_t> cached_selection_;
+};
+
+}  // namespace core
+}  // namespace urcl
+
+#endif  // URCL_CORE_URCL_H_

@@ -1,0 +1,81 @@
+#include "data/csv_io.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/check.h"
+
+namespace urcl {
+namespace data {
+namespace {
+
+std::vector<std::string> SplitLine(const std::string& line) {
+  std::vector<std::string> cells;
+  std::stringstream stream(line);
+  std::string cell;
+  while (std::getline(stream, cell, ',')) cells.push_back(cell);
+  return cells;
+}
+
+}  // namespace
+
+void ExportSeriesCsv(const Tensor& series, const std::string& path) {
+  URCL_CHECK_EQ(series.rank(), 3) << "series must be [T, N, C]";
+  std::ofstream out(path);
+  URCL_CHECK(out.is_open()) << "cannot open " << path << " for writing";
+  const int64_t steps = series.dim(0), nodes = series.dim(1), channels = series.dim(2);
+  out << "t,node";
+  for (int64_t c = 0; c < channels; ++c) out << ",channel" << c;
+  out << '\n';
+  for (int64_t t = 0; t < steps; ++t) {
+    for (int64_t n = 0; n < nodes; ++n) {
+      out << t << ',' << n;
+      for (int64_t c = 0; c < channels; ++c) out << ',' << series.At({t, n, c});
+      out << '\n';
+    }
+  }
+  URCL_CHECK(out.good()) << "CSV export failed for " << path;
+}
+
+Tensor ImportSeriesCsv(const std::string& path) {
+  std::ifstream in(path);
+  URCL_CHECK(in.is_open()) << "cannot open " << path << " for reading";
+  std::string line;
+  URCL_CHECK(static_cast<bool>(std::getline(in, line))) << "empty CSV " << path;
+  const std::vector<std::string> header = SplitLine(line);
+  URCL_CHECK_GE(header.size(), 3u) << "CSV header needs t,node,channel0[,...]";
+  URCL_CHECK(header[0] == "t" && header[1] == "node")
+      << "unexpected CSV header in " << path;
+  const int64_t channels = static_cast<int64_t>(header.size()) - 2;
+
+  std::vector<float> values;
+  int64_t steps = 0;
+  int64_t nodes = 0;
+  int64_t row = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::vector<std::string> cells = SplitLine(line);
+    URCL_CHECK_EQ(static_cast<int64_t>(cells.size()), channels + 2)
+        << "bad CSV row " << row << " in " << path;
+    const int64_t t = std::strtoll(cells[0].c_str(), nullptr, 10);
+    const int64_t n = std::strtoll(cells[1].c_str(), nullptr, 10);
+    if (t == 0) nodes = std::max(nodes, n + 1);
+    steps = std::max(steps, t + 1);
+    // Enforce grouped-by-t, ordered-by-node layout.
+    URCL_CHECK(nodes == 0 || row == t * nodes + n)
+        << "CSV rows must be grouped by t and ordered by node (row " << row << ")";
+    for (int64_t c = 0; c < channels; ++c) {
+      values.push_back(std::strtof(cells[static_cast<size_t>(c) + 2].c_str(), nullptr));
+    }
+    ++row;
+  }
+  URCL_CHECK_GT(steps, 0) << "CSV " << path << " has no data rows";
+  URCL_CHECK_GT(nodes, 0);
+  URCL_CHECK_EQ(row, steps * nodes) << "CSV " << path << " is missing rows";
+  return Tensor::FromVector(Shape{steps, nodes, channels}, values);
+}
+
+}  // namespace data
+}  // namespace urcl

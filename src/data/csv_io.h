@@ -1,0 +1,28 @@
+// CSV import/export for spatio-temporal series, so real datasets (e.g. the
+// METR-LA / PEMS archives, which ship as CSV/HDF5 exports) can be brought
+// into the pipeline in place of the synthetic generator.
+//
+// Format: header "t,node,channel0[,channel1,...]" then one row per
+// (time step, node) with the channel values; rows must be grouped by t and
+// ordered by node within each t.
+#ifndef URCL_DATA_CSV_IO_H_
+#define URCL_DATA_CSV_IO_H_
+
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace urcl {
+namespace data {
+
+// Writes a [T, N, C] series to `path`.
+void ExportSeriesCsv(const Tensor& series, const std::string& path);
+
+// Reads a series written by ExportSeriesCsv (or produced externally in the
+// same layout). Aborts with a diagnostic on malformed input.
+Tensor ImportSeriesCsv(const std::string& path);
+
+}  // namespace data
+}  // namespace urcl
+
+#endif  // URCL_DATA_CSV_IO_H_

@@ -1,0 +1,58 @@
+#include "data/dataset.h"
+
+#include "common/check.h"
+#include "tensor/tensor_ops.h"
+
+namespace urcl {
+namespace data {
+
+StDataset::StDataset(Tensor series, WindowConfig config)
+    : series_(std::move(series)), config_(config) {
+  URCL_CHECK_EQ(series_.rank(), 3) << "series must be [T, N, C]";
+  URCL_CHECK_GT(config_.input_steps, 0);
+  URCL_CHECK_GT(config_.output_steps, 0);
+  URCL_CHECK(config_.target_channel >= 0 && config_.target_channel < series_.dim(2))
+      << "target channel " << config_.target_channel << " out of range";
+}
+
+int64_t StDataset::NumSamples() const {
+  const int64_t usable = series_.dim(0) - config_.input_steps - config_.output_steps + 1;
+  return usable > 0 ? usable : 0;
+}
+
+StSample StDataset::GetSample(int64_t index) const {
+  URCL_CHECK(index >= 0 && index < NumSamples())
+      << "sample index " << index << " out of range (" << NumSamples() << ")";
+  const int64_t n = series_.dim(1);
+  const int64_t c = series_.dim(2);
+  StSample sample;
+  sample.inputs = ops::Slice(series_, {index, 0, 0}, {config_.input_steps, n, c});
+  sample.targets = ops::Slice(series_, {index + config_.input_steps, 0, config_.target_channel},
+                              {config_.output_steps, n, 1});
+  sample.time_slot = index + config_.input_steps - 1;
+  return sample;
+}
+
+std::pair<Tensor, Tensor> StDataset::MakeBatch(const std::vector<int64_t>& indices) const {
+  URCL_CHECK(!indices.empty());
+  std::vector<Tensor> xs;
+  std::vector<Tensor> ys;
+  xs.reserve(indices.size());
+  ys.reserve(indices.size());
+  for (const int64_t index : indices) {
+    StSample sample = GetSample(index);
+    xs.push_back(std::move(sample.inputs));
+    ys.push_back(std::move(sample.targets));
+  }
+  return {ops::Stack(xs, 0), ops::Stack(ys, 0)};
+}
+
+StDataset StDataset::Slice(int64_t start, int64_t length) const {
+  URCL_CHECK(start >= 0 && length > 0 && start + length <= series_.dim(0))
+      << "dataset slice [" << start << ", " << start + length << ") out of range";
+  Tensor sub = ops::Slice(series_, {start, 0, 0}, {length, series_.dim(1), series_.dim(2)});
+  return StDataset(sub, config_);
+}
+
+}  // namespace data
+}  // namespace urcl

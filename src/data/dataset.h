@@ -1,0 +1,58 @@
+// Windowed spatio-temporal datasets (Definitions 2-3): a series of
+// observations X_t in R^{N x C} turned into (M input, N_out output) samples
+// for the SSTP problem (Eq. 1).
+#ifndef URCL_DATA_DATASET_H_
+#define URCL_DATA_DATASET_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace urcl {
+namespace data {
+
+// One supervised sample: M input observations and N_out target observations
+// of the target channel.
+struct StSample {
+  Tensor inputs;   // [M, N, C]
+  Tensor targets;  // [N_out, N, 1]
+  int64_t time_slot = 0;  // stream index of the last input observation
+};
+
+struct WindowConfig {
+  int64_t input_steps = 12;    // M
+  int64_t output_steps = 1;    // N_out
+  int64_t target_channel = 0;  // which feature is predicted
+};
+
+// Wraps a contiguous series [T, N, C] and serves sliding-window samples.
+class StDataset {
+ public:
+  StDataset(Tensor series, WindowConfig config);
+
+  int64_t NumSamples() const;
+  int64_t num_nodes() const { return series_.dim(1); }
+  int64_t num_channels() const { return series_.dim(2); }
+  int64_t num_steps() const { return series_.dim(0); }
+  const WindowConfig& config() const { return config_; }
+  const Tensor& series() const { return series_; }
+
+  StSample GetSample(int64_t index) const;
+
+  // Batches samples `indices` into ([B, M, N, C], [B, N_out, N, 1]).
+  std::pair<Tensor, Tensor> MakeBatch(const std::vector<int64_t>& indices) const;
+
+  // Contiguous sub-dataset covering series rows [start, start+length).
+  StDataset Slice(int64_t start, int64_t length) const;
+
+ private:
+  Tensor series_;  // [T, N, C]
+  WindowConfig config_;
+};
+
+}  // namespace data
+}  // namespace urcl
+
+#endif  // URCL_DATA_DATASET_H_

@@ -1,0 +1,47 @@
+#include "data/metrics.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace urcl {
+namespace data {
+
+void MetricsAccumulator::Add(const Tensor& prediction, const Tensor& target) {
+  URCL_CHECK(prediction.shape() == target.shape())
+      << "metrics shape mismatch: " << prediction.shape().ToString() << " vs "
+      << target.shape().ToString();
+  const float* pp = prediction.data();
+  const float* pt = target.data();
+  for (int64_t i = 0; i < prediction.NumElements(); ++i) {
+    const double err = double(pp[i]) - double(pt[i]);
+    abs_sum_ += std::fabs(err);
+    sq_sum_ += err * err;
+    if (std::fabs(pt[i]) >= 1.0f) {
+      ape_sum_ += std::fabs(err) / std::fabs(pt[i]);
+      ++ape_count_;
+    }
+  }
+  count_ += prediction.NumElements();
+}
+
+EvalMetrics MetricsAccumulator::Result() const {
+  URCL_CHECK_GT(count_, 0) << "no samples accumulated";
+  EvalMetrics metrics;
+  metrics.count = count_;
+  metrics.mae = abs_sum_ / count_;
+  metrics.rmse = std::sqrt(sq_sum_ / count_);
+  metrics.mape = ape_count_ > 0 ? 100.0 * ape_sum_ / ape_count_ : 0.0;
+  return metrics;
+}
+
+void MetricsAccumulator::Reset() { *this = MetricsAccumulator(); }
+
+EvalMetrics ComputeMetrics(const Tensor& prediction, const Tensor& target) {
+  MetricsAccumulator accumulator;
+  accumulator.Add(prediction, target);
+  return accumulator.Result();
+}
+
+}  // namespace data
+}  // namespace urcl

@@ -1,0 +1,40 @@
+// Evaluation metrics (paper Eq. 30): MAE and RMSE, plus MAPE.
+#ifndef URCL_DATA_METRICS_H_
+#define URCL_DATA_METRICS_H_
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace urcl {
+namespace data {
+
+struct EvalMetrics {
+  double mae = 0.0;
+  double rmse = 0.0;
+  double mape = 0.0;  // in percent; entries with |target| < 1 are skipped
+  int64_t count = 0;
+};
+
+// Metrics between same-shaped prediction and target tensors.
+EvalMetrics ComputeMetrics(const Tensor& prediction, const Tensor& target);
+
+// Streaming accumulation across batches.
+class MetricsAccumulator {
+ public:
+  void Add(const Tensor& prediction, const Tensor& target);
+  EvalMetrics Result() const;
+  void Reset();
+
+ private:
+  double abs_sum_ = 0.0;
+  double sq_sum_ = 0.0;
+  double ape_sum_ = 0.0;
+  int64_t ape_count_ = 0;
+  int64_t count_ = 0;
+};
+
+}  // namespace data
+}  // namespace urcl
+
+#endif  // URCL_DATA_METRICS_H_

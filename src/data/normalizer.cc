@@ -1,0 +1,112 @@
+#include "data/normalizer.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace urcl {
+namespace data {
+namespace {
+
+// Applies fn(value, channel) over a [..., C] tensor.
+template <typename Fn>
+Tensor PerChannel(const Tensor& data, int64_t channels, Fn fn) {
+  URCL_CHECK_GE(data.rank(), 1);
+  URCL_CHECK_EQ(data.dim(-1), channels)
+      << "data channel count does not match fitted normalizer";
+  Tensor out = data.Clone();
+  float* p = out.mutable_data();
+  const int64_t n = out.NumElements();
+  for (int64_t i = 0; i < n; ++i) p[i] = fn(p[i], i % channels);
+  return out;
+}
+
+}  // namespace
+
+MinMaxNormalizer MinMaxNormalizer::Fit(const Tensor& series) {
+  URCL_CHECK_GE(series.rank(), 1);
+  const int64_t channels = series.dim(-1);
+  MinMaxNormalizer norm;
+  norm.mins_.assign(static_cast<size_t>(channels), std::numeric_limits<float>::infinity());
+  norm.maxs_.assign(static_cast<size_t>(channels), -std::numeric_limits<float>::infinity());
+  const float* p = series.data();
+  for (int64_t i = 0; i < series.NumElements(); ++i) {
+    const size_t c = static_cast<size_t>(i % channels);
+    norm.mins_[c] = std::min(norm.mins_[c], p[i]);
+    norm.maxs_[c] = std::max(norm.maxs_[c], p[i]);
+  }
+  for (size_t c = 0; c < norm.mins_.size(); ++c) {
+    if (norm.maxs_[c] - norm.mins_[c] < 1e-6f) norm.maxs_[c] = norm.mins_[c] + 1.0f;
+  }
+  return norm;
+}
+
+Tensor MinMaxNormalizer::Transform(const Tensor& data) const {
+  return PerChannel(data, num_channels(), [this](float v, int64_t c) {
+    const size_t i = static_cast<size_t>(c);
+    return (v - mins_[i]) / (maxs_[i] - mins_[i]);
+  });
+}
+
+Tensor MinMaxNormalizer::InverseTransform(const Tensor& data) const {
+  return PerChannel(data, num_channels(), [this](float v, int64_t c) {
+    const size_t i = static_cast<size_t>(c);
+    return v * (maxs_[i] - mins_[i]) + mins_[i];
+  });
+}
+
+Tensor MinMaxNormalizer::InverseTransformChannel(const Tensor& data, int64_t channel) const {
+  URCL_CHECK(channel >= 0 && channel < num_channels());
+  const float lo = mins_[static_cast<size_t>(channel)];
+  const float hi = maxs_[static_cast<size_t>(channel)];
+  Tensor out = data.Clone();
+  float* p = out.mutable_data();
+  for (int64_t i = 0; i < out.NumElements(); ++i) p[i] = p[i] * (hi - lo) + lo;
+  return out;
+}
+
+ZScoreNormalizer ZScoreNormalizer::Fit(const Tensor& series) {
+  URCL_CHECK_GE(series.rank(), 1);
+  const int64_t channels = series.dim(-1);
+  ZScoreNormalizer norm;
+  std::vector<double> sums(static_cast<size_t>(channels), 0.0);
+  std::vector<double> sq_sums(static_cast<size_t>(channels), 0.0);
+  const float* p = series.data();
+  const int64_t per_channel = series.NumElements() / channels;
+  URCL_CHECK_GT(per_channel, 0);
+  for (int64_t i = 0; i < series.NumElements(); ++i) {
+    const size_t c = static_cast<size_t>(i % channels);
+    sums[c] += p[i];
+    sq_sums[c] += double(p[i]) * double(p[i]);
+  }
+  norm.means_.resize(static_cast<size_t>(channels));
+  norm.stds_.resize(static_cast<size_t>(channels));
+  for (size_t c = 0; c < norm.means_.size(); ++c) {
+    norm.means_[c] = static_cast<float>(sums[c] / per_channel);
+    const double var = sq_sums[c] / per_channel - double(norm.means_[c]) * norm.means_[c];
+    norm.stds_[c] = static_cast<float>(std::sqrt(std::max(var, 1e-12)));
+    if (norm.stds_[c] < 1e-6f) norm.stds_[c] = 1.0f;
+  }
+  return norm;
+}
+
+Tensor ZScoreNormalizer::Transform(const Tensor& data) const {
+  return PerChannel(data, static_cast<int64_t>(means_.size()), [this](float v, int64_t c) {
+    const size_t i = static_cast<size_t>(c);
+    return (v - means_[i]) / stds_[i];
+  });
+}
+
+Tensor ZScoreNormalizer::InverseTransformChannel(const Tensor& data, int64_t channel) const {
+  URCL_CHECK(channel >= 0 && channel < static_cast<int64_t>(means_.size()));
+  const float mean = means_[static_cast<size_t>(channel)];
+  const float stddev = stds_[static_cast<size_t>(channel)];
+  Tensor out = data.Clone();
+  float* p = out.mutable_data();
+  for (int64_t i = 0; i < out.NumElements(); ++i) p[i] = p[i] * stddev + mean;
+  return out;
+}
+
+}  // namespace data
+}  // namespace urcl

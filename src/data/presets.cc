@@ -1,0 +1,116 @@
+#include "data/presets.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace urcl {
+namespace data {
+
+TrafficConfig DatasetPreset::MakeTrafficConfig(int64_t num_nodes, int64_t num_days,
+                                               uint64_t seed) const {
+  URCL_CHECK_GT(num_nodes, 1);
+  URCL_CHECK_GE(num_days, 5);
+  TrafficConfig config;
+  config.num_nodes = num_nodes;
+  config.num_days = num_days;
+  config.steps_per_day = (24 * 60) / sampling_interval_min;
+  config.channels = channels;
+  config.free_flow_speed = free_flow_speed;
+  config.max_flow = max_flow;
+  config.noise_std = noise_std;
+  config.incident_rate = incident_rate;
+  config.graph_radius = graph_radius;
+  config.seed = seed + seed_offset;
+  // Mild gradual drift everywhere...
+  config.phase_drift_per_day = 0.05f;
+  config.demand_growth_per_day = 0.004f;
+  // ...plus abrupt drift at the B_set / I_set^k boundaries (30% + 4x17.5%).
+  const auto day_at = [num_days](double fraction) {
+    return static_cast<int64_t>(std::llround(fraction * num_days));
+  };
+  for (const double boundary : {0.30, 0.475, 0.65, 0.825}) {
+    const int64_t day = day_at(boundary);
+    if (day > 0 && day < num_days) config.abrupt_drift_days.push_back(day);
+  }
+  return config;
+}
+
+WindowConfig DatasetPreset::MakeWindowConfig() const {
+  WindowConfig window;
+  window.input_steps = input_steps;
+  window.output_steps = output_steps;
+  // Channel 0 is speed, channel 1 flow in the synthetic generator.
+  window.target_channel = speed_target ? 0 : 1;
+  return window;
+}
+
+DatasetPreset MetrLaPreset() {
+  DatasetPreset preset;
+  preset.name = "METR-LA";
+  preset.area = "Los Angeles";
+  preset.paper_num_nodes = 207;
+  preset.sampling_interval_min = 15;
+  preset.channels = 2;  // speed + flow
+  preset.speed_target = true;
+  preset.free_flow_speed = 62.0f;
+  preset.noise_std = 1.2f;     // LA sensors are noisier
+  preset.incident_rate = 0.03f;
+  preset.graph_radius = 0.30f;
+  preset.seed_offset = 11;
+  return preset;
+}
+
+DatasetPreset PemsBayPreset() {
+  DatasetPreset preset;
+  preset.name = "PEMS-BAY";
+  preset.area = "California (Bay Area)";
+  preset.paper_num_nodes = 325;
+  preset.sampling_interval_min = 15;
+  preset.channels = 2;
+  preset.speed_target = true;
+  preset.free_flow_speed = 70.0f;
+  preset.noise_std = 0.8f;
+  preset.incident_rate = 0.015f;
+  preset.graph_radius = 0.35f;
+  preset.seed_offset = 22;
+  return preset;
+}
+
+DatasetPreset Pems04Preset() {
+  DatasetPreset preset;
+  preset.name = "PEMS04";
+  preset.area = "San Francisco Bay";
+  preset.paper_num_nodes = 307;
+  preset.sampling_interval_min = 5;
+  preset.channels = 3;  // speed + flow + occupancy
+  preset.speed_target = false;
+  preset.max_flow = 450.0f;
+  preset.noise_std = 1.0f;
+  preset.graph_radius = 0.40f;
+  preset.seed_offset = 33;
+  return preset;
+}
+
+DatasetPreset Pems08Preset() {
+  DatasetPreset preset;
+  preset.name = "PEMS08";
+  preset.area = "San Bernardino";
+  preset.paper_num_nodes = 170;
+  preset.sampling_interval_min = 5;
+  preset.channels = 3;
+  preset.speed_target = false;
+  preset.max_flow = 520.0f;
+  preset.noise_std = 0.9f;
+  preset.incident_rate = 0.025f;
+  preset.graph_radius = 0.32f;
+  preset.seed_offset = 44;
+  return preset;
+}
+
+std::vector<DatasetPreset> AllPresets() {
+  return {MetrLaPreset(), PemsBayPreset(), Pems04Preset(), Pems08Preset()};
+}
+
+}  // namespace data
+}  // namespace urcl

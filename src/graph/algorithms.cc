@@ -1,0 +1,97 @@
+#include "graph/algorithms.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/check.h"
+
+namespace urcl {
+namespace graph {
+
+std::vector<int64_t> BfsHopDistance(const SensorNetwork& graph, int64_t source) {
+  URCL_CHECK(source >= 0 && source < graph.num_nodes());
+  std::vector<int64_t> distance(static_cast<size_t>(graph.num_nodes()), -1);
+  std::queue<int64_t> frontier;
+  distance[static_cast<size_t>(source)] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const int64_t node = frontier.front();
+    frontier.pop();
+    for (const auto& [next, weight] : graph.Neighbors(node)) {
+      if (distance[static_cast<size_t>(next)] < 0) {
+        distance[static_cast<size_t>(next)] = distance[static_cast<size_t>(node)] + 1;
+        frontier.push(next);
+      }
+    }
+  }
+  return distance;
+}
+
+std::vector<int64_t> RandomWalkNodes(const SensorNetwork& graph, int64_t start,
+                                     int64_t walk_length, Rng& rng) {
+  URCL_CHECK(start >= 0 && start < graph.num_nodes());
+  URCL_CHECK_GE(walk_length, 0);
+  std::vector<bool> visited(static_cast<size_t>(graph.num_nodes()), false);
+  std::vector<int64_t> nodes;
+  auto visit = [&](int64_t node) {
+    if (!visited[static_cast<size_t>(node)]) {
+      visited[static_cast<size_t>(node)] = true;
+      nodes.push_back(node);
+    }
+  };
+  visit(start);
+  int64_t current = start;
+  for (int64_t step = 0; step < walk_length; ++step) {
+    const auto& neighbors = graph.Neighbors(current);
+    if (neighbors.empty()) {
+      current = start;  // dead end: restart
+      continue;
+    }
+    current = neighbors[static_cast<size_t>(
+                            rng.UniformInt(0, static_cast<int64_t>(neighbors.size()) - 1))]
+                  .first;
+    visit(current);
+  }
+  std::sort(nodes.begin(), nodes.end());
+  return nodes;
+}
+
+std::vector<std::pair<int64_t, int64_t>> DistantNodePairs(const SensorNetwork& graph,
+                                                          int64_t min_hops) {
+  URCL_CHECK_GE(min_hops, 1);
+  std::vector<std::pair<int64_t, int64_t>> pairs;
+  for (int64_t i = 0; i < graph.num_nodes(); ++i) {
+    const std::vector<int64_t> distance = BfsHopDistance(graph, i);
+    for (int64_t j = i + 1; j < graph.num_nodes(); ++j) {
+      const int64_t d = distance[static_cast<size_t>(j)];
+      if (d < 0 || d >= min_hops) pairs.emplace_back(i, j);
+    }
+  }
+  return pairs;
+}
+
+int64_t CountConnectedComponents(const SensorNetwork& graph) {
+  std::vector<bool> seen(static_cast<size_t>(graph.num_nodes()), false);
+  int64_t components = 0;
+  for (int64_t start = 0; start < graph.num_nodes(); ++start) {
+    if (seen[static_cast<size_t>(start)]) continue;
+    ++components;
+    std::queue<int64_t> frontier;
+    frontier.push(start);
+    seen[static_cast<size_t>(start)] = true;
+    while (!frontier.empty()) {
+      const int64_t node = frontier.front();
+      frontier.pop();
+      for (const auto& [next, weight] : graph.Neighbors(node)) {
+        if (!seen[static_cast<size_t>(next)]) {
+          seen[static_cast<size_t>(next)] = true;
+          frontier.push(next);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+}  // namespace graph
+}  // namespace urcl

@@ -1,0 +1,35 @@
+// Graph algorithms used by the augmentation methods and tests: BFS hop
+// distances (AddEdge's "distant node pairs"), random-walk subgraph sampling
+// (SubGraph), and connectivity checks.
+#ifndef URCL_GRAPH_ALGORITHMS_H_
+#define URCL_GRAPH_ALGORITHMS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/sensor_network.h"
+
+namespace urcl {
+namespace graph {
+
+// Hop distance from `source` to every node (-1 = unreachable).
+std::vector<int64_t> BfsHopDistance(const SensorNetwork& graph, int64_t source);
+
+// Nodes visited by a random walk of `walk_length` steps from `start`
+// (deduplicated, includes `start`). Walks restart at `start` on dead ends.
+std::vector<int64_t> RandomWalkNodes(const SensorNetwork& graph, int64_t start,
+                                     int64_t walk_length, Rng& rng);
+
+// All unordered node pairs at hop distance >= min_hops (AddEdge candidates).
+std::vector<std::pair<int64_t, int64_t>> DistantNodePairs(const SensorNetwork& graph,
+                                                          int64_t min_hops);
+
+// Number of weakly connected components.
+int64_t CountConnectedComponents(const SensorNetwork& graph);
+
+}  // namespace graph
+}  // namespace urcl
+
+#endif  // URCL_GRAPH_ALGORITHMS_H_

@@ -1,0 +1,80 @@
+#include "graph/generator.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace urcl {
+namespace graph {
+
+SensorNetwork RandomGeometricGraph(int64_t num_nodes, float radius, Rng& rng) {
+  URCL_CHECK_GT(num_nodes, 1);
+  URCL_CHECK_GT(radius, 0.0f);
+  SensorNetwork graph(num_nodes, /*directed=*/false);
+  std::vector<std::pair<float, float>> points;
+  points.reserve(static_cast<size_t>(num_nodes));
+  for (int64_t i = 0; i < num_nodes; ++i) {
+    points.emplace_back(rng.Uniform(), rng.Uniform());
+    graph.SetPosition(i, points.back().first, points.back().second);
+  }
+  auto dist = [&](int64_t a, int64_t b) {
+    return std::hypot(points[static_cast<size_t>(a)].first - points[static_cast<size_t>(b)].first,
+                      points[static_cast<size_t>(a)].second - points[static_cast<size_t>(b)].second);
+  };
+  for (int64_t i = 0; i < num_nodes; ++i) {
+    bool connected = false;
+    for (int64_t j = 0; j < i; ++j) {
+      const float d = dist(i, j);
+      if (d <= radius) {
+        graph.AddEdge(i, j, 1.0f / std::max(d, 1e-3f));
+        connected = true;
+      }
+    }
+    if (!connected && i > 0) {
+      // Chain to the nearest earlier node so the graph stays connected.
+      int64_t nearest = 0;
+      float best = std::numeric_limits<float>::infinity();
+      for (int64_t j = 0; j < i; ++j) {
+        const float d = dist(i, j);
+        if (d < best) {
+          best = d;
+          nearest = j;
+        }
+      }
+      graph.AddEdge(i, nearest, 1.0f / std::max(best, 1e-3f));
+    }
+  }
+  return graph;
+}
+
+SensorNetwork GridGraph(int64_t rows, int64_t cols) {
+  URCL_CHECK_GT(rows, 0);
+  URCL_CHECK_GT(cols, 0);
+  URCL_CHECK_GT(rows * cols, 1);
+  SensorNetwork graph(rows * cols, /*directed=*/false);
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t c = 0; c < cols; ++c) {
+      const int64_t node = r * cols + c;
+      graph.SetPosition(node, static_cast<float>(c), static_cast<float>(r));
+      if (c + 1 < cols) graph.AddEdge(node, node + 1, 1.0f);
+      if (r + 1 < rows) graph.AddEdge(node, node + cols, 1.0f);
+    }
+  }
+  return graph;
+}
+
+SensorNetwork RingGraph(int64_t num_nodes) {
+  URCL_CHECK_GT(num_nodes, 2);
+  SensorNetwork graph(num_nodes, /*directed=*/false);
+  const float pi = 3.14159265358979323846f;
+  for (int64_t i = 0; i < num_nodes; ++i) {
+    const float angle = 2.0f * pi * static_cast<float>(i) / static_cast<float>(num_nodes);
+    graph.SetPosition(i, std::cos(angle), std::sin(angle));
+    graph.AddEdge(i, (i + 1) % num_nodes, 1.0f);
+  }
+  return graph;
+}
+
+}  // namespace graph
+}  // namespace urcl

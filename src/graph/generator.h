@@ -1,0 +1,27 @@
+// Sensor-network generators. RandomGeometricGraph mirrors how real road
+// networks are turned into graphs: nodes have coordinates and nearby nodes
+// are connected with weight 1/distance (the paper's Eq. 20).
+#ifndef URCL_GRAPH_GENERATOR_H_
+#define URCL_GRAPH_GENERATOR_H_
+
+#include "common/rng.h"
+#include "graph/sensor_network.h"
+
+namespace urcl {
+namespace graph {
+
+// Nodes uniformly in the unit square; edges between nodes within `radius`,
+// weight 1/dist. Guarantees connectivity by chaining each node to its
+// nearest already-placed neighbor if isolated.
+SensorNetwork RandomGeometricGraph(int64_t num_nodes, float radius, Rng& rng);
+
+// rows x cols lattice with unit-distance edges (weight 1).
+SensorNetwork GridGraph(int64_t rows, int64_t cols);
+
+// Cycle of n nodes (weight 1).
+SensorNetwork RingGraph(int64_t num_nodes);
+
+}  // namespace graph
+}  // namespace urcl
+
+#endif  // URCL_GRAPH_GENERATOR_H_

@@ -1,0 +1,72 @@
+#include "graph/sensor_network.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace urcl {
+namespace graph {
+
+SensorNetwork::SensorNetwork(int64_t num_nodes, bool directed)
+    : num_nodes_(num_nodes), directed_(directed), adjacency_(static_cast<size_t>(num_nodes)) {
+  URCL_CHECK_GT(num_nodes, 0);
+}
+
+void SensorNetwork::AddEdge(int64_t src, int64_t dst, float weight) {
+  URCL_CHECK(src >= 0 && src < num_nodes_ && dst >= 0 && dst < num_nodes_)
+      << "edge (" << src << ", " << dst << ") out of range";
+  URCL_CHECK_NE(src, dst) << "self loops are added implicitly by normalization";
+  edges_.push_back({src, dst, weight});
+  adjacency_[static_cast<size_t>(src)].emplace_back(dst, weight);
+  if (!directed_) {
+    edges_.push_back({dst, src, weight});
+    adjacency_[static_cast<size_t>(dst)].emplace_back(src, weight);
+  }
+}
+
+bool SensorNetwork::HasEdge(int64_t src, int64_t dst) const {
+  for (const auto& [node, weight] : Neighbors(src)) {
+    if (node == dst) return true;
+  }
+  return false;
+}
+
+float SensorNetwork::EdgeWeight(int64_t src, int64_t dst) const {
+  for (const auto& [node, weight] : Neighbors(src)) {
+    if (node == dst) return weight;
+  }
+  return 0.0f;
+}
+
+const std::vector<std::pair<int64_t, float>>& SensorNetwork::Neighbors(int64_t node) const {
+  URCL_CHECK(node >= 0 && node < num_nodes_);
+  return adjacency_[static_cast<size_t>(node)];
+}
+
+Tensor SensorNetwork::AdjacencyMatrix() const {
+  Tensor a(Shape{num_nodes_, num_nodes_});
+  float* pa = a.mutable_data();
+  for (const Edge& e : edges_) pa[e.src * num_nodes_ + e.dst] = e.weight;
+  return a;
+}
+
+void SensorNetwork::SetPosition(int64_t node, float x, float y) {
+  URCL_CHECK(node >= 0 && node < num_nodes_);
+  if (positions_.empty()) positions_.resize(static_cast<size_t>(num_nodes_), {0.0f, 0.0f});
+  positions_[static_cast<size_t>(node)] = {x, y};
+}
+
+std::pair<float, float> SensorNetwork::Position(int64_t node) const {
+  URCL_CHECK(has_positions()) << "graph has no positions";
+  URCL_CHECK(node >= 0 && node < num_nodes_);
+  return positions_[static_cast<size_t>(node)];
+}
+
+float SensorNetwork::Distance(int64_t a, int64_t b) const {
+  const auto [ax, ay] = Position(a);
+  const auto [bx, by] = Position(b);
+  return std::hypot(ax - bx, ay - by);
+}
+
+}  // namespace graph
+}  // namespace urcl

@@ -1,0 +1,64 @@
+// The sensor network G = (V, E) of Definition 1: a weighted (optionally
+// directed) graph over sensor nodes, with optional planar coordinates used by
+// the synthetic data generator and distance-based edge weights (Eq. 20).
+#ifndef URCL_GRAPH_SENSOR_NETWORK_H_
+#define URCL_GRAPH_SENSOR_NETWORK_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace urcl {
+namespace graph {
+
+struct Edge {
+  int64_t src = 0;
+  int64_t dst = 0;
+  float weight = 0.0f;
+};
+
+class SensorNetwork {
+ public:
+  explicit SensorNetwork(int64_t num_nodes, bool directed = false);
+
+  int64_t num_nodes() const { return num_nodes_; }
+  int64_t num_edges() const { return static_cast<int64_t>(edges_.size()); }
+  bool directed() const { return directed_; }
+
+  // Adds an edge (both directions when the graph is undirected).
+  void AddEdge(int64_t src, int64_t dst, float weight);
+
+  bool HasEdge(int64_t src, int64_t dst) const;
+  float EdgeWeight(int64_t src, int64_t dst) const;  // 0 when absent
+
+  // Out-neighbors of `node` with weights.
+  const std::vector<std::pair<int64_t, float>>& Neighbors(int64_t node) const;
+
+  // All stored directed edges (for undirected graphs each edge appears twice).
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  // Dense weighted adjacency matrix [N, N].
+  Tensor AdjacencyMatrix() const;
+
+  // Optional planar coordinates (used by generators / synthetic data).
+  void SetPosition(int64_t node, float x, float y);
+  bool has_positions() const { return !positions_.empty(); }
+  std::pair<float, float> Position(int64_t node) const;
+
+  // Euclidean distance between node positions (requires positions).
+  float Distance(int64_t a, int64_t b) const;
+
+ private:
+  int64_t num_nodes_;
+  bool directed_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<std::pair<int64_t, float>>> adjacency_;
+  std::vector<std::pair<float, float>> positions_;
+};
+
+}  // namespace graph
+}  // namespace urcl
+
+#endif  // URCL_GRAPH_SENSOR_NETWORK_H_

@@ -1,0 +1,105 @@
+#include "graph/transition.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "tensor/tensor_ops.h"
+
+namespace urcl {
+namespace graph {
+
+Tensor AddSelfLoops(const Tensor& adjacency) {
+  URCL_CHECK_EQ(adjacency.rank(), 2);
+  URCL_CHECK_EQ(adjacency.dim(0), adjacency.dim(1));
+  return ops::Add(adjacency, Tensor::Eye(adjacency.dim(0)));
+}
+
+Tensor RowNormalize(const Tensor& matrix) {
+  URCL_CHECK_EQ(matrix.rank(), 2);
+  const int64_t n = matrix.dim(0);
+  Tensor result = matrix.Clone();
+  float* p = result.mutable_data();
+  for (int64_t i = 0; i < n; ++i) {
+    float row_sum = 0.0f;
+    for (int64_t j = 0; j < matrix.dim(1); ++j) row_sum += p[i * matrix.dim(1) + j];
+    if (row_sum <= 0.0f) {
+      // Degenerate row: make it an identity step so the walk stays in place.
+      for (int64_t j = 0; j < matrix.dim(1); ++j) p[i * matrix.dim(1) + j] = (i == j) ? 1.0f : 0.0f;
+    } else {
+      for (int64_t j = 0; j < matrix.dim(1); ++j) p[i * matrix.dim(1) + j] /= row_sum;
+    }
+  }
+  return result;
+}
+
+Tensor ForwardTransition(const SensorNetwork& graph) {
+  return RowNormalize(AddSelfLoops(graph.AdjacencyMatrix()));
+}
+
+Tensor BackwardTransition(const SensorNetwork& graph) {
+  return RowNormalize(ops::TransposeLast2(AddSelfLoops(graph.AdjacencyMatrix())));
+}
+
+std::vector<Tensor> BuildSupports(const SensorNetwork& graph) {
+  if (graph.directed()) return {ForwardTransition(graph), BackwardTransition(graph)};
+  return {ForwardTransition(graph)};
+}
+
+Tensor ForwardTransitionDense(const Tensor& adjacency) {
+  return RowNormalize(AddSelfLoops(adjacency));
+}
+
+Tensor BackwardTransitionDense(const Tensor& adjacency) {
+  return RowNormalize(ops::TransposeLast2(AddSelfLoops(adjacency)));
+}
+
+std::vector<Tensor> BuildSupportsDense(const Tensor& adjacency, bool directed) {
+  if (directed) return {ForwardTransitionDense(adjacency), BackwardTransitionDense(adjacency)};
+  return {ForwardTransitionDense(adjacency)};
+}
+
+Tensor NormalizedLaplacian(const Tensor& adjacency) {
+  URCL_CHECK_EQ(adjacency.rank(), 2);
+  const int64_t n = adjacency.dim(0);
+  URCL_CHECK_EQ(n, adjacency.dim(1));
+  // D^{-1/2}
+  std::vector<float> inv_sqrt_degree(static_cast<size_t>(n), 0.0f);
+  const float* pa = adjacency.data();
+  for (int64_t i = 0; i < n; ++i) {
+    float degree = 0.0f;
+    for (int64_t j = 0; j < n; ++j) degree += pa[i * n + j];
+    inv_sqrt_degree[static_cast<size_t>(i)] =
+        degree > 1e-9f ? 1.0f / std::sqrt(degree) : 0.0f;
+  }
+  Tensor laplacian = Tensor::Eye(n);
+  float* pl = laplacian.mutable_data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      pl[i * n + j] -= inv_sqrt_degree[static_cast<size_t>(i)] * pa[i * n + j] *
+                       inv_sqrt_degree[static_cast<size_t>(j)];
+    }
+  }
+  return laplacian;
+}
+
+std::vector<Tensor> ChebyshevSupports(const Tensor& adjacency, int64_t order) {
+  URCL_CHECK_GE(order, 1);
+  // Scaled Laplacian with lambda_max approximated by 2: L~ = L - I.
+  const Tensor scaled =
+      ops::Sub(NormalizedLaplacian(adjacency), Tensor::Eye(adjacency.dim(0)));
+  std::vector<Tensor> supports;
+  Tensor t_prev = Tensor::Eye(adjacency.dim(0));  // T_0
+  Tensor t_curr = scaled;                         // T_1
+  supports.push_back(t_curr);
+  for (int64_t k = 2; k <= order; ++k) {
+    // T_k = 2 L~ T_{k-1} - T_{k-2}
+    Tensor t_next = ops::Sub(ops::MulScalar(ops::MatMul(scaled, t_curr), 2.0f), t_prev);
+    supports.push_back(t_next);
+    t_prev = t_curr;
+    t_curr = t_next;
+  }
+  return supports;
+}
+
+}  // namespace graph
+}  // namespace urcl

@@ -1,0 +1,48 @@
+// Transition matrices for diffusion convolution: P^f = A~/rowsum(A~) and
+// P^b = A~^T/rowsum(A~^T), where A~ = A + I (self connections), per the
+// DCRNN/GraphWaveNet formulation the paper adopts (Eq. 21-22).
+#ifndef URCL_GRAPH_TRANSITION_H_
+#define URCL_GRAPH_TRANSITION_H_
+
+#include <vector>
+
+#include "graph/sensor_network.h"
+#include "tensor/tensor.h"
+
+namespace urcl {
+namespace graph {
+
+// A + I for a dense adjacency.
+Tensor AddSelfLoops(const Tensor& adjacency);
+
+// Row-normalizes a non-negative matrix; zero rows become a self-only step.
+Tensor RowNormalize(const Tensor& matrix);
+
+// Forward random-walk transition P^f from a sensor network.
+Tensor ForwardTransition(const SensorNetwork& graph);
+
+// Backward random-walk transition P^b (transpose dynamics).
+Tensor BackwardTransition(const SensorNetwork& graph);
+
+// The support set used by the diffusion GCN: {P^f, P^b} for directed graphs,
+// {P} for undirected ones (forward == backward, deduplicated).
+std::vector<Tensor> BuildSupports(const SensorNetwork& graph);
+
+// Dense-adjacency variants, used when augmentations perturb the adjacency
+// matrix directly. `directed` controls whether {P^f, P^b} or {P} is built.
+Tensor ForwardTransitionDense(const Tensor& adjacency);
+Tensor BackwardTransitionDense(const Tensor& adjacency);
+std::vector<Tensor> BuildSupportsDense(const Tensor& adjacency, bool directed);
+
+// Symmetrically normalized Laplacian L = I - D^{-1/2} (A) D^{-1/2}.
+Tensor NormalizedLaplacian(const Tensor& adjacency);
+
+// Chebyshev polynomial supports {T_1(L~), ..., T_order(L~)} of the scaled
+// Laplacian L~ = L - I (lambda_max ~= 2), as used by ChebNet/STGCN. The
+// T_0 = I term is the identity term the diffusion GCN includes implicitly.
+std::vector<Tensor> ChebyshevSupports(const Tensor& adjacency, int64_t order);
+
+}  // namespace graph
+}  // namespace urcl
+
+#endif  // URCL_GRAPH_TRANSITION_H_

@@ -1,0 +1,110 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "tensor/tensor_ops.h"
+
+namespace urcl {
+namespace nn {
+
+Optimizer::Optimizer(std::vector<Variable> params) : params_(std::move(params)) {
+  for (const Variable& p : params_) {
+    URCL_CHECK(p.IsValid() && p.requires_grad()) << "optimizer got a non-trainable parameter";
+  }
+}
+
+void Optimizer::ZeroGrad() {
+  for (Variable& p : params_) p.ZeroGrad();
+}
+
+float Optimizer::ClipGradNorm(float max_norm) {
+  URCL_CHECK_GT(max_norm, 0.0f);
+  double total_sq = 0.0;
+  for (const Variable& p : params_) {
+    const Tensor g = p.grad();
+    const float* pg = g.data();
+    for (int64_t i = 0; i < g.NumElements(); ++i) total_sq += double(pg[i]) * double(pg[i]);
+  }
+  const float norm = static_cast<float>(std::sqrt(total_sq));
+  if (norm > max_norm && norm > 0.0f) {
+    const float scale = max_norm / norm;
+    for (Variable& p : params_) {
+      Tensor g = p.grad();
+      g.MulInPlace(scale);
+      // Re-register the scaled gradient.
+      p.ZeroGrad();
+      p.AccumulateGrad(g);
+    }
+  }
+  return norm;
+}
+
+Sgd::Sgd(std::vector<Variable> params, float lr, float momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  if (momentum_ != 0.0f) {
+    velocity_.reserve(params_.size());
+    for (const Variable& p : params_) velocity_.push_back(Tensor::Zeros(p.value().shape()));
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Variable& p = params_[i];
+    const Tensor g = p.grad();
+    Tensor update = g.Clone();
+    if (momentum_ != 0.0f) {
+      velocity_[i].MulInPlace(momentum_);
+      velocity_[i].AddInPlace(g);
+      update = velocity_[i].Clone();
+    }
+    Tensor value = p.value().Clone();
+    update.MulInPlace(-lr_);
+    value.AddInPlace(update);
+    p.SetValue(value);
+  }
+}
+
+Adam::Adam(std::vector<Variable> params, float lr, float beta1, float beta2, float epsilon,
+           float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon),
+      weight_decay_(weight_decay) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Variable& p : params_) {
+    m_.push_back(Tensor::Zeros(p.value().shape()));
+    v_.push_back(Tensor::Zeros(p.value().shape()));
+  }
+}
+
+void Adam::Step() {
+  ++step_count_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(step_count_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(step_count_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Variable& p = params_[i];
+    const Tensor g = p.grad();
+    Tensor value = p.value().Clone();
+    float* pv = value.mutable_data();
+    float* pm = m_[i].mutable_data();
+    float* pvv = v_[i].mutable_data();
+    const float* pg = g.data();
+    const int64_t n = value.NumElements();
+    for (int64_t j = 0; j < n; ++j) {
+      const float grad = pg[j] + weight_decay_ * pv[j];
+      pm[j] = beta1_ * pm[j] + (1.0f - beta1_) * grad;
+      pvv[j] = beta2_ * pvv[j] + (1.0f - beta2_) * grad * grad;
+      const float m_hat = pm[j] / bc1;
+      const float v_hat = pvv[j] / bc2;
+      pv[j] -= lr_ * m_hat / (std::sqrt(v_hat) + epsilon_);
+    }
+    p.SetValue(value);
+  }
+}
+
+}  // namespace nn
+}  // namespace urcl

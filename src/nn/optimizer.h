@@ -1,0 +1,79 @@
+// First-order optimizers operating on lists of trainable Variables.
+#ifndef URCL_NN_OPTIMIZER_H_
+#define URCL_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace urcl {
+namespace nn {
+
+using autograd::Variable;
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Variable> params);
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  // Applies one update using the gradients currently stored on the params.
+  virtual void Step() = 0;
+
+  // Clears all parameter gradients.
+  void ZeroGrad();
+
+  // Scales gradients so their global L2 norm is at most `max_norm`.
+  // Returns the pre-clip norm.
+  float ClipGradNorm(float max_norm);
+
+  const std::vector<Variable>& params() const { return params_; }
+
+ protected:
+  std::vector<Variable> params_;
+};
+
+// SGD with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Variable> params, float lr, float momentum = 0.0f);
+
+  void Step() override;
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+
+ private:
+  float lr_;
+  float momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+// Adam (Kingma & Ba) with optional decoupled weight decay.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Variable> params, float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+       float epsilon = 1e-8f, float weight_decay = 0.0f);
+
+  void Step() override;
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+
+ private:
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float epsilon_;
+  float weight_decay_;
+  int64_t step_count_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+}  // namespace nn
+}  // namespace urcl
+
+#endif  // URCL_NN_OPTIMIZER_H_

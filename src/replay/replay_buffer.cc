@@ -1,0 +1,67 @@
+#include "replay/replay_buffer.h"
+
+#include "common/check.h"
+#include "tensor/tensor_ops.h"
+
+namespace urcl {
+namespace replay {
+
+ReplayBuffer::ReplayBuffer(int64_t capacity, BufferPolicy policy, uint64_t seed)
+    : capacity_(capacity), policy_(policy), rng_(seed) {
+  URCL_CHECK_GT(capacity, 0);
+}
+
+void ReplayBuffer::Add(ReplayItem item) {
+  URCL_CHECK_EQ(item.inputs.rank(), 3) << "replay inputs must be [M, N, C]";
+  URCL_CHECK_EQ(item.targets.rank(), 3) << "replay targets must be [N_out, N, 1]";
+  if (!items_.empty()) {
+    URCL_CHECK(item.inputs.shape() == items_.front().inputs.shape())
+        << "replay buffer items must share one shape";
+    URCL_CHECK(item.targets.shape() == items_.front().targets.shape());
+  }
+  ++inserted_;
+  if (size() < capacity_) {
+    items_.push_back(std::move(item));
+    return;
+  }
+  if (policy_ == BufferPolicy::kFifo) {
+    items_.pop_front();
+    ++evictions_;
+    items_.push_back(std::move(item));
+    return;
+  }
+  // Reservoir: keep each ever-inserted item with probability capacity/seen.
+  const int64_t slot = rng_.UniformInt(0, inserted_ - 1);
+  if (slot < capacity_) {
+    items_[static_cast<size_t>(slot)] = std::move(item);
+    ++evictions_;
+  }
+}
+
+void ReplayBuffer::Clear() {
+  items_.clear();
+  evictions_ = 0;
+  inserted_ = 0;
+}
+
+const ReplayItem& ReplayBuffer::Get(int64_t index) const {
+  URCL_CHECK(index >= 0 && index < size()) << "replay index " << index << " out of range";
+  return items_[static_cast<size_t>(index)];
+}
+
+std::pair<Tensor, Tensor> ReplayBuffer::MakeBatch(const std::vector<int64_t>& indices) const {
+  URCL_CHECK(!indices.empty());
+  std::vector<Tensor> xs;
+  std::vector<Tensor> ys;
+  xs.reserve(indices.size());
+  ys.reserve(indices.size());
+  for (const int64_t index : indices) {
+    const ReplayItem& item = Get(index);
+    xs.push_back(item.inputs);
+    ys.push_back(item.targets);
+  }
+  return {ops::Stack(xs, 0), ops::Stack(ys, 0)};
+}
+
+}  // namespace replay
+}  // namespace urcl

@@ -1,0 +1,76 @@
+// The explicit replay memory B (Sec. IV-B): a bounded FIFO queue of
+// previously trained observations (stored pre-mixup, per the paper).
+#ifndef URCL_REPLAY_REPLAY_BUFFER_H_
+#define URCL_REPLAY_REPLAY_BUFFER_H_
+
+#include <cstdint>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace urcl {
+namespace replay {
+
+// One stored observation-groundtruth pair.
+struct ReplayItem {
+  Tensor inputs;   // [M, N, C]
+  Tensor targets;  // [N_out, N, 1]
+  int64_t time_slot = 0;  // when it was observed (for diagnostics)
+};
+
+enum class BufferPolicy {
+  // The paper's literal description ("we organize the buffer as a queue"):
+  // oldest items are evicted on overflow. Note that a FIFO of size K only
+  // spans the most recent K training samples, so by the time a new stage is
+  // being trained it contains almost no genuinely historical data.
+  kFifo,
+  // Reservoir sampling (used by the MIR line of replay methods the paper
+  // builds on): the buffer holds a uniform subsample of everything ever
+  // inserted, so earlier stages stay represented. Default, because it is
+  // what makes the replay mechanism preserve historical knowledge.
+  kReservoir,
+};
+
+// Bounded replay memory, 256 slots by default (Sec. V-A4).
+class ReplayBuffer {
+ public:
+  explicit ReplayBuffer(int64_t capacity = 256,
+                        BufferPolicy policy = BufferPolicy::kReservoir,
+                        uint64_t seed = 0x5eed);
+
+  void Add(ReplayItem item);
+  void Clear();
+
+  int64_t size() const { return static_cast<int64_t>(items_.size()); }
+  int64_t capacity() const { return capacity_; }
+  bool empty() const { return items_.empty(); }
+
+  const ReplayItem& Get(int64_t index) const;
+
+  // Stacks the selected items into ([K, M, N, C], [K, N_out, N, 1]).
+  std::pair<Tensor, Tensor> MakeBatch(const std::vector<int64_t>& indices) const;
+
+  // Total evictions so far (diagnostics).
+  int64_t evictions() const { return evictions_; }
+
+  // Total items ever inserted (diagnostics).
+  int64_t inserted() const { return inserted_; }
+
+  BufferPolicy policy() const { return policy_; }
+
+ private:
+  int64_t capacity_;
+  BufferPolicy policy_;
+  Rng rng_;
+  std::deque<ReplayItem> items_;
+  int64_t evictions_ = 0;
+  int64_t inserted_ = 0;
+};
+
+}  // namespace replay
+}  // namespace urcl
+
+#endif  // URCL_REPLAY_REPLAY_BUFFER_H_

@@ -1,0 +1,74 @@
+#include "tensor/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/check.h"
+
+namespace urcl {
+namespace {
+
+constexpr uint32_t kTensorMagic = 0x4c435255;  // "URCL"
+
+template <typename T>
+void WritePod(std::ostream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T ReadPod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  URCL_CHECK(in.good()) << "tensor stream truncated";
+  return value;
+}
+
+}  // namespace
+
+void SaveTensor(const Tensor& tensor, std::ostream& out) {
+  WritePod(out, kTensorMagic);
+  WritePod(out, static_cast<int64_t>(tensor.rank()));
+  for (const int64_t d : tensor.shape().dims()) WritePod(out, d);
+  out.write(reinterpret_cast<const char*>(tensor.data()),
+            static_cast<std::streamsize>(tensor.NumElements() * sizeof(float)));
+  URCL_CHECK(out.good()) << "tensor write failed";
+}
+
+Tensor LoadTensor(std::istream& in) {
+  const uint32_t magic = ReadPod<uint32_t>(in);
+  URCL_CHECK_EQ(magic, kTensorMagic) << "bad tensor magic";
+  const int64_t rank = ReadPod<int64_t>(in);
+  URCL_CHECK(rank >= 0 && rank <= 16) << "implausible tensor rank " << rank;
+  std::vector<int64_t> dims(static_cast<size_t>(rank));
+  for (auto& d : dims) {
+    d = ReadPod<int64_t>(in);
+    URCL_CHECK_GE(d, 0);
+  }
+  Tensor tensor{Shape(dims)};
+  in.read(reinterpret_cast<char*>(tensor.mutable_data()),
+          static_cast<std::streamsize>(tensor.NumElements() * sizeof(float)));
+  URCL_CHECK(in.good()) << "tensor data truncated";
+  return tensor;
+}
+
+void SaveTensors(const std::vector<Tensor>& tensors, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  URCL_CHECK(out.is_open()) << "cannot open " << path << " for writing";
+  WritePod(out, static_cast<int64_t>(tensors.size()));
+  for (const Tensor& t : tensors) SaveTensor(t, out);
+}
+
+std::vector<Tensor> LoadTensors(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  URCL_CHECK(in.is_open()) << "cannot open " << path << " for reading";
+  const int64_t count = ReadPod<int64_t>(in);
+  URCL_CHECK(count >= 0) << "bad tensor count";
+  std::vector<Tensor> tensors;
+  tensors.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) tensors.push_back(LoadTensor(in));
+  return tensors;
+}
+
+}  // namespace urcl

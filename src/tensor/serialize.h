@@ -1,0 +1,27 @@
+// Binary tensor (de)serialization, used for model checkpoints and to export
+// replay buffers / experiment artifacts.
+#ifndef URCL_TENSOR_SERIALIZE_H_
+#define URCL_TENSOR_SERIALIZE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace urcl {
+
+// Writes `tensor` to `out` in a little-endian [magic, rank, dims..., data]
+// layout. Aborts on stream failure.
+void SaveTensor(const Tensor& tensor, std::ostream& out);
+
+// Reads one tensor previously written by SaveTensor.
+Tensor LoadTensor(std::istream& in);
+
+// Saves/loads an ordered list of tensors (e.g. the parameters of a model).
+void SaveTensors(const std::vector<Tensor>& tensors, const std::string& path);
+std::vector<Tensor> LoadTensors(const std::string& path);
+
+}  // namespace urcl
+
+#endif  // URCL_TENSOR_SERIALIZE_H_

@@ -1,0 +1,153 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace urcl {
+
+Tensor::Tensor() : Tensor(Shape{}) {}
+
+Tensor::Tensor(const Shape& shape)
+    : shape_(shape),
+      data_(std::make_shared<std::vector<float>>(static_cast<size_t>(shape.NumElements()),
+                                                 0.0f)) {}
+
+Tensor Tensor::Zeros(const Shape& shape) { return Tensor(shape); }
+
+Tensor Tensor::Ones(const Shape& shape) { return Full(shape, 1.0f); }
+
+Tensor Tensor::Full(const Shape& shape, float value) {
+  Tensor t(shape);
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::Scalar(float value) { return Full(Shape{}, value); }
+
+Tensor Tensor::FromVector(const Shape& shape, const std::vector<float>& values) {
+  URCL_CHECK_EQ(shape.NumElements(), static_cast<int64_t>(values.size()))
+      << "FromVector: shape " << shape.ToString() << " does not match value count";
+  Tensor t(shape);
+  std::copy(values.begin(), values.end(), t.mutable_data());
+  return t;
+}
+
+Tensor Tensor::Arange(int64_t n) {
+  Tensor t(Shape{n});
+  for (int64_t i = 0; i < n; ++i) t.mutable_data()[i] = static_cast<float>(i);
+  return t;
+}
+
+Tensor Tensor::Eye(int64_t n) {
+  Tensor t(Shape{n, n});
+  for (int64_t i = 0; i < n; ++i) t.mutable_data()[i * n + i] = 1.0f;
+  return t;
+}
+
+Tensor Tensor::RandomUniform(const Shape& shape, Rng& rng, float lo, float hi) {
+  Tensor t(shape);
+  float* out = t.mutable_data();
+  for (int64_t i = 0; i < t.NumElements(); ++i) out[i] = rng.Uniform(lo, hi);
+  return t;
+}
+
+Tensor Tensor::RandomNormal(const Shape& shape, Rng& rng, float mean, float stddev) {
+  Tensor t(shape);
+  float* out = t.mutable_data();
+  for (int64_t i = 0; i < t.NumElements(); ++i) out[i] = rng.Normal(mean, stddev);
+  return t;
+}
+
+float Tensor::Item() const {
+  URCL_CHECK_EQ(NumElements(), 1) << "Item() requires a single-element tensor, got "
+                                  << shape_.ToString();
+  return (*data_)[0];
+}
+
+float Tensor::At(const std::vector<int64_t>& indices) const {
+  URCL_CHECK_EQ(static_cast<int64_t>(indices.size()), rank());
+  const std::vector<int64_t> strides = shape_.Strides();
+  int64_t offset = 0;
+  for (size_t i = 0; i < indices.size(); ++i) {
+    URCL_CHECK(indices[i] >= 0 && indices[i] < shape_.dims()[i])
+        << "index " << indices[i] << " out of bounds for axis " << i << " of "
+        << shape_.ToString();
+    offset += indices[i] * strides[i];
+  }
+  return (*data_)[static_cast<size_t>(offset)];
+}
+
+void Tensor::Set(const std::vector<int64_t>& indices, float value) {
+  URCL_CHECK_EQ(static_cast<int64_t>(indices.size()), rank());
+  const std::vector<int64_t> strides = shape_.Strides();
+  int64_t offset = 0;
+  for (size_t i = 0; i < indices.size(); ++i) {
+    URCL_CHECK(indices[i] >= 0 && indices[i] < shape_.dims()[i]);
+    offset += indices[i] * strides[i];
+  }
+  (*data_)[static_cast<size_t>(offset)] = value;
+}
+
+float Tensor::FlatAt(int64_t index) const {
+  URCL_CHECK(index >= 0 && index < NumElements());
+  return (*data_)[static_cast<size_t>(index)];
+}
+
+void Tensor::FlatSet(int64_t index, float value) {
+  URCL_CHECK(index >= 0 && index < NumElements());
+  (*data_)[static_cast<size_t>(index)] = value;
+}
+
+void Tensor::Fill(float value) { std::fill(data_->begin(), data_->end(), value); }
+
+void Tensor::AddInPlace(const Tensor& other) {
+  URCL_CHECK(shape_ == other.shape())
+      << "AddInPlace shape mismatch: " << shape_.ToString() << " vs "
+      << other.shape().ToString();
+  float* dst = mutable_data();
+  const float* src = other.data();
+  for (int64_t i = 0; i < NumElements(); ++i) dst[i] += src[i];
+}
+
+void Tensor::MulInPlace(float scale) {
+  float* dst = mutable_data();
+  for (int64_t i = 0; i < NumElements(); ++i) dst[i] *= scale;
+}
+
+void Tensor::CopyFrom(const Tensor& other) {
+  URCL_CHECK(shape_ == other.shape())
+      << "CopyFrom shape mismatch: " << shape_.ToString() << " vs "
+      << other.shape().ToString();
+  std::copy(other.data(), other.data() + other.NumElements(), mutable_data());
+}
+
+Tensor Tensor::Clone() const {
+  Tensor copy(shape_);
+  std::copy(data(), data() + NumElements(), copy.mutable_data());
+  return copy;
+}
+
+Tensor Tensor::Reshape(const Shape& new_shape) const {
+  URCL_CHECK_EQ(NumElements(), new_shape.NumElements())
+      << "Reshape " << shape_.ToString() << " -> " << new_shape.ToString();
+  Tensor view = *this;  // shares storage
+  view.shape_ = new_shape;
+  return view;
+}
+
+std::string Tensor::ToString(int64_t max_elements) const {
+  std::ostringstream out;
+  out << "Tensor" << shape_.ToString() << " {";
+  const int64_t n = std::min<int64_t>(NumElements(), max_elements);
+  for (int64_t i = 0; i < n; ++i) {
+    if (i > 0) out << ", ";
+    out << (*data_)[static_cast<size_t>(i)];
+  }
+  if (NumElements() > n) out << ", ...";
+  out << "}";
+  return out.str();
+}
+
+}  // namespace urcl

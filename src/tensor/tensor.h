@@ -1,0 +1,82 @@
+// Dense float32 tensor with contiguous row-major storage and value semantics.
+// Copies share storage; every operation in tensor_ops.h allocates fresh
+// output, so shared storage is never mutated behind a reader's back unless
+// the caller opts into the explicitly in-place methods.
+#ifndef URCL_TENSOR_TENSOR_H_
+#define URCL_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/shape.h"
+
+namespace urcl {
+
+class Tensor {
+ public:
+  // Default: empty scalar-shaped tensor holding 0.
+  Tensor();
+  explicit Tensor(const Shape& shape);
+
+  Tensor(const Tensor& other) = default;
+  Tensor& operator=(const Tensor& other) = default;
+  Tensor(Tensor&& other) = default;
+  Tensor& operator=(Tensor&& other) = default;
+
+  // --- Factories -----------------------------------------------------------
+  static Tensor Zeros(const Shape& shape);
+  static Tensor Ones(const Shape& shape);
+  static Tensor Full(const Shape& shape, float value);
+  static Tensor Scalar(float value);
+  static Tensor FromVector(const Shape& shape, const std::vector<float>& values);
+  static Tensor Arange(int64_t n);
+  static Tensor Eye(int64_t n);
+  static Tensor RandomUniform(const Shape& shape, Rng& rng, float lo = 0.0f, float hi = 1.0f);
+  static Tensor RandomNormal(const Shape& shape, Rng& rng, float mean = 0.0f,
+                             float stddev = 1.0f);
+
+  // --- Introspection -------------------------------------------------------
+  const Shape& shape() const { return shape_; }
+  int64_t rank() const { return shape_.rank(); }
+  int64_t dim(int64_t axis) const { return shape_.dim(axis); }
+  int64_t NumElements() const { return shape_.NumElements(); }
+
+  const float* data() const { return data_->data(); }
+  float* mutable_data() { return data_->data(); }
+
+  // Scalar extraction (requires exactly one element).
+  float Item() const;
+
+  // Multi-index element access (bounds-checked).
+  float At(const std::vector<int64_t>& indices) const;
+  void Set(const std::vector<int64_t>& indices, float value);
+
+  // Flat element access (bounds-checked).
+  float FlatAt(int64_t index) const;
+  void FlatSet(int64_t index, float value);
+
+  // --- Explicitly in-place mutators (affect all copies sharing storage) ----
+  void Fill(float value);
+  void AddInPlace(const Tensor& other);  // shapes must match exactly
+  void MulInPlace(float scale);
+  void CopyFrom(const Tensor& other);  // shapes must match exactly
+
+  // Deep copy with its own storage.
+  Tensor Clone() const;
+
+  // Same storage, new shape (element count must match).
+  Tensor Reshape(const Shape& new_shape) const;
+
+  std::string ToString(int64_t max_elements = 32) const;
+
+ private:
+  Shape shape_;
+  std::shared_ptr<std::vector<float>> data_;
+};
+
+}  // namespace urcl
+
+#endif  // URCL_TENSOR_TENSOR_H_

@@ -1,0 +1,560 @@
+#include "tensor/tensor_ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace urcl {
+namespace ops {
+namespace {
+
+// Strides for input of shape `in` when broadcast to output shape `out`:
+// 0 where the input dim is 1 (or absent), contiguous stride otherwise.
+std::vector<int64_t> BroadcastStrides(const Shape& in, const Shape& out) {
+  const std::vector<int64_t> in_strides = in.Strides();
+  std::vector<int64_t> result(static_cast<size_t>(out.rank()), 0);
+  const int64_t offset = out.rank() - in.rank();
+  for (int64_t i = 0; i < in.rank(); ++i) {
+    if (in.dim(i) != 1) result[static_cast<size_t>(i + offset)] = in_strides[static_cast<size_t>(i)];
+  }
+  return result;
+}
+
+// Incrementally walks a multi-index over `dims` while tracking flat offsets
+// for several operand stride sets. Avoids per-element div/mod.
+class MultiCursor {
+ public:
+  MultiCursor(const std::vector<int64_t>& dims, std::vector<std::vector<int64_t>> strides)
+      : dims_(dims), strides_(std::move(strides)), index_(dims.size(), 0),
+        offsets_(strides_.size(), 0) {}
+
+  int64_t offset(size_t operand) const { return offsets_[operand]; }
+
+  void Advance() {
+    for (int64_t axis = static_cast<int64_t>(dims_.size()) - 1; axis >= 0; --axis) {
+      const size_t a = static_cast<size_t>(axis);
+      ++index_[a];
+      for (size_t op = 0; op < strides_.size(); ++op) offsets_[op] += strides_[op][a];
+      if (index_[a] < dims_[a]) return;
+      // Carry: reset this axis.
+      for (size_t op = 0; op < strides_.size(); ++op) offsets_[op] -= strides_[op][a] * dims_[a];
+      index_[a] = 0;
+    }
+  }
+
+ private:
+  std::vector<int64_t> dims_;
+  std::vector<std::vector<int64_t>> strides_;
+  std::vector<int64_t> index_;
+  std::vector<int64_t> offsets_;
+};
+
+template <typename Fn>
+Tensor BinaryOp(const Tensor& a, const Tensor& b, Fn fn) {
+  if (a.shape() == b.shape()) {  // fast path, no broadcasting
+    Tensor out(a.shape());
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* po = out.mutable_data();
+    const int64_t n = a.NumElements();
+    for (int64_t i = 0; i < n; ++i) po[i] = fn(pa[i], pb[i]);
+    return out;
+  }
+  const Shape out_shape = BroadcastShapes(a.shape(), b.shape());
+  Tensor out(out_shape);
+  if (out.NumElements() == 0) return out;
+  MultiCursor cursor(out_shape.dims(), {BroadcastStrides(a.shape(), out_shape),
+                                        BroadcastStrides(b.shape(), out_shape)});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.mutable_data();
+  const int64_t n = out.NumElements();
+  for (int64_t i = 0; i < n; ++i) {
+    po[i] = fn(pa[cursor.offset(0)], pb[cursor.offset(1)]);
+    cursor.Advance();
+  }
+  return out;
+}
+
+template <typename Fn>
+Tensor UnaryOp(const Tensor& a, Fn fn) {
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.mutable_data();
+  const int64_t n = a.NumElements();
+  for (int64_t i = 0; i < n; ++i) po[i] = fn(pa[i]);
+  return out;
+}
+
+// Canonicalizes reduction axes; empty input means "all axes".
+std::vector<int64_t> CanonicalAxes(const Shape& shape, const std::vector<int64_t>& axes) {
+  std::vector<int64_t> result;
+  if (axes.empty()) {
+    result.resize(static_cast<size_t>(shape.rank()));
+    for (int64_t i = 0; i < shape.rank(); ++i) result[static_cast<size_t>(i)] = i;
+    return result;
+  }
+  for (const int64_t axis : axes) result.push_back(shape.CanonicalAxis(axis));
+  std::sort(result.begin(), result.end());
+  result.erase(std::unique(result.begin(), result.end()), result.end());
+  return result;
+}
+
+Shape ReducedShape(const Shape& shape, const std::vector<int64_t>& axes, bool keepdims) {
+  std::vector<int64_t> dims;
+  for (int64_t i = 0; i < shape.rank(); ++i) {
+    const bool reduced = std::binary_search(axes.begin(), axes.end(), i);
+    if (reduced) {
+      if (keepdims) dims.push_back(1);
+    } else {
+      dims.push_back(shape.dim(i));
+    }
+  }
+  return Shape(std::move(dims));
+}
+
+// Generic reduction: combine with `fn`, starting at `init`; optional
+// post-scale (for Mean).
+template <typename Fn>
+Tensor Reduce(const Tensor& a, const std::vector<int64_t>& axes_in, bool keepdims, float init,
+              Fn fn, float post_scale = 1.0f) {
+  const std::vector<int64_t> axes = CanonicalAxes(a.shape(), axes_in);
+  const Shape kept = ReducedShape(a.shape(), axes, /*keepdims=*/true);
+  Tensor accum = Tensor::Full(kept, init);
+  // Walk input; accumulate into the broadcast-matched output slot.
+  if (a.NumElements() > 0) {
+    MultiCursor cursor(a.shape().dims(),
+                       {a.shape().Strides(), BroadcastStrides(kept, a.shape())});
+    const float* pa = a.data();
+    float* po = accum.mutable_data();
+    const int64_t n = a.NumElements();
+    for (int64_t i = 0; i < n; ++i) {
+      float& slot = po[cursor.offset(1)];
+      slot = fn(slot, pa[cursor.offset(0)]);
+      cursor.Advance();
+    }
+  }
+  if (post_scale != 1.0f) accum.MulInPlace(post_scale);
+  if (keepdims) return accum;
+  return accum.Reshape(ReducedShape(a.shape(), axes, /*keepdims=*/false));
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](float x, float y) { return x + y; });
+}
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](float x, float y) { return x - y; });
+}
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](float x, float y) { return x * y; });
+}
+Tensor Div(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](float x, float y) { return x / y; });
+}
+Tensor Maximum(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](float x, float y) { return x > y ? x : y; });
+}
+Tensor Minimum(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](float x, float y) { return x < y ? x : y; });
+}
+Tensor ZipWith(const Tensor& a, const Tensor& b,
+               const std::function<float(float, float)>& fn) {
+  return BinaryOp(a, b, fn);
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  return UnaryOp(a, [s](float x) { return x + s; });
+}
+Tensor MulScalar(const Tensor& a, float s) {
+  return UnaryOp(a, [s](float x) { return x * s; });
+}
+Tensor PowScalar(const Tensor& a, float exponent) {
+  return UnaryOp(a, [exponent](float x) { return std::pow(x, exponent); });
+}
+
+Tensor Neg(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return -x; });
+}
+Tensor Exp(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::exp(x); });
+}
+Tensor Log(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::log(x); });
+}
+Tensor Sqrt(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::sqrt(x); });
+}
+Tensor Abs(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::fabs(x); });
+}
+Tensor Sign(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return x > 0.0f ? 1.0f : (x < 0.0f ? -1.0f : 0.0f); });
+}
+Tensor Tanh(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::tanh(x); });
+}
+Tensor Sigmoid(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
+}
+Tensor Relu(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+}
+Tensor Square(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return x * x; });
+}
+Tensor Clamp(const Tensor& a, float lo, float hi) {
+  return UnaryOp(a, [lo, hi](float x) { return std::min(std::max(x, lo), hi); });
+}
+Tensor Map(const Tensor& a, const std::function<float(float)>& fn) { return UnaryOp(a, fn); }
+
+Tensor Sum(const Tensor& a, const std::vector<int64_t>& axes, bool keepdims) {
+  return Reduce(a, axes, keepdims, 0.0f, [](float acc, float x) { return acc + x; });
+}
+
+Tensor Mean(const Tensor& a, const std::vector<int64_t>& axes, bool keepdims) {
+  const std::vector<int64_t> canonical = CanonicalAxes(a.shape(), axes);
+  int64_t count = 1;
+  for (const int64_t axis : canonical) count *= a.shape().dim(axis);
+  URCL_CHECK_GT(count, 0) << "Mean over empty extent";
+  return Reduce(a, axes, keepdims, 0.0f, [](float acc, float x) { return acc + x; },
+                1.0f / static_cast<float>(count));
+}
+
+Tensor Max(const Tensor& a, const std::vector<int64_t>& axes, bool keepdims) {
+  URCL_CHECK_GT(a.NumElements(), 0);
+  return Reduce(a, axes, keepdims, -std::numeric_limits<float>::infinity(),
+                [](float acc, float x) { return acc > x ? acc : x; });
+}
+
+Tensor Min(const Tensor& a, const std::vector<int64_t>& axes, bool keepdims) {
+  URCL_CHECK_GT(a.NumElements(), 0);
+  return Reduce(a, axes, keepdims, std::numeric_limits<float>::infinity(),
+                [](float acc, float x) { return acc < x ? acc : x; });
+}
+
+Tensor ReduceTo(const Tensor& a, const Shape& target) {
+  if (a.shape() == target) return a;
+  URCL_CHECK(IsBroadcastableTo(target, a.shape()))
+      << "ReduceTo: " << target.ToString() << " is not a broadcast source of "
+      << a.shape().ToString();
+  // Reduce the leading extra axes plus any axis where target dim == 1.
+  std::vector<int64_t> axes;
+  const int64_t extra = a.rank() - target.rank();
+  for (int64_t i = 0; i < extra; ++i) axes.push_back(i);
+  for (int64_t i = 0; i < target.rank(); ++i) {
+    if (target.dim(i) == 1 && a.dim(i + extra) != 1) axes.push_back(i + extra);
+  }
+  Tensor reduced = Sum(a, axes, /*keepdims=*/true);
+  return reduced.Reshape(target);
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  URCL_CHECK_GE(a.rank(), 2);
+  URCL_CHECK_GE(b.rank(), 2);
+  const int64_t m = a.dim(-2);
+  const int64_t k = a.dim(-1);
+  const int64_t k2 = b.dim(-2);
+  const int64_t n = b.dim(-1);
+  URCL_CHECK_EQ(k, k2) << "MatMul inner-dim mismatch: " << a.shape().ToString() << " x "
+                       << b.shape().ToString();
+
+  // Broadcast batch dims.
+  std::vector<int64_t> a_batch(a.shape().dims().begin(), a.shape().dims().end() - 2);
+  std::vector<int64_t> b_batch(b.shape().dims().begin(), b.shape().dims().end() - 2);
+  const Shape batch = BroadcastShapes(Shape(a_batch), Shape(b_batch));
+
+  std::vector<int64_t> out_dims = batch.dims();
+  out_dims.push_back(m);
+  out_dims.push_back(n);
+  Tensor out{Shape(out_dims)};
+  if (out.NumElements() == 0) return out;
+
+  const int64_t batch_count = batch.NumElements();
+  const std::vector<int64_t> a_bstrides = BroadcastStrides(Shape(a_batch), batch);
+  const std::vector<int64_t> b_bstrides = BroadcastStrides(Shape(b_batch), batch);
+  const int64_t a_mat = m * k;
+  const int64_t b_mat = k * n;
+  const int64_t o_mat = m * n;
+
+  // Per-batch offsets via cursor over the batch dims alone.
+  std::vector<int64_t> a_scaled(a_bstrides), b_scaled(b_bstrides);
+  for (auto& s : a_scaled) s *= a_mat;
+  for (auto& s : b_scaled) s *= b_mat;
+  MultiCursor cursor(batch.dims(), {a_scaled, b_scaled});
+
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.mutable_data();
+  for (int64_t batch_index = 0; batch_index < batch_count; ++batch_index) {
+    const float* ma = pa + cursor.offset(0);
+    const float* mb = pb + cursor.offset(1);
+    float* mo = po + batch_index * o_mat;
+    // i-k-j loop order: streams over contiguous rows of b.
+    for (int64_t i = 0; i < m; ++i) {
+      float* row_out = mo + i * n;
+      std::fill(row_out, row_out + n, 0.0f);
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float scale = ma[i * k + kk];
+        if (scale == 0.0f) continue;
+        const float* row_b = mb + kk * n;
+        for (int64_t j = 0; j < n; ++j) row_out[j] += scale * row_b[j];
+      }
+    }
+    cursor.Advance();
+  }
+  return out;
+}
+
+Tensor BroadcastTo(const Tensor& a, const Shape& target) {
+  if (a.shape() == target) return a;
+  URCL_CHECK(IsBroadcastableTo(a.shape(), target))
+      << "cannot broadcast " << a.shape().ToString() << " to " << target.ToString();
+  Tensor out(target);
+  if (out.NumElements() == 0) return out;
+  MultiCursor cursor(target.dims(), {BroadcastStrides(a.shape(), target)});
+  const float* pa = a.data();
+  float* po = out.mutable_data();
+  const int64_t n = out.NumElements();
+  for (int64_t i = 0; i < n; ++i) {
+    po[i] = pa[cursor.offset(0)];
+    cursor.Advance();
+  }
+  return out;
+}
+
+Tensor Transpose(const Tensor& a, const std::vector<int64_t>& perm) {
+  URCL_CHECK_EQ(static_cast<int64_t>(perm.size()), a.rank());
+  std::vector<int64_t> out_dims(perm.size());
+  const std::vector<int64_t> in_strides = a.shape().Strides();
+  std::vector<int64_t> gather_strides(perm.size());
+  std::vector<bool> seen(perm.size(), false);
+  for (size_t i = 0; i < perm.size(); ++i) {
+    const int64_t axis = a.shape().CanonicalAxis(perm[i]);
+    URCL_CHECK(!seen[static_cast<size_t>(axis)]) << "duplicate axis in permutation";
+    seen[static_cast<size_t>(axis)] = true;
+    out_dims[i] = a.dim(axis);
+    gather_strides[i] = in_strides[static_cast<size_t>(axis)];
+  }
+  Tensor out{Shape(out_dims)};
+  if (out.NumElements() == 0) return out;
+  MultiCursor cursor(out_dims, {gather_strides});
+  const float* pa = a.data();
+  float* po = out.mutable_data();
+  const int64_t n = out.NumElements();
+  for (int64_t i = 0; i < n; ++i) {
+    po[i] = pa[cursor.offset(0)];
+    cursor.Advance();
+  }
+  return out;
+}
+
+Tensor TransposeLast2(const Tensor& a) {
+  URCL_CHECK_GE(a.rank(), 2);
+  std::vector<int64_t> perm(static_cast<size_t>(a.rank()));
+  for (int64_t i = 0; i < a.rank(); ++i) perm[static_cast<size_t>(i)] = i;
+  std::swap(perm[static_cast<size_t>(a.rank() - 1)], perm[static_cast<size_t>(a.rank() - 2)]);
+  return Transpose(a, perm);
+}
+
+Tensor Slice(const Tensor& a, const std::vector<int64_t>& starts,
+             const std::vector<int64_t>& sizes) {
+  URCL_CHECK_EQ(static_cast<int64_t>(starts.size()), a.rank());
+  URCL_CHECK_EQ(static_cast<int64_t>(sizes.size()), a.rank());
+  for (int64_t i = 0; i < a.rank(); ++i) {
+    const size_t s = static_cast<size_t>(i);
+    URCL_CHECK(starts[s] >= 0 && sizes[s] >= 0 && starts[s] + sizes[s] <= a.dim(i))
+        << "slice [" << starts[s] << ", " << starts[s] + sizes[s] << ") out of bounds on axis "
+        << i << " of " << a.shape().ToString();
+  }
+  Tensor out{Shape(sizes)};
+  if (out.NumElements() == 0) return out;
+  const std::vector<int64_t> in_strides = a.shape().Strides();
+  int64_t base = 0;
+  for (int64_t i = 0; i < a.rank(); ++i) base += starts[static_cast<size_t>(i)] * in_strides[static_cast<size_t>(i)];
+  MultiCursor cursor(sizes, {in_strides});
+  const float* pa = a.data();
+  float* po = out.mutable_data();
+  const int64_t n = out.NumElements();
+  for (int64_t i = 0; i < n; ++i) {
+    po[i] = pa[base + cursor.offset(0)];
+    cursor.Advance();
+  }
+  return out;
+}
+
+Tensor UnSlice(const Tensor& src, const Shape& full, const std::vector<int64_t>& starts) {
+  URCL_CHECK_EQ(src.rank(), full.rank());
+  Tensor out(full);
+  if (src.NumElements() == 0) return out;
+  const std::vector<int64_t> out_strides = full.Strides();
+  int64_t base = 0;
+  for (int64_t i = 0; i < full.rank(); ++i) {
+    const size_t s = static_cast<size_t>(i);
+    URCL_CHECK(starts[s] >= 0 && starts[s] + src.dim(i) <= full.dim(i));
+    base += starts[s] * out_strides[s];
+  }
+  MultiCursor cursor(src.shape().dims(), {out_strides});
+  const float* ps = src.data();
+  float* po = out.mutable_data();
+  const int64_t n = src.NumElements();
+  for (int64_t i = 0; i < n; ++i) {
+    po[base + cursor.offset(0)] = ps[i];
+    cursor.Advance();
+  }
+  return out;
+}
+
+Tensor Concat(const std::vector<Tensor>& tensors, int64_t axis) {
+  URCL_CHECK(!tensors.empty());
+  const int64_t canonical = tensors[0].shape().CanonicalAxis(axis);
+  std::vector<int64_t> out_dims = tensors[0].shape().dims();
+  int64_t total = 0;
+  for (const Tensor& t : tensors) {
+    URCL_CHECK_EQ(t.rank(), tensors[0].rank());
+    for (int64_t i = 0; i < t.rank(); ++i) {
+      if (i != canonical) {
+        URCL_CHECK_EQ(t.dim(i), tensors[0].dim(i))
+            << "Concat: mismatched non-concat dims on axis " << i;
+      }
+    }
+    total += t.dim(canonical);
+  }
+  out_dims[static_cast<size_t>(canonical)] = total;
+  Tensor out{Shape(out_dims)};
+  std::vector<int64_t> starts(out_dims.size(), 0);
+  int64_t offset = 0;
+  float* po = out.mutable_data();
+  const std::vector<int64_t> out_strides = out.shape().Strides();
+  for (const Tensor& t : tensors) {
+    starts[static_cast<size_t>(canonical)] = offset;
+    // Copy t into out at `starts` (same pattern as UnSlice but into out).
+    if (t.NumElements() > 0) {
+      int64_t base = 0;
+      for (int64_t i = 0; i < t.rank(); ++i)
+        base += starts[static_cast<size_t>(i)] * out_strides[static_cast<size_t>(i)];
+      MultiCursor cursor(t.shape().dims(), {out_strides});
+      const float* ps = t.data();
+      const int64_t n = t.NumElements();
+      for (int64_t i = 0; i < n; ++i) {
+        po[base + cursor.offset(0)] = ps[i];
+        cursor.Advance();
+      }
+    }
+    offset += t.dim(canonical);
+  }
+  return out;
+}
+
+Tensor Stack(const std::vector<Tensor>& tensors, int64_t axis) {
+  URCL_CHECK(!tensors.empty());
+  std::vector<Tensor> expanded;
+  expanded.reserve(tensors.size());
+  for (const Tensor& t : tensors) {
+    std::vector<int64_t> dims = t.shape().dims();
+    int64_t a = axis;
+    if (a < 0) a += t.rank() + 1;
+    URCL_CHECK(a >= 0 && a <= t.rank());
+    dims.insert(dims.begin() + a, 1);
+    expanded.push_back(t.Reshape(Shape(dims)));
+  }
+  int64_t a = axis;
+  if (a < 0) a += tensors[0].rank() + 1;
+  return Concat(expanded, a);
+}
+
+Tensor Pad(const Tensor& a, int64_t axis, int64_t before, int64_t after, float value) {
+  const int64_t canonical = a.shape().CanonicalAxis(axis);
+  URCL_CHECK(before >= 0 && after >= 0);
+  std::vector<int64_t> out_dims = a.shape().dims();
+  out_dims[static_cast<size_t>(canonical)] += before + after;
+  Tensor out = Tensor::Full(Shape(out_dims), value);
+  if (a.NumElements() == 0) return out;
+  std::vector<int64_t> starts(out_dims.size(), 0);
+  starts[static_cast<size_t>(canonical)] = before;
+  const std::vector<int64_t> out_strides = out.shape().Strides();
+  int64_t base = 0;
+  for (int64_t i = 0; i < a.rank(); ++i)
+    base += starts[static_cast<size_t>(i)] * out_strides[static_cast<size_t>(i)];
+  MultiCursor cursor(a.shape().dims(), {out_strides});
+  const float* ps = a.data();
+  float* po = out.mutable_data();
+  const int64_t n = a.NumElements();
+  for (int64_t i = 0; i < n; ++i) {
+    po[base + cursor.offset(0)] = ps[i];
+    cursor.Advance();
+  }
+  return out;
+}
+
+Tensor Flip(const Tensor& a, int64_t axis) {
+  const int64_t canonical = a.shape().CanonicalAxis(axis);
+  Tensor out(a.shape());
+  if (a.NumElements() == 0) return out;
+  const std::vector<int64_t> strides = a.shape().Strides();
+  const int64_t extent = a.dim(canonical);
+  const int64_t stride = strides[static_cast<size_t>(canonical)];
+  // For each element, mirror the index along `canonical`.
+  MultiCursor cursor(a.shape().dims(), {strides});
+  const float* pa = a.data();
+  float* po = out.mutable_data();
+  const int64_t n = a.NumElements();
+  // offset = base + idx*stride; mirrored = base + (extent-1-idx)*stride
+  //        = offset + (extent-1-2*idx)*stride. Track idx along the axis.
+  // Simpler: recompute idx from offset is costly; instead iterate with an
+  // explicit index vector via a second cursor trick: flip by slicing.
+  // Use direct approach with index decomposition only on the flip axis:
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t offset = cursor.offset(0);
+    const int64_t idx = (offset / stride) % extent;
+    const int64_t mirrored = offset + (extent - 1 - 2 * idx) * stride;
+    po[mirrored] = pa[offset];
+    cursor.Advance();
+  }
+  return out;
+}
+
+Tensor Softmax(const Tensor& a, int64_t axis) {
+  const int64_t canonical = a.shape().CanonicalAxis(axis);
+  const Tensor max = Max(a, {canonical}, /*keepdims=*/true);
+  const Tensor shifted = Sub(a, max);
+  const Tensor exps = Exp(shifted);
+  const Tensor total = Sum(exps, {canonical}, /*keepdims=*/true);
+  return Div(exps, total);
+}
+
+bool AllClose(const Tensor& a, const Tensor& b, float atol, float rtol) {
+  if (a.shape() != b.shape()) return false;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < a.NumElements(); ++i) {
+    const float diff = std::fabs(pa[i] - pb[i]);
+    if (diff > atol + rtol * std::fabs(pb[i])) return false;
+  }
+  return true;
+}
+
+float MaxAbsDiff(const Tensor& a, const Tensor& b) {
+  URCL_CHECK(a.shape() == b.shape());
+  float max_diff = 0.0f;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < a.NumElements(); ++i) {
+    max_diff = std::max(max_diff, std::fabs(pa[i] - pb[i]));
+  }
+  return max_diff;
+}
+
+bool AllFinite(const Tensor& a) {
+  const float* pa = a.data();
+  for (int64_t i = 0; i < a.NumElements(); ++i) {
+    if (!std::isfinite(pa[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace ops
+}  // namespace urcl

@@ -1,0 +1,89 @@
+// Pure functions over Tensor. Every op allocates a fresh output tensor;
+// inputs are never mutated. Binary elementwise ops follow NumPy broadcasting.
+#ifndef URCL_TENSOR_TENSOR_OPS_H_
+#define URCL_TENSOR_TENSOR_OPS_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace urcl {
+namespace ops {
+
+// --- Elementwise binary (broadcasting) --------------------------------------
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+Tensor Div(const Tensor& a, const Tensor& b);
+Tensor Maximum(const Tensor& a, const Tensor& b);
+Tensor Minimum(const Tensor& a, const Tensor& b);
+
+// Generic broadcast combine with an arbitrary binary functor.
+Tensor ZipWith(const Tensor& a, const Tensor& b, const std::function<float(float, float)>& fn);
+
+// --- Elementwise with scalar -------------------------------------------------
+Tensor AddScalar(const Tensor& a, float s);
+Tensor MulScalar(const Tensor& a, float s);
+Tensor PowScalar(const Tensor& a, float exponent);
+
+// --- Elementwise unary --------------------------------------------------------
+Tensor Neg(const Tensor& a);
+Tensor Exp(const Tensor& a);
+Tensor Log(const Tensor& a);
+Tensor Sqrt(const Tensor& a);
+Tensor Abs(const Tensor& a);
+Tensor Sign(const Tensor& a);
+Tensor Tanh(const Tensor& a);
+Tensor Sigmoid(const Tensor& a);
+Tensor Relu(const Tensor& a);
+Tensor Square(const Tensor& a);
+Tensor Clamp(const Tensor& a, float lo, float hi);
+Tensor Map(const Tensor& a, const std::function<float(float)>& fn);
+
+// --- Reductions ----------------------------------------------------------------
+// Reduce over `axes` (empty = all axes). With keepdims the reduced axes stay
+// as size-1 dims, otherwise they are removed.
+Tensor Sum(const Tensor& a, const std::vector<int64_t>& axes = {}, bool keepdims = false);
+Tensor Mean(const Tensor& a, const std::vector<int64_t>& axes = {}, bool keepdims = false);
+Tensor Max(const Tensor& a, const std::vector<int64_t>& axes = {}, bool keepdims = false);
+Tensor Min(const Tensor& a, const std::vector<int64_t>& axes = {}, bool keepdims = false);
+
+// Sums `a` down so the result has shape `target` (inverse of broadcasting).
+Tensor ReduceTo(const Tensor& a, const Shape& target);
+
+// --- Linear algebra --------------------------------------------------------------
+// Batched matrix multiply: [..., M, K] x [..., K, N] -> [..., M, N] with
+// broadcasting over the leading batch dims.
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+// --- Shape manipulation ------------------------------------------------------------
+Tensor BroadcastTo(const Tensor& a, const Shape& target);
+Tensor Transpose(const Tensor& a, const std::vector<int64_t>& perm);
+// Swaps the last two axes (matrix transpose for batched matrices).
+Tensor TransposeLast2(const Tensor& a);
+Tensor Slice(const Tensor& a, const std::vector<int64_t>& starts,
+             const std::vector<int64_t>& sizes);
+// Writes `src` into a zero tensor of shape `full` at offset `starts`
+// (adjoint of Slice; used by autograd).
+Tensor UnSlice(const Tensor& src, const Shape& full, const std::vector<int64_t>& starts);
+Tensor Concat(const std::vector<Tensor>& tensors, int64_t axis);
+Tensor Stack(const std::vector<Tensor>& tensors, int64_t axis);
+// Pads `axis` with `before`/`after` zeros (constant value `value`).
+Tensor Pad(const Tensor& a, int64_t axis, int64_t before, int64_t after, float value = 0.0f);
+// Reverses the order of entries along `axis` (used by time flipping).
+Tensor Flip(const Tensor& a, int64_t axis);
+
+// --- Softmax-family -------------------------------------------------------------------
+Tensor Softmax(const Tensor& a, int64_t axis);
+
+// --- Comparisons / diagnostics ----------------------------------------------------------
+bool AllClose(const Tensor& a, const Tensor& b, float atol = 1e-5f, float rtol = 1e-4f);
+float MaxAbsDiff(const Tensor& a, const Tensor& b);
+bool AllFinite(const Tensor& a);
+
+}  // namespace ops
+}  // namespace urcl
+
+#endif  // URCL_TENSOR_TENSOR_OPS_H_

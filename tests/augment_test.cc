@@ -1,0 +1,204 @@
+#include "augment/augmentation.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generator.h"
+#include "tensor/tensor_ops.h"
+
+namespace urcl {
+namespace augment {
+namespace {
+
+class AugmentTest : public ::testing::Test {
+ protected:
+  AugmentTest() : graph_(graph::GridGraph(3, 4)), rng_(7) {
+    Rng data_rng(1);
+    observations_ = Tensor::RandomUniform(Shape{2, 6, 12, 2}, data_rng, 0.1f, 1.0f);
+  }
+  graph::SensorNetwork graph_;
+  Tensor observations_;
+  Rng rng_;
+};
+
+TEST_F(AugmentTest, AllPreserveShapes) {
+  const auto augmentations = MakeDefaultAugmentations();
+  ASSERT_EQ(augmentations.size(), 5u);
+  for (const auto& augmentation : augmentations) {
+    const AugmentedView view = augmentation->Apply(observations_, graph_, rng_);
+    EXPECT_EQ(view.observations.shape(), observations_.shape()) << augmentation->name();
+    EXPECT_EQ(view.adjacency.shape(), Shape({12, 12})) << augmentation->name();
+    EXPECT_TRUE(ops::AllFinite(view.observations)) << augmentation->name();
+  }
+}
+
+TEST_F(AugmentTest, NamesMatchPaperOrder) {
+  const auto augmentations = MakeDefaultAugmentations();
+  EXPECT_EQ(augmentations[0]->name(), "DN");
+  EXPECT_EQ(augmentations[1]->name(), "DE");
+  EXPECT_EQ(augmentations[2]->name(), "SG");
+  EXPECT_EQ(augmentations[3]->name(), "AE");
+  EXPECT_EQ(augmentations[4]->name(), "TS");
+}
+
+TEST_F(AugmentTest, DropNodesMasksFeaturesAndAdjacency) {
+  DropNodes dn(0.25f);  // 3 of 12 nodes
+  const AugmentedView view = dn.Apply(observations_, graph_, rng_);
+  // Count nodes whose features are all zero across batch/time/channels.
+  int64_t zeroed = 0;
+  for (int64_t n = 0; n < 12; ++n) {
+    bool all_zero = true;
+    for (int64_t b = 0; b < 2 && all_zero; ++b) {
+      for (int64_t t = 0; t < 6 && all_zero; ++t) {
+        for (int64_t c = 0; c < 2 && all_zero; ++c) {
+          all_zero = view.observations.At({b, t, n, c}) == 0.0f;
+        }
+      }
+    }
+    if (all_zero) {
+      ++zeroed;
+      // Its adjacency row and column must be zero too (Eq. 6).
+      for (int64_t j = 0; j < 12; ++j) {
+        EXPECT_FLOAT_EQ(view.adjacency.At({n, j}), 0.0f);
+        EXPECT_FLOAT_EQ(view.adjacency.At({j, n}), 0.0f);
+      }
+    }
+  }
+  EXPECT_EQ(zeroed, 3);
+}
+
+TEST_F(AugmentTest, DropNodesZeroRatioIsIdentity) {
+  DropNodes dn(0.0f);
+  const AugmentedView view = dn.Apply(observations_, graph_, rng_);
+  EXPECT_TRUE(ops::AllClose(view.observations, observations_));
+  EXPECT_TRUE(ops::AllClose(view.adjacency, graph_.AdjacencyMatrix()));
+}
+
+TEST_F(AugmentTest, DropEdgeOnlyRemovesWeakEdges) {
+  DropEdge de(/*sample_ratio=*/1.0f, /*threshold_quantile=*/0.5f);
+  const AugmentedView view = de.Apply(observations_, graph_, rng_);
+  const Tensor original = graph_.AdjacencyMatrix();
+  int64_t removed = 0;
+  for (int64_t i = 0; i < 12; ++i) {
+    for (int64_t j = 0; j < 12; ++j) {
+      const float before = original.At({i, j});
+      const float after = view.adjacency.At({i, j});
+      EXPECT_TRUE(after == before || after == 0.0f);  // never adds or rescales
+      removed += (before != 0.0f && after == 0.0f);
+    }
+  }
+  // Grid has uniform weights 1.0; the median threshold equals the weight so
+  // no edge is strictly below it -> nothing removed. Use a weighted graph.
+  graph::SensorNetwork weighted(3);
+  weighted.AddEdge(0, 1, 0.1f);
+  weighted.AddEdge(1, 2, 5.0f);
+  Rng rng2(3);
+  Tensor obs = Tensor::Ones(Shape{1, 4, 3, 1});
+  const AugmentedView view2 = de.Apply(obs, weighted, rng2);
+  EXPECT_FLOAT_EQ(view2.adjacency.At({0, 1}), 0.0f);  // weak edge dropped
+  EXPECT_FLOAT_EQ(view2.adjacency.At({1, 2}), 5.0f);  // strong edge kept
+  (void)removed;
+}
+
+TEST_F(AugmentTest, SubGraphKeepsConnectedSubset) {
+  SubGraph sg(/*walk_length_factor=*/0.5f);
+  const AugmentedView view = sg.Apply(observations_, graph_, rng_);
+  // At least one node kept, at least one masked (walk shorter than graph).
+  std::set<int64_t> kept;
+  for (int64_t n = 0; n < 12; ++n) {
+    bool nonzero = false;
+    for (int64_t t = 0; t < 6 && !nonzero; ++t) {
+      nonzero = view.observations.At({0, t, n, 0}) != 0.0f;
+    }
+    if (nonzero) kept.insert(n);
+  }
+  EXPECT_GE(kept.size(), 1u);
+  EXPECT_LT(kept.size(), 12u);
+}
+
+TEST_F(AugmentTest, AddEdgeConnectsDistantPairs) {
+  AddEdge ae(/*add_ratio=*/1.0f, /*min_hops=*/3);
+  const AugmentedView view = ae.Apply(observations_, graph_, rng_);
+  const Tensor original = graph_.AdjacencyMatrix();
+  int64_t added = 0;
+  for (int64_t i = 0; i < 12; ++i) {
+    for (int64_t j = 0; j < 12; ++j) {
+      if (original.At({i, j}) == 0.0f && view.adjacency.At({i, j}) != 0.0f) {
+        ++added;
+        // Weight is the dot-product similarity of positive features -> > 0.
+        EXPECT_GT(view.adjacency.At({i, j}), 0.0f);
+        // Symmetric insertion.
+        EXPECT_FLOAT_EQ(view.adjacency.At({i, j}), view.adjacency.At({j, i}));
+      }
+    }
+  }
+  EXPECT_GT(added, 0);
+}
+
+TEST_F(AugmentTest, AddEdgeNeverTouchesExistingEdges) {
+  AddEdge ae(0.5f, 3);
+  const AugmentedView view = ae.Apply(observations_, graph_, rng_);
+  const Tensor original = graph_.AdjacencyMatrix();
+  for (int64_t i = 0; i < 12; ++i) {
+    for (int64_t j = 0; j < 12; ++j) {
+      if (original.At({i, j}) != 0.0f) {
+        EXPECT_FLOAT_EQ(view.adjacency.At({i, j}), original.At({i, j}));
+      }
+    }
+  }
+}
+
+TEST_F(AugmentTest, TimeShiftingKeepsGraphUntouched) {
+  TimeShifting ts;
+  const AugmentedView view = ts.Apply(observations_, graph_, rng_);
+  EXPECT_TRUE(ops::AllClose(view.adjacency, graph_.AdjacencyMatrix()));
+  EXPECT_EQ(view.observations.shape(), observations_.shape());
+}
+
+TEST_F(AugmentTest, TimeShiftingChangesObservations) {
+  TimeShifting ts;
+  int64_t changed = 0;
+  for (int trial = 0; trial < 5; ++trial) {
+    const AugmentedView view = ts.Apply(observations_, graph_, rng_);
+    if (!ops::AllClose(view.observations, observations_)) ++changed;
+  }
+  EXPECT_GT(changed, 0);
+}
+
+TEST(SliceAndWarpTest, FullSliceIsIdentity) {
+  Rng rng(1);
+  Tensor obs = Tensor::RandomNormal(Shape{1, 8, 2, 1}, rng);
+  const Tensor warped = TimeShifting::SliceAndWarp(obs, 0, 8);
+  EXPECT_TRUE(ops::AllClose(warped, obs, 1e-5f));
+}
+
+TEST(SliceAndWarpTest, InterpolatesBetweenEndpoints) {
+  // Ramp 0..7, slice [2, 5] (values 2,3,4,5), warp to 8 steps: endpoints are
+  // preserved and values are monotone within [2, 5].
+  Tensor obs(Shape{1, 8, 1, 1});
+  for (int64_t t = 0; t < 8; ++t) obs.Set({0, t, 0, 0}, static_cast<float>(t));
+  const Tensor warped = TimeShifting::SliceAndWarp(obs, 2, 4);
+  EXPECT_FLOAT_EQ(warped.At({0, 0, 0, 0}), 2.0f);
+  EXPECT_FLOAT_EQ(warped.At({0, 7, 0, 0}), 5.0f);
+  for (int64_t t = 1; t < 8; ++t) {
+    EXPECT_GE(warped.At({0, t, 0, 0}), warped.At({0, t - 1, 0, 0}));
+  }
+}
+
+TEST(PickTwoDistinctTest, AlwaysDifferent) {
+  auto augmentations = MakeDefaultAugmentations();
+  Rng rng(11);
+  std::set<std::string> first_names;
+  for (int i = 0; i < 50; ++i) {
+    const auto [a, b] = PickTwoDistinct(augmentations, rng);
+    EXPECT_NE(a, b);
+    EXPECT_NE(a->name(), b->name());
+    first_names.insert(a->name());
+  }
+  EXPECT_GE(first_names.size(), 3u);  // variety over trials
+}
+
+}  // namespace
+}  // namespace augment
+}  // namespace urcl

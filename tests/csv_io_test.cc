@@ -1,0 +1,91 @@
+#include "data/csv_io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "tensor/tensor_ops.h"
+
+namespace urcl {
+namespace data {
+namespace {
+
+TEST(CsvIoTest, RoundTripSmall) {
+  Rng rng(1);
+  const Tensor series = Tensor::RandomUniform(Shape{5, 3, 2}, rng, 0.0f, 10.0f);
+  const std::string path = ::testing::TempDir() + "/urcl_series.csv";
+  ExportSeriesCsv(series, path);
+  const Tensor back = ImportSeriesCsv(path);
+  EXPECT_EQ(back.shape(), series.shape());
+  EXPECT_TRUE(ops::AllClose(back, series, 1e-3f, 1e-4f));
+  std::remove(path.c_str());
+}
+
+TEST(CsvIoTest, RoundTripSyntheticTraffic) {
+  TrafficConfig config;
+  config.num_nodes = 4;
+  config.num_days = 1;
+  config.steps_per_day = 24;
+  config.channels = 3;
+  SyntheticTraffic generator(config);
+  const Tensor series = generator.GenerateSeries();
+  const std::string path = ::testing::TempDir() + "/urcl_traffic.csv";
+  ExportSeriesCsv(series, path);
+  const Tensor back = ImportSeriesCsv(path);
+  EXPECT_TRUE(ops::AllClose(back, series, 2e-2f, 1e-3f));
+  std::remove(path.c_str());
+}
+
+TEST(CsvIoTest, HandCraftedCsvImports) {
+  const std::string path = ::testing::TempDir() + "/urcl_hand.csv";
+  {
+    std::ofstream out(path);
+    out << "t,node,channel0\n";
+    out << "0,0,1.5\n0,1,2.5\n1,0,3.5\n1,1,4.5\n";
+  }
+  const Tensor series = ImportSeriesCsv(path);
+  EXPECT_EQ(series.shape(), Shape({2, 2, 1}));
+  EXPECT_FLOAT_EQ(series.At({0, 1, 0}), 2.5f);
+  EXPECT_FLOAT_EQ(series.At({1, 0, 0}), 3.5f);
+  std::remove(path.c_str());
+}
+
+TEST(CsvIoTest, BadHeaderDies) {
+  const std::string path = ::testing::TempDir() + "/urcl_bad.csv";
+  {
+    std::ofstream out(path);
+    out << "time,sensor,value\n0,0,1\n";
+  }
+  EXPECT_DEATH(ImportSeriesCsv(path), "unexpected CSV header");
+  std::remove(path.c_str());
+}
+
+TEST(CsvIoTest, MissingRowsDie) {
+  const std::string path = ::testing::TempDir() + "/urcl_missing.csv";
+  {
+    std::ofstream out(path);
+    out << "t,node,channel0\n0,0,1\n0,1,2\n1,0,3\n";  // missing (1,1)
+  }
+  EXPECT_DEATH(ImportSeriesCsv(path), "missing rows");
+  std::remove(path.c_str());
+}
+
+TEST(CsvIoTest, OutOfOrderRowsDie) {
+  const std::string path = ::testing::TempDir() + "/urcl_order.csv";
+  {
+    std::ofstream out(path);
+    out << "t,node,channel0\n0,1,2\n0,0,1\n";
+  }
+  EXPECT_DEATH(ImportSeriesCsv(path), "grouped by t");
+  std::remove(path.c_str());
+}
+
+TEST(CsvIoTest, MissingFileDies) {
+  EXPECT_DEATH(ImportSeriesCsv("/nonexistent/series.csv"), "cannot open");
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace urcl

@@ -1,0 +1,177 @@
+// Tests for the Page-Hinkley drift detector and the OnlineLearner streaming
+// wrapper (extension subsystem, see DESIGN.md).
+#include "core/drift.h"
+
+#include <gtest/gtest.h>
+
+#include "data/presets.h"
+#include "data/synthetic.h"
+#include "tensor/tensor_ops.h"
+
+namespace urcl {
+namespace core {
+namespace {
+
+TEST(PageHinkleyTest, NoAlarmOnStationaryStream) {
+  PageHinkleyDetector detector(PageHinkleyConfig{0.005f, 0.5f, 20});
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_FALSE(detector.Update(0.1f + rng.Normal(0.0f, 0.01f))) << "sample " << i;
+  }
+}
+
+TEST(PageHinkleyTest, AlarmsOnMeanShift) {
+  PageHinkleyDetector detector(PageHinkleyConfig{0.005f, 0.5f, 20});
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) detector.Update(0.1f + rng.Normal(0.0f, 0.01f));
+  bool fired = false;
+  for (int i = 0; i < 100 && !fired; ++i) {
+    fired = detector.Update(0.4f + rng.Normal(0.0f, 0.01f));  // error jumps
+  }
+  EXPECT_TRUE(fired);
+}
+
+TEST(PageHinkleyTest, ResetsAfterFiring) {
+  PageHinkleyDetector detector(PageHinkleyConfig{0.0f, 0.2f, 5});
+  for (int i = 0; i < 10; ++i) detector.Update(0.0f);
+  bool fired = false;
+  for (int i = 0; i < 50 && !fired; ++i) fired = detector.Update(1.0f);
+  ASSERT_TRUE(fired);
+  EXPECT_EQ(detector.samples_seen(), 0);  // reset
+}
+
+TEST(PageHinkleyTest, WarmupSuppressesEarlyAlarms) {
+  PageHinkleyDetector detector(PageHinkleyConfig{0.0f, 0.1f, 50});
+  // A huge shift inside the warmup window must not fire.
+  for (int i = 0; i < 49; ++i) EXPECT_FALSE(detector.Update(i < 5 ? 0.0f : 5.0f));
+}
+
+TEST(PageHinkleyTest, DecreaseDoesNotFire) {
+  // One-sided test: error *improving* is not drift.
+  PageHinkleyDetector detector(PageHinkleyConfig{0.005f, 0.3f, 10});
+  for (int i = 0; i < 50; ++i) detector.Update(0.5f);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_FALSE(detector.Update(0.05f)) << "sample " << i;
+  }
+}
+
+TEST(PageHinkleyTest, NonFiniteValueDies) {
+  PageHinkleyDetector detector(PageHinkleyConfig{});
+  EXPECT_DEATH(detector.Update(std::nanf("")), "non-finite");
+}
+
+class OnlineLearnerTest : public ::testing::Test {
+ protected:
+  OnlineLearnerTest() {
+    data::TrafficConfig config;
+    config.num_nodes = 6;
+    config.num_days = 6;
+    config.steps_per_day = 48;
+    // Strong mid-stream drift so the detector has something to find.
+    config.abrupt_drift_days = {3};
+    config.abrupt_refresh_fraction = 1.0f;
+    config.abrupt_phase_jump_steps = 10.0f;
+    config.seed = 5;
+    generator_ = std::make_unique<data::SyntheticTraffic>(config);
+    Tensor raw = generator_->GenerateSeries();
+    normalizer_ = data::MinMaxNormalizer::Fit(raw);
+    series_ = normalizer_.Transform(raw);
+  }
+
+  OnlineLearnerConfig MakeConfig() const {
+    OnlineLearnerConfig config;
+    config.model.encoder.num_nodes = 6;
+    config.model.encoder.in_channels = 2;
+    config.model.encoder.input_steps = 12;
+    config.model.encoder.hidden_channels = 4;
+    config.model.encoder.latent_channels = 8;
+    config.model.encoder.num_layers = 3;
+    config.model.encoder.adaptive_embedding_dim = 3;
+    config.model.decoder_hidden = 16;
+    config.model.proj_hidden = 8;
+    config.model.batch_size = 4;
+    config.model.max_batches_per_epoch = 4;
+    config.model.replay_sample_count = 2;
+    config.model.rmir_scan_size = 4;
+    config.model.rmir_candidate_pool = 3;
+    config.model.ssl_weight = 0.05f;
+    config.window = data::WindowConfig{12, 1, 0};
+    config.retrain_window_steps = 96;
+    config.retrain_epochs = 1;
+    config.max_history_steps = 256;
+    config.min_steps_before_first_train = 48;
+    return config;
+  }
+
+  Tensor Row(int64_t t) const {
+    return ops::Slice(series_, {t, 0, 0}, {1, 6, series_.dim(2)})
+        .Reshape(Shape{6, series_.dim(2)});
+  }
+
+  std::unique_ptr<data::SyntheticTraffic> generator_;
+  data::MinMaxNormalizer normalizer_;
+  Tensor series_;
+};
+
+TEST_F(OnlineLearnerTest, TrainsOnceWarmupReached) {
+  OnlineLearner learner(MakeConfig(), generator_->network());
+  EXPECT_FALSE(learner.CanPredict());
+  int64_t first_retrain_step = -1;
+  for (int64_t t = 0; t < 60; ++t) {
+    if (learner.Ingest(Row(t)) && first_retrain_step < 0) first_retrain_step = t;
+  }
+  EXPECT_EQ(first_retrain_step, 47);  // min_steps_before_first_train = 48
+  EXPECT_TRUE(learner.CanPredict());
+  EXPECT_EQ(learner.retrain_count(), 1);
+}
+
+TEST_F(OnlineLearnerTest, ServesPredictionsAndTracksError) {
+  OnlineLearner learner(MakeConfig(), generator_->network());
+  for (int64_t t = 0; t < 120; ++t) {
+    if (learner.CanPredict()) {
+      const Tensor prediction = learner.PredictNext();
+      EXPECT_EQ(prediction.shape(), Shape({1, 6, 1}));
+      EXPECT_TRUE(ops::AllFinite(prediction));
+    }
+    learner.Ingest(Row(t));
+  }
+  EXPECT_GT(learner.live_mae(), 0.0);
+  EXPECT_LT(learner.live_mae(), 0.5);  // normalized units
+}
+
+TEST_F(OnlineLearnerTest, DriftTriggersRetraining) {
+  OnlineLearnerConfig config = MakeConfig();
+  // Sensitive detector so the day-3 regime change fires at this tiny scale.
+  config.drift.delta = 0.0f;
+  config.drift.threshold = 0.05f;
+  config.drift.warmup = 20;
+  OnlineLearner learner(config, generator_->network());
+  for (int64_t t = 0; t < series_.dim(0); ++t) {
+    if (learner.CanPredict()) learner.PredictNext();
+    learner.Ingest(Row(t));
+  }
+  EXPECT_GE(learner.drift_alarms(), 1);
+  EXPECT_GT(learner.retrain_count(), 1);  // first train + >=1 drift retrain
+}
+
+TEST_F(OnlineLearnerTest, PeriodicRetrainWorksWithoutDrift) {
+  OnlineLearnerConfig config = MakeConfig();
+  config.drift.threshold = 1e6f;  // effectively disable the detector
+  config.periodic_retrain_every = 64;
+  OnlineLearner learner(config, generator_->network());
+  for (int64_t t = 0; t < 200; ++t) {
+    if (learner.CanPredict()) learner.PredictNext();
+    learner.Ingest(Row(t));
+  }
+  EXPECT_EQ(learner.drift_alarms(), 0);
+  EXPECT_GE(learner.retrain_count(), 3);
+}
+
+TEST_F(OnlineLearnerTest, RejectsBadObservationShape) {
+  OnlineLearner learner(MakeConfig(), generator_->network());
+  EXPECT_DEATH(learner.Ingest(Tensor::Zeros(Shape{6})), "must be \\[N, C\\]");
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace urcl

@@ -1,0 +1,175 @@
+// Edge cases and geometry properties not covered elsewhere: encoder dilation
+// selection across window sizes, augmentation determinism, tensor-op corner
+// cases, and stream-splitter configuration variants.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "augment/augmentation.h"
+#include "core/stencoder.h"
+#include "data/stream.h"
+#include "graph/generator.h"
+#include "tensor/tensor_ops.h"
+
+namespace urcl {
+namespace {
+
+namespace top = ::urcl::ops;
+using autograd::Variable;
+
+// ---------------------------------------------------------------------------
+// GraphWaveNet encoder geometry: for every (input_steps, num_layers) combo
+// the constructor must pick dilations that fit and leave latent_time >= 1.
+class EncoderGeometry
+    : public ::testing::TestWithParam<std::tuple<int64_t, int64_t>> {};
+
+TEST_P(EncoderGeometry, DilationsFitWindow) {
+  const auto [input_steps, num_layers] = GetParam();
+  Rng rng(1);
+  core::BackboneConfig config;
+  config.num_nodes = 5;
+  config.in_channels = 2;
+  config.input_steps = input_steps;
+  config.hidden_channels = 4;
+  config.latent_channels = 8;
+  config.num_layers = num_layers;
+  config.adaptive_embedding_dim = 3;
+  core::GraphWaveNetEncoder encoder(config, rng);
+
+  int64_t consumed = 0;
+  for (const int64_t d : encoder.dilations()) {
+    EXPECT_GE(d, 1);
+    consumed += d;
+  }
+  EXPECT_EQ(encoder.latent_time(), input_steps - consumed);
+  EXPECT_GE(encoder.latent_time(), 1);
+
+  // And the forward pass agrees.
+  Rng graph_rng(2);
+  graph::SensorNetwork g = graph::RandomGeometricGraph(5, 0.5f, graph_rng);
+  Variable x(Tensor::RandomUniform(Shape{1, input_steps, 5, 2}, rng), false);
+  Variable latent = encoder.Encode(x, g.AdjacencyMatrix());
+  EXPECT_EQ(latent.shape().dim(3), encoder.latent_time());
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, EncoderGeometry,
+                         ::testing::Values(std::make_tuple(6, 2),
+                                           std::make_tuple(8, 3),
+                                           std::make_tuple(12, 5),
+                                           std::make_tuple(16, 5),
+                                           std::make_tuple(24, 6),
+                                           std::make_tuple(12, 8)));
+
+TEST(EncoderGeometryTest, WindowTooSmallDies) {
+  Rng rng(3);
+  core::BackboneConfig config;
+  config.num_nodes = 4;
+  config.in_channels = 1;
+  config.input_steps = 3;
+  config.num_layers = 3;  // needs at least 4 steps
+  config.hidden_channels = 2;
+  config.latent_channels = 4;
+  EXPECT_DEATH(core::GraphWaveNetEncoder(config, rng), "must exceed");
+}
+
+// ---------------------------------------------------------------------------
+// Augmentations are deterministic given the RNG state.
+TEST(AugmentationDeterminismTest, SameSeedSameView) {
+  Rng graph_rng(4);
+  graph::SensorNetwork g = graph::RandomGeometricGraph(8, 0.4f, graph_rng);
+  Rng data_rng(5);
+  Tensor obs = Tensor::RandomUniform(Shape{2, 8, 8, 2}, data_rng, 0.0f, 1.0f);
+  for (const auto& augmentation : augment::MakeDefaultAugmentations()) {
+    Rng rng_a(42), rng_b(42);
+    const augment::AugmentedView a = augmentation->Apply(obs, g, rng_a);
+    const augment::AugmentedView b = augmentation->Apply(obs, g, rng_b);
+    EXPECT_TRUE(top::AllClose(a.observations, b.observations, 0.0f, 0.0f))
+        << augmentation->name();
+    EXPECT_TRUE(top::AllClose(a.adjacency, b.adjacency, 0.0f, 0.0f))
+        << augmentation->name();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tensor-op corner cases.
+TEST(OpsEdgeTest, ConcatSingleTensorIsCopy) {
+  Rng rng(6);
+  Tensor a = Tensor::RandomNormal(Shape{2, 3}, rng);
+  EXPECT_TRUE(top::AllClose(top::Concat({a}, 0), a, 0.0f, 0.0f));
+}
+
+TEST(OpsEdgeTest, StackNegativeAxis) {
+  Tensor a = Tensor::FromVector(Shape{2}, {1, 2});
+  Tensor b = Tensor::FromVector(Shape{2}, {3, 4});
+  const Tensor s = top::Stack({a, b}, -1);
+  EXPECT_EQ(s.shape(), Shape({2, 2}));
+  EXPECT_FLOAT_EQ(s.At({0, 1}), 3.0f);  // axis -1 interleaves
+}
+
+TEST(OpsEdgeTest, PadWithValue) {
+  Tensor a = Tensor::Ones(Shape{2});
+  const Tensor p = top::Pad(a, 0, 1, 1, -5.0f);
+  EXPECT_FLOAT_EQ(p.FlatAt(0), -5.0f);
+  EXPECT_FLOAT_EQ(p.FlatAt(1), 1.0f);
+  EXPECT_FLOAT_EQ(p.FlatAt(3), -5.0f);
+}
+
+TEST(OpsEdgeTest, MeanAllKeepdimsKeepsRank) {
+  Tensor a = Tensor::FromVector(Shape{2, 2}, {1, 2, 3, 4});
+  const Tensor m = top::Mean(a, {}, /*keepdims=*/true);
+  EXPECT_EQ(m.shape(), Shape({1, 1}));
+  EXPECT_FLOAT_EQ(m.FlatAt(0), 2.5f);
+}
+
+TEST(OpsEdgeTest, SliceZeroSize) {
+  Tensor a = Tensor::Ones(Shape{3, 4});
+  const Tensor s = top::Slice(a, {1, 0}, {0, 4});
+  EXPECT_EQ(s.shape(), Shape({0, 4}));
+  EXPECT_EQ(s.NumElements(), 0);
+}
+
+TEST(OpsEdgeTest, ScalarBroadcastThroughEverything) {
+  Tensor scalar = Tensor::Scalar(2.0f);
+  Tensor a = Tensor::Full(Shape{2, 3, 4}, 3.0f);
+  EXPECT_TRUE(top::AllClose(top::Mul(a, scalar), Tensor::Full(Shape{2, 3, 4}, 6.0f)));
+  EXPECT_TRUE(top::AllClose(top::Mul(scalar, a), Tensor::Full(Shape{2, 3, 4}, 6.0f)));
+}
+
+TEST(OpsEdgeTest, TransposeIdentityPermutation) {
+  Rng rng(7);
+  Tensor a = Tensor::RandomNormal(Shape{2, 3, 4}, rng);
+  EXPECT_TRUE(top::AllClose(top::Transpose(a, {0, 1, 2}), a, 0.0f, 0.0f));
+}
+
+// ---------------------------------------------------------------------------
+// Stream splitting with non-default configurations.
+TEST(StreamConfigTest, TwoIncrementalSets) {
+  Tensor series(Shape{300, 2, 1});
+  for (int64_t t = 0; t < 300; ++t) {
+    series.Set({t, 0, 0}, static_cast<float>(t));
+    series.Set({t, 1, 0}, static_cast<float>(t));
+  }
+  data::StDataset dataset(series, data::WindowConfig{4, 1, 0});
+  data::StreamConfig config;
+  config.base_fraction = 0.5f;
+  config.num_incremental = 2;
+  data::StreamSplitter stream(dataset, config);
+  ASSERT_EQ(stream.NumStages(), 3);
+  EXPECT_EQ(stream.Stage(0).train.num_steps() + stream.Stage(0).val.num_steps() +
+                stream.Stage(0).test.num_steps(),
+            150);
+}
+
+TEST(StreamConfigTest, ZeroIncrementalIsBaseOnly) {
+  Tensor series = Tensor::Ones(Shape{200, 2, 1});
+  data::StDataset dataset(series, data::WindowConfig{4, 1, 0});
+  data::StreamConfig config;
+  config.base_fraction = 0.9f;
+  config.num_incremental = 0;
+  data::StreamSplitter stream(dataset, config);
+  EXPECT_EQ(stream.NumStages(), 1);
+  EXPECT_EQ(stream.Stage(0).name, "B_set");
+}
+
+}  // namespace
+}  // namespace urcl

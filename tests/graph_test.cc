@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/algorithms.h"
+#include "graph/generator.h"
+#include "graph/sensor_network.h"
+#include "graph/transition.h"
+#include "tensor/tensor_ops.h"
+
+namespace urcl {
+namespace graph {
+namespace {
+
+SensorNetwork Path3() {
+  SensorNetwork g(3);
+  g.AddEdge(0, 1, 1.0f);
+  g.AddEdge(1, 2, 2.0f);
+  return g;
+}
+
+TEST(SensorNetworkTest, UndirectedEdgesAreSymmetric) {
+  SensorNetwork g = Path3();
+  EXPECT_EQ(g.num_edges(), 4);  // 2 logical edges stored both ways
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+  EXPECT_FLOAT_EQ(g.EdgeWeight(1, 2), 2.0f);
+  EXPECT_FLOAT_EQ(g.EdgeWeight(2, 1), 2.0f);
+  EXPECT_FLOAT_EQ(g.EdgeWeight(0, 2), 0.0f);
+}
+
+TEST(SensorNetworkTest, DirectedEdgesAreOneWay) {
+  SensorNetwork g(2, /*directed=*/true);
+  g.AddEdge(0, 1, 1.0f);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+}
+
+TEST(SensorNetworkTest, AdjacencyMatrix) {
+  SensorNetwork g = Path3();
+  Tensor a = g.AdjacencyMatrix();
+  EXPECT_FLOAT_EQ(a.At({0, 1}), 1.0f);
+  EXPECT_FLOAT_EQ(a.At({1, 0}), 1.0f);
+  EXPECT_FLOAT_EQ(a.At({1, 2}), 2.0f);
+  EXPECT_FLOAT_EQ(a.At({0, 2}), 0.0f);
+  EXPECT_FLOAT_EQ(a.At({0, 0}), 0.0f);
+}
+
+TEST(SensorNetworkTest, SelfLoopDies) {
+  SensorNetwork g(2);
+  EXPECT_DEATH(g.AddEdge(1, 1, 1.0f), "self loops");
+}
+
+TEST(SensorNetworkTest, PositionsAndDistance) {
+  SensorNetwork g(2);
+  g.SetPosition(0, 0.0f, 0.0f);
+  g.SetPosition(1, 3.0f, 4.0f);
+  EXPECT_FLOAT_EQ(g.Distance(0, 1), 5.0f);
+}
+
+TEST(TransitionTest, RowNormalizeRowsSumToOne) {
+  SensorNetwork g = Path3();
+  Tensor p = ForwardTransition(g);
+  Tensor row_sums = ops::Sum(p, {1});
+  EXPECT_TRUE(ops::AllClose(row_sums, Tensor::Ones(Shape{3}), 1e-5f));
+}
+
+TEST(TransitionTest, SelfLoopsIncluded) {
+  SensorNetwork g = Path3();
+  Tensor p = ForwardTransition(g);
+  for (int64_t i = 0; i < 3; ++i) EXPECT_GT(p.At({i, i}), 0.0f);
+}
+
+TEST(TransitionTest, ZeroRowBecomesIdentityStep) {
+  Tensor m = Tensor::Zeros(Shape{2, 2});
+  Tensor p = RowNormalize(m);
+  EXPECT_FLOAT_EQ(p.At({0, 0}), 1.0f);
+  EXPECT_FLOAT_EQ(p.At({1, 1}), 1.0f);
+}
+
+TEST(TransitionTest, UndirectedHasOneSupport) {
+  SensorNetwork g = Path3();
+  EXPECT_EQ(BuildSupports(g).size(), 1u);
+}
+
+TEST(TransitionTest, DirectedHasTwoSupports) {
+  SensorNetwork g(2, /*directed=*/true);
+  g.AddEdge(0, 1, 1.0f);
+  const auto supports = BuildSupports(g);
+  ASSERT_EQ(supports.size(), 2u);
+  EXPECT_FALSE(ops::AllClose(supports[0], supports[1]));
+}
+
+TEST(TransitionTest, DenseMatchesGraphPath) {
+  SensorNetwork g = Path3();
+  EXPECT_TRUE(ops::AllClose(ForwardTransitionDense(g.AdjacencyMatrix()),
+                            ForwardTransition(g)));
+}
+
+TEST(TransitionTest, NormalizedLaplacianProperties) {
+  SensorNetwork g = Path3();
+  Tensor l = NormalizedLaplacian(g.AdjacencyMatrix());
+  // Symmetric for undirected graphs; diagonal is 1 for connected nodes.
+  EXPECT_TRUE(ops::AllClose(l, ops::TransposeLast2(l), 1e-5f));
+  for (int64_t i = 0; i < 3; ++i) EXPECT_NEAR(l.At({i, i}), 1.0f, 1e-5);
+}
+
+TEST(TransitionTest, ChebyshevRecursion) {
+  SensorNetwork g = Path3();
+  const auto supports = ChebyshevSupports(g.AdjacencyMatrix(), 3);
+  ASSERT_EQ(supports.size(), 3u);
+  // T2 = 2 L~ T1 - I must hold.
+  const Tensor scaled = ops::Sub(NormalizedLaplacian(g.AdjacencyMatrix()), Tensor::Eye(3));
+  const Tensor t2 = ops::Sub(ops::MulScalar(ops::MatMul(scaled, supports[0]), 2.0f),
+                             Tensor::Eye(3));
+  EXPECT_TRUE(ops::AllClose(supports[1], t2, 1e-4f));
+}
+
+TEST(AlgorithmsTest, BfsHopDistance) {
+  SensorNetwork g = Path3();
+  const auto dist = BfsHopDistance(g, 0);
+  EXPECT_EQ(dist[0], 0);
+  EXPECT_EQ(dist[1], 1);
+  EXPECT_EQ(dist[2], 2);
+}
+
+TEST(AlgorithmsTest, BfsUnreachable) {
+  SensorNetwork g(3);
+  g.AddEdge(0, 1, 1.0f);  // node 2 isolated
+  const auto dist = BfsHopDistance(g, 0);
+  EXPECT_EQ(dist[2], -1);
+}
+
+TEST(AlgorithmsTest, RandomWalkStaysConnected) {
+  Rng rng(1);
+  SensorNetwork g = RingGraph(10);
+  const auto nodes = RandomWalkNodes(g, 0, 6, rng);
+  EXPECT_GE(nodes.size(), 1u);
+  EXPECT_LE(nodes.size(), 7u);
+  // All visited nodes must be within 6 hops of the start on the ring.
+  for (const int64_t node : nodes) EXPECT_LT(node, 10);
+}
+
+TEST(AlgorithmsTest, RandomWalkZeroLengthIsStartOnly) {
+  Rng rng(2);
+  SensorNetwork g = RingGraph(5);
+  const auto nodes = RandomWalkNodes(g, 3, 0, rng);
+  ASSERT_EQ(nodes.size(), 1u);
+  EXPECT_EQ(nodes[0], 3);
+}
+
+TEST(AlgorithmsTest, DistantNodePairsOnPath) {
+  // Path 0-1-2-3-4: pairs at >= 3 hops: (0,3), (0,4), (1,4).
+  SensorNetwork g(5);
+  for (int64_t i = 0; i + 1 < 5; ++i) g.AddEdge(i, i + 1, 1.0f);
+  const auto pairs = DistantNodePairs(g, 3);
+  EXPECT_EQ(pairs.size(), 3u);
+}
+
+TEST(AlgorithmsTest, ConnectedComponents) {
+  SensorNetwork g(5);
+  g.AddEdge(0, 1, 1.0f);
+  g.AddEdge(2, 3, 1.0f);
+  EXPECT_EQ(CountConnectedComponents(g), 3);  // {0,1}, {2,3}, {4}
+}
+
+TEST(GeneratorTest, RandomGeometricIsConnected) {
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    Rng rng(seed);
+    SensorNetwork g = RandomGeometricGraph(30, 0.2f, rng);
+    EXPECT_EQ(CountConnectedComponents(g), 1) << "seed " << seed;
+    EXPECT_TRUE(g.has_positions());
+  }
+}
+
+TEST(GeneratorTest, GeometricWeightsAreInverseDistance) {
+  Rng rng(3);
+  SensorNetwork g = RandomGeometricGraph(20, 0.4f, rng);
+  for (const Edge& e : g.edges()) {
+    const float d = g.Distance(e.src, e.dst);
+    EXPECT_NEAR(e.weight, 1.0f / std::max(d, 1e-3f), 1e-3f * e.weight);
+  }
+}
+
+TEST(GeneratorTest, GridGraphStructure) {
+  SensorNetwork g = GridGraph(3, 4);
+  EXPECT_EQ(g.num_nodes(), 12);
+  // Interior node 5 (row 1, col 1) has 4 neighbors.
+  EXPECT_EQ(g.Neighbors(5).size(), 4u);
+  // Corner node 0 has 2.
+  EXPECT_EQ(g.Neighbors(0).size(), 2u);
+  EXPECT_EQ(CountConnectedComponents(g), 1);
+}
+
+TEST(GeneratorTest, RingGraphDegreeTwo) {
+  SensorNetwork g = RingGraph(8);
+  for (int64_t i = 0; i < 8; ++i) EXPECT_EQ(g.Neighbors(i).size(), 2u);
+  EXPECT_EQ(CountConnectedComponents(g), 1);
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace urcl

@@ -1,0 +1,73 @@
+#include "tensor/serialize.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor_ops.h"
+
+namespace urcl {
+namespace {
+
+TEST(SerializeTest, RoundTripStream) {
+  Rng rng(11);
+  Tensor t = Tensor::RandomNormal(Shape{3, 4, 5}, rng);
+  std::stringstream buffer;
+  SaveTensor(t, buffer);
+  Tensor back = LoadTensor(buffer);
+  EXPECT_EQ(back.shape(), t.shape());
+  EXPECT_TRUE(ops::AllClose(back, t, 0.0f, 0.0f));
+}
+
+TEST(SerializeTest, RoundTripScalar) {
+  std::stringstream buffer;
+  SaveTensor(Tensor::Scalar(3.5f), buffer);
+  EXPECT_FLOAT_EQ(LoadTensor(buffer).Item(), 3.5f);
+}
+
+TEST(SerializeTest, MultipleTensorsInOneStream) {
+  std::stringstream buffer;
+  SaveTensor(Tensor::Ones(Shape{2}), buffer);
+  SaveTensor(Tensor::Full(Shape{3}, 2.0f), buffer);
+  Tensor a = LoadTensor(buffer);
+  Tensor b = LoadTensor(buffer);
+  EXPECT_EQ(a.shape(), Shape({2}));
+  EXPECT_EQ(b.shape(), Shape({3}));
+  EXPECT_FLOAT_EQ(b.FlatAt(0), 2.0f);
+}
+
+TEST(SerializeTest, BadMagicDies) {
+  std::stringstream buffer("this is not a tensor stream at all");
+  EXPECT_DEATH(LoadTensor(buffer), "bad tensor magic");
+}
+
+TEST(SerializeTest, TruncatedStreamDies) {
+  Rng rng(1);
+  std::stringstream buffer;
+  SaveTensor(Tensor::RandomNormal(Shape{8}, rng), buffer);
+  const std::string bytes = buffer.str();
+  std::stringstream truncated(bytes.substr(0, bytes.size() / 2));
+  EXPECT_DEATH(LoadTensor(truncated), "truncated");
+}
+
+TEST(SerializeTest, FileRoundTrip) {
+  Rng rng(2);
+  std::vector<Tensor> tensors = {Tensor::RandomNormal(Shape{4, 4}, rng),
+                                 Tensor::Arange(10), Tensor::Scalar(1.0f)};
+  const std::string path = ::testing::TempDir() + "/urcl_serialize_test.bin";
+  SaveTensors(tensors, path);
+  const std::vector<Tensor> back = LoadTensors(path);
+  ASSERT_EQ(back.size(), tensors.size());
+  for (size_t i = 0; i < back.size(); ++i) {
+    EXPECT_TRUE(ops::AllClose(back[i], tensors[i], 0.0f, 0.0f));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingFileDies) {
+  EXPECT_DEATH(LoadTensors("/nonexistent/path/tensors.bin"), "cannot open");
+}
+
+}  // namespace
+}  // namespace urcl

@@ -1,0 +1,121 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace urcl {
+namespace {
+
+TEST(TensorTest, DefaultIsScalarZero) {
+  Tensor t;
+  EXPECT_EQ(t.rank(), 0);
+  EXPECT_EQ(t.NumElements(), 1);
+  EXPECT_FLOAT_EQ(t.Item(), 0.0f);
+}
+
+TEST(TensorTest, ZerosAndOnes) {
+  Tensor z = Tensor::Zeros(Shape{2, 2});
+  Tensor o = Tensor::Ones(Shape{2, 2});
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_FLOAT_EQ(z.FlatAt(i), 0.0f);
+    EXPECT_FLOAT_EQ(o.FlatAt(i), 1.0f);
+  }
+}
+
+TEST(TensorTest, FullAndScalar) {
+  EXPECT_FLOAT_EQ(Tensor::Full(Shape{3}, 2.5f).FlatAt(1), 2.5f);
+  EXPECT_FLOAT_EQ(Tensor::Scalar(-7.0f).Item(), -7.0f);
+}
+
+TEST(TensorTest, FromVectorAndAt) {
+  Tensor t = Tensor::FromVector(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_FLOAT_EQ(t.At({0, 0}), 1.0f);
+  EXPECT_FLOAT_EQ(t.At({0, 2}), 3.0f);
+  EXPECT_FLOAT_EQ(t.At({1, 1}), 5.0f);
+}
+
+TEST(TensorTest, FromVectorWrongCountDies) {
+  EXPECT_DEATH(Tensor::FromVector(Shape{2, 2}, {1, 2, 3}), "FromVector");
+}
+
+TEST(TensorTest, Arange) {
+  Tensor t = Tensor::Arange(4);
+  EXPECT_EQ(t.shape(), Shape({4}));
+  EXPECT_FLOAT_EQ(t.FlatAt(3), 3.0f);
+}
+
+TEST(TensorTest, Eye) {
+  Tensor t = Tensor::Eye(3);
+  EXPECT_FLOAT_EQ(t.At({1, 1}), 1.0f);
+  EXPECT_FLOAT_EQ(t.At({1, 2}), 0.0f);
+}
+
+TEST(TensorTest, RandomUniformRange) {
+  Rng rng(7);
+  Tensor t = Tensor::RandomUniform(Shape{100}, rng, -2.0f, 3.0f);
+  for (int64_t i = 0; i < t.NumElements(); ++i) {
+    EXPECT_GE(t.FlatAt(i), -2.0f);
+    EXPECT_LT(t.FlatAt(i), 3.0f);
+  }
+}
+
+TEST(TensorTest, RandomNormalIsDeterministicPerSeed) {
+  Rng rng1(42), rng2(42);
+  Tensor a = Tensor::RandomNormal(Shape{16}, rng1);
+  Tensor b = Tensor::RandomNormal(Shape{16}, rng2);
+  for (int64_t i = 0; i < 16; ++i) EXPECT_FLOAT_EQ(a.FlatAt(i), b.FlatAt(i));
+}
+
+TEST(TensorTest, CopySharesStorage) {
+  Tensor a = Tensor::Zeros(Shape{2});
+  Tensor b = a;
+  b.FlatSet(0, 9.0f);
+  EXPECT_FLOAT_EQ(a.FlatAt(0), 9.0f);
+}
+
+TEST(TensorTest, CloneDetachesStorage) {
+  Tensor a = Tensor::Zeros(Shape{2});
+  Tensor b = a.Clone();
+  b.FlatSet(0, 9.0f);
+  EXPECT_FLOAT_EQ(a.FlatAt(0), 0.0f);
+}
+
+TEST(TensorTest, ReshapeSharesStorageAndChecksCount) {
+  Tensor a = Tensor::Arange(6);
+  Tensor b = a.Reshape(Shape{2, 3});
+  EXPECT_FLOAT_EQ(b.At({1, 0}), 3.0f);
+  b.FlatSet(0, 42.0f);
+  EXPECT_FLOAT_EQ(a.FlatAt(0), 42.0f);
+  EXPECT_DEATH(a.Reshape(Shape{4}), "Reshape");
+}
+
+TEST(TensorTest, InPlaceOps) {
+  Tensor a = Tensor::Ones(Shape{3});
+  Tensor b = Tensor::Full(Shape{3}, 2.0f);
+  a.AddInPlace(b);
+  EXPECT_FLOAT_EQ(a.FlatAt(2), 3.0f);
+  a.MulInPlace(0.5f);
+  EXPECT_FLOAT_EQ(a.FlatAt(0), 1.5f);
+  a.Fill(-1.0f);
+  EXPECT_FLOAT_EQ(a.FlatAt(1), -1.0f);
+  a.CopyFrom(b);
+  EXPECT_FLOAT_EQ(a.FlatAt(1), 2.0f);
+}
+
+TEST(TensorTest, AddInPlaceShapeMismatchDies) {
+  Tensor a = Tensor::Ones(Shape{3});
+  Tensor b = Tensor::Ones(Shape{4});
+  EXPECT_DEATH(a.AddInPlace(b), "shape mismatch");
+}
+
+TEST(TensorTest, ItemRequiresSingleElement) {
+  EXPECT_DEATH(Tensor::Zeros(Shape{2}).Item(), "single-element");
+}
+
+TEST(TensorTest, BoundsChecking) {
+  Tensor t = Tensor::Zeros(Shape{2, 2});
+  EXPECT_DEATH(t.At({2, 0}), "out of bounds");
+  EXPECT_DEATH(t.FlatAt(4), "Check failed");
+}
+
+}  // namespace
+}  // namespace urcl

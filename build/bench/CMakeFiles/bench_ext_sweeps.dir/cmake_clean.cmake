@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_sweeps.dir/bench_ext_sweeps.cc.o"
+  "CMakeFiles/bench_ext_sweeps.dir/bench_ext_sweeps.cc.o.d"
+  "bench_ext_sweeps"
+  "bench_ext_sweeps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_sweeps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

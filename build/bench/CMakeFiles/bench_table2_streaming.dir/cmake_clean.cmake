@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_streaming.dir/bench_table2_streaming.cc.o"
+  "CMakeFiles/bench_table2_streaming.dir/bench_table2_streaming.cc.o.d"
+  "bench_table2_streaming"
+  "bench_table2_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

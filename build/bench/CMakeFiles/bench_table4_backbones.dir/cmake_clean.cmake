@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_backbones.dir/bench_table4_backbones.cc.o"
+  "CMakeFiles/bench_table4_backbones.dir/bench_table4_backbones.cc.o.d"
+  "bench_table4_backbones"
+  "bench_table4_backbones.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_backbones.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_backbone.dir/custom_backbone.cpp.o"
+  "CMakeFiles/custom_backbone.dir/custom_backbone.cpp.o.d"
+  "custom_backbone"
+  "custom_backbone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_backbone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_forecaster.dir/streaming_forecaster.cpp.o"
+  "CMakeFiles/streaming_forecaster.dir/streaming_forecaster.cpp.o.d"
+  "streaming_forecaster"
+  "streaming_forecaster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_forecaster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

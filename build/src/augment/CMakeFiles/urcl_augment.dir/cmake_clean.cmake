@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urcl_augment.dir/augmentation.cc.o"
+  "CMakeFiles/urcl_augment.dir/augmentation.cc.o.d"
+  "liburcl_augment.a"
+  "liburcl_augment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urcl_augment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

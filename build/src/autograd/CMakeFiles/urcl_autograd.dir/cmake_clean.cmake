@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urcl_autograd.dir/grad_check.cc.o"
+  "CMakeFiles/urcl_autograd.dir/grad_check.cc.o.d"
+  "CMakeFiles/urcl_autograd.dir/ops.cc.o"
+  "CMakeFiles/urcl_autograd.dir/ops.cc.o.d"
+  "CMakeFiles/urcl_autograd.dir/variable.cc.o"
+  "CMakeFiles/urcl_autograd.dir/variable.cc.o.d"
+  "liburcl_autograd.a"
+  "liburcl_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urcl_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

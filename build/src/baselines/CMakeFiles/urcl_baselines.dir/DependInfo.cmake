@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/agcrn.cc" "src/baselines/CMakeFiles/urcl_baselines.dir/agcrn.cc.o" "gcc" "src/baselines/CMakeFiles/urcl_baselines.dir/agcrn.cc.o.d"
+  "/root/repo/src/baselines/arima.cc" "src/baselines/CMakeFiles/urcl_baselines.dir/arima.cc.o" "gcc" "src/baselines/CMakeFiles/urcl_baselines.dir/arima.cc.o.d"
+  "/root/repo/src/baselines/deep_baseline.cc" "src/baselines/CMakeFiles/urcl_baselines.dir/deep_baseline.cc.o" "gcc" "src/baselines/CMakeFiles/urcl_baselines.dir/deep_baseline.cc.o.d"
+  "/root/repo/src/baselines/fclstm.cc" "src/baselines/CMakeFiles/urcl_baselines.dir/fclstm.cc.o" "gcc" "src/baselines/CMakeFiles/urcl_baselines.dir/fclstm.cc.o.d"
+  "/root/repo/src/baselines/historical_average.cc" "src/baselines/CMakeFiles/urcl_baselines.dir/historical_average.cc.o" "gcc" "src/baselines/CMakeFiles/urcl_baselines.dir/historical_average.cc.o.d"
+  "/root/repo/src/baselines/stgcn.cc" "src/baselines/CMakeFiles/urcl_baselines.dir/stgcn.cc.o" "gcc" "src/baselines/CMakeFiles/urcl_baselines.dir/stgcn.cc.o.d"
+  "/root/repo/src/baselines/stgode.cc" "src/baselines/CMakeFiles/urcl_baselines.dir/stgode.cc.o" "gcc" "src/baselines/CMakeFiles/urcl_baselines.dir/stgode.cc.o.d"
+  "/root/repo/src/baselines/zoo.cc" "src/baselines/CMakeFiles/urcl_baselines.dir/zoo.cc.o" "gcc" "src/baselines/CMakeFiles/urcl_baselines.dir/zoo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/urcl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/augment/CMakeFiles/urcl_augment.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/urcl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/urcl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/urcl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/urcl_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/replay/CMakeFiles/urcl_replay.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/urcl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/urcl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

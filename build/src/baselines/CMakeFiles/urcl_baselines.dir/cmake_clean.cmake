@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urcl_baselines.dir/agcrn.cc.o"
+  "CMakeFiles/urcl_baselines.dir/agcrn.cc.o.d"
+  "CMakeFiles/urcl_baselines.dir/arima.cc.o"
+  "CMakeFiles/urcl_baselines.dir/arima.cc.o.d"
+  "CMakeFiles/urcl_baselines.dir/deep_baseline.cc.o"
+  "CMakeFiles/urcl_baselines.dir/deep_baseline.cc.o.d"
+  "CMakeFiles/urcl_baselines.dir/fclstm.cc.o"
+  "CMakeFiles/urcl_baselines.dir/fclstm.cc.o.d"
+  "CMakeFiles/urcl_baselines.dir/historical_average.cc.o"
+  "CMakeFiles/urcl_baselines.dir/historical_average.cc.o.d"
+  "CMakeFiles/urcl_baselines.dir/stgcn.cc.o"
+  "CMakeFiles/urcl_baselines.dir/stgcn.cc.o.d"
+  "CMakeFiles/urcl_baselines.dir/stgode.cc.o"
+  "CMakeFiles/urcl_baselines.dir/stgode.cc.o.d"
+  "CMakeFiles/urcl_baselines.dir/zoo.cc.o"
+  "CMakeFiles/urcl_baselines.dir/zoo.cc.o.d"
+  "liburcl_baselines.a"
+  "liburcl_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urcl_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

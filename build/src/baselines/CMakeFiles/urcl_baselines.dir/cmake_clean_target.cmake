@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liburcl_baselines.a"
+)

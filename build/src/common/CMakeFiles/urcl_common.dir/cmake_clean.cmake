@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urcl_common.dir/check.cc.o"
+  "CMakeFiles/urcl_common.dir/check.cc.o.d"
+  "CMakeFiles/urcl_common.dir/csv_writer.cc.o"
+  "CMakeFiles/urcl_common.dir/csv_writer.cc.o.d"
+  "CMakeFiles/urcl_common.dir/flags.cc.o"
+  "CMakeFiles/urcl_common.dir/flags.cc.o.d"
+  "CMakeFiles/urcl_common.dir/rng.cc.o"
+  "CMakeFiles/urcl_common.dir/rng.cc.o.d"
+  "CMakeFiles/urcl_common.dir/table_printer.cc.o"
+  "CMakeFiles/urcl_common.dir/table_printer.cc.o.d"
+  "liburcl_common.a"
+  "liburcl_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urcl_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

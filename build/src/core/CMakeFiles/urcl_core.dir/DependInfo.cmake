@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/backbone.cc" "src/core/CMakeFiles/urcl_core.dir/backbone.cc.o" "gcc" "src/core/CMakeFiles/urcl_core.dir/backbone.cc.o.d"
+  "/root/repo/src/core/dcrnn_backbone.cc" "src/core/CMakeFiles/urcl_core.dir/dcrnn_backbone.cc.o" "gcc" "src/core/CMakeFiles/urcl_core.dir/dcrnn_backbone.cc.o.d"
+  "/root/repo/src/core/drift.cc" "src/core/CMakeFiles/urcl_core.dir/drift.cc.o" "gcc" "src/core/CMakeFiles/urcl_core.dir/drift.cc.o.d"
+  "/root/repo/src/core/ewc.cc" "src/core/CMakeFiles/urcl_core.dir/ewc.cc.o" "gcc" "src/core/CMakeFiles/urcl_core.dir/ewc.cc.o.d"
+  "/root/repo/src/core/geoman_backbone.cc" "src/core/CMakeFiles/urcl_core.dir/geoman_backbone.cc.o" "gcc" "src/core/CMakeFiles/urcl_core.dir/geoman_backbone.cc.o.d"
+  "/root/repo/src/core/predictor.cc" "src/core/CMakeFiles/urcl_core.dir/predictor.cc.o" "gcc" "src/core/CMakeFiles/urcl_core.dir/predictor.cc.o.d"
+  "/root/repo/src/core/stdecoder.cc" "src/core/CMakeFiles/urcl_core.dir/stdecoder.cc.o" "gcc" "src/core/CMakeFiles/urcl_core.dir/stdecoder.cc.o.d"
+  "/root/repo/src/core/stencoder.cc" "src/core/CMakeFiles/urcl_core.dir/stencoder.cc.o" "gcc" "src/core/CMakeFiles/urcl_core.dir/stencoder.cc.o.d"
+  "/root/repo/src/core/stmixup.cc" "src/core/CMakeFiles/urcl_core.dir/stmixup.cc.o" "gcc" "src/core/CMakeFiles/urcl_core.dir/stmixup.cc.o.d"
+  "/root/repo/src/core/strategies.cc" "src/core/CMakeFiles/urcl_core.dir/strategies.cc.o" "gcc" "src/core/CMakeFiles/urcl_core.dir/strategies.cc.o.d"
+  "/root/repo/src/core/stsimsiam.cc" "src/core/CMakeFiles/urcl_core.dir/stsimsiam.cc.o" "gcc" "src/core/CMakeFiles/urcl_core.dir/stsimsiam.cc.o.d"
+  "/root/repo/src/core/urcl.cc" "src/core/CMakeFiles/urcl_core.dir/urcl.cc.o" "gcc" "src/core/CMakeFiles/urcl_core.dir/urcl.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/augment/CMakeFiles/urcl_augment.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/urcl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/urcl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/urcl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/replay/CMakeFiles/urcl_replay.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/urcl_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/urcl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/urcl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

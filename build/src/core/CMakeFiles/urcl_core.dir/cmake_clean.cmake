@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urcl_core.dir/backbone.cc.o"
+  "CMakeFiles/urcl_core.dir/backbone.cc.o.d"
+  "CMakeFiles/urcl_core.dir/dcrnn_backbone.cc.o"
+  "CMakeFiles/urcl_core.dir/dcrnn_backbone.cc.o.d"
+  "CMakeFiles/urcl_core.dir/drift.cc.o"
+  "CMakeFiles/urcl_core.dir/drift.cc.o.d"
+  "CMakeFiles/urcl_core.dir/ewc.cc.o"
+  "CMakeFiles/urcl_core.dir/ewc.cc.o.d"
+  "CMakeFiles/urcl_core.dir/geoman_backbone.cc.o"
+  "CMakeFiles/urcl_core.dir/geoman_backbone.cc.o.d"
+  "CMakeFiles/urcl_core.dir/predictor.cc.o"
+  "CMakeFiles/urcl_core.dir/predictor.cc.o.d"
+  "CMakeFiles/urcl_core.dir/stdecoder.cc.o"
+  "CMakeFiles/urcl_core.dir/stdecoder.cc.o.d"
+  "CMakeFiles/urcl_core.dir/stencoder.cc.o"
+  "CMakeFiles/urcl_core.dir/stencoder.cc.o.d"
+  "CMakeFiles/urcl_core.dir/stmixup.cc.o"
+  "CMakeFiles/urcl_core.dir/stmixup.cc.o.d"
+  "CMakeFiles/urcl_core.dir/strategies.cc.o"
+  "CMakeFiles/urcl_core.dir/strategies.cc.o.d"
+  "CMakeFiles/urcl_core.dir/stsimsiam.cc.o"
+  "CMakeFiles/urcl_core.dir/stsimsiam.cc.o.d"
+  "CMakeFiles/urcl_core.dir/urcl.cc.o"
+  "CMakeFiles/urcl_core.dir/urcl.cc.o.d"
+  "liburcl_core.a"
+  "liburcl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urcl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/csv_io.cc" "src/data/CMakeFiles/urcl_data.dir/csv_io.cc.o" "gcc" "src/data/CMakeFiles/urcl_data.dir/csv_io.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/data/CMakeFiles/urcl_data.dir/dataset.cc.o" "gcc" "src/data/CMakeFiles/urcl_data.dir/dataset.cc.o.d"
+  "/root/repo/src/data/metrics.cc" "src/data/CMakeFiles/urcl_data.dir/metrics.cc.o" "gcc" "src/data/CMakeFiles/urcl_data.dir/metrics.cc.o.d"
+  "/root/repo/src/data/normalizer.cc" "src/data/CMakeFiles/urcl_data.dir/normalizer.cc.o" "gcc" "src/data/CMakeFiles/urcl_data.dir/normalizer.cc.o.d"
+  "/root/repo/src/data/presets.cc" "src/data/CMakeFiles/urcl_data.dir/presets.cc.o" "gcc" "src/data/CMakeFiles/urcl_data.dir/presets.cc.o.d"
+  "/root/repo/src/data/stream.cc" "src/data/CMakeFiles/urcl_data.dir/stream.cc.o" "gcc" "src/data/CMakeFiles/urcl_data.dir/stream.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/data/CMakeFiles/urcl_data.dir/synthetic.cc.o" "gcc" "src/data/CMakeFiles/urcl_data.dir/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/urcl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/urcl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/urcl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urcl_data.dir/csv_io.cc.o"
+  "CMakeFiles/urcl_data.dir/csv_io.cc.o.d"
+  "CMakeFiles/urcl_data.dir/dataset.cc.o"
+  "CMakeFiles/urcl_data.dir/dataset.cc.o.d"
+  "CMakeFiles/urcl_data.dir/metrics.cc.o"
+  "CMakeFiles/urcl_data.dir/metrics.cc.o.d"
+  "CMakeFiles/urcl_data.dir/normalizer.cc.o"
+  "CMakeFiles/urcl_data.dir/normalizer.cc.o.d"
+  "CMakeFiles/urcl_data.dir/presets.cc.o"
+  "CMakeFiles/urcl_data.dir/presets.cc.o.d"
+  "CMakeFiles/urcl_data.dir/stream.cc.o"
+  "CMakeFiles/urcl_data.dir/stream.cc.o.d"
+  "CMakeFiles/urcl_data.dir/synthetic.cc.o"
+  "CMakeFiles/urcl_data.dir/synthetic.cc.o.d"
+  "liburcl_data.a"
+  "liburcl_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urcl_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/algorithms.cc" "src/graph/CMakeFiles/urcl_graph.dir/algorithms.cc.o" "gcc" "src/graph/CMakeFiles/urcl_graph.dir/algorithms.cc.o.d"
+  "/root/repo/src/graph/generator.cc" "src/graph/CMakeFiles/urcl_graph.dir/generator.cc.o" "gcc" "src/graph/CMakeFiles/urcl_graph.dir/generator.cc.o.d"
+  "/root/repo/src/graph/sensor_network.cc" "src/graph/CMakeFiles/urcl_graph.dir/sensor_network.cc.o" "gcc" "src/graph/CMakeFiles/urcl_graph.dir/sensor_network.cc.o.d"
+  "/root/repo/src/graph/transition.cc" "src/graph/CMakeFiles/urcl_graph.dir/transition.cc.o" "gcc" "src/graph/CMakeFiles/urcl_graph.dir/transition.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/urcl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/urcl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urcl_graph.dir/algorithms.cc.o"
+  "CMakeFiles/urcl_graph.dir/algorithms.cc.o.d"
+  "CMakeFiles/urcl_graph.dir/generator.cc.o"
+  "CMakeFiles/urcl_graph.dir/generator.cc.o.d"
+  "CMakeFiles/urcl_graph.dir/sensor_network.cc.o"
+  "CMakeFiles/urcl_graph.dir/sensor_network.cc.o.d"
+  "CMakeFiles/urcl_graph.dir/transition.cc.o"
+  "CMakeFiles/urcl_graph.dir/transition.cc.o.d"
+  "liburcl_graph.a"
+  "liburcl_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urcl_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/gcn.cc" "src/nn/CMakeFiles/urcl_nn.dir/gcn.cc.o" "gcc" "src/nn/CMakeFiles/urcl_nn.dir/gcn.cc.o.d"
+  "/root/repo/src/nn/init.cc" "src/nn/CMakeFiles/urcl_nn.dir/init.cc.o" "gcc" "src/nn/CMakeFiles/urcl_nn.dir/init.cc.o.d"
+  "/root/repo/src/nn/layer_norm.cc" "src/nn/CMakeFiles/urcl_nn.dir/layer_norm.cc.o" "gcc" "src/nn/CMakeFiles/urcl_nn.dir/layer_norm.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/nn/CMakeFiles/urcl_nn.dir/linear.cc.o" "gcc" "src/nn/CMakeFiles/urcl_nn.dir/linear.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/nn/CMakeFiles/urcl_nn.dir/loss.cc.o" "gcc" "src/nn/CMakeFiles/urcl_nn.dir/loss.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/nn/CMakeFiles/urcl_nn.dir/module.cc.o" "gcc" "src/nn/CMakeFiles/urcl_nn.dir/module.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/nn/CMakeFiles/urcl_nn.dir/optimizer.cc.o" "gcc" "src/nn/CMakeFiles/urcl_nn.dir/optimizer.cc.o.d"
+  "/root/repo/src/nn/tcn.cc" "src/nn/CMakeFiles/urcl_nn.dir/tcn.cc.o" "gcc" "src/nn/CMakeFiles/urcl_nn.dir/tcn.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/autograd/CMakeFiles/urcl_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/urcl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/urcl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urcl_nn.dir/gcn.cc.o"
+  "CMakeFiles/urcl_nn.dir/gcn.cc.o.d"
+  "CMakeFiles/urcl_nn.dir/init.cc.o"
+  "CMakeFiles/urcl_nn.dir/init.cc.o.d"
+  "CMakeFiles/urcl_nn.dir/layer_norm.cc.o"
+  "CMakeFiles/urcl_nn.dir/layer_norm.cc.o.d"
+  "CMakeFiles/urcl_nn.dir/linear.cc.o"
+  "CMakeFiles/urcl_nn.dir/linear.cc.o.d"
+  "CMakeFiles/urcl_nn.dir/loss.cc.o"
+  "CMakeFiles/urcl_nn.dir/loss.cc.o.d"
+  "CMakeFiles/urcl_nn.dir/module.cc.o"
+  "CMakeFiles/urcl_nn.dir/module.cc.o.d"
+  "CMakeFiles/urcl_nn.dir/optimizer.cc.o"
+  "CMakeFiles/urcl_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/urcl_nn.dir/tcn.cc.o"
+  "CMakeFiles/urcl_nn.dir/tcn.cc.o.d"
+  "liburcl_nn.a"
+  "liburcl_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urcl_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urcl_replay.dir/replay_buffer.cc.o"
+  "CMakeFiles/urcl_replay.dir/replay_buffer.cc.o.d"
+  "CMakeFiles/urcl_replay.dir/samplers.cc.o"
+  "CMakeFiles/urcl_replay.dir/samplers.cc.o.d"
+  "liburcl_replay.a"
+  "liburcl_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urcl_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urcl_tensor.dir/serialize.cc.o"
+  "CMakeFiles/urcl_tensor.dir/serialize.cc.o.d"
+  "CMakeFiles/urcl_tensor.dir/shape.cc.o"
+  "CMakeFiles/urcl_tensor.dir/shape.cc.o.d"
+  "CMakeFiles/urcl_tensor.dir/tensor.cc.o"
+  "CMakeFiles/urcl_tensor.dir/tensor.cc.o.d"
+  "CMakeFiles/urcl_tensor.dir/tensor_ops.cc.o"
+  "CMakeFiles/urcl_tensor.dir/tensor_ops.cc.o.d"
+  "liburcl_tensor.a"
+  "liburcl_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urcl_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/grad_check_test.cc" "tests/CMakeFiles/grad_check_test.dir/grad_check_test.cc.o" "gcc" "tests/CMakeFiles/grad_check_test.dir/grad_check_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/urcl_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/urcl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/urcl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/replay/CMakeFiles/urcl_replay.dir/DependInfo.cmake"
+  "/root/repo/build/src/augment/CMakeFiles/urcl_augment.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/urcl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/urcl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/urcl_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/urcl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/urcl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

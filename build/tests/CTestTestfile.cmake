@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/shape_test[1]_include.cmake")
+include("/root/repo/build/tests/tensor_test[1]_include.cmake")
+include("/root/repo/build/tests/tensor_ops_test[1]_include.cmake")
+include("/root/repo/build/tests/serialize_test[1]_include.cmake")
+include("/root/repo/build/tests/autograd_test[1]_include.cmake")
+include("/root/repo/build/tests/grad_check_test[1]_include.cmake")
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_test[1]_include.cmake")
+include("/root/repo/build/tests/optimizer_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/data_test[1]_include.cmake")
+include("/root/repo/build/tests/replay_test[1]_include.cmake")
+include("/root/repo/build/tests/augment_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/strategies_test[1]_include.cmake")
+include("/root/repo/build/tests/csv_io_test[1]_include.cmake")
+include("/root/repo/build/tests/determinism_test[1]_include.cmake")
+include("/root/repo/build/tests/drift_test[1]_include.cmake")
+include("/root/repo/build/tests/equivariance_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_cases_test[1]_include.cmake")

@@ -4,6 +4,7 @@
 // Every bench accepts:
 //   --scale quick|full     preset sizes (default quick; env URCL_BENCH_SCALE)
 //   --nodes / --days / --epochs / --batches / --seed   fine-grained overrides
+//   --threads N            compute thread count (results are thread-invariant)
 #ifndef URCL_BENCH_BENCH_COMMON_H_
 #define URCL_BENCH_BENCH_COMMON_H_
 
@@ -39,6 +40,7 @@ struct BenchScale {
 };
 
 inline BenchScale ResolveScale(const Flags& flags) {
+  ApplyRuntimeFlags(flags);
   BenchScale scale;
   std::string mode = flags.GetString("scale", "");
   if (mode.empty()) {

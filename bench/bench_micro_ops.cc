@@ -1,9 +1,16 @@
 // Micro-benchmarks (google-benchmark) for the substrate operations that
 // dominate URCL's runtime: tensor kernels, the GCN/TCN layers, a full
-// encoder forward/backward, augmentations, and RMIR components.
+// encoder forward/backward, augmentations, and RMIR components, plus
+// thread-count sweeps over the parallel kernels (the *Threads benchmarks,
+// Arg = thread count). Writes BENCH_micro_ops.json unless --benchmark_out
+// is given.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "augment/augmentation.h"
+#include "runtime/parallel.h"
 #include "autograd/ops.h"
 #include "core/stencoder.h"
 #include "core/stmixup.h"
@@ -162,6 +169,70 @@ void BM_RmirSelect(benchmark::State& state) {
 }
 BENCHMARK(BM_RmirSelect);
 
+// --- Thread-count sweeps over the parallel kernels --------------------------
+// Arg = thread count. UseRealTime so wall-clock (not per-thread CPU) speedup
+// is what the JSON series reports. Results are bitwise identical across the
+// sweep; only the timing changes.
+
+// Sets the thread count for the benchmark's duration, then restores it.
+class ThreadSweep {
+ public:
+  explicit ThreadSweep(int threads) : saved_(runtime::GetNumThreads()) {
+    runtime::SetNumThreads(threads);
+  }
+  ~ThreadSweep() { runtime::SetNumThreads(saved_); }
+
+ private:
+  int saved_;
+};
+
+void BM_BatchedMatMulThreads(benchmark::State& state) {
+  ThreadSweep sweep(static_cast<int>(state.range(0)));
+  Rng rng(20);
+  Tensor a = Tensor::RandomNormal(Shape{8, 96, 96}, rng);
+  Tensor b = Tensor::RandomNormal(Shape{8, 96, 96}, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(ops::MatMul(a, b));
+  state.SetItemsProcessed(state.iterations() * 8 * 96 * 96 * 96);
+}
+BENCHMARK(BM_BatchedMatMulThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_TemporalConvThreads(benchmark::State& state) {
+  ThreadSweep sweep(static_cast<int>(state.range(0)));
+  Rng rng(21);
+  ag::Variable in(Tensor::RandomNormal(Shape{8, 16, 64, 24}, rng), false);
+  ag::Variable w(Tensor::RandomNormal(Shape{16, 16, 1, 2}, rng), false);
+  for (auto _ : state) benchmark::DoNotOptimize(ag::TemporalConv2d(in, w, 2));
+}
+BENCHMARK(BM_TemporalConvThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_GraphMatMulThreads(benchmark::State& state) {
+  ThreadSweep sweep(static_cast<int>(state.range(0)));
+  Rng rng(22);
+  Rng graph_rng(23);
+  graph::SensorNetwork g = graph::RandomGeometricGraph(64, 0.3f, graph_rng);
+  const Tensor adjacency = g.AdjacencyMatrix();
+  ag::Variable x(Tensor::RandomNormal(Shape{8, 16, 64, 12}, rng), false);
+  for (auto _ : state) benchmark::DoNotOptimize(nn::GraphMatMul(adjacency, x));
+}
+BENCHMARK(BM_GraphMatMulThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_SumAxisThreads(benchmark::State& state) {
+  ThreadSweep sweep(static_cast<int>(state.range(0)));
+  Rng rng(24);
+  Tensor a = Tensor::RandomNormal(Shape{64, 128, 96}, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(ops::Sum(a, {1}));
+}
+BENCHMARK(BM_SumAxisThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_AddBroadcastThreads(benchmark::State& state) {
+  ThreadSweep sweep(static_cast<int>(state.range(0)));
+  Rng rng(25);
+  Tensor a = Tensor::RandomNormal(Shape{64, 1, 96, 24}, rng);
+  Tensor b = Tensor::RandomNormal(Shape{1, 16, 96, 24}, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(ops::Add(a, b));
+}
+BENCHMARK(BM_AddBroadcastThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
 void BM_BuildSupportsDense(benchmark::State& state) {
   Rng graph_rng(16);
   graph::SensorNetwork g = graph::RandomGeometricGraph(32, 0.3f, graph_rng);
@@ -175,4 +246,25 @@ BENCHMARK(BM_BuildSupportsDense);
 }  // namespace
 }  // namespace urcl
 
-BENCHMARK_MAIN();
+// Custom main: same as BENCHMARK_MAIN() but defaults the JSON series output
+// to BENCH_micro_ops.json so the threads sweep is recorded without extra
+// flags. Any explicit --benchmark_out takes precedence.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) has_out = true;
+  }
+  std::string out_flag = "--benchmark_out=BENCH_micro_ops.json";
+  std::string format_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -58,6 +58,7 @@ ViewDiff Diff(const Tensor& observations, const Tensor& adjacency,
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
+  ApplyRuntimeFlags(flags);
   const int64_t nodes = flags.GetInt("nodes", 10);
   Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 7)));
 

@@ -63,6 +63,7 @@ class PerNodeMlpEncoder : public core::StBackbone {
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
+  ApplyRuntimeFlags(flags);
   const int64_t nodes = flags.GetInt("nodes", 12);
   const int64_t days = flags.GetInt("days", 10);
   const int64_t epochs = flags.GetInt("epochs", 4);

@@ -20,6 +20,7 @@ using namespace urcl;
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
+  ApplyRuntimeFlags(flags);
   const int64_t nodes = flags.GetInt("nodes", 16);
   const int64_t days = flags.GetInt("days", 12);
   const int64_t epochs = flags.GetInt("epochs", 4);

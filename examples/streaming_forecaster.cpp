@@ -18,6 +18,7 @@ using namespace urcl;
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
+  ApplyRuntimeFlags(flags);
   const int64_t nodes = flags.GetInt("nodes", 12);
   const int64_t days = flags.GetInt("days", 8);
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 7));

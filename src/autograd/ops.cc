@@ -1,8 +1,10 @@
 #include "autograd/ops.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.h"
+#include "runtime/parallel.h"
 #include "tensor/tensor_ops.h"
 
 namespace urcl {
@@ -305,23 +307,30 @@ Tensor TemporalConvForward(const Tensor& input, const Tensor& weight, int64_t di
   const float* pi = input.data();
   const float* pw = weight.data();
   float* po = out.mutable_data();
-  for (int64_t b = 0; b < batch; ++b) {
-    for (int64_t co = 0; co < c_out; ++co) {
+  // Each output row [b, co, n, :] is produced wholly by one chunk, with the
+  // ci -> k -> t accumulation order fixed, so results are bitwise identical
+  // at any thread count.
+  const int64_t total_rows = batch * c_out * nodes;
+  const int64_t row_cost = c_in * kernel * t_out;
+  const int64_t grain = std::max<int64_t>(1, (1 << 14) / std::max<int64_t>(1, row_cost));
+  runtime::ParallelFor(0, total_rows, grain, [&](int64_t row_begin, int64_t row_end) {
+    for (int64_t r = row_begin; r < row_end; ++r) {
+      const int64_t n = r % nodes;
+      const int64_t co = (r / nodes) % c_out;
+      const int64_t b = r / (nodes * c_out);
+      float* out_row = po + r * t_out;
       for (int64_t ci = 0; ci < c_in; ++ci) {
         const float* w_row = pw + (co * c_in + ci) * kernel;
-        for (int64_t n = 0; n < nodes; ++n) {
-          const float* in_row = pi + ((b * c_in + ci) * nodes + n) * time;
-          float* out_row = po + ((b * c_out + co) * nodes + n) * t_out;
-          for (int64_t k = 0; k < kernel; ++k) {
-            const float w = w_row[k];
-            if (w == 0.0f) continue;
-            const int64_t shift = dilation * k;
-            for (int64_t t = 0; t < t_out; ++t) out_row[t] += w * in_row[t + shift];
-          }
+        const float* in_row = pi + ((b * c_in + ci) * nodes + n) * time;
+        for (int64_t k = 0; k < kernel; ++k) {
+          const float w = w_row[k];
+          if (w == 0.0f) continue;
+          const int64_t shift = dilation * k;
+          for (int64_t t = 0; t < t_out; ++t) out_row[t] += w * in_row[t + shift];
         }
       }
     }
-  }
+  });
   return out;
 }
 
@@ -347,29 +356,49 @@ Variable TemporalConv2d(const Variable& input, const Variable& weight, int64_t d
         const float* pw = w.data();
         float* pdi = d_in.mutable_data();
         float* pdw = d_w.mutable_data();
-        for (int64_t b = 0; b < batch; ++b) {
-          for (int64_t co = 0; co < c_out; ++co) {
-            for (int64_t ci = 0; ci < c_in; ++ci) {
+        // Two disjoint passes so each parallel chunk owns its output rows:
+        // d_in rows keyed by [b, ci, n] (co -> k -> t accumulation order) and
+        // d_w rows keyed by [co, ci] (b -> n -> k order) — the same per-slot
+        // orders as a serial b -> co -> ci -> n -> k -> t walk.
+        const int64_t di_rows = batch * c_in * nodes;
+        const int64_t di_cost = c_out * kernel * t_out;
+        const int64_t di_grain = std::max<int64_t>(1, (1 << 14) / std::max<int64_t>(1, di_cost));
+        runtime::ParallelFor(0, di_rows, di_grain, [&](int64_t row_begin, int64_t row_end) {
+          for (int64_t r = row_begin; r < row_end; ++r) {
+            const int64_t n = r % nodes;
+            const int64_t ci = (r / nodes) % c_in;
+            const int64_t b = r / (nodes * c_in);
+            float* di_row = pdi + r * time;
+            for (int64_t co = 0; co < c_out; ++co) {
               const float* w_row = pw + (co * c_in + ci) * kernel;
-              float* dw_row = pdw + (co * c_in + ci) * kernel;
+              const float* g_row = pg + ((b * c_out + co) * nodes + n) * t_out;
+              for (int64_t k = 0; k < kernel; ++k) {
+                const int64_t shift = dilation * k;
+                const float wk = w_row[k];
+                for (int64_t t = 0; t < t_out; ++t) di_row[t + shift] += g_row[t] * wk;
+              }
+            }
+          }
+        });
+        runtime::ParallelFor(0, c_out * c_in, 1, [&](int64_t pair_begin, int64_t pair_end) {
+          for (int64_t p = pair_begin; p < pair_end; ++p) {
+            const int64_t ci = p % c_in;
+            const int64_t co = p / c_in;
+            float* dw_row = pdw + p * kernel;
+            for (int64_t b = 0; b < batch; ++b) {
               for (int64_t n = 0; n < nodes; ++n) {
                 const float* g_row = pg + ((b * c_out + co) * nodes + n) * t_out;
                 const float* in_row = pi + ((b * c_in + ci) * nodes + n) * time;
-                float* di_row = pdi + ((b * c_in + ci) * nodes + n) * time;
                 for (int64_t k = 0; k < kernel; ++k) {
                   const int64_t shift = dilation * k;
-                  const float wk = w_row[k];
                   float dw_acc = 0.0f;
-                  for (int64_t t = 0; t < t_out; ++t) {
-                    dw_acc += g_row[t] * in_row[t + shift];
-                    di_row[t + shift] += g_row[t] * wk;
-                  }
+                  for (int64_t t = 0; t < t_out; ++t) dw_acc += g_row[t] * in_row[t + shift];
                   dw_row[k] += dw_acc;
                 }
               }
             }
           }
-        }
+        });
         input.AccumulateGrad(d_in);
         weight.AccumulateGrad(d_w);
       });

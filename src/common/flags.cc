@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "runtime/parallel.h"
+
 namespace urcl {
 namespace {
 
@@ -48,6 +50,11 @@ bool Flags::GetBool(const std::string& name, bool fallback) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;
   return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+void ApplyRuntimeFlags(const Flags& flags) {
+  const int64_t threads = flags.GetInt("threads", 0);
+  if (threads > 0) runtime::SetNumThreads(static_cast<int>(threads));
 }
 
 }  // namespace urcl

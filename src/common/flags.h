@@ -25,6 +25,11 @@ class Flags {
   std::map<std::string, std::string> values_;
 };
 
+// Applies flags that configure the process-wide runtime: `--threads N` sets
+// the compute thread count (runtime::SetNumThreads). Call once at startup in
+// any binary that accepts flags; a no-op when the flag is absent.
+void ApplyRuntimeFlags(const Flags& flags);
+
 }  // namespace urcl
 
 #endif  // URCL_COMMON_FLAGS_H_

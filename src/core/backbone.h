@@ -8,6 +8,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "nn/module.h"
 
@@ -32,7 +33,14 @@ struct BackboneConfig {
   bool directed_graph = false;
   // Layer normalization after each spatio-temporal layer (GraphWaveNet-style).
   bool use_layer_norm = false;
+
+  // Returns a human-readable message per invalid field (empty when the config
+  // is usable). Checked at MakeBackbone; call directly for early feedback.
+  std::vector<std::string> Validate() const;
 };
+
+// Joins validation messages into one multi-line report for URCL_CHECK output.
+std::string FormatConfigErrors(const std::vector<std::string>& errors);
 
 // Abstract STEncoder: [B, M, N, C] + adjacency [N, N] -> latent [B, H, N, T'].
 class StBackbone : public nn::Module {

@@ -16,7 +16,38 @@ namespace core {
 
 namespace ag = ::urcl::autograd;
 
+std::vector<std::string> UrclConfig::Validate() const {
+  std::vector<std::string> errors;
+  for (const std::string& e : encoder.Validate()) errors.push_back("encoder: " + e);
+  if (decoder_hidden <= 0) errors.push_back("decoder_hidden must be > 0");
+  if (output_steps <= 0) errors.push_back("output_steps must be > 0");
+  if (proj_hidden <= 0) errors.push_back("proj_hidden must be > 0");
+  if (proj_dim <= 0) errors.push_back("proj_dim must be > 0");
+  if (ssl_temperature <= 0.0f) errors.push_back("ssl_temperature must be > 0");
+  if (ssl_weight < 0.0f) errors.push_back("ssl_weight must be >= 0");
+  if (batch_size <= 0) errors.push_back("batch_size must be > 0");
+  if (learning_rate <= 0.0f) errors.push_back("learning_rate must be > 0");
+  if (grad_clip < 0.0f) errors.push_back("grad_clip must be >= 0 (0 disables clipping)");
+  if (max_batches_per_epoch < 0) {
+    errors.push_back("max_batches_per_epoch must be >= 0 (0 uses every window)");
+  }
+  if (buffer_capacity <= 0) errors.push_back("buffer_capacity must be > 0");
+  if (replay_sample_count <= 0) {
+    errors.push_back("replay_sample_count must be > 0");
+  } else if (replay_sample_count > buffer_capacity) {
+    errors.push_back("replay_sample_count must not exceed buffer_capacity");
+  }
+  if (rmir_scan_size <= 0) errors.push_back("rmir_scan_size must be > 0");
+  if (rmir_candidate_pool <= 0) errors.push_back("rmir_candidate_pool must be > 0");
+  if (enable_mixup && mixup_alpha <= 0.0f) {
+    errors.push_back("mixup_alpha must be > 0 when enable_mixup is set");
+  }
+  return errors;
+}
+
 UrclModel::UrclModel(const UrclConfig& config, Rng& rng) {
+  const std::vector<std::string> errors = config.Validate();
+  URCL_CHECK(errors.empty()) << "invalid UrclConfig: " << FormatConfigErrors(errors);
   encoder_ = MakeBackbone(config.backbone, config.encoder, rng);
   RegisterChild("encoder", encoder_.get());
   decoder_ = std::make_unique<StDecoder>(encoder_->latent_channels(), encoder_->latent_time(),

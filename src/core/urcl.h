@@ -68,6 +68,11 @@ struct UrclConfig {
   bool enable_replay = true;        // plain finetuning when false
 
   uint64_t seed = 1;
+
+  // Returns a human-readable message per invalid field, including the nested
+  // encoder config (prefixed "encoder: "). Empty when the config is usable.
+  // Checked at UrclModel construction; call directly for early feedback.
+  std::vector<std::string> Validate() const;
 };
 
 // The model: shared encoder + decoder + SimSiam head.

@@ -1,0 +1,87 @@
+#include "runtime/thread_pool.h"
+
+namespace urcl {
+namespace runtime {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int worker_count = num_threads > 1 ? num_threads - 1 : 0;
+  workers_.reserve(static_cast<size_t>(worker_count));
+  for (int i = 0; i < worker_count; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::DrainChunks() {
+  const std::function<void(int64_t)>& fn = *chunk_fn_;
+  while (!failed_.load(std::memory_order_relaxed)) {
+    const int64_t chunk = next_chunk_.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= num_chunks_) break;
+    try {
+      fn(chunk);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!error_) error_ = std::current_exception();
+      failed_.store(true, std::memory_order_relaxed);
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen_generation; });
+      if (shutdown_) return;
+      seen_generation = generation_;
+    }
+    DrainChunks();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --busy_workers_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::Run(int64_t num_chunks, const std::function<void(int64_t)>& chunk_fn) {
+  if (num_chunks <= 0) return;
+  if (workers_.empty()) {
+    // Serial pool: same chunks, caller's thread, exceptions propagate as-is.
+    for (int64_t chunk = 0; chunk < num_chunks; ++chunk) chunk_fn(chunk);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    chunk_fn_ = &chunk_fn;
+    num_chunks_ = num_chunks;
+    next_chunk_.store(0, std::memory_order_relaxed);
+    failed_.store(false, std::memory_order_relaxed);
+    error_ = nullptr;
+    busy_workers_ = static_cast<int>(workers_.size());
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  DrainChunks();
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return busy_workers_ == 0; });
+  chunk_fn_ = nullptr;
+  if (error_) {
+    std::exception_ptr error = error_;
+    error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace runtime
+}  // namespace urcl

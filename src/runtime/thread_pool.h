@@ -1,0 +1,66 @@
+// Deterministic fixed-size thread pool executing indexed chunks of a
+// parallel region. Chunk *boundaries* are decided by the caller (ParallelFor)
+// from the problem shape alone, never from the pool size, so which elements
+// share a chunk is identical at any thread count — the pool only decides
+// which thread runs which chunk.
+#ifndef URCL_RUNTIME_THREAD_POOL_H_
+#define URCL_RUNTIME_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace urcl {
+namespace runtime {
+
+class ThreadPool {
+ public:
+  // `num_threads` counts the calling thread: the pool spawns num_threads - 1
+  // workers (so 1 means fully serial, no threads are created).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  // Runs chunk_fn(0) .. chunk_fn(num_chunks - 1), each exactly once, on the
+  // calling thread plus the workers; blocks until every chunk has finished.
+  // The first exception thrown by a chunk is rethrown on the calling thread
+  // (chunks not yet started are skipped once a chunk has failed).
+  // Not reentrant: callers must not invoke Run from inside a chunk — nested
+  // parallelism is handled one level up by ParallelFor, which runs nested
+  // regions serially.
+  void Run(int64_t num_chunks, const std::function<void(int64_t)>& chunk_fn);
+
+ private:
+  void WorkerLoop();
+  void DrainChunks();
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  uint64_t generation_ = 0;
+  bool shutdown_ = false;
+  int busy_workers_ = 0;
+
+  // State of the active region; written under mu_ before workers are woken.
+  const std::function<void(int64_t)>* chunk_fn_ = nullptr;
+  int64_t num_chunks_ = 0;
+  std::atomic<int64_t> next_chunk_{0};
+  std::atomic<bool> failed_{false};
+  std::exception_ptr error_;
+};
+
+}  // namespace runtime
+}  // namespace urcl
+
+#endif  // URCL_RUNTIME_THREAD_POOL_H_

@@ -1,0 +1,135 @@
+// Shared broadcasting machinery and template elementwise kernels. The
+// templates here are the inlining fast path used by the hot ops in
+// tensor_ops.cc (no std::function dispatch per element); the std::function
+// overloads of ops::ZipWith / ops::Map in tensor_ops.h are thin wrappers over
+// these for generic callers.
+//
+// All loops go through runtime::ParallelFor with shape-derived grains, so
+// results are bitwise identical at any thread count (each output element is
+// written by exactly one chunk).
+#ifndef URCL_TENSOR_ELEMENTWISE_H_
+#define URCL_TENSOR_ELEMENTWISE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/parallel.h"
+#include "tensor/tensor.h"
+
+namespace urcl {
+namespace ops {
+namespace detail {
+
+// Chunk sizes in elements. Shape-derived only — never a function of the
+// thread count — so chunk boundaries (and therefore results) are identical
+// at any pool size.
+inline constexpr int64_t kContiguousGrain = 1 << 14;
+inline constexpr int64_t kStridedGrain = 1 << 12;
+
+// Strides for input of shape `in` when broadcast to output shape `out`:
+// 0 where the input dim is 1 (or absent), contiguous stride otherwise.
+inline std::vector<int64_t> BroadcastStrides(const Shape& in, const Shape& out) {
+  const std::vector<int64_t> in_strides = in.Strides();
+  std::vector<int64_t> result(static_cast<size_t>(out.rank()), 0);
+  const int64_t offset = out.rank() - in.rank();
+  for (int64_t i = 0; i < in.rank(); ++i) {
+    if (in.dim(i) != 1) result[static_cast<size_t>(i + offset)] = in_strides[static_cast<size_t>(i)];
+  }
+  return result;
+}
+
+// Incrementally walks a multi-index over `dims` while tracking flat offsets
+// for several operand stride sets. Avoids per-element div/mod; SeekTo allows
+// each ParallelFor chunk to start mid-range.
+class MultiCursor {
+ public:
+  MultiCursor(const std::vector<int64_t>& dims, std::vector<std::vector<int64_t>> strides)
+      : dims_(dims), strides_(std::move(strides)), index_(dims.size(), 0),
+        offsets_(strides_.size(), 0) {}
+
+  int64_t offset(size_t operand) const { return offsets_[operand]; }
+
+  void Advance() {
+    for (int64_t axis = static_cast<int64_t>(dims_.size()) - 1; axis >= 0; --axis) {
+      const size_t a = static_cast<size_t>(axis);
+      ++index_[a];
+      for (size_t op = 0; op < strides_.size(); ++op) offsets_[op] += strides_[op][a];
+      if (index_[a] < dims_[a]) return;
+      // Carry: reset this axis.
+      for (size_t op = 0; op < strides_.size(); ++op) offsets_[op] -= strides_[op][a] * dims_[a];
+      index_[a] = 0;
+    }
+  }
+
+  // Positions the cursor at row-major flat index `flat` over dims.
+  void SeekTo(int64_t flat) {
+    for (size_t op = 0; op < offsets_.size(); ++op) offsets_[op] = 0;
+    for (int64_t axis = static_cast<int64_t>(dims_.size()) - 1; axis >= 0; --axis) {
+      const size_t a = static_cast<size_t>(axis);
+      index_[a] = flat % dims_[a];
+      flat /= dims_[a];
+      for (size_t op = 0; op < strides_.size(); ++op) {
+        offsets_[op] += index_[a] * strides_[op][a];
+      }
+    }
+  }
+
+ private:
+  std::vector<int64_t> dims_;
+  std::vector<std::vector<int64_t>> strides_;
+  std::vector<int64_t> index_;
+  std::vector<int64_t> offsets_;
+};
+
+template <typename Fn>
+Tensor BinaryElementwise(const Tensor& a, const Tensor& b, Fn fn) {
+  if (a.shape() == b.shape()) {  // fast path, no broadcasting
+    Tensor out(a.shape());
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* po = out.mutable_data();
+    runtime::ParallelFor(0, a.NumElements(), kContiguousGrain,
+                         [&](int64_t chunk_begin, int64_t chunk_end) {
+                           for (int64_t i = chunk_begin; i < chunk_end; ++i) {
+                             po[i] = fn(pa[i], pb[i]);
+                           }
+                         });
+    return out;
+  }
+  const Shape out_shape = BroadcastShapes(a.shape(), b.shape());
+  Tensor out(out_shape);
+  if (out.NumElements() == 0) return out;
+  const std::vector<int64_t> a_strides = BroadcastStrides(a.shape(), out_shape);
+  const std::vector<int64_t> b_strides = BroadcastStrides(b.shape(), out_shape);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.mutable_data();
+  runtime::ParallelFor(0, out.NumElements(), kStridedGrain,
+                       [&](int64_t chunk_begin, int64_t chunk_end) {
+                         MultiCursor cursor(out_shape.dims(), {a_strides, b_strides});
+                         cursor.SeekTo(chunk_begin);
+                         for (int64_t i = chunk_begin; i < chunk_end; ++i) {
+                           po[i] = fn(pa[cursor.offset(0)], pb[cursor.offset(1)]);
+                           cursor.Advance();
+                         }
+                       });
+  return out;
+}
+
+template <typename Fn>
+Tensor UnaryElementwise(const Tensor& a, Fn fn) {
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.mutable_data();
+  runtime::ParallelFor(0, a.NumElements(), kContiguousGrain,
+                       [&](int64_t chunk_begin, int64_t chunk_end) {
+                         for (int64_t i = chunk_begin; i < chunk_end; ++i) po[i] = fn(pa[i]);
+                       });
+  return out;
+}
+
+}  // namespace detail
+}  // namespace ops
+}  // namespace urcl
+
+#endif  // URCL_TENSOR_ELEMENTWISE_H_

@@ -5,88 +5,14 @@
 #include <limits>
 
 #include "common/check.h"
+#include "runtime/parallel.h"
 
 namespace urcl {
 namespace ops {
 namespace {
 
-// Strides for input of shape `in` when broadcast to output shape `out`:
-// 0 where the input dim is 1 (or absent), contiguous stride otherwise.
-std::vector<int64_t> BroadcastStrides(const Shape& in, const Shape& out) {
-  const std::vector<int64_t> in_strides = in.Strides();
-  std::vector<int64_t> result(static_cast<size_t>(out.rank()), 0);
-  const int64_t offset = out.rank() - in.rank();
-  for (int64_t i = 0; i < in.rank(); ++i) {
-    if (in.dim(i) != 1) result[static_cast<size_t>(i + offset)] = in_strides[static_cast<size_t>(i)];
-  }
-  return result;
-}
-
-// Incrementally walks a multi-index over `dims` while tracking flat offsets
-// for several operand stride sets. Avoids per-element div/mod.
-class MultiCursor {
- public:
-  MultiCursor(const std::vector<int64_t>& dims, std::vector<std::vector<int64_t>> strides)
-      : dims_(dims), strides_(std::move(strides)), index_(dims.size(), 0),
-        offsets_(strides_.size(), 0) {}
-
-  int64_t offset(size_t operand) const { return offsets_[operand]; }
-
-  void Advance() {
-    for (int64_t axis = static_cast<int64_t>(dims_.size()) - 1; axis >= 0; --axis) {
-      const size_t a = static_cast<size_t>(axis);
-      ++index_[a];
-      for (size_t op = 0; op < strides_.size(); ++op) offsets_[op] += strides_[op][a];
-      if (index_[a] < dims_[a]) return;
-      // Carry: reset this axis.
-      for (size_t op = 0; op < strides_.size(); ++op) offsets_[op] -= strides_[op][a] * dims_[a];
-      index_[a] = 0;
-    }
-  }
-
- private:
-  std::vector<int64_t> dims_;
-  std::vector<std::vector<int64_t>> strides_;
-  std::vector<int64_t> index_;
-  std::vector<int64_t> offsets_;
-};
-
-template <typename Fn>
-Tensor BinaryOp(const Tensor& a, const Tensor& b, Fn fn) {
-  if (a.shape() == b.shape()) {  // fast path, no broadcasting
-    Tensor out(a.shape());
-    const float* pa = a.data();
-    const float* pb = b.data();
-    float* po = out.mutable_data();
-    const int64_t n = a.NumElements();
-    for (int64_t i = 0; i < n; ++i) po[i] = fn(pa[i], pb[i]);
-    return out;
-  }
-  const Shape out_shape = BroadcastShapes(a.shape(), b.shape());
-  Tensor out(out_shape);
-  if (out.NumElements() == 0) return out;
-  MultiCursor cursor(out_shape.dims(), {BroadcastStrides(a.shape(), out_shape),
-                                        BroadcastStrides(b.shape(), out_shape)});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out.mutable_data();
-  const int64_t n = out.NumElements();
-  for (int64_t i = 0; i < n; ++i) {
-    po[i] = fn(pa[cursor.offset(0)], pb[cursor.offset(1)]);
-    cursor.Advance();
-  }
-  return out;
-}
-
-template <typename Fn>
-Tensor UnaryOp(const Tensor& a, Fn fn) {
-  Tensor out(a.shape());
-  const float* pa = a.data();
-  float* po = out.mutable_data();
-  const int64_t n = a.NumElements();
-  for (int64_t i = 0; i < n; ++i) po[i] = fn(pa[i]);
-  return out;
-}
+using detail::BroadcastStrides;
+using detail::MultiCursor;
 
 // Canonicalizes reduction axes; empty input means "all axes".
 std::vector<int64_t> CanonicalAxes(const Shape& shape, const std::vector<int64_t>& axes) {
@@ -116,25 +42,55 @@ Shape ReducedShape(const Shape& shape, const std::vector<int64_t>& axes, bool ke
 }
 
 // Generic reduction: combine with `fn`, starting at `init`; optional
-// post-scale (for Mean).
+// post-scale (for Mean). Output-major so it parallelizes over output slots:
+// each slot accumulates its reduced elements in increasing input-offset
+// order — the same per-slot order a serial input-major walk produces — so
+// results are bitwise identical at any thread count.
 template <typename Fn>
 Tensor Reduce(const Tensor& a, const std::vector<int64_t>& axes_in, bool keepdims, float init,
               Fn fn, float post_scale = 1.0f) {
   const std::vector<int64_t> axes = CanonicalAxes(a.shape(), axes_in);
   const Shape kept = ReducedShape(a.shape(), axes, /*keepdims=*/true);
   Tensor accum = Tensor::Full(kept, init);
-  // Walk input; accumulate into the broadcast-matched output slot.
   if (a.NumElements() > 0) {
-    MultiCursor cursor(a.shape().dims(),
-                       {a.shape().Strides(), BroadcastStrides(kept, a.shape())});
+    // Split the input axes into kept (outer, one output slot each) and
+    // reduced (inner, walked per slot) parts.
+    const std::vector<int64_t> in_strides = a.shape().Strides();
+    std::vector<int64_t> outer_dims, outer_strides, inner_dims, inner_strides;
+    for (int64_t i = 0; i < a.rank(); ++i) {
+      const size_t s = static_cast<size_t>(i);
+      if (std::binary_search(axes.begin(), axes.end(), i)) {
+        inner_dims.push_back(a.dim(i));
+        inner_strides.push_back(in_strides[s]);
+      } else {
+        outer_dims.push_back(a.dim(i));
+        outer_strides.push_back(in_strides[s]);
+      }
+    }
+    int64_t inner_count = 1;
+    for (const int64_t d : inner_dims) inner_count *= d;
+    const int64_t outer_count = accum.NumElements();
     const float* pa = a.data();
     float* po = accum.mutable_data();
-    const int64_t n = a.NumElements();
-    for (int64_t i = 0; i < n; ++i) {
-      float& slot = po[cursor.offset(1)];
-      slot = fn(slot, pa[cursor.offset(0)]);
-      cursor.Advance();
-    }
+    const int64_t grain =
+        std::max<int64_t>(1, detail::kStridedGrain / std::max<int64_t>(1, inner_count));
+    runtime::ParallelFor(0, outer_count, grain, [&](int64_t chunk_begin, int64_t chunk_end) {
+      MultiCursor outer(outer_dims, {outer_strides});
+      outer.SeekTo(chunk_begin);
+      MultiCursor inner(inner_dims, {inner_strides});
+      for (int64_t o = chunk_begin; o < chunk_end; ++o) {
+        const int64_t base = outer.offset(0);
+        float acc = po[o];
+        // The inner cursor wraps back to the origin after a full walk, so it
+        // is seeded once per chunk rather than once per slot.
+        for (int64_t i = 0; i < inner_count; ++i) {
+          acc = fn(acc, pa[base + inner.offset(0)]);
+          inner.Advance();
+        }
+        po[o] = acc;
+        outer.Advance();
+      }
+    });
   }
   if (post_scale != 1.0f) accum.MulInPlace(post_scale);
   if (keepdims) return accum;
@@ -144,72 +100,75 @@ Tensor Reduce(const Tensor& a, const std::vector<int64_t>& axes_in, bool keepdim
 }  // namespace
 
 Tensor Add(const Tensor& a, const Tensor& b) {
-  return BinaryOp(a, b, [](float x, float y) { return x + y; });
+  return detail::BinaryElementwise(a, b, [](float x, float y) { return x + y; });
 }
 Tensor Sub(const Tensor& a, const Tensor& b) {
-  return BinaryOp(a, b, [](float x, float y) { return x - y; });
+  return detail::BinaryElementwise(a, b, [](float x, float y) { return x - y; });
 }
 Tensor Mul(const Tensor& a, const Tensor& b) {
-  return BinaryOp(a, b, [](float x, float y) { return x * y; });
+  return detail::BinaryElementwise(a, b, [](float x, float y) { return x * y; });
 }
 Tensor Div(const Tensor& a, const Tensor& b) {
-  return BinaryOp(a, b, [](float x, float y) { return x / y; });
+  return detail::BinaryElementwise(a, b, [](float x, float y) { return x / y; });
 }
 Tensor Maximum(const Tensor& a, const Tensor& b) {
-  return BinaryOp(a, b, [](float x, float y) { return x > y ? x : y; });
+  return detail::BinaryElementwise(a, b, [](float x, float y) { return x > y ? x : y; });
 }
 Tensor Minimum(const Tensor& a, const Tensor& b) {
-  return BinaryOp(a, b, [](float x, float y) { return x < y ? x : y; });
+  return detail::BinaryElementwise(a, b, [](float x, float y) { return x < y ? x : y; });
 }
 Tensor ZipWith(const Tensor& a, const Tensor& b,
                const std::function<float(float, float)>& fn) {
-  return BinaryOp(a, b, fn);
+  return detail::BinaryElementwise(a, b, fn);
 }
 
 Tensor AddScalar(const Tensor& a, float s) {
-  return UnaryOp(a, [s](float x) { return x + s; });
+  return detail::UnaryElementwise(a, [s](float x) { return x + s; });
 }
 Tensor MulScalar(const Tensor& a, float s) {
-  return UnaryOp(a, [s](float x) { return x * s; });
+  return detail::UnaryElementwise(a, [s](float x) { return x * s; });
 }
 Tensor PowScalar(const Tensor& a, float exponent) {
-  return UnaryOp(a, [exponent](float x) { return std::pow(x, exponent); });
+  return detail::UnaryElementwise(a, [exponent](float x) { return std::pow(x, exponent); });
 }
 
 Tensor Neg(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return -x; });
+  return detail::UnaryElementwise(a, [](float x) { return -x; });
 }
 Tensor Exp(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return std::exp(x); });
+  return detail::UnaryElementwise(a, [](float x) { return std::exp(x); });
 }
 Tensor Log(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return std::log(x); });
+  return detail::UnaryElementwise(a, [](float x) { return std::log(x); });
 }
 Tensor Sqrt(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return std::sqrt(x); });
+  return detail::UnaryElementwise(a, [](float x) { return std::sqrt(x); });
 }
 Tensor Abs(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return std::fabs(x); });
+  return detail::UnaryElementwise(a, [](float x) { return std::fabs(x); });
 }
 Tensor Sign(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return x > 0.0f ? 1.0f : (x < 0.0f ? -1.0f : 0.0f); });
+  return detail::UnaryElementwise(
+      a, [](float x) { return x > 0.0f ? 1.0f : (x < 0.0f ? -1.0f : 0.0f); });
 }
 Tensor Tanh(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return std::tanh(x); });
+  return detail::UnaryElementwise(a, [](float x) { return std::tanh(x); });
 }
 Tensor Sigmoid(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
+  return detail::UnaryElementwise(a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
 }
 Tensor Relu(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+  return detail::UnaryElementwise(a, [](float x) { return x > 0.0f ? x : 0.0f; });
 }
 Tensor Square(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return x * x; });
+  return detail::UnaryElementwise(a, [](float x) { return x * x; });
 }
 Tensor Clamp(const Tensor& a, float lo, float hi) {
-  return UnaryOp(a, [lo, hi](float x) { return std::min(std::max(x, lo), hi); });
+  return detail::UnaryElementwise(a, [lo, hi](float x) { return std::min(std::max(x, lo), hi); });
 }
-Tensor Map(const Tensor& a, const std::function<float(float)>& fn) { return UnaryOp(a, fn); }
+Tensor Map(const Tensor& a, const std::function<float(float)>& fn) {
+  return detail::UnaryElementwise(a, fn);
+}
 
 Tensor Sum(const Tensor& a, const std::vector<int64_t>& axes, bool keepdims) {
   return Reduce(a, axes, keepdims, 0.0f, [](float acc, float x) { return acc + x; });
@@ -280,32 +239,47 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const int64_t b_mat = k * n;
   const int64_t o_mat = m * n;
 
-  // Per-batch offsets via cursor over the batch dims alone.
+  // Per-batch operand offsets (broadcast-aware) in units of whole matrices.
   std::vector<int64_t> a_scaled(a_bstrides), b_scaled(b_bstrides);
   for (auto& s : a_scaled) s *= a_mat;
   for (auto& s : b_scaled) s *= b_mat;
-  MultiCursor cursor(batch.dims(), {a_scaled, b_scaled});
 
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.mutable_data();
-  for (int64_t batch_index = 0; batch_index < batch_count; ++batch_index) {
-    const float* ma = pa + cursor.offset(0);
-    const float* mb = pb + cursor.offset(1);
-    float* mo = po + batch_index * o_mat;
-    // i-k-j loop order: streams over contiguous rows of b.
-    for (int64_t i = 0; i < m; ++i) {
-      float* row_out = mo + i * n;
-      std::fill(row_out, row_out + n, 0.0f);
-      for (int64_t kk = 0; kk < k; ++kk) {
-        const float scale = ma[i * k + kk];
-        if (scale == 0.0f) continue;
-        const float* row_b = mb + kk * n;
-        for (int64_t j = 0; j < n; ++j) row_out[j] += scale * row_b[j];
+
+  // Row-blocked: the parallel index space is every output row across every
+  // batch; each row is produced wholly by one chunk, so any scheduling gives
+  // identical results. The grain targets ~32k multiply-adds per chunk and
+  // depends only on the shapes.
+  const int64_t total_rows = batch_count * m;
+  const int64_t grain = std::max<int64_t>(1, (1 << 15) / std::max<int64_t>(1, k * n));
+  runtime::ParallelFor(0, total_rows, grain, [&](int64_t row_begin, int64_t row_end) {
+    int64_t batch_index = row_begin / m;
+    MultiCursor cursor(batch.dims(), {a_scaled, b_scaled});
+    cursor.SeekTo(batch_index);
+    int64_t row = row_begin;
+    while (row < row_end) {
+      const float* ma = pa + cursor.offset(0);
+      const float* mb = pb + cursor.offset(1);
+      float* mo = po + batch_index * o_mat;
+      const int64_t batch_row_end = std::min(row_end, (batch_index + 1) * m);
+      // i-k-j loop order: streams over contiguous rows of b.
+      for (; row < batch_row_end; ++row) {
+        const int64_t i = row - batch_index * m;
+        float* row_out = mo + i * n;
+        std::fill(row_out, row_out + n, 0.0f);
+        for (int64_t kk = 0; kk < k; ++kk) {
+          const float scale = ma[i * k + kk];
+          if (scale == 0.0f) continue;
+          const float* row_b = mb + kk * n;
+          for (int64_t j = 0; j < n; ++j) row_out[j] += scale * row_b[j];
+        }
       }
+      ++batch_index;
+      cursor.Advance();
     }
-    cursor.Advance();
-  }
+  });
   return out;
 }
 
@@ -315,14 +289,18 @@ Tensor BroadcastTo(const Tensor& a, const Shape& target) {
       << "cannot broadcast " << a.shape().ToString() << " to " << target.ToString();
   Tensor out(target);
   if (out.NumElements() == 0) return out;
-  MultiCursor cursor(target.dims(), {BroadcastStrides(a.shape(), target)});
+  const std::vector<int64_t> gather_strides = BroadcastStrides(a.shape(), target);
   const float* pa = a.data();
   float* po = out.mutable_data();
-  const int64_t n = out.NumElements();
-  for (int64_t i = 0; i < n; ++i) {
-    po[i] = pa[cursor.offset(0)];
-    cursor.Advance();
-  }
+  runtime::ParallelFor(0, out.NumElements(), detail::kStridedGrain,
+                       [&](int64_t chunk_begin, int64_t chunk_end) {
+                         MultiCursor cursor(target.dims(), {gather_strides});
+                         cursor.SeekTo(chunk_begin);
+                         for (int64_t i = chunk_begin; i < chunk_end; ++i) {
+                           po[i] = pa[cursor.offset(0)];
+                           cursor.Advance();
+                         }
+                       });
   return out;
 }
 
@@ -341,14 +319,17 @@ Tensor Transpose(const Tensor& a, const std::vector<int64_t>& perm) {
   }
   Tensor out{Shape(out_dims)};
   if (out.NumElements() == 0) return out;
-  MultiCursor cursor(out_dims, {gather_strides});
   const float* pa = a.data();
   float* po = out.mutable_data();
-  const int64_t n = out.NumElements();
-  for (int64_t i = 0; i < n; ++i) {
-    po[i] = pa[cursor.offset(0)];
-    cursor.Advance();
-  }
+  runtime::ParallelFor(0, out.NumElements(), detail::kStridedGrain,
+                       [&](int64_t chunk_begin, int64_t chunk_end) {
+                         MultiCursor cursor(out_dims, {gather_strides});
+                         cursor.SeekTo(chunk_begin);
+                         for (int64_t i = chunk_begin; i < chunk_end; ++i) {
+                           po[i] = pa[cursor.offset(0)];
+                           cursor.Advance();
+                         }
+                       });
   return out;
 }
 
@@ -504,9 +485,6 @@ Tensor Flip(const Tensor& a, int64_t axis) {
   const int64_t n = a.NumElements();
   // offset = base + idx*stride; mirrored = base + (extent-1-idx)*stride
   //        = offset + (extent-1-2*idx)*stride. Track idx along the axis.
-  // Simpler: recompute idx from offset is costly; instead iterate with an
-  // explicit index vector via a second cursor trick: flip by slicing.
-  // Use direct approach with index decomposition only on the flip axis:
   for (int64_t i = 0; i < n; ++i) {
     const int64_t offset = cursor.offset(0);
     const int64_t idx = (offset / stride) % extent;

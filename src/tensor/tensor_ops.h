@@ -1,12 +1,19 @@
 // Pure functions over Tensor. Every op allocates a fresh output tensor;
 // inputs are never mutated. Binary elementwise ops follow NumPy broadcasting.
+//
+// Execution model: the hot kernels (elementwise binaries, reductions, MatMul)
+// are data-parallel via runtime::ParallelFor with shape-derived chunking —
+// results are bitwise identical at any thread count. Ops never spawn threads
+// directly (see runtime/parallel.h).
 #ifndef URCL_TENSOR_TENSOR_OPS_H_
 #define URCL_TENSOR_TENSOR_OPS_H_
 
 #include <cstdint>
 #include <functional>
+#include <utility>
 #include <vector>
 
+#include "tensor/elementwise.h"
 #include "tensor/tensor.h"
 
 namespace urcl {
@@ -20,8 +27,16 @@ Tensor Div(const Tensor& a, const Tensor& b);
 Tensor Maximum(const Tensor& a, const Tensor& b);
 Tensor Minimum(const Tensor& a, const Tensor& b);
 
-// Generic broadcast combine with an arbitrary binary functor.
+// Generic broadcast combine with an arbitrary binary functor. The template
+// overload is the inlining fast path (no std::function dispatch per element)
+// and is what the named ops above use internally; the std::function overload
+// is a thin wrapper kept for generic callers that store or pass functors as
+// values.
 Tensor ZipWith(const Tensor& a, const Tensor& b, const std::function<float(float, float)>& fn);
+template <typename Fn>
+Tensor ZipWith(const Tensor& a, const Tensor& b, Fn fn) {
+  return detail::BinaryElementwise(a, b, std::move(fn));
+}
 
 // --- Elementwise with scalar -------------------------------------------------
 Tensor AddScalar(const Tensor& a, float s);
@@ -40,7 +55,12 @@ Tensor Sigmoid(const Tensor& a);
 Tensor Relu(const Tensor& a);
 Tensor Square(const Tensor& a);
 Tensor Clamp(const Tensor& a, float lo, float hi);
+// Unary counterpart of ZipWith; same template/std::function split.
 Tensor Map(const Tensor& a, const std::function<float(float)>& fn);
+template <typename Fn>
+Tensor Map(const Tensor& a, Fn fn) {
+  return detail::UnaryElementwise(a, std::move(fn));
+}
 
 // --- Reductions ----------------------------------------------------------------
 // Reduce over `axes` (empty = all axes). With keepdims the reduced axes stay

@@ -351,6 +351,60 @@ TEST_F(UrclTrainerTest, BackbonesInterchangeable) {
   }
 }
 
+TEST(ConfigValidationTest, ValidConfigsProduceNoErrors) {
+  EXPECT_TRUE(SmallConfig().Validate().empty());
+  UrclConfig config;
+  config.encoder = SmallConfig();
+  EXPECT_TRUE(config.Validate().empty());
+}
+
+TEST(ConfigValidationTest, BackboneConfigReportsEveryBadField) {
+  BackboneConfig config = SmallConfig();
+  config.num_nodes = 0;
+  config.hidden_channels = -1;
+  config.diffusion_steps = 0;
+  const std::vector<std::string> errors = config.Validate();
+  ASSERT_EQ(errors.size(), 3u) << FormatConfigErrors(errors);
+  EXPECT_NE(errors[0].find("num_nodes"), std::string::npos);
+  EXPECT_NE(errors[1].find("hidden_channels"), std::string::npos);
+  EXPECT_NE(errors[2].find("diffusion_steps"), std::string::npos);
+}
+
+TEST(ConfigValidationTest, RequiresSomeAdjacencySource) {
+  BackboneConfig config = SmallConfig();
+  config.use_adaptive_adjacency = false;
+  config.use_static_supports = false;
+  const std::vector<std::string> errors = config.Validate();
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0].find("adjacency source"), std::string::npos);
+}
+
+TEST(ConfigValidationTest, UrclConfigPrefixesEncoderErrorsAndChecksOwnFields) {
+  UrclConfig config;
+  config.encoder = SmallConfig();
+  config.encoder.num_layers = 0;
+  config.replay_sample_count = 64;
+  config.buffer_capacity = 32;
+  config.ssl_temperature = 0.0f;
+  const std::vector<std::string> errors = config.Validate();
+  ASSERT_EQ(errors.size(), 3u) << FormatConfigErrors(errors);
+  EXPECT_EQ(errors[0].rfind("encoder: ", 0), 0u);
+  EXPECT_NE(errors[1].find("ssl_temperature"), std::string::npos);
+  EXPECT_NE(errors[2].find("replay_sample_count"), std::string::npos);
+}
+
+TEST(ConfigValidationTest, EntryPointsRejectInvalidConfigs) {
+  Rng rng(3);
+  BackboneConfig bad = SmallConfig();
+  bad.num_nodes = 0;
+  EXPECT_DEATH(MakeBackbone(BackboneType::kGraphWaveNet, bad, rng),
+               "invalid BackboneConfig: num_nodes");
+  UrclConfig config;
+  config.encoder = SmallConfig();
+  config.batch_size = 0;
+  EXPECT_DEATH(UrclModel(config, rng), "invalid UrclConfig: batch_size");
+}
+
 }  // namespace
 }  // namespace core
 }  // namespace urcl

@@ -4,11 +4,14 @@
 // observations, Eq. 1).
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "baselines/zoo.h"
 #include "core/strategies.h"
 #include "core/urcl.h"
 #include "data/presets.h"
 #include "data/synthetic.h"
+#include "runtime/parallel.h"
 #include "tensor/tensor_ops.h"
 
 namespace urcl {
@@ -68,6 +71,36 @@ TEST(DeterminismTest, SameSeedSameLossHistory) {
   // And identical predictions.
   const auto [x, y] = p.dataset->MakeBatch({0, 1});
   EXPECT_TRUE(ops::AllClose(a.Predict(x), b.Predict(x), 0.0f, 0.0f));
+}
+
+TEST(DeterminismTest, ThreadCountInvariantTraining) {
+  // A full training stage must be bitwise reproducible at any thread count:
+  // identical loss history and identical predictions at 1 vs 4 threads.
+  const int saved_threads = runtime::GetNumThreads();
+  Pipeline p = MakePipeline(6, 1, 3);
+
+  runtime::SetNumThreads(1);
+  core::UrclTrainer serial(TinyConfig(6), p.generator->network());
+  serial.TrainStage(*p.dataset, 2);
+
+  runtime::SetNumThreads(4);
+  core::UrclTrainer threaded(TinyConfig(6), p.generator->network());
+  threaded.TrainStage(*p.dataset, 2);
+
+  ASSERT_EQ(serial.loss_history().size(), threaded.loss_history().size());
+  for (size_t i = 0; i < serial.loss_history().size(); ++i) {
+    const float a = serial.loss_history()[i];
+    const float b = threaded.loss_history()[i];
+    EXPECT_EQ(std::memcmp(&a, &b, sizeof(float)), 0) << "step " << i;
+  }
+  const auto [x, y] = p.dataset->MakeBatch({0, 1});
+  const Tensor pred_serial = serial.Predict(x);
+  const Tensor pred_threaded = threaded.Predict(x);
+  ASSERT_EQ(pred_serial.shape(), pred_threaded.shape());
+  EXPECT_EQ(std::memcmp(pred_serial.data(), pred_threaded.data(),
+                        static_cast<size_t>(pred_serial.NumElements()) * sizeof(float)),
+            0);
+  runtime::SetNumThreads(saved_threads);
 }
 
 TEST(DeterminismTest, DifferentSeedDiverges) {

@@ -1,0 +1,70 @@
+// The unified checkpoint container: a versioned sequence of named,
+// CRC32-checksummed byte sections. One container snapshots everything a
+// training run needs to resume (model parameters, optimizer moments, replay
+// buffer, RNG streams, progress cursor — see core/urcl.cc for the section
+// schema). The format is deliberately dumb: it knows nothing about tensors,
+// so any layer can contribute a section.
+//
+// On-disk layout (host-endian; single-architecture format):
+//
+//   u64  magic "URCLCKPT"
+//   u32  container version
+//   u32  section count
+//   per section:
+//     u32  name length (1..255) | name bytes
+//     u64  payload length       | u32 crc32(payload) | payload bytes
+//   u32  crc32 of every byte after the magic (catches header corruption the
+//        per-section CRCs cannot see)
+//
+// Every read validates magic, version, bounds and both CRC levels, returning
+// an actionable error Status instead of aborting — the caller falls back to
+// the next checkpoint in the rotation (see manager.h).
+#ifndef URCL_CHECKPOINT_CONTAINER_H_
+#define URCL_CHECKPOINT_CONTAINER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace urcl {
+namespace checkpoint {
+
+inline constexpr uint32_t kContainerVersion = 1;
+
+struct Section {
+  std::string name;
+  std::string payload;
+};
+
+class Container {
+ public:
+  // Appends a section; names should be unique (Find returns the first match).
+  void Add(std::string name, std::string payload);
+
+  // Payload of the named section, or nullptr when absent.
+  const std::string* Find(const std::string& name) const;
+
+  const std::vector<Section>& sections() const { return sections_; }
+
+  std::string SerializeToString() const;
+
+  // Writes atomically: serialize to `path`.tmp, flush, then rename over
+  // `path` — a crash mid-write never leaves a half-written checkpoint under
+  // the final name.
+  Status WriteFile(const std::string& path) const;
+
+  // Parses + fully validates `bytes`; `out` is only modified on success.
+  static Status Parse(const std::string& bytes, Container* out);
+
+  static Status ReadFile(const std::string& path, Container* out);
+
+ private:
+  std::vector<Section> sections_;
+};
+
+}  // namespace checkpoint
+}  // namespace urcl
+
+#endif  // URCL_CHECKPOINT_CONTAINER_H_

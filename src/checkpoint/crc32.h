@@ -1,0 +1,25 @@
+// CRC-32 (IEEE 802.3 / zlib polynomial 0xEDB88320) used to checksum every
+// checkpoint section so corrupted or truncated files are rejected instead of
+// loaded into a live training run.
+#ifndef URCL_CHECKPOINT_CRC32_H_
+#define URCL_CHECKPOINT_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace urcl {
+namespace checkpoint {
+
+// One-shot CRC of `size` bytes at `data`.
+uint32_t Crc32(const void* data, size_t size);
+
+inline uint32_t Crc32(const std::string& bytes) { return Crc32(bytes.data(), bytes.size()); }
+
+// Incremental form: feed `crc` from a previous call (start with 0).
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t size);
+
+}  // namespace checkpoint
+}  // namespace urcl
+
+#endif  // URCL_CHECKPOINT_CRC32_H_

@@ -1,0 +1,127 @@
+// Process-wide fault-injection harness for crash-safety and robustness
+// testing. Two fault families:
+//
+//  1. Kill points: named locations in the training loop (see core/urcl.cc)
+//     where the process can be made to "crash" after a given number of hits —
+//     either for real (std::_Exit(137), like SIGKILL but without signal
+//     delivery nondeterminism) or cooperatively (the loop stops, the caller
+//     discards the trainer and must resume from on-disk state only).
+//  2. Input faults: NaN/Inf sensor readings and dropped (blacked-out) sensors
+//     applied to generated series (data/synthetic.cc), plus duplicated
+//     batches in the training schedule. The pipeline must quarantine the
+//     resulting bad batches and keep training on the rest.
+//
+// Configured programmatically (tests) or via the URCL_FAULT environment
+// variable (CLI binaries call LoadFromEnv via ApplyRuntimeFlags). Spec is a
+// semicolon-separated list:
+//
+//   URCL_FAULT="nan=0.01;inf=0.001;drop=0.05;dup=0.02;seed=9;kill=batch_done:40"
+//
+//   kill=<point>:<hit>[:stop]  crash on the <hit>-th pass of the kill point
+//                              (":stop" = cooperative stop instead of _Exit)
+//   nan=<rate>   probability a series cell becomes NaN
+//   inf=<rate>   probability a series cell becomes +/-Inf
+//   drop=<rate>  probability a sensor loses a contiguous span of readings
+//   dup=<rate>   probability a training batch is fed twice
+//   seed=<n>     seed of the injector's private RNG (default 0xFA117)
+//
+// All draws use the injector's own Rng so enabling faults never perturbs the
+// deterministic streams of the components under test.
+#ifndef URCL_COMMON_FAULT_INJECTOR_H_
+#define URCL_COMMON_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace urcl {
+namespace fault {
+
+enum class KillMode {
+  kExit,  // std::_Exit(137) — a real (if tidy) crash
+  kStop,  // AtKillPoint returns true; the training loop must stop
+};
+
+struct FaultCounters {
+  int64_t kills = 0;
+  int64_t nan_cells = 0;
+  int64_t inf_cells = 0;
+  int64_t dropped_sensors = 0;
+  int64_t duplicated_batches = 0;
+};
+
+class FaultInjector {
+ public:
+  static FaultInjector& Instance();
+
+  // Parses `spec` (grammar above). Returns one message per malformed clause;
+  // valid clauses are applied regardless.
+  std::vector<std::string> Configure(const std::string& spec);
+
+  // Reads URCL_FAULT once per call; malformed clauses are reported on stderr.
+  void LoadFromEnv();
+
+  // Back to a fully disarmed injector (tests call this between cases).
+  void Reset();
+
+  bool enabled() const { return enabled_; }
+  bool HasInputFaults() const {
+    return nan_rate_ > 0.0 || inf_rate_ > 0.0 || drop_rate_ > 0.0;
+  }
+
+  // --- Kill points --------------------------------------------------------
+  // Arms a crash at the `after_hits`-th pass of `point` (1-based).
+  void ArmKill(const std::string& point, int64_t after_hits, KillMode mode);
+
+  // Called at every named kill point. Returns true when the caller must stop
+  // (kStop mode); in kExit mode the process exits with code 137 instead. A
+  // triggered kill disarms itself so a resumed run in the same process (the
+  // cooperative testing pattern) does not re-fire.
+  bool AtKillPoint(const char* point);
+
+  // --- Input faults -------------------------------------------------------
+  double nan_rate() const { return nan_rate_; }
+  double inf_rate() const { return inf_rate_; }
+  double drop_rate() const { return drop_rate_; }
+  double dup_rate() const { return dup_rate_; }
+
+  // Bernoulli(dup_rate) draw; counts and returns true when the caller should
+  // feed the current batch twice.
+  bool NextBatchDuplicated();
+
+  // Private RNG for fault placement (used by data/synthetic.cc).
+  Rng& rng() { return rng_; }
+
+  // Counter hooks for fault appliers living in other layers.
+  void RecordNanCell() { ++counters_.nan_cells; }
+  void RecordInfCell() { ++counters_.inf_cells; }
+  void RecordDroppedSensor() { ++counters_.dropped_sensors; }
+
+  const FaultCounters& counters() const { return counters_; }
+
+ private:
+  FaultInjector() = default;
+
+  struct KillSpec {
+    int64_t after_hits = 0;  // 1-based trigger count; 0 = disarmed
+    int64_t hits = 0;
+    KillMode mode = KillMode::kExit;
+  };
+
+  bool enabled_ = false;
+  double nan_rate_ = 0.0;
+  double inf_rate_ = 0.0;
+  double drop_rate_ = 0.0;
+  double dup_rate_ = 0.0;
+  Rng rng_{0xFA117};
+  std::map<std::string, KillSpec> kills_;
+  FaultCounters counters_;
+};
+
+}  // namespace fault
+}  // namespace urcl
+
+#endif  // URCL_COMMON_FAULT_INJECTOR_H_

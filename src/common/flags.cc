@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "common/fault_injector.h"
 #include "runtime/parallel.h"
 
 namespace urcl {
@@ -55,6 +56,7 @@ bool Flags::GetBool(const std::string& name, bool fallback) const {
 void ApplyRuntimeFlags(const Flags& flags) {
   const int64_t threads = flags.GetInt("threads", 0);
   if (threads > 0) runtime::SetNumThreads(static_cast<int>(threads));
+  fault::FaultInjector::Instance().LoadFromEnv();
 }
 
 }  // namespace urcl

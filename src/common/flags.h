@@ -26,8 +26,9 @@ class Flags {
 };
 
 // Applies flags that configure the process-wide runtime: `--threads N` sets
-// the compute thread count (runtime::SetNumThreads). Call once at startup in
-// any binary that accepts flags; a no-op when the flag is absent.
+// the compute thread count (runtime::SetNumThreads), and the URCL_FAULT env
+// var arms the fault-injection harness (common/fault_injector.h). Call once
+// at startup in any binary that accepts flags; a no-op when neither is set.
 void ApplyRuntimeFlags(const Flags& flags);
 
 }  // namespace urcl

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <random>
+#include <string>
 #include <vector>
 
 namespace urcl {
@@ -57,6 +58,14 @@ class Rng {
 
   // Returns a random permutation of [0, n).
   std::vector<int64_t> Permutation(int64_t n);
+
+  // Exact engine-state (de)serialization for checkpoint/resume: a restored
+  // Rng continues the stream bit-for-bit where the saved one left off. The
+  // text format is the standard-guaranteed mt19937_64 stream representation.
+  std::string SaveState() const;
+  // Returns false (leaving the engine untouched) when `state` is not a valid
+  // saved state.
+  bool LoadState(const std::string& state);
 
   std::mt19937_64& engine() { return engine_; }
 

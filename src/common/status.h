@@ -1,0 +1,36 @@
+// Lightweight ok/error result for *recoverable* failures — corrupt or
+// truncated input, missing files, checkpoint rejection — where the caller can
+// fall back (e.g. to an older checkpoint) or surface the message to the user.
+// URCL_CHECK remains the tool for programming-error invariants that should
+// abort; Status is for conditions a correct program must survive.
+#ifndef URCL_COMMON_STATUS_H_
+#define URCL_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace urcl {
+
+class Status {
+ public:
+  Status() = default;  // ok
+
+  static Status Ok() { return Status(); }
+  static Status Error(std::string message) {
+    Status status;
+    status.ok_ = false;
+    status.message_ = std::move(message);
+    return status;
+  }
+
+  bool ok() const { return ok_; }
+  const std::string& message() const { return message_; }
+
+ private:
+  bool ok_ = true;
+  std::string message_;
+};
+
+}  // namespace urcl
+
+#endif  // URCL_COMMON_STATUS_H_

@@ -39,6 +39,23 @@ class StPredictor {
 
   // Predicts [B, M, N, C] -> [B, N_out, N, 1] in normalized space.
   virtual Tensor Predict(const Tensor& inputs) = 0;
+
+  // --- Crash-safety hooks (no-ops for models without checkpoint support) ---
+
+  // Called by the protocol runner before each stage with the stage's index,
+  // so checkpoint-aware models can tag their progress cursor.
+  virtual void BeginStage(int64_t stage_index) { (void)stage_index; }
+
+  // First stage index that still needs training. A model restored from a
+  // checkpoint returns the stage its cursor points at; the protocol runner
+  // skips training for earlier stages (their effect is already baked into
+  // the restored parameters and replay buffer).
+  virtual int64_t ResumeStageIndex() const { return 0; }
+
+  // True when the last TrainStage was interrupted (cooperative fault-injection
+  // stop). The protocol runner stops the stage loop instead of evaluating a
+  // half-trained stage.
+  virtual bool TrainingInterrupted() const { return false; }
 };
 
 // Mean absolute error of `model` on `dataset` in normalized space (no

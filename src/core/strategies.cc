@@ -13,13 +13,17 @@ std::vector<StageResult> RunContinualProtocol(StPredictor& model,
                                               const ProtocolOptions& options) {
   URCL_CHECK_GT(options.epochs_per_stage, 0);
   std::vector<StageResult> results;
+  // A model restored from a checkpoint reports the first stage that still
+  // needs training; earlier stages are already reflected in its state.
+  const int64_t resume_from = model.ResumeStageIndex();
   for (int64_t i = 0; i < stream.NumStages(); ++i) {
     const data::StreamStage& stage = stream.Stage(i);
     StageResult result;
     result.stage_name = stage.name;
+    model.BeginStage(i);
 
     const bool should_train =
-        options.strategy == TrainingStrategy::kContinual || i == 0;
+        (options.strategy == TrainingStrategy::kContinual || i == 0) && i >= resume_from;
     if (should_train) {
       Stopwatch train_timer;
       if (options.early_stopping_patience > 0) {
@@ -34,6 +38,12 @@ std::vector<StageResult> RunContinualProtocol(StPredictor& model,
           result.epoch_losses.empty() ? 1 : result.epoch_losses.size();
       result.train_seconds_per_epoch =
           result.train_seconds / static_cast<double>(epochs_run);
+      if (model.TrainingInterrupted()) {
+        // Cooperative fault-injection stop: surface the partial result and
+        // bail out; the caller resumes from the last checkpoint.
+        results.push_back(std::move(result));
+        break;
+      }
     }
 
     Stopwatch eval_timer;

@@ -3,10 +3,13 @@
 #include "tensor/serialize.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <limits>
+#include <sstream>
 
 #include "autograd/ops.h"
 #include "common/check.h"
+#include "common/fault_injector.h"
 #include "core/stmixup.h"
 #include "nn/loss.h"
 #include "tensor/tensor_ops.h"
@@ -72,7 +75,13 @@ UrclTrainer::UrclTrainer(const UrclConfig& config, const graph::SensorNetwork& n
   URCL_CHECK_EQ(config.encoder.num_nodes, network.num_nodes())
       << "encoder config does not match the sensor network";
   model_ = std::make_unique<UrclModel>(config_, rng_);
-  optimizer_ = std::make_unique<nn::Adam>(model_->Parameters(), config_.learning_rate);
+  nn::AdamConfig adam;
+  adam.lr = config_.learning_rate;
+  // Always scan for non-finite gradients/parameters: a poisoned batch that
+  // slips past the input and loss guards skips the update instead of
+  // corrupting the moments (the batch is quarantined by TrainStep).
+  adam.check_finite = true;
+  optimizer_ = std::make_unique<nn::Adam>(model_->Parameters(), adam);
   augmentations_ = augment::MakeDefaultAugmentations();
 }
 
@@ -150,8 +159,18 @@ UrclTrainer::ReplayDraw UrclTrainer::DrawReplaySamples(const Tensor& current_inp
   return draw;
 }
 
-float UrclTrainer::TrainStep(const Tensor& inputs, const Tensor& targets) {
+std::optional<float> UrclTrainer::TrainStep(const Tensor& inputs, const Tensor& targets) {
   model_->SetTraining(true);
+
+  // Quarantine gate 1: corrupted sensor readings (NaN/Inf cells, dropped
+  // sensors) never reach the model or the replay buffer.
+  if (!inputs.AllFinite() || !targets.AllFinite()) {
+    ++quarantined_batches_;
+    std::fprintf(stderr,
+                 "[urcl] quarantined batch at stage %lld step %lld: non-finite input readings\n",
+                 static_cast<long long>(current_stage_), static_cast<long long>(step_count_));
+    return std::nullopt;
+  }
 
   // Data integration (Eq. 2): RMIR retrieval + STMixup.
   const ReplayDraw draw = DrawReplaySamples(inputs, targets);
@@ -184,10 +203,37 @@ float UrclTrainer::TrainStep(const Tensor& inputs, const Tensor& targets) {
     total_loss = ag::Add(task_loss, ag::MulScalar(ssl_loss, config_.ssl_weight));  // Eq. 29
   }
 
+  // Quarantine gate 2: a diverged/overflowed loss is not backpropagated.
+  if (!nn::LossIsFinite(total_loss)) {
+    ++quarantined_batches_;
+    std::fprintf(stderr,
+                 "[urcl] quarantined batch at stage %lld step %lld: non-finite loss\n",
+                 static_cast<long long>(current_stage_), static_cast<long long>(step_count_));
+    return std::nullopt;
+  }
+
   optimizer_->ZeroGrad();
   total_loss.Backward();
   if (config_.grad_clip > 0.0f) optimizer_->ClipGradNorm(config_.grad_clip);
   optimizer_->Step();
+
+  // Quarantine gate 3: the optimizer's check_finite guard skipped the update
+  // because a gradient overflowed (or flags a parameter that went non-finite
+  // after the update). Name the offending parameter in the diagnostic.
+  if (const std::optional<nn::NonFiniteReport>& report = optimizer_->last_step_report();
+      report.has_value()) {
+    ++quarantined_batches_;
+    const std::vector<std::pair<std::string, Variable>> named = model_->NamedParameters();
+    const bool in_range = report->param_index >= 0 &&
+                          report->param_index < static_cast<int64_t>(named.size());
+    std::fprintf(stderr,
+                 "[urcl] quarantined batch at stage %lld step %lld: non-finite %s in "
+                 "parameter '%s'\n",
+                 static_cast<long long>(current_stage_), static_cast<long long>(step_count_),
+                 report->kind == nn::NonFiniteReport::Kind::kGradient ? "gradient" : "value",
+                 in_range ? named[static_cast<size_t>(report->param_index)].first.c_str() : "?");
+    return std::nullopt;
+  }
 
   // Store the raw (pre-mixup) observations in the replay buffer.
   if (config_.enable_replay) {
@@ -210,6 +256,12 @@ float UrclTrainer::TrainStep(const Tensor& inputs, const Tensor& targets) {
 
 std::vector<float> UrclTrainer::TrainStage(const data::StDataset& train, int64_t epochs) {
   URCL_CHECK_GT(epochs, 0);
+  interrupted_ = false;
+  fault::FaultInjector& injector = fault::FaultInjector::Instance();
+  if (injector.AtKillPoint("stage_begin")) {
+    interrupted_ = true;
+    return {};
+  }
   const int64_t num_samples = train.NumSamples();
   URCL_CHECK_GT(num_samples, 0) << "train split has no complete windows";
 
@@ -238,23 +290,88 @@ std::vector<float> UrclTrainer::TrainStage(const data::StDataset& train, int64_t
     }
   }
 
+  // Mid-stage resume: when the restored cursor points at this stage, pick up
+  // at the saved epoch/batch position with the saved partial-epoch sums so
+  // the epoch-mean losses reproduce the uninterrupted run exactly.
+  int64_t start_epoch = 0;
+  int64_t start_offset = 0;
+  double resume_loss_sum = 0.0;
+  int64_t resume_steps = 0;
   std::vector<float> epoch_losses;
-  for (int64_t epoch = 0; epoch < epochs; ++epoch) {
-    double loss_sum = 0.0;
-    int64_t steps = 0;
-    for (int64_t start = 0; start < static_cast<int64_t>(schedule.size()); start += batch) {
-      const int64_t count =
-          std::min<int64_t>(batch, static_cast<int64_t>(schedule.size()) - start);
+  bool resuming = false;
+  if (resume_pending_ && cursor_.stage == current_stage_) {
+    start_epoch = cursor_.epoch;
+    start_offset = cursor_.offset;
+    resume_loss_sum = cursor_.epoch_loss_sum;
+    resume_steps = cursor_.epoch_steps;
+    epoch_losses = cursor_.epoch_losses;
+    resuming = true;
+    resume_pending_ = false;
+  }
+  cursor_.stage = current_stage_;
+
+  const int64_t schedule_size = static_cast<int64_t>(schedule.size());
+  for (int64_t epoch = start_epoch; epoch < epochs; ++epoch) {
+    const bool resumed_epoch = resuming && epoch == start_epoch;
+    double loss_sum = resumed_epoch ? resume_loss_sum : 0.0;
+    int64_t steps = resumed_epoch ? resume_steps : 0;
+    for (int64_t start = resumed_epoch ? start_offset : 0; start < schedule_size;
+         start += batch) {
+      const int64_t count = std::min<int64_t>(batch, schedule_size - start);
       if (count < 2) break;  // GraphCL needs >= 2 samples; skip the remainder
       std::vector<int64_t> indices(schedule.begin() + start, schedule.begin() + start + count);
       const auto [inputs, targets] = train.MakeBatch(indices);
-      const float loss = TrainStep(inputs, targets);
-      loss_history_.push_back(loss);
-      loss_sum += loss;
-      ++steps;
+      // Input-fault family: a duplicated batch is fed through twice.
+      const int64_t repeats = injector.NextBatchDuplicated() ? 2 : 1;
+      for (int64_t rep = 0; rep < repeats; ++rep) {
+        const std::optional<float> loss = TrainStep(inputs, targets);
+        if (loss.has_value()) {
+          loss_history_.push_back(*loss);
+          loss_sum += *loss;
+          ++steps;
+        }
+      }
+      // Advance the cursor past this batch so a checkpoint taken here resumes
+      // with the next one.
+      cursor_.epoch = epoch;
+      cursor_.offset = start + count;
+      cursor_.epoch_loss_sum = loss_sum;
+      cursor_.epoch_steps = steps;
+      cursor_.epoch_losses = epoch_losses;
+      if (checkpoint_manager_ != nullptr && checkpoint_config_.every_steps > 0 &&
+          step_count_ > 0 && step_count_ % checkpoint_config_.every_steps == 0) {
+        const Status saved = SaveFullCheckpoint();
+        if (!saved.ok()) {
+          std::fprintf(stderr, "[urcl] periodic checkpoint failed: %s\n",
+                       saved.message().c_str());
+        } else if (injector.AtKillPoint("checkpoint_written")) {
+          interrupted_ = true;
+          return epoch_losses;
+        }
+      }
+      if (injector.AtKillPoint("batch_done")) {
+        interrupted_ = true;
+        return epoch_losses;
+      }
     }
     epoch_losses.push_back(steps > 0 ? static_cast<float>(loss_sum / steps) : 0.0f);
+    cursor_.epoch = epoch + 1;
+    cursor_.offset = 0;
+    cursor_.epoch_loss_sum = 0.0;
+    cursor_.epoch_steps = 0;
+    cursor_.epoch_losses = epoch_losses;
   }
+
+  // Stage complete: point the cursor at the next stage and checkpoint, so a
+  // crash between stages costs nothing.
+  cursor_ = StageCursor{current_stage_ + 1, 0, 0, 0.0, 0, {}};
+  if (checkpoint_manager_ != nullptr) {
+    const Status saved = SaveFullCheckpoint();
+    if (!saved.ok()) {
+      std::fprintf(stderr, "[urcl] stage-end checkpoint failed: %s\n", saved.message().c_str());
+    }
+  }
+  if (injector.AtKillPoint("stage_end")) interrupted_ = true;
   return epoch_losses;
 }
 
@@ -263,13 +380,21 @@ std::vector<float> UrclTrainer::TrainStageWithValidation(const data::StDataset& 
                                                          int64_t max_epochs,
                                                          int64_t patience) {
   URCL_CHECK_GT(patience, 0);
+  if (resume_pending_ && cursor_.stage == current_stage_) {
+    // Early stopping carries search state (best parameters, patience counter)
+    // that is not checkpointed, so a restored run restarts this stage's epoch
+    // loop from the recovered model instead of resuming mid-epoch.
+    resume_pending_ = false;
+    cursor_ = StageCursor{current_stage_, 0, 0, 0.0, 0, {}};
+  }
   std::vector<float> losses;
   double best_val = std::numeric_limits<double>::infinity();
   std::vector<Tensor> best_state;
   int64_t stale_epochs = 0;
   for (int64_t epoch = 0; epoch < max_epochs; ++epoch) {
     const std::vector<float> epoch_losses = TrainStage(train, 1);
-    losses.push_back(epoch_losses.front());
+    if (!epoch_losses.empty()) losses.push_back(epoch_losses.front());
+    if (interrupted_) return losses;  // fault stop: leave state for resume, skip best-restore
     const double val_mae = ValidationMae(*this, val);
     if (val_mae < best_val) {
       best_val = val_mae;
@@ -289,6 +414,201 @@ void UrclTrainer::SaveCheckpoint(const std::string& path) const {
 
 void UrclTrainer::LoadCheckpoint(const std::string& path) {
   model_->LoadStateDict(LoadTensors(path));
+}
+
+namespace {
+
+// Version of the trainer's section schema inside the checkpoint container
+// (the container itself carries its own format version).
+constexpr uint32_t kTrainerStateVersion = 1;
+
+void WriteFloatVector(std::ostream& out, const std::vector<float>& values) {
+  io::WritePod(out, static_cast<uint64_t>(values.size()));
+  for (const float v : values) io::WritePod(out, v);
+}
+
+Status ReadFloatVector(std::istream& in, uint64_t max_count, const char* what,
+                       std::vector<float>* out) {
+  const uint64_t count = io::ReadPod<uint64_t>(in);
+  if (count > max_count) {
+    return Status::Error(std::string(what) + " count " + std::to_string(count) +
+                         " is implausible");
+  }
+  out->clear();
+  out->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) out->push_back(io::ReadPod<float>(in));
+  return Status::Ok();
+}
+
+}  // namespace
+
+void UrclTrainer::EnableCheckpointing(const CheckpointConfig& config) {
+  URCL_CHECK(!config.dir.empty()) << "CheckpointConfig.dir must be set";
+  URCL_CHECK_GE(config.every_steps, 0);
+  URCL_CHECK_GT(config.retention, 0);
+  checkpoint_config_ = config;
+  checkpoint::ManagerOptions options;
+  options.dir = config.dir;
+  options.retention = config.retention;
+  checkpoint_manager_ = std::make_unique<checkpoint::CheckpointManager>(options);
+}
+
+Status UrclTrainer::SaveFullCheckpoint() {
+  if (checkpoint_manager_ == nullptr) {
+    return Status::Error("checkpointing not enabled (call EnableCheckpointing first)");
+  }
+  checkpoint::Container container;
+
+  // "meta": schema version, config fingerprint, counters, progress cursor.
+  {
+    std::ostringstream meta;
+    io::WritePod(meta, kTrainerStateVersion);
+    io::WritePod(meta, config_.seed);
+    io::WritePod(meta, step_count_);
+    io::WritePod(meta, quarantined_batches_);
+    io::WritePod(meta, cursor_.stage);
+    io::WritePod(meta, cursor_.epoch);
+    io::WritePod(meta, cursor_.offset);
+    io::WritePod(meta, static_cast<double>(cursor_.epoch_loss_sum));
+    io::WritePod(meta, cursor_.epoch_steps);
+    WriteFloatVector(meta, cursor_.epoch_losses);
+    WriteFloatVector(meta, loss_history_);
+    io::WritePod(meta, static_cast<uint64_t>(cached_selection_.size()));
+    for (const int64_t index : cached_selection_) io::WritePod(meta, index);
+    container.Add("meta", meta.str());
+  }
+
+  // "model": parameter tensors in Parameters() order.
+  {
+    std::ostringstream model;
+    const std::vector<Tensor> state = model_->StateDict();
+    io::WritePod(model, static_cast<uint64_t>(state.size()));
+    for (const Tensor& t : state) SaveTensor(t, model);
+    container.Add("model", model.str());
+  }
+
+  // "optimizer": Adam step counter + first/second moments.
+  {
+    std::ostringstream opt;
+    optimizer_->SaveState(opt);
+    container.Add("optimizer", opt.str());
+  }
+
+  // "rng": the trainer's stream (mixup, augmentation picks, samplers).
+  container.Add("rng", rng_.SaveState());
+
+  // "buffer": replay memory items + counters + reservoir RNG.
+  {
+    std::ostringstream buf;
+    buffer_.Serialize(buf);
+    container.Add("buffer", buf.str());
+  }
+
+  return checkpoint_manager_->Save(container);
+}
+
+Status UrclTrainer::RestoreFromCheckpointDir(std::string* diagnostics) {
+  if (checkpoint_manager_ == nullptr) {
+    return Status::Error("checkpointing not enabled (call EnableCheckpointing first)");
+  }
+  checkpoint::Container container;
+  const Status loaded = checkpoint_manager_->LoadNewestValid(&container, diagnostics);
+  if (!loaded.ok()) return loaded;
+
+  const std::string* meta_bytes = container.Find("meta");
+  const std::string* model_bytes = container.Find("model");
+  const std::string* opt_bytes = container.Find("optimizer");
+  const std::string* rng_bytes = container.Find("rng");
+  const std::string* buffer_bytes = container.Find("buffer");
+  if (meta_bytes == nullptr || model_bytes == nullptr || opt_bytes == nullptr ||
+      rng_bytes == nullptr || buffer_bytes == nullptr) {
+    return Status::Error("checkpoint is missing a required section "
+                         "(need meta/model/optimizer/rng/buffer)");
+  }
+
+  // Parse everything into temporaries first; the live trainer is only touched
+  // once every section validates.
+  std::istringstream meta(*meta_bytes);
+  const uint32_t version = io::ReadPod<uint32_t>(meta);
+  if (version != kTrainerStateVersion) {
+    return Status::Error("trainer state version " + std::to_string(version) +
+                         " unsupported (expected " + std::to_string(kTrainerStateVersion) + ")");
+  }
+  const uint64_t seed = io::ReadPod<uint64_t>(meta);
+  if (seed != config_.seed) {
+    return Status::Error("checkpoint was written with seed " + std::to_string(seed) +
+                         " but this trainer is configured with seed " +
+                         std::to_string(config_.seed));
+  }
+  const int64_t step_count = io::ReadPod<int64_t>(meta);
+  const int64_t quarantined = io::ReadPod<int64_t>(meta);
+  StageCursor cursor;
+  cursor.stage = io::ReadPod<int64_t>(meta);
+  cursor.epoch = io::ReadPod<int64_t>(meta);
+  cursor.offset = io::ReadPod<int64_t>(meta);
+  cursor.epoch_loss_sum = io::ReadPod<double>(meta);
+  cursor.epoch_steps = io::ReadPod<int64_t>(meta);
+  if (step_count < 0 || quarantined < 0 || cursor.stage < 0 || cursor.epoch < 0 ||
+      cursor.offset < 0 || cursor.epoch_steps < 0) {
+    return Status::Error("checkpoint meta section has negative counters");
+  }
+  Status st = ReadFloatVector(meta, 1u << 20, "epoch loss", &cursor.epoch_losses);
+  if (!st.ok()) return st;
+  std::vector<float> loss_history;
+  st = ReadFloatVector(meta, 1u << 28, "loss history", &loss_history);
+  if (!st.ok()) return st;
+  const uint64_t selection_count = io::ReadPod<uint64_t>(meta);
+  if (selection_count > static_cast<uint64_t>(config_.buffer_capacity)) {
+    return Status::Error("checkpoint RMIR selection cache is larger than the buffer");
+  }
+  std::vector<int64_t> cached_selection;
+  cached_selection.reserve(selection_count);
+  for (uint64_t i = 0; i < selection_count; ++i) {
+    cached_selection.push_back(io::ReadPod<int64_t>(meta));
+  }
+
+  std::istringstream model_in(*model_bytes);
+  const uint64_t param_count = io::ReadPod<uint64_t>(model_in);
+  const std::vector<Tensor> current = model_->StateDict();
+  if (param_count != current.size()) {
+    return Status::Error("checkpoint model section holds " + std::to_string(param_count) +
+                         " tensors but the model has " + std::to_string(current.size()) +
+                         " parameters (different architecture?)");
+  }
+  std::vector<Tensor> state;
+  state.reserve(param_count);
+  for (uint64_t i = 0; i < param_count; ++i) {
+    state.push_back(LoadTensor(model_in));
+    if (!(state.back().shape() == current[i].shape())) {
+      return Status::Error("checkpoint parameter " + std::to_string(i) + " has shape " +
+                           state.back().shape().ToString() + " but the model expects " +
+                           current[i].shape().ToString());
+    }
+  }
+
+  Rng rng(config_.seed);
+  if (!rng.LoadState(*rng_bytes)) {
+    return Status::Error("checkpoint rng section failed to parse");
+  }
+
+  // Optimizer and buffer restore directly (both validate before committing).
+  std::istringstream opt_in(*opt_bytes);
+  st = optimizer_->LoadState(opt_in);
+  if (!st.ok()) return st;
+  std::istringstream buffer_in(*buffer_bytes);
+  st = buffer_.Deserialize(buffer_in);
+  if (!st.ok()) return st;
+
+  model_->LoadStateDict(state);
+  rng_ = rng;
+  step_count_ = step_count;
+  quarantined_batches_ = quarantined;
+  loss_history_ = std::move(loss_history);
+  cached_selection_ = std::move(cached_selection);
+  cursor_ = std::move(cursor);
+  resume_pending_ = true;
+  interrupted_ = false;
+  return Status::Ok();
 }
 
 Tensor UrclTrainer::Predict(const Tensor& inputs) {

@@ -7,10 +7,13 @@
 #define URCL_CORE_URCL_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "augment/augmentation.h"
+#include "checkpoint/manager.h"
+#include "common/status.h"
 #include "core/backbone.h"
 #include "core/predictor.h"
 #include "core/stdecoder.h"
@@ -94,6 +97,20 @@ class UrclModel : public nn::Module {
   std::unique_ptr<StSimSiam> simsiam_;
 };
 
+// Crash-safety options for UrclTrainer (see DESIGN.md "Fault-tolerance
+// model"). A checkpoint snapshots everything the training loop needs to
+// continue bit-for-bit: model parameters, Adam moments + step counter, the
+// replay buffer (items, counters, reservoir RNG), the trainer RNG stream, the
+// RMIR selection cache and the stage/epoch/batch progress cursor.
+struct CheckpointConfig {
+  std::string dir;
+  // Checkpoint every N optimization steps (at batch boundaries); 0 = only at
+  // stage boundaries.
+  int64_t every_steps = 0;
+  // Rotation depth kept on disk (newest N survive pruning).
+  int64_t retention = 3;
+};
+
 // Trainer implementing Algorithm 1 over a stream of stages.
 class UrclTrainer : public StPredictor {
  public:
@@ -112,9 +129,38 @@ class UrclTrainer : public StPredictor {
 
   Tensor Predict(const Tensor& inputs) override;
 
-  // Saves/restores the model parameters (binary tensor file).
+  // Saves/restores the model parameters (binary tensor file). Legacy
+  // model-only snapshot; the crash-safe path is EnableCheckpointing below.
   void SaveCheckpoint(const std::string& path) const;
   void LoadCheckpoint(const std::string& path);
+
+  // --- Crash-safe checkpoint/resume ---------------------------------------
+
+  // Turns on rotated full-state checkpointing into `config.dir`. Call before
+  // training; RestoreFromCheckpointDir requires it.
+  void EnableCheckpointing(const CheckpointConfig& config);
+
+  // Snapshots the complete training state as the next checkpoint in the
+  // rotation (atomic write + retention pruning).
+  Status SaveFullCheckpoint();
+
+  // Restores the newest valid checkpoint from the configured directory.
+  // Rejected (corrupt/truncated/mismatched) files each append a line to
+  // *diagnostics (may be nullptr) and the next-newest is tried. On success
+  // the trainer resumes exactly where the saved run stopped: the protocol
+  // runner skips fully trained stages (ResumeStageIndex) and TrainStage
+  // continues mid-stage from the saved epoch/batch cursor, reproducing the
+  // uninterrupted run bit-for-bit. Returns an error (and leaves the trainer
+  // untouched) when no checkpoint is valid.
+  Status RestoreFromCheckpointDir(std::string* diagnostics = nullptr);
+
+  // StPredictor crash-safety hooks.
+  void BeginStage(int64_t stage_index) override { current_stage_ = stage_index; }
+  int64_t ResumeStageIndex() const override { return resume_pending_ ? cursor_.stage : 0; }
+  bool TrainingInterrupted() const override { return interrupted_; }
+
+  // Batches skipped because inputs, loss or gradients went non-finite.
+  int64_t quarantined_batches() const { return quarantined_batches_; }
 
   UrclModel& model() { return *model_; }
   const replay::ReplayBuffer& buffer() const { return buffer_; }
@@ -131,8 +177,21 @@ class UrclTrainer : public StPredictor {
     bool valid = false;
   };
 
-  // Executes one training step on a batch; returns L_all.
-  float TrainStep(const Tensor& inputs, const Tensor& targets);
+  // Progress cursor serialized into every checkpoint: the next batch to run
+  // plus the partial-epoch accumulators needed to reproduce the epoch-mean
+  // losses of an uninterrupted run.
+  struct StageCursor {
+    int64_t stage = 0;   // stage index being trained (next to train if fresh)
+    int64_t epoch = 0;   // epoch within the current TrainStage call
+    int64_t offset = 0;  // schedule position of the next batch
+    double epoch_loss_sum = 0.0;
+    int64_t epoch_steps = 0;
+    std::vector<float> epoch_losses;  // completed epochs of this stage
+  };
+
+  // Executes one training step on a batch; returns L_all, or nullopt when
+  // the batch was quarantined (non-finite inputs, loss or gradients).
+  std::optional<float> TrainStep(const Tensor& inputs, const Tensor& targets);
 
   // RMIR / random retrieval from the buffer (Sec. IV-B1).
   ReplayDraw DrawReplaySamples(const Tensor& current_inputs, const Tensor& current_targets);
@@ -153,6 +212,15 @@ class UrclTrainer : public StPredictor {
   std::vector<float> loss_history_;
   int64_t step_count_ = 0;
   std::vector<int64_t> cached_selection_;
+
+  // Crash-safety state.
+  CheckpointConfig checkpoint_config_;
+  std::unique_ptr<checkpoint::CheckpointManager> checkpoint_manager_;
+  StageCursor cursor_;
+  int64_t current_stage_ = 0;
+  bool resume_pending_ = false;   // cursor_ was restored and not yet consumed
+  bool interrupted_ = false;      // cooperative kill-point stop
+  int64_t quarantined_batches_ = 0;
 };
 
 }  // namespace core

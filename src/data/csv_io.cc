@@ -1,5 +1,6 @@
 #include "data/csv_io.h"
 
+#include <cerrno>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -39,15 +40,58 @@ void ExportSeriesCsv(const Tensor& series, const std::string& path) {
   URCL_CHECK(out.good()) << "CSV export failed for " << path;
 }
 
-Tensor ImportSeriesCsv(const std::string& path) {
+namespace {
+
+// Strict integer parse: the whole cell must be a base-10 integer.
+bool ParseIndexCell(const std::string& cell, int64_t* out) {
+  if (cell.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(cell.c_str(), &end, 10);
+  if (errno != 0 || end != cell.c_str() + cell.size() || v < 0) return false;
+  *out = static_cast<int64_t>(v);
+  return true;
+}
+
+// Strict float parse: the whole cell must be a number (nan/inf allowed here;
+// downstream finiteness handling is the trainer's job, not the parser's).
+bool ParseValueCell(const std::string& cell, float* out) {
+  if (cell.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const float v = std::strtof(cell.c_str(), &end);
+  if (end != cell.c_str() + cell.size()) return false;
+  (void)errno;  // over/underflow clamps; still a parseable number
+  *out = v;
+  return true;
+}
+
+std::string Where(const std::string& path, int64_t line_number) {
+  return path + ":" + std::to_string(line_number);
+}
+
+}  // namespace
+
+Status TryImportSeriesCsv(const std::string& path, Tensor* out) {
+  URCL_CHECK(out != nullptr);
   std::ifstream in(path);
-  URCL_CHECK(in.is_open()) << "cannot open " << path << " for reading";
+  if (!in.is_open()) {
+    return Status::Error("cannot open " + path + " for reading");
+  }
   std::string line;
-  URCL_CHECK(static_cast<bool>(std::getline(in, line))) << "empty CSV " << path;
+  int64_t line_number = 1;
+  if (!std::getline(in, line)) {
+    return Status::Error("empty CSV " + path);
+  }
   const std::vector<std::string> header = SplitLine(line);
-  URCL_CHECK_GE(header.size(), 3u) << "CSV header needs t,node,channel0[,...]";
-  URCL_CHECK(header[0] == "t" && header[1] == "node")
-      << "unexpected CSV header in " << path;
+  if (header.size() < 3u) {
+    return Status::Error("unexpected CSV header in " + Where(path, line_number) +
+                         ": need t,node,channel0[,...], got '" + line + "'");
+  }
+  if (!(header[0] == "t" && header[1] == "node")) {
+    return Status::Error("unexpected CSV header in " + Where(path, line_number) +
+                         ": first columns must be 't,node', got '" + line + "'");
+  }
   const int64_t channels = static_cast<int64_t>(header.size()) - 2;
 
   std::vector<float> values;
@@ -55,26 +99,59 @@ Tensor ImportSeriesCsv(const std::string& path) {
   int64_t nodes = 0;
   int64_t row = 0;
   while (std::getline(in, line)) {
+    ++line_number;
     if (line.empty()) continue;
     const std::vector<std::string> cells = SplitLine(line);
-    URCL_CHECK_EQ(static_cast<int64_t>(cells.size()), channels + 2)
-        << "bad CSV row " << row << " in " << path;
-    const int64_t t = std::strtoll(cells[0].c_str(), nullptr, 10);
-    const int64_t n = std::strtoll(cells[1].c_str(), nullptr, 10);
+    if (static_cast<int64_t>(cells.size()) != channels + 2) {
+      return Status::Error("truncated CSV row at " + Where(path, line_number) + ": expected " +
+                           std::to_string(channels + 2) + " cells, got " +
+                           std::to_string(cells.size()));
+    }
+    int64_t t = 0, n = 0;
+    if (!ParseIndexCell(cells[0], &t)) {
+      return Status::Error("non-numeric t cell '" + cells[0] + "' at " +
+                           Where(path, line_number));
+    }
+    if (!ParseIndexCell(cells[1], &n)) {
+      return Status::Error("non-numeric node cell '" + cells[1] + "' at " +
+                           Where(path, line_number));
+    }
     if (t == 0) nodes = std::max(nodes, n + 1);
     steps = std::max(steps, t + 1);
     // Enforce grouped-by-t, ordered-by-node layout.
-    URCL_CHECK(nodes == 0 || row == t * nodes + n)
-        << "CSV rows must be grouped by t and ordered by node (row " << row << ")";
+    if (!(nodes == 0 || row == t * nodes + n)) {
+      return Status::Error("CSV rows must be grouped by t and ordered by node (" +
+                           Where(path, line_number) + ", data row " + std::to_string(row) + ")");
+    }
     for (int64_t c = 0; c < channels; ++c) {
-      values.push_back(std::strtof(cells[static_cast<size_t>(c) + 2].c_str(), nullptr));
+      float value = 0.0f;
+      const std::string& cell = cells[static_cast<size_t>(c) + 2];
+      if (!ParseValueCell(cell, &value)) {
+        return Status::Error("non-numeric cell '" + cell + "' in column channel" +
+                             std::to_string(c) + " at " + Where(path, line_number));
+      }
+      values.push_back(value);
     }
     ++row;
   }
-  URCL_CHECK_GT(steps, 0) << "CSV " << path << " has no data rows";
-  URCL_CHECK_GT(nodes, 0);
-  URCL_CHECK_EQ(row, steps * nodes) << "CSV " << path << " is missing rows";
-  return Tensor::FromVector(Shape{steps, nodes, channels}, values);
+  if (steps <= 0 || nodes <= 0) {
+    return Status::Error("CSV " + path + " has no data rows");
+  }
+  if (row != steps * nodes) {
+    return Status::Error("CSV " + path + " is missing rows: header implies " +
+                         std::to_string(steps * nodes) + " rows for " + std::to_string(steps) +
+                         " steps x " + std::to_string(nodes) + " nodes, found " +
+                         std::to_string(row));
+  }
+  *out = Tensor::FromVector(Shape{steps, nodes, channels}, values);
+  return Status::Ok();
+}
+
+Tensor ImportSeriesCsv(const std::string& path) {
+  Tensor series;
+  const Status status = TryImportSeriesCsv(path, &series);
+  URCL_CHECK(status.ok()) << status.message();
+  return series;
 }
 
 }  // namespace data

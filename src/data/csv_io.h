@@ -10,6 +10,7 @@
 
 #include <string>
 
+#include "common/status.h"
 #include "tensor/tensor.h"
 
 namespace urcl {
@@ -17,6 +18,13 @@ namespace data {
 
 // Writes a [T, N, C] series to `path`.
 void ExportSeriesCsv(const Tensor& series, const std::string& path);
+
+// Reads a series written by ExportSeriesCsv (or produced externally in the
+// same layout) into `*out`. On malformed input returns an error naming the
+// file and the 1-based line number of the offending row — truncated rows,
+// non-numeric cells, out-of-order rows and empty files are all rejected.
+// `*out` is only written on success.
+Status TryImportSeriesCsv(const std::string& path, Tensor* out);
 
 // Reads a series written by ExportSeriesCsv (or produced externally in the
 // same layout). Aborts with a diagnostic on malformed input.

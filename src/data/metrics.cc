@@ -14,21 +14,30 @@ void MetricsAccumulator::Add(const Tensor& prediction, const Tensor& target) {
   const float* pp = prediction.data();
   const float* pt = target.data();
   for (int64_t i = 0; i < prediction.NumElements(); ++i) {
+    // A corrupt sensor reading NaNs every prediction whose input window
+    // covers it; excluding the pair (and counting it) keeps the aggregate
+    // metric meaningful instead of reporting nan for the whole stage.
+    if (!std::isfinite(pp[i]) || !std::isfinite(pt[i])) {
+      ++non_finite_;
+      continue;
+    }
     const double err = double(pp[i]) - double(pt[i]);
     abs_sum_ += std::fabs(err);
     sq_sum_ += err * err;
+    ++count_;
     if (std::fabs(pt[i]) >= 1.0f) {
       ape_sum_ += std::fabs(err) / std::fabs(pt[i]);
       ++ape_count_;
     }
   }
-  count_ += prediction.NumElements();
 }
 
 EvalMetrics MetricsAccumulator::Result() const {
-  URCL_CHECK_GT(count_, 0) << "no samples accumulated";
+  URCL_CHECK_GT(count_, 0) << "no finite samples accumulated (" << non_finite_
+                           << " non-finite element pair(s) were skipped)";
   EvalMetrics metrics;
   metrics.count = count_;
+  metrics.non_finite = non_finite_;
   metrics.mae = abs_sum_ / count_;
   metrics.rmse = std::sqrt(sq_sum_ / count_);
   metrics.mape = ape_count_ > 0 ? 100.0 * ape_sum_ / ape_count_ : 0.0;

@@ -14,6 +14,9 @@ struct EvalMetrics {
   double rmse = 0.0;
   double mape = 0.0;  // in percent; entries with |target| < 1 are skipped
   int64_t count = 0;
+  // Element pairs excluded because prediction or target was NaN/Inf (corrupt
+  // sensor readings poison whole windows; one bad cell must not NaN the row).
+  int64_t non_finite = 0;
 };
 
 // Metrics between same-shaped prediction and target tensors.
@@ -32,6 +35,7 @@ class MetricsAccumulator {
   double ape_sum_ = 0.0;
   int64_t ape_count_ = 0;
   int64_t count_ = 0;
+  int64_t non_finite_ = 0;
 };
 
 }  // namespace data

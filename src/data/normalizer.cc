@@ -31,12 +31,20 @@ MinMaxNormalizer MinMaxNormalizer::Fit(const Tensor& series) {
   norm.mins_.assign(static_cast<size_t>(channels), std::numeric_limits<float>::infinity());
   norm.maxs_.assign(static_cast<size_t>(channels), -std::numeric_limits<float>::infinity());
   const float* p = series.data();
+  // Non-finite cells (sensor dropouts, injected faults) are excluded from the
+  // statistics so one bad reading cannot poison the whole scaling.
   for (int64_t i = 0; i < series.NumElements(); ++i) {
+    if (!std::isfinite(p[i])) continue;
     const size_t c = static_cast<size_t>(i % channels);
     norm.mins_[c] = std::min(norm.mins_[c], p[i]);
     norm.maxs_[c] = std::max(norm.maxs_[c], p[i]);
   }
   for (size_t c = 0; c < norm.mins_.size(); ++c) {
+    if (!std::isfinite(norm.mins_[c]) || !std::isfinite(norm.maxs_[c])) {
+      // Every cell in this channel was non-finite; fall back to identity-ish.
+      norm.mins_[c] = 0.0f;
+      norm.maxs_[c] = 1.0f;
+    }
     if (norm.maxs_[c] - norm.mins_[c] < 1e-6f) norm.maxs_[c] = norm.mins_[c] + 1.0f;
   }
   return norm;
@@ -72,19 +80,27 @@ ZScoreNormalizer ZScoreNormalizer::Fit(const Tensor& series) {
   ZScoreNormalizer norm;
   std::vector<double> sums(static_cast<size_t>(channels), 0.0);
   std::vector<double> sq_sums(static_cast<size_t>(channels), 0.0);
+  std::vector<int64_t> counts(static_cast<size_t>(channels), 0);
   const float* p = series.data();
-  const int64_t per_channel = series.NumElements() / channels;
-  URCL_CHECK_GT(per_channel, 0);
+  URCL_CHECK_GT(series.NumElements() / channels, 0);
+  // Like MinMaxNormalizer::Fit, non-finite cells are skipped.
   for (int64_t i = 0; i < series.NumElements(); ++i) {
+    if (!std::isfinite(p[i])) continue;
     const size_t c = static_cast<size_t>(i % channels);
     sums[c] += p[i];
     sq_sums[c] += double(p[i]) * double(p[i]);
+    ++counts[c];
   }
   norm.means_.resize(static_cast<size_t>(channels));
   norm.stds_.resize(static_cast<size_t>(channels));
   for (size_t c = 0; c < norm.means_.size(); ++c) {
-    norm.means_[c] = static_cast<float>(sums[c] / per_channel);
-    const double var = sq_sums[c] / per_channel - double(norm.means_[c]) * norm.means_[c];
+    if (counts[c] == 0) {
+      norm.means_[c] = 0.0f;
+      norm.stds_[c] = 1.0f;
+      continue;
+    }
+    norm.means_[c] = static_cast<float>(sums[c] / counts[c]);
+    const double var = sq_sums[c] / counts[c] - double(norm.means_[c]) * norm.means_[c];
     norm.stds_[c] = static_cast<float>(std::sqrt(std::max(var, 1e-12)));
     if (norm.stds_[c] < 1e-6f) norm.stds_[c] = 1.0f;
   }

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/check.h"
+#include "common/fault_injector.h"
 #include "graph/generator.h"
 
 namespace urcl {
@@ -220,7 +222,47 @@ Tensor SyntheticTraffic::GenerateSeries() {
       }
     }
   }
+  ApplyInputFaults(&series);
   return series;
+}
+
+void ApplyInputFaults(Tensor* series) {
+  URCL_CHECK(series != nullptr);
+  URCL_CHECK_EQ(series->rank(), 3) << "fault injection expects a [T, N, C] series";
+  fault::FaultInjector& injector = fault::FaultInjector::Instance();
+  const double nan_rate = injector.nan_rate();
+  const double inf_rate = injector.inf_rate();
+  const double drop_rate = injector.drop_rate();
+  if (nan_rate <= 0.0 && inf_rate <= 0.0 && drop_rate <= 0.0) return;
+
+  const int64_t steps = series->dim(0);
+  const int64_t nodes = series->dim(1);
+  const int64_t channels = series->dim(2);
+  float* data = series->mutable_data();
+  Rng& rng = injector.rng();
+  // Dropped sensors: a (t, node) pair whose every channel reads NaN, the way
+  // a dead loop detector shows up in the METR-LA/PEMS exports.
+  for (int64_t t = 0; t < steps; ++t) {
+    for (int64_t node = 0; node < nodes; ++node) {
+      float* cell = data + (t * nodes + node) * channels;
+      if (drop_rate > 0.0 && rng.Bernoulli(drop_rate)) {
+        for (int64_t c = 0; c < channels; ++c) {
+          cell[c] = std::numeric_limits<float>::quiet_NaN();
+        }
+        injector.RecordDroppedSensor();
+        continue;
+      }
+      for (int64_t c = 0; c < channels; ++c) {
+        if (nan_rate > 0.0 && rng.Bernoulli(nan_rate)) {
+          cell[c] = std::numeric_limits<float>::quiet_NaN();
+          injector.RecordNanCell();
+        } else if (inf_rate > 0.0 && rng.Bernoulli(inf_rate)) {
+          cell[c] = std::numeric_limits<float>::infinity();
+          injector.RecordInfCell();
+        }
+      }
+    }
+  }
 }
 
 }  // namespace data

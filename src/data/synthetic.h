@@ -61,7 +61,9 @@ class SyntheticTraffic {
   const graph::SensorNetwork& network() const { return network_; }
   const TrafficConfig& config() const { return config_; }
 
-  // Full series [T, N, C] with T = num_days * steps_per_day.
+  // Full series [T, N, C] with T = num_days * steps_per_day. When the
+  // process-wide FaultInjector has input-fault rates configured (URCL_FAULT),
+  // ApplyInputFaults is run on the result before it is returned.
   Tensor GenerateSeries();
 
   // Underlying congestion level in [0, 1] for one (day, step, node); exposed
@@ -95,6 +97,12 @@ class SyntheticTraffic {
   };
   std::vector<std::vector<Incident>> incidents_by_day_;
 };
+
+// Corrupts a [T, N, C] series in place according to the process-wide
+// FaultInjector's rates: `nan`/`inf` poison individual cells, `drop` blanks
+// every channel of a (t, node) reading (a dead sensor). No-op when no rates
+// are configured. Used by GenerateSeries and available to CSV-based loaders.
+void ApplyInputFaults(Tensor* series);
 
 }  // namespace data
 }  // namespace urcl

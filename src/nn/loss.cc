@@ -24,8 +24,13 @@ Variable MseLoss(const Variable& prediction, const Variable& target) {
 }
 
 Variable L2Normalize(const Variable& v, float eps) {
-  Variable norm = ag::Sqrt(ag::Sum(ag::Square(v), {-1}, /*keepdims=*/true));
-  return ag::Div(v, ag::AddScalar(norm, eps));
+  // The eps lives INSIDE the sqrt: d/dx sqrt(x) is infinite at x = 0, and an
+  // all-zero row (a dead-ReLU projector output) hits exactly that, turning a
+  // finite loss into NaN gradients on everything upstream. sqrt(||v||^2 +
+  // eps^2) keeps the backward finite and is ~||v|| + eps for tiny norms.
+  Variable norm =
+      ag::Sqrt(ag::AddScalar(ag::Sum(ag::Square(v), {-1}, /*keepdims=*/true), eps * eps));
+  return ag::Div(v, norm);
 }
 
 Variable CosineSimilarityRows(const Variable& a, const Variable& b, float eps) {
@@ -75,6 +80,8 @@ Variable GraphClLoss(const Variable& p1, const Variable& p2, const Variable& z1,
       ag::Log(ag::Sum(ag::Mul(ag::Exp(sym), off_mask), {-1}));  // [S]
   return ag::Mean(ag::Sub(negative_mass, positives));
 }
+
+bool LossIsFinite(const Variable& loss) { return loss.value().AllFinite(); }
 
 }  // namespace nn
 }  // namespace urcl

@@ -16,7 +16,8 @@ Variable MaeLoss(const Variable& prediction, const Variable& target);
 // Mean squared error.
 Variable MseLoss(const Variable& prediction, const Variable& target);
 
-// L2-normalizes the last axis: v / (||v||_2 + eps).
+// L2-normalizes the last axis: v / sqrt(||v||_2^2 + eps^2). The eps sits
+// inside the sqrt so the backward stays finite for all-zero rows.
 Variable L2Normalize(const Variable& v, float eps = 1e-8f);
 
 // Row-wise cosine similarity between [S, D] matrices -> [S].
@@ -30,6 +31,12 @@ Variable CosineSimilarityRows(const Variable& a, const Variable& b, float eps = 
 // loss degenerates to the negative symmetric cosine similarity (SimSiam).
 Variable GraphClLoss(const Variable& p1, const Variable& p2, const Variable& z1,
                      const Variable& z2, float temperature);
+
+// Cheap post-forward guard: true when every element of the computed loss is
+// finite. Training loops call this before Backward()/Step() so a diverged or
+// corrupted batch is quarantined (skipped + counted) instead of silently
+// training on NaNs.
+bool LossIsFinite(const Variable& loss);
 
 }  // namespace nn
 }  // namespace urcl

@@ -1,12 +1,29 @@
 #include "nn/optimizer.h"
 
 #include <cmath>
+#include <istream>
+#include <ostream>
 
 #include "common/check.h"
+#include "tensor/serialize.h"
 #include "tensor/tensor_ops.h"
 
 namespace urcl {
 namespace nn {
+namespace {
+
+// Validates that `tensors` read back from a state stream are congruent with
+// the optimizer's parameter list.
+Status CheckCongruent(const std::vector<Variable>& params, uint64_t count, const char* what) {
+  if (count != params.size()) {
+    return Status::Error(std::string(what) + " state holds " + std::to_string(count) +
+                         " tensors but the optimizer has " + std::to_string(params.size()) +
+                         " parameters");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
 
 Optimizer::Optimizer(std::vector<Variable> params) : params_(std::move(params)) {
   for (const Variable& p : params_) {
@@ -27,6 +44,7 @@ float Optimizer::ClipGradNorm(float max_norm) {
     for (int64_t i = 0; i < g.NumElements(); ++i) total_sq += double(pg[i]) * double(pg[i]);
   }
   const float norm = static_cast<float>(std::sqrt(total_sq));
+  if (!std::isfinite(norm)) return norm;
   if (norm > max_norm && norm > 0.0f) {
     const float scale = max_norm / norm;
     for (Variable& p : params_) {
@@ -38,6 +56,27 @@ float Optimizer::ClipGradNorm(float max_norm) {
     }
   }
   return norm;
+}
+
+int64_t Optimizer::FirstNonFiniteGrad() const {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    if (!params_[i].grad().AllFinite()) return static_cast<int64_t>(i);
+  }
+  return -1;
+}
+
+int64_t Optimizer::FirstNonFiniteParam() const {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    if (!params_[i].value().AllFinite()) return static_cast<int64_t>(i);
+  }
+  return -1;
+}
+
+void Optimizer::SaveState(std::ostream& out) const { (void)out; }
+
+Status Optimizer::LoadState(std::istream& in) {
+  (void)in;
+  return Status::Ok();
 }
 
 Sgd::Sgd(std::vector<Variable> params, float lr, float momentum)
@@ -65,14 +104,32 @@ void Sgd::Step() {
   }
 }
 
-Adam::Adam(std::vector<Variable> params, float lr, float beta1, float beta2, float epsilon,
-           float weight_decay)
-    : Optimizer(std::move(params)),
-      lr_(lr),
-      beta1_(beta1),
-      beta2_(beta2),
-      epsilon_(epsilon),
-      weight_decay_(weight_decay) {
+void Sgd::SaveState(std::ostream& out) const {
+  io::WritePod(out, static_cast<uint64_t>(velocity_.size()));
+  for (const Tensor& v : velocity_) SaveTensor(v, out);
+}
+
+Status Sgd::LoadState(std::istream& in) {
+  const uint64_t count = io::ReadPod<uint64_t>(in);
+  if (count != velocity_.size()) {
+    return Status::Error("SGD state holds " + std::to_string(count) +
+                         " velocity tensors, expected " + std::to_string(velocity_.size()));
+  }
+  for (Tensor& v : velocity_) {
+    Tensor loaded = LoadTensor(in);
+    if (!(loaded.shape() == v.shape())) {
+      return Status::Error("SGD velocity shape mismatch: " + loaded.shape().ToString() +
+                           " vs " + v.shape().ToString());
+    }
+    v = std::move(loaded);
+  }
+  return Status::Ok();
+}
+
+Adam::Adam(std::vector<Variable> params, const AdamConfig& config)
+    : Optimizer(std::move(params)), config_(config) {
+  URCL_CHECK_GT(config_.lr, 0.0f);
+  URCL_CHECK_GE(config_.clip_norm, 0.0f);
   m_.reserve(params_.size());
   v_.reserve(params_.size());
   for (const Variable& p : params_) {
@@ -81,10 +138,26 @@ Adam::Adam(std::vector<Variable> params, float lr, float beta1, float beta2, flo
   }
 }
 
+Adam::Adam(std::vector<Variable> params, float lr, float beta1, float beta2, float epsilon,
+           float weight_decay)
+    : Adam(std::move(params),
+           AdamConfig{lr, beta1, beta2, epsilon, weight_decay, 0.0f, false}) {}
+
 void Adam::Step() {
+  last_report_.reset();
+  if (config_.check_finite) {
+    const int64_t bad = FirstNonFiniteGrad();
+    if (bad >= 0) {
+      // Skip the whole update: a partial apply would leave the moments and
+      // parameters inconsistent across params.
+      last_report_ = NonFiniteReport{bad, NonFiniteReport::Kind::kGradient};
+      return;
+    }
+  }
+  if (config_.clip_norm > 0.0f) ClipGradNorm(config_.clip_norm);
   ++step_count_;
-  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(step_count_));
-  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(step_count_));
+  const float bc1 = 1.0f - std::pow(config_.beta1, static_cast<float>(step_count_));
+  const float bc2 = 1.0f - std::pow(config_.beta2, static_cast<float>(step_count_));
   for (size_t i = 0; i < params_.size(); ++i) {
     Variable& p = params_[i];
     const Tensor g = p.grad();
@@ -95,15 +168,53 @@ void Adam::Step() {
     const float* pg = g.data();
     const int64_t n = value.NumElements();
     for (int64_t j = 0; j < n; ++j) {
-      const float grad = pg[j] + weight_decay_ * pv[j];
-      pm[j] = beta1_ * pm[j] + (1.0f - beta1_) * grad;
-      pvv[j] = beta2_ * pvv[j] + (1.0f - beta2_) * grad * grad;
+      const float grad = pg[j] + config_.weight_decay * pv[j];
+      pm[j] = config_.beta1 * pm[j] + (1.0f - config_.beta1) * grad;
+      pvv[j] = config_.beta2 * pvv[j] + (1.0f - config_.beta2) * grad * grad;
       const float m_hat = pm[j] / bc1;
       const float v_hat = pvv[j] / bc2;
-      pv[j] -= lr_ * m_hat / (std::sqrt(v_hat) + epsilon_);
+      pv[j] -= config_.lr * m_hat / (std::sqrt(v_hat) + config_.epsilon);
     }
     p.SetValue(value);
   }
+  if (config_.check_finite) {
+    const int64_t bad = FirstNonFiniteParam();
+    if (bad >= 0) last_report_ = NonFiniteReport{bad, NonFiniteReport::Kind::kParameter};
+  }
+}
+
+void Adam::SaveState(std::ostream& out) const {
+  io::WritePod(out, step_count_);
+  io::WritePod(out, static_cast<uint64_t>(m_.size()));
+  for (const Tensor& m : m_) SaveTensor(m, out);
+  for (const Tensor& v : v_) SaveTensor(v, out);
+}
+
+Status Adam::LoadState(std::istream& in) {
+  const int64_t step_count = io::ReadPod<int64_t>(in);
+  if (step_count < 0) {
+    return Status::Error("Adam state has negative step count " + std::to_string(step_count));
+  }
+  const uint64_t count = io::ReadPod<uint64_t>(in);
+  const Status congruent = CheckCongruent(params_, count, "Adam");
+  if (!congruent.ok()) return congruent;
+  std::vector<Tensor> m, v;
+  m.reserve(count);
+  v.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) m.push_back(LoadTensor(in));
+  for (uint64_t i = 0; i < count; ++i) v.push_back(LoadTensor(in));
+  for (uint64_t i = 0; i < count; ++i) {
+    if (!(m[i].shape() == params_[i].value().shape()) ||
+        !(v[i].shape() == params_[i].value().shape())) {
+      return Status::Error("Adam moment shape mismatch at param " + std::to_string(i) + ": " +
+                           m[i].shape().ToString() + " vs " +
+                           params_[i].value().shape().ToString());
+    }
+  }
+  step_count_ = step_count;
+  m_ = std::move(m);
+  v_ = std::move(v);
+  return Status::Ok();
 }
 
 }  // namespace nn

@@ -2,14 +2,27 @@
 #ifndef URCL_NN_OPTIMIZER_H_
 #define URCL_NN_OPTIMIZER_H_
 
+#include <iosfwd>
+#include <optional>
 #include <vector>
 
 #include "autograd/variable.h"
+#include "common/status.h"
 
 namespace urcl {
 namespace nn {
 
 using autograd::Variable;
+
+// Structured report of a non-finite value met during Step() when
+// check_finite is enabled. The caller (which knows parameter names and the
+// current training stage) turns this into an actionable message instead of
+// silently training on NaNs.
+struct NonFiniteReport {
+  enum class Kind { kGradient, kParameter };
+  int64_t param_index = -1;
+  Kind kind = Kind::kGradient;
+};
 
 class Optimizer {
  public:
@@ -26,13 +39,33 @@ class Optimizer {
   void ZeroGrad();
 
   // Scales gradients so their global L2 norm is at most `max_norm`.
-  // Returns the pre-clip norm.
+  // Returns the pre-clip norm. A non-finite norm leaves the gradients
+  // untouched (scaling by max_norm/inf would zero or NaN them); the
+  // check_finite guard is the mechanism that catches that case.
   float ClipGradNorm(float max_norm);
+
+  // Set when the last Step() with check_finite enabled met a non-finite
+  // gradient (the whole update is skipped) or produced a non-finite
+  // parameter; empty after a clean step.
+  const std::optional<NonFiniteReport>& last_step_report() const { return last_report_; }
+
+  // Serializes the optimizer's internal state (moments, step counter) so a
+  // restored run continues bit-for-bit. Hyperparameters are not written;
+  // they come from the caller's config. Base implementation is stateless.
+  virtual void SaveState(std::ostream& out) const;
+  // Restores state written by SaveState of the same optimizer type over the
+  // same parameter list; returns an error on any mismatch.
+  virtual Status LoadState(std::istream& in);
 
   const std::vector<Variable>& params() const { return params_; }
 
  protected:
+  // Index of the first param with a non-finite gradient/value, or -1.
+  int64_t FirstNonFiniteGrad() const;
+  int64_t FirstNonFiniteParam() const;
+
   std::vector<Variable> params_;
+  std::optional<NonFiniteReport> last_report_;
 };
 
 // SGD with optional momentum.
@@ -41,6 +74,9 @@ class Sgd : public Optimizer {
   Sgd(std::vector<Variable> params, float lr, float momentum = 0.0f);
 
   void Step() override;
+
+  void SaveState(std::ostream& out) const override;
+  Status LoadState(std::istream& in) override;
 
   float lr() const { return lr_; }
   void set_lr(float lr) { lr_ = lr; }
@@ -51,23 +87,41 @@ class Sgd : public Optimizer {
   std::vector<Tensor> velocity_;
 };
 
+struct AdamConfig {
+  float lr = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float epsilon = 1e-8f;
+  float weight_decay = 0.0f;  // decoupled (AdamW-style)
+  // Opt-in robustness guards:
+  // When > 0, gradients are clipped to this global L2 norm inside Step().
+  float clip_norm = 0.0f;
+  // When set, Step() scans gradients first (a non-finite gradient skips the
+  // whole update and records a NonFiniteReport) and parameters after the
+  // update; see last_step_report().
+  bool check_finite = false;
+};
+
 // Adam (Kingma & Ba) with optional decoupled weight decay.
 class Adam : public Optimizer {
  public:
+  Adam(std::vector<Variable> params, const AdamConfig& config);
   Adam(std::vector<Variable> params, float lr, float beta1 = 0.9f, float beta2 = 0.999f,
        float epsilon = 1e-8f, float weight_decay = 0.0f);
 
   void Step() override;
 
-  float lr() const { return lr_; }
-  void set_lr(float lr) { lr_ = lr; }
+  // State = step counter + first/second moments, in params() order.
+  void SaveState(std::ostream& out) const override;
+  Status LoadState(std::istream& in) override;
+
+  float lr() const { return config_.lr; }
+  void set_lr(float lr) { config_.lr = lr; }
+  const AdamConfig& config() const { return config_; }
+  int64_t step_count() const { return step_count_; }
 
  private:
-  float lr_;
-  float beta1_;
-  float beta2_;
-  float epsilon_;
-  float weight_decay_;
+  AdamConfig config_;
   int64_t step_count_ = 0;
   std::vector<Tensor> m_;
   std::vector<Tensor> v_;

@@ -1,6 +1,11 @@
 #include "replay/replay_buffer.h"
 
+#include <istream>
+#include <ostream>
+#include <string>
+
 #include "common/check.h"
+#include "tensor/serialize.h"
 #include "tensor/tensor_ops.h"
 
 namespace urcl {
@@ -61,6 +66,86 @@ std::pair<Tensor, Tensor> ReplayBuffer::MakeBatch(const std::vector<int64_t>& in
     ys.push_back(item.targets);
   }
   return {ops::Stack(xs, 0), ops::Stack(ys, 0)};
+}
+
+namespace {
+constexpr uint32_t kBufferStateVersion = 1;
+}  // namespace
+
+void ReplayBuffer::Serialize(std::ostream& out) const {
+  io::WritePod(out, kBufferStateVersion);
+  io::WritePod(out, capacity_);
+  io::WritePod(out, static_cast<uint32_t>(policy_));
+  io::WritePod(out, evictions_);
+  io::WritePod(out, inserted_);
+  const std::string rng_state = rng_.SaveState();
+  io::WritePod(out, static_cast<uint64_t>(rng_state.size()));
+  out.write(rng_state.data(), static_cast<std::streamsize>(rng_state.size()));
+  io::WritePod(out, static_cast<uint64_t>(items_.size()));
+  for (const ReplayItem& item : items_) {
+    SaveTensor(item.inputs, out);
+    SaveTensor(item.targets, out);
+    io::WritePod(out, item.time_slot);
+  }
+}
+
+Status ReplayBuffer::Deserialize(std::istream& in) {
+  const uint32_t version = io::ReadPod<uint32_t>(in);
+  if (version != kBufferStateVersion) {
+    return Status::Error("replay buffer state version " + std::to_string(version) +
+                         " unsupported (expected " + std::to_string(kBufferStateVersion) + ")");
+  }
+  const int64_t capacity = io::ReadPod<int64_t>(in);
+  const uint32_t policy = io::ReadPod<uint32_t>(in);
+  if (capacity != capacity_) {
+    return Status::Error("replay buffer state capacity " + std::to_string(capacity) +
+                         " does not match configured capacity " + std::to_string(capacity_));
+  }
+  if (policy != static_cast<uint32_t>(policy_)) {
+    return Status::Error("replay buffer state policy " + std::to_string(policy) +
+                         " does not match configured policy " +
+                         std::to_string(static_cast<uint32_t>(policy_)));
+  }
+  const int64_t evictions = io::ReadPod<int64_t>(in);
+  const int64_t inserted = io::ReadPod<int64_t>(in);
+  if (evictions < 0 || inserted < 0) {
+    return Status::Error("replay buffer state has negative counters");
+  }
+  const uint64_t rng_len = io::ReadPod<uint64_t>(in);
+  // mt19937_64 text state is ~7.5 KB; anything much larger is corruption.
+  if (rng_len == 0 || rng_len > (1u << 20)) {
+    return Status::Error("replay buffer RNG state has implausible length " +
+                         std::to_string(rng_len));
+  }
+  std::string rng_state(rng_len, '\0');
+  in.read(rng_state.data(), static_cast<std::streamsize>(rng_len));
+  if (!in.good()) return Status::Error("replay buffer RNG state truncated");
+  const uint64_t count = io::ReadPod<uint64_t>(in);
+  if (count > static_cast<uint64_t>(capacity_)) {
+    return Status::Error("replay buffer state holds " + std::to_string(count) +
+                         " items, above capacity " + std::to_string(capacity_));
+  }
+  std::deque<ReplayItem> items;
+  for (uint64_t i = 0; i < count; ++i) {
+    ReplayItem item;
+    item.inputs = LoadTensor(in);
+    item.targets = LoadTensor(in);
+    item.time_slot = io::ReadPod<int64_t>(in);
+    if (item.inputs.rank() != 3 || item.targets.rank() != 3) {
+      return Status::Error("replay buffer state item " + std::to_string(i) +
+                           " has non rank-3 tensors");
+    }
+    items.push_back(std::move(item));
+  }
+  Rng restored(0);
+  if (!restored.LoadState(rng_state)) {
+    return Status::Error("replay buffer RNG state failed to parse");
+  }
+  rng_ = std::move(restored);
+  items_ = std::move(items);
+  evictions_ = evictions;
+  inserted_ = inserted;
+  return Status::Ok();
 }
 
 }  // namespace replay

@@ -5,10 +5,12 @@
 
 #include <cstdint>
 #include <deque>
+#include <iosfwd>
 #include <utility>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/status.h"
 #include "tensor/tensor.h"
 
 namespace urcl {
@@ -60,6 +62,15 @@ class ReplayBuffer {
   int64_t inserted() const { return inserted_; }
 
   BufferPolicy policy() const { return policy_; }
+
+  // Checkpointing: writes the complete buffer state — items, eviction/insert
+  // counters and the reservoir RNG position — so a restored buffer continues
+  // the eviction stream bit-for-bit.
+  void Serialize(std::ostream& out) const;
+  // Restores state written by Serialize into a buffer constructed with the
+  // same capacity/policy; returns an error on any mismatch or implausible
+  // field instead of clobbering the live buffer.
+  Status Deserialize(std::istream& in);
 
  private:
   int64_t capacity_;

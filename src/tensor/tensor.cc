@@ -1,6 +1,7 @@
 #include "tensor/tensor.h"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "common/check.h"
@@ -64,6 +65,14 @@ float Tensor::Item() const {
   URCL_CHECK_EQ(NumElements(), 1) << "Item() requires a single-element tensor, got "
                                   << shape_.ToString();
   return (*data_)[0];
+}
+
+bool Tensor::AllFinite() const {
+  const float* p = data();
+  for (int64_t i = 0; i < NumElements(); ++i) {
+    if (!std::isfinite(p[i])) return false;
+  }
+  return true;
 }
 
 float Tensor::At(const std::vector<int64_t>& indices) const {

@@ -50,6 +50,11 @@ class Tensor {
   // Scalar extraction (requires exactly one element).
   float Item() const;
 
+  // True when no element is NaN or +/-Inf. Cheap (one linear scan); the
+  // training loop uses it to quarantine corrupt batches and diverged updates
+  // before they poison gradients.
+  bool AllFinite() const;
+
   // Multi-index element access (bounds-checked).
   float At(const std::vector<int64_t>& indices) const;
   void Set(const std::vector<int64_t>& indices, float value);

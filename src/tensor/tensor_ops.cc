@@ -526,13 +526,7 @@ float MaxAbsDiff(const Tensor& a, const Tensor& b) {
   return max_diff;
 }
 
-bool AllFinite(const Tensor& a) {
-  const float* pa = a.data();
-  for (int64_t i = 0; i < a.NumElements(); ++i) {
-    if (!std::isfinite(pa[i])) return false;
-  }
-  return true;
-}
+bool AllFinite(const Tensor& a) { return a.AllFinite(); }
 
 }  // namespace ops
 }  // namespace urcl

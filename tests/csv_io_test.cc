@@ -86,6 +86,85 @@ TEST(CsvIoTest, MissingFileDies) {
   EXPECT_DEATH(ImportSeriesCsv("/nonexistent/series.csv"), "cannot open");
 }
 
+// --- Status-returning import: errors must carry the 1-based line number so a
+// bad row in a large file is actually findable.
+
+std::string WriteCsv(const std::string& name, const std::string& body) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::ofstream out(path);
+  out << body;
+  return path;
+}
+
+TEST(CsvIoTryImportTest, TruncatedRowReportsLineNumber) {
+  const std::string path =
+      WriteCsv("urcl_trunc.csv", "t,node,channel0,channel1\n0,0,1.0,2.0\n0,1,3.0\n");
+  Tensor out;
+  const Status status = TryImportSeriesCsv(path, &out);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("truncated CSV row"), std::string::npos) << status.message();
+  EXPECT_NE(status.message().find(path + ":3"), std::string::npos) << status.message();
+  std::remove(path.c_str());
+}
+
+TEST(CsvIoTryImportTest, NonNumericCellReportsLineAndChannel) {
+  const std::string path =
+      WriteCsv("urcl_nonnum.csv", "t,node,channel0\n0,0,1.0\n0,1,oops\n");
+  Tensor out;
+  const Status status = TryImportSeriesCsv(path, &out);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("non-numeric"), std::string::npos) << status.message();
+  EXPECT_NE(status.message().find("'oops'"), std::string::npos) << status.message();
+  EXPECT_NE(status.message().find(path + ":3"), std::string::npos) << status.message();
+  std::remove(path.c_str());
+}
+
+TEST(CsvIoTryImportTest, NonNumericIndexCellIsRejected) {
+  const std::string path =
+      WriteCsv("urcl_badidx.csv", "t,node,channel0\nzero,0,1.0\n");
+  Tensor out;
+  const Status status = TryImportSeriesCsv(path, &out);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find(path + ":2"), std::string::npos) << status.message();
+  std::remove(path.c_str());
+}
+
+TEST(CsvIoTryImportTest, EmptyFileIsRejectedNotCrashed) {
+  const std::string path = WriteCsv("urcl_empty.csv", "");
+  Tensor out;
+  EXPECT_FALSE(TryImportSeriesCsv(path, &out).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CsvIoTryImportTest, HeaderOnlyIsRejected) {
+  const std::string path = WriteCsv("urcl_headonly.csv", "t,node,channel0\n");
+  Tensor out;
+  const Status status = TryImportSeriesCsv(path, &out);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("no data rows"), std::string::npos) << status.message();
+  std::remove(path.c_str());
+}
+
+TEST(CsvIoTryImportTest, OutputUntouchedOnError) {
+  const std::string path = WriteCsv("urcl_untouched.csv", "t,node,channel0\n0,0,bad\n");
+  Tensor out = Tensor::Ones(Shape{2, 2, 2});
+  ASSERT_FALSE(TryImportSeriesCsv(path, &out).ok());
+  EXPECT_EQ(out.shape(), Shape({2, 2, 2}));  // error path must not clobber out
+  EXPECT_FLOAT_EQ(out.At({0, 0, 0}), 1.0f);
+  std::remove(path.c_str());
+}
+
+TEST(CsvIoTryImportTest, ValidFileSucceeds) {
+  const std::string path =
+      WriteCsv("urcl_ok.csv", "t,node,channel0\n0,0,1.5\n0,1,2.5\n1,0,3.5\n1,1,4.5\n");
+  Tensor out;
+  const Status status = TryImportSeriesCsv(path, &out);
+  ASSERT_TRUE(status.ok()) << status.message();
+  EXPECT_EQ(out.shape(), Shape({2, 2, 1}));
+  EXPECT_FLOAT_EQ(out.At({1, 1, 0}), 4.5f);
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace data
 }  // namespace urcl

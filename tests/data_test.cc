@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "data/dataset.h"
 #include "data/metrics.h"
@@ -191,7 +192,28 @@ TEST(MetricsTest, AccumulatorMatchesSinglePass) {
 
 TEST(MetricsTest, EmptyAccumulatorDies) {
   MetricsAccumulator acc;
-  EXPECT_DEATH(acc.Result(), "no samples");
+  EXPECT_DEATH(acc.Result(), "no finite samples");
+}
+
+TEST(MetricsTest, NonFinitePairsAreSkippedAndCounted) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  // Elements 1 (nan pred), 2 (inf target), 3 (both) must be excluded; the
+  // finite elements 0 and 4 carry the metric.
+  Tensor pred = Tensor::FromVector(Shape{5}, {1.0f, nan, 3.0f, nan, 4.0f});
+  Tensor target = Tensor::FromVector(Shape{5}, {2.0f, 2.0f, inf, inf, 4.0f});
+  const EvalMetrics m = ComputeMetrics(pred, target);
+  EXPECT_EQ(m.count, 2);
+  EXPECT_EQ(m.non_finite, 3);
+  EXPECT_DOUBLE_EQ(m.mae, 0.5);
+  EXPECT_NEAR(m.rmse, std::sqrt(0.5), 1e-9);
+}
+
+TEST(MetricsTest, AllNonFiniteDiesWithDiagnostic) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  MetricsAccumulator acc;
+  acc.Add(Tensor::FromVector(Shape{2}, {nan, nan}), Tensor::Full(Shape{2}, 1.0f));
+  EXPECT_DEATH(acc.Result(), "2 non-finite element pair\\(s\\)");
 }
 
 TEST(SyntheticTest, SeriesShapeAndFiniteness) {

@@ -1,5 +1,10 @@
 #include "nn/optimizer.h"
 
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <sstream>
+
 #include <gtest/gtest.h>
 
 #include "autograd/ops.h"
@@ -124,6 +129,80 @@ TEST(ClipGradNormTest, LeavesSmallGradientsAlone) {
 TEST(OptimizerTest, RejectsNonTrainableParams) {
   Variable w(Tensor::Scalar(1.0f), /*requires_grad=*/false);
   EXPECT_DEATH(Sgd({w}, 0.1f), "non-trainable");
+}
+
+// --- Opt-in robustness guards (AdamConfig::clip_norm / check_finite).
+
+TEST(AdamGuardTest, ClipNormBoundsTheUpdate) {
+  // grad = (3, 4), norm 5, clipped to 1 inside Step(): after clipping the
+  // gradients visible on the params have norm 1.
+  Variable w(Tensor::FromVector(Shape{2}, {3.0f, 4.0f}), true);
+  AdamConfig config;
+  config.lr = 0.1f;
+  config.clip_norm = 1.0f;
+  Adam adam({w}, config);
+  adam.ZeroGrad();
+  ag::MulScalar(ag::Sum(ag::Square(w)), 0.5f).Backward();  // grad = w
+  adam.Step();
+  const Tensor g = w.grad();
+  const float post_norm = std::sqrt(g.FlatAt(0) * g.FlatAt(0) + g.FlatAt(1) * g.FlatAt(1));
+  EXPECT_NEAR(post_norm, 1.0f, 1e-4);
+}
+
+TEST(AdamGuardTest, NonFiniteGradientSkipsTheWholeUpdate) {
+  Variable w(Tensor::Scalar(1.0f), true);
+  AdamConfig config;
+  config.lr = 0.1f;
+  config.check_finite = true;
+  Adam adam({w}, config);
+
+  adam.ZeroGrad();
+  w.AccumulateGrad(Tensor::Scalar(std::numeric_limits<float>::quiet_NaN()));
+  adam.Step();
+
+  ASSERT_TRUE(adam.last_step_report().has_value());
+  EXPECT_EQ(adam.last_step_report()->kind, NonFiniteReport::Kind::kGradient);
+  EXPECT_EQ(adam.last_step_report()->param_index, 0);
+  EXPECT_EQ(adam.step_count(), 0);                // update skipped entirely
+  EXPECT_FLOAT_EQ(w.value().Item(), 1.0f);        // parameter untouched
+
+  // A clean step afterwards clears the report and applies normally.
+  adam.ZeroGrad();
+  ag::Square(w).Backward();
+  adam.Step();
+  EXPECT_FALSE(adam.last_step_report().has_value());
+  EXPECT_EQ(adam.step_count(), 1);
+  EXPECT_LT(w.value().Item(), 1.0f);
+}
+
+TEST(AdamGuardTest, CheckFiniteOffTrainsOnNan) {
+  // Without the guard, a NaN gradient silently poisons the parameter — the
+  // guard (and the trainer quarantine built on it) is what prevents this.
+  Variable w(Tensor::Scalar(1.0f), true);
+  Adam adam({w}, 0.1f);
+  adam.ZeroGrad();
+  w.AccumulateGrad(Tensor::Scalar(std::numeric_limits<float>::quiet_NaN()));
+  adam.Step();
+  EXPECT_TRUE(std::isnan(w.value().Item()));
+}
+
+TEST(SgdStateTest, MomentumRoundTripContinuesBitwise) {
+  Variable w1(Tensor::Scalar(0.0f), true);
+  Sgd a({w1}, 0.05f, 0.9f);
+  MinimizeQuadratic(a, w1, 10);
+
+  std::ostringstream saved;
+  a.SaveState(saved);
+  Variable w2(w1.value().Clone(), true);
+  Sgd b({w2}, 0.05f, 0.9f);
+  std::istringstream in(saved.str());
+  ASSERT_TRUE(b.LoadState(in).ok());
+
+  MinimizeQuadratic(a, w1, 5);
+  MinimizeQuadratic(b, w2, 5);
+  const float va = w1.value().Item();
+  const float vb = w2.value().Item();
+  EXPECT_EQ(std::memcmp(&va, &vb, sizeof(float)), 0);
 }
 
 }  // namespace

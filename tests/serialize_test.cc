@@ -1,6 +1,8 @@
 #include "tensor/serialize.h"
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -67,6 +69,76 @@ TEST(SerializeTest, FileRoundTrip) {
 
 TEST(SerializeTest, MissingFileDies) {
   EXPECT_DEATH(LoadTensors("/nonexistent/path/tensors.bin"), "cannot open");
+}
+
+// --- Corrupt-header hardening: every header field is validated against the
+// bytes actually present BEFORE any allocation happens, so a flipped dim or
+// count field fails loudly instead of triggering a terabyte allocation.
+
+// Serialized bytes of a small valid tensor, for byte surgery.
+std::string ValidTensorBytes() {
+  std::stringstream buffer;
+  SaveTensor(Tensor::Ones(Shape{2, 3}), buffer);
+  return buffer.str();
+}
+
+TEST(SerializeTest, ImplausibleRankDies) {
+  std::string bytes = ValidTensorBytes();
+  const int64_t rank = 17;  // > the 16 allowed
+  std::memcpy(bytes.data() + sizeof(uint32_t), &rank, sizeof(int64_t));
+  std::stringstream corrupt(bytes);
+  EXPECT_DEATH(LoadTensor(corrupt), "implausible tensor rank");
+}
+
+TEST(SerializeTest, RankBeyondStreamDies) {
+  // Plausible rank (10) but the stream only holds two dim fields: the header
+  // bound check must fire, not a short read inside the dim loop.
+  std::string bytes = ValidTensorBytes();
+  const int64_t rank = 10;
+  std::memcpy(bytes.data() + sizeof(uint32_t), &rank, sizeof(int64_t));
+  std::stringstream corrupt(bytes);
+  EXPECT_DEATH(LoadTensor(corrupt), "needs 80 header bytes");
+}
+
+TEST(SerializeTest, OverflowingDimsDie) {
+  // dims {2^36, 2^36}: each fits in int64 but the product overflows the
+  // element-count guard; must die before allocating.
+  std::string bytes = ValidTensorBytes();
+  const int64_t huge = int64_t{1} << 36;
+  std::memcpy(bytes.data() + sizeof(uint32_t) + sizeof(int64_t), &huge, sizeof(int64_t));
+  std::memcpy(bytes.data() + sizeof(uint32_t) + 2 * sizeof(int64_t), &huge, sizeof(int64_t));
+  std::stringstream corrupt(bytes);
+  EXPECT_DEATH(LoadTensor(corrupt), "tensor header dims overflow");
+}
+
+TEST(SerializeTest, NegativeDimDies) {
+  std::string bytes = ValidTensorBytes();
+  const int64_t negative = -4;
+  std::memcpy(bytes.data() + sizeof(uint32_t) + sizeof(int64_t), &negative, sizeof(int64_t));
+  std::stringstream corrupt(bytes);
+  EXPECT_DEATH(LoadTensor(corrupt), "");
+}
+
+TEST(SerializeTest, PayloadShorterThanHeaderClaimsDies) {
+  // Inflate a dim so the header claims more payload than the stream holds.
+  std::string bytes = ValidTensorBytes();
+  const int64_t inflated = 1000;
+  std::memcpy(bytes.data() + sizeof(uint32_t) + sizeof(int64_t), &inflated, sizeof(int64_t));
+  std::stringstream corrupt(bytes);
+  EXPECT_DEATH(LoadTensor(corrupt), "tensor data truncated: header claims");
+}
+
+TEST(SerializeTest, BadTensorCountDies) {
+  const std::string path = ::testing::TempDir() + "/urcl_badcount.bin";
+  SaveTensors({Tensor::Ones(Shape{2})}, path);
+  {
+    // Rewrite the leading count field to an absurd value.
+    std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+    const int64_t absurd = int64_t{1} << 50;
+    file.write(reinterpret_cast<const char*>(&absurd), sizeof(int64_t));
+  }
+  EXPECT_DEATH(LoadTensors(path), "bad tensor count");
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -39,7 +39,24 @@ struct BenchScale {
   uint64_t seed = 7;
 };
 
+// Recorded numbers are only meaningful from an optimized build (the checked-in
+// baselines are Release). Shout, don't abort: debug runs are still useful for
+// checking that the harness itself works.
+inline void WarnIfUnoptimizedBuild() {
+#ifndef NDEBUG
+  std::fprintf(stderr,
+               "********************************************************************\n"
+               "* WARNING: this benchmark binary was built WITHOUT NDEBUG          *\n"
+               "* (assertions / URCL_CHECK are live). Timings are NOT comparable   *\n"
+               "* to the recorded baselines. Rebuild with                          *\n"
+               "*   cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release         *\n"
+               "* before recording numbers.                                        *\n"
+               "********************************************************************\n");
+#endif
+}
+
 inline BenchScale ResolveScale(const Flags& flags) {
+  WarnIfUnoptimizedBuild();
   ApplyRuntimeFlags(flags);
   BenchScale scale;
   std::string mode = flags.GetString("scale", "");

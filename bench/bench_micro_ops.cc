@@ -6,6 +6,8 @@
 // is given.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -14,12 +16,17 @@
 #include "autograd/ops.h"
 #include "core/stencoder.h"
 #include "core/stmixup.h"
+#include "core/urcl.h"
+#include "data/synthetic.h"
 #include "graph/generator.h"
 #include "graph/transition.h"
 #include "nn/gcn.h"
+#include "nn/optimizer.h"
 #include "nn/tcn.h"
 #include "replay/replay_buffer.h"
 #include "replay/samplers.h"
+#include "tensor/pool.h"
+#include "tensor/simd.h"
 #include "tensor/tensor_ops.h"
 
 namespace urcl {
@@ -233,6 +240,80 @@ void BM_AddBroadcastThreads(benchmark::State& state) {
 }
 BENCHMARK(BM_AddBroadcastThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
+void BM_AdamStep(benchmark::State& state) {
+  // Adam over a realistic mix of parameter sizes (odd lengths exercise the
+  // SIMD tail path). Gradients are re-filled each iteration so Step() always
+  // has work; the moments evolve but shapes never change.
+  Rng rng(30);
+  const std::vector<Shape> shapes = {Shape{16, 257}, Shape{64, 64}, Shape{129},
+                                     Shape{8, 8, 33}, Shape{1000}, Shape{7}};
+  std::vector<ag::Variable> params;
+  std::vector<Tensor> grads;
+  int64_t total = 0;
+  for (const Shape& s : shapes) {
+    params.emplace_back(Tensor::RandomNormal(s, rng), true);
+    grads.push_back(Tensor::RandomNormal(s, rng));
+    total += s.NumElements();
+  }
+  nn::AdamConfig config;
+  config.weight_decay = 0.02f;
+  nn::Adam adam(params, config);
+  for (auto _ : state) {
+    adam.ZeroGrad();
+    for (size_t i = 0; i < params.size(); ++i) params[i].AccumulateGrad(grads[i]);
+    adam.Step();
+    benchmark::DoNotOptimize(params[0].value().data());
+  }
+  state.SetItemsProcessed(state.iterations() * total);
+}
+BENCHMARK(BM_AdamStep);
+
+void BM_TrainStep(benchmark::State& state) {
+  // One URCL training epoch (1 batch) on a tiny synthetic pipeline. Reports
+  // pool hit/miss counters per step: at steady state (after the warmup epoch)
+  // misses should be ~0, i.e. the training loop makes no allocator calls.
+  data::TrafficConfig traffic;
+  traffic.num_nodes = 6;
+  traffic.num_days = 2;
+  traffic.steps_per_day = 60;
+  traffic.channels = 2;
+  data::SyntheticTraffic generator(traffic);
+  Tensor series = generator.GenerateSeries();
+  data::MinMaxNormalizer normalizer = data::MinMaxNormalizer::Fit(series);
+  data::StDataset dataset(normalizer.Transform(series), data::WindowConfig{12, 1, 0});
+
+  core::UrclConfig config;
+  config.encoder.num_nodes = traffic.num_nodes;
+  config.encoder.in_channels = 2;
+  config.encoder.input_steps = 12;
+  config.encoder.hidden_channels = 4;
+  config.encoder.latent_channels = 8;
+  config.encoder.num_layers = 3;
+  config.encoder.adaptive_embedding_dim = 3;
+  config.batch_size = 4;
+  config.max_batches_per_epoch = 1;
+  config.replay_sample_count = 2;
+  config.rmir_scan_size = 6;
+  config.rmir_candidate_pool = 4;
+  config.buffer_capacity = 32;
+  config.proj_hidden = 8;
+  config.decoder_hidden = 16;
+  config.enable_augmentation = false;  // fixed shapes batch to batch
+
+  core::UrclTrainer trainer(config, generator.network());
+  trainer.TrainStage(dataset, 2);  // warmup fills the pool's free lists
+  pool::BufferPool& pool = pool::BufferPool::Get();
+  pool.ResetCounters();
+  for (auto _ : state) trainer.TrainStage(dataset, 1);
+  const pool::PoolStats stats = pool.Stats();
+  const double steps = static_cast<double>(std::max<int64_t>(1, state.iterations()));
+  state.counters["pool_hits_per_step"] =
+      benchmark::Counter(static_cast<double>(stats.hits) / steps);
+  state.counters["pool_misses_per_step"] =
+      benchmark::Counter(static_cast<double>(stats.misses) / steps);
+}
+BENCHMARK(BM_TrainStep)->Unit(benchmark::kMillisecond);
+
 void BM_BuildSupportsDense(benchmark::State& state) {
   Rng graph_rng(16);
   graph::SensorNetwork g = graph::RandomGeometricGraph(32, 0.3f, graph_rng);
@@ -248,8 +329,25 @@ BENCHMARK(BM_BuildSupportsDense);
 
 // Custom main: same as BENCHMARK_MAIN() but defaults the JSON series output
 // to BENCH_micro_ops.json so the threads sweep is recorded without extra
-// flags. Any explicit --benchmark_out takes precedence.
+// flags. Any explicit --benchmark_out takes precedence. Stamps the build
+// configuration into the JSON context (the library's own `library_build_type`
+// key describes the distro's libbenchmark, not this code — see bench/README.md).
 int main(int argc, char** argv) {
+#ifndef NDEBUG
+  std::fprintf(stderr,
+               "********************************************************************\n"
+               "* WARNING: bench_micro_ops built WITHOUT NDEBUG (URCL_CHECK live). *\n"
+               "* Timings are NOT comparable to the recorded Release baselines.    *\n"
+               "********************************************************************\n");
+#endif
+#ifdef NDEBUG
+  benchmark::AddCustomContext("urcl_build_type", "optimized");
+#else
+  benchmark::AddCustomContext("urcl_build_type", "debug");
+#endif
+  benchmark::AddCustomContext("urcl_simd_backend", urcl::simd::kBackendName);
+  benchmark::AddCustomContext(
+      "urcl_pool", urcl::pool::BufferPool::Get().enabled() ? "on" : "off");
   std::vector<char*> args(argv, argv + argc);
   bool has_out = false;
   for (int i = 1; i < argc; ++i) {

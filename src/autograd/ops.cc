@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "runtime/parallel.h"
+#include "tensor/simd.h"
 #include "tensor/tensor_ops.h"
 
 namespace urcl {
@@ -312,7 +313,7 @@ Tensor TemporalConvForward(const Tensor& input, const Tensor& weight, int64_t di
   // at any thread count.
   const int64_t total_rows = batch * c_out * nodes;
   const int64_t row_cost = c_in * kernel * t_out;
-  const int64_t grain = std::max<int64_t>(1, (1 << 14) / std::max<int64_t>(1, row_cost));
+  const int64_t grain = std::max<int64_t>(1, (1 << 15) / std::max<int64_t>(1, row_cost));
   runtime::ParallelFor(0, total_rows, grain, [&](int64_t row_begin, int64_t row_end) {
     for (int64_t r = row_begin; r < row_end; ++r) {
       const int64_t n = r % nodes;
@@ -326,7 +327,16 @@ Tensor TemporalConvForward(const Tensor& input, const Tensor& weight, int64_t di
           const float w = w_row[k];
           if (w == 0.0f) continue;
           const int64_t shift = dilation * k;
-          for (int64_t t = 0; t < t_out; ++t) out_row[t] += w * in_row[t + shift];
+          // Lane-parallel over independent time steps; the ci -> k sum per
+          // step keeps its scalar order, so results are bitwise unchanged.
+          const simd::F32x8 vw = simd::Broadcast(w);
+          int64_t t = 0;
+          for (; t + simd::kLanes <= t_out; t += simd::kLanes) {
+            simd::StoreU(out_row + t,
+                         simd::Add(simd::LoadU(out_row + t),
+                                   simd::Mul(vw, simd::LoadU(in_row + t + shift))));
+          }
+          for (; t < t_out; ++t) out_row[t] += w * in_row[t + shift];
         }
       }
     }
@@ -362,7 +372,7 @@ Variable TemporalConv2d(const Variable& input, const Variable& weight, int64_t d
         // orders as a serial b -> co -> ci -> n -> k -> t walk.
         const int64_t di_rows = batch * c_in * nodes;
         const int64_t di_cost = c_out * kernel * t_out;
-        const int64_t di_grain = std::max<int64_t>(1, (1 << 14) / std::max<int64_t>(1, di_cost));
+        const int64_t di_grain = std::max<int64_t>(1, (1 << 15) / std::max<int64_t>(1, di_cost));
         runtime::ParallelFor(0, di_rows, di_grain, [&](int64_t row_begin, int64_t row_end) {
           for (int64_t r = row_begin; r < row_end; ++r) {
             const int64_t n = r % nodes;
@@ -375,7 +385,17 @@ Variable TemporalConv2d(const Variable& input, const Variable& weight, int64_t d
               for (int64_t k = 0; k < kernel; ++k) {
                 const int64_t shift = dilation * k;
                 const float wk = w_row[k];
-                for (int64_t t = 0; t < t_out; ++t) di_row[t + shift] += g_row[t] * wk;
+                // Lane-parallel over independent d_in slots (fixed shift per
+                // k, so the 8 writes never alias); co -> k order per slot is
+                // the scalar one.
+                const simd::F32x8 vw = simd::Broadcast(wk);
+                int64_t t = 0;
+                for (; t + simd::kLanes <= t_out; t += simd::kLanes) {
+                  simd::StoreU(di_row + t + shift,
+                               simd::Add(simd::LoadU(di_row + t + shift),
+                                         simd::Mul(simd::LoadU(g_row + t), vw)));
+                }
+                for (; t < t_out; ++t) di_row[t + shift] += g_row[t] * wk;
               }
             }
           }
@@ -391,6 +411,9 @@ Variable TemporalConv2d(const Variable& input, const Variable& weight, int64_t d
                 const float* in_row = pi + ((b * c_in + ci) * nodes + n) * time;
                 for (int64_t k = 0; k < kernel; ++k) {
                   const int64_t shift = dilation * k;
+                  // Sequential reduction over t: vectorizing it would need a
+                  // horizontal sum, which reassociates the accumulation order
+                  // and breaks bitwise determinism — stays scalar on purpose.
                   float dw_acc = 0.0f;
                   for (int64_t t = 0; t < t_out; ++t) dw_acc += g_row[t] * in_row[t + shift];
                   dw_row[k] += dw_acc;

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "tensor/serialize.h"
+#include "tensor/simd.h"
 #include "tensor/tensor_ops.h"
 
 namespace urcl {
@@ -167,7 +168,33 @@ void Adam::Step() {
     float* pvv = v_[i].mutable_data();
     const float* pg = g.data();
     const int64_t n = value.NumElements();
-    for (int64_t j = 0; j < n; ++j) {
+    // Lane-parallel over independent parameters; each lane evaluates the
+    // same expression tree as the scalar tail (no reassociation, no FMA), so
+    // the update is bitwise identical with or without SIMD.
+    const simd::F32x8 vwd = simd::Broadcast(config_.weight_decay);
+    const simd::F32x8 vb1 = simd::Broadcast(config_.beta1);
+    const simd::F32x8 v1mb1 = simd::Broadcast(1.0f - config_.beta1);
+    const simd::F32x8 vb2 = simd::Broadcast(config_.beta2);
+    const simd::F32x8 v1mb2 = simd::Broadcast(1.0f - config_.beta2);
+    const simd::F32x8 vbc1 = simd::Broadcast(bc1);
+    const simd::F32x8 vbc2 = simd::Broadcast(bc2);
+    const simd::F32x8 vlr = simd::Broadcast(config_.lr);
+    const simd::F32x8 veps = simd::Broadcast(config_.epsilon);
+    int64_t j = 0;
+    for (; j + simd::kLanes <= n; j += simd::kLanes) {
+      const simd::F32x8 grad = simd::Add(simd::LoadU(pg + j), simd::Mul(vwd, simd::LoadU(pv + j)));
+      const simd::F32x8 m = simd::Add(simd::Mul(vb1, simd::LoadU(pm + j)), simd::Mul(v1mb1, grad));
+      simd::StoreU(pm + j, m);
+      const simd::F32x8 v2 = simd::Add(simd::Mul(vb2, simd::LoadU(pvv + j)),
+                                       simd::Mul(simd::Mul(v1mb2, grad), grad));
+      simd::StoreU(pvv + j, v2);
+      const simd::F32x8 m_hat = simd::Div(m, vbc1);
+      const simd::F32x8 v_hat = simd::Div(v2, vbc2);
+      const simd::F32x8 update =
+          simd::Div(simd::Mul(vlr, m_hat), simd::Add(simd::Sqrt(v_hat), veps));
+      simd::StoreU(pv + j, simd::Sub(simd::LoadU(pv + j), update));
+    }
+    for (; j < n; ++j) {
       const float grad = pg[j] + config_.weight_decay * pv[j];
       pm[j] = config_.beta1 * pm[j] + (1.0f - config_.beta1) * grad;
       pvv[j] = config_.beta2 * pvv[j] + (1.0f - config_.beta2) * grad * grad;

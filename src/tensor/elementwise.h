@@ -7,13 +7,25 @@
 // All loops go through runtime::ParallelFor with shape-derived grains, so
 // results are bitwise identical at any thread count (each output element is
 // written by exactly one chunk).
+//
+// Vectorization: the named-op functors below provide a simd::F32x8 overload
+// alongside the scalar one. When a functor has the vector form (detected via
+// kHasVectorForm*), the kernels process 8 independent output elements per
+// step with a scalar tail — each element still computes the identical scalar
+// expression, so outputs are bitwise unchanged (see DESIGN.md
+// "Vectorization contract"). std::function and user lambdas lack the vector
+// form and take the scalar path.
 #ifndef URCL_TENSOR_ELEMENTWISE_H_
 #define URCL_TENSOR_ELEMENTWISE_H_
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
 #include "runtime/parallel.h"
+#include "tensor/simd.h"
 #include "tensor/tensor.h"
 
 namespace urcl {
@@ -23,8 +35,89 @@ namespace detail {
 // Chunk sizes in elements. Shape-derived only — never a function of the
 // thread count — so chunk boundaries (and therefore results) are identical
 // at any pool size.
-inline constexpr int64_t kContiguousGrain = 1 << 14;
+inline constexpr int64_t kContiguousGrain = 1 << 15;
 inline constexpr int64_t kStridedGrain = 1 << 12;
+
+// True when Fn offers the 8-lane form in addition to the scalar one.
+template <typename Fn>
+inline constexpr bool kHasVectorForm2 =
+    std::is_invocable_r_v<simd::F32x8, Fn, simd::F32x8, simd::F32x8>;
+template <typename Fn>
+inline constexpr bool kHasVectorForm1 = std::is_invocable_r_v<simd::F32x8, Fn, simd::F32x8>;
+
+// --- Named-op functors -------------------------------------------------------
+// Each vector overload is lane-wise bitwise identical to the scalar one,
+// including NaN and signed-zero cases (see tensor/simd.h for the per-helper
+// arguments). Operand order matters for Max/Min/Clamp: simd::Max(a, b)
+// returns b on equal/unordered compares, so the scalar expression each op
+// mirrors is spelled out next to it.
+
+struct AddOp {
+  float operator()(float x, float y) const { return x + y; }
+  simd::F32x8 operator()(simd::F32x8 x, simd::F32x8 y) const { return simd::Add(x, y); }
+};
+struct SubOp {
+  float operator()(float x, float y) const { return x - y; }
+  simd::F32x8 operator()(simd::F32x8 x, simd::F32x8 y) const { return simd::Sub(x, y); }
+};
+struct MulOp {
+  float operator()(float x, float y) const { return x * y; }
+  simd::F32x8 operator()(simd::F32x8 x, simd::F32x8 y) const { return simd::Mul(x, y); }
+};
+struct DivOp {
+  float operator()(float x, float y) const { return x / y; }
+  simd::F32x8 operator()(simd::F32x8 x, simd::F32x8 y) const { return simd::Div(x, y); }
+};
+struct MaximumOp {  // x > y ? x : y == simd::Max(x, y)
+  float operator()(float x, float y) const { return x > y ? x : y; }
+  simd::F32x8 operator()(simd::F32x8 x, simd::F32x8 y) const { return simd::Max(x, y); }
+};
+struct MinimumOp {  // x < y ? x : y == simd::Min(x, y)
+  float operator()(float x, float y) const { return x < y ? x : y; }
+  simd::F32x8 operator()(simd::F32x8 x, simd::F32x8 y) const { return simd::Min(x, y); }
+};
+
+struct NegOp {
+  float operator()(float x) const { return -x; }
+  simd::F32x8 operator()(simd::F32x8 x) const { return simd::Neg(x); }
+};
+struct AbsOp {
+  float operator()(float x) const { return std::fabs(x); }
+  simd::F32x8 operator()(simd::F32x8 x) const { return simd::Abs(x); }
+};
+struct SqrtOp {
+  float operator()(float x) const { return std::sqrt(x); }
+  simd::F32x8 operator()(simd::F32x8 x) const { return simd::Sqrt(x); }
+};
+struct ReluOp {  // x > 0 ? x : 0 == simd::Max(x, 0), including NaN -> 0, -0 -> +0
+  float operator()(float x) const { return x > 0.0f ? x : 0.0f; }
+  simd::F32x8 operator()(simd::F32x8 x) const { return simd::Max(x, simd::Zero()); }
+};
+struct SquareOp {
+  float operator()(float x) const { return x * x; }
+  simd::F32x8 operator()(simd::F32x8 x) const { return simd::Mul(x, x); }
+};
+struct AddScalarOp {
+  float s;
+  float operator()(float x) const { return x + s; }
+  simd::F32x8 operator()(simd::F32x8 x) const { return simd::Add(x, simd::Broadcast(s)); }
+};
+struct MulScalarOp {
+  float s;
+  float operator()(float x) const { return x * s; }
+  simd::F32x8 operator()(simd::F32x8 x) const { return simd::Mul(x, simd::Broadcast(s)); }
+};
+struct ClampOp {
+  // std::max(x, lo) == (x < lo ? lo : x) == simd::Max(Broadcast(lo), x) and
+  // std::min(., hi) == simd::Min(Broadcast(hi), .) — these operand orders are
+  // load-bearing for NaN (clamp of NaN stays NaN) and -0/+0 bit patterns.
+  float lo;
+  float hi;
+  float operator()(float x) const { return std::min(std::max(x, lo), hi); }
+  simd::F32x8 operator()(simd::F32x8 x) const {
+    return simd::Min(simd::Broadcast(hi), simd::Max(simd::Broadcast(lo), x));
+  }
+};
 
 // Strides for input of shape `in` when broadcast to output shape `out`:
 // 0 where the input dim is 1 (or absent), contiguous stride otherwise.
@@ -84,46 +177,101 @@ class MultiCursor {
 template <typename Fn>
 Tensor BinaryElementwise(const Tensor& a, const Tensor& b, Fn fn) {
   if (a.shape() == b.shape()) {  // fast path, no broadcasting
-    Tensor out(a.shape());
+    Tensor out = Tensor::Uninitialized(a.shape());
     const float* pa = a.data();
     const float* pb = b.data();
     float* po = out.mutable_data();
     runtime::ParallelFor(0, a.NumElements(), kContiguousGrain,
                          [&](int64_t chunk_begin, int64_t chunk_end) {
-                           for (int64_t i = chunk_begin; i < chunk_end; ++i) {
-                             po[i] = fn(pa[i], pb[i]);
+                           int64_t i = chunk_begin;
+                           if constexpr (kHasVectorForm2<Fn>) {
+                             for (; i + simd::kLanes <= chunk_end; i += simd::kLanes) {
+                               simd::StoreU(po + i, fn(simd::LoadU(pa + i), simd::LoadU(pb + i)));
+                             }
                            }
+                           for (; i < chunk_end; ++i) po[i] = fn(pa[i], pb[i]);
                          });
     return out;
   }
   const Shape out_shape = BroadcastShapes(a.shape(), b.shape());
-  Tensor out(out_shape);
+  Tensor out = Tensor::Uninitialized(out_shape);
   if (out.NumElements() == 0) return out;
   const std::vector<int64_t> a_strides = BroadcastStrides(a.shape(), out_shape);
   const std::vector<int64_t> b_strides = BroadcastStrides(b.shape(), out_shape);
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.mutable_data();
-  runtime::ParallelFor(0, out.NumElements(), kStridedGrain,
-                       [&](int64_t chunk_begin, int64_t chunk_end) {
-                         MultiCursor cursor(out_shape.dims(), {a_strides, b_strides});
-                         cursor.SeekTo(chunk_begin);
-                         for (int64_t i = chunk_begin; i < chunk_end; ++i) {
-                           po[i] = fn(pa[cursor.offset(0)], pb[cursor.offset(1)]);
-                           cursor.Advance();
-                         }
-                       });
-  return out;
+  if constexpr (kHasVectorForm2<Fn>) {
+    // Row path: the innermost output axis has operand strides of 0 or 1 by
+    // construction (a broadcast stride is 0 where the input dim is 1 and the
+    // contiguous stride — 1 on the last axis — otherwise), so each output row
+    // is elementwise over two dense-or-broadcast operand rows and vectorizes.
+    // Parallelism is over whole rows; per-element values match the scalar
+    // expression exactly, so the result is bitwise identical to the flat walk.
+    const int64_t inner = out_shape.dims().back();
+    const int64_t rows = out.NumElements() / inner;
+    const int64_t sa = a_strides.back();
+    const int64_t sb = b_strides.back();
+    const std::vector<int64_t> outer_dims(out_shape.dims().begin(), out_shape.dims().end() - 1);
+    const std::vector<int64_t> a_outer(a_strides.begin(), a_strides.end() - 1);
+    const std::vector<int64_t> b_outer(b_strides.begin(), b_strides.end() - 1);
+    const int64_t row_grain = std::max<int64_t>(1, kStridedGrain / inner);
+    runtime::ParallelFor(0, rows, row_grain, [&](int64_t row_begin, int64_t row_end) {
+      MultiCursor cursor(outer_dims, {a_outer, b_outer});
+      cursor.SeekTo(row_begin);
+      for (int64_t r = row_begin; r < row_end; ++r) {
+        const float* ra = pa + cursor.offset(0);
+        const float* rb = pb + cursor.offset(1);
+        float* ro = po + r * inner;
+        int64_t j = 0;
+        if (sa == 1 && sb == 1) {
+          for (; j + simd::kLanes <= inner; j += simd::kLanes) {
+            simd::StoreU(ro + j, fn(simd::LoadU(ra + j), simd::LoadU(rb + j)));
+          }
+        } else if (sa == 1 && sb == 0) {
+          const simd::F32x8 vb = simd::Broadcast(rb[0]);
+          for (; j + simd::kLanes <= inner; j += simd::kLanes) {
+            simd::StoreU(ro + j, fn(simd::LoadU(ra + j), vb));
+          }
+        } else if (sa == 0 && sb == 1) {
+          const simd::F32x8 va = simd::Broadcast(ra[0]);
+          for (; j + simd::kLanes <= inner; j += simd::kLanes) {
+            simd::StoreU(ro + j, fn(va, simd::LoadU(rb + j)));
+          }
+        }  // (0, 0) implies inner == 1; the scalar tail covers it.
+        for (; j < inner; ++j) ro[j] = fn(ra[j * sa], rb[j * sb]);
+        cursor.Advance();
+      }
+    });
+    return out;
+  } else {
+    runtime::ParallelFor(0, out.NumElements(), kStridedGrain,
+                         [&](int64_t chunk_begin, int64_t chunk_end) {
+                           MultiCursor cursor(out_shape.dims(), {a_strides, b_strides});
+                           cursor.SeekTo(chunk_begin);
+                           for (int64_t i = chunk_begin; i < chunk_end; ++i) {
+                             po[i] = fn(pa[cursor.offset(0)], pb[cursor.offset(1)]);
+                             cursor.Advance();
+                           }
+                         });
+    return out;
+  }
 }
 
 template <typename Fn>
 Tensor UnaryElementwise(const Tensor& a, Fn fn) {
-  Tensor out(a.shape());
+  Tensor out = Tensor::Uninitialized(a.shape());
   const float* pa = a.data();
   float* po = out.mutable_data();
   runtime::ParallelFor(0, a.NumElements(), kContiguousGrain,
                        [&](int64_t chunk_begin, int64_t chunk_end) {
-                         for (int64_t i = chunk_begin; i < chunk_end; ++i) po[i] = fn(pa[i]);
+                         int64_t i = chunk_begin;
+                         if constexpr (kHasVectorForm1<Fn>) {
+                           for (; i + simd::kLanes <= chunk_end; i += simd::kLanes) {
+                             simd::StoreU(po + i, fn(simd::LoadU(pa + i)));
+                           }
+                         }
+                         for (; i < chunk_end; ++i) po[i] = fn(pa[i]);
                        });
   return out;
 }

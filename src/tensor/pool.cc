@@ -1,0 +1,159 @@
+#include "tensor/pool.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/check.h"
+
+namespace urcl {
+namespace pool {
+namespace {
+
+constexpr int kMinClassLog2 = 5;  // 32 floats = 128 bytes
+constexpr uint64_t kDefaultCapacityBytes = 256ull << 20;
+constexpr size_t kAlignment = 64;
+
+// Smallest class whose capacity holds `count` floats.
+int ClassForCount(int64_t count) {
+  int cls = kMinClassLog2;
+  while ((int64_t{1} << cls) < count) ++cls;
+  return cls;
+}
+
+uint64_t ClassBytes(int size_class) { return (uint64_t{1} << size_class) * sizeof(float); }
+
+}  // namespace
+
+BufferPool& BufferPool::Get() {
+  // Leaked singleton: never destroyed, so deleters of static-lifetime
+  // tensors can still return buffers during process teardown.
+  static BufferPool* instance = new BufferPool();
+  return *instance;
+}
+
+BufferPool::BufferPool() : capacity_bytes_(kDefaultCapacityBytes), enabled_(true) {
+  if (const char* env = std::getenv("URCL_POOL")) enabled_ = ParseEnabled(env);
+  if (const char* env = std::getenv("URCL_POOL_CAP_MB")) {
+    char* end = nullptr;
+    const unsigned long long mb = std::strtoull(env, &end, 10);
+    if (end != env) capacity_bytes_ = uint64_t{mb} << 20;
+  }
+}
+
+bool BufferPool::ParseEnabled(const char* value) {
+  if (value == nullptr) return true;
+  const std::string v(value);
+  return !(v == "off" || v == "0" || v == "false" || v == "OFF");
+}
+
+void BufferPool::FreeRaw(float* ptr) { std::free(ptr); }
+
+std::shared_ptr<float> BufferPool::Acquire(int64_t count, bool zero_fill) {
+  URCL_CHECK_GE(count, 0);
+  const int cls = ClassForCount(count);
+  const uint64_t bytes = ClassBytes(cls);
+  float* ptr = nullptr;
+  bool pooled = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& list = free_lists_[static_cast<size_t>(cls)];
+    if (enabled_ && !list.empty()) {
+      ptr = list.back();
+      list.pop_back();
+      pooled = true;
+      ++stats_.hits;
+      stats_.pooled_bytes -= bytes;
+    } else {
+      ++stats_.misses;
+    }
+    stats_.live_bytes += bytes;
+  }
+  if (!pooled) {
+    // Class bytes are a multiple of the alignment, as aligned_alloc requires.
+    ptr = static_cast<float*>(std::aligned_alloc(kAlignment, bytes));
+    URCL_CHECK(ptr != nullptr) << "BufferPool: allocation of " << bytes << " bytes failed";
+  }
+  if (zero_fill && count > 0) {
+    std::memset(ptr, 0, static_cast<size_t>(count) * sizeof(float));
+  }
+  return std::shared_ptr<float>(ptr, [cls](float* p) {
+    if (p != nullptr) BufferPool::Get().Release(p, cls);
+  });
+}
+
+void BufferPool::Release(float* ptr, int size_class) {
+  const uint64_t bytes = ClassBytes(size_class);
+  bool cache = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.live_bytes -= bytes;
+    if (enabled_ && stats_.pooled_bytes + bytes <= capacity_bytes_) {
+      free_lists_[static_cast<size_t>(size_class)].push_back(ptr);
+      stats_.pooled_bytes += bytes;
+      ++stats_.returns;
+      cache = true;
+    } else {
+      ++stats_.trims;
+    }
+  }
+  if (!cache) FreeRaw(ptr);
+}
+
+PoolStats BufferPool::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void BufferPool::ResetCounters() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.hits = 0;
+  stats_.misses = 0;
+  stats_.returns = 0;
+  stats_.trims = 0;
+}
+
+int64_t BufferPool::Trim() {
+  std::vector<float*> to_free;
+  uint64_t freed = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t cls = 0; cls < free_lists_.size(); ++cls) {
+      for (float* ptr : free_lists_[cls]) {
+        to_free.push_back(ptr);
+        freed += ClassBytes(static_cast<int>(cls));
+      }
+      free_lists_[cls].clear();
+    }
+    stats_.pooled_bytes -= freed;
+    stats_.trims += to_free.size();
+  }
+  for (float* ptr : to_free) FreeRaw(ptr);
+  return static_cast<int64_t>(freed);
+}
+
+bool BufferPool::enabled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return enabled_;
+}
+
+void BufferPool::set_enabled(bool enabled) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    enabled_ = enabled;
+  }
+  if (!enabled) Trim();
+}
+
+void BufferPool::set_capacity_bytes(uint64_t cap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_bytes_ = cap;
+}
+
+uint64_t BufferPool::capacity_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_bytes_;
+}
+
+}  // namespace pool
+}  // namespace urcl

@@ -1,0 +1,97 @@
+// Pooled tensor storage: a thread-safe size-class free-list behind Tensor's
+// shared_ptr storage. Training loops allocate the same handful of shapes
+// thousands of times (every op — including each node on the autograd tape —
+// produces a fresh output tensor), so steady-state acquisition should be a
+// mutex-guarded pop instead of a malloc. Buffers are returned by the
+// shared_ptr's custom deleter when the last Tensor referencing them dies.
+//
+// Policy:
+//  - size classes are powers of two (min 32 floats), so recurring shapes hit
+//    the same class even when augmentation jitters sizes slightly;
+//  - cap-with-trim: cached bytes are bounded (URCL_POOL_CAP_MB, default 256);
+//    a buffer whose return would exceed the cap is freed instead of cached;
+//  - `URCL_POOL=off` in the environment disables pooling entirely (every
+//    acquire mallocs, every release frees) — the escape hatch for debugging
+//    with ASan heap tooling or auditing allocator behaviour;
+//  - buffers are 64-byte aligned (cache line, and any vector ISA's natural
+//    alignment — the SIMD kernels use unaligned loads, so this is a
+//    performance nicety, not a correctness requirement).
+//
+// The pool affects only *where* storage comes from, never its contents, so
+// it is invisible to the numerics: results are bitwise identical with the
+// pool on or off.
+#ifndef URCL_TENSOR_POOL_H_
+#define URCL_TENSOR_POOL_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace urcl {
+namespace pool {
+
+// Per-process counters. hits/misses/returns/trims are monotonic event counts
+// (resettable for benchmarking windows); live_bytes/pooled_bytes are gauges.
+struct PoolStats {
+  uint64_t hits = 0;          // acquires served from a cached buffer
+  uint64_t misses = 0;        // acquires that hit the system allocator
+  uint64_t returns = 0;       // buffers returned to the free lists
+  uint64_t trims = 0;         // buffers freed instead of cached (cap/Trim)
+  uint64_t live_bytes = 0;    // bytes currently handed out to tensors
+  uint64_t pooled_bytes = 0;  // bytes currently cached in free lists
+};
+
+class BufferPool {
+ public:
+  // Process-wide instance (leaked on purpose: tensors with static storage
+  // duration may return buffers after main exits).
+  static BufferPool& Get();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  // Returns storage for `count` floats whose deleter hands the buffer back
+  // to the pool. `count` 0 is allowed (smallest class). When `zero_fill`,
+  // the first `count` floats are zeroed; otherwise contents are
+  // unspecified (recycled buffers carry stale data).
+  std::shared_ptr<float> Acquire(int64_t count, bool zero_fill);
+
+  PoolStats Stats() const;
+  // Zeroes the event counters (hits/misses/returns/trims); byte gauges are
+  // left alone. For stats windows in tests and benchmarks.
+  void ResetCounters();
+
+  // Frees every cached buffer; returns the number of bytes released.
+  int64_t Trim();
+
+  bool enabled() const;
+  // Test/benchmark hook; the URCL_POOL env var sets the initial value.
+  void set_enabled(bool enabled);
+
+  void set_capacity_bytes(uint64_t cap);
+  uint64_t capacity_bytes() const;
+
+  // Parsing helpers, exposed for tests ("off"/"0"/"false" disable).
+  static bool ParseEnabled(const char* value);
+
+ private:
+  BufferPool();
+
+  // Releases one buffer of `class_index` back to the pool (or frees it).
+  void Release(float* ptr, int size_class);
+  static void FreeRaw(float* ptr);
+
+  mutable std::mutex mu_;
+  // Free lists indexed by log2 of the class size in floats.
+  std::array<std::vector<float*>, 48> free_lists_;
+  PoolStats stats_;
+  uint64_t capacity_bytes_;
+  bool enabled_;
+};
+
+}  // namespace pool
+}  // namespace urcl
+
+#endif  // URCL_TENSOR_POOL_H_

@@ -1,0 +1,197 @@
+// Portable fixed-width (8-lane) float vector helpers for the hot kernels.
+//
+// The backend is chosen at compile time: when the build enables URCL_SIMD
+// (the default — see the URCL_SIMD CMake option) and the target ISA provides
+// AVX2 or NEON, F32x8 wraps the native registers; otherwise it is a plain
+// 8-float struct whose operations compile to the equivalent scalar loops.
+// Kernels are therefore written once against this header and stay correct on
+// every target, with `-DURCL_SIMD=OFF` as the escape hatch back to pure
+// scalar code.
+//
+// Determinism contract (see DESIGN.md "Vectorization contract"): every helper
+// is lane-wise IEEE-exact and bitwise identical to the scalar expression it
+// replaces — including NaN/signed-zero behaviour of Max/Min/Neg — and none of
+// them fuse multiply-add (the build also disables FP contraction globally).
+// Kernels may therefore vectorize across *independent outputs* freely, but
+// must never use these helpers to reassociate a reduction: a horizontal sum
+// over lanes would change float summation order and break the repo's
+// bitwise-determinism invariants.
+#ifndef URCL_TENSOR_SIMD_H_
+#define URCL_TENSOR_SIMD_H_
+
+#include <cmath>
+#include <cstdint>
+
+#if defined(URCL_SIMD) && defined(__AVX2__)
+#define URCL_SIMD_AVX2 1
+#include <immintrin.h>
+#elif defined(URCL_SIMD) && defined(__ARM_NEON)
+#define URCL_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace urcl {
+namespace simd {
+
+// Lane count is fixed at 8 on every backend so tail handling and chunk math
+// are target-independent.
+inline constexpr int64_t kLanes = 8;
+
+#if defined(URCL_SIMD_AVX2)
+
+inline constexpr const char* kBackendName = "avx2";
+
+struct F32x8 {
+  __m256 v;
+};
+
+inline F32x8 LoadU(const float* p) { return {_mm256_loadu_ps(p)}; }
+inline void StoreU(float* p, F32x8 a) { _mm256_storeu_ps(p, a.v); }
+inline F32x8 Broadcast(float x) { return {_mm256_set1_ps(x)}; }
+inline F32x8 Zero() { return {_mm256_setzero_ps()}; }
+inline F32x8 Add(F32x8 a, F32x8 b) { return {_mm256_add_ps(a.v, b.v)}; }
+inline F32x8 Sub(F32x8 a, F32x8 b) { return {_mm256_sub_ps(a.v, b.v)}; }
+inline F32x8 Mul(F32x8 a, F32x8 b) { return {_mm256_mul_ps(a.v, b.v)}; }
+inline F32x8 Div(F32x8 a, F32x8 b) { return {_mm256_div_ps(a.v, b.v)}; }
+// vmaxps/vminps implement exactly `a > b ? a : b` / `a < b ? a : b` (the
+// second operand is returned on equality and on unordered comparisons), which
+// is the scalar ternary the kernels use.
+inline F32x8 Max(F32x8 a, F32x8 b) { return {_mm256_max_ps(a.v, b.v)}; }
+inline F32x8 Min(F32x8 a, F32x8 b) { return {_mm256_min_ps(a.v, b.v)}; }
+// Sign-bit flip, not 0-x (0 - +0 would yield +0 where scalar negation of +0
+// yields -0).
+inline F32x8 Neg(F32x8 a) { return {_mm256_xor_ps(a.v, _mm256_set1_ps(-0.0f))}; }
+inline F32x8 Abs(F32x8 a) { return {_mm256_andnot_ps(_mm256_set1_ps(-0.0f), a.v)}; }
+// vsqrtps is IEEE correctly rounded, matching std::sqrt(float).
+inline F32x8 Sqrt(F32x8 a) { return {_mm256_sqrt_ps(a.v)}; }
+
+// True when no lane is NaN or +/-Inf: x - x == 0 (ordered) holds exactly for
+// finite x and fails for NaN (NaN != 0) and Inf (Inf - Inf = NaN).
+inline bool AllLanesFinite(F32x8 a) {
+  const __m256 diff = _mm256_sub_ps(a.v, a.v);
+  const __m256 ok = _mm256_cmp_ps(diff, _mm256_setzero_ps(), _CMP_EQ_OQ);
+  return _mm256_movemask_ps(ok) == 0xff;
+}
+
+#elif defined(URCL_SIMD_NEON)
+
+inline constexpr const char* kBackendName = "neon";
+
+struct F32x8 {
+  float32x4_t lo;
+  float32x4_t hi;
+};
+
+inline F32x8 LoadU(const float* p) { return {vld1q_f32(p), vld1q_f32(p + 4)}; }
+inline void StoreU(float* p, F32x8 a) {
+  vst1q_f32(p, a.lo);
+  vst1q_f32(p + 4, a.hi);
+}
+inline F32x8 Broadcast(float x) { return {vdupq_n_f32(x), vdupq_n_f32(x)}; }
+inline F32x8 Zero() { return Broadcast(0.0f); }
+inline F32x8 Add(F32x8 a, F32x8 b) { return {vaddq_f32(a.lo, b.lo), vaddq_f32(a.hi, b.hi)}; }
+inline F32x8 Sub(F32x8 a, F32x8 b) { return {vsubq_f32(a.lo, b.lo), vsubq_f32(a.hi, b.hi)}; }
+inline F32x8 Mul(F32x8 a, F32x8 b) { return {vmulq_f32(a.lo, b.lo), vmulq_f32(a.hi, b.hi)}; }
+inline F32x8 Div(F32x8 a, F32x8 b) { return {vdivq_f32(a.lo, b.lo), vdivq_f32(a.hi, b.hi)}; }
+// Select-on-compare rather than vmaxq/vminq: NEON vmax propagates NaN from
+// either operand, while the kernels' scalar ternaries return the second
+// operand on unordered comparisons.
+inline F32x8 Max(F32x8 a, F32x8 b) {
+  return {vbslq_f32(vcgtq_f32(a.lo, b.lo), a.lo, b.lo),
+          vbslq_f32(vcgtq_f32(a.hi, b.hi), a.hi, b.hi)};
+}
+inline F32x8 Min(F32x8 a, F32x8 b) {
+  return {vbslq_f32(vcltq_f32(a.lo, b.lo), a.lo, b.lo),
+          vbslq_f32(vcltq_f32(a.hi, b.hi), a.hi, b.hi)};
+}
+inline F32x8 Neg(F32x8 a) { return {vnegq_f32(a.lo), vnegq_f32(a.hi)}; }
+inline F32x8 Abs(F32x8 a) { return {vabsq_f32(a.lo), vabsq_f32(a.hi)}; }
+inline F32x8 Sqrt(F32x8 a) { return {vsqrtq_f32(a.lo), vsqrtq_f32(a.hi)}; }
+
+inline bool AllLanesFinite(F32x8 a) {
+  const F32x8 diff = Sub(a, a);
+  const uint32x4_t ok_lo = vceqq_f32(diff.lo, vdupq_n_f32(0.0f));
+  const uint32x4_t ok_hi = vceqq_f32(diff.hi, vdupq_n_f32(0.0f));
+  return vminvq_u32(vandq_u32(ok_lo, ok_hi)) == 0xffffffffu;
+}
+
+#else  // scalar fallback
+
+inline constexpr const char* kBackendName = "scalar";
+
+struct F32x8 {
+  float v[8];
+};
+
+inline F32x8 LoadU(const float* p) {
+  F32x8 r;
+  for (int i = 0; i < 8; ++i) r.v[i] = p[i];
+  return r;
+}
+inline void StoreU(float* p, F32x8 a) {
+  for (int i = 0; i < 8; ++i) p[i] = a.v[i];
+}
+inline F32x8 Broadcast(float x) {
+  F32x8 r;
+  for (int i = 0; i < 8; ++i) r.v[i] = x;
+  return r;
+}
+inline F32x8 Zero() { return Broadcast(0.0f); }
+inline F32x8 Add(F32x8 a, F32x8 b) {
+  F32x8 r;
+  for (int i = 0; i < 8; ++i) r.v[i] = a.v[i] + b.v[i];
+  return r;
+}
+inline F32x8 Sub(F32x8 a, F32x8 b) {
+  F32x8 r;
+  for (int i = 0; i < 8; ++i) r.v[i] = a.v[i] - b.v[i];
+  return r;
+}
+inline F32x8 Mul(F32x8 a, F32x8 b) {
+  F32x8 r;
+  for (int i = 0; i < 8; ++i) r.v[i] = a.v[i] * b.v[i];
+  return r;
+}
+inline F32x8 Div(F32x8 a, F32x8 b) {
+  F32x8 r;
+  for (int i = 0; i < 8; ++i) r.v[i] = a.v[i] / b.v[i];
+  return r;
+}
+inline F32x8 Max(F32x8 a, F32x8 b) {
+  F32x8 r;
+  for (int i = 0; i < 8; ++i) r.v[i] = a.v[i] > b.v[i] ? a.v[i] : b.v[i];
+  return r;
+}
+inline F32x8 Min(F32x8 a, F32x8 b) {
+  F32x8 r;
+  for (int i = 0; i < 8; ++i) r.v[i] = a.v[i] < b.v[i] ? a.v[i] : b.v[i];
+  return r;
+}
+inline F32x8 Neg(F32x8 a) {
+  F32x8 r;
+  for (int i = 0; i < 8; ++i) r.v[i] = -a.v[i];
+  return r;
+}
+inline F32x8 Abs(F32x8 a) {
+  F32x8 r;
+  for (int i = 0; i < 8; ++i) r.v[i] = std::fabs(a.v[i]);
+  return r;
+}
+inline F32x8 Sqrt(F32x8 a) {
+  F32x8 r;
+  for (int i = 0; i < 8; ++i) r.v[i] = std::sqrt(a.v[i]);
+  return r;
+}
+inline bool AllLanesFinite(F32x8 a) {
+  for (int i = 0; i < 8; ++i) {
+    if (!std::isfinite(a.v[i])) return false;
+  }
+  return true;
+}
+
+#endif
+
+}  // namespace simd
+}  // namespace urcl
+
+#endif  // URCL_TENSOR_SIMD_H_

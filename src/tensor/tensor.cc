@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <sstream>
+#include <utility>
 
 #include "common/check.h"
+#include "tensor/pool.h"
+#include "tensor/simd.h"
 
 namespace urcl {
 
@@ -12,15 +15,22 @@ Tensor::Tensor() : Tensor(Shape{}) {}
 
 Tensor::Tensor(const Shape& shape)
     : shape_(shape),
-      data_(std::make_shared<std::vector<float>>(static_cast<size_t>(shape.NumElements()),
-                                                 0.0f)) {}
+      data_(pool::BufferPool::Get().Acquire(shape.NumElements(), /*zero_fill=*/true)) {}
+
+Tensor::Tensor(Shape shape, std::shared_ptr<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {}
+
+Tensor Tensor::Uninitialized(const Shape& shape) {
+  return Tensor(shape,
+                pool::BufferPool::Get().Acquire(shape.NumElements(), /*zero_fill=*/false));
+}
 
 Tensor Tensor::Zeros(const Shape& shape) { return Tensor(shape); }
 
 Tensor Tensor::Ones(const Shape& shape) { return Full(shape, 1.0f); }
 
 Tensor Tensor::Full(const Shape& shape, float value) {
-  Tensor t(shape);
+  Tensor t = Uninitialized(shape);
   t.Fill(value);
   return t;
 }
@@ -30,13 +40,13 @@ Tensor Tensor::Scalar(float value) { return Full(Shape{}, value); }
 Tensor Tensor::FromVector(const Shape& shape, const std::vector<float>& values) {
   URCL_CHECK_EQ(shape.NumElements(), static_cast<int64_t>(values.size()))
       << "FromVector: shape " << shape.ToString() << " does not match value count";
-  Tensor t(shape);
+  Tensor t = Uninitialized(shape);
   std::copy(values.begin(), values.end(), t.mutable_data());
   return t;
 }
 
 Tensor Tensor::Arange(int64_t n) {
-  Tensor t(Shape{n});
+  Tensor t = Uninitialized(Shape{n});
   for (int64_t i = 0; i < n; ++i) t.mutable_data()[i] = static_cast<float>(i);
   return t;
 }
@@ -48,14 +58,14 @@ Tensor Tensor::Eye(int64_t n) {
 }
 
 Tensor Tensor::RandomUniform(const Shape& shape, Rng& rng, float lo, float hi) {
-  Tensor t(shape);
+  Tensor t = Uninitialized(shape);
   float* out = t.mutable_data();
   for (int64_t i = 0; i < t.NumElements(); ++i) out[i] = rng.Uniform(lo, hi);
   return t;
 }
 
 Tensor Tensor::RandomNormal(const Shape& shape, Rng& rng, float mean, float stddev) {
-  Tensor t(shape);
+  Tensor t = Uninitialized(shape);
   float* out = t.mutable_data();
   for (int64_t i = 0; i < t.NumElements(); ++i) out[i] = rng.Normal(mean, stddev);
   return t;
@@ -64,52 +74,67 @@ Tensor Tensor::RandomNormal(const Shape& shape, Rng& rng, float mean, float stdd
 float Tensor::Item() const {
   URCL_CHECK_EQ(NumElements(), 1) << "Item() requires a single-element tensor, got "
                                   << shape_.ToString();
-  return (*data_)[0];
+  return data_.get()[0];
 }
 
 bool Tensor::AllFinite() const {
   const float* p = data();
-  for (int64_t i = 0; i < NumElements(); ++i) {
+  const int64_t n = NumElements();
+  int64_t i = 0;
+  for (; i + simd::kLanes <= n; i += simd::kLanes) {
+    if (!simd::AllLanesFinite(simd::LoadU(p + i))) return false;
+  }
+  for (; i < n; ++i) {
     if (!std::isfinite(p[i])) return false;
   }
   return true;
 }
 
-float Tensor::At(const std::vector<int64_t>& indices) const {
-  URCL_CHECK_EQ(static_cast<int64_t>(indices.size()), rank());
-  const std::vector<int64_t> strides = shape_.Strides();
+int64_t Tensor::OffsetOf(const int64_t* indices, int64_t count) const {
+  URCL_CHECK_EQ(count, rank());
+  // Right-to-left accumulation avoids materializing a strides vector.
   int64_t offset = 0;
-  for (size_t i = 0; i < indices.size(); ++i) {
-    URCL_CHECK(indices[i] >= 0 && indices[i] < shape_.dims()[i])
-        << "index " << indices[i] << " out of bounds for axis " << i << " of "
-        << shape_.ToString();
-    offset += indices[i] * strides[i];
+  int64_t stride = 1;
+  for (int64_t i = count - 1; i >= 0; --i) {
+    const int64_t idx = indices[i];
+    const int64_t extent = shape_.dims()[static_cast<size_t>(i)];
+    URCL_CHECK(idx >= 0 && idx < extent)
+        << "index " << idx << " out of bounds for axis " << i << " of " << shape_.ToString();
+    offset += idx * stride;
+    stride *= extent;
   }
-  return (*data_)[static_cast<size_t>(offset)];
+  return offset;
+}
+
+float Tensor::At(const std::vector<int64_t>& indices) const {
+  return data_.get()[OffsetOf(indices.data(), static_cast<int64_t>(indices.size()))];
 }
 
 void Tensor::Set(const std::vector<int64_t>& indices, float value) {
-  URCL_CHECK_EQ(static_cast<int64_t>(indices.size()), rank());
-  const std::vector<int64_t> strides = shape_.Strides();
-  int64_t offset = 0;
-  for (size_t i = 0; i < indices.size(); ++i) {
-    URCL_CHECK(indices[i] >= 0 && indices[i] < shape_.dims()[i]);
-    offset += indices[i] * strides[i];
-  }
-  (*data_)[static_cast<size_t>(offset)] = value;
+  data_.get()[OffsetOf(indices.data(), static_cast<int64_t>(indices.size()))] = value;
+}
+
+float Tensor::At(std::initializer_list<int64_t> indices) const {
+  return data_.get()[OffsetOf(indices.begin(), static_cast<int64_t>(indices.size()))];
+}
+
+void Tensor::Set(std::initializer_list<int64_t> indices, float value) {
+  data_.get()[OffsetOf(indices.begin(), static_cast<int64_t>(indices.size()))] = value;
 }
 
 float Tensor::FlatAt(int64_t index) const {
   URCL_CHECK(index >= 0 && index < NumElements());
-  return (*data_)[static_cast<size_t>(index)];
+  return data_.get()[index];
 }
 
 void Tensor::FlatSet(int64_t index, float value) {
   URCL_CHECK(index >= 0 && index < NumElements());
-  (*data_)[static_cast<size_t>(index)] = value;
+  data_.get()[index] = value;
 }
 
-void Tensor::Fill(float value) { std::fill(data_->begin(), data_->end(), value); }
+void Tensor::Fill(float value) {
+  std::fill(data_.get(), data_.get() + NumElements(), value);
+}
 
 void Tensor::AddInPlace(const Tensor& other) {
   URCL_CHECK(shape_ == other.shape())
@@ -117,12 +142,23 @@ void Tensor::AddInPlace(const Tensor& other) {
       << other.shape().ToString();
   float* dst = mutable_data();
   const float* src = other.data();
-  for (int64_t i = 0; i < NumElements(); ++i) dst[i] += src[i];
+  const int64_t n = NumElements();
+  int64_t i = 0;
+  for (; i + simd::kLanes <= n; i += simd::kLanes) {
+    simd::StoreU(dst + i, simd::Add(simd::LoadU(dst + i), simd::LoadU(src + i)));
+  }
+  for (; i < n; ++i) dst[i] += src[i];
 }
 
 void Tensor::MulInPlace(float scale) {
   float* dst = mutable_data();
-  for (int64_t i = 0; i < NumElements(); ++i) dst[i] *= scale;
+  const int64_t n = NumElements();
+  const simd::F32x8 vs = simd::Broadcast(scale);
+  int64_t i = 0;
+  for (; i + simd::kLanes <= n; i += simd::kLanes) {
+    simd::StoreU(dst + i, simd::Mul(simd::LoadU(dst + i), vs));
+  }
+  for (; i < n; ++i) dst[i] *= scale;
 }
 
 void Tensor::CopyFrom(const Tensor& other) {
@@ -133,7 +169,7 @@ void Tensor::CopyFrom(const Tensor& other) {
 }
 
 Tensor Tensor::Clone() const {
-  Tensor copy(shape_);
+  Tensor copy = Uninitialized(shape_);
   std::copy(data(), data() + NumElements(), copy.mutable_data());
   return copy;
 }
@@ -152,7 +188,7 @@ std::string Tensor::ToString(int64_t max_elements) const {
   const int64_t n = std::min<int64_t>(NumElements(), max_elements);
   for (int64_t i = 0; i < n; ++i) {
     if (i > 0) out << ", ";
-    out << (*data_)[static_cast<size_t>(i)];
+    out << data_.get()[i];
   }
   if (NumElements() > n) out << ", ...";
   out << "}";

@@ -2,10 +2,16 @@
 // Copies share storage; every operation in tensor_ops.h allocates fresh
 // output, so shared storage is never mutated behind a reader's back unless
 // the caller opts into the explicitly in-place methods.
+//
+// Storage comes from the process-wide BufferPool (tensor/pool.h): a
+// size-class free-list recycles buffers between tensors of recurring shapes,
+// so steady-state training makes ~zero allocator calls. The shared_ptr's
+// deleter returns the buffer to the pool when the last copy dies.
 #ifndef URCL_TENSOR_TENSOR_H_
 #define URCL_TENSOR_TENSOR_H_
 
 #include <cstdint>
+#include <initializer_list>
 #include <memory>
 #include <string>
 #include <vector>
@@ -27,6 +33,10 @@ class Tensor {
   Tensor& operator=(Tensor&& other) = default;
 
   // --- Factories -----------------------------------------------------------
+  // Storage with UNSPECIFIED contents (possibly stale data from a recycled
+  // pool buffer). Strictly for kernels that provably write every element
+  // before any read; everything else wants Zeros/the shape constructor.
+  static Tensor Uninitialized(const Shape& shape);
   static Tensor Zeros(const Shape& shape);
   static Tensor Ones(const Shape& shape);
   static Tensor Full(const Shape& shape, float value);
@@ -44,8 +54,8 @@ class Tensor {
   int64_t dim(int64_t axis) const { return shape_.dim(axis); }
   int64_t NumElements() const { return shape_.NumElements(); }
 
-  const float* data() const { return data_->data(); }
-  float* mutable_data() { return data_->data(); }
+  const float* data() const { return data_.get(); }
+  float* mutable_data() { return data_.get(); }
 
   // Scalar extraction (requires exactly one element).
   float Item() const;
@@ -55,9 +65,13 @@ class Tensor {
   // before they poison gradients.
   bool AllFinite() const;
 
-  // Multi-index element access (bounds-checked).
+  // Multi-index element access (bounds-checked). The initializer_list
+  // overloads make braced call sites (`t.At({i, j, k})`) allocation-free;
+  // offsets are computed without materializing a strides vector either way.
   float At(const std::vector<int64_t>& indices) const;
   void Set(const std::vector<int64_t>& indices, float value);
+  float At(std::initializer_list<int64_t> indices) const;
+  void Set(std::initializer_list<int64_t> indices, float value);
 
   // Flat element access (bounds-checked).
   float FlatAt(int64_t index) const;
@@ -78,8 +92,13 @@ class Tensor {
   std::string ToString(int64_t max_elements = 32) const;
 
  private:
+  Tensor(Shape shape, std::shared_ptr<float> data);
+
+  // Bounds-checked row-major flat offset of a multi-index; no allocations.
+  int64_t OffsetOf(const int64_t* indices, int64_t count) const;
+
   Shape shape_;
-  std::shared_ptr<std::vector<float>> data_;
+  std::shared_ptr<float> data_;  // pool-backed buffer (tensor/pool.h)
 };
 
 }  // namespace urcl

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "runtime/parallel.h"
+#include "tensor/simd.h"
 
 namespace urcl {
 namespace ops {
@@ -46,6 +47,11 @@ Shape ReducedShape(const Shape& shape, const std::vector<int64_t>& axes, bool ke
 // each slot accumulates its reduced elements in increasing input-offset
 // order — the same per-slot order a serial input-major walk produces — so
 // results are bitwise identical at any thread count.
+//
+// When the innermost KEPT axis is the input's stride-1 axis and `fn` has a
+// vector form, groups of 8 adjacent output slots accumulate together: each
+// SIMD lane runs one slot's serial accumulation, so no reduction is ever
+// reassociated and results stay bitwise identical to the scalar walk.
 template <typename Fn>
 Tensor Reduce(const Tensor& a, const std::vector<int64_t>& axes_in, bool keepdims, float init,
               Fn fn, float post_scale = 1.0f) {
@@ -77,12 +83,46 @@ Tensor Reduce(const Tensor& a, const std::vector<int64_t>& axes_in, bool keepdim
     runtime::ParallelFor(0, outer_count, grain, [&](int64_t chunk_begin, int64_t chunk_end) {
       MultiCursor outer(outer_dims, {outer_strides});
       outer.SeekTo(chunk_begin);
+      // The inner cursor wraps back to the origin after a full walk, so it is
+      // seeded once per chunk rather than once per slot (or slot group).
       MultiCursor inner(inner_dims, {inner_strides});
-      for (int64_t o = chunk_begin; o < chunk_end; ++o) {
+      int64_t o = chunk_begin;
+      if constexpr (detail::kHasVectorForm2<Fn>) {
+        if (!outer_strides.empty() && outer_strides.back() == 1) {
+          // Adjacent output slots within a run of the last kept axis read
+          // from adjacent input bases, so 8 slots can accumulate lane-wise.
+          // Groups never cross a run boundary (bases stop being adjacent
+          // there); leftover slots fall through to the per-slot loop below.
+          const int64_t last_dim = outer_dims.back();
+          while (o < chunk_end) {
+            const int64_t group_end = std::min(chunk_end, o + (last_dim - (o % last_dim)));
+            const int64_t base = outer.offset(0);
+            int64_t s = o;
+            for (; s + simd::kLanes <= group_end; s += simd::kLanes) {
+              simd::F32x8 acc = simd::LoadU(po + s);
+              for (int64_t i = 0; i < inner_count; ++i) {
+                acc = fn(acc, simd::LoadU(pa + base + (s - o) + inner.offset(0)));
+                inner.Advance();
+              }
+              simd::StoreU(po + s, acc);
+            }
+            for (; s < group_end; ++s) {
+              float acc = po[s];
+              for (int64_t i = 0; i < inner_count; ++i) {
+                acc = fn(acc, pa[base + (s - o) + inner.offset(0)]);
+                inner.Advance();
+              }
+              po[s] = acc;
+            }
+            for (int64_t step = o; step < group_end; ++step) outer.Advance();
+            o = group_end;
+          }
+          return;
+        }
+      }
+      for (; o < chunk_end; ++o) {
         const int64_t base = outer.offset(0);
         float acc = po[o];
-        // The inner cursor wraps back to the origin after a full walk, so it
-        // is seeded once per chunk rather than once per slot.
         for (int64_t i = 0; i < inner_count; ++i) {
           acc = fn(acc, pa[base + inner.offset(0)]);
           inner.Advance();
@@ -99,23 +139,26 @@ Tensor Reduce(const Tensor& a, const std::vector<int64_t>& axes_in, bool keepdim
 
 }  // namespace
 
+// The named ops pass the dual-form functors from elementwise.h so the
+// kernels can take the vectorized paths; semantics are identical to the old
+// scalar lambdas.
 Tensor Add(const Tensor& a, const Tensor& b) {
-  return detail::BinaryElementwise(a, b, [](float x, float y) { return x + y; });
+  return detail::BinaryElementwise(a, b, detail::AddOp{});
 }
 Tensor Sub(const Tensor& a, const Tensor& b) {
-  return detail::BinaryElementwise(a, b, [](float x, float y) { return x - y; });
+  return detail::BinaryElementwise(a, b, detail::SubOp{});
 }
 Tensor Mul(const Tensor& a, const Tensor& b) {
-  return detail::BinaryElementwise(a, b, [](float x, float y) { return x * y; });
+  return detail::BinaryElementwise(a, b, detail::MulOp{});
 }
 Tensor Div(const Tensor& a, const Tensor& b) {
-  return detail::BinaryElementwise(a, b, [](float x, float y) { return x / y; });
+  return detail::BinaryElementwise(a, b, detail::DivOp{});
 }
 Tensor Maximum(const Tensor& a, const Tensor& b) {
-  return detail::BinaryElementwise(a, b, [](float x, float y) { return x > y ? x : y; });
+  return detail::BinaryElementwise(a, b, detail::MaximumOp{});
 }
 Tensor Minimum(const Tensor& a, const Tensor& b) {
-  return detail::BinaryElementwise(a, b, [](float x, float y) { return x < y ? x : y; });
+  return detail::BinaryElementwise(a, b, detail::MinimumOp{});
 }
 Tensor ZipWith(const Tensor& a, const Tensor& b,
                const std::function<float(float, float)>& fn) {
@@ -123,30 +166,24 @@ Tensor ZipWith(const Tensor& a, const Tensor& b,
 }
 
 Tensor AddScalar(const Tensor& a, float s) {
-  return detail::UnaryElementwise(a, [s](float x) { return x + s; });
+  return detail::UnaryElementwise(a, detail::AddScalarOp{s});
 }
 Tensor MulScalar(const Tensor& a, float s) {
-  return detail::UnaryElementwise(a, [s](float x) { return x * s; });
+  return detail::UnaryElementwise(a, detail::MulScalarOp{s});
 }
 Tensor PowScalar(const Tensor& a, float exponent) {
   return detail::UnaryElementwise(a, [exponent](float x) { return std::pow(x, exponent); });
 }
 
-Tensor Neg(const Tensor& a) {
-  return detail::UnaryElementwise(a, [](float x) { return -x; });
-}
+Tensor Neg(const Tensor& a) { return detail::UnaryElementwise(a, detail::NegOp{}); }
 Tensor Exp(const Tensor& a) {
   return detail::UnaryElementwise(a, [](float x) { return std::exp(x); });
 }
 Tensor Log(const Tensor& a) {
   return detail::UnaryElementwise(a, [](float x) { return std::log(x); });
 }
-Tensor Sqrt(const Tensor& a) {
-  return detail::UnaryElementwise(a, [](float x) { return std::sqrt(x); });
-}
-Tensor Abs(const Tensor& a) {
-  return detail::UnaryElementwise(a, [](float x) { return std::fabs(x); });
-}
+Tensor Sqrt(const Tensor& a) { return detail::UnaryElementwise(a, detail::SqrtOp{}); }
+Tensor Abs(const Tensor& a) { return detail::UnaryElementwise(a, detail::AbsOp{}); }
 Tensor Sign(const Tensor& a) {
   return detail::UnaryElementwise(
       a, [](float x) { return x > 0.0f ? 1.0f : (x < 0.0f ? -1.0f : 0.0f); });
@@ -157,21 +194,17 @@ Tensor Tanh(const Tensor& a) {
 Tensor Sigmoid(const Tensor& a) {
   return detail::UnaryElementwise(a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
 }
-Tensor Relu(const Tensor& a) {
-  return detail::UnaryElementwise(a, [](float x) { return x > 0.0f ? x : 0.0f; });
-}
-Tensor Square(const Tensor& a) {
-  return detail::UnaryElementwise(a, [](float x) { return x * x; });
-}
+Tensor Relu(const Tensor& a) { return detail::UnaryElementwise(a, detail::ReluOp{}); }
+Tensor Square(const Tensor& a) { return detail::UnaryElementwise(a, detail::SquareOp{}); }
 Tensor Clamp(const Tensor& a, float lo, float hi) {
-  return detail::UnaryElementwise(a, [lo, hi](float x) { return std::min(std::max(x, lo), hi); });
+  return detail::UnaryElementwise(a, detail::ClampOp{lo, hi});
 }
 Tensor Map(const Tensor& a, const std::function<float(float)>& fn) {
   return detail::UnaryElementwise(a, fn);
 }
 
 Tensor Sum(const Tensor& a, const std::vector<int64_t>& axes, bool keepdims) {
-  return Reduce(a, axes, keepdims, 0.0f, [](float acc, float x) { return acc + x; });
+  return Reduce(a, axes, keepdims, 0.0f, detail::AddOp{});
 }
 
 Tensor Mean(const Tensor& a, const std::vector<int64_t>& axes, bool keepdims) {
@@ -179,20 +212,20 @@ Tensor Mean(const Tensor& a, const std::vector<int64_t>& axes, bool keepdims) {
   int64_t count = 1;
   for (const int64_t axis : canonical) count *= a.shape().dim(axis);
   URCL_CHECK_GT(count, 0) << "Mean over empty extent";
-  return Reduce(a, axes, keepdims, 0.0f, [](float acc, float x) { return acc + x; },
-                1.0f / static_cast<float>(count));
+  return Reduce(a, axes, keepdims, 0.0f, detail::AddOp{}, 1.0f / static_cast<float>(count));
 }
 
 Tensor Max(const Tensor& a, const std::vector<int64_t>& axes, bool keepdims) {
   URCL_CHECK_GT(a.NumElements(), 0);
+  // MaximumOp(acc, x) == acc > x ? acc : x — the accumulator comes first.
   return Reduce(a, axes, keepdims, -std::numeric_limits<float>::infinity(),
-                [](float acc, float x) { return acc > x ? acc : x; });
+                detail::MaximumOp{});
 }
 
 Tensor Min(const Tensor& a, const std::vector<int64_t>& axes, bool keepdims) {
   URCL_CHECK_GT(a.NumElements(), 0);
   return Reduce(a, axes, keepdims, std::numeric_limits<float>::infinity(),
-                [](float acc, float x) { return acc < x ? acc : x; });
+                detail::MinimumOp{});
 }
 
 Tensor ReduceTo(const Tensor& a, const Shape& target) {
@@ -229,7 +262,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   std::vector<int64_t> out_dims = batch.dims();
   out_dims.push_back(m);
   out_dims.push_back(n);
-  Tensor out{Shape(out_dims)};
+  Tensor out = Tensor::Uninitialized(Shape(out_dims));
   if (out.NumElements() == 0) return out;
 
   const int64_t batch_count = batch.NumElements();
@@ -250,10 +283,10 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
 
   // Row-blocked: the parallel index space is every output row across every
   // batch; each row is produced wholly by one chunk, so any scheduling gives
-  // identical results. The grain targets ~32k multiply-adds per chunk and
+  // identical results. The grain targets ~64k multiply-adds per chunk and
   // depends only on the shapes.
   const int64_t total_rows = batch_count * m;
-  const int64_t grain = std::max<int64_t>(1, (1 << 15) / std::max<int64_t>(1, k * n));
+  const int64_t grain = std::max<int64_t>(1, (1 << 16) / std::max<int64_t>(1, k * n));
   runtime::ParallelFor(0, total_rows, grain, [&](int64_t row_begin, int64_t row_end) {
     int64_t batch_index = row_begin / m;
     MultiCursor cursor(batch.dims(), {a_scaled, b_scaled});
@@ -264,7 +297,10 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
       const float* mb = pb + cursor.offset(1);
       float* mo = po + batch_index * o_mat;
       const int64_t batch_row_end = std::min(row_end, (batch_index + 1) * m);
-      // i-k-j loop order: streams over contiguous rows of b.
+      // i-k-j loop order: streams over contiguous rows of b. The j-loop is
+      // lane-parallel over independent output columns; per column the k-sum
+      // accumulates in the same order as the scalar loop (and FP contraction
+      // is disabled build-wide), so results are bitwise unchanged.
       for (; row < batch_row_end; ++row) {
         const int64_t i = row - batch_index * m;
         float* row_out = mo + i * n;
@@ -273,7 +309,13 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
           const float scale = ma[i * k + kk];
           if (scale == 0.0f) continue;
           const float* row_b = mb + kk * n;
-          for (int64_t j = 0; j < n; ++j) row_out[j] += scale * row_b[j];
+          const simd::F32x8 vs = simd::Broadcast(scale);
+          int64_t j = 0;
+          for (; j + simd::kLanes <= n; j += simd::kLanes) {
+            simd::StoreU(row_out + j, simd::Add(simd::LoadU(row_out + j),
+                                                simd::Mul(vs, simd::LoadU(row_b + j))));
+          }
+          for (; j < n; ++j) row_out[j] += scale * row_b[j];
         }
       }
       ++batch_index;
@@ -287,7 +329,7 @@ Tensor BroadcastTo(const Tensor& a, const Shape& target) {
   if (a.shape() == target) return a;
   URCL_CHECK(IsBroadcastableTo(a.shape(), target))
       << "cannot broadcast " << a.shape().ToString() << " to " << target.ToString();
-  Tensor out(target);
+  Tensor out = Tensor::Uninitialized(target);
   if (out.NumElements() == 0) return out;
   const std::vector<int64_t> gather_strides = BroadcastStrides(a.shape(), target);
   const float* pa = a.data();
@@ -317,7 +359,7 @@ Tensor Transpose(const Tensor& a, const std::vector<int64_t>& perm) {
     out_dims[i] = a.dim(axis);
     gather_strides[i] = in_strides[static_cast<size_t>(axis)];
   }
-  Tensor out{Shape(out_dims)};
+  Tensor out = Tensor::Uninitialized(Shape(out_dims));
   if (out.NumElements() == 0) return out;
   const float* pa = a.data();
   float* po = out.mutable_data();
@@ -351,7 +393,7 @@ Tensor Slice(const Tensor& a, const std::vector<int64_t>& starts,
         << "slice [" << starts[s] << ", " << starts[s] + sizes[s] << ") out of bounds on axis "
         << i << " of " << a.shape().ToString();
   }
-  Tensor out{Shape(sizes)};
+  Tensor out = Tensor::Uninitialized(Shape(sizes));
   if (out.NumElements() == 0) return out;
   const std::vector<int64_t> in_strides = a.shape().Strides();
   int64_t base = 0;
@@ -405,7 +447,9 @@ Tensor Concat(const std::vector<Tensor>& tensors, int64_t axis) {
     total += t.dim(canonical);
   }
   out_dims[static_cast<size_t>(canonical)] = total;
-  Tensor out{Shape(out_dims)};
+  // Every element of `out` is written: the per-tensor copies below tile the
+  // full concat axis, so uninitialized storage is safe.
+  Tensor out = Tensor::Uninitialized(Shape(out_dims));
   std::vector<int64_t> starts(out_dims.size(), 0);
   int64_t offset = 0;
   float* po = out.mutable_data();
@@ -473,7 +517,7 @@ Tensor Pad(const Tensor& a, int64_t axis, int64_t before, int64_t after, float v
 
 Tensor Flip(const Tensor& a, int64_t axis) {
   const int64_t canonical = a.shape().CanonicalAxis(axis);
-  Tensor out(a.shape());
+  Tensor out = Tensor::Uninitialized(a.shape());
   if (a.NumElements() == 0) return out;
   const std::vector<int64_t> strides = a.shape().Strides();
   const int64_t extent = a.dim(canonical);

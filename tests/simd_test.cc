@@ -1,0 +1,401 @@
+// Bitwise-equality tests for the vectorized kernels: every SIMD-accelerated
+// op must produce results bit-identical to a handwritten scalar reference
+// that replicates the kernel's documented accumulation order. Sizes sweep
+// 1..17 so the 8-lane main loop, the scalar tail, and the empty-vector-loop
+// cases (n < 8) are all exercised; inputs include NaN, +/-Inf and -0 so the
+// exactness claims of tensor/simd.h (Max/Min operand order, sign-bit Neg,
+// Relu of NaN) are pinned down, not just the happy path.
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "autograd/variable.h"
+#include "common/rng.h"
+#include "nn/optimizer.h"
+#include "tensor/simd.h"
+#include "tensor/tensor.h"
+#include "tensor/tensor_ops.h"
+
+namespace urcl {
+namespace {
+
+constexpr float kNaN = std::numeric_limits<float>::quiet_NaN();
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+// Bit-exact tensor comparison (memcmp, so NaN == NaN and -0 != +0).
+::testing::AssertionResult BitEq(const Tensor& a, const Tensor& b) {
+  if (!(a.shape() == b.shape())) {
+    return ::testing::AssertionFailure()
+           << "shape mismatch: " << a.shape().ToString() << " vs " << b.shape().ToString();
+  }
+  if (std::memcmp(a.data(), b.data(), static_cast<size_t>(a.NumElements()) * sizeof(float)) !=
+      0) {
+    for (int64_t i = 0; i < a.NumElements(); ++i) {
+      uint32_t ba, bb;
+      std::memcpy(&ba, a.data() + i, 4);
+      std::memcpy(&bb, b.data() + i, 4);
+      if (ba != bb) {
+        return ::testing::AssertionFailure()
+               << "first bit mismatch at flat index " << i << ": " << a.data()[i] << " ("
+               << ba << ") vs " << b.data()[i] << " (" << bb << ")";
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+// Pseudo-random values with IEEE specials sprinkled in every 7th slot.
+Tensor MakeInput(const Shape& shape, uint64_t seed, bool with_specials = true) {
+  Rng rng(seed);
+  Tensor t = Tensor::RandomNormal(shape, rng);
+  if (with_specials) {
+    static const float kSpecials[] = {kNaN, kInf, -kInf, -0.0f, 0.0f};
+    float* p = t.mutable_data();
+    for (int64_t i = 3; i < t.NumElements(); i += 7) {
+      p[i] = kSpecials[(i / 7) % 5];
+    }
+  }
+  return t;
+}
+
+TEST(SimdBinaryTest, SameShapeBitwiseMatchesScalar) {
+  for (int64_t n = 1; n <= 17; ++n) {
+    const Tensor a = MakeInput(Shape{n}, 1000 + static_cast<uint64_t>(n));
+    const Tensor b = MakeInput(Shape{n}, 2000 + static_cast<uint64_t>(n));
+    Tensor add_ref(a.shape()), sub_ref(a.shape()), mul_ref(a.shape()), div_ref(a.shape()),
+        max_ref(a.shape()), min_ref(a.shape());
+    for (int64_t i = 0; i < n; ++i) {
+      const float x = a.data()[i], y = b.data()[i];
+      add_ref.mutable_data()[i] = x + y;
+      sub_ref.mutable_data()[i] = x - y;
+      mul_ref.mutable_data()[i] = x * y;
+      div_ref.mutable_data()[i] = x / y;
+      max_ref.mutable_data()[i] = x > y ? x : y;
+      min_ref.mutable_data()[i] = x < y ? x : y;
+    }
+    EXPECT_TRUE(BitEq(ops::Add(a, b), add_ref)) << "n=" << n;
+    EXPECT_TRUE(BitEq(ops::Sub(a, b), sub_ref)) << "n=" << n;
+    EXPECT_TRUE(BitEq(ops::Mul(a, b), mul_ref)) << "n=" << n;
+    EXPECT_TRUE(BitEq(ops::Div(a, b), div_ref)) << "n=" << n;
+    EXPECT_TRUE(BitEq(ops::Maximum(a, b), max_ref)) << "n=" << n;
+    EXPECT_TRUE(BitEq(ops::Minimum(a, b), min_ref)) << "n=" << n;
+  }
+}
+
+TEST(SimdBinaryTest, BroadcastRowsBitwiseMatchesScalar) {
+  // Inner extents sweep the tail cases; rows/columns exercise all three
+  // vectorizable (stride_a, stride_b) combinations of the row kernel.
+  for (int64_t inner = 1; inner <= 17; ++inner) {
+    const int64_t rows = 5;
+    const Tensor a = MakeInput(Shape{rows, inner}, 10 + static_cast<uint64_t>(inner));
+    const Tensor row = MakeInput(Shape{inner}, 20 + static_cast<uint64_t>(inner));
+    const Tensor col = MakeInput(Shape{rows, 1}, 30 + static_cast<uint64_t>(inner));
+
+    Tensor row_ref(a.shape());
+    Tensor col_ref(a.shape());
+    Tensor col_first_ref(a.shape());
+    for (int64_t r = 0; r < rows; ++r) {
+      for (int64_t c = 0; c < inner; ++c) {
+        row_ref.Set({r, c}, a.At({r, c}) + row.data()[c]);       // (1, 1) dense row operand
+        col_ref.Set({r, c}, a.At({r, c}) - col.data()[r]);       // (1, 0) scalar right operand
+        col_first_ref.Set({r, c}, col.data()[r] * a.At({r, c})); // (0, 1) scalar left operand
+      }
+    }
+    EXPECT_TRUE(BitEq(ops::Add(a, row), row_ref)) << "inner=" << inner;
+    EXPECT_TRUE(BitEq(ops::Sub(a, col), col_ref)) << "inner=" << inner;
+    EXPECT_TRUE(BitEq(ops::Mul(col, a), col_first_ref)) << "inner=" << inner;
+  }
+}
+
+TEST(SimdUnaryTest, BitwiseMatchesScalar) {
+  for (int64_t n = 1; n <= 17; ++n) {
+    const Tensor a = MakeInput(Shape{n}, 500 + static_cast<uint64_t>(n));
+    Tensor neg_ref(a.shape()), abs_ref(a.shape()), sqrt_ref(a.shape()), relu_ref(a.shape()),
+        sq_ref(a.shape()), adds_ref(a.shape()), muls_ref(a.shape()), clamp_ref(a.shape());
+    for (int64_t i = 0; i < n; ++i) {
+      const float x = a.data()[i];
+      neg_ref.mutable_data()[i] = -x;
+      abs_ref.mutable_data()[i] = std::fabs(x);
+      sqrt_ref.mutable_data()[i] = std::sqrt(x);
+      relu_ref.mutable_data()[i] = x > 0.0f ? x : 0.0f;
+      sq_ref.mutable_data()[i] = x * x;
+      adds_ref.mutable_data()[i] = x + 2.5f;
+      muls_ref.mutable_data()[i] = x * -1.5f;
+      clamp_ref.mutable_data()[i] = std::min(std::max(x, -0.75f), 0.75f);
+    }
+    EXPECT_TRUE(BitEq(ops::Neg(a), neg_ref)) << "n=" << n;
+    EXPECT_TRUE(BitEq(ops::Abs(a), abs_ref)) << "n=" << n;
+    EXPECT_TRUE(BitEq(ops::Sqrt(a), sqrt_ref)) << "n=" << n;
+    EXPECT_TRUE(BitEq(ops::Relu(a), relu_ref)) << "n=" << n;
+    EXPECT_TRUE(BitEq(ops::Square(a), sq_ref)) << "n=" << n;
+    EXPECT_TRUE(BitEq(ops::AddScalar(a, 2.5f), adds_ref)) << "n=" << n;
+    EXPECT_TRUE(BitEq(ops::MulScalar(a, -1.5f), muls_ref)) << "n=" << n;
+    EXPECT_TRUE(BitEq(ops::Clamp(a, -0.75f, 0.75f), clamp_ref)) << "n=" << n;
+  }
+}
+
+TEST(SimdUnaryTest, SignedZeroAndNanEdgeCases) {
+  const Tensor a = Tensor::FromVector(Shape{4}, {-0.0f, 0.0f, kNaN, -1.0f});
+  // Neg is a sign-bit flip: -(-0) must be +0 and -(+0) must be -0.
+  const Tensor neg = ops::Neg(a);
+  EXPECT_FALSE(std::signbit(neg.data()[0]));
+  EXPECT_TRUE(std::signbit(neg.data()[1]));
+  // Relu(x) = x > 0 ? x : 0 maps NaN and -0 both to +0.
+  const Tensor relu = ops::Relu(a);
+  EXPECT_EQ(relu.data()[2], 0.0f);
+  EXPECT_FALSE(std::signbit(relu.data()[0]));
+  // Clamp keeps NaN (std::max/std::min return the first argument on
+  // unordered comparisons given the kernel's operand order).
+  const Tensor clamped = ops::Clamp(a, -0.5f, 0.5f);
+  EXPECT_TRUE(std::isnan(clamped.data()[2]));
+}
+
+// Input-major reference reduction: walks the input once in flat order and
+// combines into the owning output slot — per-slot accumulation order is
+// increasing input offset, exactly what ops::Sum/Max/Min/Mean guarantee.
+template <typename Fn>
+Tensor ReferenceReduce(const Tensor& a, const std::vector<int64_t>& axes, float init, Fn fn,
+                       float post_scale = 1.0f) {
+  std::vector<bool> reduced(static_cast<size_t>(a.rank()), false);
+  for (int64_t axis : axes) reduced[static_cast<size_t>(axis)] = true;
+  std::vector<int64_t> kept_dims;
+  for (int64_t i = 0; i < a.rank(); ++i) {
+    kept_dims.push_back(reduced[static_cast<size_t>(i)] ? 1 : a.dim(i));
+  }
+  Tensor out = Tensor::Full(Shape(kept_dims), init);
+  std::vector<int64_t> idx(static_cast<size_t>(a.rank()), 0);
+  for (int64_t flat = 0; flat < a.NumElements(); ++flat) {
+    int64_t rem = flat;
+    for (int64_t i = a.rank() - 1; i >= 0; --i) {
+      idx[static_cast<size_t>(i)] = rem % a.dim(i);
+      rem /= a.dim(i);
+    }
+    int64_t slot = 0;
+    for (int64_t i = 0; i < a.rank(); ++i) {
+      const int64_t id = reduced[static_cast<size_t>(i)] ? 0 : idx[static_cast<size_t>(i)];
+      slot = slot * kept_dims[static_cast<size_t>(i)] + id;
+    }
+    out.mutable_data()[slot] = fn(out.mutable_data()[slot], a.data()[flat]);
+  }
+  if (post_scale != 1.0f) {
+    for (int64_t i = 0; i < out.NumElements(); ++i) out.mutable_data()[i] *= post_scale;
+  }
+  return out;
+}
+
+TEST(SimdReduceTest, SumBitwiseMatchesSerialOrder) {
+  // Axis-0 reductions of 2-D inputs keep the stride-1 axis -> vector path;
+  // axis-1 reductions keep a strided axis -> scalar path. Both must agree
+  // with the input-major serial reference. No specials: reductions mix every
+  // element, and NaN-poisoned accumulators compare equal trivially.
+  for (int64_t inner = 1; inner <= 17; ++inner) {
+    const Tensor a =
+        MakeInput(Shape{7, inner}, 40 + static_cast<uint64_t>(inner), /*with_specials=*/false);
+    EXPECT_TRUE(BitEq(ops::Sum(a, {0}, true),
+                      ReferenceReduce(a, {0}, 0.0f, [](float acc, float x) { return acc + x; })))
+        << "axis 0, inner=" << inner;
+    EXPECT_TRUE(BitEq(ops::Sum(a, {1}, true),
+                      ReferenceReduce(a, {1}, 0.0f, [](float acc, float x) { return acc + x; })))
+        << "axis 1, inner=" << inner;
+  }
+  // 3-D with a middle-axis reduction: kept axes {0, 2}, innermost kept axis
+  // is stride-1 and runs of length 9 force both vector groups and tails.
+  const Tensor b = MakeInput(Shape{3, 4, 9}, 77, /*with_specials=*/false);
+  EXPECT_TRUE(BitEq(ops::Sum(b, {1}, true),
+                    ReferenceReduce(b, {1}, 0.0f, [](float acc, float x) { return acc + x; })));
+  const float full_ref =
+      ReferenceReduce(b, {0, 1, 2}, 0.0f, [](float acc, float x) { return acc + x; }).Item();
+  EXPECT_EQ(ops::Sum(b).Item(), full_ref);
+}
+
+TEST(SimdReduceTest, MeanMaxMinBitwiseMatchSerialOrder) {
+  const Tensor a = MakeInput(Shape{6, 13}, 55, /*with_specials=*/false);
+  EXPECT_TRUE(BitEq(
+      ops::Mean(a, {0}, true),
+      ReferenceReduce(a, {0}, 0.0f, [](float acc, float x) { return acc + x; }, 1.0f / 6.0f)));
+  EXPECT_TRUE(BitEq(ops::Max(a, {0}, true),
+                    ReferenceReduce(a, {0}, -kInf,
+                                    [](float acc, float x) { return acc > x ? acc : x; })));
+  EXPECT_TRUE(BitEq(ops::Min(a, {0}, true),
+                    ReferenceReduce(a, {0}, kInf,
+                                    [](float acc, float x) { return acc < x ? acc : x; })));
+}
+
+TEST(SimdMatMulTest, BitwiseMatchesIkjReference) {
+  // Odd n exercises the j-loop tail; zeros in `a` exercise the skip branch.
+  for (const auto& [m, k, n] : std::vector<std::array<int64_t, 3>>{
+           {1, 1, 1}, {3, 5, 9}, {4, 7, 17}, {2, 3, 8}}) {
+    Tensor a = MakeInput(Shape{m, k}, 60 + static_cast<uint64_t>(n), /*with_specials=*/false);
+    const Tensor b = MakeInput(Shape{k, n}, 61 + static_cast<uint64_t>(n), /*with_specials=*/false);
+    if (a.NumElements() > 2) a.mutable_data()[2] = 0.0f;
+    Tensor ref(Shape{m, n});
+    for (int64_t i = 0; i < m; ++i) {
+      float* row_out = ref.mutable_data() + i * n;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float scale = a.data()[i * k + kk];
+        if (scale == 0.0f) continue;
+        const float* row_b = b.data() + kk * n;
+        for (int64_t j = 0; j < n; ++j) row_out[j] += scale * row_b[j];
+      }
+    }
+    EXPECT_TRUE(BitEq(ops::MatMul(a, b), ref)) << m << "x" << k << "x" << n;
+  }
+}
+
+TEST(SimdTemporalConvTest, ForwardAndBackwardBitwiseMatchReference) {
+  const int64_t batch = 2, c_in = 3, c_out = 2, nodes = 4, time = 13, kernel = 2, dilation = 2;
+  const int64_t t_out = time - dilation * (kernel - 1);
+  Tensor in_t = MakeInput(Shape{batch, c_in, nodes, time}, 70, /*with_specials=*/false);
+  Tensor w_t = MakeInput(Shape{c_out, c_in, 1, kernel}, 71, /*with_specials=*/false);
+  w_t.mutable_data()[1] = 0.0f;  // exercise the w == 0 skip
+  const Tensor g = MakeInput(Shape{batch, c_out, nodes, t_out}, 72, /*with_specials=*/false);
+
+  autograd::Variable input(in_t, /*requires_grad=*/true);
+  autograd::Variable weight(w_t, /*requires_grad=*/true);
+  autograd::Variable out = autograd::TemporalConv2d(input, weight, dilation);
+  out.BackwardWithSeed(g);
+
+  // References replicate the kernel's documented per-row accumulation orders.
+  Tensor fwd_ref(Shape{batch, c_out, nodes, t_out});
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t co = 0; co < c_out; ++co) {
+      for (int64_t n = 0; n < nodes; ++n) {
+        float* out_row =
+            fwd_ref.mutable_data() + ((b * c_out + co) * nodes + n) * t_out;
+        for (int64_t ci = 0; ci < c_in; ++ci) {
+          const float* w_row = w_t.data() + (co * c_in + ci) * kernel;
+          const float* in_row = in_t.data() + ((b * c_in + ci) * nodes + n) * time;
+          for (int64_t k = 0; k < kernel; ++k) {
+            const float w = w_row[k];
+            if (w == 0.0f) continue;
+            for (int64_t t = 0; t < t_out; ++t) out_row[t] += w * in_row[t + dilation * k];
+          }
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(BitEq(out.value(), fwd_ref));
+
+  Tensor din_ref(in_t.shape());
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t ci = 0; ci < c_in; ++ci) {
+      for (int64_t n = 0; n < nodes; ++n) {
+        float* di_row = din_ref.mutable_data() + ((b * c_in + ci) * nodes + n) * time;
+        for (int64_t co = 0; co < c_out; ++co) {
+          const float* w_row = w_t.data() + (co * c_in + ci) * kernel;
+          const float* g_row = g.data() + ((b * c_out + co) * nodes + n) * t_out;
+          for (int64_t k = 0; k < kernel; ++k) {
+            const float wk = w_row[k];
+            for (int64_t t = 0; t < t_out; ++t) di_row[t + dilation * k] += g_row[t] * wk;
+          }
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(BitEq(input.grad(), din_ref));
+
+  Tensor dw_ref(w_t.shape());
+  for (int64_t co = 0; co < c_out; ++co) {
+    for (int64_t ci = 0; ci < c_in; ++ci) {
+      float* dw_row = dw_ref.mutable_data() + (co * c_in + ci) * kernel;
+      for (int64_t b = 0; b < batch; ++b) {
+        for (int64_t n = 0; n < nodes; ++n) {
+          const float* g_row = g.data() + ((b * c_out + co) * nodes + n) * t_out;
+          const float* in_row = in_t.data() + ((b * c_in + ci) * nodes + n) * time;
+          for (int64_t k = 0; k < kernel; ++k) {
+            float dw_acc = 0.0f;
+            for (int64_t t = 0; t < t_out; ++t) dw_acc += g_row[t] * in_row[t + dilation * k];
+            dw_row[k] += dw_acc;
+          }
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(BitEq(weight.grad(), dw_ref));
+}
+
+TEST(SimdAdamTest, StepBitwiseMatchesScalarReference) {
+  nn::AdamConfig config;
+  config.lr = 0.01f;
+  config.weight_decay = 0.02f;
+  // One parameter per size 1..17 so each hits a different main-loop/tail mix.
+  std::vector<autograd::Variable> params;
+  std::vector<Tensor> ref_values, ref_m, ref_v, grads;
+  for (int64_t n = 1; n <= 17; ++n) {
+    const Tensor value = MakeInput(Shape{n}, 80 + static_cast<uint64_t>(n),
+                                   /*with_specials=*/false);
+    params.emplace_back(value.Clone(), /*requires_grad=*/true);
+    ref_values.push_back(value.Clone());
+    ref_m.push_back(Tensor::Zeros(value.shape()));
+    ref_v.push_back(Tensor::Zeros(value.shape()));
+    grads.push_back(
+        MakeInput(Shape{n}, 90 + static_cast<uint64_t>(n), /*with_specials=*/false));
+  }
+  nn::Adam adam(params, config);
+  for (int step = 1; step <= 3; ++step) {
+    adam.ZeroGrad();
+    for (size_t i = 0; i < params.size(); ++i) params[i].AccumulateGrad(grads[i]);
+    adam.Step();
+    const float bc1 = 1.0f - std::pow(config.beta1, static_cast<float>(step));
+    const float bc2 = 1.0f - std::pow(config.beta2, static_cast<float>(step));
+    for (size_t i = 0; i < params.size(); ++i) {
+      float* pv = ref_values[i].mutable_data();
+      float* pm = ref_m[i].mutable_data();
+      float* pvv = ref_v[i].mutable_data();
+      const float* pg = grads[i].data();
+      for (int64_t j = 0; j < ref_values[i].NumElements(); ++j) {
+        const float grad = pg[j] + config.weight_decay * pv[j];
+        pm[j] = config.beta1 * pm[j] + (1.0f - config.beta1) * grad;
+        pvv[j] = config.beta2 * pvv[j] + (1.0f - config.beta2) * grad * grad;
+        const float m_hat = pm[j] / bc1;
+        const float v_hat = pvv[j] / bc2;
+        pv[j] -= config.lr * m_hat / (std::sqrt(v_hat) + config.epsilon);
+      }
+      EXPECT_TRUE(BitEq(params[i].value(), ref_values[i]))
+          << "param " << i << " after step " << step;
+    }
+  }
+}
+
+TEST(SimdTensorTest, AllFiniteCatchesSpecialsAtEveryPosition) {
+  for (int64_t n = 1; n <= 17; ++n) {
+    Rng rng(600 + static_cast<uint64_t>(n));
+    Tensor t = Tensor::RandomNormal(Shape{n}, rng);
+    EXPECT_TRUE(t.AllFinite()) << "n=" << n;
+    for (int64_t pos = 0; pos < n; ++pos) {
+      for (const float bad : {kNaN, kInf, -kInf}) {
+        const float saved = t.data()[pos];
+        t.mutable_data()[pos] = bad;
+        EXPECT_FALSE(t.AllFinite()) << "n=" << n << " pos=" << pos << " bad=" << bad;
+        t.mutable_data()[pos] = saved;
+      }
+    }
+  }
+}
+
+TEST(SimdTensorTest, InPlaceOpsBitwiseMatchScalar) {
+  for (int64_t n = 1; n <= 17; ++n) {
+    const Tensor a = MakeInput(Shape{n}, 700 + static_cast<uint64_t>(n));
+    const Tensor b = MakeInput(Shape{n}, 800 + static_cast<uint64_t>(n));
+    Tensor add_got = a.Clone();
+    add_got.AddInPlace(b);
+    Tensor mul_got = a.Clone();
+    mul_got.MulInPlace(0.3f);
+    Tensor add_ref(a.shape()), mul_ref(a.shape());
+    for (int64_t i = 0; i < n; ++i) {
+      add_ref.mutable_data()[i] = a.data()[i] + b.data()[i];
+      mul_ref.mutable_data()[i] = a.data()[i] * 0.3f;
+    }
+    EXPECT_TRUE(BitEq(add_got, add_ref)) << "n=" << n;
+    EXPECT_TRUE(BitEq(mul_got, mul_ref)) << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace urcl

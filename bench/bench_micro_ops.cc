@@ -23,6 +23,9 @@
 #include "nn/gcn.h"
 #include "nn/optimizer.h"
 #include "nn/tcn.h"
+#include "obs/obs.h"
+#include "obs/profiler.h"
+#include "obs/trace.h"
 #include "replay/replay_buffer.h"
 #include "replay/samplers.h"
 #include "tensor/pool.h"
@@ -268,10 +271,14 @@ void BM_AdamStep(benchmark::State& state) {
 }
 BENCHMARK(BM_AdamStep);
 
-void BM_TrainStep(benchmark::State& state) {
+void RunTrainStepBenchmark(benchmark::State& state, bool observed) {
   // One URCL training epoch (1 batch) on a tiny synthetic pipeline. Reports
   // pool hit/miss counters per step: at steady state (after the warmup epoch)
   // misses should be ~0, i.e. the training loop makes no allocator calls.
+  // The `observed` variant runs the identical loop with metrics, tracing and
+  // the autograd profiler all enabled; comparing the two rows in
+  // BENCH_micro_ops.json measures the full-observability overhead (budget:
+  // <2% on real_time).
   data::TrafficConfig traffic;
   traffic.num_nodes = 6;
   traffic.num_days = 2;
@@ -301,6 +308,12 @@ void BM_TrainStep(benchmark::State& state) {
   config.enable_augmentation = false;  // fixed shapes batch to batch
 
   core::UrclTrainer trainer(config, generator.network());
+  const obs::ObsConfig saved_obs = obs::Current();
+  if (observed) {
+    obs::ObsConfig all;
+    all.metrics = all.trace = all.profiler = true;
+    obs::Configure(all);
+  }
   trainer.TrainStage(dataset, 2);  // warmup fills the pool's free lists
   pool::BufferPool& pool = pool::BufferPool::Get();
   pool.ResetCounters();
@@ -311,8 +324,30 @@ void BM_TrainStep(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(stats.hits) / steps);
   state.counters["pool_misses_per_step"] =
       benchmark::Counter(static_cast<double>(stats.misses) / steps);
+  if (observed) {
+    state.counters["trace_events_buffered"] =
+        benchmark::Counter(static_cast<double>(obs::TraceEventCount()));
+    obs::Configure(saved_obs);
+    obs::ClearTrace();
+    obs::ResetProfiler();
+  }
 }
-BENCHMARK(BM_TrainStep)->Unit(benchmark::kMillisecond);
+
+// Both variants run 7 repetitions and report aggregates so the recorded
+// overhead ratio (Observed median / baseline median) is robust to scheduler
+// noise; record with --benchmark_enable_random_interleaving=true so slow
+// drift cannot bias one variant's block (see bench/README.md).
+void BM_TrainStep(benchmark::State& state) { RunTrainStepBenchmark(state, false); }
+BENCHMARK(BM_TrainStep)
+    ->Unit(benchmark::kMillisecond)
+    ->Repetitions(7)
+    ->ReportAggregatesOnly(true);
+
+void BM_TrainStepObserved(benchmark::State& state) { RunTrainStepBenchmark(state, true); }
+BENCHMARK(BM_TrainStepObserved)
+    ->Unit(benchmark::kMillisecond)
+    ->Repetitions(7)
+    ->ReportAggregatesOnly(true);
 
 void BM_BuildSupportsDense(benchmark::State& state) {
   Rng graph_rng(16);
@@ -348,6 +383,10 @@ int main(int argc, char** argv) {
   benchmark::AddCustomContext("urcl_simd_backend", urcl::simd::kBackendName);
   benchmark::AddCustomContext(
       "urcl_pool", urcl::pool::BufferPool::Get().enabled() ? "on" : "off");
+  benchmark::AddCustomContext(
+      "urcl_obs_overhead",
+      "compare BM_TrainStep (observability off) with BM_TrainStepObserved "
+      "(metrics+trace+profiler on); budget <2% on real_time");
   std::vector<char*> args(argv, argv + argc);
   bool has_out = false;
   for (int i = 1; i < argc; ++i) {

@@ -3,7 +3,14 @@
 //
 //   ./quickstart [--nodes 16] [--days 12] [--epochs 4] [--seed 7]
 //               [--checkpoint-dir DIR] [--checkpoint-every N]
-//               [--checkpoint-retention K]
+//               [--checkpoint-retention K] [--log-jsonl FILE]
+//               [--metrics-out FILE] [--trace-out FILE] [--profile-out FILE]
+//
+// Observability: --metrics-out writes a Prometheus text snapshot,
+// --trace-out a Chrome trace_event JSON (open in Perfetto / chrome://tracing)
+// and --profile-out a per-op autograd profile; URCL_OBS=1 enables all three
+// subsystems without file output. --log-jsonl appends one structured record
+// per trained epoch (stage, loss, stage-end eval metrics, wall time).
 //
 // Walks through the full pipeline: generate a sensor network + streaming
 // traffic data, normalize to [0, 1], split into a base set and four
@@ -17,6 +24,7 @@
 // exactly where it stopped. Fault injection (URCL_FAULT env var, see
 // common/fault_injector.h) exercises both paths.
 #include <cstdio>
+#include <fstream>
 
 #include "common/fault_injector.h"
 #include "common/flags.h"
@@ -25,8 +33,24 @@
 #include "core/urcl.h"
 #include "data/presets.h"
 #include "data/stream.h"
+#include "obs/json.h"
+#include "obs/obs.h"
 
 using namespace urcl;
+
+namespace {
+
+// Writes the observability outputs configured via --metrics-out/--trace-out/
+// --profile-out (if any) and reports where they went.
+void FlushObservability() {
+  std::vector<std::string> errors;
+  for (const std::string& path : obs::WriteConfiguredOutputs(&errors)) {
+    std::printf("Wrote %s\n", path.c_str());
+  }
+  for (const std::string& error : errors) std::fprintf(stderr, "[obs] %s\n", error.c_str());
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
@@ -89,8 +113,37 @@ int main(int argc, char** argv) {
   // 5. Run the continual protocol and print per-stage accuracy.
   core::ProtocolOptions protocol;
   protocol.epochs_per_stage = epochs;
+
+  // Structured JSONL training log: one record per trained epoch with the
+  // stage-end evaluation snapshot and wall-time breakdown.
+  const std::string log_jsonl_path = flags.GetString("log-jsonl", "");
+  std::ofstream log_jsonl;
+  if (!log_jsonl_path.empty()) {
+    log_jsonl.open(log_jsonl_path, std::ios::trunc);
+    if (!log_jsonl) {
+      std::fprintf(stderr, "cannot open --log-jsonl file %s\n", log_jsonl_path.c_str());
+      return 1;
+    }
+    protocol.epoch_log = [&log_jsonl](int64_t stage_index, int64_t epoch, float loss,
+                                      const core::StageResult& stage) {
+      log_jsonl << "{\"stage\":" << obs::JsonString(stage.stage_name)
+                << ",\"stage_index\":" << stage_index << ",\"epoch\":" << epoch
+                << ",\"train_loss\":" << obs::JsonNumber(loss)
+                << ",\"mae\":" << obs::JsonNumber(stage.metrics.mae)
+                << ",\"rmse\":" << obs::JsonNumber(stage.metrics.rmse)
+                << ",\"train_seconds\":" << obs::JsonNumber(stage.train_seconds)
+                << ",\"seconds_per_epoch\":" << obs::JsonNumber(stage.train_seconds_per_epoch)
+                << ",\"infer_seconds_per_observation\":"
+                << obs::JsonNumber(stage.infer_seconds_per_observation) << "}\n";
+    };
+  }
+
   const std::vector<core::StageResult> results = core::RunContinualProtocol(
       urcl, stream, normalizer, preset.MakeWindowConfig().target_channel, protocol);
+  if (log_jsonl.is_open()) {
+    log_jsonl.flush();
+    std::printf("Wrote %s\n", log_jsonl_path.c_str());
+  }
 
   TablePrinter table({"Stage", "MAE (mph)", "RMSE (mph)", "train s", "infer ms/obs"});
   for (const core::StageResult& r : results) {
@@ -115,6 +168,7 @@ int main(int argc, char** argv) {
                 static_cast<long long>(counters.kills),
                 static_cast<long long>(urcl.quarantined_batches()));
   }
+  FlushObservability();
   if (urcl.TrainingInterrupted()) {
     std::printf("Training interrupted by fault injection; rerun with the same "
                 "--checkpoint-dir to resume.\n");

@@ -5,13 +5,18 @@
 // This is the setting the paper's introduction motivates.
 //
 //   ./streaming_forecaster [--nodes 12] [--days 8] [--periodic 0]
+//                          [--log-jsonl FILE] [--metrics-out FILE]
+//                          [--trace-out FILE] [--profile-out FILE]
 #include <cstdio>
+#include <fstream>
 
 #include "common/flags.h"
 #include "common/table_printer.h"
 #include "core/drift.h"
 #include "data/metrics.h"
 #include "data/presets.h"
+#include "obs/json.h"
+#include "obs/obs.h"
 #include "tensor/tensor_ops.h"
 
 using namespace urcl;
@@ -55,6 +60,17 @@ int main(int argc, char** argv) {
               static_cast<long long>(series.dim(0)), preset.name.c_str(),
               static_cast<long long>(nodes));
 
+  // Structured JSONL log: one record per retrain event.
+  const std::string log_jsonl_path = flags.GetString("log-jsonl", "");
+  std::ofstream log_jsonl;
+  if (!log_jsonl_path.empty()) {
+    log_jsonl.open(log_jsonl_path, std::ios::trunc);
+    if (!log_jsonl) {
+      std::fprintf(stderr, "cannot open --log-jsonl file %s\n", log_jsonl_path.c_str());
+      return 1;
+    }
+  }
+
   TablePrinter log({"Step", "Event", "Live MAE so far (mph)", "Drift alarms",
                     "Replay buffer"});
   const float speed_span = normalizer.max(0) - normalizer.min(0);
@@ -63,12 +79,23 @@ int main(int argc, char** argv) {
     const Tensor row = ops::Slice(series, {t, 0, 0}, {1, nodes, series.dim(2)})
                            .Reshape(Shape{nodes, series.dim(2)});
     if (learner.Ingest(row)) {
-      log.AddRow({std::to_string(t),
-                  learner.retrain_count() == 1 ? "initial train" : "retrained",
+      const char* event = learner.retrain_count() == 1 ? "initial train" : "retrained";
+      log.AddRow({std::to_string(t), event,
                   TablePrinter::Num(learner.live_mae() * speed_span),
                   std::to_string(learner.drift_alarms()),
                   std::to_string(learner.trainer().buffer().size())});
+      if (log_jsonl.is_open()) {
+        log_jsonl << "{\"step\":" << t << ",\"event\":" << obs::JsonString(event)
+                  << ",\"live_mae\":" << obs::JsonNumber(learner.live_mae() * speed_span)
+                  << ",\"drift_alarms\":" << learner.drift_alarms()
+                  << ",\"retrain_count\":" << learner.retrain_count()
+                  << ",\"buffer_size\":" << learner.trainer().buffer().size() << "}\n";
+      }
     }
+  }
+  if (log_jsonl.is_open()) {
+    log_jsonl.flush();
+    std::printf("Wrote %s\n", log_jsonl_path.c_str());
   }
   log.Print();
   std::printf("\n%lld retrains (%lld drift-triggered alarms); final live MAE "
@@ -81,5 +108,10 @@ int main(int argc, char** argv) {
               "in the data raises the error, fires the Page-Hinkley alarm, and the\n"
               "learner retrains on its recent window while the replay buffer keeps\n"
               "knowledge of earlier regimes alive.\n");
+  std::vector<std::string> errors;
+  for (const std::string& path : obs::WriteConfiguredOutputs(&errors)) {
+    std::printf("Wrote %s\n", path.c_str());
+  }
+  for (const std::string& error : errors) std::fprintf(stderr, "[obs] %s\n", error.c_str());
   return 0;
 }

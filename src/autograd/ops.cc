@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "obs/profiler.h"
 #include "runtime/parallel.h"
 #include "tensor/simd.h"
 #include "tensor/tensor_ops.h"
@@ -14,6 +15,7 @@ namespace autograd {
 namespace top = ::urcl::ops;
 
 Variable Add(const Variable& a, const Variable& b) {
+  URCL_PROFILE_OP();
   Tensor value = top::Add(a.value(), b.value());
   return Variable::MakeOp(std::move(value), "add", {a, b}, [a, b](const Tensor& g) {
     a.AccumulateGrad(top::ReduceTo(g, a.shape()));
@@ -22,6 +24,7 @@ Variable Add(const Variable& a, const Variable& b) {
 }
 
 Variable Sub(const Variable& a, const Variable& b) {
+  URCL_PROFILE_OP();
   Tensor value = top::Sub(a.value(), b.value());
   return Variable::MakeOp(std::move(value), "sub", {a, b}, [a, b](const Tensor& g) {
     a.AccumulateGrad(top::ReduceTo(g, a.shape()));
@@ -30,6 +33,7 @@ Variable Sub(const Variable& a, const Variable& b) {
 }
 
 Variable Mul(const Variable& a, const Variable& b) {
+  URCL_PROFILE_OP();
   Tensor value = top::Mul(a.value(), b.value());
   return Variable::MakeOp(std::move(value), "mul", {a, b}, [a, b](const Tensor& g) {
     a.AccumulateGrad(top::ReduceTo(top::Mul(g, b.value()), a.shape()));
@@ -38,6 +42,7 @@ Variable Mul(const Variable& a, const Variable& b) {
 }
 
 Variable Div(const Variable& a, const Variable& b) {
+  URCL_PROFILE_OP();
   Tensor value = top::Div(a.value(), b.value());
   return Variable::MakeOp(std::move(value), "div", {a, b}, [a, b](const Tensor& g) {
     a.AccumulateGrad(top::ReduceTo(top::Div(g, b.value()), a.shape()));
@@ -48,11 +53,13 @@ Variable Div(const Variable& a, const Variable& b) {
 }
 
 Variable AddScalar(const Variable& a, float s) {
+  URCL_PROFILE_OP();
   return Variable::MakeOp(top::AddScalar(a.value(), s), "add_scalar", {a},
                           [a](const Tensor& g) { a.AccumulateGrad(g); });
 }
 
 Variable MulScalar(const Variable& a, float s) {
+  URCL_PROFILE_OP();
   return Variable::MakeOp(top::MulScalar(a.value(), s), "mul_scalar", {a},
                           [a, s](const Tensor& g) {
                             a.AccumulateGrad(top::MulScalar(g, s));
@@ -62,6 +69,7 @@ Variable MulScalar(const Variable& a, float s) {
 Variable Neg(const Variable& a) { return MulScalar(a, -1.0f); }
 
 Variable Exp(const Variable& a) {
+  URCL_PROFILE_OP();
   Tensor value = top::Exp(a.value());
   const Tensor saved = value;
   return Variable::MakeOp(std::move(value), "exp", {a}, [a, saved](const Tensor& g) {
@@ -70,6 +78,7 @@ Variable Exp(const Variable& a) {
 }
 
 Variable Log(const Variable& a) {
+  URCL_PROFILE_OP();
   Tensor value = top::Log(a.value());
   return Variable::MakeOp(std::move(value), "log", {a}, [a](const Tensor& g) {
     a.AccumulateGrad(top::Div(g, a.value()));
@@ -77,6 +86,7 @@ Variable Log(const Variable& a) {
 }
 
 Variable Sqrt(const Variable& a) {
+  URCL_PROFILE_OP();
   Tensor value = top::Sqrt(a.value());
   const Tensor saved = value;
   return Variable::MakeOp(std::move(value), "sqrt", {a}, [a, saved](const Tensor& g) {
@@ -85,6 +95,7 @@ Variable Sqrt(const Variable& a) {
 }
 
 Variable Abs(const Variable& a) {
+  URCL_PROFILE_OP();
   Tensor value = top::Abs(a.value());
   return Variable::MakeOp(std::move(value), "abs", {a}, [a](const Tensor& g) {
     a.AccumulateGrad(top::Mul(g, top::Sign(a.value())));
@@ -92,6 +103,7 @@ Variable Abs(const Variable& a) {
 }
 
 Variable Tanh(const Variable& a) {
+  URCL_PROFILE_OP();
   Tensor value = top::Tanh(a.value());
   const Tensor saved = value;
   return Variable::MakeOp(std::move(value), "tanh", {a}, [a, saved](const Tensor& g) {
@@ -102,6 +114,7 @@ Variable Tanh(const Variable& a) {
 }
 
 Variable Sigmoid(const Variable& a) {
+  URCL_PROFILE_OP();
   Tensor value = top::Sigmoid(a.value());
   const Tensor saved = value;
   return Variable::MakeOp(std::move(value), "sigmoid", {a},
@@ -114,6 +127,7 @@ Variable Sigmoid(const Variable& a) {
 }
 
 Variable Relu(const Variable& a) {
+  URCL_PROFILE_OP();
   Tensor value = top::Relu(a.value());
   return Variable::MakeOp(std::move(value), "relu", {a}, [a](const Tensor& g) {
     const Tensor mask =
@@ -123,6 +137,7 @@ Variable Relu(const Variable& a) {
 }
 
 Variable LeakyRelu(const Variable& a, float negative_slope) {
+  URCL_PROFILE_OP();
   Tensor value = top::Map(a.value(), [negative_slope](float x) {
     return x > 0.0f ? x : negative_slope * x;
   });
@@ -136,6 +151,7 @@ Variable LeakyRelu(const Variable& a, float negative_slope) {
 }
 
 Variable Square(const Variable& a) {
+  URCL_PROFILE_OP();
   Tensor value = top::Square(a.value());
   return Variable::MakeOp(std::move(value), "square", {a}, [a](const Tensor& g) {
     a.AccumulateGrad(top::Mul(g, top::MulScalar(a.value(), 2.0f)));
@@ -143,6 +159,7 @@ Variable Square(const Variable& a) {
 }
 
 Variable MatMul(const Variable& a, const Variable& b) {
+  URCL_PROFILE_OP();
   Tensor value = top::MatMul(a.value(), b.value());
   return Variable::MakeOp(std::move(value), "matmul", {a, b}, [a, b](const Tensor& g) {
     const Tensor da = top::MatMul(g, top::TransposeLast2(b.value()));
@@ -168,6 +185,7 @@ Shape KeepdimsShape(const Shape& in, const std::vector<int64_t>& axes) {
 }  // namespace
 
 Variable Sum(const Variable& a, const std::vector<int64_t>& axes, bool keepdims) {
+  URCL_PROFILE_OP();
   Tensor value = top::Sum(a.value(), axes, keepdims);
   const Shape kept = KeepdimsShape(a.shape(), axes);
   return Variable::MakeOp(std::move(value), "sum", {a},
@@ -177,6 +195,7 @@ Variable Sum(const Variable& a, const std::vector<int64_t>& axes, bool keepdims)
 }
 
 Variable Mean(const Variable& a, const std::vector<int64_t>& axes, bool keepdims) {
+  URCL_PROFILE_OP();
   Tensor value = top::Mean(a.value(), axes, keepdims);
   const Shape kept = KeepdimsShape(a.shape(), axes);
   const float scale =
@@ -189,6 +208,7 @@ Variable Mean(const Variable& a, const std::vector<int64_t>& axes, bool keepdims
 }
 
 Variable Reshape(const Variable& a, const Shape& shape) {
+  URCL_PROFILE_OP();
   Tensor value = a.value().Reshape(shape);
   const Shape original = a.shape();
   return Variable::MakeOp(std::move(value), "reshape", {a},
@@ -198,6 +218,7 @@ Variable Reshape(const Variable& a, const Shape& shape) {
 }
 
 Variable Transpose(const Variable& a, const std::vector<int64_t>& perm) {
+  URCL_PROFILE_OP();
   Tensor value = top::Transpose(a.value(), perm);
   // Inverse permutation for backward.
   std::vector<int64_t> inverse(perm.size());
@@ -212,6 +233,7 @@ Variable Transpose(const Variable& a, const std::vector<int64_t>& perm) {
 
 Variable Slice(const Variable& a, const std::vector<int64_t>& starts,
                const std::vector<int64_t>& sizes) {
+  URCL_PROFILE_OP();
   Tensor value = top::Slice(a.value(), starts, sizes);
   const Shape full = a.shape();
   return Variable::MakeOp(std::move(value), "slice", {a},
@@ -221,6 +243,7 @@ Variable Slice(const Variable& a, const std::vector<int64_t>& starts,
 }
 
 Variable Concat(const std::vector<Variable>& parts, int64_t axis) {
+  URCL_PROFILE_OP();
   URCL_CHECK(!parts.empty());
   std::vector<Tensor> values;
   values.reserve(parts.size());
@@ -240,6 +263,7 @@ Variable Concat(const std::vector<Variable>& parts, int64_t axis) {
 }
 
 Variable Pad(const Variable& a, int64_t axis, int64_t before, int64_t after) {
+  URCL_PROFILE_OP();
   Tensor value = top::Pad(a.value(), axis, before, after);
   const int64_t canonical = a.shape().CanonicalAxis(axis);
   return Variable::MakeOp(std::move(value), "pad", {a},
@@ -251,6 +275,7 @@ Variable Pad(const Variable& a, int64_t axis, int64_t before, int64_t after) {
 }
 
 Variable BroadcastTo(const Variable& a, const Shape& target) {
+  URCL_PROFILE_OP();
   Tensor value = top::BroadcastTo(a.value(), target);
   return Variable::MakeOp(std::move(value), "broadcast_to", {a},
                           [a](const Tensor& g) {
@@ -259,6 +284,7 @@ Variable BroadcastTo(const Variable& a, const Shape& target) {
 }
 
 Variable Softmax(const Variable& a, int64_t axis) {
+  URCL_PROFILE_OP();
   Tensor value = top::Softmax(a.value(), axis);
   const Tensor saved = value;
   const int64_t canonical = a.shape().CanonicalAxis(axis);
@@ -277,6 +303,7 @@ Variable StopGradient(const Variable& a) {
 }
 
 Variable Dropout(const Variable& a, float p, Rng& rng, bool training) {
+  URCL_PROFILE_OP();
   if (!training || p <= 0.0f) return a;
   URCL_CHECK_LT(p, 1.0f) << "dropout rate must be < 1";
   Tensor mask(a.shape());
@@ -347,6 +374,7 @@ Tensor TemporalConvForward(const Tensor& input, const Tensor& weight, int64_t di
 }  // namespace
 
 Variable TemporalConv2d(const Variable& input, const Variable& weight, int64_t dilation) {
+  URCL_PROFILE_OP();
   URCL_CHECK_EQ(input.shape().rank(), 4) << "TemporalConv2d input must be [B, C, N, T]";
   URCL_CHECK_EQ(weight.shape().rank(), 4) << "TemporalConv2d weight must be [Co, Ci, 1, K]";
   URCL_CHECK_GE(dilation, 1);

@@ -3,6 +3,8 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "common/stopwatch.h"
+#include "obs/profiler.h"
 
 namespace urcl {
 namespace autograd {
@@ -19,6 +21,16 @@ Variable Variable::MakeOp(Tensor value, std::string op_name, std::vector<Variabl
   for (const Variable& p : parents) {
     URCL_CHECK(p.IsValid()) << "op " << op_name << " received an empty Variable";
     needs_grad = needs_grad || p.requires_grad();
+  }
+  if (obs::ProfilerEnabled()) {
+    // Close the innermost URCL_PROFILE_OP interval: the elapsed time covers
+    // the op function body that computed `value`. Delegating ops (whose
+    // MakeOp runs in the inner op) attribute to the inner op's name.
+    const int64_t ns = obs::internal::PopForwardStart();
+    if (ns >= 0) {
+      obs::internal::RecordForward(
+          op_name, ns, static_cast<uint64_t>(value.NumElements()) * sizeof(float));
+    }
   }
   Variable out(std::move(value), needs_grad);
   out.node_->op_name = std::move(op_name);
@@ -114,10 +126,20 @@ void Variable::BackwardWithSeed(const Tensor& seed) {
   }
 
   AccumulateGrad(seed);
+  const bool profiled = obs::ProfilerEnabled();
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     internal::Node* node = *it;
     if (!node->backward_fn || !node->has_grad) continue;
-    node->backward_fn(node->grad);
+    if (profiled) {
+      const int64_t start_ticks = obs::internal::ProfileTicksNow();
+      node->backward_fn(node->grad);
+      obs::internal::RecordBackward(
+          node->op_name,
+          obs::internal::TicksToNs(obs::internal::ProfileTicksNow() - start_ticks),
+          static_cast<uint64_t>(node->grad.NumElements()) * sizeof(float));
+    } else {
+      node->backward_fn(node->grad);
+    }
   }
 }
 

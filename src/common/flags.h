@@ -26,9 +26,12 @@ class Flags {
 };
 
 // Applies flags that configure the process-wide runtime: `--threads N` sets
-// the compute thread count (runtime::SetNumThreads), and the URCL_FAULT env
-// var arms the fault-injection harness (common/fault_injector.h). Call once
-// at startup in any binary that accepts flags; a no-op when neither is set.
+// the compute thread count (runtime::SetNumThreads), the URCL_FAULT env var
+// arms the fault-injection harness (common/fault_injector.h), and the
+// observability layer is configured from URCL_OBS plus `--metrics-out`,
+// `--trace-out` and `--profile-out` (each enables its subsystem and sets the
+// file obs::WriteConfiguredOutputs() writes at exit). Call once at startup in
+// any binary that accepts flags; a no-op when nothing is set.
 void ApplyRuntimeFlags(const Flags& flags);
 
 }  // namespace urcl

@@ -1,30 +1,43 @@
-// Wall-clock stopwatch used by the efficiency experiments (Fig. 7).
+// Wall-clock stopwatch used by the efficiency experiments (Fig. 7) and the
+// observability layer. MonotonicNowNs() is the process's single clock source:
+// tracing spans, metrics timestamps, the autograd profiler and the Fig. 7
+// timings all read the same monotonic nanosecond counter, so a span in a
+// Chrome trace and a seconds column in an experiment table agree.
 #ifndef URCL_COMMON_STOPWATCH_H_
 #define URCL_COMMON_STOPWATCH_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace urcl {
+
+// Monotonic (steady-clock) nanoseconds since an arbitrary epoch.
+inline int64_t MonotonicNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 // Measures elapsed wall-clock time; Restart() returns the lap in seconds.
 class Stopwatch {
  public:
-  Stopwatch() : start_(Clock::now()) {}
+  Stopwatch() : start_ns_(MonotonicNowNs()) {}
+
+  // Monotonic nanoseconds since construction or the last Restart().
+  int64_t ElapsedNs() const { return MonotonicNowNs() - start_ns_; }
 
   // Seconds since construction or the last Restart().
-  double ElapsedSeconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
-  }
+  double ElapsedSeconds() const { return static_cast<double>(ElapsedNs()) * 1e-9; }
 
   double Restart() {
-    const double elapsed = ElapsedSeconds();
-    start_ = Clock::now();
+    const int64_t now = MonotonicNowNs();
+    const double elapsed = static_cast<double>(now - start_ns_) * 1e-9;
+    start_ns_ = now;
     return elapsed;
   }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  int64_t start_ns_;
 };
 
 }  // namespace urcl

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 #include "tensor/tensor_ops.h"
 
 namespace urcl {
@@ -30,9 +31,16 @@ bool PageHinkleyDetector::Update(float value) {
   // Cumulative deviation above the mean (minus the tolerated delta).
   cumulative_ += value - mean_ - config_.delta;
   minimum_ = std::min(minimum_, cumulative_);
+  const bool metrics = obs::MetricsEnabled();
+  if (metrics) {
+    auto& registry = obs::MetricsRegistry::Get();
+    registry.GetCounter("urcl.drift.samples").Add(1);
+    registry.GetGauge("urcl.drift.cumulative").Set(cumulative_ - minimum_);
+  }
   if (count_ < config_.warmup) return false;
   if (cumulative_ - minimum_ > config_.threshold) {
     Reset();
+    if (metrics) obs::MetricsRegistry::Get().GetCounter("urcl.drift.alarms").Add(1);
     return true;
   }
   return false;
@@ -79,6 +87,9 @@ void OnlineLearner::Retrain() {
   trainer_->TrainStage(chunk, config_.retrain_epochs);
   trained_ = true;
   ++retrain_count_;
+  if (obs::MetricsEnabled()) {
+    obs::MetricsRegistry::Get().GetCounter("urcl.drift.retrains").Add(1);
+  }
 }
 
 bool OnlineLearner::Ingest(const Tensor& observation) {

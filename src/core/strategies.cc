@@ -65,6 +65,11 @@ std::vector<StageResult> RunContinualProtocol(StPredictor& model,
     }
     result.infer_seconds_per_observation =
         observations > 0 ? eval_timer.ElapsedSeconds() / static_cast<double>(observations) : 0.0;
+    if (options.epoch_log) {
+      for (size_t e = 0; e < result.epoch_losses.size(); ++e) {
+        options.epoch_log(i, static_cast<int64_t>(e), result.epoch_losses[e], result);
+      }
+    }
     results.push_back(std::move(result));
   }
   return results;

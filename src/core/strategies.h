@@ -5,6 +5,8 @@
 #ifndef URCL_CORE_STRATEGIES_H_
 #define URCL_CORE_STRATEGIES_H_
 
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -47,6 +49,13 @@ struct ProtocolOptions {
   // stage's val split (max epochs_per_stage epochs, this patience).
   int64_t early_stopping_patience = 0;
   int64_t eval_batch_size = 16;
+  // Structured-log hook: invoked once per trained epoch after the stage's
+  // evaluation completes, with the epoch's mean training loss and the
+  // finished StageResult (whose metrics/timings are the stage-end snapshot).
+  // The examples wire this to a JSONL writer behind --log-jsonl.
+  std::function<void(int64_t stage_index, int64_t epoch, float epoch_loss,
+                     const StageResult& stage)>
+      epoch_log;
 };
 
 // Runs the protocol over every stage of `stream`; returns one result per

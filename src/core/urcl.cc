@@ -10,14 +10,56 @@
 #include "autograd/ops.h"
 #include "common/check.h"
 #include "common/fault_injector.h"
+#include "common/stopwatch.h"
 #include "core/stmixup.h"
 #include "nn/loss.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/tensor_ops.h"
 
 namespace urcl {
 namespace core {
 
 namespace ag = ::urcl::autograd;
+
+namespace {
+
+// Registry handles for the trainer's metrics, resolved once and gated on
+// obs::MetricsEnabled() at every use site.
+struct TrainerMetrics {
+  obs::Counter& steps;
+  obs::Counter& quarantined_input;
+  obs::Counter& quarantined_loss;
+  obs::Counter& quarantined_grad;
+  obs::Gauge& last_loss;
+  obs::Histogram& step_ns;
+  obs::Counter& rmir_refreshes;
+  obs::Histogram& rmir_interference;
+  obs::Counter& checkpoint_writes;
+  obs::Histogram& checkpoint_write_seconds;
+};
+
+TrainerMetrics& Metrics() {
+  auto& registry = obs::MetricsRegistry::Get();
+  static TrainerMetrics* metrics = new TrainerMetrics{
+      registry.GetCounter("urcl.trainer.steps"),
+      registry.GetCounter("urcl.trainer.quarantined_input"),
+      registry.GetCounter("urcl.trainer.quarantined_loss"),
+      registry.GetCounter("urcl.trainer.quarantined_grad"),
+      registry.GetGauge("urcl.trainer.last_loss"),
+      registry.GetHistogram("urcl.trainer.step_ns",
+                            obs::ExponentialBuckets(65536, 4, 12)),
+      registry.GetCounter("urcl.rmir.refreshes"),
+      registry.GetHistogram("urcl.rmir.interference",
+                            {-1.0, -0.1, -0.01, 0.0, 0.01, 0.1, 1.0, 10.0}),
+      registry.GetCounter("urcl.checkpoint.writes"),
+      registry.GetHistogram("urcl.checkpoint.write_seconds",
+                            obs::ExponentialBuckets(1e-4, 4, 10)),
+  };
+  return *metrics;
+}
+
+}  // namespace
 
 std::vector<std::string> UrclConfig::Validate() const {
   std::vector<std::string> errors;
@@ -102,6 +144,7 @@ UrclTrainer::ReplayDraw UrclTrainer::DrawReplaySamples(const Tensor& current_inp
                                                        const Tensor& current_targets) {
   ReplayDraw draw;
   if (!config_.enable_replay || buffer_.size() < config_.replay_sample_count) return draw;
+  URCL_TRACE_SCOPE("rmir_draw");
 
   std::vector<int64_t> selected;
   if (!config_.enable_rmir) {
@@ -136,6 +179,14 @@ UrclTrainer::ReplayDraw UrclTrainer::DrawReplaySamples(const Tensor& current_inp
     for (size_t i = 0; i < params.size(); ++i) params[i].SetValue(snapshot[i]);
     for (const Variable& p : params) p.ZeroGrad();
 
+    if (obs::MetricsEnabled()) {
+      TrainerMetrics& m = Metrics();
+      m.rmir_refreshes.Add(1);
+      for (size_t i = 0; i < scan.size(); ++i) {
+        m.rmir_interference.Observe(static_cast<double>(after[i] - before[i]));
+      }
+    }
+
     // 2+3. Rank by interference, re-rank by Pearson similarity (Sec. IV-B1).
     std::vector<float> interference(static_cast<size_t>(buffer_.size()),
                                     -std::numeric_limits<float>::infinity());
@@ -160,12 +211,16 @@ UrclTrainer::ReplayDraw UrclTrainer::DrawReplaySamples(const Tensor& current_inp
 }
 
 std::optional<float> UrclTrainer::TrainStep(const Tensor& inputs, const Tensor& targets) {
+  URCL_TRACE_SCOPE("train_step");
+  const bool metrics = obs::MetricsEnabled();
+  const int64_t step_start_ns = metrics ? MonotonicNowNs() : 0;
   model_->SetTraining(true);
 
   // Quarantine gate 1: corrupted sensor readings (NaN/Inf cells, dropped
   // sensors) never reach the model or the replay buffer.
   if (!inputs.AllFinite() || !targets.AllFinite()) {
     ++quarantined_batches_;
+    if (metrics) Metrics().quarantined_input.Add(1);
     std::fprintf(stderr,
                  "[urcl] quarantined batch at stage %lld step %lld: non-finite input readings\n",
                  static_cast<long long>(current_stage_), static_cast<long long>(step_count_));
@@ -185,27 +240,32 @@ std::optional<float> UrclTrainer::TrainStep(const Tensor& inputs, const Tensor& 
   }
 
   // Prediction branch (Eq. 17, 28).
-  Variable x(mixed.inputs, /*requires_grad=*/false);
-  Variable y(mixed.targets, /*requires_grad=*/false);
-  Variable task_loss = nn::MaeLoss(model_->Forward(x, adjacency_), y);
+  Variable total_loss;
+  {
+    URCL_TRACE_SCOPE("forward");
+    Variable x(mixed.inputs, /*requires_grad=*/false);
+    Variable y(mixed.targets, /*requires_grad=*/false);
+    Variable task_loss = nn::MaeLoss(model_->Forward(x, adjacency_), y);
 
-  // STCRL branch (Sec. IV-C): two augmented views through STSimSiam.
-  Variable total_loss = task_loss;
-  if (config_.enable_ssl) {
-    augment::AugmentedView view1{mixed.inputs, adjacency_};
-    augment::AugmentedView view2{mixed.inputs, adjacency_};
-    if (config_.enable_augmentation) {
-      const auto [aug1, aug2] = augment::PickTwoDistinct(augmentations_, rng_);
-      view1 = aug1->Apply(mixed.inputs, network_, rng_);
-      view2 = aug2->Apply(mixed.inputs, network_, rng_);
+    // STCRL branch (Sec. IV-C): two augmented views through STSimSiam.
+    total_loss = task_loss;
+    if (config_.enable_ssl) {
+      augment::AugmentedView view1{mixed.inputs, adjacency_};
+      augment::AugmentedView view2{mixed.inputs, adjacency_};
+      if (config_.enable_augmentation) {
+        const auto [aug1, aug2] = augment::PickTwoDistinct(augmentations_, rng_);
+        view1 = aug1->Apply(mixed.inputs, network_, rng_);
+        view2 = aug2->Apply(mixed.inputs, network_, rng_);
+      }
+      Variable ssl_loss = model_->simsiam().Loss(view1, view2);
+      total_loss = ag::Add(task_loss, ag::MulScalar(ssl_loss, config_.ssl_weight));  // Eq. 29
     }
-    Variable ssl_loss = model_->simsiam().Loss(view1, view2);
-    total_loss = ag::Add(task_loss, ag::MulScalar(ssl_loss, config_.ssl_weight));  // Eq. 29
   }
 
   // Quarantine gate 2: a diverged/overflowed loss is not backpropagated.
   if (!nn::LossIsFinite(total_loss)) {
     ++quarantined_batches_;
+    if (metrics) Metrics().quarantined_loss.Add(1);
     std::fprintf(stderr,
                  "[urcl] quarantined batch at stage %lld step %lld: non-finite loss\n",
                  static_cast<long long>(current_stage_), static_cast<long long>(step_count_));
@@ -213,9 +273,15 @@ std::optional<float> UrclTrainer::TrainStep(const Tensor& inputs, const Tensor& 
   }
 
   optimizer_->ZeroGrad();
-  total_loss.Backward();
-  if (config_.grad_clip > 0.0f) optimizer_->ClipGradNorm(config_.grad_clip);
-  optimizer_->Step();
+  {
+    URCL_TRACE_SCOPE("backward");
+    total_loss.Backward();
+  }
+  {
+    URCL_TRACE_SCOPE("optimizer_step");
+    if (config_.grad_clip > 0.0f) optimizer_->ClipGradNorm(config_.grad_clip);
+    optimizer_->Step();
+  }
 
   // Quarantine gate 3: the optimizer's check_finite guard skipped the update
   // because a gradient overflowed (or flags a parameter that went non-finite
@@ -223,6 +289,7 @@ std::optional<float> UrclTrainer::TrainStep(const Tensor& inputs, const Tensor& 
   if (const std::optional<nn::NonFiniteReport>& report = optimizer_->last_step_report();
       report.has_value()) {
     ++quarantined_batches_;
+    if (metrics) Metrics().quarantined_grad.Add(1);
     const std::vector<std::pair<std::string, Variable>> named = model_->NamedParameters();
     const bool in_range = report->param_index >= 0 &&
                           report->param_index < static_cast<int64_t>(named.size());
@@ -251,11 +318,19 @@ std::optional<float> UrclTrainer::TrainStep(const Tensor& inputs, const Tensor& 
   }
 
   ++step_count_;
-  return total_loss.value().Item();
+  const float loss_value = total_loss.value().Item();
+  if (metrics) {
+    TrainerMetrics& m = Metrics();
+    m.steps.Add(1);
+    m.last_loss.Set(loss_value);
+    m.step_ns.Observe(static_cast<double>(MonotonicNowNs() - step_start_ns));
+  }
+  return loss_value;
 }
 
 std::vector<float> UrclTrainer::TrainStage(const data::StDataset& train, int64_t epochs) {
   URCL_CHECK_GT(epochs, 0);
+  URCL_TRACE_SCOPE("train_stage", current_stage_);
   interrupted_ = false;
   fault::FaultInjector& injector = fault::FaultInjector::Instance();
   if (injector.AtKillPoint("stage_begin")) {
@@ -312,6 +387,7 @@ std::vector<float> UrclTrainer::TrainStage(const data::StDataset& train, int64_t
 
   const int64_t schedule_size = static_cast<int64_t>(schedule.size());
   for (int64_t epoch = start_epoch; epoch < epochs; ++epoch) {
+    URCL_TRACE_SCOPE("epoch", epoch);
     const bool resumed_epoch = resuming && epoch == start_epoch;
     double loss_sum = resumed_epoch ? resume_loss_sum : 0.0;
     int64_t steps = resumed_epoch ? resume_steps : 0;
@@ -457,6 +533,8 @@ Status UrclTrainer::SaveFullCheckpoint() {
   if (checkpoint_manager_ == nullptr) {
     return Status::Error("checkpointing not enabled (call EnableCheckpointing first)");
   }
+  URCL_TRACE_SCOPE("checkpoint");
+  const Stopwatch checkpoint_timer;
   checkpoint::Container container;
 
   // "meta": schema version, config fingerprint, counters, progress cursor.
@@ -504,7 +582,13 @@ Status UrclTrainer::SaveFullCheckpoint() {
     container.Add("buffer", buf.str());
   }
 
-  return checkpoint_manager_->Save(container);
+  const Status saved = checkpoint_manager_->Save(container);
+  if (saved.ok() && obs::MetricsEnabled()) {
+    TrainerMetrics& m = Metrics();
+    m.checkpoint_writes.Add(1);
+    m.checkpoint_write_seconds.Observe(checkpoint_timer.ElapsedSeconds());
+  }
+  return saved;
 }
 
 Status UrclTrainer::RestoreFromCheckpointDir(std::string* diagnostics) {

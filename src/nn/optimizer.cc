@@ -5,6 +5,7 @@
 #include <ostream>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 #include "tensor/serialize.h"
 #include "tensor/simd.h"
 #include "tensor/tensor_ops.h"
@@ -45,8 +46,14 @@ float Optimizer::ClipGradNorm(float max_norm) {
     for (int64_t i = 0; i < g.NumElements(); ++i) total_sq += double(pg[i]) * double(pg[i]);
   }
   const float norm = static_cast<float>(std::sqrt(total_sq));
+  if (obs::MetricsEnabled()) {
+    obs::MetricsRegistry::Get().GetGauge("urcl.optimizer.grad_norm").Set(norm);
+  }
   if (!std::isfinite(norm)) return norm;
   if (norm > max_norm && norm > 0.0f) {
+    if (obs::MetricsEnabled()) {
+      obs::MetricsRegistry::Get().GetCounter("urcl.optimizer.clip_events").Add(1);
+    }
     const float scale = max_norm / norm;
     for (Variable& p : params_) {
       Tensor g = p.grad();
@@ -152,6 +159,9 @@ void Adam::Step() {
       // Skip the whole update: a partial apply would leave the moments and
       // parameters inconsistent across params.
       last_report_ = NonFiniteReport{bad, NonFiniteReport::Kind::kGradient};
+      if (obs::MetricsEnabled()) {
+        obs::MetricsRegistry::Get().GetCounter("urcl.optimizer.nonfinite_grad").Add(1);
+      }
       return;
     }
   }
@@ -206,7 +216,12 @@ void Adam::Step() {
   }
   if (config_.check_finite) {
     const int64_t bad = FirstNonFiniteParam();
-    if (bad >= 0) last_report_ = NonFiniteReport{bad, NonFiniteReport::Kind::kParameter};
+    if (bad >= 0) {
+      last_report_ = NonFiniteReport{bad, NonFiniteReport::Kind::kParameter};
+      if (obs::MetricsEnabled()) {
+        obs::MetricsRegistry::Get().GetCounter("urcl.optimizer.nonfinite_param").Add(1);
+      }
+    }
   }
 }
 

@@ -1,0 +1,58 @@
+// Tiny JSON emission helpers shared by the observability exporters (Chrome
+// trace, metrics snapshot, profiler table) and the examples' JSONL training
+// logs. Emission only — parsing lives in the tests that validate exports.
+#ifndef URCL_OBS_JSON_H_
+#define URCL_OBS_JSON_H_
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+namespace urcl {
+namespace obs {
+
+// Escapes `s` for inclusion inside a double-quoted JSON string.
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// A double formatted as a JSON number (JSON has no Inf/NaN; they become null).
+inline std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+inline std::string JsonString(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  out += JsonEscape(s);
+  out += '"';
+  return out;
+}
+
+}  // namespace obs
+}  // namespace urcl
+
+#endif  // URCL_OBS_JSON_H_

@@ -1,0 +1,195 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace urcl {
+namespace obs {
+
+Histogram::Histogram(std::string name, std::vector<double> bounds)
+    : name_(std::move(name)), bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  for (auto& shard : shards_) {
+    shard.buckets = std::vector<std::atomic<uint64_t>>(bounds_.size() + 1);
+  }
+}
+
+void Histogram::Observe(double v) {
+  // lower_bound keeps the documented (and Prometheus le) semantics: an
+  // observation equal to an edge counts into that edge's bucket.
+  const size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  Shard& shard = shards_[internal::ThreadShardIndex()];
+  shard.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  double sum = shard.sum.load(std::memory_order_relaxed);
+  while (!shard.sum.compare_exchange_weak(sum, sum + v, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::Snap() const {
+  Snapshot snap;
+  snap.bounds = bounds_;
+  snap.bucket_counts.assign(bounds_.size() + 1, 0);
+  for (const Shard& shard : shards_) {
+    for (size_t i = 0; i < shard.buckets.size(); ++i) {
+      snap.bucket_counts[i] += shard.buckets[i].load(std::memory_order_relaxed);
+    }
+    snap.sum += shard.sum.load(std::memory_order_relaxed);
+    snap.count += shard.count.load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (Shard& shard : shards_) {
+    for (auto& bucket : shard.buckets) bucket.store(0, std::memory_order_relaxed);
+    shard.sum.store(0.0, std::memory_order_relaxed);
+    shard.count.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<double> ExponentialBuckets(double start, double factor, int count) {
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<size_t>(count));
+  double edge = start;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(edge);
+    edge *= factor;
+  }
+  return bounds;
+}
+
+MetricsRegistry& MetricsRegistry::Get() {
+  static MetricsRegistry* instance = new MetricsRegistry();
+  return *instance;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>(name);
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>(name);
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(name, bounds);
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : counters_) snap.counters[name] = counter->Value();
+  for (const auto& [name, gauge] : gauges_) snap.gauges[name] = gauge->Value();
+  for (const auto& [name, histogram] : histograms_) snap.histograms[name] = histogram->Snap();
+  return snap;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  const MetricsSnapshot snap = Snapshot();
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    if (!first) out << ",";
+    first = false;
+    out << JsonString(name) << ":" << value;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    if (!first) out << ",";
+    first = false;
+    out << JsonString(name) << ":" << JsonNumber(value);
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    if (!first) out << ",";
+    first = false;
+    out << JsonString(name) << ":{\"bounds\":[";
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i > 0) out << ",";
+      out << JsonNumber(h.bounds[i]);
+    }
+    out << "],\"counts\":[";
+    for (size_t i = 0; i < h.bucket_counts.size(); ++i) {
+      if (i > 0) out << ",";
+      out << h.bucket_counts[i];
+    }
+    out << "],\"sum\":" << JsonNumber(h.sum) << ",\"count\":" << h.count << "}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+namespace {
+
+// Prometheus metric names allow [a-zA-Z0-9_:]; the registry's dotted names
+// map '.' and '-' to '_'.
+std::string PromName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+std::string PromDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToPrometheus() const {
+  const MetricsSnapshot snap = Snapshot();
+  std::ostringstream out;
+  for (const auto& [name, value] : snap.counters) {
+    const std::string prom = PromName(name);
+    out << "# TYPE " << prom << " counter\n" << prom << " " << value << "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string prom = PromName(name);
+    out << "# TYPE " << prom << " gauge\n" << prom << " " << PromDouble(value) << "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string prom = PromName(name);
+    out << "# TYPE " << prom << " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += h.bucket_counts[i];
+      out << prom << "_bucket{le=\"" << PromDouble(h.bounds[i]) << "\"} " << cumulative
+          << "\n";
+    }
+    out << prom << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+    out << prom << "_sum " << PromDouble(h.sum) << "\n";
+    out << prom << "_count " << h.count << "\n";
+  }
+  return out.str();
+}
+
+void MetricsRegistry::ResetCounters() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) counter->Reset();
+  for (const auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+}  // namespace obs
+}  // namespace urcl

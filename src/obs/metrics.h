@@ -1,0 +1,181 @@
+// Thread-safe metrics registry: named counters, gauges and fixed-bucket
+// histograms, snapshotable to JSON and Prometheus text exposition format.
+//
+// Hot-path cost model:
+//  - Counter::Add / Histogram::Observe touch one relaxed atomic in a striped
+//    shard picked by a thread-local slot index, so concurrent writers from
+//    the thread pool do not bounce a shared cache line;
+//  - Gauge::Set is a relaxed store, Gauge::Add a CAS loop (gauges mirror
+//    state like live bytes, updated under the owner's own lock anyway);
+//  - registry lookups (GetCounter etc.) take a mutex and are meant for
+//    initialization: instrumentation sites cache the returned reference
+//    (the objects live for the process lifetime and are never removed).
+//
+// The registry itself is always available; whether a subsystem *publishes*
+// into it is gated by obs::MetricsEnabled() at the instrumentation site,
+// except for the always-on residents (the tensor pool's counters, which
+// predate this layer and remain the source of truth for PoolStats).
+#ifndef URCL_OBS_METRICS_H_
+#define URCL_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace urcl {
+namespace obs {
+
+namespace internal {
+
+inline constexpr size_t kShards = 8;  // power of two
+
+// Stable per-thread shard slot; distinct threads spread over the stripes.
+inline size_t ThreadShardIndex() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t index = next.fetch_add(1, std::memory_order_relaxed);
+  return index & (kShards - 1);
+}
+
+struct alignas(64) ShardCell {
+  std::atomic<uint64_t> value{0};
+};
+
+}  // namespace internal
+
+// Monotonic event count. Resettable so tests and benchmarks can measure
+// deltas over a window they control.
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  void Add(uint64_t n = 1) {
+    cells_[internal::ThreadShardIndex()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const {
+    uint64_t sum = 0;
+    for (const auto& cell : cells_) sum += cell.value.load(std::memory_order_relaxed);
+    return sum;
+  }
+  void Reset() {
+    for (auto& cell : cells_) cell.value.store(0, std::memory_order_relaxed);
+  }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::array<internal::ShardCell, internal::kShards> cells_;
+};
+
+// Point-in-time value (occupancy, live bytes, last loss). Not reset by
+// MetricsRegistry::ResetCounters — gauges mirror state owned elsewhere.
+class Gauge {
+ public:
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::atomic<double> value_{0.0};
+};
+
+// Fixed-bucket histogram: `bounds` are inclusive upper bucket edges in
+// ascending order; an implicit +Inf bucket catches the rest.
+class Histogram {
+ public:
+  Histogram(std::string name, std::vector<double> bounds);
+
+  void Observe(double v);
+
+  struct Snapshot {
+    std::vector<double> bounds;           // upper edges, ascending
+    std::vector<uint64_t> bucket_counts;  // bounds.size() + 1 (last = +Inf)
+    double sum = 0.0;
+    uint64_t count = 0;
+  };
+  Snapshot Snap() const;
+  void Reset();
+
+  const std::string& name() const { return name_; }
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  struct alignas(64) Shard {
+    std::vector<std::atomic<uint64_t>> buckets;
+    std::atomic<double> sum{0.0};
+    std::atomic<uint64_t> count{0};
+  };
+
+  std::string name_;
+  std::vector<double> bounds_;
+  std::array<Shard, internal::kShards> shards_;
+};
+
+// Prometheus-style exponential bucket edges: start, start*factor, ... (count
+// edges). For nanosecond histograms use e.g. ExponentialBuckets(1e3, 4, 12).
+std::vector<double> ExponentialBuckets(double start, double factor, int count);
+
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, Histogram::Snapshot> histograms;
+};
+
+class MetricsRegistry {
+ public:
+  // Process-wide instance (leaked, like the BufferPool, so instrumented
+  // statics may publish during teardown).
+  static MetricsRegistry& Get();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Returns the metric with this name, creating it on first use. References
+  // stay valid for the process lifetime. A histogram's bounds are fixed by
+  // the first caller; later callers get the existing instance.
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name, const std::vector<double>& bounds);
+
+  MetricsSnapshot Snapshot() const;
+
+  // Exposition formats. JSON: {"counters":{...},"gauges":{...},
+  // "histograms":{name:{"bounds":[...],"counts":[...],"sum":s,"count":n}}}.
+  // Prometheus: text format v0.0.4 ('.' in names becomes '_').
+  std::string ToJson() const;
+  std::string ToPrometheus() const;
+
+  // Zeroes every counter and histogram (gauges mirror external state and are
+  // left alone). For stats windows in tests and benchmarks.
+  void ResetCounters();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace urcl
+
+#endif  // URCL_OBS_METRICS_H_

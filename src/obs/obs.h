@@ -1,0 +1,82 @@
+// Process-wide observability switchboard. Everything in src/obs/ — the
+// metrics registry, tracing spans and the autograd profiler — is off by
+// default and guarded by three flags that cost one relaxed atomic load to
+// test, so instrumented code paths are near-free when observability is
+// disabled.
+//
+// Enabling:
+//  - programmatically: obs::Configure({.metrics = true, ...});
+//  - URCL_OBS env var: "1"/"on"/"all" enable everything, "0"/"off" disable,
+//    or a comma list of subsystems ("metrics,trace,profile");
+//  - `--metrics-out F` / `--trace-out F` / `--profile-out F` on any binary
+//    that calls ApplyRuntimeFlags: each flag enables its subsystem and
+//    registers F to be written by WriteConfiguredOutputs().
+//
+// This library sits below everything else (it depends only on the standard
+// library and the header-only common/status.h + common/stopwatch.h), so the
+// tensor pool, the runtime thread pool and the autograd tape can all link it
+// without cycles.
+#ifndef URCL_OBS_OBS_H_
+#define URCL_OBS_OBS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace urcl {
+namespace obs {
+
+struct ObsConfig {
+  bool metrics = false;   // metrics registry export (registry always counts
+                          // the always-on residents, e.g. pool counters)
+  bool trace = false;     // URCL_TRACE_SCOPE span recording
+  bool profiler = false;  // per-op autograd profiler
+};
+
+namespace internal {
+
+// Bit flags packed into one constinit atomic so the enabled checks are a
+// single relaxed load with no static-initialization-order hazards.
+inline constexpr uint32_t kMetricsBit = 1u << 0;
+inline constexpr uint32_t kTraceBit = 1u << 1;
+inline constexpr uint32_t kProfilerBit = 1u << 2;
+inline constinit std::atomic<uint32_t> g_flags{0};
+
+}  // namespace internal
+
+inline bool MetricsEnabled() {
+  return (internal::g_flags.load(std::memory_order_relaxed) & internal::kMetricsBit) != 0;
+}
+inline bool TraceEnabled() {
+  return (internal::g_flags.load(std::memory_order_relaxed) & internal::kTraceBit) != 0;
+}
+inline bool ProfilerEnabled() {
+  return (internal::g_flags.load(std::memory_order_relaxed) & internal::kProfilerBit) != 0;
+}
+
+// Replaces the process-wide configuration.
+void Configure(const ObsConfig& config);
+ObsConfig Current();
+
+// Applies the URCL_OBS env var (no-op when unset; see the header comment for
+// the accepted grammar).
+void InitFromEnv();
+
+// Output files written by WriteConfiguredOutputs(). Setting a non-empty path
+// also enables the corresponding subsystem.
+void SetMetricsOutPath(std::string path);   // Prometheus text exposition
+void SetTraceOutPath(std::string path);     // Chrome trace_event JSON
+void SetProfileOutPath(std::string path);   // per-op profiler table (JSON)
+
+// Writes every configured output file; returns the paths written. Call at
+// the end of main (idempotent: each call rewrites the same files with the
+// current state). Errors are reported per file in *errors when non-null.
+std::vector<std::string> WriteConfiguredOutputs(std::vector<std::string>* errors = nullptr);
+
+}  // namespace obs
+}  // namespace urcl
+
+#endif  // URCL_OBS_OBS_H_

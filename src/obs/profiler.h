@@ -1,0 +1,113 @@
+// Per-op autograd profiler. Hooked into the tape at two choke points:
+//
+//  forward — each differentiable op function in autograd/ops.cc opens with
+//    URCL_PROFILE_OP(); which pushes a start timestamp onto a thread-local
+//    stack. Variable::MakeOp (the single funnel every op result passes
+//    through) pops the innermost start, so the measured interval is
+//    [op function entry, tape-node creation] — the kernel work — keyed by
+//    the op_name the tape already carries. Ops that delegate entirely to
+//    another op (Neg -> MulScalar) attribute their time to the inner op;
+//    the timer RAII unwinds any start its MakeOp never consumed, so early
+//    returns (e.g. Dropout's identity path) cannot corrupt the stack.
+//
+//  backward — Variable::BackwardWithSeed times each node's backward closure
+//    directly; no per-op changes needed.
+//
+// Records aggregate per op *type* (per-thread shards merged at snapshot):
+// wall ns, call count and output bytes, for each direction.
+#ifndef URCL_OBS_PROFILER_H_
+#define URCL_OBS_PROFILER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/stopwatch.h"
+#include "obs/obs.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <x86intrin.h>
+#endif
+
+namespace urcl {
+namespace obs {
+
+struct OpProfile {
+  uint64_t forward_calls = 0;
+  int64_t forward_ns = 0;
+  uint64_t forward_bytes = 0;  // bytes of op outputs (value tensors)
+  uint64_t backward_calls = 0;
+  int64_t backward_ns = 0;
+  uint64_t backward_bytes = 0;  // bytes of upstream gradients consumed
+};
+
+namespace internal {
+
+// Fast timestamp for the per-op hot path: raw TSC ticks on x86-64 (a few ns
+// per read; converted to wall ns through a one-time calibration against
+// MonotonicNowNs), plain monotonic ns elsewhere (TicksToNs is then the
+// identity). A clock_gettime pair per op is most of a profiler's overhead at
+// ~1.3k records per train step, which is what this dodges.
+inline int64_t ProfileTicksNow() {
+#if defined(__x86_64__) || defined(_M_X64)
+  return static_cast<int64_t>(__rdtsc());
+#else
+  return MonotonicNowNs();
+#endif
+}
+// Converts a tick interval to nanoseconds (first call calibrates, ~2ms).
+int64_t TicksToNs(int64_t ticks);
+
+// Thread-local stack of forward start timestamps, in ProfileTicksNow units
+// (see header comment).
+void PushForwardStart(int64_t start_ticks);
+// Pops the innermost start and returns elapsed ns; -1 when the stack is
+// empty (MakeOp called outside any URCL_PROFILE_OP scope).
+int64_t PopForwardStart();
+// Unwinds the stack to `depth` (timer RAII cleanup).
+void UnwindForwardStarts(size_t depth);
+size_t ForwardStackDepth();
+
+void RecordForward(const std::string& op_name, int64_t ns, uint64_t bytes);
+void RecordBackward(const std::string& op_name, int64_t ns, uint64_t bytes);
+
+}  // namespace internal
+
+// RAII used via URCL_PROFILE_OP() at the top of each autograd op function.
+class OpTimer {
+ public:
+  OpTimer() {
+    if (ProfilerEnabled()) {
+      armed_ = true;
+      depth_ = internal::ForwardStackDepth();
+      internal::PushForwardStart(internal::ProfileTicksNow());
+    }
+  }
+  ~OpTimer() {
+    if (armed_) internal::UnwindForwardStarts(depth_);
+  }
+
+  OpTimer(const OpTimer&) = delete;
+  OpTimer& operator=(const OpTimer&) = delete;
+
+ private:
+  bool armed_ = false;
+  size_t depth_ = 0;
+};
+
+#define URCL_PROFILE_OP() ::urcl::obs::OpTimer urcl_profile_op_timer_
+
+// Aggregated per-op-type table, merged across threads, op name ascending.
+std::map<std::string, OpProfile> ProfilerSnapshot();
+void ResetProfiler();
+
+// Human-readable table (op, calls, total ms, mean us, MB moved, fwd/bwd).
+std::string ProfilerTable();
+// JSON: {"ops":{"matmul":{"forward":{"calls":..,"ns":..,"bytes":..},
+// "backward":{...}}, ...}}
+std::string ProfilerJson();
+
+}  // namespace obs
+}  // namespace urcl
+
+#endif  // URCL_OBS_PROFILER_H_

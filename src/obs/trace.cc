@@ -1,0 +1,185 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace urcl {
+namespace obs {
+namespace {
+
+using internal::TraceEvent;
+
+struct TraceRing {
+  explicit TraceRing(int tid_in, size_t capacity)
+      : tid(tid_in), events(capacity) {}
+
+  const int tid;
+  std::mutex mu;
+  std::vector<TraceEvent> events;  // ring storage
+  size_t next = 0;                 // write cursor
+  size_t size = 0;                 // valid events (<= events.size())
+  uint64_t dropped = 0;            // overwritten events
+  std::string thread_name;
+};
+
+struct TraceState {
+  std::mutex mu;
+  std::vector<std::shared_ptr<TraceRing>> rings;
+  size_t ring_capacity = 65536;
+  int64_t epoch_ns = 0;  // ts origin; first registration wins
+};
+
+TraceState& State() {
+  static TraceState* state = new TraceState();
+  return *state;
+}
+
+// The calling thread's ring, created and registered on first use. The
+// thread_local shared_ptr keeps the ring alive per-thread; the global list
+// keeps it alive (and exportable) after the thread exits.
+TraceRing& ThisThreadRing() {
+  thread_local std::shared_ptr<TraceRing> ring = [] {
+    TraceState& state = State();
+    std::lock_guard<std::mutex> lock(state.mu);
+    if (state.rings.empty()) state.epoch_ns = MonotonicNowNs();
+    auto created = std::make_shared<TraceRing>(static_cast<int>(state.rings.size()),
+                                               state.ring_capacity);
+    state.rings.push_back(created);
+    return created;
+  }();
+  return *ring;
+}
+
+}  // namespace
+
+namespace internal {
+
+void RecordSpan(const char* name, int64_t begin_ns, int64_t end_ns) {
+  TraceRing& ring = ThisThreadRing();
+  std::lock_guard<std::mutex> lock(ring.mu);
+  if (ring.events.empty()) return;
+  TraceEvent& slot = ring.events[ring.next];
+  std::strncpy(slot.name, name, sizeof(slot.name) - 1);
+  slot.name[sizeof(slot.name) - 1] = '\0';
+  slot.begin_ns = begin_ns;
+  slot.end_ns = end_ns;
+  ring.next = (ring.next + 1) % ring.events.size();
+  if (ring.size < ring.events.size()) {
+    ++ring.size;
+  } else {
+    ++ring.dropped;
+  }
+}
+
+}  // namespace internal
+
+void TraceScope::SetName(const char* name, int64_t index) {
+  if (index < 0) {
+    std::strncpy(name_, name, sizeof(name_) - 1);
+    name_[sizeof(name_) - 1] = '\0';
+  } else {
+    std::snprintf(name_, sizeof(name_), "%s_%lld", name, static_cast<long long>(index));
+  }
+}
+
+void SetThreadName(const std::string& name) {
+  TraceRing& ring = ThisThreadRing();
+  std::lock_guard<std::mutex> lock(ring.mu);
+  ring.thread_name = name;
+}
+
+void SetTraceRingCapacity(size_t events) {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.ring_capacity = events;
+}
+
+std::string ChromeTraceJson() {
+  TraceState& state = State();
+  std::vector<std::shared_ptr<TraceRing>> rings;
+  int64_t epoch_ns = 0;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    rings = state.rings;
+    epoch_ns = state.epoch_ns;
+  }
+
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  uint64_t total_dropped = 0;
+  for (const auto& ring : rings) {
+    std::lock_guard<std::mutex> lock(ring->mu);
+    const std::string thread_name =
+        ring->thread_name.empty() ? "thread-" + std::to_string(ring->tid)
+                                  : ring->thread_name;
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << ring->tid
+        << ",\"args\":{\"name\":" << JsonString(thread_name) << "}}";
+    // Oldest-first walk of the ring.
+    const size_t capacity = ring->events.size();
+    const size_t start = (ring->next + capacity - ring->size) % (capacity == 0 ? 1 : capacity);
+    for (size_t i = 0; i < ring->size; ++i) {
+      const TraceEvent& event = ring->events[(start + i) % capacity];
+      const double ts_us = static_cast<double>(event.begin_ns - epoch_ns) / 1000.0;
+      const double dur_us = static_cast<double>(event.end_ns - event.begin_ns) / 1000.0;
+      out << ",{\"name\":" << JsonString(event.name)
+          << ",\"cat\":\"urcl\",\"ph\":\"X\",\"ts\":" << JsonNumber(ts_us)
+          << ",\"dur\":" << JsonNumber(dur_us) << ",\"pid\":1,\"tid\":" << ring->tid << "}";
+    }
+    total_dropped += ring->dropped;
+  }
+  out << "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_events\":"
+      << total_dropped << "}}";
+  return out.str();
+}
+
+Status WriteChromeTrace(const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::Error("cannot open trace output file: " + path);
+  out << ChromeTraceJson();
+  out.flush();
+  if (!out) return Status::Error("failed writing trace output file: " + path);
+  return Status::Ok();
+}
+
+size_t TraceEventCount() {
+  TraceState& state = State();
+  std::vector<std::shared_ptr<TraceRing>> rings;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    rings = state.rings;
+  }
+  size_t total = 0;
+  for (const auto& ring : rings) {
+    std::lock_guard<std::mutex> lock(ring->mu);
+    total += ring->size;
+  }
+  return total;
+}
+
+void ClearTrace() {
+  TraceState& state = State();
+  std::vector<std::shared_ptr<TraceRing>> rings;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    rings = state.rings;
+  }
+  for (const auto& ring : rings) {
+    std::lock_guard<std::mutex> lock(ring->mu);
+    ring->next = 0;
+    ring->size = 0;
+    ring->dropped = 0;
+  }
+}
+
+}  // namespace obs
+}  // namespace urcl

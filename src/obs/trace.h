@@ -1,0 +1,106 @@
+// Scoped tracing spans recorded into per-thread ring buffers and exported as
+// Chrome trace_event JSON (open chrome://tracing or https://ui.perfetto.dev
+// and load the file).
+//
+//   URCL_TRACE_SCOPE("train_step");        // span = enclosing C++ scope
+//   URCL_TRACE_SCOPE("stage", stage_idx);  // named "stage_3"
+//
+// Design:
+//  - each thread owns a fixed-capacity ring of completed spans (oldest
+//    events are overwritten when a thread outruns the ring; the drop count
+//    is exported so truncated traces are detectable);
+//  - a span records nothing at open; the {name, begin, end} triple is
+//    written once at close, so disabled-mode cost is one relaxed atomic
+//    load and an untaken branch;
+//  - rings are registered globally (shared_ptr, so a finished thread's
+//    events survive it) and drained by ChromeTraceJson(); per-ring mutexes
+//    make the hammering-writers-vs-exporter race TSan-clean;
+//  - timestamps come from MonotonicNowNs() (common/stopwatch.h), the same
+//    clock the Fig. 7 efficiency experiments use, normalized to the first
+//    ring registration so trace timestamps start near zero.
+#ifndef URCL_OBS_TRACE_H_
+#define URCL_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "obs/obs.h"
+
+namespace urcl {
+namespace obs {
+
+namespace internal {
+
+inline constexpr size_t kTraceNameCapacity = 48;
+struct TraceEvent {
+  char name[kTraceNameCapacity];
+  int64_t begin_ns;
+  int64_t end_ns;
+};
+
+// Appends one completed span to the calling thread's ring.
+void RecordSpan(const char* name, int64_t begin_ns, int64_t end_ns);
+
+}  // namespace internal
+
+// RAII span. Construction with tracing disabled records nothing (and the
+// destructor is a single branch).
+class TraceScope {
+ public:
+  explicit TraceScope(const char* name) {
+    if (TraceEnabled()) {
+      SetName(name, -1);
+      begin_ns_ = MonotonicNowNs();
+    }
+  }
+  // Span named "<name>_<index>" (e.g. URCL_TRACE_SCOPE("epoch", 2)).
+  TraceScope(const char* name, int64_t index) {
+    if (TraceEnabled()) {
+      SetName(name, index);
+      begin_ns_ = MonotonicNowNs();
+    }
+  }
+  ~TraceScope() {
+    if (begin_ns_ >= 0) internal::RecordSpan(name_, begin_ns_, MonotonicNowNs());
+  }
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  void SetName(const char* name, int64_t index);
+
+  int64_t begin_ns_ = -1;  // -1 = disabled at construction
+  char name_[internal::kTraceNameCapacity];
+};
+
+#define URCL_OBS_CONCAT_INNER(a, b) a##b
+#define URCL_OBS_CONCAT(a, b) URCL_OBS_CONCAT_INNER(a, b)
+#define URCL_TRACE_SCOPE(...) \
+  ::urcl::obs::TraceScope URCL_OBS_CONCAT(urcl_trace_scope_, __LINE__)(__VA_ARGS__)
+
+// Names the calling thread in exported traces (e.g. "worker-2"); threads
+// that never call this appear as "thread-<tid>".
+void SetThreadName(const std::string& name);
+
+// Per-thread ring capacity in events; affects rings created afterwards.
+// Default 65536. Exposed for tests exercising overflow.
+void SetTraceRingCapacity(size_t events);
+
+// Serializes every ring into Chrome trace_event JSON ("X" complete events,
+// microsecond timestamps, one tid per registered thread, plus thread_name
+// metadata and per-thread dropped-event counts in "otherData").
+std::string ChromeTraceJson();
+Status WriteChromeTrace(const std::string& path);
+
+// Total completed spans currently buffered across all rings.
+size_t TraceEventCount();
+// Empties every ring (capacity and thread registrations are kept).
+void ClearTrace();
+
+}  // namespace obs
+}  // namespace urcl
+
+#endif  // URCL_OBS_TRACE_H_

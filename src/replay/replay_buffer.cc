@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 #include "tensor/serialize.h"
 #include "tensor/tensor_ops.h"
 
@@ -25,21 +26,26 @@ void ReplayBuffer::Add(ReplayItem item) {
     URCL_CHECK(item.targets.shape() == items_.front().targets.shape());
   }
   ++inserted_;
+  const int64_t evictions_before = evictions_;
   if (size() < capacity_) {
     items_.push_back(std::move(item));
-    return;
-  }
-  if (policy_ == BufferPolicy::kFifo) {
+  } else if (policy_ == BufferPolicy::kFifo) {
     items_.pop_front();
     ++evictions_;
     items_.push_back(std::move(item));
-    return;
+  } else {
+    // Reservoir: keep each ever-inserted item with probability capacity/seen.
+    const int64_t slot = rng_.UniformInt(0, inserted_ - 1);
+    if (slot < capacity_) {
+      items_[static_cast<size_t>(slot)] = std::move(item);
+      ++evictions_;
+    }
   }
-  // Reservoir: keep each ever-inserted item with probability capacity/seen.
-  const int64_t slot = rng_.UniformInt(0, inserted_ - 1);
-  if (slot < capacity_) {
-    items_[static_cast<size_t>(slot)] = std::move(item);
-    ++evictions_;
+  if (obs::MetricsEnabled()) {
+    auto& registry = obs::MetricsRegistry::Get();
+    registry.GetCounter("urcl.replay.added").Add(1);
+    if (evictions_ != evictions_before) registry.GetCounter("urcl.replay.evicted").Add(1);
+    registry.GetGauge("urcl.replay.size").Set(static_cast<double>(size()));
   }
 }
 

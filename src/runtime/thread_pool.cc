@@ -1,13 +1,45 @@
 #include "runtime/thread_pool.h"
 
+#include <string>
+
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace urcl {
 namespace runtime {
+namespace {
+
+// Registry handles for the pool's metrics, resolved once. Updates are gated
+// on obs::MetricsEnabled() so a disabled build pays one relaxed load per
+// region.
+struct RuntimeMetrics {
+  obs::Counter& regions;
+  obs::Counter& chunks;
+  obs::Histogram& region_ns;
+  obs::Histogram& wake_delay_ns;
+};
+
+RuntimeMetrics& Metrics() {
+  auto& registry = obs::MetricsRegistry::Get();
+  static RuntimeMetrics* metrics = new RuntimeMetrics{
+      registry.GetCounter("urcl.runtime.parallel_regions"),
+      registry.GetCounter("urcl.runtime.chunks"),
+      registry.GetHistogram("urcl.runtime.region_ns",
+                            obs::ExponentialBuckets(1024, 4, 12)),
+      registry.GetHistogram("urcl.runtime.wake_delay_ns",
+                            obs::ExponentialBuckets(256, 4, 12)),
+  };
+  return *metrics;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   const int worker_count = num_threads > 1 ? num_threads - 1 : 0;
   workers_.reserve(static_cast<size_t>(worker_count));
   for (int i = 0; i < worker_count; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -35,14 +67,27 @@ void ThreadPool::DrainChunks() {
   }
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(int worker_index) {
   uint64_t seen_generation = 0;
+  bool named = false;
   for (;;) {
+    int64_t region_start_ns = 0;
     {
       std::unique_lock<std::mutex> lock(mu_);
       start_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen_generation; });
       if (shutdown_) return;
       seen_generation = generation_;
+      region_start_ns = region_start_ns_;
+    }
+    // Lazily label this thread in the trace once tracing is actually on, so
+    // idle workers never allocate a trace ring.
+    if (!named && obs::TraceEnabled()) {
+      obs::SetThreadName("worker-" + std::to_string(worker_index));
+      named = true;
+    }
+    if (region_start_ns != 0 && obs::MetricsEnabled()) {
+      Metrics().wake_delay_ns.Observe(
+          static_cast<double>(MonotonicNowNs() - region_start_ns));
     }
     DrainChunks();
     {
@@ -55,9 +100,17 @@ void ThreadPool::WorkerLoop() {
 
 void ThreadPool::Run(int64_t num_chunks, const std::function<void(int64_t)>& chunk_fn) {
   if (num_chunks <= 0) return;
+  const bool metrics = obs::MetricsEnabled();
+  const int64_t start_ns = metrics ? MonotonicNowNs() : 0;
   if (workers_.empty()) {
     // Serial pool: same chunks, caller's thread, exceptions propagate as-is.
     for (int64_t chunk = 0; chunk < num_chunks; ++chunk) chunk_fn(chunk);
+    if (metrics) {
+      RuntimeMetrics& m = Metrics();
+      m.regions.Add(1);
+      m.chunks.Add(static_cast<uint64_t>(num_chunks));
+      m.region_ns.Observe(static_cast<double>(MonotonicNowNs() - start_ns));
+    }
     return;
   }
   {
@@ -68,6 +121,7 @@ void ThreadPool::Run(int64_t num_chunks, const std::function<void(int64_t)>& chu
     failed_.store(false, std::memory_order_relaxed);
     error_ = nullptr;
     busy_workers_ = static_cast<int>(workers_.size());
+    region_start_ns_ = start_ns;
     ++generation_;
   }
   start_cv_.notify_all();
@@ -80,6 +134,13 @@ void ThreadPool::Run(int64_t num_chunks, const std::function<void(int64_t)>& chu
     error_ = nullptr;
     lock.unlock();
     std::rethrow_exception(error);
+  }
+  lock.unlock();
+  if (metrics) {
+    RuntimeMetrics& m = Metrics();
+    m.regions.Add(1);
+    m.chunks.Add(static_cast<uint64_t>(num_chunks));
+    m.region_ns.Observe(static_cast<double>(MonotonicNowNs() - start_ns));
   }
 }
 

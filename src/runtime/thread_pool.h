@@ -40,7 +40,7 @@ class ThreadPool {
   void Run(int64_t num_chunks, const std::function<void(int64_t)>& chunk_fn);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop(int worker_index);
   void DrainChunks();
 
   std::vector<std::thread> workers_;
@@ -55,6 +55,9 @@ class ThreadPool {
   // State of the active region; written under mu_ before workers are woken.
   const std::function<void(int64_t)>* chunk_fn_ = nullptr;
   int64_t num_chunks_ = 0;
+  // Region submission timestamp (0 when metrics are off); workers observe
+  // now - region_start_ns_ as their wake-up latency.
+  int64_t region_start_ns_ = 0;
   std::atomic<int64_t> next_chunk_{0};
   std::atomic<bool> failed_{false};
   std::exception_ptr error_;

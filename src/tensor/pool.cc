@@ -32,7 +32,15 @@ BufferPool& BufferPool::Get() {
   return *instance;
 }
 
-BufferPool::BufferPool() : capacity_bytes_(kDefaultCapacityBytes), enabled_(true) {
+BufferPool::BufferPool()
+    : hits_(obs::MetricsRegistry::Get().GetCounter("urcl.pool.hits")),
+      misses_(obs::MetricsRegistry::Get().GetCounter("urcl.pool.misses")),
+      returns_(obs::MetricsRegistry::Get().GetCounter("urcl.pool.returns")),
+      trims_(obs::MetricsRegistry::Get().GetCounter("urcl.pool.trims")),
+      live_bytes_(obs::MetricsRegistry::Get().GetGauge("urcl.pool.live_bytes")),
+      pooled_bytes_(obs::MetricsRegistry::Get().GetGauge("urcl.pool.pooled_bytes")),
+      capacity_bytes_(kDefaultCapacityBytes),
+      enabled_(true) {
   if (const char* env = std::getenv("URCL_POOL")) enabled_ = ParseEnabled(env);
   if (const char* env = std::getenv("URCL_POOL_CAP_MB")) {
     char* end = nullptr;
@@ -62,12 +70,12 @@ std::shared_ptr<float> BufferPool::Acquire(int64_t count, bool zero_fill) {
       ptr = list.back();
       list.pop_back();
       pooled = true;
-      ++stats_.hits;
-      stats_.pooled_bytes -= bytes;
+      hits_.Add(1);
+      pooled_bytes_.Add(-static_cast<double>(bytes));
     } else {
-      ++stats_.misses;
+      misses_.Add(1);
     }
-    stats_.live_bytes += bytes;
+    live_bytes_.Add(static_cast<double>(bytes));
   }
   if (!pooled) {
     // Class bytes are a multiple of the alignment, as aligned_alloc requires.
@@ -87,14 +95,15 @@ void BufferPool::Release(float* ptr, int size_class) {
   bool cache = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    stats_.live_bytes -= bytes;
-    if (enabled_ && stats_.pooled_bytes + bytes <= capacity_bytes_) {
+    live_bytes_.Add(-static_cast<double>(bytes));
+    if (enabled_ &&
+        static_cast<uint64_t>(pooled_bytes_.Value()) + bytes <= capacity_bytes_) {
       free_lists_[static_cast<size_t>(size_class)].push_back(ptr);
-      stats_.pooled_bytes += bytes;
-      ++stats_.returns;
+      pooled_bytes_.Add(static_cast<double>(bytes));
+      returns_.Add(1);
       cache = true;
     } else {
-      ++stats_.trims;
+      trims_.Add(1);
     }
   }
   if (!cache) FreeRaw(ptr);
@@ -102,15 +111,22 @@ void BufferPool::Release(float* ptr, int size_class) {
 
 PoolStats BufferPool::Stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  PoolStats stats;
+  stats.hits = hits_.Value();
+  stats.misses = misses_.Value();
+  stats.returns = returns_.Value();
+  stats.trims = trims_.Value();
+  stats.live_bytes = static_cast<uint64_t>(live_bytes_.Value());
+  stats.pooled_bytes = static_cast<uint64_t>(pooled_bytes_.Value());
+  return stats;
 }
 
 void BufferPool::ResetCounters() {
   std::lock_guard<std::mutex> lock(mu_);
-  stats_.hits = 0;
-  stats_.misses = 0;
-  stats_.returns = 0;
-  stats_.trims = 0;
+  hits_.Reset();
+  misses_.Reset();
+  returns_.Reset();
+  trims_.Reset();
 }
 
 int64_t BufferPool::Trim() {
@@ -125,8 +141,8 @@ int64_t BufferPool::Trim() {
       }
       free_lists_[cls].clear();
     }
-    stats_.pooled_bytes -= freed;
-    stats_.trims += to_free.size();
+    pooled_bytes_.Add(-static_cast<double>(freed));
+    trims_.Add(to_free.size());
   }
   for (float* ptr : to_free) FreeRaw(ptr);
   return static_cast<int64_t>(freed);

@@ -29,11 +29,17 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace urcl {
 namespace pool {
 
-// Per-process counters. hits/misses/returns/trims are monotonic event counts
-// (resettable for benchmarking windows); live_bytes/pooled_bytes are gauges.
+// Per-process counters, mirrored from the observability registry: the pool's
+// stats live permanently as `urcl.pool.*` counters/gauges (they are updated
+// under the pool mutex the pool already takes, so residency costs nothing),
+// and this struct is the aggregate read-back view. hits/misses/returns/trims
+// are monotonic event counts (resettable for benchmarking windows);
+// live_bytes/pooled_bytes are gauges.
 struct PoolStats {
   uint64_t hits = 0;          // acquires served from a cached buffer
   uint64_t misses = 0;        // acquires that hit the system allocator
@@ -58,6 +64,9 @@ class BufferPool {
   // unspecified (recycled buffers carry stale data).
   std::shared_ptr<float> Acquire(int64_t count, bool zero_fill);
 
+  // Thin wrapper reading the `urcl.pool.*` registry metrics back into the
+  // legacy aggregate view (kept for existing callers; new consumers should
+  // read the registry directly).
   PoolStats Stats() const;
   // Zeroes the event counters (hits/misses/returns/trims); byte gauges are
   // left alone. For stats windows in tests and benchmarks.
@@ -86,7 +95,13 @@ class BufferPool {
   mutable std::mutex mu_;
   // Free lists indexed by log2 of the class size in floats.
   std::array<std::vector<float*>, 48> free_lists_;
-  PoolStats stats_;
+  // Registry-resident stats (stable references; registry outlives the pool).
+  obs::Counter& hits_;
+  obs::Counter& misses_;
+  obs::Counter& returns_;
+  obs::Counter& trims_;
+  obs::Gauge& live_bytes_;
+  obs::Gauge& pooled_bytes_;
   uint64_t capacity_bytes_;
   bool enabled_;
 };

@@ -13,6 +13,7 @@
 
 #include "core/urcl.h"
 #include "data/synthetic.h"
+#include "obs/metrics.h"
 #include "tensor/pool.h"
 #include "tensor/tensor.h"
 #include "tensor/tensor_ops.h"
@@ -218,6 +219,38 @@ TEST_F(PoolTest, ConcurrentAcquireReleaseIsSafe) {
   EXPECT_EQ(stats.hits + stats.misses, static_cast<uint64_t>(kThreads) * kIters);
   // Every buffer the workers acquired was released again.
   EXPECT_EQ(stats.live_bytes, live_before);
+}
+
+TEST_F(PoolTest, StatsAreResidentInMetricsRegistry) {
+  // The pool's counters live in the obs registry (urcl.pool.*); Stats() is a
+  // thin wrapper reading the same handles, so the two views always agree —
+  // with metrics export disabled too, since the pool is an always-on
+  // resident.
+  BufferPool& pool = BufferPool::Get();
+  auto& registry = obs::MetricsRegistry::Get();
+  { Tensor t(Shape{100}); }  // miss + return
+  { Tensor t(Shape{100}); }  // hit + return
+  const PoolStats stats = pool.Stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(registry.GetCounter("urcl.pool.hits").Value(), stats.hits);
+  EXPECT_EQ(registry.GetCounter("urcl.pool.misses").Value(), stats.misses);
+  EXPECT_EQ(registry.GetCounter("urcl.pool.returns").Value(), stats.returns);
+  EXPECT_EQ(registry.GetCounter("urcl.pool.trims").Value(), stats.trims);
+  EXPECT_EQ(static_cast<uint64_t>(registry.GetGauge("urcl.pool.live_bytes").Value()),
+            stats.live_bytes);
+  EXPECT_EQ(static_cast<uint64_t>(registry.GetGauge("urcl.pool.pooled_bytes").Value()),
+            stats.pooled_bytes);
+}
+
+TEST_F(PoolTest, PoolCountersAppearInRegistryExports) {
+  { Tensor t(Shape{100}); }
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::Get().Snapshot();
+  ASSERT_TRUE(snap.counters.count("urcl.pool.misses"));
+  EXPECT_EQ(snap.counters.at("urcl.pool.misses"), 1u);
+  const std::string prom = obs::MetricsRegistry::Get().ToPrometheus();
+  EXPECT_NE(prom.find("urcl_pool_misses"), std::string::npos);
+  EXPECT_NE(prom.find("urcl_pool_pooled_bytes"), std::string::npos);
 }
 
 }  // namespace

@@ -387,6 +387,12 @@ int main(int argc, char** argv) {
       "urcl_obs_overhead",
       "compare BM_TrainStep (observability off) with BM_TrainStepObserved "
       "(metrics+trace+profiler on); budget <2% on real_time");
+  benchmark::AddCustomContext(
+      "urcl_check_overhead",
+      "version counters + gate branches stay live when URCL_CHECK is off; "
+      "budget <2% on BM_TrainStep real_time vs pre-check main (interleaved "
+      "medians; counters ride the pool's owner block, bump is relaxed "
+      "load+store)");
   std::vector<char*> args(argv, argv + argc);
   bool has_out = false;
   for (int i = 1; i < argc; ++i) {

@@ -1,0 +1,49 @@
+#!/usr/bin/env sh
+# Static + dynamic analysis gate (`urcl::check`, DESIGN.md §9). Runs, in order:
+#
+#   1. the repo lint (tools/lint) over the source tree;
+#   2. an ASan+UBSan build (poisoning + graph checks forced on) running the
+#      `analysis`-labeled tests plus the pool/autograd suites;
+#   3. a TSan build running the `analysis`-labeled tests.
+#
+# Build trees are kept under build-check-{asan,tsan} and reused across runs.
+# Usage: scripts/check.sh [-j N]
+set -eu
+
+jobs=2
+while [ $# -gt 0 ]; do
+  case "$1" in
+    -j) jobs="$2"; shift 2 ;;
+    *) echo "usage: scripts/check.sh [-j N]" >&2; exit 2 ;;
+  esac
+done
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$root"
+
+echo "== [1/3] repo lint =="
+cmake -B build-check-asan -S . \
+  -DURCL_SANITIZE=address+undefined -DURCL_WERROR=ON \
+  -DURCL_BUILD_BENCHMARKS=OFF -DURCL_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build build-check-asan -j"$jobs" --target urcl_lint
+./build-check-asan/tools/lint/urcl_lint --root "$root"
+
+echo "== [2/3] ASan+UBSan: analysis tests with poisoning + graph checks on =="
+cmake --build build-check-asan -j"$jobs" --target \
+  check_test lint_test pool_test autograd_test urcl_header_selfcheck
+# Force every gate on so the sanitizer sees the poisoned free lists and the
+# gated verification paths, not the Release defaults.
+URCL_CHECK=1 URCL_POOL_POISON=1 \
+  ctest --test-dir build-check-asan -L analysis --output-on-failure -j"$jobs"
+URCL_CHECK=1 URCL_POOL_POISON=1 ./build-check-asan/tests/pool_test
+URCL_CHECK=1 URCL_POOL_POISON=1 ./build-check-asan/tests/autograd_test
+
+echo "== [3/3] TSan: analysis tests =="
+cmake -B build-check-tsan -S . -DURCL_SANITIZE=thread \
+  -DURCL_BUILD_BENCHMARKS=OFF -DURCL_BUILD_EXAMPLES=OFF >/dev/null
+# urcl_lint is built here too: the repo_lint ctest entry runs the binary.
+cmake --build build-check-tsan -j"$jobs" --target check_test lint_test urcl_lint
+URCL_CHECK=1 URCL_POOL_POISON=1 \
+  ctest --test-dir build-check-tsan -L analysis --output-on-failure -j"$jobs"
+
+echo "scripts/check.sh: all analysis gates passed"

@@ -1,5 +1,6 @@
 #include "autograd/variable.h"
 
+#include <sstream>
 #include <unordered_set>
 
 #include "common/check.h"
@@ -8,6 +9,36 @@
 
 namespace urcl {
 namespace autograd {
+
+namespace internal {
+
+std::string DescribeStaleCapture(const Node& node, size_t parent_index) {
+  const ParentEdge& edge = node.parents[parent_index];
+  const Tensor& value = edge.node->value;
+  std::ostringstream out;
+  if (value.version_counter().get() != edge.counter.get()) {
+    out << "op '" << node.op_name << "' parent " << parent_index << " (op '"
+        << edge.node->op_name
+        << "'): captured value storage was replaced (SetValue) after record";
+    return out.str();
+  }
+  if (value.version() != edge.version) {
+    out << "op '" << node.op_name << "' parent " << parent_index << " (op '"
+        << edge.node->op_name << "'): captured value was mutated in place after record "
+        << "(version " << edge.version << " at record, " << value.version() << " now)";
+    return out.str();
+  }
+  return {};
+}
+
+void VerifyCapturedVersions(const Node& node) {
+  for (size_t i = 0; i < node.parents.size(); ++i) {
+    const std::string issue = DescribeStaleCapture(node, i);
+    URCL_CHECK(issue.empty()) << "[urcl.check/version] " << issue;
+  }
+}
+
+}  // namespace internal
 
 Variable::Variable(Tensor value, bool requires_grad)
     : node_(std::make_shared<internal::Node>()) {
@@ -36,7 +67,15 @@ Variable Variable::MakeOp(Tensor value, std::string op_name, std::vector<Variabl
   out.node_->op_name = std::move(op_name);
   if (needs_grad) {
     out.node_->parents.reserve(parents.size());
-    for (const Variable& p : parents) out.node_->parents.push_back(p.node_);
+    for (const Variable& p : parents) {
+      // Stamp each captured operand with its current write-version so the
+      // integrity checks can prove it was not mutated before Backward reads
+      // it again. Recording is unconditional (two words per edge); only the
+      // verification is gated.
+      const Tensor& v = p.node_->value;
+      out.node_->parents.push_back(
+          internal::ParentEdge{p.node_, v.version_counter(), v.version()});
+    }
     out.node_->backward_fn = std::move(backward_fn);
   }
   return out;
@@ -115,7 +154,7 @@ void Variable::BackwardWithSeed(const Tensor& seed) {
   while (!stack.empty()) {
     Frame& frame = stack.back();
     if (frame.next_parent < frame.node->parents.size()) {
-      internal::Node* parent = frame.node->parents[frame.next_parent++].get();
+      internal::Node* parent = frame.node->parents[frame.next_parent++].node.get();
       if (parent->requires_grad && visited.insert(parent).second) {
         stack.push_back({parent, 0});
       }
@@ -123,6 +162,13 @@ void Variable::BackwardWithSeed(const Tensor& seed) {
       order.push_back(frame.node);
       stack.pop_back();
     }
+  }
+
+  if (check::GraphChecksEnabled()) {
+    // Verify every captured operand is byte-for-byte what the forward pass
+    // recorded before any backward closure re-reads it (URCL_CHECK env gate;
+    // see autograd/lint.h for the full static pass).
+    for (const internal::Node* node : order) VerifyCapturedVersions(*node);
   }
 
   AccumulateGrad(seed);

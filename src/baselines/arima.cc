@@ -91,7 +91,9 @@ std::vector<float> ArimaPredictor::TrainStage(const data::StDataset& train, int6
     std::vector<double> xtz(dim, 0.0);
     for (int64_t t = p; t < static_cast<int64_t>(values.size()); ++t) {
       std::vector<double> row(dim, 1.0);  // row[0] = 1 (intercept)
-      for (int64_t i = 0; i < p; ++i) row[static_cast<size_t>(i) + 1] = values[static_cast<size_t>(t - 1 - i)];
+      for (int64_t i = 0; i < p; ++i) {
+        row[static_cast<size_t>(i) + 1] = values[static_cast<size_t>(t - 1 - i)];
+      }
       const double z = values[static_cast<size_t>(t)];
       for (size_t a = 0; a < dim; ++a) {
         xtz[a] += row[a] * z;

@@ -1,5 +1,7 @@
 #include "common/check.h"
 
+#include <atomic>
+
 namespace urcl {
 namespace internal {
 
@@ -9,4 +11,35 @@ void CheckFailed(const char* file, int line, const std::string& message) {
 }
 
 }  // namespace internal
+
+namespace check {
+namespace {
+
+std::atomic<bool>& GraphChecksFlag() {
+  static std::atomic<bool> enabled = [] {
+    if (const char* env = std::getenv("URCL_CHECK")) return ParseEnabledValue(env);
+#ifdef NDEBUG
+    return false;
+#else
+    return true;
+#endif
+  }();
+  return enabled;
+}
+
+}  // namespace
+
+bool ParseEnabledValue(const char* value) {
+  if (value == nullptr) return true;
+  const std::string v(value);
+  return !(v == "0" || v == "off" || v == "false" || v == "OFF");
+}
+
+bool GraphChecksEnabled() { return GraphChecksFlag().load(std::memory_order_relaxed); }
+
+void SetGraphChecksEnabled(bool enabled) {
+  GraphChecksFlag().store(enabled, std::memory_order_relaxed);
+}
+
+}  // namespace check
 }  // namespace urcl

@@ -1,5 +1,7 @@
 // Invariant-checking macros in the style used by database engines: cheap,
-// always-on checks that abort with a readable message instead of throwing.
+// always-on checks that abort with a readable message instead of throwing —
+// plus the runtime gate for the optional graph/memory integrity analyses
+// (`urcl::check`, see DESIGN.md §9).
 #ifndef URCL_COMMON_CHECK_H_
 #define URCL_COMMON_CHECK_H_
 
@@ -37,6 +39,25 @@ class CheckMessageBuilder {
 };
 
 }  // namespace internal
+
+namespace check {
+
+// Master switch for the graph-integrity analyses (autograd version-counter
+// verification in Backward and the trainer's pre-backward LintGraph pass).
+// Initial value comes from the URCL_CHECK environment variable ("0"/"off"/
+// "false" disable, anything else enables); unset means enabled only in debug
+// (!NDEBUG) builds. Reading the gate is one relaxed atomic load, so disabled
+// checks cost a predictable branch and nothing else.
+bool GraphChecksEnabled();
+
+// Test/tooling override; wins over the environment for the rest of the
+// process.
+void SetGraphChecksEnabled(bool enabled);
+
+// Shared env-value parser ("0"/"off"/"false"/"OFF" -> false).
+bool ParseEnabledValue(const char* value);
+
+}  // namespace check
 }  // namespace urcl
 
 // Aborts with a diagnostic when `condition` is false. Usable in headers and

@@ -7,6 +7,7 @@
 #include <limits>
 #include <sstream>
 
+#include "autograd/lint.h"
 #include "autograd/ops.h"
 #include "common/check.h"
 #include "common/fault_injector.h"
@@ -273,6 +274,12 @@ std::optional<float> UrclTrainer::TrainStep(const Tensor& inputs, const Tensor& 
   }
 
   optimizer_->ZeroGrad();
+  if (check::GraphChecksEnabled()) {
+    // URCL_CHECK env gate: full static lint of the recorded loss graph before
+    // differentiating through it (autograd/lint.h). Zero cost when disabled.
+    URCL_TRACE_SCOPE("graph_lint");
+    autograd::CheckGraph(total_loss);
+  }
   {
     URCL_TRACE_SCOPE("backward");
     total_loss.Backward();

@@ -19,8 +19,9 @@ SensorNetwork RandomGeometricGraph(int64_t num_nodes, float radius, Rng& rng) {
     graph.SetPosition(i, points.back().first, points.back().second);
   }
   auto dist = [&](int64_t a, int64_t b) {
-    return std::hypot(points[static_cast<size_t>(a)].first - points[static_cast<size_t>(b)].first,
-                      points[static_cast<size_t>(a)].second - points[static_cast<size_t>(b)].second);
+    return std::hypot(
+        points[static_cast<size_t>(a)].first - points[static_cast<size_t>(b)].first,
+        points[static_cast<size_t>(a)].second - points[static_cast<size_t>(b)].second);
   };
   for (int64_t i = 0; i < num_nodes; ++i) {
     bool connected = false;

@@ -126,7 +126,9 @@ inline std::vector<int64_t> BroadcastStrides(const Shape& in, const Shape& out) 
   std::vector<int64_t> result(static_cast<size_t>(out.rank()), 0);
   const int64_t offset = out.rank() - in.rank();
   for (int64_t i = 0; i < in.rank(); ++i) {
-    if (in.dim(i) != 1) result[static_cast<size_t>(i + offset)] = in_strides[static_cast<size_t>(i)];
+    if (in.dim(i) != 1) {
+      result[static_cast<size_t>(i + offset)] = in_strides[static_cast<size_t>(i)];
+    }
   }
   return result;
 }

@@ -17,13 +17,28 @@
 //    alignment — the SIMD kernels use unaligned loads, so this is a
 //    performance nicety, not a correctness requirement).
 //
+// Poisoning (DESIGN.md §9): recycling makes use-after-release and
+// read-before-write of `Tensor::Uninitialized` storage invisible to heap
+// tooling — the pool owns the memory either way. When poisoning is enabled
+// (default in debug builds; URCL_POOL_POISON=1/0 overrides, and tests can
+// flip it at runtime), every cached free-list buffer and every
+// non-zero-filled acquisition is filled with kPoisonWord, a signaling-NaN bit
+// pattern: a kernel that reads a byte it never wrote produces NaNs that trip
+// AllFinite/tests instead of silently wrong numbers, and unwritten output
+// regions stay recognizable via IsPoisonWord. Under AddressSanitizer
+// (URCL_SANITIZE=address) cached buffers are additionally
+// __asan_poison_memory_region'd while they sit in the free list, so touching
+// a released buffer is a hard ASan crash.
+//
 // The pool affects only *where* storage comes from, never its contents, so
 // it is invisible to the numerics: results are bitwise identical with the
-// pool on or off.
+// pool on or off. (Poisoning only ever changes bytes a correct kernel never
+// reads; with it disabled the contents are untouched.)
 #ifndef URCL_TENSOR_POOL_H_
 #define URCL_TENSOR_POOL_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -33,6 +48,17 @@
 
 namespace urcl {
 namespace pool {
+
+// Signaling-NaN bit pattern used to poison recycled / uninitialized buffers
+// (sign 0, exponent all-ones, quiet bit clear, non-zero mantissa).
+inline constexpr uint32_t kPoisonWord = 0x7fa1a1a1u;
+
+// True when `value` holds exactly the poison bit pattern.
+bool IsPoisonWord(float value);
+
+// Number of elements in [p, p + count) still holding the poison pattern.
+// Audit helper for "did this kernel write every element" tests.
+int64_t CountPoisonWords(const float* p, int64_t count);
 
 // Per-process counters, mirrored from the observability registry: the pool's
 // stats live permanently as `urcl.pool.*` counters/gauges (they are updated
@@ -58,11 +84,31 @@ class BufferPool {
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
+  // One storage acquisition: the buffer plus its write-version counter
+  // (`urcl::check`, DESIGN.md §9). Both pointers alias a single heap block
+  // (make_shared control block carrying the counter), so the counter costs no
+  // extra allocation and lives exactly as long as anything pinning either
+  // pointer — which is what lets an autograd edge hold the counter to pin the
+  // captured storage generation.
+  struct Acquisition {
+    std::shared_ptr<float> data;
+    std::shared_ptr<std::atomic<uint64_t>> version;
+  };
+
   // Returns storage for `count` floats whose deleter hands the buffer back
   // to the pool. `count` 0 is allowed (smallest class). When `zero_fill`,
   // the first `count` floats are zeroed; otherwise contents are
-  // unspecified (recycled buffers carry stale data).
+  // unspecified when poisoning is off, kPoisonWord-filled when on.
+  Acquisition AcquireWithVersion(int64_t count, bool zero_fill);
+
+  // AcquireWithVersion dropping the version handle (counter stays allocated
+  // in the shared block, just unobserved).
   std::shared_ptr<float> Acquire(int64_t count, bool zero_fill);
+
+  // Deleter entry point: hands one buffer of `size_class` back to the free
+  // lists (or the allocator). Only meaningful for pointers this pool handed
+  // out; Tensor storage calls it via the Acquisition block's destructor.
+  void Release(float* ptr, int size_class);
 
   // Thin wrapper reading the `urcl.pool.*` registry metrics back into the
   // legacy aggregate view (kept for existing callers; new consumers should
@@ -79,6 +125,10 @@ class BufferPool {
   // Test/benchmark hook; the URCL_POOL env var sets the initial value.
   void set_enabled(bool enabled);
 
+  bool poison_enabled() const;
+  // Test hook; URCL_POOL_POISON (else NDEBUG) sets the initial value.
+  void set_poison_enabled(bool enabled);
+
   void set_capacity_bytes(uint64_t cap);
   uint64_t capacity_bytes() const;
 
@@ -88,8 +138,6 @@ class BufferPool {
  private:
   BufferPool();
 
-  // Releases one buffer of `class_index` back to the pool (or frees it).
-  void Release(float* ptr, int size_class);
   static void FreeRaw(float* ptr);
 
   mutable std::mutex mu_;
@@ -104,6 +152,7 @@ class BufferPool {
   obs::Gauge& pooled_bytes_;
   uint64_t capacity_bytes_;
   bool enabled_;
+  bool poison_enabled_;
 };
 
 }  // namespace pool

@@ -14,15 +14,18 @@ namespace urcl {
 Tensor::Tensor() : Tensor(Shape{}) {}
 
 Tensor::Tensor(const Shape& shape)
-    : shape_(shape),
-      data_(pool::BufferPool::Get().Acquire(shape.NumElements(), /*zero_fill=*/true)) {}
+    : Tensor(shape,
+             pool::BufferPool::Get().AcquireWithVersion(shape.NumElements(), /*zero_fill=*/true)) {
+}
 
-Tensor::Tensor(Shape shape, std::shared_ptr<float> data)
-    : shape_(std::move(shape)), data_(std::move(data)) {}
+Tensor::Tensor(Shape shape, pool::BufferPool::Acquisition storage)
+    : shape_(std::move(shape)),
+      data_(std::move(storage.data)),
+      version_(std::move(storage.version)) {}
 
 Tensor Tensor::Uninitialized(const Shape& shape) {
-  return Tensor(shape,
-                pool::BufferPool::Get().Acquire(shape.NumElements(), /*zero_fill=*/false));
+  return Tensor(
+      shape, pool::BufferPool::Get().AcquireWithVersion(shape.NumElements(), /*zero_fill=*/false));
 }
 
 Tensor Tensor::Zeros(const Shape& shape) { return Tensor(shape); }
@@ -111,7 +114,8 @@ float Tensor::At(const std::vector<int64_t>& indices) const {
 }
 
 void Tensor::Set(const std::vector<int64_t>& indices, float value) {
-  data_.get()[OffsetOf(indices.data(), static_cast<int64_t>(indices.size()))] = value;
+  const int64_t offset = OffsetOf(indices.data(), static_cast<int64_t>(indices.size()));
+  mutable_data()[offset] = value;
 }
 
 float Tensor::At(std::initializer_list<int64_t> indices) const {
@@ -119,7 +123,8 @@ float Tensor::At(std::initializer_list<int64_t> indices) const {
 }
 
 void Tensor::Set(std::initializer_list<int64_t> indices, float value) {
-  data_.get()[OffsetOf(indices.begin(), static_cast<int64_t>(indices.size()))] = value;
+  const int64_t offset = OffsetOf(indices.begin(), static_cast<int64_t>(indices.size()));
+  mutable_data()[offset] = value;
 }
 
 float Tensor::FlatAt(int64_t index) const {
@@ -129,11 +134,12 @@ float Tensor::FlatAt(int64_t index) const {
 
 void Tensor::FlatSet(int64_t index, float value) {
   URCL_CHECK(index >= 0 && index < NumElements());
-  data_.get()[index] = value;
+  mutable_data()[index] = value;
 }
 
 void Tensor::Fill(float value) {
-  std::fill(data_.get(), data_.get() + NumElements(), value);
+  float* dst = mutable_data();
+  std::fill(dst, dst + NumElements(), value);
 }
 
 void Tensor::AddInPlace(const Tensor& other) {

@@ -10,6 +10,7 @@
 #ifndef URCL_TENSOR_TENSOR_H_
 #define URCL_TENSOR_TENSOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <initializer_list>
 #include <memory>
@@ -17,6 +18,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "tensor/pool.h"
 #include "tensor/shape.h"
 
 namespace urcl {
@@ -55,7 +57,24 @@ class Tensor {
   int64_t NumElements() const { return shape_.NumElements(); }
 
   const float* data() const { return data_.get(); }
-  float* mutable_data() { return data_.get(); }
+  // Handing out a writable pointer counts as a write: the storage's version
+  // stamp is bumped so the autograd integrity checks (DESIGN.md §9) can
+  // detect in-place mutation of tensors captured by backward closures.
+  float* mutable_data() {
+    BumpVersion();
+    return data_.get();
+  }
+
+  // --- Write-version counter -----------------------------------------------
+  // Every storage buffer carries a monotonically increasing write-version
+  // stamp shared by all tensors (copies, reshapes) using that storage. Each
+  // in-place mutation path bumps it; autograd snapshots it at op-record time
+  // and compares at Backward()/lint time. Fresh storage starts at version 0.
+  uint64_t version() const { return version_->load(std::memory_order_relaxed); }
+  // The counter object doubles as a stable identity for the storage
+  // *generation*: replacing a node's value (e.g. Variable::SetValue) swaps in
+  // a different counter, which the checks distinguish from in-place writes.
+  std::shared_ptr<const std::atomic<uint64_t>> version_counter() const { return version_; }
 
   // Scalar extraction (requires exactly one element).
   float Item() const;
@@ -92,13 +111,26 @@ class Tensor {
   std::string ToString(int64_t max_elements = 32) const;
 
  private:
-  Tensor(Shape shape, std::shared_ptr<float> data);
+  Tensor(Shape shape, pool::BufferPool::Acquisition storage);
 
   // Bounds-checked row-major flat offset of a multi-index; no allocations.
   int64_t OffsetOf(const int64_t* indices, int64_t count) const;
 
+  // Relaxed load+store rather than fetch_add: the stamp is a single-writer
+  // witness (concurrent mutation of one tensor is already a race on the data
+  // itself), and x86 lowers even relaxed RMWs to `lock xadd` — measurable in
+  // per-element Set/FlatSet loops — while load+store is two plain moves.
+  void BumpVersion() {
+    version_->store(version_->load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+  }
+
   Shape shape_;
   std::shared_ptr<float> data_;  // pool-backed buffer (tensor/pool.h)
+  // Write-version stamp for `data_`; shared by every tensor viewing the same
+  // storage. Aliases the same pool block as `data_` (one per storage
+  // generation, no extra allocation), so counter identity doubles as a
+  // storage-generation ID.
+  std::shared_ptr<std::atomic<uint64_t>> version_;
 };
 
 }  // namespace urcl

@@ -397,7 +397,9 @@ Tensor Slice(const Tensor& a, const std::vector<int64_t>& starts,
   if (out.NumElements() == 0) return out;
   const std::vector<int64_t> in_strides = a.shape().Strides();
   int64_t base = 0;
-  for (int64_t i = 0; i < a.rank(); ++i) base += starts[static_cast<size_t>(i)] * in_strides[static_cast<size_t>(i)];
+  for (int64_t i = 0; i < a.rank(); ++i) {
+    base += starts[static_cast<size_t>(i)] * in_strides[static_cast<size_t>(i)];
+  }
   MultiCursor cursor(sizes, {in_strides});
   const float* pa = a.data();
   float* po = out.mutable_data();

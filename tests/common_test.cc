@@ -102,7 +102,7 @@ TEST(TablePrinterTest, NumFormatting) {
 TEST(StopwatchTest, MeasuresElapsed) {
   Stopwatch timer;
   volatile double sink = 0.0;
-  for (int i = 0; i < 100000; ++i) sink += i;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
   EXPECT_GE(timer.ElapsedSeconds(), 0.0);
   const double lap = timer.Restart();
   EXPECT_GE(lap, 0.0);

@@ -139,7 +139,7 @@ TEST(MultiStepTest, DeepBaselinesHandleMultiStep) {
   options.deep.decoder_hidden = 16;
   options.deep.output_steps = 2;
   options.deep.max_batches_per_epoch = 2;
-  for (const std::string& name : {"STGCN", "AGCRN", "ARIMA", "HistoricalAverage"}) {
+  for (const char* name : {"STGCN", "AGCRN", "ARIMA", "HistoricalAverage"}) {
     auto model = baselines::MakeBaseline(name, options, p.generator->network());
     model->TrainStage(*p.dataset, 1);
     const auto [x, y] = p.dataset->MakeBatch({0, 1});

@@ -1,0 +1,158 @@
+// Repo lint rules (tools/lint/repo_lint.h): each banned construct and format
+// rule is proven to fire on a seeded fixture and to stay quiet on the
+// idiomatic equivalent, plus suppression comments, comment/string stripping,
+// and the include-guard path derivation.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tools/lint/repo_lint.h"
+
+namespace urcl {
+namespace lint {
+namespace {
+
+std::vector<std::string> Rules(const std::vector<Finding>& findings) {
+  std::vector<std::string> rules;
+  for (const Finding& finding : findings) rules.push_back(finding.rule);
+  return rules;
+}
+
+bool Has(const std::vector<Finding>& findings, const std::string& rule) {
+  for (const Finding& finding : findings) {
+    if (finding.rule == rule) return true;
+  }
+  return false;
+}
+
+Options LibraryOptions() {
+  Options options;
+  options.library_rules = true;
+  options.format_rules = true;
+  return options;
+}
+
+TEST(RepoLintTest, FlagsRandAndSrand) {
+  const auto f1 = LintFileContent("src/x.cc", "int v = rand();\n", LibraryOptions());
+  EXPECT_TRUE(Has(f1, "banned-call/rand"));
+  const auto f2 = LintFileContent("src/x.cc", "srand(42);\n", LibraryOptions());
+  EXPECT_TRUE(Has(f2, "banned-call/rand"));
+  const auto f3 = LintFileContent("src/x.cc", "std::rand ();\n", LibraryOptions());
+  EXPECT_TRUE(Has(f3, "banned-call/rand"));
+}
+
+TEST(RepoLintTest, DoesNotFlagRandLookalikes) {
+  const auto findings = LintFileContent(
+      "src/x.cc",
+      "std::mt19937 engine(seed);\n"
+      "float r = brand(3);\n"
+      "int operand(int x);\n"
+      "// rand() only in a comment\n"
+      "const char* s = \"rand()\";\n",
+      LibraryOptions());
+  EXPECT_FALSE(Has(findings, "banned-call/rand")) << FormatFindings(findings);
+}
+
+TEST(RepoLintTest, FlagsRawArrayNew) {
+  const auto findings =
+      LintFileContent("src/x.cc", "float* buf = new float[128];\n", LibraryOptions());
+  EXPECT_TRUE(Has(findings, "banned-call/new-array"));
+}
+
+TEST(RepoLintTest, DoesNotFlagScalarNewOrMakeShared) {
+  const auto findings = LintFileContent(
+      "src/x.cc",
+      "auto* pool = new BufferPool();\n"
+      "auto p = std::make_shared<std::atomic<uint64_t>>(0);\n"
+      "arr[new_index] = 1;\n",
+      LibraryOptions());
+  EXPECT_FALSE(Has(findings, "banned-call/new-array")) << FormatFindings(findings);
+}
+
+TEST(RepoLintTest, FlagsBarePrintfButNotStderrVariants) {
+  const auto bad = LintFileContent("src/x.cc", "printf(\"%d\", v);\n", LibraryOptions());
+  EXPECT_TRUE(Has(bad, "banned-call/printf"));
+  const auto ok = LintFileContent(
+      "src/x.cc",
+      "std::fprintf(stderr, \"%d\", v);\n"
+      "std::snprintf(buf, sizeof(buf), \"%d\", v);\n",
+      LibraryOptions());
+  EXPECT_FALSE(Has(ok, "banned-call/printf")) << FormatFindings(ok);
+}
+
+TEST(RepoLintTest, FlagsDirectClockReadsUnlessAllowed) {
+  const std::string source = "auto t = std::chrono::steady_clock::now();\n";
+  EXPECT_TRUE(Has(LintFileContent("src/x.cc", source, LibraryOptions()),
+                  "banned-call/clock"));
+  Options stopwatch = LibraryOptions();
+  stopwatch.allow_clock_reads = true;
+  EXPECT_FALSE(Has(LintFileContent("src/common/stopwatch.h", source, stopwatch),
+                   "banned-call/clock"));
+}
+
+TEST(RepoLintTest, SuppressionCommentSilencesOneRule) {
+  const auto findings = LintFileContent(
+      "src/x.cc", "int v = rand();  // lint:allow(banned-call/rand)\n", LibraryOptions());
+  EXPECT_FALSE(Has(findings, "banned-call/rand")) << FormatFindings(findings);
+}
+
+TEST(RepoLintTest, StripsBlockCommentsAcrossLines) {
+  const auto findings = LintFileContent("src/x.cc",
+                                        "/* rand() is banned\n"
+                                        "   printf(\"x\") too */\n"
+                                        "int y = 0;\n",
+                                        LibraryOptions());
+  EXPECT_FALSE(Has(findings, "banned-call/rand")) << FormatFindings(findings);
+  EXPECT_FALSE(Has(findings, "banned-call/printf")) << FormatFindings(findings);
+}
+
+TEST(RepoLintTest, FormatRulesFire) {
+  const std::string long_line(120, 'x');
+  const auto findings = LintFileContent("src/x.cc",
+                                        "int a = 1; \n"
+                                        "\tint b = 2;\n"
+                                        "int c = 3;\r\n" +
+                                            long_line + "\n" + "no final newline",
+                                        LibraryOptions());
+  EXPECT_TRUE(Has(findings, "format/trailing-whitespace"));
+  EXPECT_TRUE(Has(findings, "format/tab"));
+  EXPECT_TRUE(Has(findings, "format/crlf"));
+  EXPECT_TRUE(Has(findings, "format/line-length"));
+  EXPECT_TRUE(Has(findings, "format/final-newline"));
+}
+
+TEST(RepoLintTest, CleanFileHasNoFindings) {
+  const auto findings = LintFileContent("src/x.cc",
+                                        "#include \"tensor/tensor.h\"\n"
+                                        "\n"
+                                        "int Working() { return 1; }\n",
+                                        LibraryOptions());
+  EXPECT_TRUE(findings.empty()) << FormatFindings(findings);
+}
+
+TEST(RepoLintTest, IncludeGuardMustMatchPath) {
+  Options options = LibraryOptions();
+  options.expected_guard = ExpectedGuard("tensor/pool.h");
+  EXPECT_EQ(options.expected_guard, "URCL_TENSOR_POOL_H_");
+  const std::string good =
+      "#ifndef URCL_TENSOR_POOL_H_\n#define URCL_TENSOR_POOL_H_\n#endif\n";
+  EXPECT_FALSE(Has(LintFileContent("src/tensor/pool.h", good, options), "include-guard"));
+  const std::string bad = "#ifndef POOL_H\n#define POOL_H\n#endif\n";
+  EXPECT_TRUE(Has(LintFileContent("src/tensor/pool.h", bad, options), "include-guard"));
+  const std::string missing = "int x;\n";
+  EXPECT_TRUE(Has(LintFileContent("src/tensor/pool.h", missing, options), "include-guard"));
+}
+
+TEST(RepoLintTest, FormatFindingsIncludesFileLineAndRule) {
+  const auto findings = LintFileContent("src/x.cc", "int v = rand();\n", LibraryOptions());
+  ASSERT_FALSE(findings.empty());
+  const std::string report = FormatFindings(findings);
+  EXPECT_NE(report.find("src/x.cc:1:"), std::string::npos) << report;
+  EXPECT_NE(report.find("[banned-call/rand]"), std::string::npos) << report;
+  EXPECT_EQ(Rules(findings)[0], "banned-call/rand");
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace urcl

@@ -1,0 +1,40 @@
+// CLI for the repo lint (tools/lint/repo_lint.h). Registered as the
+// `repo_lint` ctest (label `analysis`); exits 1 when any finding survives.
+//
+//   urcl_lint --root <repo-root> [--format-only]
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "tools/lint/repo_lint.h"
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  bool format_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
+      root = argv[++i];
+    } else if (std::strcmp(argv[i], "--format-only") == 0) {
+      format_only = true;
+    } else {
+      std::fprintf(stderr, "usage: urcl_lint --root <repo-root> [--format-only]\n");
+      return 2;
+    }
+  }
+  std::vector<urcl::lint::Finding> findings = urcl::lint::LintTree(root);
+  if (format_only) {
+    std::vector<urcl::lint::Finding> kept;
+    for (urcl::lint::Finding& finding : findings) {
+      if (finding.rule.rfind("format/", 0) == 0) kept.push_back(std::move(finding));
+    }
+    findings = std::move(kept);
+  }
+  if (findings.empty()) {
+    std::fprintf(stderr, "repo_lint: clean\n");
+    return 0;
+  }
+  std::fprintf(stderr, "%s", urcl::lint::FormatFindings(findings).c_str());
+  std::fprintf(stderr, "repo_lint: %zu finding(s)\n", findings.size());
+  return 1;
+}

@@ -1,0 +1,275 @@
+#include "tools/lint/repo_lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace urcl {
+namespace lint {
+namespace {
+
+constexpr int kMaxLineLength = 100;
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Replaces string/char literal contents and comments with spaces so the
+// banned-call scans only see code. `in_block_comment` carries /* */ state
+// across lines.
+std::string StripCommentsAndStrings(const std::string& line, bool* in_block_comment) {
+  std::string out = line;
+  size_t i = 0;
+  while (i < out.size()) {
+    if (*in_block_comment) {
+      if (out.compare(i, 2, "*/") == 0) {
+        out[i] = ' ';
+        out[i + 1] = ' ';
+        *in_block_comment = false;
+        i += 2;
+      } else {
+        out[i++] = ' ';
+      }
+      continue;
+    }
+    const char c = out[i];
+    if (c == '/' && i + 1 < out.size() && out[i + 1] == '/') {
+      for (size_t j = i; j < out.size(); ++j) out[j] = ' ';
+      break;
+    }
+    if (c == '/' && i + 1 < out.size() && out[i + 1] == '*') {
+      out[i] = ' ';
+      out[i + 1] = ' ';
+      *in_block_comment = true;
+      i += 2;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      out[i++] = ' ';
+      while (i < out.size()) {
+        if (out[i] == '\\' && i + 1 < out.size()) {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          i += 2;
+          continue;
+        }
+        const bool closing = out[i] == quote;
+        out[i++] = ' ';
+        if (closing) break;
+      }
+      continue;
+    }
+    ++i;
+  }
+  return out;
+}
+
+// True when `code` contains a call of `name` as a whole identifier: the
+// previous character is not part of a longer identifier and the next
+// non-space character is '('.
+bool HasCall(const std::string& code, const std::string& name) {
+  size_t pos = 0;
+  while ((pos = code.find(name, pos)) != std::string::npos) {
+    const bool starts_word = pos == 0 || !IsWordChar(code[pos - 1]);
+    size_t after = pos + name.size();
+    while (after < code.size() && code[after] == ' ') ++after;
+    if (starts_word && after < code.size() && code[after] == '(') return true;
+    pos += name.size();
+  }
+  return false;
+}
+
+// True for `new T[...]` / `new T(...)[]`-style raw array allocations.
+bool HasNewArray(const std::string& code) {
+  size_t pos = 0;
+  while ((pos = code.find("new", pos)) != std::string::npos) {
+    const bool starts_word = pos == 0 || !IsWordChar(code[pos - 1]);
+    const size_t after = pos + 3;
+    if (!starts_word || after >= code.size() || IsWordChar(code[after])) {
+      pos = after;
+      continue;
+    }
+    // Scan the type name that follows; an opening '[' before any terminator
+    // means an array allocation.
+    for (size_t i = after; i < code.size(); ++i) {
+      const char c = code[i];
+      if (c == '[') return true;
+      if (c == ';' || c == ',' || c == ')' || c == '(' || c == '{') break;
+    }
+    pos = after;
+  }
+  return false;
+}
+
+bool Suppressed(const std::string& raw_line, const std::string& rule) {
+  return raw_line.find("lint:allow(" + rule + ")") != std::string::npos;
+}
+
+void Add(std::vector<Finding>* findings, const std::string& path, int line, std::string rule,
+         std::string detail) {
+  findings->push_back(Finding{path, line, std::move(rule), std::move(detail)});
+}
+
+bool IsHeader(const std::string& path) {
+  return path.size() > 2 && path.compare(path.size() - 2, 2, ".h") == 0;
+}
+
+void CheckIncludeGuard(const std::string& path, const std::string& content,
+                       const std::string& expected, std::vector<Finding>* findings) {
+  std::istringstream in(content);
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t pos = line.find("#ifndef");
+    if (pos == std::string::npos) continue;
+    std::istringstream fields(line.substr(pos));
+    std::string directive, guard;
+    fields >> directive >> guard;
+    if (guard != expected) {
+      Add(findings, path, 0, "include-guard",
+          "guard '" + guard + "' does not match path (expected '" + expected + "')");
+    }
+    return;
+  }
+  Add(findings, path, 0, "include-guard", "header has no include guard (expected '" +
+                                              expected + "')");
+}
+
+}  // namespace
+
+std::string ExpectedGuard(const std::string& relative_path) {
+  std::string guard = "URCL_";
+  for (const char c : relative_path) {
+    if (c == '/' || c == '.' || c == '-') {
+      guard += '_';
+    } else {
+      guard += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    }
+  }
+  guard += '_';
+  return guard;
+}
+
+std::vector<Finding> LintFileContent(const std::string& path, const std::string& content,
+                                     const Options& options) {
+  std::vector<Finding> findings;
+
+  if (options.format_rules && !content.empty() && content.back() != '\n') {
+    Add(&findings, path, 0, "format/final-newline", "file does not end with a newline");
+  }
+  if (options.library_rules && !options.expected_guard.empty() && IsHeader(path)) {
+    CheckIncludeGuard(path, content, options.expected_guard, &findings);
+  }
+
+  std::istringstream in(content);
+  std::string line;
+  bool in_block_comment = false;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (options.format_rules) {
+      if (!line.empty() && line.back() == '\r') {
+        if (!Suppressed(line, "format/crlf")) {
+          Add(&findings, path, line_number, "format/crlf", "CRLF line ending");
+        }
+        line.pop_back();
+      }
+      if (line.find('\t') != std::string::npos && !Suppressed(line, "format/tab")) {
+        Add(&findings, path, line_number, "format/tab", "tab character (indent with spaces)");
+      }
+      if (!line.empty() && (line.back() == ' ' || line.back() == '\t') &&
+          !Suppressed(line, "format/trailing-whitespace")) {
+        Add(&findings, path, line_number, "format/trailing-whitespace", "trailing whitespace");
+      }
+      if (line.size() > static_cast<size_t>(kMaxLineLength) &&
+          !Suppressed(line, "format/line-length")) {
+        std::ostringstream detail;
+        detail << "line is " << line.size() << " columns (limit " << kMaxLineLength << ")";
+        Add(&findings, path, line_number, "format/line-length", detail.str());
+      }
+    }
+    const std::string code = StripCommentsAndStrings(line, &in_block_comment);
+    if (!options.library_rules) continue;
+    if ((HasCall(code, "rand") || HasCall(code, "srand")) &&
+        !Suppressed(line, "banned-call/rand")) {
+      Add(&findings, path, line_number, "banned-call/rand",
+          "rand()/srand() break the determinism contract; use a seeded std::mt19937");
+    }
+    if (HasNewArray(code) && !Suppressed(line, "banned-call/new-array")) {
+      Add(&findings, path, line_number, "banned-call/new-array",
+          "raw new[]; use the buffer pool or a std container");
+    }
+    if (HasCall(code, "printf") && !Suppressed(line, "banned-call/printf")) {
+      Add(&findings, path, line_number, "banned-call/printf",
+          "bare printf in library code; write to stderr or use the obs layer");
+    }
+    if (!options.allow_clock_reads &&
+        (code.find("steady_clock::now") != std::string::npos ||
+         code.find("system_clock::now") != std::string::npos ||
+         code.find("high_resolution_clock::now") != std::string::npos) &&
+        !Suppressed(line, "banned-call/clock")) {
+      Add(&findings, path, line_number, "banned-call/clock",
+          "direct std::chrono clock read; go through common/stopwatch.h");
+    }
+  }
+  return findings;
+}
+
+std::vector<Finding> LintTree(const std::string& root) {
+  namespace fs = std::filesystem;
+  std::vector<Finding> findings;
+  const std::vector<std::string> trees = {"src", "tests", "bench", "examples", "tools"};
+  for (const std::string& tree : trees) {
+    const fs::path tree_root = fs::path(root) / tree;
+    if (!fs::exists(tree_root)) continue;
+    std::vector<fs::path> files;
+    for (auto it = fs::recursive_directory_iterator(tree_root);
+         it != fs::recursive_directory_iterator(); ++it) {
+      if (it->is_directory() && it->path().filename() == "testdata") {
+        it.disable_recursion_pending();
+        continue;
+      }
+      if (!it->is_regular_file()) continue;
+      const std::string ext = it->path().extension().string();
+      if (ext == ".h" || ext == ".cc") files.push_back(it->path());
+    }
+    std::sort(files.begin(), files.end());
+    for (const fs::path& file : files) {
+      const std::string repo_relative =
+          fs::relative(file, fs::path(root)).generic_string();
+      Options options;
+      // Banned calls and guard naming are library rules: src/ in full, plus
+      // guard naming for tool headers (rooted at the repo top so
+      // tools/lint/repo_lint.h includes as "tools/lint/repo_lint.h").
+      options.library_rules = tree == "src" || tree == "tools";
+      if (IsHeader(repo_relative) && options.library_rules) {
+        const std::string include_relative =
+            tree == "src" ? fs::relative(file, tree_root).generic_string() : repo_relative;
+        options.expected_guard = ExpectedGuard(include_relative);
+      }
+      options.allow_clock_reads = repo_relative == "src/common/stopwatch.h";
+      std::ifstream in(file, std::ios::binary);
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      std::vector<Finding> file_findings =
+          LintFileContent(repo_relative, buffer.str(), options);
+      findings.insert(findings.end(), file_findings.begin(), file_findings.end());
+    }
+  }
+  return findings;
+}
+
+std::string FormatFindings(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  for (const Finding& finding : findings) {
+    out << finding.file << ":";
+    if (finding.line > 0) out << finding.line << ":";
+    out << " [" << finding.rule << "] " << finding.detail << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace lint
+}  // namespace urcl

@@ -1,0 +1,74 @@
+// Repo lint (`urcl::check`, DESIGN.md §9): mechanical source checks run as a
+// ctest (`repo_lint`, label `analysis`) so style and banned-construct drift
+// fails the build instead of accumulating. Two rule groups:
+//
+//   library rules (src/ only)
+//     banned-call/rand           rand()/srand() — the determinism contract
+//                                requires seeded std::mt19937 engines;
+//     banned-call/new-array      raw new[] — buffers come from the pool or
+//                                std containers;
+//     banned-call/printf         bare printf to stdout in library code —
+//                                diagnostics go to stderr or the obs layer;
+//     banned-call/clock          direct std::chrono clock reads outside
+//                                common/stopwatch.h — timing goes through
+//                                Stopwatch so tests can reason about it;
+//     include-guard              header guards must spell the repo-relative
+//                                path (URCL_<PATH>_H_).
+//
+//   format rules (src/, tests/, bench/, examples/, tools/)
+//     format/line-length         lines over 100 columns;
+//     format/tab, format/crlf, format/trailing-whitespace,
+//     format/final-newline       mechanical whitespace hygiene (the subset of
+//                                .clang-format enforceable without the binary).
+//
+// A line containing `lint:allow(<rule>)` suppresses that rule for the line.
+// Directories named `testdata` are skipped.
+#ifndef URCL_TOOLS_LINT_REPO_LINT_H_
+#define URCL_TOOLS_LINT_REPO_LINT_H_
+
+#include <string>
+#include <vector>
+
+namespace urcl {
+namespace lint {
+
+struct Finding {
+  std::string file;  // path as given (repo-relative when walking a tree)
+  int line = 0;      // 1-based; 0 = whole-file finding
+  std::string rule;
+  std::string detail;
+};
+
+struct Options {
+  // Banned calls + include-guard naming (library code only).
+  bool library_rules = true;
+  // Whitespace / line-length hygiene.
+  bool format_rules = true;
+  // Expected include-guard macro; empty disables the guard check. Derived
+  // from the repo-relative path by LintTree.
+  std::string expected_guard;
+  // Exempts common/stopwatch.h from banned-call/clock.
+  bool allow_clock_reads = false;
+};
+
+// Lints one file's contents. `path` is used only for diagnostics.
+std::vector<Finding> LintFileContent(const std::string& path, const std::string& content,
+                                     const Options& options);
+
+// Walks `root`'s source trees (src, tests, bench, examples, tools) applying
+// the rule groups described above. `root` is the repository root.
+std::vector<Finding> LintTree(const std::string& root);
+
+// One "path:line: [rule] detail" line per finding.
+std::string FormatFindings(const std::vector<Finding>& findings);
+
+// Include-guard macro expected for a header at `relative_path` (e.g.
+// "tensor/pool.h" -> "URCL_TENSOR_POOL_H_"). Paths are taken relative to the
+// directory that is on the include path: src/ itself, or the repo root for
+// tools/ and tests/ headers.
+std::string ExpectedGuard(const std::string& relative_path);
+
+}  // namespace lint
+}  // namespace urcl
+
+#endif  // URCL_TOOLS_LINT_REPO_LINT_H_

@@ -1,0 +1,226 @@
+// Closed-loop serving load generator: N client threads fire batched forecast
+// queries at a ForecastService while a background UrclTrainer trains through
+// two stream stages and hot-swaps weight snapshots into the hub mid-flight.
+// Records QPS and latency percentiles (p50/p90/p99 from the
+// urcl.serve.latency_ns obs histogram) into BENCH_serving.json.
+//
+//   ./bench_serving [--clients 4] [--nodes 12] [--epochs N] [--batches N]
+//                   [--publish-every 4] [--out BENCH_serving.json]
+//
+// The run is closed-loop (each client issues its next query as soon as the
+// previous one returns) and ends once the trainer finishes both stages; the
+// harness then asserts that at least one hot-swap happened while queries
+// were in flight and that clients observed more than one model version.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "data/normalizer.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "serve/service.h"
+#include "tensor/tensor_ops.h"
+
+namespace urcl {
+namespace {
+
+// Quantile estimate from a histogram snapshot: finds the bucket holding the
+// q-th observation and interpolates linearly inside its bounds (the +Inf
+// bucket reports its lower edge; good enough for latency reporting).
+double HistogramQuantile(const obs::Histogram::Snapshot& snap, double q) {
+  if (snap.count == 0) return 0.0;
+  const double target = q * static_cast<double>(snap.count);
+  double cumulative = 0.0;
+  for (size_t i = 0; i < snap.bucket_counts.size(); ++i) {
+    const double in_bucket = static_cast<double>(snap.bucket_counts[i]);
+    if (cumulative + in_bucket < target || in_bucket == 0.0) {
+      cumulative += in_bucket;
+      continue;
+    }
+    const double lower = i == 0 ? 0.0 : snap.bounds[i - 1];
+    if (i >= snap.bounds.size()) return lower;  // +Inf bucket
+    const double upper = snap.bounds[i];
+    const double fraction = (target - cumulative) / in_bucket;
+    return lower + fraction * (upper - lower);
+  }
+  return snap.bounds.empty() ? 0.0 : snap.bounds.back();
+}
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const bench::BenchScale scale = bench::ResolveScale(flags);
+  const int64_t clients = flags.GetInt("clients", 4);
+  const int64_t publish_every = flags.GetInt("publish-every", 4);
+  const std::string out_path = flags.GetString("out", "BENCH_serving.json");
+  URCL_CHECK_GE(clients, 1);
+
+  // The latency histogram lives in the obs registry; make sure it counts.
+  obs::ObsConfig obs_config = obs::Current();
+  obs_config.metrics = true;
+  obs::Configure(obs_config);
+
+  // Two-stage synthetic stream sharing one training-time normalizer.
+  data::TrafficConfig traffic;
+  traffic.num_nodes = scale.nodes;
+  traffic.num_days = 4;
+  traffic.steps_per_day = 72;
+  traffic.channels = 2;
+  traffic.seed = scale.seed;
+  data::SyntheticTraffic generator(traffic);
+  const Tensor series = generator.GenerateSeries();
+  const data::MinMaxNormalizer normalizer = data::MinMaxNormalizer::Fit(series);
+  const Tensor normalized = normalizer.Transform(series);
+  const int64_t steps = normalized.dim(0);
+  const data::WindowConfig window{12, 1, 0};
+  const Tensor first_half = ops::Slice(normalized, {0, 0, 0},
+                                       {steps / 2, traffic.num_nodes, traffic.channels});
+  const Tensor second_half = ops::Slice(normalized, {steps / 2, 0, 0},
+                                        {steps - steps / 2, traffic.num_nodes, traffic.channels});
+  data::StDataset stage0(first_half, window);
+  data::StDataset stage1(second_half, window);
+
+  serve::ServiceConfig config;
+  config.model.encoder.num_nodes = scale.nodes;
+  config.model.encoder.in_channels = traffic.channels;
+  config.model.encoder.input_steps = window.input_steps;
+  config.model.encoder.hidden_channels = scale.hidden;
+  config.model.encoder.latent_channels = scale.latent;
+  config.model.encoder.num_layers = 3;
+  config.model.output_steps = window.output_steps;
+  config.model.max_batches_per_epoch = scale.max_batches_per_epoch;
+  config.model.seed = scale.seed;
+  serve::ForecastService service(config, generator.network(), normalizer);
+
+  core::UrclTrainer trainer(config.model, generator.network());
+  trainer.SetSnapshotSink(service.SnapshotSink(), publish_every);
+
+  // Pre-assemble a pool of query windows the clients cycle through (the
+  // closed loop measures serving, not request construction).
+  std::vector<Tensor> query_pool;
+  for (int64_t i = 0; i < 16 && i < stage0.NumSamples(); ++i) {
+    query_pool.push_back(stage0.MakeBatch({i}).first);
+  }
+  URCL_CHECK(!query_pool.empty());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> total_queries{0};
+  std::atomic<int64_t> total_errors{0};
+  std::atomic<int64_t> min_version_seen{1 << 30};
+  std::atomic<int64_t> max_version_seen{0};
+
+  std::thread trainer_thread([&] {
+    trainer.BeginStage(0);
+    trainer.TrainStage(stage0, scale.epochs);
+    trainer.BeginStage(1);
+    trainer.TrainStage(stage1, scale.epochs);
+    stop.store(true);
+  });
+
+  // Hold the clients until the first snapshot is live so the measured window
+  // contains served queries only. The deadline keeps a wedged trainer from
+  // hanging the bench (exempt from banned-call/clock: load-generator pacing).
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(120);
+  while (service.hub().Current() == nullptr && !stop.load()) {
+    URCL_CHECK(std::chrono::steady_clock::now() < deadline) << "no snapshot within 120s";
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  const Stopwatch measured;
+  std::vector<std::thread> client_threads;
+  for (int64_t c = 0; c < clients; ++c) {
+    client_threads.emplace_back([&, c] {
+      int64_t i = static_cast<int64_t>(c);
+      bool first = true;  // always issue >= 1 query, even if the trainer wins
+      while (first || !stop.load(std::memory_order_relaxed)) {
+        first = false;
+        core::PredictRequest request;
+        request.inputs = query_pool[static_cast<size_t>(i++ % query_pool.size())];
+        core::PredictResponse response;
+        if (service.Predict(request, &response).ok()) {
+          total_queries.fetch_add(1, std::memory_order_relaxed);
+          int64_t seen = min_version_seen.load();
+          while (response.model_version < seen &&
+                 !min_version_seen.compare_exchange_weak(seen, response.model_version)) {
+          }
+          seen = max_version_seen.load();
+          while (response.model_version > seen &&
+                 !max_version_seen.compare_exchange_weak(seen, response.model_version)) {
+          }
+        } else {
+          total_errors.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  trainer_thread.join();
+  for (std::thread& t : client_threads) t.join();
+  const double seconds = static_cast<double>(measured.ElapsedNs()) / 1e9;
+
+  const obs::MetricsSnapshot metrics = obs::MetricsRegistry::Get().Snapshot();
+  obs::Histogram::Snapshot latency;
+  const auto it = metrics.histograms.find("urcl.serve.latency_ns");
+  if (it != metrics.histograms.end()) latency = it->second;
+  const double qps = seconds > 0.0 ? static_cast<double>(total_queries.load()) / seconds : 0.0;
+  const double p50 = HistogramQuantile(latency, 0.50);
+  const double p90 = HistogramQuantile(latency, 0.90);
+  const double p99 = HistogramQuantile(latency, 0.99);
+  const double mean = latency.count > 0 ? latency.sum / static_cast<double>(latency.count) : 0.0;
+  const int64_t swaps = service.hub().swap_count();
+
+  std::printf("serving bench: %lld clients, %.1fs measured\n",
+              static_cast<long long>(clients), seconds);
+  std::printf("  queries   %lld ok, %lld rejected/errored (%.0f QPS)\n",
+              static_cast<long long>(total_queries.load()),
+              static_cast<long long>(total_errors.load()), qps);
+  std::printf("  latency   p50 %.0f us  p90 %.0f us  p99 %.0f us  mean %.0f us\n", p50 / 1e3,
+              p90 / 1e3, p99 / 1e3, mean / 1e3);
+  std::printf("  versions  %lld snapshots published, %lld swaps, clients saw v%lld..v%lld\n",
+              static_cast<long long>(trainer.snapshots_published()),
+              static_cast<long long>(swaps),
+              static_cast<long long>(min_version_seen.load()),
+              static_cast<long long>(max_version_seen.load()));
+
+  // At least one hot-swap must have been observable while clients queried.
+  URCL_CHECK_GE(swaps, 2) << "trainer published fewer than two snapshots";
+  URCL_CHECK_GT(total_queries.load(), 0) << "no queries served";
+
+  std::ofstream out(out_path);
+  URCL_CHECK(out.good()) << "cannot write " << out_path;
+  out << "{\n"
+      << "  \"bench\": \"serving\",\n"
+      << "  \"scale\": " << obs::JsonString(scale.name) << ",\n"
+      << "  \"clients\": " << clients << ",\n"
+      << "  \"measured_seconds\": " << obs::JsonNumber(seconds) << ",\n"
+      << "  \"queries_ok\": " << total_queries.load() << ",\n"
+      << "  \"queries_rejected_or_errored\": " << total_errors.load() << ",\n"
+      << "  \"qps\": " << obs::JsonNumber(qps) << ",\n"
+      << "  \"latency_ns\": {\n"
+      << "    \"p50\": " << obs::JsonNumber(p50) << ",\n"
+      << "    \"p90\": " << obs::JsonNumber(p90) << ",\n"
+      << "    \"p99\": " << obs::JsonNumber(p99) << ",\n"
+      << "    \"mean\": " << obs::JsonNumber(mean) << ",\n"
+      << "    \"count\": " << latency.count << "\n"
+      << "  },\n"
+      << "  \"snapshots_published\": " << trainer.snapshots_published() << ",\n"
+      << "  \"hot_swaps\": " << swaps << ",\n"
+      << "  \"min_version_seen\": " << min_version_seen.load() << ",\n"
+      << "  \"max_version_seen\": " << max_version_seen.load() << ",\n"
+      << "  \"served_queries\": " << service.served_queries() << ",\n"
+      << "  \"rejected_queries\": " << service.rejected_queries() << "\n"
+      << "}\n";
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace urcl
+
+int main(int argc, char** argv) { return urcl::Run(argc, argv); }

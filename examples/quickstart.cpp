@@ -35,6 +35,8 @@
 #include "data/stream.h"
 #include "obs/json.h"
 #include "obs/obs.h"
+#include "serve/service.h"
+#include "tensor/tensor_ops.h"
 
 using namespace urcl;
 
@@ -80,8 +82,11 @@ int main(int argc, char** argv) {
   data::StreamSplitter stream(dataset, data::StreamConfig{});
 
   // 4. Configure URCL (GraphWaveNet backbone, replay + RMIR + STMixup +
-  //    STSimSiam with spatio-temporal augmentation).
-  core::UrclConfig config;
+  //    STSimSiam with spatio-temporal augmentation). The flags route through
+  //    serve::ServiceConfig so training and the serving demo below share one
+  //    validated configuration (Validate() reports every bad field up front).
+  serve::ServiceConfig service_config;
+  core::UrclConfig& config = service_config.model;
   config.encoder.num_nodes = nodes;
   config.encoder.in_channels = preset.channels;
   config.encoder.input_steps = preset.input_steps;
@@ -89,7 +94,21 @@ int main(int argc, char** argv) {
   // weight of 1.0 assumes 100 epochs per set; see DESIGN.md).
   config.ssl_weight = 0.05f;
   config.seed = seed;
+  service_config.max_batch = flags.GetInt("max-batch", 16);
+  service_config.queue_depth = flags.GetInt("queue-depth", 64);
+  const std::vector<std::string> config_errors = service_config.Validate();
+  if (!config_errors.empty()) {
+    for (const std::string& error : config_errors) {
+      std::fprintf(stderr, "invalid flag combination: %s\n", error.c_str());
+    }
+    return 1;
+  }
   core::UrclTrainer urcl(config, generator.network());
+
+  // The serving layer rides along: every stage end publishes an immutable
+  // weight snapshot into the service, which answers live forecasts below.
+  serve::ForecastService service(service_config, generator.network(), normalizer);
+  urcl.SetSnapshotSink(service.SnapshotSink());
 
   // 4b. Crash-safe checkpointing: restore the newest valid checkpoint (if
   //     any) and write a new one every N steps while training.
@@ -155,6 +174,29 @@ int main(int argc, char** argv) {
   std::printf("\nReplay buffer: %lld items (%lld evictions)\n",
               static_cast<long long>(urcl.buffer().size()),
               static_cast<long long>(urcl.buffer().evictions()));
+
+  // 6. Serving demo: the stage-end snapshots were hot-swapped into the
+  //    service during training; feed it the last raw input window and ask
+  //    for a one-step-ahead forecast (answered by the tape-free inference
+  //    executor, stamped with the version/stage that served it).
+  if (service.hub().Current() != nullptr) {
+    for (int64_t t = raw_series.dim(0) - preset.input_steps; t < raw_series.dim(0); ++t) {
+      service.IngestTick(ops::Slice(raw_series, {t, 0, 0}, {1, nodes, raw_series.dim(2)})
+                             .Reshape(Shape{nodes, raw_series.dim(2)}));
+    }
+    core::PredictResponse forecast;
+    const Status served = service.Forecast(/*horizon=*/1, &forecast);
+    if (served.ok()) {
+      const float mean_norm = ops::Mean(forecast.predictions).Item();
+      const float mph = normalizer.min(0) + mean_norm * (normalizer.max(0) - normalizer.min(0));
+      std::printf("Serving demo: model v%lld (stage %lld) forecasts a mean speed of "
+                  "%.1f mph for the next step.\n",
+                  static_cast<long long>(forecast.model_version),
+                  static_cast<long long>(forecast.stage), mph);
+    } else {
+      std::fprintf(stderr, "serving demo failed: %s\n", served.message().c_str());
+    }
+  }
 
   const fault::FaultInjector& injector = fault::FaultInjector::Instance();
   if (injector.enabled() || urcl.quarantined_batches() > 0) {

@@ -4,7 +4,9 @@
 #   1. the repo lint (tools/lint) over the source tree;
 #   2. an ASan+UBSan build (poisoning + graph checks forced on) running the
 #      `analysis`-labeled tests plus the pool/autograd suites;
-#   3. a TSan build running the `analysis`-labeled tests.
+#   3. a TSan build running the `analysis`- and `serving`-labeled tests
+#      (serving is mandatory under TSan: the hot-swap path is lock-free and
+#      its data-race freedom is part of the serving contract).
 #
 # Build trees are kept under build-check-{asan,tsan} and reused across runs.
 # Usage: scripts/check.sh [-j N]
@@ -38,12 +40,12 @@ URCL_CHECK=1 URCL_POOL_POISON=1 \
 URCL_CHECK=1 URCL_POOL_POISON=1 ./build-check-asan/tests/pool_test
 URCL_CHECK=1 URCL_POOL_POISON=1 ./build-check-asan/tests/autograd_test
 
-echo "== [3/3] TSan: analysis tests =="
+echo "== [3/3] TSan: analysis + serving tests =="
 cmake -B build-check-tsan -S . -DURCL_SANITIZE=thread \
   -DURCL_BUILD_BENCHMARKS=OFF -DURCL_BUILD_EXAMPLES=OFF >/dev/null
 # urcl_lint is built here too: the repo_lint ctest entry runs the binary.
-cmake --build build-check-tsan -j"$jobs" --target check_test lint_test urcl_lint
+cmake --build build-check-tsan -j"$jobs" --target check_test lint_test serve_test urcl_lint
 URCL_CHECK=1 URCL_POOL_POISON=1 \
-  ctest --test-dir build-check-tsan -L analysis --output-on-failure -j"$jobs"
+  ctest --test-dir build-check-tsan -L "analysis|serving" --output-on-failure -j"$jobs"
 
 echo "scripts/check.sh: all analysis gates passed"

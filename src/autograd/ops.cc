@@ -319,66 +319,11 @@ Variable Dropout(const Variable& a, float p, Rng& rng, bool training) {
                           });
 }
 
-namespace {
-
-// Raw temporal convolution forward: out[b,co,n,t] += in[b,ci,n,t+d*k] * w[co,ci,0,k].
-Tensor TemporalConvForward(const Tensor& input, const Tensor& weight, int64_t dilation) {
-  const int64_t batch = input.dim(0), c_in = input.dim(1), nodes = input.dim(2),
-                time = input.dim(3);
-  const int64_t c_out = weight.dim(0), kernel = weight.dim(3);
-  URCL_CHECK_EQ(weight.dim(1), c_in) << "TemporalConv2d channel mismatch";
-  URCL_CHECK_EQ(weight.dim(2), 1);
-  const int64_t t_out = time - dilation * (kernel - 1);
-  URCL_CHECK_GT(t_out, 0) << "TemporalConv2d: receptive field " << dilation * (kernel - 1) + 1
-                          << " exceeds input length " << time;
-  Tensor out(Shape{batch, c_out, nodes, t_out});
-  const float* pi = input.data();
-  const float* pw = weight.data();
-  float* po = out.mutable_data();
-  // Each output row [b, co, n, :] is produced wholly by one chunk, with the
-  // ci -> k -> t accumulation order fixed, so results are bitwise identical
-  // at any thread count.
-  const int64_t total_rows = batch * c_out * nodes;
-  const int64_t row_cost = c_in * kernel * t_out;
-  const int64_t grain = std::max<int64_t>(1, (1 << 15) / std::max<int64_t>(1, row_cost));
-  runtime::ParallelFor(0, total_rows, grain, [&](int64_t row_begin, int64_t row_end) {
-    for (int64_t r = row_begin; r < row_end; ++r) {
-      const int64_t n = r % nodes;
-      const int64_t co = (r / nodes) % c_out;
-      const int64_t b = r / (nodes * c_out);
-      float* out_row = po + r * t_out;
-      for (int64_t ci = 0; ci < c_in; ++ci) {
-        const float* w_row = pw + (co * c_in + ci) * kernel;
-        const float* in_row = pi + ((b * c_in + ci) * nodes + n) * time;
-        for (int64_t k = 0; k < kernel; ++k) {
-          const float w = w_row[k];
-          if (w == 0.0f) continue;
-          const int64_t shift = dilation * k;
-          // Lane-parallel over independent time steps; the ci -> k sum per
-          // step keeps its scalar order, so results are bitwise unchanged.
-          const simd::F32x8 vw = simd::Broadcast(w);
-          int64_t t = 0;
-          for (; t + simd::kLanes <= t_out; t += simd::kLanes) {
-            simd::StoreU(out_row + t,
-                         simd::Add(simd::LoadU(out_row + t),
-                                   simd::Mul(vw, simd::LoadU(in_row + t + shift))));
-          }
-          for (; t < t_out; ++t) out_row[t] += w * in_row[t + shift];
-        }
-      }
-    }
-  });
-  return out;
-}
-
-}  // namespace
-
 Variable TemporalConv2d(const Variable& input, const Variable& weight, int64_t dilation) {
   URCL_PROFILE_OP();
-  URCL_CHECK_EQ(input.shape().rank(), 4) << "TemporalConv2d input must be [B, C, N, T]";
-  URCL_CHECK_EQ(weight.shape().rank(), 4) << "TemporalConv2d weight must be [Co, Ci, 1, K]";
-  URCL_CHECK_GE(dilation, 1);
-  Tensor value = TemporalConvForward(input.value(), weight.value(), dilation);
+  // Shape/dilation validation lives in the shared kernel (ops::TemporalConv2d),
+  // which the inference-only serving executor also calls directly.
+  Tensor value = top::TemporalConv2d(input.value(), weight.value(), dilation);
   return Variable::MakeOp(
       std::move(value), "temporal_conv2d", {input, weight},
       [input, weight, dilation](const Tensor& g) {

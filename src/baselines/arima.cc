@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/check.h"
 
@@ -154,7 +155,9 @@ std::vector<float> ArimaPredictor::Forecast(const std::vector<float>& history, i
   return forecasts;
 }
 
-Tensor ArimaPredictor::Predict(const Tensor& inputs) {
+Status ArimaPredictor::Predict(const core::PredictRequest& request,
+                               core::PredictResponse* response) const {
+  const Tensor& inputs = request.inputs;
   URCL_CHECK_EQ(inputs.rank(), 4) << "expected [B, M, N, C]";
   URCL_CHECK(!coefficients_.empty()) << "ARIMA must be trained before prediction";
   const int64_t batch = inputs.dim(0);
@@ -174,7 +177,7 @@ Tensor ArimaPredictor::Predict(const Tensor& inputs) {
       }
     }
   }
-  return out;
+  return core::FinishPrediction(request, std::move(out), response);
 }
 
 }  // namespace baselines

@@ -27,7 +27,9 @@ class ArimaPredictor : public core::StPredictor {
   // "Training" = refitting the per-node AR coefficients on this stage.
   std::vector<float> TrainStage(const data::StDataset& train, int64_t epochs) override;
 
-  Tensor Predict(const Tensor& inputs) override;
+  Status Predict(const core::PredictRequest& request,
+                 core::PredictResponse* response) const override;
+  using core::StPredictor::Predict;  // re-expose the deprecated Tensor shim
 
   // Fitted coefficients for `node`: [c, phi_1..phi_p]; empty before training.
   const std::vector<float>& Coefficients(int64_t node) const;

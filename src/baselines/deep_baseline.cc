@@ -113,10 +113,11 @@ void DeepBaseline::LoadCheckpoint(const std::string& path) {
   LoadStateDict(LoadTensors(path));
 }
 
-Tensor DeepBaseline::Predict(const Tensor& inputs) {
-  SetTraining(false);
-  autograd::Variable x(inputs, /*requires_grad=*/false);
-  return decoder_->Forward(encoder_->Encode(x, adjacency_)).value();
+Status DeepBaseline::Predict(const core::PredictRequest& request,
+                             core::PredictResponse* response) const {
+  return core::FinishPrediction(
+      request, decoder_->InferForward(encoder_->EncodeInference(request.inputs, adjacency_)),
+      response);
 }
 
 }  // namespace baselines

@@ -41,7 +41,9 @@ class DeepBaseline : public core::StPredictor, public nn::Module {
                                               const data::StDataset& val, int64_t max_epochs,
                                               int64_t patience) override;
 
-  Tensor Predict(const Tensor& inputs) override;
+  Status Predict(const core::PredictRequest& request,
+                 core::PredictResponse* response) const override;
+  using core::StPredictor::Predict;  // re-expose the deprecated Tensor shim
 
   // Saves/restores the model parameters (binary tensor file).
   void SaveCheckpoint(const std::string& path) const;

@@ -1,5 +1,7 @@
 #include "baselines/historical_average.h"
 
+#include <utility>
+
 #include "common/check.h"
 
 namespace urcl {
@@ -17,7 +19,9 @@ std::vector<float> HistoricalAverage::TrainStage(const data::StDataset& train, i
   return {0.0f};
 }
 
-Tensor HistoricalAverage::Predict(const Tensor& inputs) {
+Status HistoricalAverage::Predict(const core::PredictRequest& request,
+                                  core::PredictResponse* response) const {
+  const Tensor& inputs = request.inputs;
   URCL_CHECK_EQ(inputs.rank(), 4) << "expected [B, M, N, C]";
   const int64_t batch = inputs.dim(0);
   const int64_t steps = inputs.dim(1);
@@ -32,7 +36,7 @@ Tensor HistoricalAverage::Predict(const Tensor& inputs) {
       for (int64_t s = 0; s < output_steps_; ++s) out.Set({b, s, node, 0}, mean);
     }
   }
-  return out;
+  return core::FinishPrediction(request, std::move(out), response);
 }
 
 }  // namespace baselines

@@ -17,7 +17,9 @@ class HistoricalAverage : public core::StPredictor {
 
   std::string name() const override { return "HistoricalAverage"; }
   std::vector<float> TrainStage(const data::StDataset& train, int64_t epochs) override;
-  Tensor Predict(const Tensor& inputs) override;
+  Status Predict(const core::PredictRequest& request,
+                 core::PredictResponse* response) const override;
+  using core::StPredictor::Predict;  // re-expose the deprecated Tensor shim
 
  private:
   int64_t output_steps_;

@@ -71,10 +71,14 @@ Tensor OnlineLearner::PredictNext() {
   URCL_CHECK(CanPredict()) << "OnlineLearner cannot predict yet";
   Tensor window = HistoryWindow(config_.window.input_steps);
   Tensor batch = window.Reshape(Shape{1, window.dim(0), window.dim(1), window.dim(2)});
-  Tensor prediction = trainer_->Predict(batch);  // [1, N_out, N, 1]
-  pending_prediction_ =
-      ops::Slice(prediction, {0, 0, 0, 0}, {1, 1, prediction.dim(2), 1})
-          .Reshape(Shape{1, prediction.dim(2), 1});
+  core::PredictRequest request;
+  request.inputs = batch;
+  request.horizon = 1;  // only the next step feeds the drift detector
+  core::PredictResponse response;
+  const Status status = trainer_->Predict(request, &response);
+  URCL_CHECK(status.ok()) << "OnlineLearner prediction failed: " << status.message();
+  const Tensor& prediction = response.predictions;  // [1, 1, N, 1]
+  pending_prediction_ = prediction.Reshape(Shape{1, prediction.dim(2), 1});
   has_pending_ = true;
   return pending_prediction_;
 }

@@ -131,11 +131,10 @@ std::vector<float> EwcTrainer::TrainStage(const data::StDataset& train, int64_t 
   return epoch_losses;
 }
 
-Tensor EwcTrainer::Predict(const Tensor& inputs) {
-  encoder_->SetTraining(false);
-  decoder_->SetTraining(false);
-  autograd::Variable x(inputs, false);
-  return decoder_->Forward(encoder_->Encode(x, adjacency_)).value();
+Status EwcTrainer::Predict(const PredictRequest& request, PredictResponse* response) const {
+  return FinishPrediction(
+      request, decoder_->InferForward(encoder_->EncodeInference(request.inputs, adjacency_)),
+      response);
 }
 
 }  // namespace core

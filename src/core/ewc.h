@@ -49,7 +49,8 @@ class EwcTrainer : public StPredictor {
   // consolidated before), then consolidates this stage's Fisher information.
   std::vector<float> TrainStage(const data::StDataset& train, int64_t epochs) override;
 
-  Tensor Predict(const Tensor& inputs) override;
+  Status Predict(const PredictRequest& request, PredictResponse* response) const override;
+  using StPredictor::Predict;  // re-expose the deprecated Tensor shim
 
   bool consolidated() const { return !fisher_.empty(); }
 

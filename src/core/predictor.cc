@@ -1,13 +1,44 @@
 #include "core/predictor.h"
 
 #include <algorithm>
+#include <string>
+#include <utility>
 
 #include "common/check.h"
+#include "tensor/tensor_ops.h"
 
 namespace urcl {
 namespace core {
 
-void EvaluatePredictorInto(StPredictor& model, const data::StDataset& test,
+Tensor StPredictor::Predict(const Tensor& inputs) const {
+  PredictRequest request;
+  request.inputs = inputs;
+  PredictResponse response;
+  const Status status = Predict(request, &response);
+  URCL_CHECK(status.ok()) << name() << ": Predict failed: " << status.message();
+  return response.predictions;
+}
+
+Status FinishPrediction(const PredictRequest& request, Tensor full, PredictResponse* response) {
+  if (response == nullptr) return Status::Error("PredictResponse must not be null");
+  URCL_CHECK_EQ(full.shape().rank(), 4) << "predictions must be [B, N_out, N, 1]";
+  const int64_t output_steps = full.shape().dim(1);
+  if (request.horizon < 0 || request.horizon > output_steps) {
+    return Status::Error("requested horizon " + std::to_string(request.horizon) +
+                         " outside the model's output window [0, " +
+                         std::to_string(output_steps) + "]");
+  }
+  if (request.horizon == 0 || request.horizon == output_steps) {
+    response->predictions = std::move(full);
+    return Status::Ok();
+  }
+  response->predictions =
+      ops::Slice(full, {0, 0, 0, 0},
+                 {full.shape().dim(0), request.horizon, full.shape().dim(2), full.shape().dim(3)});
+  return Status::Ok();
+}
+
+void EvaluatePredictorInto(const StPredictor& model, const data::StDataset& test,
                            const data::MinMaxNormalizer& normalizer, int64_t target_channel,
                            int64_t batch_size, data::MetricsAccumulator* accumulator) {
   URCL_CHECK_GT(batch_size, 0);
@@ -28,7 +59,8 @@ void EvaluatePredictorInto(StPredictor& model, const data::StDataset& test,
   }
 }
 
-double ValidationMae(StPredictor& model, const data::StDataset& dataset, int64_t batch_size) {
+double ValidationMae(const StPredictor& model, const data::StDataset& dataset,
+                     int64_t batch_size) {
   URCL_CHECK_GT(batch_size, 0);
   const int64_t num_samples = dataset.NumSamples();
   URCL_CHECK_GT(num_samples, 0) << "validation split has no complete windows";
@@ -43,7 +75,7 @@ double ValidationMae(StPredictor& model, const data::StDataset& dataset, int64_t
   return accumulator.Result().mae;
 }
 
-data::EvalMetrics EvaluatePredictor(StPredictor& model, const data::StDataset& test,
+data::EvalMetrics EvaluatePredictor(const StPredictor& model, const data::StDataset& test,
                                     const data::MinMaxNormalizer& normalizer,
                                     int64_t target_channel, int64_t batch_size) {
   data::MetricsAccumulator accumulator;

@@ -4,15 +4,38 @@
 #ifndef URCL_CORE_PREDICTOR_H_
 #define URCL_CORE_PREDICTOR_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "data/dataset.h"
 #include "data/metrics.h"
 #include "data/normalizer.h"
 
 namespace urcl {
 namespace core {
+
+// A batched forecast query. `inputs` is the normalized observation window
+// [B, M, N, C]; `horizon` selects how many lead steps of the model's output
+// window to return (0 = the model's full output window). Requests asking for
+// more steps than the model produces are rejected with an error Status.
+struct PredictRequest {
+  Tensor inputs;
+  int64_t horizon = 0;
+};
+
+// The answer to a PredictRequest. `predictions` is [B, H, N, 1] in
+// normalized space where H is the effective horizon. The version fields
+// identify the weights that served the query: `model_version` counts
+// published weight snapshots (0 = live/unversioned weights) and `stage` is
+// the training stage those weights came from (-1 = unknown / stage-less
+// model). The serving layer surfaces both so clients can detect hot-swaps.
+struct PredictResponse {
+  Tensor predictions;
+  int64_t model_version = 0;
+  int64_t stage = -1;
+};
 
 class StPredictor {
  public:
@@ -37,8 +60,19 @@ class StPredictor {
     return TrainStage(train, max_epochs);
   }
 
-  // Predicts [B, M, N, C] -> [B, N_out, N, 1] in normalized space.
-  virtual Tensor Predict(const Tensor& inputs) = 0;
+  // Answers a batched forecast query: [B, M, N, C] -> [B, H, N, 1] in
+  // normalized space, stamping the model version/stage into the response.
+  // Const so a predictor (or an immutable weight snapshot wrapping one) can
+  // serve many reader threads concurrently; recoverable problems (bad
+  // horizon, malformed batch) come back as an error Status instead of
+  // aborting the server.
+  virtual Status Predict(const PredictRequest& request, PredictResponse* response) const = 0;
+
+  // Deprecated shim for the pre-serving API: full-horizon prediction
+  // [B, M, N, C] -> [B, N_out, N, 1], aborting on error. Prefer the
+  // Status-returning overload; subclasses re-expose this with
+  // `using core::StPredictor::Predict;` (C++ name hiding).
+  Tensor Predict(const Tensor& inputs) const;
 
   // --- Crash-safety hooks (no-ops for models without checkpoint support) ---
 
@@ -58,20 +92,27 @@ class StPredictor {
   virtual bool TrainingInterrupted() const { return false; }
 };
 
+// Shared tail of every Predict implementation: validates the requested
+// horizon against the model's full output window `full` ([B, N_out, N, 1]),
+// slices the leading `horizon` steps when a partial window was asked for and
+// moves the result into `response->predictions`. Version/stage stamping
+// remains the implementation's responsibility.
+Status FinishPrediction(const PredictRequest& request, Tensor full, PredictResponse* response);
+
 // Mean absolute error of `model` on `dataset` in normalized space (no
 // denormalization; used for early stopping).
-double ValidationMae(StPredictor& model, const data::StDataset& dataset,
+double ValidationMae(const StPredictor& model, const data::StDataset& dataset,
                      int64_t batch_size = 16);
 
 // Evaluates `model` over every window of `test`, denormalizing predictions
 // and targets with `normalizer` (the paper reports MAE/RMSE in data units).
-data::EvalMetrics EvaluatePredictor(StPredictor& model, const data::StDataset& test,
+data::EvalMetrics EvaluatePredictor(const StPredictor& model, const data::StDataset& test,
                                     const data::MinMaxNormalizer& normalizer,
                                     int64_t target_channel, int64_t batch_size = 16);
 
 // Same, but accumulates into `accumulator` so several test sets can be
 // pooled (the seen-so-far continual evaluation protocol).
-void EvaluatePredictorInto(StPredictor& model, const data::StDataset& test,
+void EvaluatePredictorInto(const StPredictor& model, const data::StDataset& test,
                            const data::MinMaxNormalizer& normalizer, int64_t target_channel,
                            int64_t batch_size, data::MetricsAccumulator* accumulator);
 

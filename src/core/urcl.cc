@@ -108,6 +108,10 @@ Variable UrclModel::Forward(const Variable& observations, const Tensor& adjacenc
   return decoder_->Forward(encoder_->Encode(observations, adjacency));
 }
 
+Tensor UrclModel::ForwardInference(const Tensor& observations, const Tensor& adjacency) const {
+  return decoder_->InferForward(encoder_->EncodeInference(observations, adjacency));
+}
+
 UrclTrainer::UrclTrainer(const UrclConfig& config, const graph::SensorNetwork& network)
     : config_(config),
       rng_(config.seed),
@@ -421,6 +425,10 @@ std::vector<float> UrclTrainer::TrainStage(const data::StDataset& train, int64_t
       cursor_.epoch_loss_sum = loss_sum;
       cursor_.epoch_steps = steps;
       cursor_.epoch_losses = epoch_losses;
+      if (snapshot_sink_ && publish_every_steps_ > 0 && step_count_ > 0 &&
+          step_count_ % publish_every_steps_ == 0) {
+        PublishSnapshot();
+      }
       if (checkpoint_manager_ != nullptr && checkpoint_config_.every_steps > 0 &&
           step_count_ > 0 && step_count_ % checkpoint_config_.every_steps == 0) {
         const Status saved = SaveFullCheckpoint();
@@ -446,7 +454,9 @@ std::vector<float> UrclTrainer::TrainStage(const data::StDataset& train, int64_t
   }
 
   // Stage complete: point the cursor at the next stage and checkpoint, so a
-  // crash between stages costs nothing.
+  // crash between stages costs nothing. Serving sinks get the stage's final
+  // weights before the kill-point so a completed stage is always published.
+  PublishSnapshot();
   cursor_ = StageCursor{current_stage_ + 1, 0, 0, 0.0, 0, {}};
   if (checkpoint_manager_ != nullptr) {
     const Status saved = SaveFullCheckpoint();
@@ -505,6 +515,19 @@ namespace {
 // (the container itself carries its own format version).
 constexpr uint32_t kTrainerStateVersion = 1;
 
+// Version of the "serve_meta" section handed to snapshot sinks (parsed by
+// serve::ParseModelSnapshot; bump together).
+constexpr uint32_t kServeMetaVersion = 1;
+
+// The "model" section body shared by full checkpoints and serving snapshots:
+// tensor count then each tensor, in StateDict() order.
+std::string SerializeStateDict(const std::vector<Tensor>& state) {
+  std::ostringstream model;
+  io::WritePod(model, static_cast<uint64_t>(state.size()));
+  for (const Tensor& t : state) SaveTensor(t, model);
+  return model.str();
+}
+
 void WriteFloatVector(std::ostream& out, const std::vector<float>& values) {
   io::WritePod(out, static_cast<uint64_t>(values.size()));
   for (const float v : values) io::WritePod(out, v);
@@ -524,6 +547,26 @@ Status ReadFloatVector(std::istream& in, uint64_t max_count, const char* what,
 }
 
 }  // namespace
+
+void UrclTrainer::SetSnapshotSink(SnapshotSink sink, int64_t publish_every_steps) {
+  URCL_CHECK_GE(publish_every_steps, 0);
+  snapshot_sink_ = std::move(sink);
+  publish_every_steps_ = publish_every_steps;
+}
+
+void UrclTrainer::PublishSnapshot() {
+  if (!snapshot_sink_) return;
+  URCL_TRACE_SCOPE("publish_snapshot");
+  checkpoint::Container container;
+  container.Add("model", SerializeStateDict(model_->StateDict()));
+  std::ostringstream meta;
+  io::WritePod(meta, kServeMetaVersion);
+  io::WritePod(meta, ++snapshots_published_);
+  io::WritePod(meta, current_stage_);
+  io::WritePod(meta, step_count_);
+  container.Add("serve_meta", meta.str());
+  snapshot_sink_(container);
+}
 
 void UrclTrainer::EnableCheckpointing(const CheckpointConfig& config) {
   URCL_CHECK(!config.dir.empty()) << "CheckpointConfig.dir must be set";
@@ -564,13 +607,7 @@ Status UrclTrainer::SaveFullCheckpoint() {
   }
 
   // "model": parameter tensors in Parameters() order.
-  {
-    std::ostringstream model;
-    const std::vector<Tensor> state = model_->StateDict();
-    io::WritePod(model, static_cast<uint64_t>(state.size()));
-    for (const Tensor& t : state) SaveTensor(t, model);
-    container.Add("model", model.str());
-  }
+  container.Add("model", SerializeStateDict(model_->StateDict()));
 
   // "optimizer": Adam step counter + first/second moments.
   {
@@ -702,10 +739,15 @@ Status UrclTrainer::RestoreFromCheckpointDir(std::string* diagnostics) {
   return Status::Ok();
 }
 
-Tensor UrclTrainer::Predict(const Tensor& inputs) {
-  model_->SetTraining(false);
-  Variable x(inputs, /*requires_grad=*/false);
-  return model_->Forward(x, adjacency_).value();
+Status UrclTrainer::Predict(const PredictRequest& request, PredictResponse* response) const {
+  // The tape-free path: bitwise-equal to the Variable forward (same ops::
+  // kernel sequence) without allocating graph nodes or grad buffers.
+  Status status =
+      FinishPrediction(request, model_->ForwardInference(request.inputs, adjacency_), response);
+  if (!status.ok()) return status;
+  response->stage = current_stage_;
+  response->model_version = snapshots_published_;
+  return Status::Ok();
 }
 
 }  // namespace core

@@ -6,6 +6,8 @@
 #ifndef URCL_CORE_URCL_H_
 #define URCL_CORE_URCL_H_
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -86,6 +88,11 @@ class UrclModel : public nn::Module {
   // Prediction path (Eq. 17): decoder(encoder(x)).
   Variable Forward(const Variable& observations, const Tensor& adjacency) const;
 
+  // Tape-free prediction path for the serving executor: no Variable graph,
+  // no grad buffers — the same ops:: kernel sequence as Forward, so the
+  // result is bitwise-equal to Forward(...).value() on identical inputs.
+  Tensor ForwardInference(const Tensor& observations, const Tensor& adjacency) const;
+
   StBackbone& encoder() { return *encoder_; }
   const StBackbone& encoder() const { return *encoder_; }
   StSimSiam& simsiam() { return *simsiam_; }
@@ -127,7 +134,8 @@ class UrclTrainer : public StPredictor {
                                               const data::StDataset& val, int64_t max_epochs,
                                               int64_t patience) override;
 
-  Tensor Predict(const Tensor& inputs) override;
+  Status Predict(const PredictRequest& request, PredictResponse* response) const override;
+  using StPredictor::Predict;  // re-expose the deprecated Tensor shim
 
   // Saves/restores the model parameters (binary tensor file). Legacy
   // model-only snapshot; the crash-safe path is EnableCheckpointing below.
@@ -153,6 +161,23 @@ class UrclTrainer : public StPredictor {
   // uninterrupted run bit-for-bit. Returns an error (and leaves the trainer
   // untouched) when no checkpoint is valid.
   Status RestoreFromCheckpointDir(std::string* diagnostics = nullptr);
+
+  // --- Weight-snapshot publication (serving hot-swap) ----------------------
+
+  // Receives each published weight snapshot as a checkpoint-format Container
+  // with two sections: "model" (the StateDict tensors, same layout as the
+  // full checkpoint's model section) and "serve_meta" (schema version,
+  // monotonically increasing snapshot version, training stage, step count).
+  // The serving layer parses these into immutable in-memory model versions.
+  using SnapshotSink = std::function<void(const checkpoint::Container&)>;
+
+  // Publishes at every stage end, plus every `publish_every_steps`
+  // optimization steps when > 0. The sink is invoked synchronously on the
+  // training thread; it must copy what it keeps.
+  void SetSnapshotSink(SnapshotSink sink, int64_t publish_every_steps = 0);
+
+  // Number of snapshots published so far; the version stamp of the newest.
+  int64_t snapshots_published() const { return snapshots_published_; }
 
   // StPredictor crash-safety hooks.
   void BeginStage(int64_t stage_index) override { current_stage_ = stage_index; }
@@ -199,6 +224,10 @@ class UrclTrainer : public StPredictor {
   // Per-item MAE losses of buffer items `indices` under current parameters.
   std::vector<float> PerItemLosses(const std::vector<int64_t>& indices);
 
+  // Serializes the current weights + serve_meta and hands the container to
+  // the snapshot sink (no-op when no sink is set).
+  void PublishSnapshot();
+
   UrclConfig config_;
   Rng rng_;
   Tensor adjacency_;  // clean adjacency of the sensor network
@@ -212,6 +241,11 @@ class UrclTrainer : public StPredictor {
   std::vector<float> loss_history_;
   int64_t step_count_ = 0;
   std::vector<int64_t> cached_selection_;
+
+  // Snapshot publication state.
+  SnapshotSink snapshot_sink_;
+  int64_t publish_every_steps_ = 0;
+  int64_t snapshots_published_ = 0;
 
   // Crash-safety state.
   CheckpointConfig checkpoint_config_;

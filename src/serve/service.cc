@@ -1,0 +1,221 @@
+#include "serve/service.h"
+
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
+
+namespace urcl {
+namespace serve {
+namespace {
+
+// Decrements the in-flight admission counter when a query leaves the
+// service, on every return path.
+class InFlightGuard {
+ public:
+  explicit InFlightGuard(std::atomic<int64_t>& counter) : counter_(counter) {}
+  ~InFlightGuard() { counter_.fetch_sub(1, std::memory_order_relaxed); }
+  InFlightGuard(const InFlightGuard&) = delete;
+  InFlightGuard& operator=(const InFlightGuard&) = delete;
+
+ private:
+  std::atomic<int64_t>& counter_;
+};
+
+}  // namespace
+
+std::vector<std::string> ServiceConfig::Validate() const {
+  std::vector<std::string> errors;
+  for (const std::string& error : model.Validate()) errors.push_back("model: " + error);
+  if (window_steps < 0) errors.push_back("window_steps must be >= 0 (0 = model input window)");
+  if (window_steps > 0 && window_steps != model.encoder.input_steps) {
+    errors.push_back("window_steps (" + std::to_string(window_steps) +
+                     ") must match the model input window (" +
+                     std::to_string(model.encoder.input_steps) +
+                     ") so rolling-window queries fit the encoder");
+  }
+  if (max_batch < 1) errors.push_back("max_batch must be >= 1");
+  if (queue_depth < 1) errors.push_back("queue_depth must be >= 1");
+  if (snapshot_poll_every < 1) {
+    errors.push_back("snapshot_poll_every must be >= 1 (1 = poll on every query)");
+  }
+  return errors;
+}
+
+ForecastService::ForecastService(const ServiceConfig& config,
+                                 const graph::SensorNetwork& network,
+                                 const data::MinMaxNormalizer& normalizer)
+    : config_(config),
+      window_steps_(config.EffectiveWindowSteps()),
+      num_nodes_(network.num_nodes()),
+      num_channels_(normalizer.num_channels()),
+      adjacency_(network.AdjacencyMatrix()) {
+  const std::vector<std::string> errors = config.Validate();
+  URCL_CHECK(errors.empty()) << "invalid ServiceConfig: " << errors.front();
+  URCL_CHECK_EQ(num_nodes_, config.model.encoder.num_nodes)
+      << "sensor network does not match the model's node count";
+  URCL_CHECK_EQ(num_channels_, config.model.encoder.in_channels)
+      << "normalizer channel count does not match the model's input channels";
+  channel_min_.resize(static_cast<size_t>(num_channels_));
+  channel_max_.resize(static_cast<size_t>(num_channels_));
+  for (int64_t c = 0; c < num_channels_; ++c) {
+    channel_min_[static_cast<size_t>(c)] = normalizer.min(c);
+    channel_max_[static_cast<size_t>(c)] = normalizer.max(c);
+  }
+  ring_.assign(static_cast<size_t>(window_steps_ * num_nodes_ * num_channels_), 0.0f);
+}
+
+core::UrclTrainer::SnapshotSink ForecastService::SnapshotSink() {
+  return [this](const checkpoint::Container& container) {
+    URCL_TRACE_SCOPE("serve.ingest_snapshot");
+    std::shared_ptr<const ModelSnapshot> snapshot;
+    const Status status = ParseModelSnapshot(container, config_.model, &snapshot);
+    const bool metrics = obs::MetricsEnabled();
+    if (!status.ok()) {
+      // Keep the previous version live; a bad publish must not take the
+      // service down.
+      if (metrics) {
+        obs::MetricsRegistry::Get().GetCounter("urcl.serve.snapshot_parse_failures").Add(1);
+      }
+      return;
+    }
+    hub_.Publish(std::move(snapshot));
+    if (metrics) {
+      auto& registry = obs::MetricsRegistry::Get();
+      registry.GetCounter("urcl.serve.snapshots").Add(1);
+      registry.GetGauge("urcl.serve.model_version")
+          .Set(static_cast<double>(hub_.Current()->version));
+    }
+  };
+}
+
+void ForecastService::IngestTick(const Tensor& observations) {
+  URCL_TRACE_SCOPE("serve.ingest_tick");
+  URCL_CHECK_EQ(observations.rank(), 2) << "tick must be [N, C]";
+  URCL_CHECK_EQ(observations.dim(0), num_nodes_);
+  URCL_CHECK_EQ(observations.dim(1), num_channels_);
+  const float* raw = observations.data();
+  const int64_t tick_size = num_nodes_ * num_channels_;
+  {
+    std::unique_lock<std::shared_mutex> lock(window_mu_);
+    float* slot = ring_.data() + next_slot_ * tick_size;
+    for (int64_t i = 0; i < tick_size; ++i) {
+      // Same expression as MinMaxNormalizer::Transform, so windows assembled
+      // here are bitwise-identical to training-time normalized inputs.
+      const size_t c = static_cast<size_t>(i % num_channels_);
+      slot[i] = (raw[i] - channel_min_[c]) / (channel_max_[c] - channel_min_[c]);
+    }
+    next_slot_ = (next_slot_ + 1) % window_steps_;
+    ++ticks_;
+  }
+  if (obs::MetricsEnabled()) {
+    obs::MetricsRegistry::Get().GetCounter("urcl.serve.ticks").Add(1);
+  }
+}
+
+bool ForecastService::WindowReady() const {
+  std::shared_lock<std::shared_mutex> lock(window_mu_);
+  return ticks_ >= window_steps_;
+}
+
+int64_t ForecastService::ticks_ingested() const {
+  std::shared_lock<std::shared_mutex> lock(window_mu_);
+  return ticks_;
+}
+
+Tensor ForecastService::CurrentWindow() const {
+  Tensor window(Shape{1, window_steps_, num_nodes_, num_channels_});
+  float* dst = window.mutable_data();
+  const int64_t tick_size = num_nodes_ * num_channels_;
+  std::shared_lock<std::shared_mutex> lock(window_mu_);
+  URCL_CHECK_GE(ticks_, window_steps_) << "rolling window is still filling";
+  // Oldest tick lives in the slot the next write would overwrite.
+  for (int64_t t = 0; t < window_steps_; ++t) {
+    const int64_t slot = (next_slot_ + t) % window_steps_;
+    const float* src = ring_.data() + slot * tick_size;
+    float* out = dst + t * tick_size;
+    for (int64_t i = 0; i < tick_size; ++i) out[i] = src[i];
+  }
+  return window;
+}
+
+Status ForecastService::Forecast(int64_t horizon, core::PredictResponse* response) const {
+  if (!WindowReady()) {
+    return Status::Error("rolling window still filling: " + std::to_string(ticks_ingested()) +
+                         "/" + std::to_string(window_steps_) + " ticks");
+  }
+  core::PredictRequest request;
+  request.inputs = CurrentWindow();
+  request.horizon = horizon;
+  return Predict(request, response);
+}
+
+std::shared_ptr<const ModelSnapshot> ForecastService::AcquireSnapshot() const {
+  if (config_.snapshot_poll_every <= 1) return hub_.Current();
+  const int64_t seq = query_seq_.fetch_add(1, std::memory_order_relaxed);
+  if (seq % config_.snapshot_poll_every == 0) {
+    std::shared_ptr<const ModelSnapshot> fresh = hub_.Current();
+    cached_snapshot_.store(fresh, std::memory_order_release);
+    return fresh;
+  }
+  std::shared_ptr<const ModelSnapshot> cached =
+      cached_snapshot_.load(std::memory_order_acquire);
+  return cached != nullptr ? cached : hub_.Current();
+}
+
+Status ForecastService::Predict(const core::PredictRequest& request,
+                                core::PredictResponse* response) const {
+  URCL_TRACE_SCOPE("serve.predict");
+  const bool metrics = obs::MetricsEnabled();
+  if (metrics) obs::MetricsRegistry::Get().GetCounter("urcl.serve.queries").Add(1);
+
+  // Admission control: shed load beyond queue_depth instead of queueing
+  // without bound (the caller decides whether to retry).
+  if (in_flight_.fetch_add(1, std::memory_order_relaxed) >= config_.queue_depth) {
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    if (metrics) obs::MetricsRegistry::Get().GetCounter("urcl.serve.rejected").Add(1);
+    return Status::Error("service overloaded: queue_depth " +
+                         std::to_string(config_.queue_depth) + " queries already in flight");
+  }
+  InFlightGuard guard(in_flight_);
+
+  if (response == nullptr) return Status::Error("Predict: null response");
+  if (request.inputs.rank() != 4) {
+    return Status::Error("Predict: inputs must be [B, M, N, C], got rank " +
+                         std::to_string(request.inputs.rank()));
+  }
+  if (request.inputs.dim(0) > config_.max_batch) {
+    return Status::Error("Predict: batch " + std::to_string(request.inputs.dim(0)) +
+                         " exceeds max_batch " + std::to_string(config_.max_batch));
+  }
+
+  const std::shared_ptr<const ModelSnapshot> snapshot = AcquireSnapshot();
+  if (snapshot == nullptr) {
+    return Status::Error("no model snapshot published yet");
+  }
+
+  const Stopwatch stopwatch;
+  Status status = core::FinishPrediction(
+      request, snapshot->model->ForwardInference(request.inputs, adjacency_), response);
+  if (!status.ok()) return status;
+  // Stamp the version that actually served the query: across a hot-swap,
+  // in-flight queries finish on (and report) the version they acquired.
+  response->model_version = snapshot->version;
+  response->stage = snapshot->stage;
+  served_.fetch_add(1, std::memory_order_relaxed);
+  if (metrics) {
+    obs::MetricsRegistry::Get()
+        .GetHistogram("urcl.serve.latency_ns", obs::ExponentialBuckets(1e3, 4, 12))
+        .Observe(static_cast<double>(stopwatch.ElapsedNs()));
+  }
+  return Status::Ok();
+}
+
+}  // namespace serve
+}  // namespace urcl

@@ -1,0 +1,156 @@
+// urcl::serve — the streaming inference service (tentpole of the serving
+// layer). A ForecastService owns three things:
+//
+//   1. Rolling observation windows: one ring buffer per sensor, filled by
+//      IngestTick with raw readings that are normalized at ingest time using
+//      the training-time MinMaxNormalizer state, so window assembly is a
+//      straight copy with no per-query rescaling.
+//   2. A ModelHub of hot-swappable immutable weight snapshots. SnapshotSink()
+//      returns a callback for UrclTrainer::SetSnapshotSink: the background
+//      training thread publishes checkpoint-format containers, the sink
+//      parses them into frozen models and swaps them live; queries pick up
+//      the new version lock-free mid-stream.
+//   3. The query path: Predict answers batched forecast requests from any
+//      number of concurrent client threads via the tape-free inference
+//      executor (UrclModel::ForwardInference — bitwise-equal to the training
+//      forward), with admission control, urcl.serve.* metrics and trace spans.
+#ifndef URCL_SERVE_SERVICE_H_
+#define URCL_SERVE_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "core/predictor.h"
+#include "core/urcl.h"
+#include "data/normalizer.h"
+#include "graph/sensor_network.h"
+#include "serve/snapshot.h"
+#include "tensor/tensor.h"
+
+namespace urcl {
+namespace serve {
+
+// Tuning knobs of a ForecastService. Mirrors the UrclConfig::Validate()
+// pattern: construct, adjust fields, then Validate() before wiring the
+// service (the constructor aborts on an invalid config, so call Validate()
+// directly for early human-readable feedback, e.g. from flag parsing).
+struct ServiceConfig {
+  // Architecture of the models being served; must match the trainer that
+  // publishes snapshots (snapshot parsing rejects mismatches).
+  core::UrclConfig model;
+
+  // Rolling-window length in ticks; 0 = the model's input window
+  // (model.encoder.input_steps). Must equal the model's input window when
+  // queries are answered from the service's own window.
+  int64_t window_steps = 0;
+
+  // Largest batch dimension accepted by one Predict call; bigger requests
+  // are rejected with an error Status instead of monopolizing the executor.
+  int64_t max_batch = 64;
+
+  // Admission-control depth: queries already in flight when a new one
+  // arrives beyond this count are shed with an overload error (counted in
+  // urcl.serve.rejected) rather than queued without bound.
+  int64_t queue_depth = 256;
+
+  // Snapshot poll policy: re-read the hub's current version every Nth query
+  // (1 = every query). Larger values trade bounded staleness — at most N-1
+  // queries on the retiring version after a swap — for fewer shared-pointer
+  // acquisitions on the hot path.
+  int64_t snapshot_poll_every = 1;
+
+  // Human-readable message per invalid field; empty when usable.
+  std::vector<std::string> Validate() const;
+
+  int64_t EffectiveWindowSteps() const {
+    return window_steps > 0 ? window_steps : model.encoder.input_steps;
+  }
+};
+
+class ForecastService {
+ public:
+  // `normalizer` is the training-time scaling state; its per-channel min/max
+  // are copied so ingest-time normalization matches data::MinMaxNormalizer::
+  // Transform bit for bit. `network` supplies the adjacency handed to every
+  // inference call (same matrix the trainer conditions on).
+  ForecastService(const ServiceConfig& config, const graph::SensorNetwork& network,
+                  const data::MinMaxNormalizer& normalizer);
+
+  // Callback for UrclTrainer::SetSnapshotSink: parses the published
+  // container and hot-swaps it into the hub. Parse failures increment
+  // urcl.serve.snapshot_parse_failures and keep the previous version live.
+  core::UrclTrainer::SnapshotSink SnapshotSink();
+
+  // Appends one tick of raw sensor readings ([N, C], unnormalized) to every
+  // sensor's ring buffer, normalizing on the way in. Thread-safe against
+  // concurrent queries (writer lock); ticks are assumed to arrive from one
+  // ingestion thread in stream order.
+  void IngestTick(const Tensor& observations);
+
+  // True once every ring holds a full window of ticks.
+  bool WindowReady() const;
+  int64_t ticks_ingested() const;
+
+  // The current normalized rolling window, [1, M, N, C] in chronological
+  // order (oldest tick first) — exactly what a model trained on
+  // MinMaxNormalizer-scaled data expects.
+  Tensor CurrentWindow() const;
+
+  // Forecasts from the service's own rolling window: assembles
+  // CurrentWindow() and answers it like Predict. Fails while the window is
+  // still filling.
+  Status Forecast(int64_t horizon, core::PredictResponse* response) const;
+
+  // Answers a batched forecast query against the current model version.
+  // Safe to call from many threads concurrently; the response is stamped
+  // with the version/stage of the snapshot that actually served it, so
+  // clients observe hot-swaps. Overload, missing snapshots, oversized
+  // batches and bad horizons come back as error Statuses.
+  Status Predict(const core::PredictRequest& request, core::PredictResponse* response) const;
+
+  ModelHub& hub() { return hub_; }
+  const ModelHub& hub() const { return hub_; }
+  const ServiceConfig& config() const { return config_; }
+
+  // Queries answered / shed since construction.
+  int64_t served_queries() const { return served_.load(std::memory_order_relaxed); }
+  int64_t rejected_queries() const { return rejected_.load(std::memory_order_relaxed); }
+
+ private:
+  // Acquires the snapshot for one query, honoring snapshot_poll_every.
+  std::shared_ptr<const ModelSnapshot> AcquireSnapshot() const;
+
+  ServiceConfig config_;
+  int64_t window_steps_;
+  int64_t num_nodes_;
+  int64_t num_channels_;
+  Tensor adjacency_;  // dense [N, N], shared by every inference call
+  std::vector<float> channel_min_;
+  std::vector<float> channel_max_;
+
+  // Rolling window storage: ring of `window_steps_` ticks, each tick a
+  // contiguous [N, C] block, guarded by a reader/writer lock (ingest writes,
+  // query threads read).
+  mutable std::shared_mutex window_mu_;
+  std::vector<float> ring_;   // [window_steps_, N, C], slot-indexed
+  int64_t next_slot_ = 0;     // ring slot the next tick lands in
+  int64_t ticks_ = 0;         // total ticks ingested
+
+  ModelHub hub_;
+  // Cached snapshot for snapshot_poll_every > 1 (refreshed every Nth query).
+  mutable std::atomic<std::shared_ptr<const ModelSnapshot>> cached_snapshot_;
+  mutable std::atomic<int64_t> query_seq_{0};
+
+  mutable std::atomic<int64_t> in_flight_{0};
+  mutable std::atomic<int64_t> served_{0};
+  mutable std::atomic<int64_t> rejected_{0};
+};
+
+}  // namespace serve
+}  // namespace urcl
+
+#endif  // URCL_SERVE_SERVICE_H_

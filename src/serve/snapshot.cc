@@ -1,0 +1,94 @@
+#include "serve/snapshot.h"
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/serialize.h"
+
+namespace urcl {
+namespace serve {
+namespace {
+
+// Must match kServeMetaVersion in core/urcl.cc (the writer side of the
+// snapshot contract). Bump both together when the serve_meta layout changes.
+constexpr uint32_t kSupportedServeMetaVersion = 1;
+
+}  // namespace
+
+Status ParseModelSnapshot(const checkpoint::Container& container,
+                          const core::UrclConfig& config,
+                          std::shared_ptr<const ModelSnapshot>* out) {
+  if (out == nullptr) return Status::Error("ParseModelSnapshot: null output snapshot");
+  const std::vector<std::string> config_errors = config.Validate();
+  if (!config_errors.empty()) {
+    return Status::Error("ParseModelSnapshot: invalid model config: " + config_errors.front());
+  }
+
+  const std::string* meta_bytes = container.Find("serve_meta");
+  if (meta_bytes == nullptr) {
+    return Status::Error("snapshot container is missing the serve_meta section");
+  }
+  // Fixed layout: uint32 schema + int64 {version, stage, step_count}. Size is
+  // checked up front because io::ReadPod aborts on truncation.
+  constexpr size_t kMetaSize = sizeof(uint32_t) + 3 * sizeof(int64_t);
+  if (meta_bytes->size() != kMetaSize) {
+    return Status::Error("serve_meta section has unexpected size " +
+                         std::to_string(meta_bytes->size()));
+  }
+  std::istringstream meta(*meta_bytes);
+  const uint32_t schema = io::ReadPod<uint32_t>(meta);
+  if (schema != kSupportedServeMetaVersion) {
+    return Status::Error("unsupported serve_meta schema version " + std::to_string(schema));
+  }
+  const int64_t version = io::ReadPod<int64_t>(meta);
+  const int64_t stage = io::ReadPod<int64_t>(meta);
+  const int64_t step_count = io::ReadPod<int64_t>(meta);
+
+  const std::string* model_bytes = container.Find("model");
+  if (model_bytes == nullptr) {
+    return Status::Error("snapshot container is missing the model section");
+  }
+
+  // Materialize the architecture, then overwrite its weights with the
+  // published state. The Rng only seeds the throwaway initial parameters.
+  Rng init_rng(config.seed);
+  auto model = std::make_unique<core::UrclModel>(config, init_rng);
+
+  std::istringstream model_stream(*model_bytes);
+  const uint64_t count = io::ReadPod<uint64_t>(model_stream);
+  const size_t expected = model->StateDict().size();
+  if (count != expected) {
+    return Status::Error("snapshot has " + std::to_string(count) + " tensors but the config " +
+                         "builds a model with " + std::to_string(expected) +
+                         " (architecture mismatch between trainer and server)");
+  }
+  std::vector<Tensor> state;
+  state.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) state.push_back(LoadTensor(model_stream));
+  model->LoadStateDict(state);
+
+  auto snapshot = std::make_shared<ModelSnapshot>();
+  snapshot->version = version;
+  snapshot->stage = stage;
+  snapshot->step_count = step_count;
+  snapshot->model = std::move(model);
+  *out = std::move(snapshot);
+  return Status::Ok();
+}
+
+void ModelHub::Publish(std::shared_ptr<const ModelSnapshot> snapshot) {
+  // Retire-then-install: a reader loading current_ between the two stores
+  // sees either the old or the new version, both fully constructed. The
+  // release stores pair with the acquire loads in Current()/Previous() so the
+  // snapshot's weights are visible before its pointer is.
+  previous_.store(current_.load(std::memory_order_acquire), std::memory_order_release);
+  current_.store(std::move(snapshot), std::memory_order_release);
+  swaps_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace serve
+}  // namespace urcl

@@ -1,0 +1,80 @@
+// Immutable model versions for the streaming inference service.
+//
+// The trainer publishes weight snapshots as checkpoint-format Containers
+// (UrclTrainer::SetSnapshotSink); ParseModelSnapshot materializes each one
+// into a frozen UrclModel plus identifying metadata, and ModelHub hands the
+// newest version to any number of concurrent reader threads via an atomic
+// shared_ptr swap — readers never take a mutex and never observe a
+// half-published model. See DESIGN.md "Serving model".
+#ifndef URCL_SERVE_SNAPSHOT_H_
+#define URCL_SERVE_SNAPSHOT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "checkpoint/container.h"
+#include "common/status.h"
+#include "core/urcl.h"
+
+namespace urcl {
+namespace serve {
+
+// One published model version. Immutable after construction, so any number
+// of reader threads can run ForwardInference on `model` concurrently without
+// synchronization; the shared_ptr holding the snapshot keeps the weights
+// alive for in-flight queries across a hot-swap.
+struct ModelSnapshot {
+  int64_t version = 0;     // monotonically increasing publish count (1-based)
+  int64_t stage = -1;      // training stage the weights were captured in
+  int64_t step_count = 0;  // optimizer steps taken when the snapshot was cut
+  std::unique_ptr<const core::UrclModel> model;
+};
+
+// Parses a trainer-published container (sections "model" + "serve_meta", as
+// written by UrclTrainer::PublishSnapshot) into a fresh immutable snapshot.
+// `config` must describe the same architecture the trainer was built with;
+// mismatched tensor counts, unknown serve_meta schema versions and missing
+// sections come back as an error Status (the serving loop drops the snapshot
+// and keeps the previous version live).
+Status ParseModelSnapshot(const checkpoint::Container& container,
+                          const core::UrclConfig& config,
+                          std::shared_ptr<const ModelSnapshot>* out);
+
+// Double-buffered model-version exchange between one publisher (the training
+// thread) and many reader threads. Publish() retires the current snapshot
+// into the previous slot and installs the new one; Current() is a single
+// atomic shared_ptr load, so readers are never blocked by a publish and an
+// in-flight query finishes on whichever version it acquired.
+class ModelHub {
+ public:
+  // Installs `snapshot` as the version served to all subsequent Current()
+  // calls. Single-publisher: only one thread may call Publish at a time
+  // (readers may call Current()/Previous() concurrently with it).
+  void Publish(std::shared_ptr<const ModelSnapshot> snapshot);
+
+  // Newest published snapshot; nullptr before the first Publish.
+  std::shared_ptr<const ModelSnapshot> Current() const {
+    return current_.load(std::memory_order_acquire);
+  }
+
+  // The snapshot retired by the most recent Publish (nullptr until the
+  // second publish). Kept alive so tests and diagnostics can compare
+  // versions across a swap without racing the publisher.
+  std::shared_ptr<const ModelSnapshot> Previous() const {
+    return previous_.load(std::memory_order_acquire);
+  }
+
+  // Number of Publish calls observed.
+  int64_t swap_count() const { return swaps_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::shared_ptr<const ModelSnapshot>> current_;
+  std::atomic<std::shared_ptr<const ModelSnapshot>> previous_;
+  std::atomic<int64_t> swaps_{0};
+};
+
+}  // namespace serve
+}  // namespace urcl
+
+#endif  // URCL_SERVE_SNAPSHOT_H_

@@ -78,6 +78,13 @@ Tensor ReduceTo(const Tensor& a, const Shape& target);
 // broadcasting over the leading batch dims.
 Tensor MatMul(const Tensor& a, const Tensor& b);
 
+// 2-D convolution with kernel (1, K) and temporal dilation, as used by the
+// GraphWaveNet gated TCN. Input [B, C_in, N, T], weight [C_out, C_in, 1, K];
+// output [B, C_out, N, T - dilation*(K-1)] (no padding, stride 1). This is
+// the single forward kernel shared by the autograd op and the inference-only
+// serving executor, so both paths are bitwise identical by construction.
+Tensor TemporalConv2d(const Tensor& input, const Tensor& weight, int64_t dilation);
+
 // --- Shape manipulation ------------------------------------------------------------
 Tensor BroadcastTo(const Tensor& a, const Shape& target);
 Tensor Transpose(const Tensor& a, const std::vector<int64_t>& perm);

@@ -91,6 +91,24 @@ TEST(RepoLintTest, FlagsDirectClockReadsUnlessAllowed) {
                    "banned-call/clock"));
 }
 
+TEST(RepoLintTest, ClockRuleCoversNonLibraryTrees) {
+  const std::string source = "auto t = std::chrono::steady_clock::now();\n";
+  // tests/ and bench/ run without library rules but still ban clock reads.
+  Options bench = LibraryOptions();
+  bench.library_rules = false;
+  EXPECT_TRUE(Has(LintFileContent("bench/bench_x.cc", source, bench), "banned-call/clock"));
+  EXPECT_TRUE(Has(LintFileContent("tests/x_test.cc", source, bench), "banned-call/clock"));
+  // The serving load generator is the named exemption (pacing deadline).
+  Options load_generator = bench;
+  load_generator.allow_clock_reads = true;
+  EXPECT_FALSE(Has(LintFileContent("bench/bench_serving.cc", source, load_generator),
+                   "banned-call/clock"));
+  // examples/ disables the clock rule group entirely.
+  Options example = bench;
+  example.clock_rules = false;
+  EXPECT_FALSE(Has(LintFileContent("examples/x.cpp", source, example), "banned-call/clock"));
+}
+
 TEST(RepoLintTest, SuppressionCommentSilencesOneRule) {
   const auto findings = LintFileContent(
       "src/x.cc", "int v = rand();  // lint:allow(banned-call/rand)\n", LibraryOptions());

@@ -1,0 +1,352 @@
+// Serving-layer tests (ctest label `serving`): bitwise equality between the
+// tape forward and the inference-only executor, snapshot parse/publish
+// round-trips, lock-free hot-swap under concurrent readers, rolling-window
+// ingestion, version stamping and ServiceConfig validation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "core/backbone.h"
+#include "core/urcl.h"
+#include "data/synthetic.h"
+#include "graph/generator.h"
+#include "serve/service.h"
+#include "serve/snapshot.h"
+#include "tensor/tensor_ops.h"
+
+namespace urcl {
+namespace serve {
+namespace {
+
+core::UrclConfig TinyConfig(int64_t nodes, int64_t input_steps = 12,
+                            core::BackboneType backbone = core::BackboneType::kGraphWaveNet) {
+  core::UrclConfig config;
+  config.backbone = backbone;
+  config.encoder.num_nodes = nodes;
+  config.encoder.in_channels = 2;
+  config.encoder.input_steps = input_steps;
+  config.encoder.hidden_channels = 4;
+  config.encoder.latent_channels = 8;
+  config.encoder.num_layers = 2;
+  config.encoder.adaptive_embedding_dim = 3;
+  config.decoder_hidden = 16;
+  config.proj_hidden = 8;
+  config.batch_size = 2;
+  config.max_batches_per_epoch = 4;
+  config.replay_sample_count = 2;
+  config.rmir_scan_size = 4;
+  config.rmir_candidate_pool = 4;
+  config.buffer_capacity = 16;
+  return config;
+}
+
+// True when the two tensors are byte-for-byte identical (stronger than any
+// epsilon comparison; the inference executor must replay the exact kernel
+// sequence of the tape forward).
+bool BitwiseEqual(const Tensor& a, const Tensor& b) {
+  if (!(a.shape() == b.shape())) return false;
+  return std::memcmp(a.data(), b.data(), sizeof(float) * static_cast<size_t>(a.NumElements())) == 0;
+}
+
+TEST(InferenceExecutorTest, BitwiseEqualToTapeForwardAcrossBackbones) {
+  const core::BackboneType backbones[] = {core::BackboneType::kGraphWaveNet,
+                                          core::BackboneType::kDcrnn,
+                                          core::BackboneType::kGeoman};
+  Rng data_rng(7);
+  for (const core::BackboneType backbone : backbones) {
+    // Random-ish shapes per backbone: vary nodes / window / batch.
+    for (int round = 0; round < 2; ++round) {
+      const int64_t nodes = data_rng.UniformInt(3, 7);
+      const int64_t steps = data_rng.UniformInt(8, 14);
+      const int64_t batch = data_rng.UniformInt(1, 3);
+      const core::UrclConfig config = TinyConfig(nodes, steps, backbone);
+      Rng model_rng(41 + round);
+      core::UrclModel model(config, model_rng);
+      const graph::SensorNetwork network = graph::RingGraph(nodes);
+      const Tensor adjacency = network.AdjacencyMatrix();
+      const Tensor x =
+          Tensor::RandomUniform(Shape{batch, steps, nodes, 2}, data_rng, 0.0f, 1.0f);
+      const Tensor tape =
+          model.Forward(autograd::Variable(x, /*requires_grad=*/false), adjacency).value();
+      const Tensor inference = model.ForwardInference(x, adjacency);
+      EXPECT_TRUE(BitwiseEqual(tape, inference))
+          << "backbone " << static_cast<int>(backbone) << " round " << round
+          << " max abs diff " << ops::MaxAbsDiff(tape, inference);
+    }
+  }
+}
+
+class ServeTrainerTest : public ::testing::Test {
+ protected:
+  static constexpr int64_t kNodes = 5;
+
+  data::StDataset MakeDataset() {
+    data::TrafficConfig traffic;
+    traffic.num_nodes = kNodes;
+    traffic.num_days = 2;
+    traffic.steps_per_day = 60;
+    traffic.channels = 2;
+    generator_ = std::make_unique<data::SyntheticTraffic>(traffic);
+    Tensor series = generator_->GenerateSeries();
+    normalizer_ = data::MinMaxNormalizer::Fit(series);
+    return data::StDataset(normalizer_.Transform(series), data::WindowConfig{12, 1, 0});
+  }
+
+  std::unique_ptr<data::SyntheticTraffic> generator_;
+  data::MinMaxNormalizer normalizer_;
+};
+
+TEST_F(ServeTrainerTest, SnapshotRoundTripMatchesTrainerBitwise) {
+  data::StDataset dataset = MakeDataset();
+  const core::UrclConfig config = TinyConfig(kNodes);
+  core::UrclTrainer trainer(config, generator_->network());
+  std::vector<checkpoint::Container> published;
+  trainer.SetSnapshotSink([&](const checkpoint::Container& c) { published.push_back(c); });
+  trainer.TrainStage(dataset, 1);
+  // At least the stage-end publication must have fired.
+  ASSERT_GE(published.size(), 1u);
+  EXPECT_EQ(trainer.snapshots_published(), static_cast<int64_t>(published.size()));
+
+  std::shared_ptr<const ModelSnapshot> snapshot;
+  const Status status = ParseModelSnapshot(published.back(), config, &snapshot);
+  ASSERT_TRUE(status.ok()) << status.message();
+  EXPECT_EQ(snapshot->version, static_cast<int64_t>(published.size()));
+  EXPECT_EQ(snapshot->stage, 0);
+  EXPECT_GT(snapshot->step_count, 0);
+
+  // The last snapshot holds the trainer's final weights: identical forwards.
+  const Tensor adjacency = generator_->network().AdjacencyMatrix();
+  Rng rng(3);
+  const Tensor x = Tensor::RandomUniform(Shape{2, 12, kNodes, 2}, rng, 0.0f, 1.0f);
+  EXPECT_TRUE(BitwiseEqual(trainer.model().ForwardInference(x, adjacency),
+                           snapshot->model->ForwardInference(x, adjacency)));
+}
+
+TEST_F(ServeTrainerTest, ParseRejectsMalformedContainers) {
+  const core::UrclConfig config = TinyConfig(kNodes);
+  std::shared_ptr<const ModelSnapshot> snapshot;
+
+  checkpoint::Container empty;
+  EXPECT_FALSE(ParseModelSnapshot(empty, config, &snapshot).ok());
+
+  checkpoint::Container bad_meta;
+  bad_meta.Add("serve_meta", "short");
+  EXPECT_FALSE(ParseModelSnapshot(bad_meta, config, &snapshot).ok());
+
+  // A real container parsed against a mismatched architecture is rejected
+  // (different layer count => different tensor count).
+  data::StDataset dataset = MakeDataset();
+  core::UrclTrainer trainer(config, generator_->network());
+  std::vector<checkpoint::Container> published;
+  trainer.SetSnapshotSink([&](const checkpoint::Container& c) { published.push_back(c); });
+  trainer.TrainStage(dataset, 1);
+  ASSERT_GE(published.size(), 1u);
+  core::UrclConfig other = config;
+  other.encoder.num_layers = 3;
+  const Status mismatch = ParseModelSnapshot(published.back(), other, &snapshot);
+  EXPECT_FALSE(mismatch.ok());
+}
+
+TEST_F(ServeTrainerTest, RollingWindowIncrementalMatchesRebuild) {
+  data::StDataset dataset = MakeDataset();
+  ServiceConfig config;
+  config.model = TinyConfig(kNodes);
+  ForecastService service(config, generator_->network(), normalizer_);
+
+  const int64_t window = config.EffectiveWindowSteps();
+  Rng rng(11);
+  std::deque<Tensor> raw_history;
+  EXPECT_FALSE(service.WindowReady());
+  for (int64_t t = 0; t < window + 7; ++t) {
+    const Tensor tick = Tensor::RandomUniform(Shape{kNodes, 2}, rng, 0.0f, 50.0f);
+    raw_history.push_back(tick);
+    if (static_cast<int64_t>(raw_history.size()) > window) raw_history.pop_front();
+    service.IngestTick(tick);
+    if (t + 1 < window) {
+      EXPECT_FALSE(service.WindowReady());
+      continue;
+    }
+    // Rebuild the window from scratch: stack the raw ticks and run the
+    // training-time normalizer over the whole block.
+    std::vector<Tensor> rows(raw_history.begin(), raw_history.end());
+    const Tensor rebuilt = normalizer_.Transform(ops::Stack(rows, 0))
+                               .Reshape(Shape{1, window, kNodes, 2});
+    EXPECT_TRUE(BitwiseEqual(service.CurrentWindow(), rebuilt)) << "tick " << t;
+  }
+  EXPECT_EQ(service.ticks_ingested(), window + 7);
+}
+
+TEST_F(ServeTrainerTest, ServiceServesQueriesAndStampsVersions) {
+  data::StDataset dataset = MakeDataset();
+  ServiceConfig config;
+  config.model = TinyConfig(kNodes);
+  ForecastService service(config, generator_->network(), normalizer_);
+
+  // No snapshot published yet: queries fail recoverably.
+  core::PredictRequest request;
+  Rng rng(5);
+  request.inputs = Tensor::RandomUniform(Shape{1, 12, kNodes, 2}, rng, 0.0f, 1.0f);
+  core::PredictResponse response;
+  EXPECT_FALSE(service.Predict(request, &response).ok());
+
+  core::UrclTrainer trainer(config.model, generator_->network());
+  trainer.SetSnapshotSink(service.SnapshotSink());
+  trainer.BeginStage(3);
+  trainer.TrainStage(dataset, 1);  // publishes at stage end
+  ASSERT_NE(service.hub().Current(), nullptr);
+
+  ASSERT_TRUE(service.Predict(request, &response).ok());
+  EXPECT_EQ(response.model_version, 1);
+  EXPECT_EQ(response.stage, 3);
+  EXPECT_EQ(response.predictions.shape(), (Shape{1, 1, kNodes, 1}));
+
+  // Oversized batches and horizons are shed with an error, not a crash.
+  core::PredictRequest big = request;
+  big.inputs = Tensor::Zeros(Shape{config.max_batch + 1, 12, kNodes, 2});
+  EXPECT_FALSE(service.Predict(big, &response).ok());
+  core::PredictRequest far = request;
+  far.horizon = 99;
+  EXPECT_FALSE(service.Predict(far, &response).ok());
+  EXPECT_GT(service.served_queries(), 0);
+
+  // Rolling-window forecasting: feed raw ticks, then query from the window.
+  for (int64_t t = 0; t < 12; ++t) {
+    service.IngestTick(Tensor::RandomUniform(Shape{kNodes, 2}, rng, 0.0f, 50.0f));
+  }
+  core::PredictResponse window_response;
+  ASSERT_TRUE(service.Forecast(/*horizon=*/0, &window_response).ok());
+  EXPECT_EQ(window_response.predictions.shape(), (Shape{1, 1, kNodes, 1}));
+  EXPECT_EQ(window_response.model_version, 1);
+}
+
+TEST_F(ServeTrainerTest, StaleVersionStampingAcrossSwap) {
+  data::StDataset dataset = MakeDataset();
+  ServiceConfig config;
+  config.model = TinyConfig(kNodes);
+  // Poll the hub only every 8th query: queries between polls keep serving
+  // (and stamping) the cached, possibly-retired version.
+  config.snapshot_poll_every = 8;
+  ForecastService service(config, generator_->network(), normalizer_);
+
+  core::UrclTrainer trainer(config.model, generator_->network());
+  std::vector<checkpoint::Container> published;
+  trainer.SetSnapshotSink([&](const checkpoint::Container& c) { published.push_back(c); });
+  trainer.TrainStage(dataset, 1);
+  ASSERT_GE(published.size(), 1u);
+
+  auto sink = service.SnapshotSink();
+  sink(published.back());  // version N becomes current
+  const int64_t v1 = service.hub().Current()->version;
+
+  core::PredictRequest request;
+  Rng rng(9);
+  request.inputs = Tensor::RandomUniform(Shape{1, 12, kNodes, 2}, rng, 0.0f, 1.0f);
+  core::PredictResponse response;
+  ASSERT_TRUE(service.Predict(request, &response).ok());  // seq 0: polls, caches v1
+  EXPECT_EQ(response.model_version, v1);
+
+  trainer.TrainStage(dataset, 1);  // publish a newer version
+  sink(published.back());
+  const int64_t v2 = service.hub().Current()->version;
+  ASSERT_GT(v2, v1);
+  // Previous() retains the retired version for diagnostics.
+  ASSERT_NE(service.hub().Previous(), nullptr);
+  EXPECT_EQ(service.hub().Previous()->version, v1);
+  EXPECT_EQ(service.hub().swap_count(), 2);
+
+  // Next queries sit between polls: they stamp the stale cached version.
+  ASSERT_TRUE(service.Predict(request, &response).ok());
+  EXPECT_EQ(response.model_version, v1);
+  // Drive past the poll boundary; the new version must be picked up.
+  int64_t last_version = response.model_version;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(service.Predict(request, &response).ok());
+    EXPECT_GE(response.model_version, last_version);  // monotone pickup
+    last_version = response.model_version;
+  }
+  EXPECT_EQ(last_version, v2);
+}
+
+TEST_F(ServeTrainerTest, HotSwapUnderConcurrentReaders) {
+  data::StDataset dataset = MakeDataset();
+  ServiceConfig config;
+  config.model = TinyConfig(kNodes);
+  ForecastService service(config, generator_->network(), normalizer_);
+
+  // Capture a stream of real snapshots up front (publish every step), then
+  // replay them from a publisher thread while reader threads query.
+  core::UrclTrainer trainer(config.model, generator_->network());
+  std::vector<checkpoint::Container> published;
+  trainer.SetSnapshotSink([&](const checkpoint::Container& c) { published.push_back(c); },
+                          /*publish_every_steps=*/1);
+  trainer.TrainStage(dataset, 1);
+  ASSERT_GE(published.size(), 3u);
+
+  auto sink = service.SnapshotSink();
+  sink(published.front());  // make the first version live before readers start
+
+  constexpr int kReaders = 8;
+  constexpr int kQueriesPerReader = 20;
+  std::atomic<int> failures{0};
+  std::atomic<bool> non_monotone{false};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      Rng rng(100 + r);
+      core::PredictRequest request;
+      request.inputs = Tensor::RandomUniform(Shape{1, 12, kNodes, 2}, rng, 0.0f, 1.0f);
+      int64_t last_version = 0;
+      for (int q = 0; q < kQueriesPerReader; ++q) {
+        core::PredictResponse response;
+        if (!service.Predict(request, &response).ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        // Each reader must observe monotonically non-decreasing versions.
+        if (response.model_version < last_version) non_monotone.store(true);
+        last_version = response.model_version;
+      }
+    });
+  }
+  // Publish the remaining snapshots concurrently with the readers.
+  for (size_t i = 1; i < published.size(); ++i) sink(published[i]);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_FALSE(non_monotone.load());
+  EXPECT_EQ(service.hub().swap_count(), static_cast<int64_t>(published.size()));
+  EXPECT_EQ(service.hub().Current()->version, static_cast<int64_t>(published.size()));
+  EXPECT_GE(service.served_queries(), kReaders * kQueriesPerReader - failures.load());
+}
+
+TEST(ServiceConfigTest, ValidateFlagsBadFields) {
+  ServiceConfig config;
+  config.model = TinyConfig(4);
+  EXPECT_TRUE(config.Validate().empty());
+
+  config.window_steps = 7;  // != model input window (12)
+  EXPECT_FALSE(config.Validate().empty());
+  config.window_steps = 0;
+
+  config.max_batch = 0;
+  config.queue_depth = 0;
+  config.snapshot_poll_every = 0;
+  const std::vector<std::string> errors = config.Validate();
+  EXPECT_EQ(errors.size(), 3u);
+
+  ServiceConfig bad_model;
+  bad_model.model = TinyConfig(4);
+  bad_model.model.encoder.num_nodes = 0;
+  EXPECT_FALSE(bad_model.Validate().empty());
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace urcl

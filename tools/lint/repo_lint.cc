@@ -191,6 +191,16 @@ std::vector<Finding> LintFileContent(const std::string& path, const std::string&
       }
     }
     const std::string code = StripCommentsAndStrings(line, &in_block_comment);
+    // The clock rule outlives the library_rules gate: tests and benches are
+    // timing-sensitive too (see the header comment).
+    if (options.clock_rules && !options.allow_clock_reads &&
+        (code.find("steady_clock::now") != std::string::npos ||
+         code.find("system_clock::now") != std::string::npos ||
+         code.find("high_resolution_clock::now") != std::string::npos) &&
+        !Suppressed(line, "banned-call/clock")) {
+      Add(&findings, path, line_number, "banned-call/clock",
+          "direct std::chrono clock read; go through common/stopwatch.h");
+    }
     if (!options.library_rules) continue;
     if ((HasCall(code, "rand") || HasCall(code, "srand")) &&
         !Suppressed(line, "banned-call/rand")) {
@@ -204,14 +214,6 @@ std::vector<Finding> LintFileContent(const std::string& path, const std::string&
     if (HasCall(code, "printf") && !Suppressed(line, "banned-call/printf")) {
       Add(&findings, path, line_number, "banned-call/printf",
           "bare printf in library code; write to stderr or use the obs layer");
-    }
-    if (!options.allow_clock_reads &&
-        (code.find("steady_clock::now") != std::string::npos ||
-         code.find("system_clock::now") != std::string::npos ||
-         code.find("high_resolution_clock::now") != std::string::npos) &&
-        !Suppressed(line, "banned-call/clock")) {
-      Add(&findings, path, line_number, "banned-call/clock",
-          "direct std::chrono clock read; go through common/stopwatch.h");
     }
   }
   return findings;
@@ -249,7 +251,9 @@ std::vector<Finding> LintTree(const std::string& root) {
             tree == "src" ? fs::relative(file, tree_root).generic_string() : repo_relative;
         options.expected_guard = ExpectedGuard(include_relative);
       }
-      options.allow_clock_reads = repo_relative == "src/common/stopwatch.h";
+      options.clock_rules = tree != "examples";
+      options.allow_clock_reads = repo_relative == "src/common/stopwatch.h" ||
+                                  repo_relative == "bench/bench_serving.cc";
       std::ifstream in(file, std::ios::binary);
       std::ostringstream buffer;
       buffer << in.rdbuf();

@@ -11,7 +11,14 @@
 //                                diagnostics go to stderr or the obs layer;
 //     banned-call/clock          direct std::chrono clock reads outside
 //                                common/stopwatch.h — timing goes through
-//                                Stopwatch so tests can reason about it;
+//                                Stopwatch so tests can reason about it.
+//                                Unlike the other banned calls this rule also
+//                                covers tests/ and bench/ (a stray clock read
+//                                there breaks timing determinism just as
+//                                badly); the serving load generator
+//                                bench/bench_serving.cc is the one named
+//                                exemption (closed-loop pacing needs a real
+//                                deadline clock);
 //     include-guard              header guards must spell the repo-relative
 //                                path (URCL_<PATH>_H_).
 //
@@ -47,7 +54,11 @@ struct Options {
   // Expected include-guard macro; empty disables the guard check. Derived
   // from the repo-relative path by LintTree.
   std::string expected_guard;
-  // Exempts common/stopwatch.h from banned-call/clock.
+  // banned-call/clock applies beyond library code (src/, tools/, tests/,
+  // bench/ — everything but examples/).
+  bool clock_rules = true;
+  // Exempts common/stopwatch.h and bench/bench_serving.cc (the serving load
+  // generator) from banned-call/clock.
   bool allow_clock_reads = false;
 };
 

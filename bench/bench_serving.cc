@@ -2,15 +2,24 @@
 // queries at a ForecastService while a background UrclTrainer trains through
 // two stream stages and hot-swaps weight snapshots into the hub mid-flight.
 // Records QPS and latency percentiles (p50/p90/p99 from the
-// urcl.serve.latency_ns obs histogram) into BENCH_serving.json.
+// urcl.serve.latency_ns obs histogram) into BENCH_serving.json, together with
+// the serving failure-model counters (deadline sheds, degraded answers,
+// rollbacks, quarantined snapshots) so resilience regressions show up in the
+// bench record.
 //
 //   ./bench_serving [--clients 4] [--nodes 12] [--epochs N] [--batches N]
-//                   [--publish-every 4] [--out BENCH_serving.json]
+//                   [--publish-every 4] [--deadline-us 0]
+//                   [--out BENCH_serving.json]
 //
 // The run is closed-loop (each client issues its next query as soon as the
 // previous one returns) and ends once the trainer finishes both stages; the
 // harness then asserts that at least one hot-swap happened while queries
 // were in flight and that clients observed more than one model version.
+// --deadline-us attaches a latency budget to every query; shed queries put
+// the client into jittered exponential backoff (50us doubling to 5ms, +-50%
+// jitter, reset on success), so the reported QPS is goodput under overload
+// rather than a retry storm.
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -20,6 +29,7 @@
 
 #include "bench/bench_common.h"
 #include "common/check.h"
+#include "common/rng.h"
 #include "common/stopwatch.h"
 #include "data/normalizer.h"
 #include "obs/json.h"
@@ -58,6 +68,7 @@ int Run(int argc, char** argv) {
   const bench::BenchScale scale = bench::ResolveScale(flags);
   const int64_t clients = flags.GetInt("clients", 4);
   const int64_t publish_every = flags.GetInt("publish-every", 4);
+  const int64_t deadline_us = flags.GetInt("deadline-us", 0);
   const std::string out_path = flags.GetString("out", "BENCH_serving.json");
   URCL_CHECK_GE(clients, 1);
 
@@ -112,6 +123,8 @@ int Run(int argc, char** argv) {
   std::atomic<bool> stop{false};
   std::atomic<int64_t> total_queries{0};
   std::atomic<int64_t> total_errors{0};
+  std::atomic<int64_t> degraded_responses{0};
+  std::atomic<int64_t> backoff_waits{0};
   std::atomic<int64_t> min_version_seen{1 << 30};
   std::atomic<int64_t> max_version_seen{0};
 
@@ -136,15 +149,23 @@ int Run(int argc, char** argv) {
   std::vector<std::thread> client_threads;
   for (int64_t c = 0; c < clients; ++c) {
     client_threads.emplace_back([&, c] {
+      constexpr int64_t kBackoffBaseUs = 50;
+      constexpr int64_t kBackoffCapUs = 5000;
+      Rng backoff_rng(static_cast<uint64_t>(1000 + c));
+      int64_t backoff_us = 0;  // 0 = not backing off
       int64_t i = static_cast<int64_t>(c);
       bool first = true;  // always issue >= 1 query, even if the trainer wins
       while (first || !stop.load(std::memory_order_relaxed)) {
         first = false;
         core::PredictRequest request;
         request.inputs = query_pool[static_cast<size_t>(i++ % query_pool.size())];
+        request.deadline_ns = deadline_us * 1000;
         core::PredictResponse response;
-        if (service.Predict(request, &response).ok()) {
+        const Status status = service.Predict(request, &response);
+        if (status.ok()) {
+          backoff_us = 0;
           total_queries.fetch_add(1, std::memory_order_relaxed);
+          if (response.degraded) degraded_responses.fetch_add(1, std::memory_order_relaxed);
           int64_t seen = min_version_seen.load();
           while (response.model_version < seen &&
                  !min_version_seen.compare_exchange_weak(seen, response.model_version)) {
@@ -155,6 +176,20 @@ int Run(int argc, char** argv) {
           }
         } else {
           total_errors.fetch_add(1, std::memory_order_relaxed);
+          // Retry pressure (shed or drained queries) backs off with jittered
+          // exponential delay so the measured QPS is goodput, not a retry
+          // storm; request errors (bad input) would only repeat identically.
+          const StatusCode code = status.code();
+          if (code == StatusCode::kOverloaded || code == StatusCode::kDeadlineExceeded ||
+              code == StatusCode::kUnavailable) {
+            backoff_us = backoff_us == 0
+                             ? kBackoffBaseUs
+                             : std::min<int64_t>(backoff_us * 2, kBackoffCapUs);
+            const int64_t jittered =
+                backoff_rng.UniformInt(backoff_us / 2, backoff_us + backoff_us / 2);
+            backoff_waits.fetch_add(1, std::memory_order_relaxed);
+            std::this_thread::sleep_for(std::chrono::microseconds(jittered));
+          }
         }
       }
     });
@@ -188,6 +223,14 @@ int Run(int argc, char** argv) {
               static_cast<long long>(min_version_seen.load()),
               static_cast<long long>(max_version_seen.load()));
 
+  std::printf("  failures  %lld deadline-shed, %lld degraded, %lld rollbacks, "
+              "%lld quarantined, %lld backoff waits\n",
+              static_cast<long long>(service.deadline_shed()),
+              static_cast<long long>(degraded_responses.load()),
+              static_cast<long long>(service.rollback_count()),
+              static_cast<long long>(service.quarantined_snapshots()),
+              static_cast<long long>(backoff_waits.load()));
+
   // At least one hot-swap must have been observable while clients queried.
   URCL_CHECK_GE(swaps, 2) << "trainer published fewer than two snapshots";
   URCL_CHECK_GT(total_queries.load(), 0) << "no queries served";
@@ -214,7 +257,13 @@ int Run(int argc, char** argv) {
       << "  \"min_version_seen\": " << min_version_seen.load() << ",\n"
       << "  \"max_version_seen\": " << max_version_seen.load() << ",\n"
       << "  \"served_queries\": " << service.served_queries() << ",\n"
-      << "  \"rejected_queries\": " << service.rejected_queries() << "\n"
+      << "  \"rejected_queries\": " << service.rejected_queries() << ",\n"
+      << "  \"deadline_us\": " << deadline_us << ",\n"
+      << "  \"deadline_shed\": " << service.deadline_shed() << ",\n"
+      << "  \"degraded_responses\": " << degraded_responses.load() << ",\n"
+      << "  \"rollbacks\": " << service.rollback_count() << ",\n"
+      << "  \"snapshots_quarantined\": " << service.quarantined_snapshots() << ",\n"
+      << "  \"backoff_waits\": " << backoff_waits.load() << "\n"
       << "}\n";
   std::printf("wrote %s\n", out_path.c_str());
   return 0;

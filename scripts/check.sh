@@ -6,7 +6,13 @@
 #      `analysis`-labeled tests plus the pool/autograd suites;
 #   3. a TSan build running the `analysis`- and `serving`-labeled tests
 #      (serving is mandatory under TSan: the hot-swap path is lock-free and
-#      its data-race freedom is part of the serving contract).
+#      its data-race freedom is part of the serving contract);
+#   4. the `chaos`-labeled suite under both sanitizer builds with a serving
+#      fault storm injected via URCL_FAULT (fault-point names documented in
+#      src/common/fault_injector.h). The chaos tests assert the serving
+#      invariants -- no crash, no non-finite output, every failure typed --
+#      so running them under ASan and TSan extends that to "and no memory
+#      error or data race on any fault path".
 #
 # Build trees are kept under build-check-{asan,tsan} and reused across runs.
 # Usage: scripts/check.sh [-j N]
@@ -23,14 +29,14 @@ done
 root="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$root"
 
-echo "== [1/3] repo lint =="
+echo "== [1/4] repo lint =="
 cmake -B build-check-asan -S . \
   -DURCL_SANITIZE=address+undefined -DURCL_WERROR=ON \
   -DURCL_BUILD_BENCHMARKS=OFF -DURCL_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build build-check-asan -j"$jobs" --target urcl_lint
 ./build-check-asan/tools/lint/urcl_lint --root "$root"
 
-echo "== [2/3] ASan+UBSan: analysis tests with poisoning + graph checks on =="
+echo "== [2/4] ASan+UBSan: analysis tests with poisoning + graph checks on =="
 cmake --build build-check-asan -j"$jobs" --target \
   check_test lint_test pool_test autograd_test urcl_header_selfcheck
 # Force every gate on so the sanitizer sees the poisoned free lists and the
@@ -40,12 +46,24 @@ URCL_CHECK=1 URCL_POOL_POISON=1 \
 URCL_CHECK=1 URCL_POOL_POISON=1 ./build-check-asan/tests/pool_test
 URCL_CHECK=1 URCL_POOL_POISON=1 ./build-check-asan/tests/autograd_test
 
-echo "== [3/3] TSan: analysis + serving tests =="
+echo "== [3/4] TSan: analysis + serving tests =="
 cmake -B build-check-tsan -S . -DURCL_SANITIZE=thread \
   -DURCL_BUILD_BENCHMARKS=OFF -DURCL_BUILD_EXAMPLES=OFF >/dev/null
 # urcl_lint is built here too: the repo_lint ctest entry runs the binary.
 cmake --build build-check-tsan -j"$jobs" --target check_test lint_test serve_test urcl_lint
 URCL_CHECK=1 URCL_POOL_POISON=1 \
   ctest --test-dir build-check-tsan -L "analysis|serving" --output-on-failure -j"$jobs"
+
+echo "== [4/4] chaos: fault-injected serving under ASan and TSan =="
+# The env spec layers on top of each test's own Configure() call (the storm
+# test calls LoadFromEnv), so directed tests keep their deterministic rates
+# while the storm test runs under the union of both fault sets.
+chaos_spec="serve_bitflip=0.2;drop_publish=0.1;tick_drop=0.1;tick_dup=0.1;slow=0.05;slow_ms=1;seed=11"
+cmake --build build-check-asan -j"$jobs" --target chaos_test
+cmake --build build-check-tsan -j"$jobs" --target chaos_test
+URCL_FAULT="$chaos_spec" URCL_CHECK=1 \
+  ctest --test-dir build-check-asan -L chaos --output-on-failure -j"$jobs"
+URCL_FAULT="$chaos_spec" URCL_CHECK=1 \
+  ctest --test-dir build-check-tsan -L chaos --output-on-failure -j"$jobs"
 
 echo "scripts/check.sh: all analysis gates passed"

@@ -41,7 +41,51 @@ FaultInjector& FaultInjector::Instance() {
   return *injector;
 }
 
-void FaultInjector::Reset() { *this = FaultInjector(); }
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(serve_mu_);
+  enabled_ = false;
+  nan_rate_ = inf_rate_ = drop_rate_ = dup_rate_ = 0.0;
+  bitflip_rate_ = drop_publish_rate_ = tick_drop_rate_ = tick_dup_rate_ = slow_rate_ = 0.0;
+  slow_ms_ = 2;
+  rng_ = Rng(0xFA117);
+  kills_.clear();
+  counters_ = FaultCounters();
+}
+
+bool FaultInjector::ServeDraw(double rate, int64_t* counter) {
+  if (rate <= 0.0) return false;
+  std::lock_guard<std::mutex> lock(serve_mu_);
+  if (!rng_.Bernoulli(rate)) return false;
+  ++*counter;
+  return true;
+}
+
+bool FaultInjector::NextSnapshotBitflipped() {
+  return ServeDraw(bitflip_rate_, &counters_.bitflipped_snapshots);
+}
+
+bool FaultInjector::NextPublishDropped() {
+  return ServeDraw(drop_publish_rate_, &counters_.dropped_publishes);
+}
+
+bool FaultInjector::NextTickDropped() {
+  return ServeDraw(tick_drop_rate_, &counters_.dropped_ticks);
+}
+
+bool FaultInjector::NextTickDuplicated() {
+  return ServeDraw(tick_dup_rate_, &counters_.duplicated_ticks);
+}
+
+bool FaultInjector::NextQuerySlowed() {
+  return ServeDraw(slow_rate_, &counters_.slowed_queries);
+}
+
+size_t FaultInjector::PickByte(size_t size) {
+  if (size == 0) return 0;
+  std::lock_guard<std::mutex> lock(serve_mu_);
+  return static_cast<size_t>(
+      rng_.UniformInt(0, static_cast<int64_t>(size) - 1));
+}
 
 void FaultInjector::ArmKill(const std::string& point, int64_t after_hits, KillMode mode) {
   KillSpec& spec = kills_[point];
@@ -88,7 +132,9 @@ std::vector<std::string> FaultInjector::Configure(const std::string& spec) {
     }
     const std::string key = clause.substr(0, eq);
     const std::string value = clause.substr(eq + 1);
-    if (key == "nan" || key == "inf" || key == "drop" || key == "dup") {
+    if (key == "nan" || key == "inf" || key == "drop" || key == "dup" ||
+        key == "serve_bitflip" || key == "drop_publish" || key == "tick_drop" ||
+        key == "tick_dup" || key == "slow") {
       double rate = 0.0;
       if (!ParseRate(value, &rate)) {
         errors.push_back("fault rate '" + clause + "' must be a number in [0, 1]");
@@ -97,8 +143,20 @@ std::vector<std::string> FaultInjector::Configure(const std::string& spec) {
       if (key == "nan") nan_rate_ = rate;
       else if (key == "inf") inf_rate_ = rate;
       else if (key == "drop") drop_rate_ = rate;
-      else dup_rate_ = rate;
+      else if (key == "dup") dup_rate_ = rate;
+      else if (key == "serve_bitflip") bitflip_rate_ = rate;
+      else if (key == "drop_publish") drop_publish_rate_ = rate;
+      else if (key == "tick_drop") tick_drop_rate_ = rate;
+      else if (key == "tick_dup") tick_dup_rate_ = rate;
+      else slow_rate_ = rate;
       enabled_ = enabled_ || rate > 0.0;
+    } else if (key == "slow_ms") {
+      int64_t ms = 0;
+      if (!ParseInt(value, &ms) || ms < 0) {
+        errors.push_back("slow_ms '" + value + "' must be a non-negative integer");
+        continue;
+      }
+      slow_ms_ = ms;
     } else if (key == "seed") {
       int64_t seed = 0;
       if (!ParseInt(value, &seed)) {

@@ -1,5 +1,5 @@
 // Process-wide fault-injection harness for crash-safety and robustness
-// testing. Two fault families:
+// testing. Three fault families:
 //
 //  1. Kill points: named locations in the training loop (see core/urcl.cc)
 //     where the process can be made to "crash" after a given number of hits —
@@ -10,12 +10,16 @@
 //     applied to generated series (data/synthetic.cc), plus duplicated
 //     batches in the training schedule. The pipeline must quarantine the
 //     resulting bad batches and keep training on the rest.
+//  3. Serving faults: failures of the live serving path (serve/service.cc,
+//     core/urcl.cc publish). The service must quarantine, degrade or roll
+//     back — never crash and never emit a non-finite forecast.
 //
 // Configured programmatically (tests) or via the URCL_FAULT environment
 // variable (CLI binaries call LoadFromEnv via ApplyRuntimeFlags). Spec is a
 // semicolon-separated list:
 //
 //   URCL_FAULT="nan=0.01;inf=0.001;drop=0.05;dup=0.02;seed=9;kill=batch_done:40"
+//   URCL_FAULT="serve_bitflip=0.2;tick_drop=0.1;slow=0.05;slow_ms=2;drop_publish=0.2"
 //
 //   kill=<point>:<hit>[:stop]  crash on the <hit>-th pass of the kill point
 //                              (":stop" = cooperative stop instead of _Exit)
@@ -25,13 +29,34 @@
 //   dup=<rate>   probability a training batch is fed twice
 //   seed=<n>     seed of the injector's private RNG (default 0xFA117)
 //
+//   serving fault points (names are the contract; tests and scripts/check.sh
+//   reference them verbatim):
+//   serve_bitflip=<rate>   probability a published snapshot has one byte
+//                          bit-flipped before serving-side admission (the
+//                          checkpoint CRC gate must quarantine it)
+//   drop_publish=<rate>    probability the trainer's snapshot publish is
+//                          silently swallowed (a stalled publisher: snapshot
+//                          age grows until the staleness/age watchdogs fire)
+//   tick_drop=<rate>       probability an ingested tick is dropped before it
+//                          reaches the rolling window (ingestion gap)
+//   tick_dup=<rate>        probability an ingested tick is applied twice
+//   slow=<rate>            probability a Predict call sleeps slow_ms before
+//                          answering (slow-inference tail)
+//   slow_ms=<n>            sleep duration of a slowed query (default 2 ms)
+//
+// Kill points currently wired in (core/urcl.cc): stage_begin, batch_done,
+// checkpoint_written, stage_end.
+//
 // All draws use the injector's own Rng so enabling faults never perturbs the
-// deterministic streams of the components under test.
+// deterministic streams of the components under test. Serving-fault draws are
+// mutex-guarded: they fire from the ingestion, publisher and query threads
+// concurrently.
 #ifndef URCL_COMMON_FAULT_INJECTOR_H_
 #define URCL_COMMON_FAULT_INJECTOR_H_
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -51,6 +76,12 @@ struct FaultCounters {
   int64_t inf_cells = 0;
   int64_t dropped_sensors = 0;
   int64_t duplicated_batches = 0;
+  // Serving faults.
+  int64_t bitflipped_snapshots = 0;
+  int64_t dropped_publishes = 0;
+  int64_t dropped_ticks = 0;
+  int64_t duplicated_ticks = 0;
+  int64_t slowed_queries = 0;
 };
 
 class FaultInjector {
@@ -100,6 +131,20 @@ class FaultInjector {
   void RecordInfCell() { ++counters_.inf_cells; }
   void RecordDroppedSensor() { ++counters_.dropped_sensors; }
 
+  // --- Serving faults -----------------------------------------------------
+  // Thread-safe Bernoulli draws (called from the serving threads). Each
+  // counts its own trigger.
+  bool NextSnapshotBitflipped();
+  bool NextPublishDropped();
+  bool NextTickDropped();
+  bool NextTickDuplicated();
+  bool NextQuerySlowed();
+  int64_t slow_ms() const { return slow_ms_; }
+
+  // Uniform byte index in [0, size) from the injector's RNG (thread-safe);
+  // used to place the serve_bitflip corruption.
+  size_t PickByte(size_t size);
+
   const FaultCounters& counters() const { return counters_; }
 
  private:
@@ -111,12 +156,23 @@ class FaultInjector {
     KillMode mode = KillMode::kExit;
   };
 
+  // Mutex-guarded Bernoulli draw incrementing `counter` on success (the
+  // serving threads share the injector's RNG).
+  bool ServeDraw(double rate, int64_t* counter);
+
   bool enabled_ = false;
   double nan_rate_ = 0.0;
   double inf_rate_ = 0.0;
   double drop_rate_ = 0.0;
   double dup_rate_ = 0.0;
+  double bitflip_rate_ = 0.0;
+  double drop_publish_rate_ = 0.0;
+  double tick_drop_rate_ = 0.0;
+  double tick_dup_rate_ = 0.0;
+  double slow_rate_ = 0.0;
+  int64_t slow_ms_ = 2;
   Rng rng_{0xFA117};
+  std::mutex serve_mu_;  // guards rng_ + serving counters across threads
   std::map<std::string, KillSpec> kills_;
   FaultCounters counters_;
 };

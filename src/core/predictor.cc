@@ -20,11 +20,12 @@ Tensor StPredictor::Predict(const Tensor& inputs) const {
 }
 
 Status FinishPrediction(const PredictRequest& request, Tensor full, PredictResponse* response) {
-  if (response == nullptr) return Status::Error("PredictResponse must not be null");
+  if (response == nullptr) return Status::InvalidArgument("PredictResponse must not be null");
   URCL_CHECK_EQ(full.shape().rank(), 4) << "predictions must be [B, N_out, N, 1]";
   const int64_t output_steps = full.shape().dim(1);
   if (request.horizon < 0 || request.horizon > output_steps) {
-    return Status::Error("requested horizon " + std::to_string(request.horizon) +
+    return Status::InvalidArgument(
+        "requested horizon " + std::to_string(request.horizon) +
                          " outside the model's output window [0, " +
                          std::to_string(output_steps) + "]");
   }

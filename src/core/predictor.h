@@ -23,6 +23,11 @@ namespace core {
 struct PredictRequest {
   Tensor inputs;
   int64_t horizon = 0;
+  // Latency budget in nanoseconds; 0 = no deadline (the serving layer may
+  // substitute its configured default). A query the service estimates it
+  // cannot answer within the budget is shed up front with a
+  // StatusCode::kDeadlineExceeded Status instead of being answered late.
+  int64_t deadline_ns = 0;
 };
 
 // The answer to a PredictRequest. `predictions` is [B, H, N, 1] in
@@ -35,6 +40,13 @@ struct PredictResponse {
   Tensor predictions;
   int64_t model_version = 0;
   int64_t stage = -1;
+  // True when the answer came from the serving layer's fallback baseline
+  // (HistoricalAverage) because the service is DEGRADED — the prediction is
+  // usable but not from the trained model.
+  bool degraded = false;
+  // True when the serving layer's rolling window had not received a tick for
+  // longer than the configured staleness threshold when this query ran.
+  bool stale = false;
 };
 
 class StPredictor {

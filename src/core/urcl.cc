@@ -556,6 +556,10 @@ void UrclTrainer::SetSnapshotSink(SnapshotSink sink, int64_t publish_every_steps
 
 void UrclTrainer::PublishSnapshot() {
   if (!snapshot_sink_) return;
+  // Chaos fault point `drop_publish`: a stalled publisher — the snapshot is
+  // silently swallowed, so the serving side sees its live version aging until
+  // the staleness/age watchdogs fire. The version counter is not consumed.
+  if (fault::FaultInjector::Instance().NextPublishDropped()) return;
   URCL_TRACE_SCOPE("publish_snapshot");
   checkpoint::Container container;
   container.Add("model", SerializeStateDict(model_->StateDict()));

@@ -1,0 +1,76 @@
+// Snapshot admission: the validation gate between the trainer publishing a
+// weight snapshot and that snapshot going live in the ModelHub (DESIGN.md
+// §11). A bad publish must never swap into production; it is quarantined
+// (counted + logged by the caller) and the incumbent version stays live.
+//
+// Gates, in order (each produces a distinct diagnostic):
+//   1. integrity  — the serialized container round-trips through
+//                   checkpoint::Container::Parse: magic, section structure,
+//                   per-section CRC32 and the whole-body CRC (catches
+//                   bit-flips, truncation and wrong section counts);
+//   2. parse      — ParseModelSnapshot: serve_meta schema version, section
+//                   presence and architecture (tensor-count) agreement;
+//   3. weight scan — every parameter tensor is finite;
+//   4. canary     — one inference on a pinned probe window must produce an
+//                   all-finite output within |y| <= canary_abs_bound
+//                   (normalized space), so weights that are finite but
+//                   explosive are caught before live traffic sees them.
+#ifndef URCL_SERVE_ADMISSION_H_
+#define URCL_SERVE_ADMISSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "checkpoint/container.h"
+#include "common/status.h"
+#include "core/urcl.h"
+#include "serve/snapshot.h"
+#include "tensor/tensor.h"
+
+namespace urcl {
+namespace serve {
+
+// Which gates run and the canary bounds. Every gate defaults on; tests and
+// deliberately permissive deployments can switch individual gates off.
+struct AdmissionConfig {
+  // Serialize + reparse the container so the checkpoint CRC/section checks
+  // run even for in-memory publishes (the honest check for snapshots that
+  // cross a file or network boundary).
+  bool verify_integrity = true;
+
+  // Reject snapshots with any non-finite parameter.
+  bool scan_weights = true;
+
+  // Reject snapshots whose canary inference is non-finite or out of bounds.
+  bool run_canary = true;
+
+  // Canary output bound: |y| above this (in normalized space) fails the
+  // canary. Normalized targets live in [0, 1]; the default leaves generous
+  // headroom for extrapolation while catching runaway weights.
+  float canary_abs_bound = 1e3f;
+
+  // Human-readable message per invalid field; empty when usable.
+  std::vector<std::string> Validate() const;
+};
+
+// Runs a parsed container through gates 2-4 (integrity is only meaningful on
+// bytes; use AdmitSnapshotBytes for gate 1). `probe_window` is the pinned
+// canary input [1, M, N, C]; `adjacency` the dense [N, N] graph handed to
+// inference. On success *out holds the validated snapshot, ready to publish.
+// Failures come back as typed statuses: kDataLoss for corrupt/non-finite
+// content, kInvalidArgument/kUnknown for schema and architecture mismatches.
+Status AdmitSnapshot(const checkpoint::Container& container, const core::UrclConfig& config,
+                     const AdmissionConfig& admission, const Tensor& probe_window,
+                     const Tensor& adjacency, std::shared_ptr<const ModelSnapshot>* out);
+
+// Bytes entry point: gate 1 (Container::Parse — magic, CRCs, section
+// structure) then AdmitSnapshot on the parsed container.
+Status AdmitSnapshotBytes(const std::string& bytes, const core::UrclConfig& config,
+                          const AdmissionConfig& admission, const Tensor& probe_window,
+                          const Tensor& adjacency, std::shared_ptr<const ModelSnapshot>* out);
+
+}  // namespace serve
+}  // namespace urcl
+
+#endif  // URCL_SERVE_ADMISSION_H_

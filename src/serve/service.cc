@@ -1,10 +1,14 @@
 #include "serve/service.h"
 
+#include <chrono>
+#include <cstdio>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "common/check.h"
+#include "common/fault_injector.h"
 #include "common/stopwatch.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
@@ -27,6 +31,10 @@ class InFlightGuard {
   std::atomic<int64_t>& counter_;
 };
 
+void BumpCounter(const char* name) {
+  if (obs::MetricsEnabled()) obs::MetricsRegistry::Get().GetCounter(name).Add(1);
+}
+
 }  // namespace
 
 std::vector<std::string> ServiceConfig::Validate() const {
@@ -44,6 +52,12 @@ std::vector<std::string> ServiceConfig::Validate() const {
   if (snapshot_poll_every < 1) {
     errors.push_back("snapshot_poll_every must be >= 1 (1 = poll on every query)");
   }
+  for (const std::string& error : admission.Validate()) errors.push_back("admission: " + error);
+  for (const std::string& error : health.Validate()) errors.push_back("health: " + error);
+  if (history_depth < 0) errors.push_back("history_depth must be >= 0 (0 = rollback off)");
+  if (default_deadline_ns < 0) {
+    errors.push_back("default_deadline_ns must be >= 0 (0 = no implicit deadline)");
+  }
   return errors;
 }
 
@@ -54,7 +68,10 @@ ForecastService::ForecastService(const ServiceConfig& config,
       window_steps_(config.EffectiveWindowSteps()),
       num_nodes_(network.num_nodes()),
       num_channels_(normalizer.num_channels()),
-      adjacency_(network.AdjacencyMatrix()) {
+      adjacency_(network.AdjacencyMatrix()),
+      hub_(config.history_depth),
+      health_(config.health),
+      fallback_(config.model.output_steps, /*target_channel=*/0) {
   const std::vector<std::string> errors = config.Validate();
   URCL_CHECK(errors.empty()) << "invalid ServiceConfig: " << errors.front();
   URCL_CHECK_EQ(num_nodes_, config.model.encoder.num_nodes)
@@ -73,23 +90,49 @@ ForecastService::ForecastService(const ServiceConfig& config,
 core::UrclTrainer::SnapshotSink ForecastService::SnapshotSink() {
   return [this](const checkpoint::Container& container) {
     URCL_TRACE_SCOPE("serve.ingest_snapshot");
+    // Canary input: the live rolling window when ready, else an all-zeros
+    // window (a valid point in normalized space — cold-start canaries still
+    // catch runaway weights).
+    Tensor probe = WindowReady()
+                       ? CurrentWindow()
+                       : Tensor(Shape{1, window_steps_, num_nodes_, num_channels_});
+
     std::shared_ptr<const ModelSnapshot> snapshot;
-    const Status status = ParseModelSnapshot(container, config_.model, &snapshot);
-    const bool metrics = obs::MetricsEnabled();
-    if (!status.ok()) {
-      // Keep the previous version live; a bad publish must not take the
-      // service down.
-      if (metrics) {
-        obs::MetricsRegistry::Get().GetCounter("urcl.serve.snapshot_parse_failures").Add(1);
+    Status status = Status::Ok();
+    if (config_.admission.verify_integrity) {
+      // Serialize + reparse so the checkpoint CRC/section checks run even
+      // for in-memory publishes. This is also the chaos harness's corruption
+      // point: serve_bitflip faults flip one byte "in transit".
+      std::string bytes = container.SerializeToString();
+      auto& injector = fault::FaultInjector::Instance();
+      if (!bytes.empty() && injector.NextSnapshotBitflipped()) {
+        bytes[injector.PickByte(bytes.size())] ^= 0x04;
       }
+      status = AdmitSnapshotBytes(bytes, config_.model, config_.admission, probe, adjacency_,
+                                  &snapshot);
+    } else {
+      status = AdmitSnapshot(container, config_.model, config_.admission, probe, adjacency_,
+                             &snapshot);
+    }
+
+    if (!status.ok()) {
+      // Quarantine: count, log, and keep the incumbent version live. A bad
+      // publish must never take the service down.
+      quarantined_.fetch_add(1, std::memory_order_relaxed);
+      std::fprintf(stderr, "[urcl.serve] snapshot quarantined: %s\n",
+                   status.ToString().c_str());
+      BumpCounter("urcl.serve.snapshots_quarantined");
+      BumpCounter("urcl.serve.snapshot_parse_failures");  // legacy alias
       return;
     }
+
+    const int64_t version = snapshot->version;
     hub_.Publish(std::move(snapshot));
-    if (metrics) {
+    health_.OnSwap(MonotonicNowNs());
+    if (obs::MetricsEnabled()) {
       auto& registry = obs::MetricsRegistry::Get();
       registry.GetCounter("urcl.serve.snapshots").Add(1);
-      registry.GetGauge("urcl.serve.model_version")
-          .Set(static_cast<double>(hub_.Current()->version));
+      registry.GetGauge("urcl.serve.model_version").Set(static_cast<double>(version));
     }
   };
 }
@@ -99,20 +142,31 @@ void ForecastService::IngestTick(const Tensor& observations) {
   URCL_CHECK_EQ(observations.rank(), 2) << "tick must be [N, C]";
   URCL_CHECK_EQ(observations.dim(0), num_nodes_);
   URCL_CHECK_EQ(observations.dim(1), num_channels_);
+
+  // Chaos harness: a dropped tick never reaches the ring (and never feeds
+  // the staleness watchdog); a duplicated tick is written twice, as a
+  // re-delivered message from an at-least-once transport would be.
+  auto& injector = fault::FaultInjector::Instance();
+  if (injector.NextTickDropped()) return;
+  const int64_t writes = injector.NextTickDuplicated() ? 2 : 1;
+
   const float* raw = observations.data();
   const int64_t tick_size = num_nodes_ * num_channels_;
   {
     std::unique_lock<std::shared_mutex> lock(window_mu_);
-    float* slot = ring_.data() + next_slot_ * tick_size;
-    for (int64_t i = 0; i < tick_size; ++i) {
-      // Same expression as MinMaxNormalizer::Transform, so windows assembled
-      // here are bitwise-identical to training-time normalized inputs.
-      const size_t c = static_cast<size_t>(i % num_channels_);
-      slot[i] = (raw[i] - channel_min_[c]) / (channel_max_[c] - channel_min_[c]);
+    for (int64_t w = 0; w < writes; ++w) {
+      float* slot = ring_.data() + next_slot_ * tick_size;
+      for (int64_t i = 0; i < tick_size; ++i) {
+        // Same expression as MinMaxNormalizer::Transform, so windows assembled
+        // here are bitwise-identical to training-time normalized inputs.
+        const size_t c = static_cast<size_t>(i % num_channels_);
+        slot[i] = (raw[i] - channel_min_[c]) / (channel_max_[c] - channel_min_[c]);
+      }
+      next_slot_ = (next_slot_ + 1) % window_steps_;
+      ++ticks_;
     }
-    next_slot_ = (next_slot_ + 1) % window_steps_;
-    ++ticks_;
   }
+  health_.OnTick(MonotonicNowNs());
   if (obs::MetricsEnabled()) {
     obs::MetricsRegistry::Get().GetCounter("urcl.serve.ticks").Add(1);
   }
@@ -146,13 +200,18 @@ Tensor ForecastService::CurrentWindow() const {
 
 Status ForecastService::Forecast(int64_t horizon, core::PredictResponse* response) const {
   if (!WindowReady()) {
-    return Status::Error("rolling window still filling: " + std::to_string(ticks_ingested()) +
-                         "/" + std::to_string(window_steps_) + " ticks");
+    return Status::FailedPrecondition(
+        "rolling window still filling: " + std::to_string(ticks_ingested()) + "/" +
+        std::to_string(window_steps_) + " ticks");
   }
   core::PredictRequest request;
   request.inputs = CurrentWindow();
   request.horizon = horizon;
   return Predict(request, response);
+}
+
+HealthState ForecastService::health_state() const {
+  return health_.Evaluate(MonotonicNowNs(), hub_.Current() != nullptr);
 }
 
 std::shared_ptr<const ModelSnapshot> ForecastService::AcquireSnapshot() const {
@@ -168,51 +227,188 @@ std::shared_ptr<const ModelSnapshot> ForecastService::AcquireSnapshot() const {
   return cached != nullptr ? cached : hub_.Current();
 }
 
+void ForecastService::AttemptRollback(int64_t observed_version) const {
+  std::lock_guard<std::mutex> lock(rollback_mu_);
+  const std::shared_ptr<const ModelSnapshot> current = hub_.Current();
+  // Lost the race: another thread already rolled back (or the trainer
+  // published past the bad version). Nothing to do.
+  if (current == nullptr || current->version != observed_version) return;
+
+  const std::shared_ptr<const ModelSnapshot> restored = hub_.RollBack();
+  if (restored != nullptr) {
+    std::fprintf(stderr,
+                 "[urcl.serve] error spike on snapshot v%lld: rolled back to v%lld\n",
+                 static_cast<long long>(observed_version),
+                 static_cast<long long>(restored->version));
+    cached_snapshot_.store(restored, std::memory_order_release);
+    health_.OnSwap(MonotonicNowNs());
+    BumpCounter("urcl.serve.rollbacks");
+    if (obs::MetricsEnabled()) {
+      obs::MetricsRegistry::Get()
+          .GetGauge("urcl.serve.model_version")
+          .Set(static_cast<double>(restored->version));
+    }
+  } else {
+    // No older version to fall back on: the model path is unusable until the
+    // trainer publishes a snapshot that passes admission.
+    std::fprintf(stderr,
+                 "[urcl.serve] error spike on snapshot v%lld with empty history: "
+                 "degrading to fallback\n",
+                 static_cast<long long>(observed_version));
+    health_.MarkModelUnusable();
+  }
+}
+
+Status ForecastService::AnswerDegraded(const core::PredictRequest& request,
+                                       core::PredictResponse* response) const {
+  URCL_TRACE_SCOPE("serve.predict_degraded");
+  const Status status = fallback_.Predict(request, response);
+  if (!status.ok()) return status;
+  // Belt and braces: the no-non-finite-output invariant holds on every path.
+  if (!response->predictions.AllFinite()) {
+    response->predictions = Tensor();
+    return Status::DataLoss("fallback produced a non-finite forecast");
+  }
+  response->model_version = 0;  // not a trained-model answer
+  response->stage = -1;
+  response->degraded = true;
+  degraded_.fetch_add(1, std::memory_order_relaxed);
+  served_.fetch_add(1, std::memory_order_relaxed);
+  health_.NoteDegradedServed();
+  BumpCounter("urcl.serve.degraded");
+  return Status::Ok();
+}
+
+int64_t ForecastService::EstimateLatencyNs(int64_t queue_position) const {
+  const int64_t ewma = latency_ewma_ns_.load(std::memory_order_relaxed);
+  if (ewma <= 0) return 0;  // no sample yet: admit optimistically
+  return ewma * (queue_position + 1);
+}
+
 Status ForecastService::Predict(const core::PredictRequest& request,
                                 core::PredictResponse* response) const {
   URCL_TRACE_SCOPE("serve.predict");
   const bool metrics = obs::MetricsEnabled();
   if (metrics) obs::MetricsRegistry::Get().GetCounter("urcl.serve.queries").Add(1);
+  if (response == nullptr) return Status::InvalidArgument("Predict: null response");
+
+  const int64_t now_ns = MonotonicNowNs();
+  const bool has_snapshot = hub_.Current() != nullptr;
+  const HealthState state = health_.Evaluate(now_ns, has_snapshot);
+  if (metrics) {
+    obs::MetricsRegistry::Get()
+        .GetGauge("urcl.serve.health_state")
+        .Set(static_cast<double>(static_cast<int>(state)));
+  }
+  if (state == HealthState::kLameDuck) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    BumpCounter("urcl.serve.rejected");
+    return Status::Unavailable("service is draining (LAME_DUCK); retry against a peer");
+  }
 
   // Admission control: shed load beyond queue_depth instead of queueing
   // without bound (the caller decides whether to retry).
-  if (in_flight_.fetch_add(1, std::memory_order_relaxed) >= config_.queue_depth) {
+  const int64_t queue_position = in_flight_.fetch_add(1, std::memory_order_relaxed);
+  if (queue_position >= config_.queue_depth) {
     in_flight_.fetch_sub(1, std::memory_order_relaxed);
     rejected_.fetch_add(1, std::memory_order_relaxed);
-    if (metrics) obs::MetricsRegistry::Get().GetCounter("urcl.serve.rejected").Add(1);
-    return Status::Error("service overloaded: queue_depth " +
-                         std::to_string(config_.queue_depth) + " queries already in flight");
+    BumpCounter("urcl.serve.rejected");
+    return Status::Overloaded("service overloaded: queue_depth " +
+                              std::to_string(config_.queue_depth) +
+                              " queries already in flight");
   }
   InFlightGuard guard(in_flight_);
 
-  if (response == nullptr) return Status::Error("Predict: null response");
   if (request.inputs.rank() != 4) {
-    return Status::Error("Predict: inputs must be [B, M, N, C], got rank " +
-                         std::to_string(request.inputs.rank()));
+    return Status::InvalidArgument("Predict: inputs must be [B, M, N, C], got rank " +
+                                   std::to_string(request.inputs.rank()));
   }
   if (request.inputs.dim(0) > config_.max_batch) {
-    return Status::Error("Predict: batch " + std::to_string(request.inputs.dim(0)) +
-                         " exceeds max_batch " + std::to_string(config_.max_batch));
+    return Status::InvalidArgument("Predict: batch " + std::to_string(request.inputs.dim(0)) +
+                                   " exceeds max_batch " + std::to_string(config_.max_batch));
+  }
+  // A client sending NaN/Inf observations is a malformed request, not a model
+  // failure — it must not count against the live version's error window.
+  if (!request.inputs.AllFinite()) {
+    return Status::InvalidArgument("Predict: inputs hold non-finite values");
+  }
+
+  // Deadline-aware admission: when the EWMA of recent model-path latencies
+  // says this query cannot be answered inside its budget (given the queue
+  // ahead of it), shed it up front instead of answering late.
+  const int64_t deadline_ns =
+      request.deadline_ns > 0 ? request.deadline_ns : config_.default_deadline_ns;
+  if (deadline_ns > 0) {
+    const int64_t estimate_ns = EstimateLatencyNs(queue_position);
+    if (estimate_ns > deadline_ns) {
+      deadline_shed_.fetch_add(1, std::memory_order_relaxed);
+      BumpCounter("urcl.serve.deadline_shed");
+      return Status::DeadlineExceeded(
+          "estimated latency " + std::to_string(estimate_ns) + "ns exceeds deadline " +
+          std::to_string(deadline_ns) + "ns at queue position " +
+          std::to_string(queue_position));
+    }
+  }
+
+  // Chaos harness: a slowed query stalls here, inside the admission window,
+  // so deadline shedding and queue_depth see realistic pressure.
+  {
+    auto& injector = fault::FaultInjector::Instance();
+    if (injector.NextQuerySlowed()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(injector.slow_ms()));
+    }
+  }
+
+  // Degraded mode: answer from the fallback baseline instead of failing
+  // closed. Note a cold service (no snapshot yet) is NOT degraded — it fails
+  // with kFailedPrecondition below until the first version is admitted.
+  if (state == HealthState::kDegraded) {
+    Status status = AnswerDegraded(request, response);
+    if (status.ok()) response->stale = health_.WindowStale(now_ns);
+    return status;
   }
 
   const std::shared_ptr<const ModelSnapshot> snapshot = AcquireSnapshot();
   if (snapshot == nullptr) {
-    return Status::Error("no model snapshot published yet");
+    return Status::FailedPrecondition("no model snapshot published yet");
   }
 
   const Stopwatch stopwatch;
   Status status = core::FinishPrediction(
       request, snapshot->model->ForwardInference(request.inputs, adjacency_), response);
-  if (!status.ok()) return status;
+  if (!status.ok()) return status;  // request problem (bad horizon), not a model error
+
+  // The hard output invariant: a non-finite forecast is quarantined — it
+  // never leaves Predict. It counts against the serving version's error
+  // window and, past the threshold, triggers automatic rollback.
+  if (!response->predictions.AllFinite()) {
+    response->predictions = Tensor();
+    nonfinite_.fetch_add(1, std::memory_order_relaxed);
+    BumpCounter("urcl.serve.nonfinite_outputs");
+    if (health_.RecordModelResult(false)) AttemptRollback(snapshot->version);
+    return Status::DataLoss("model v" + std::to_string(snapshot->version) +
+                            " produced a non-finite forecast (quarantined)");
+  }
+  (void)health_.RecordModelResult(true);  // healthy sample; never triggers rollback
+
   // Stamp the version that actually served the query: across a hot-swap,
   // in-flight queries finish on (and report) the version they acquired.
+  // Flags are assigned unconditionally so a reused response struct cannot
+  // leak a previous answer's degraded/stale verdicts.
   response->model_version = snapshot->version;
   response->stage = snapshot->stage;
+  response->degraded = false;
+  response->stale = health_.WindowStale(now_ns);
   served_.fetch_add(1, std::memory_order_relaxed);
+
+  const int64_t sample_ns = stopwatch.ElapsedNs();
+  const int64_t prev_ewma = latency_ewma_ns_.load(std::memory_order_relaxed);
+  latency_ewma_ns_.store(prev_ewma <= 0 ? sample_ns : prev_ewma + (sample_ns - prev_ewma) / 8,
+                         std::memory_order_relaxed);
   if (metrics) {
     obs::MetricsRegistry::Get()
         .GetHistogram("urcl.serve.latency_ns", obs::ExponentialBuckets(1e3, 4, 12))
-        .Observe(static_cast<double>(stopwatch.ElapsedNs()));
+        .Observe(static_cast<double>(sample_ns));
   }
   return Status::Ok();
 }

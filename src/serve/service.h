@@ -1,33 +1,47 @@
 // urcl::serve — the streaming inference service (tentpole of the serving
-// layer). A ForecastService owns three things:
+// layer). A ForecastService owns four things:
 //
 //   1. Rolling observation windows: one ring buffer per sensor, filled by
 //      IngestTick with raw readings that are normalized at ingest time using
 //      the training-time MinMaxNormalizer state, so window assembly is a
 //      straight copy with no per-query rescaling.
-//   2. A ModelHub of hot-swappable immutable weight snapshots. SnapshotSink()
-//      returns a callback for UrclTrainer::SetSnapshotSink: the background
-//      training thread publishes checkpoint-format containers, the sink
-//      parses them into frozen models and swaps them live; queries pick up
-//      the new version lock-free mid-stream.
-//   3. The query path: Predict answers batched forecast requests from any
+//   2. A ModelHub of hot-swappable immutable weight snapshots with an N-deep
+//      rollback history. SnapshotSink() returns a callback for
+//      UrclTrainer::SetSnapshotSink: the background training thread publishes
+//      checkpoint-format containers, the sink runs them through the admission
+//      gate (integrity, parse, weight scan, canary — serve/admission.h) and
+//      swaps admitted versions live; rejected publishes are quarantined and
+//      the incumbent stays up. Queries pick up the new version lock-free
+//      mid-stream.
+//   3. A health state machine (serve/health.h): model-error spikes trigger
+//      automatic rollback to the last-good version; a stalled tick stream or
+//      an aging snapshot degrades the service, which then answers from a
+//      HistoricalAverage fallback (stamped degraded=true) instead of failing
+//      closed; LAME_DUCK drains with typed kUnavailable.
+//   4. The query path: Predict answers batched forecast requests from any
 //      number of concurrent client threads via the tape-free inference
 //      executor (UrclModel::ForwardInference — bitwise-equal to the training
-//      forward), with admission control, urcl.serve.* metrics and trace spans.
+//      forward), with queue-depth and deadline-aware admission control,
+//      urcl.serve.* metrics and trace spans. Every failure is a typed Status;
+//      a non-finite value never leaves Predict.
 #ifndef URCL_SERVE_SERVICE_H_
 #define URCL_SERVE_SERVICE_H_
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "baselines/historical_average.h"
 #include "core/predictor.h"
 #include "core/urcl.h"
 #include "data/normalizer.h"
 #include "graph/sensor_network.h"
+#include "serve/admission.h"
+#include "serve/health.h"
 #include "serve/snapshot.h"
 #include "tensor/tensor.h"
 
@@ -40,7 +54,7 @@ namespace serve {
 // directly for early human-readable feedback, e.g. from flag parsing).
 struct ServiceConfig {
   // Architecture of the models being served; must match the trainer that
-  // publishes snapshots (snapshot parsing rejects mismatches).
+  // publishes snapshots (snapshot admission rejects mismatches).
   core::UrclConfig model;
 
   // Rolling-window length in ticks; 0 = the model's input window
@@ -53,7 +67,7 @@ struct ServiceConfig {
   int64_t max_batch = 64;
 
   // Admission-control depth: queries already in flight when a new one
-  // arrives beyond this count are shed with an overload error (counted in
+  // arrives beyond this count are shed with a kOverloaded error (counted in
   // urcl.serve.rejected) rather than queued without bound.
   int64_t queue_depth = 256;
 
@@ -62,6 +76,21 @@ struct ServiceConfig {
   // queries on the retiring version after a swap — for fewer shared-pointer
   // acquisitions on the hot path.
   int64_t snapshot_poll_every = 1;
+
+  // Which admission gates a published snapshot must pass before going live.
+  AdmissionConfig admission;
+
+  // Thresholds of the health state machine (error window, rollback trigger,
+  // staleness/age watchdogs, lame-duck drain).
+  HealthConfig health;
+
+  // Previously-live versions retained for rollback (ModelHub history depth;
+  // 0 = rollback disabled, an error spike marks the model unusable instead).
+  int64_t history_depth = 4;
+
+  // Deadline substituted for requests that carry deadline_ns == 0;
+  // 0 = requests without an explicit deadline are never deadline-shed.
+  int64_t default_deadline_ns = 0;
 
   // Human-readable message per invalid field; empty when usable.
   std::vector<std::string> Validate() const;
@@ -80,15 +109,19 @@ class ForecastService {
   ForecastService(const ServiceConfig& config, const graph::SensorNetwork& network,
                   const data::MinMaxNormalizer& normalizer);
 
-  // Callback for UrclTrainer::SetSnapshotSink: parses the published
-  // container and hot-swaps it into the hub. Parse failures increment
-  // urcl.serve.snapshot_parse_failures and keep the previous version live.
+  // Callback for UrclTrainer::SetSnapshotSink: runs the published container
+  // through the admission gate and hot-swaps it into the hub on success.
+  // Failures quarantine the snapshot — counted in
+  // urcl.serve.snapshots_quarantined (and the legacy
+  // urcl.serve.snapshot_parse_failures), logged to stderr — and keep the
+  // previous version live.
   core::UrclTrainer::SnapshotSink SnapshotSink();
 
   // Appends one tick of raw sensor readings ([N, C], unnormalized) to every
   // sensor's ring buffer, normalizing on the way in. Thread-safe against
   // concurrent queries (writer lock); ticks are assumed to arrive from one
-  // ingestion thread in stream order.
+  // ingestion thread in stream order. Feeds the staleness watchdog; under
+  // fault injection ticks may be dropped or duplicated here (chaos harness).
   void IngestTick(const Tensor& observations);
 
   // True once every ring holds a full window of ticks.
@@ -102,27 +135,64 @@ class ForecastService {
 
   // Forecasts from the service's own rolling window: assembles
   // CurrentWindow() and answers it like Predict. Fails while the window is
-  // still filling.
+  // still filling. The response's `stale` flag reports the staleness
+  // watchdog's verdict on the window that answered.
   Status Forecast(int64_t horizon, core::PredictResponse* response) const;
 
   // Answers a batched forecast query against the current model version.
   // Safe to call from many threads concurrently; the response is stamped
   // with the version/stage of the snapshot that actually served it, so
-  // clients observe hot-swaps. Overload, missing snapshots, oversized
-  // batches and bad horizons come back as error Statuses.
+  // clients observe hot-swaps and rollbacks. Every failure is a typed
+  // Status: kOverloaded (queue full), kDeadlineExceeded (budget unmeetable),
+  // kUnavailable (lame duck), kInvalidArgument (malformed request),
+  // kFailedPrecondition (no snapshot yet), kDataLoss (model produced a
+  // non-finite forecast — quarantined, never returned). When the service is
+  // DEGRADED it answers from the HistoricalAverage fallback with
+  // degraded=true instead of failing.
   Status Predict(const core::PredictRequest& request, core::PredictResponse* response) const;
 
   ModelHub& hub() { return hub_; }
   const ModelHub& hub() const { return hub_; }
   const ServiceConfig& config() const { return config_; }
 
+  // Current verdict of the health state machine.
+  HealthState health_state() const;
+  HealthMonitor& health() { return health_; }
+
+  // Begins terminal drain: every subsequent query is shed with kUnavailable.
+  void EnterLameDuck() { health_.EnterLameDuck(); }
+
   // Queries answered / shed since construction.
   int64_t served_queries() const { return served_.load(std::memory_order_relaxed); }
   int64_t rejected_queries() const { return rejected_.load(std::memory_order_relaxed); }
 
+  // Failure-model counters (also exported as urcl.serve.* metrics).
+  int64_t quarantined_snapshots() const {
+    return quarantined_.load(std::memory_order_relaxed);
+  }
+  int64_t deadline_shed() const { return deadline_shed_.load(std::memory_order_relaxed); }
+  int64_t degraded_queries() const { return degraded_.load(std::memory_order_relaxed); }
+  int64_t nonfinite_outputs() const { return nonfinite_.load(std::memory_order_relaxed); }
+  int64_t rollback_count() const { return hub_.rollback_count(); }
+
  private:
   // Acquires the snapshot for one query, honoring snapshot_poll_every.
   std::shared_ptr<const ModelSnapshot> AcquireSnapshot() const;
+
+  // Serializes `observed_version`'s removal: rolls the hub back to the
+  // previous version (resetting the health window) or, when no history
+  // remains, marks the model path unusable. Concurrent callers that lost the
+  // race (the hub moved past `observed_version` already) do nothing.
+  void AttemptRollback(int64_t observed_version) const;
+
+  // Answers `request` from the HistoricalAverage fallback, stamping
+  // degraded=true / version 0 / stage -1.
+  Status AnswerDegraded(const core::PredictRequest& request,
+                        core::PredictResponse* response) const;
+
+  // Deadline admission: estimated time to answer, from the EWMA of recent
+  // model-path latencies scaled by the queue position ahead of this query.
+  int64_t EstimateLatencyNs(int64_t queue_position) const;
 
   ServiceConfig config_;
   int64_t window_steps_;
@@ -140,7 +210,12 @@ class ForecastService {
   int64_t next_slot_ = 0;     // ring slot the next tick lands in
   int64_t ticks_ = 0;         // total ticks ingested
 
-  ModelHub hub_;
+  mutable ModelHub hub_;
+  mutable HealthMonitor health_;
+  baselines::HistoricalAverage fallback_;
+  // Serializes rollback decisions (never on the success path).
+  mutable std::mutex rollback_mu_;
+
   // Cached snapshot for snapshot_poll_every > 1 (refreshed every Nth query).
   mutable std::atomic<std::shared_ptr<const ModelSnapshot>> cached_snapshot_;
   mutable std::atomic<int64_t> query_seq_{0};
@@ -148,6 +223,12 @@ class ForecastService {
   mutable std::atomic<int64_t> in_flight_{0};
   mutable std::atomic<int64_t> served_{0};
   mutable std::atomic<int64_t> rejected_{0};
+  mutable std::atomic<int64_t> quarantined_{0};
+  mutable std::atomic<int64_t> deadline_shed_{0};
+  mutable std::atomic<int64_t> degraded_{0};
+  mutable std::atomic<int64_t> nonfinite_{0};
+  // EWMA of model-path latency in ns (bit-cast double); 0 = no sample yet.
+  mutable std::atomic<int64_t> latency_ewma_ns_{0};
 };
 
 }  // namespace serve

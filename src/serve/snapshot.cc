@@ -22,27 +22,29 @@ constexpr uint32_t kSupportedServeMetaVersion = 1;
 Status ParseModelSnapshot(const checkpoint::Container& container,
                           const core::UrclConfig& config,
                           std::shared_ptr<const ModelSnapshot>* out) {
-  if (out == nullptr) return Status::Error("ParseModelSnapshot: null output snapshot");
+  if (out == nullptr) return Status::InvalidArgument("ParseModelSnapshot: null output snapshot");
   const std::vector<std::string> config_errors = config.Validate();
   if (!config_errors.empty()) {
-    return Status::Error("ParseModelSnapshot: invalid model config: " + config_errors.front());
+    return Status::InvalidArgument("ParseModelSnapshot: invalid model config: " +
+                                   config_errors.front());
   }
 
   const std::string* meta_bytes = container.Find("serve_meta");
   if (meta_bytes == nullptr) {
-    return Status::Error("snapshot container is missing the serve_meta section");
+    return Status::DataLoss("snapshot container is missing the serve_meta section");
   }
   // Fixed layout: uint32 schema + int64 {version, stage, step_count}. Size is
   // checked up front because io::ReadPod aborts on truncation.
   constexpr size_t kMetaSize = sizeof(uint32_t) + 3 * sizeof(int64_t);
   if (meta_bytes->size() != kMetaSize) {
-    return Status::Error("serve_meta section has unexpected size " +
-                         std::to_string(meta_bytes->size()));
+    return Status::DataLoss("serve_meta section has unexpected size " +
+                            std::to_string(meta_bytes->size()));
   }
   std::istringstream meta(*meta_bytes);
   const uint32_t schema = io::ReadPod<uint32_t>(meta);
   if (schema != kSupportedServeMetaVersion) {
-    return Status::Error("unsupported serve_meta schema version " + std::to_string(schema));
+    return Status::InvalidArgument("unsupported serve_meta schema version " +
+                                   std::to_string(schema));
   }
   const int64_t version = io::ReadPod<int64_t>(meta);
   const int64_t stage = io::ReadPod<int64_t>(meta);
@@ -50,7 +52,7 @@ Status ParseModelSnapshot(const checkpoint::Container& container,
 
   const std::string* model_bytes = container.Find("model");
   if (model_bytes == nullptr) {
-    return Status::Error("snapshot container is missing the model section");
+    return Status::DataLoss("snapshot container is missing the model section");
   }
 
   // Materialize the architecture, then overwrite its weights with the
@@ -62,7 +64,8 @@ Status ParseModelSnapshot(const checkpoint::Container& container,
   const uint64_t count = io::ReadPod<uint64_t>(model_stream);
   const size_t expected = model->StateDict().size();
   if (count != expected) {
-    return Status::Error("snapshot has " + std::to_string(count) + " tensors but the config " +
+    return Status::InvalidArgument(
+        "snapshot has " + std::to_string(count) + " tensors but the config " +
                          "builds a model with " + std::to_string(expected) +
                          " (architecture mismatch between trainer and server)");
   }
@@ -80,14 +83,43 @@ Status ParseModelSnapshot(const checkpoint::Container& container,
   return Status::Ok();
 }
 
+ModelHub::ModelHub(int64_t history_depth) : history_depth_(history_depth) {}
+
 void ModelHub::Publish(std::shared_ptr<const ModelSnapshot> snapshot) {
-  // Retire-then-install: a reader loading current_ between the two stores
-  // sees either the old or the new version, both fully constructed. The
-  // release stores pair with the acquire loads in Current()/Previous() so the
-  // snapshot's weights are visible before its pointer is.
-  previous_.store(current_.load(std::memory_order_acquire), std::memory_order_release);
+  std::lock_guard<std::mutex> lock(mu_);
+  // Retire-then-install: a reader loading current_ around the store sees
+  // either the old or the new version, both fully constructed. The release
+  // store pairs with the acquire load in Current() so the snapshot's weights
+  // are visible before its pointer is.
+  std::shared_ptr<const ModelSnapshot> retired = current_.load(std::memory_order_acquire);
+  if (retired != nullptr && history_depth_ > 0) {
+    history_.push_back(std::move(retired));
+    while (static_cast<int64_t>(history_.size()) > history_depth_) history_.pop_front();
+  }
   current_.store(std::move(snapshot), std::memory_order_release);
   swaps_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::shared_ptr<const ModelSnapshot> ModelHub::RollBack() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (history_.empty()) return nullptr;
+  std::shared_ptr<const ModelSnapshot> restored = history_.back();
+  history_.pop_back();
+  // The bad incumbent is dropped on the floor (in-flight queries holding its
+  // shared_ptr finish safely; their outputs are quarantined by the caller).
+  current_.store(restored, std::memory_order_release);
+  rollbacks_.fetch_add(1, std::memory_order_relaxed);
+  return restored;
+}
+
+std::shared_ptr<const ModelSnapshot> ModelHub::Previous() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return history_.empty() ? nullptr : history_.back();
+}
+
+int64_t ModelHub::history_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(history_.size());
 }
 
 }  // namespace serve

@@ -1,0 +1,312 @@
+// Chaos harness (ctest label `chaos`, DESIGN.md §11): the trainer, the
+// serving path and concurrent clients run under serving-fault injection —
+// bit-flipped snapshot bytes, swallowed publishes, dropped/duplicated ticks
+// and slow inference — and the suite asserts the serving failure model's
+// invariants:
+//
+//   - the process never crashes;
+//   - a non-finite value never leaves Predict (ok responses are all-finite);
+//   - every failure surfaces as a typed Status (never kUnknown);
+//   - after the storm the service recovers HEALTHY on a last-good version.
+//
+// The storm phase asserts only those universal invariants (an external
+// URCL_FAULT spec may layer extra faults on top — scripts/check.sh does);
+// the directed phases pin each fault point's counters deterministically.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "checkpoint/container.h"
+#include "common/fault_injector.h"
+#include "common/stopwatch.h"
+#include "core/urcl.h"
+#include "data/synthetic.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "serve/service.h"
+
+namespace urcl {
+namespace serve {
+namespace {
+
+core::UrclConfig TinyConfig(int64_t nodes) {
+  core::UrclConfig config;
+  config.encoder.num_nodes = nodes;
+  config.encoder.in_channels = 2;
+  config.encoder.input_steps = 12;
+  config.encoder.hidden_channels = 4;
+  config.encoder.latent_channels = 8;
+  config.encoder.num_layers = 2;
+  config.encoder.adaptive_embedding_dim = 3;
+  config.decoder_hidden = 16;
+  config.proj_hidden = 8;
+  config.batch_size = 2;
+  config.max_batches_per_epoch = 4;
+  config.replay_sample_count = 2;
+  config.rmir_scan_size = 4;
+  config.rmir_candidate_pool = 4;
+  config.buffer_capacity = 16;
+  return config;
+}
+
+bool IsTypedCode(StatusCode code) {
+  switch (code) {
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kFailedPrecondition:
+    case StatusCode::kUnavailable:
+    case StatusCode::kOverloaded:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kDataLoss:
+      return true;
+    case StatusCode::kOk:
+    case StatusCode::kUnknown:
+      return false;
+  }
+  return false;
+}
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  static constexpr int64_t kNodes = 5;
+
+  void SetUp() override {
+    fault::FaultInjector::Instance().Reset();
+    data::TrafficConfig traffic;
+    traffic.num_nodes = kNodes;
+    traffic.num_days = 2;
+    traffic.steps_per_day = 60;
+    traffic.channels = 2;
+    generator_ = std::make_unique<data::SyntheticTraffic>(traffic);
+    Tensor series = generator_->GenerateSeries();
+    normalizer_ = data::MinMaxNormalizer::Fit(series);
+    dataset_ = std::make_unique<data::StDataset>(normalizer_.Transform(series),
+                                                 data::WindowConfig{12, 1, 0});
+  }
+
+  void TearDown() override { fault::FaultInjector::Instance().Reset(); }
+
+  // One clean (fault-free) trainer publication for directed phases.
+  checkpoint::Container CleanContainer(const core::UrclConfig& config) {
+    fault::FaultInjector::Instance().Reset();
+    core::UrclTrainer trainer(config, generator_->network());
+    std::vector<checkpoint::Container> published;
+    trainer.SetSnapshotSink([&](const checkpoint::Container& c) { published.push_back(c); });
+    trainer.TrainStage(*dataset_, 1);
+    EXPECT_GE(published.size(), 1u);
+    return published.back();
+  }
+
+  std::unique_ptr<data::SyntheticTraffic> generator_;
+  data::MinMaxNormalizer normalizer_;
+  std::unique_ptr<data::StDataset> dataset_;
+};
+
+TEST_F(ChaosTest, ServingFaultStormUpholdsInvariantsAndRecoversHealthy) {
+  // Metrics on, so the failure-model counters are exercised end to end.
+  obs::ObsConfig obs_config;
+  obs_config.metrics = true;
+  obs::Configure(obs_config);
+
+  ServiceConfig config;
+  config.model = TinyConfig(kNodes);
+  config.health.error_window = 32;
+  config.health.rollback_errors = 3;
+  ForecastService service(config, generator_->network(), normalizer_);
+
+  auto& injector = fault::FaultInjector::Instance();
+  std::vector<std::string> errors = injector.Configure(
+      "serve_bitflip=0.3;drop_publish=0.2;tick_drop=0.2;tick_dup=0.2;slow=0.05;"
+      "slow_ms=1;seed=7");
+  ASSERT_TRUE(errors.empty()) << errors.front();
+  // Layer the externally supplied spec (if any) on top: scripts/check.sh runs
+  // this suite with URCL_FAULT set to a serving-fault storm.
+  injector.LoadFromEnv();
+
+  // The tee keeps every container the trainer managed to publish so the
+  // recovery phase can re-offer a known-good snapshot after the storm.
+  std::mutex published_mu;
+  std::vector<checkpoint::Container> published;
+  auto service_sink = service.SnapshotSink();
+  auto tee = [&](const checkpoint::Container& container) {
+    {
+      std::lock_guard<std::mutex> lock(published_mu);
+      published.push_back(container);
+    }
+    service_sink(container);
+  };
+
+  std::atomic<bool> done{false};
+  std::atomic<int64_t> nonfinite_leaks{0};  // ok responses with non-finite data
+  std::atomic<int64_t> untyped_failures{0};
+  std::atomic<int64_t> ok_responses{0};
+
+  std::thread trainer_thread([&] {
+    core::UrclTrainer trainer(config.model, generator_->network());
+    trainer.SetSnapshotSink(tee);
+    for (int64_t stage = 0; stage < 3; ++stage) {
+      trainer.BeginStage(stage);
+      trainer.TrainStage(*dataset_, 1);
+    }
+  });
+
+  std::thread ingest_thread([&] {
+    Rng rng(21);
+    while (!done.load(std::memory_order_relaxed)) {
+      service.IngestTick(Tensor::RandomUniform(Shape{kNodes, 2}, rng, 0.0f, 50.0f));
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(100 + c);
+      while (!done.load(std::memory_order_relaxed)) {
+        core::PredictRequest request;
+        request.inputs =
+            Tensor::RandomUniform(Shape{1, 12, kNodes, 2}, rng, 0.0f, 1.0f);
+        request.horizon = 0;
+        // A slice of traffic carries a tight-but-plausible deadline.
+        if (rng.UniformInt(0, 3) == 0) request.deadline_ns = 500 * 1000;
+        core::PredictResponse response;
+        const Status status = c % 2 == 0 ? service.Predict(request, &response)
+                                         : service.Forecast(0, &response);
+        if (status.ok()) {
+          ok_responses.fetch_add(1, std::memory_order_relaxed);
+          if (!response.predictions.AllFinite()) {
+            nonfinite_leaks.fetch_add(1, std::memory_order_relaxed);
+          }
+        } else if (!IsTypedCode(status.code())) {
+          untyped_failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  trainer_thread.join();
+  // Let the clients chew on the final version for a moment, then stop.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  done.store(true, std::memory_order_relaxed);
+  ingest_thread.join();
+  for (std::thread& client : clients) client.join();
+
+  // The universal invariants — these hold under ANY fault spec.
+  EXPECT_EQ(nonfinite_leaks.load(), 0) << "a non-finite value left Predict";
+  EXPECT_EQ(untyped_failures.load(), 0) << "an untyped (kUnknown) Status escaped";
+
+  // Recovery: faults off, re-offer the newest good container. Admission must
+  // accept it and the service must end HEALTHY on a live version.
+  injector.Reset();
+  {
+    std::lock_guard<std::mutex> lock(published_mu);
+    ASSERT_FALSE(published.empty()) << "trainer never published (all dropped?)";
+    service_sink(published.back());
+  }
+  ASSERT_NE(service.hub().Current(), nullptr);
+  EXPECT_EQ(service.health_state(), HealthState::kHealthy);
+
+  core::PredictRequest request;
+  Rng rng(55);
+  request.inputs = Tensor::RandomUniform(Shape{1, 12, kNodes, 2}, rng, 0.0f, 1.0f);
+  core::PredictResponse response;
+  const Status final_status = service.Predict(request, &response);
+  ASSERT_TRUE(final_status.ok()) << final_status.ToString();
+  EXPECT_TRUE(response.predictions.AllFinite());
+  EXPECT_FALSE(response.degraded);
+  EXPECT_GT(ok_responses.load() + service.served_queries(), 0);
+
+  // The failure-model counters surfaced through the metrics registry.
+  const obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Get().Snapshot();
+  EXPECT_NE(snapshot.gauges.find("urcl.serve.health_state"), snapshot.gauges.end());
+  EXPECT_NE(snapshot.counters.find("urcl.serve.queries"), snapshot.counters.end());
+  obs::Configure(obs::ObsConfig{});  // metrics back off
+}
+
+TEST_F(ChaosTest, DirectedBitflipIsQuarantinedByTheCrcGate) {
+  ServiceConfig config;
+  config.model = TinyConfig(kNodes);
+  ForecastService service(config, generator_->network(), normalizer_);
+  const checkpoint::Container good = CleanContainer(config.model);
+  auto sink = service.SnapshotSink();
+
+  auto& injector = fault::FaultInjector::Instance();
+  ASSERT_TRUE(injector.Configure("serve_bitflip=1.0;seed=3").empty());
+  sink(good);
+  EXPECT_EQ(injector.counters().bitflipped_snapshots, 1);
+  EXPECT_EQ(service.quarantined_snapshots(), 1);
+  EXPECT_EQ(service.hub().Current(), nullptr) << "a corrupt snapshot went live";
+
+  // Faults off: the same container is admitted unchanged.
+  injector.Reset();
+  sink(good);
+  EXPECT_EQ(service.quarantined_snapshots(), 1);
+  ASSERT_NE(service.hub().Current(), nullptr);
+  EXPECT_EQ(service.health_state(), HealthState::kHealthy);
+}
+
+TEST_F(ChaosTest, DirectedDropPublishSwallowsTheSnapshot) {
+  auto& injector = fault::FaultInjector::Instance();
+  ASSERT_TRUE(injector.Configure("drop_publish=1.0").empty());
+
+  core::UrclConfig config = TinyConfig(kNodes);
+  core::UrclTrainer trainer(config, generator_->network());
+  std::vector<checkpoint::Container> published;
+  trainer.SetSnapshotSink([&](const checkpoint::Container& c) { published.push_back(c); });
+  trainer.TrainStage(*dataset_, 1);
+
+  EXPECT_TRUE(published.empty()) << "drop_publish=1.0 must swallow every publish";
+  EXPECT_GE(injector.counters().dropped_publishes, 1);
+}
+
+TEST_F(ChaosTest, DirectedTickFaultsDropAndDuplicate) {
+  ServiceConfig config;
+  config.model = TinyConfig(kNodes);
+  ForecastService service(config, generator_->network(), normalizer_);
+  Rng rng(17);
+  auto& injector = fault::FaultInjector::Instance();
+
+  ASSERT_TRUE(injector.Configure("tick_drop=1.0").empty());
+  for (int t = 0; t < 5; ++t) {
+    service.IngestTick(Tensor::RandomUniform(Shape{kNodes, 2}, rng, 0.0f, 50.0f));
+  }
+  EXPECT_EQ(service.ticks_ingested(), 0);
+  EXPECT_EQ(injector.counters().dropped_ticks, 5);
+
+  injector.Reset();
+  ASSERT_TRUE(injector.Configure("tick_dup=1.0").empty());
+  for (int t = 0; t < 3; ++t) {
+    service.IngestTick(Tensor::RandomUniform(Shape{kNodes, 2}, rng, 0.0f, 50.0f));
+  }
+  EXPECT_EQ(service.ticks_ingested(), 6);
+  EXPECT_EQ(injector.counters().duplicated_ticks, 3);
+}
+
+TEST_F(ChaosTest, DirectedSlowFaultStallsQueries) {
+  ServiceConfig config;
+  config.model = TinyConfig(kNodes);
+  ForecastService service(config, generator_->network(), normalizer_);
+  service.SnapshotSink()(CleanContainer(config.model));
+  ASSERT_NE(service.hub().Current(), nullptr);
+
+  auto& injector = fault::FaultInjector::Instance();
+  ASSERT_TRUE(injector.Configure("slow=1.0;slow_ms=2").empty());
+  core::PredictRequest request;
+  Rng rng(9);
+  request.inputs = Tensor::RandomUniform(Shape{1, 12, kNodes, 2}, rng, 0.0f, 1.0f);
+  core::PredictResponse response;
+  const Stopwatch stopwatch;
+  ASSERT_TRUE(service.Predict(request, &response).ok());
+  EXPECT_GE(stopwatch.ElapsedNs(), 2LL * 1000 * 1000);
+  EXPECT_GE(injector.counters().slowed_queries, 1);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace urcl

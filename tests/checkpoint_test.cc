@@ -518,14 +518,18 @@ TEST_P(KillResumeTest, ResumedRunIsBitwiseIdentical) {
   const auto [kill_point, hits] = GetParam();
   ProtocolFixture f = MakeProtocolFixture(6, 31);
 
-  const std::string ref_dir = ScratchDir(std::string("ref_") + kill_point);
+  // Scratch names carry the hit count: under parallel ctest the batch_done_5
+  // and batch_done_13 cases run as concurrent processes, and a shared dir
+  // would let one case's remove_all delete the other's live checkpoints.
+  const std::string tag = std::string(kill_point) + "_" + std::to_string(hits);
+  const std::string ref_dir = ScratchDir("ref_" + tag);
   const RunOutcome reference = RunUninterrupted(f, ref_dir);
   ASSERT_FALSE(reference.loss_history.empty());
 
   // Interrupted run: cooperative kill (same crash semantics as _Exit for the
   // on-disk state — the trainer object is discarded, never reused — without
   // forking a child process under gtest).
-  const std::string dir = ScratchDir(std::string("kill_") + kill_point);
+  const std::string dir = ScratchDir("kill_" + tag);
   {
     fault::FaultInjector::Instance().ArmKill(kill_point, hits, fault::KillMode::kStop);
     core::UrclTrainer victim(TinyConfig(6), f.generator->network());
@@ -548,7 +552,7 @@ TEST_P(KillResumeTest, ResumedRunIsBitwiseIdentical) {
 
   const auto [x, y] = f.dataset->MakeBatch({0, 5});
   ExpectBitwiseEqual(reference, RunOutcome{resumed.loss_history(), resumed.Predict(x)},
-                     std::string("kill=") + kill_point + ":" + std::to_string(hits));
+                     "kill=" + tag);
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -109,6 +109,59 @@ TEST(RepoLintTest, ClockRuleCoversNonLibraryTrees) {
   EXPECT_FALSE(Has(LintFileContent("examples/x.cpp", source, example), "banned-call/clock"));
 }
 
+TEST(RepoLintTest, FlagsStatementPositionStatusDiscards) {
+  // Member call, free call and (void)-laundering, all in statement position.
+  EXPECT_TRUE(Has(LintFileContent("src/x.cc", "  service.Predict(request, &response);\n",
+                                  LibraryOptions()),
+                  "status-discard"));
+  EXPECT_TRUE(Has(LintFileContent("src/x.cc", "  ParseModelSnapshot(c, config, &out);\n",
+                                  LibraryOptions()),
+                  "status-discard"));
+  EXPECT_TRUE(Has(LintFileContent("src/x.cc", "  (void)manager->Save(container);\n",
+                                  LibraryOptions()),
+                  "status-discard"));
+  EXPECT_TRUE(Has(LintFileContent("src/x.cc", "  checkpoint::Container::Parse(bytes, &c);\n",
+                                  LibraryOptions()),
+                  "status-discard"));
+}
+
+TEST(RepoLintTest, DoesNotFlagConsumedOrDeclaredStatusCalls) {
+  const std::vector<std::string> clean = {
+      "  const Status status = service.Predict(request, &response);\n",
+      "  if (!service.Predict(request, &response).ok()) return;\n",
+      "  return manager.Save(container);\n",
+      "  Status Save(const Container& container);\n",       // declaration
+      "  virtual Status Predict(const R& r, P* p) const;\n",  // declaration
+      "  EXPECT_TRUE(service.Predict(request, &response).ok());\n",
+  };
+  for (const std::string& source : clean) {
+    EXPECT_FALSE(Has(LintFileContent("src/x.cc", source, LibraryOptions()), "status-discard"))
+        << source;
+  }
+}
+
+TEST(RepoLintTest, StatusDiscardSkipsContinuationLines) {
+  // Line 2 starts with the call but continues the assignment on line 1.
+  const auto findings = LintFileContent("src/x.cc",
+                                        "  Status status =\n"
+                                        "      FinishPrediction(request, out, &response);\n",
+                                        LibraryOptions());
+  EXPECT_FALSE(Has(findings, "status-discard"));
+}
+
+TEST(RepoLintTest, StatusDiscardRespectsGateAndSuppression) {
+  Options tests_tree = LibraryOptions();
+  tests_tree.status_rules = false;  // how LintTree configures tests/ and bench/
+  EXPECT_FALSE(Has(LintFileContent("tests/x_test.cc", "  service.Predict(r, &p);\n",
+                                   tests_tree),
+                   "status-discard"));
+  EXPECT_FALSE(Has(LintFileContent(
+                       "src/x.cc",
+                       "  service.Predict(r, &p);  // lint:allow(status-discard)\n",
+                       LibraryOptions()),
+                   "status-discard"));
+}
+
 TEST(RepoLintTest, SuppressionCommentSilencesOneRule) {
   const auto findings = LintFileContent(
       "src/x.cc", "int v = rand();  // lint:allow(banned-call/rand)\n", LibraryOptions());

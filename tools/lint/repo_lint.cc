@@ -109,6 +109,104 @@ bool Suppressed(const std::string& raw_line, const std::string& rule) {
 }
 
 void Add(std::vector<Finding>* findings, const std::string& path, int line, std::string rule,
+         std::string detail);
+
+// Status-returning functions in this repo (curated, not discovered — the
+// linter is a single-file scanner with no type information). The discard rule
+// flags statement-position calls of these names, where the returned Status is
+// dropped on the floor, plus `(void)` laundering of the same calls.
+// Expression-position uses (assignment, return, condition, argument) pass.
+const char* const kStatusReturningNames[] = {
+    "AdmitSnapshot", "AdmitSnapshotBytes",     "Deserialize", "FinishPrediction",
+    "Forecast",      "LoadNewestValid",        "LoadState",   "Parse",
+    "ParseModelSnapshot", "Predict",           "ReadFile",    "RestoreFromCheckpointDir",
+    "Save",          "SaveFullCheckpoint",     "TryImportSeriesCsv",
+    "WriteChromeTrace",   "WriteFile"};
+
+// True when `prefix` (the code before the called name on its line) can only
+// be a receiver expression: identifier chars, member/scope accessors and
+// whitespace. Anything else (operators, '(', '=', a `return` keyword) means
+// the call's value is consumed.
+bool IsReceiverOnly(const std::string& prefix) {
+  bool pending_space = false;  // whitespace seen since the last word char
+  bool any_word = false;
+  for (const char c : prefix) {
+    if (c == ' ' || c == '\t') {
+      pending_space = any_word;
+      continue;
+    }
+    if (IsWordChar(c)) {
+      // Two identifiers separated by whitespace is a declaration
+      // ("static Status Parse(...)"), not a receiver expression.
+      if (pending_space) return false;
+      any_word = true;
+      continue;
+    }
+    if (c == '.' || c == ':' || c == '-' || c == '>') {
+      pending_space = false;
+      continue;
+    }
+    return false;
+  }
+  return prefix.find("return") == std::string::npos;
+}
+
+// Flags statement-position calls of kStatusReturningNames whose result is
+// discarded. Heuristic on one stripped line: a receiver-only prefix, the
+// call's parentheses balanced on the line, and nothing after them but `;`.
+// Multi-line calls escape the net (the [[nodiscard]] compiler check is the
+// backstop; this rule exists so discards are caught even where the result is
+// laundered through `(void)`).
+void CheckStatusDiscards(const std::string& path, int line_number, const std::string& code,
+                         const std::string& raw_line, std::vector<Finding>* findings) {
+  if (Suppressed(raw_line, "status-discard")) return;
+  for (const char* name_cstr : kStatusReturningNames) {
+    const std::string name(name_cstr);
+    size_t pos = 0;
+    while ((pos = code.find(name, pos)) != std::string::npos) {
+      const size_t name_start = pos;
+      pos += name.size();
+      const bool starts_word = name_start == 0 || !IsWordChar(code[name_start - 1]);
+      size_t open = pos;
+      while (open < code.size() && code[open] == ' ') ++open;
+      if (!starts_word || open >= code.size() || code[open] != '(') continue;
+
+      std::string prefix = code.substr(0, name_start);
+      const size_t first = prefix.find_first_not_of(" \t");
+      prefix = first == std::string::npos ? "" : prefix.substr(first);
+      bool laundered = false;
+      if (prefix.compare(0, 6, "(void)") == 0) {
+        laundered = true;
+        prefix = prefix.substr(6);
+      }
+      // A receiver expression abuts the name (`hub.`, `ns::`); an identifier
+      // prefix ending in whitespace is a declaration ("Status Save(...)").
+      if (!prefix.empty() && (prefix.back() == ' ' || prefix.back() == '\t')) continue;
+      if (!IsReceiverOnly(prefix)) continue;
+
+      int depth = 0;
+      size_t i = open;
+      for (; i < code.size(); ++i) {
+        if (code[i] == '(') ++depth;
+        if (code[i] == ')' && --depth == 0) break;
+      }
+      if (depth != 0) continue;  // call continues on the next line: give up
+      ++i;
+      while (i < code.size() && code[i] == ' ') ++i;
+      if (i >= code.size() || code[i] != ';') continue;
+      if (code.find_first_not_of(" \t", i + 1) != std::string::npos) continue;
+
+      Add(findings, path, line_number, "status-discard",
+          laundered ? "Status returned by " + name + "() is (void)-laundered; handle or "
+                          "propagate it (Status is [[nodiscard]] for a reason)"
+                    : "Status returned by " + name + "() is silently discarded; check "
+                          "ok() or propagate it");
+      return;  // one finding per line is enough
+    }
+  }
+}
+
+void Add(std::vector<Finding>* findings, const std::string& path, int line, std::string rule,
          std::string detail) {
   findings->push_back(Finding{path, line, std::move(rule), std::move(detail)});
 }
@@ -167,6 +265,7 @@ std::vector<Finding> LintFileContent(const std::string& path, const std::string&
   std::string line;
   bool in_block_comment = false;
   int line_number = 0;
+  char prev_code_tail = ';';  // last code char of the previous non-blank line
   while (std::getline(in, line)) {
     ++line_number;
     if (options.format_rules) {
@@ -191,6 +290,15 @@ std::vector<Finding> LintFileContent(const std::string& path, const std::string&
       }
     }
     const std::string code = StripCommentsAndStrings(line, &in_block_comment);
+    // A line can only open a new statement after `;`, `{` or `}` — anything
+    // else means this line continues an expression (`status =` on the line
+    // above) and its leading call is not a discard.
+    if (options.status_rules && (prev_code_tail == ';' || prev_code_tail == '{' ||
+                                 prev_code_tail == '}')) {
+      CheckStatusDiscards(path, line_number, code, line, &findings);
+    }
+    const size_t tail = code.find_last_not_of(" \t");
+    if (tail != std::string::npos) prev_code_tail = code[tail];
     // The clock rule outlives the library_rules gate: tests and benches are
     // timing-sensitive too (see the header comment).
     if (options.clock_rules && !options.allow_clock_reads &&
@@ -252,6 +360,9 @@ std::vector<Finding> LintTree(const std::string& root) {
         options.expected_guard = ExpectedGuard(include_relative);
       }
       options.clock_rules = tree != "examples";
+      // The discard rule is library-only: tests exercise discard behavior on
+      // purpose (and gtest assertions consume the Status anyway).
+      options.status_rules = tree == "src";
       options.allow_clock_reads = repo_relative == "src/common/stopwatch.h" ||
                                   repo_relative == "bench/bench_serving.cc";
       std::ifstream in(file, std::ios::binary);

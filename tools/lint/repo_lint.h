@@ -57,6 +57,10 @@ struct Options {
   // banned-call/clock applies beyond library code (src/, tools/, tests/,
   // bench/ — everything but examples/).
   bool clock_rules = true;
+  // status-discard: statement-position calls of known Status-returning
+  // functions whose result is dropped (or `(void)`-laundered). src/ only in
+  // LintTree — tests discard on purpose.
+  bool status_rules = true;
   // Exempts common/stopwatch.h and bench/bench_serving.cc (the serving load
   // generator) from banned-call/clock.
   bool allow_clock_reads = false;

@@ -18,6 +18,7 @@
 #include "core/stmixup.h"
 #include "core/urcl.h"
 #include "data/synthetic.h"
+#include "exec/plan.h"
 #include "graph/generator.h"
 #include "graph/transition.h"
 #include "nn/gcn.h"
@@ -271,7 +272,8 @@ void BM_AdamStep(benchmark::State& state) {
 }
 BENCHMARK(BM_AdamStep);
 
-void RunTrainStepBenchmark(benchmark::State& state, bool observed) {
+void RunTrainStepBenchmark(benchmark::State& state, bool observed,
+                           exec::ExecutorMode executor = exec::ExecutorMode::kTape) {
   // One URCL training epoch (1 batch) on a tiny synthetic pipeline. Reports
   // pool hit/miss counters per step: at steady state (after the warmup epoch)
   // misses should be ~0, i.e. the training loop makes no allocator calls.
@@ -306,6 +308,7 @@ void RunTrainStepBenchmark(benchmark::State& state, bool observed) {
   config.proj_hidden = 8;
   config.decoder_hidden = 16;
   config.enable_augmentation = false;  // fixed shapes batch to batch
+  config.executor = executor;          // pinned: BM_TrainStep is the tape baseline
 
   core::UrclTrainer trainer(config, generator.network());
   const obs::ObsConfig saved_obs = obs::Current();
@@ -349,6 +352,18 @@ BENCHMARK(BM_TrainStepObserved)
     ->Repetitions(7)
     ->ReportAggregatesOnly(true);
 
+// Identical loop on the compiled executor (DESIGN.md §12): the train, RMIR
+// virtual-step and per-item graphs replay as arena programs. Compare the
+// median against BM_TrainStep for the tape-vs-plan speedup; the pool
+// counters should report ~0 acquisitions per step (arena-only steady state).
+void BM_PlanStep(benchmark::State& state) {
+  RunTrainStepBenchmark(state, false, exec::ExecutorMode::kPlan);
+}
+BENCHMARK(BM_PlanStep)
+    ->Unit(benchmark::kMillisecond)
+    ->Repetitions(7)
+    ->ReportAggregatesOnly(true);
+
 void BM_BuildSupportsDense(benchmark::State& state) {
   Rng graph_rng(16);
   graph::SensorNetwork g = graph::RandomGeometricGraph(32, 0.3f, graph_rng);
@@ -381,6 +396,8 @@ int main(int argc, char** argv) {
   benchmark::AddCustomContext("urcl_build_type", "debug");
 #endif
   benchmark::AddCustomContext("urcl_simd_backend", urcl::simd::kBackendName);
+  benchmark::AddCustomContext(
+      "urcl_executor", urcl::exec::ExecutorModeName(urcl::exec::DefaultExecutorMode()));
   benchmark::AddCustomContext(
       "urcl_pool", urcl::pool::BufferPool::Get().enabled() ? "on" : "off");
   benchmark::AddCustomContext(

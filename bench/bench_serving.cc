@@ -9,7 +9,14 @@
 //
 //   ./bench_serving [--clients 4] [--nodes 12] [--epochs N] [--batches N]
 //                   [--publish-every 4] [--deadline-us 0]
-//                   [--out BENCH_serving.json]
+//                   [--executor plan|tape] [--out BENCH_serving.json]
+//
+// --executor selects the inference executor (default: URCL_EXEC, else plan).
+// Clients time every query themselves and split latencies into steady-state
+// vs hot-swap-window samples (a query lands in the swap window when it is the
+// client's first on a new model version — in plan mode that query pays the
+// recompile — or when the hub swapped mid-flight), so the recorded p99 can be
+// attributed to swap/recompile stalls vs the steady serving path.
 //
 // The run is closed-loop (each client issues its next query as soon as the
 // previous one returns) and ends once the trainer finishes both stages; the
@@ -24,6 +31,8 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -63,6 +72,15 @@ double HistogramQuantile(const obs::Histogram::Snapshot& snap, double q) {
   return snap.bounds.empty() ? 0.0 : snap.bounds.back();
 }
 
+// Exact quantile over raw per-query samples (destructive: partially sorts).
+double SampleQuantile(std::vector<double>& samples, double q) {
+  if (samples.empty()) return 0.0;
+  const size_t index = static_cast<size_t>(q * static_cast<double>(samples.size() - 1));
+  std::nth_element(samples.begin(), samples.begin() + static_cast<std::ptrdiff_t>(index),
+                   samples.end());
+  return samples[index];
+}
+
 int Run(int argc, char** argv) {
   Flags flags(argc, argv);
   const bench::BenchScale scale = bench::ResolveScale(flags);
@@ -71,6 +89,14 @@ int Run(int argc, char** argv) {
   const int64_t deadline_us = flags.GetInt("deadline-us", 0);
   const std::string out_path = flags.GetString("out", "BENCH_serving.json");
   URCL_CHECK_GE(clients, 1);
+  std::string executor_name = flags.GetString("executor", "");
+  if (executor_name.empty()) {
+    executor_name = exec::ExecutorModeName(exec::DefaultExecutorMode());
+  }
+  URCL_CHECK(executor_name == "plan" || executor_name == "tape")
+      << "--executor must be plan or tape, got " << executor_name;
+  const exec::ExecutorMode executor =
+      executor_name == "plan" ? exec::ExecutorMode::kPlan : exec::ExecutorMode::kTape;
 
   // The latency histogram lives in the obs registry; make sure it counts.
   obs::ObsConfig obs_config = obs::Current();
@@ -107,6 +133,7 @@ int Run(int argc, char** argv) {
   config.model.output_steps = window.output_steps;
   config.model.max_batches_per_epoch = scale.max_batches_per_epoch;
   config.model.seed = scale.seed;
+  config.executor = executor;
   serve::ForecastService service(config, generator.network(), normalizer);
 
   core::UrclTrainer trainer(config.model, generator.network());
@@ -127,6 +154,10 @@ int Run(int argc, char** argv) {
   std::atomic<int64_t> backoff_waits{0};
   std::atomic<int64_t> min_version_seen{1 << 30};
   std::atomic<int64_t> max_version_seen{0};
+  // Per-query latencies split by swap-window attribution, merged at the end.
+  std::mutex samples_mu;
+  std::vector<double> steady_latency_ns;
+  std::vector<double> swap_window_latency_ns;
 
   std::thread trainer_thread([&] {
     trainer.BeginStage(0);
@@ -154,6 +185,9 @@ int Run(int argc, char** argv) {
       Rng backoff_rng(static_cast<uint64_t>(1000 + c));
       int64_t backoff_us = 0;  // 0 = not backing off
       int64_t i = static_cast<int64_t>(c);
+      int64_t last_version = -1;  // model version of this client's last answer
+      std::vector<double> local_steady_ns;
+      std::vector<double> local_swap_ns;
       bool first = true;  // always issue >= 1 query, even if the trainer wins
       while (first || !stop.load(std::memory_order_relaxed)) {
         first = false;
@@ -161,8 +195,18 @@ int Run(int argc, char** argv) {
         request.inputs = query_pool[static_cast<size_t>(i++ % query_pool.size())];
         request.deadline_ns = deadline_us * 1000;
         core::PredictResponse response;
+        const int64_t swaps_before = service.hub().swap_count();
+        const int64_t query_start_ns = MonotonicNowNs();
         const Status status = service.Predict(request, &response);
+        const double query_ns = static_cast<double>(MonotonicNowNs() - query_start_ns);
         if (status.ok()) {
+          // Swap window: this client's first answer from a new model version
+          // (in plan mode that query pays the recompile), or the hub swapped
+          // while the query was in flight.
+          const bool swap_window = response.model_version != last_version ||
+                                   service.hub().swap_count() != swaps_before;
+          last_version = response.model_version;
+          (swap_window ? local_swap_ns : local_steady_ns).push_back(query_ns);
           backoff_us = 0;
           total_queries.fetch_add(1, std::memory_order_relaxed);
           if (response.degraded) degraded_responses.fetch_add(1, std::memory_order_relaxed);
@@ -192,6 +236,11 @@ int Run(int argc, char** argv) {
           }
         }
       }
+      std::lock_guard<std::mutex> lock(samples_mu);
+      steady_latency_ns.insert(steady_latency_ns.end(), local_steady_ns.begin(),
+                               local_steady_ns.end());
+      swap_window_latency_ns.insert(swap_window_latency_ns.end(), local_swap_ns.begin(),
+                                    local_swap_ns.end());
     });
   }
 
@@ -209,14 +258,26 @@ int Run(int argc, char** argv) {
   const double p99 = HistogramQuantile(latency, 0.99);
   const double mean = latency.count > 0 ? latency.sum / static_cast<double>(latency.count) : 0.0;
   const int64_t swaps = service.hub().swap_count();
+  const double steady_p50 = SampleQuantile(steady_latency_ns, 0.50);
+  const double steady_p99 = SampleQuantile(steady_latency_ns, 0.99);
+  const double swap_p50 = SampleQuantile(swap_window_latency_ns, 0.50);
+  const double swap_p99 = SampleQuantile(swap_window_latency_ns, 0.99);
 
-  std::printf("serving bench: %lld clients, %.1fs measured\n",
-              static_cast<long long>(clients), seconds);
+  std::printf("serving bench: %lld clients, %.1fs measured, executor=%s\n",
+              static_cast<long long>(clients), seconds, executor_name.c_str());
   std::printf("  queries   %lld ok, %lld rejected/errored (%.0f QPS)\n",
               static_cast<long long>(total_queries.load()),
               static_cast<long long>(total_errors.load()), qps);
   std::printf("  latency   p50 %.0f us  p90 %.0f us  p99 %.0f us  mean %.0f us\n", p50 / 1e3,
               p90 / 1e3, p99 / 1e3, mean / 1e3);
+  std::printf("  steady    p50 %.0f us  p99 %.0f us  (%lld queries outside swap windows)\n",
+              steady_p50 / 1e3, steady_p99 / 1e3,
+              static_cast<long long>(steady_latency_ns.size()));
+  std::printf("  swap-win  p50 %.0f us  p99 %.0f us  (%lld first-on-version/swap-in-flight; "
+              "%lld plan compiles)\n",
+              swap_p50 / 1e3, swap_p99 / 1e3,
+              static_cast<long long>(swap_window_latency_ns.size()),
+              static_cast<long long>(service.plan_compiles()));
   std::printf("  versions  %lld snapshots published, %lld swaps, clients saw v%lld..v%lld\n",
               static_cast<long long>(trainer.snapshots_published()),
               static_cast<long long>(swaps),
@@ -234,12 +295,20 @@ int Run(int argc, char** argv) {
   // At least one hot-swap must have been observable while clients queried.
   URCL_CHECK_GE(swaps, 2) << "trainer published fewer than two snapshots";
   URCL_CHECK_GT(total_queries.load(), 0) << "no queries served";
+  if (executor == exec::ExecutorMode::kPlan) {
+    // Hot-swap recompile must actually run: the initial compile plus at
+    // least one recompile triggered by a version swap.
+    URCL_CHECK_GE(service.plan_compiles(), 2)
+        << "plan executor never recompiled across hot-swaps";
+  }
 
   std::ofstream out(out_path);
   URCL_CHECK(out.good()) << "cannot write " << out_path;
   out << "{\n"
       << "  \"bench\": \"serving\",\n"
       << "  \"scale\": " << obs::JsonString(scale.name) << ",\n"
+      << "  \"executor\": " << obs::JsonString(executor_name) << ",\n"
+      << "  \"plan_compiles\": " << service.plan_compiles() << ",\n"
       << "  \"clients\": " << clients << ",\n"
       << "  \"measured_seconds\": " << obs::JsonNumber(seconds) << ",\n"
       << "  \"queries_ok\": " << total_queries.load() << ",\n"
@@ -251,6 +320,16 @@ int Run(int argc, char** argv) {
       << "    \"p99\": " << obs::JsonNumber(p99) << ",\n"
       << "    \"mean\": " << obs::JsonNumber(mean) << ",\n"
       << "    \"count\": " << latency.count << "\n"
+      << "  },\n"
+      << "  \"latency_ns_steady\": {\n"
+      << "    \"p50\": " << obs::JsonNumber(steady_p50) << ",\n"
+      << "    \"p99\": " << obs::JsonNumber(steady_p99) << ",\n"
+      << "    \"count\": " << steady_latency_ns.size() << "\n"
+      << "  },\n"
+      << "  \"latency_ns_swap_window\": {\n"
+      << "    \"p50\": " << obs::JsonNumber(swap_p50) << ",\n"
+      << "    \"p99\": " << obs::JsonNumber(swap_p99) << ",\n"
+      << "    \"count\": " << swap_window_latency_ns.size() << "\n"
       << "  },\n"
       << "  \"snapshots_published\": " << trainer.snapshots_published() << ",\n"
       << "  \"hot_swaps\": " << swaps << ",\n"

@@ -3,10 +3,13 @@
 #
 #   1. the repo lint (tools/lint) over the source tree;
 #   2. an ASan+UBSan build (poisoning + graph checks forced on) running the
-#      `analysis`-labeled tests plus the pool/autograd suites;
-#   3. a TSan build running the `analysis`- and `serving`-labeled tests
-#      (serving is mandatory under TSan: the hot-swap path is lock-free and
-#      its data-race freedom is part of the serving contract);
+#      `analysis`- and `exec`-labeled tests plus the pool/autograd suites
+#      (exec under ASan proves the arena's lifetime-sharing of slots never
+#      reads or writes out of a live slot's window);
+#   3. a TSan build running the `analysis`-, `serving`- and `exec`-labeled
+#      tests (serving is mandatory under TSan: the hot-swap path is lock-free
+#      and its data-race freedom is part of the serving contract; exec covers
+#      plan replay racing the pool from worker threads);
 #   4. the `chaos`-labeled suite under both sanitizer builds with a serving
 #      fault storm injected via URCL_FAULT (fault-point names documented in
 #      src/common/fault_injector.h). The chaos tests assert the serving
@@ -36,23 +39,27 @@ cmake -B build-check-asan -S . \
 cmake --build build-check-asan -j"$jobs" --target urcl_lint
 ./build-check-asan/tools/lint/urcl_lint --root "$root"
 
-echo "== [2/4] ASan+UBSan: analysis tests with poisoning + graph checks on =="
+echo "== [2/4] ASan+UBSan: analysis + exec tests with poisoning + graph checks on =="
 cmake --build build-check-asan -j"$jobs" --target \
-  check_test lint_test pool_test autograd_test urcl_header_selfcheck
+  check_test lint_test exec_test pool_test autograd_test urcl_header_selfcheck
 # Force every gate on so the sanitizer sees the poisoned free lists and the
 # gated verification paths, not the Release defaults.
 URCL_CHECK=1 URCL_POOL_POISON=1 \
-  ctest --test-dir build-check-asan -L analysis --output-on-failure -j"$jobs"
+  ctest --test-dir build-check-asan -L "analysis|exec" --output-on-failure -j"$jobs"
 URCL_CHECK=1 URCL_POOL_POISON=1 ./build-check-asan/tests/pool_test
 URCL_CHECK=1 URCL_POOL_POISON=1 ./build-check-asan/tests/autograd_test
 
-echo "== [3/4] TSan: analysis + serving tests =="
+echo "== [3/4] TSan: analysis + serving + exec tests =="
 cmake -B build-check-tsan -S . -DURCL_SANITIZE=thread \
   -DURCL_BUILD_BENCHMARKS=OFF -DURCL_BUILD_EXAMPLES=OFF >/dev/null
 # urcl_lint is built here too: the repo_lint ctest entry runs the binary.
-cmake --build build-check-tsan -j"$jobs" --target check_test lint_test serve_test urcl_lint
+cmake --build build-check-tsan -j"$jobs" --target \
+  check_test lint_test serve_test exec_test urcl_lint
+# scripts/tsan.supp silences one libstdc++ atomic<shared_ptr> artifact
+# (relaxed reader unlock in _Sp_atomic::load); see the comment there.
+export TSAN_OPTIONS="suppressions=$root/scripts/tsan.supp${TSAN_OPTIONS:+ $TSAN_OPTIONS}"
 URCL_CHECK=1 URCL_POOL_POISON=1 \
-  ctest --test-dir build-check-tsan -L "analysis|serving" --output-on-failure -j"$jobs"
+  ctest --test-dir build-check-tsan -L "analysis|serving|exec" --output-on-failure -j"$jobs"
 
 echo "== [4/4] chaos: fault-injected serving under ASan and TSan =="
 # The env spec layers on top of each test's own Configure() call (the storm

@@ -43,6 +43,8 @@ const std::unordered_map<std::string, ArityRule>& ArityRules() {
   return *rules;
 }
 
+}  // namespace
+
 // Ops whose output shape must equal their (single) parent's shape.
 bool IsShapePreserving(const std::string& op) {
   static const auto* set = new std::unordered_set<std::string>{
@@ -69,6 +71,8 @@ bool TryBroadcast(const Shape& a, const Shape& b, Shape* out) {
   *out = Shape(std::move(dims));
   return true;
 }
+
+namespace {
 
 void AddIssue(std::vector<LintIssue>* issues, const Node* node, std::string rule,
               std::string detail) {

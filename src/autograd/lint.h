@@ -33,6 +33,17 @@
 namespace urcl {
 namespace autograd {
 
+// Closed-form output-shape rules, shared with the compiled executor's
+// ahead-of-time shape inference (src/exec/): the same predicates the linter
+// uses to re-derive a node's expected shape from its parents.
+//
+// Ops whose output shape must equal their (single) parent's shape.
+bool IsShapePreserving(const std::string& op);
+// The four broadcasting binary elementwise ops (add/sub/mul/div).
+bool IsBroadcastBinary(const std::string& op);
+// Non-fatal broadcast-shape computation: false when incompatible.
+bool TryBroadcast(const Shape& a, const Shape& b, Shape* out);
+
 // One linter finding. `rule` is the stable machine-readable name listed
 // above; `op` is the op_name of the offending node.
 struct LintIssue {

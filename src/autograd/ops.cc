@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "autograd/record.h"
 #include "common/check.h"
 #include "obs/profiler.h"
 #include "runtime/parallel.h"
@@ -14,56 +15,85 @@ namespace autograd {
 
 namespace top = ::urcl::ops;
 
+namespace {
+
+// Capture hook shared by every op function: one branch when no listener is
+// installed (the steady-state tape path), a recorder callback when the
+// compiled executor is capturing this forward build (autograd/record.h).
+inline void Note(record::OpKind kind, const Variable& out,
+                 std::initializer_list<const Variable*> parents,
+                 const record::OpAttrs& attrs = {}) {
+  if (record::TapeListener* rec = record::ActiveListener()) rec->OnOp(kind, out, parents, attrs);
+}
+
+}  // namespace
+
 Variable Add(const Variable& a, const Variable& b) {
   URCL_PROFILE_OP();
   Tensor value = top::Add(a.value(), b.value());
-  return Variable::MakeOp(std::move(value), "add", {a, b}, [a, b](const Tensor& g) {
+  Variable out = Variable::MakeOp(std::move(value), "add", {a, b}, [a, b](const Tensor& g) {
     a.AccumulateGrad(top::ReduceTo(g, a.shape()));
     b.AccumulateGrad(top::ReduceTo(g, b.shape()));
   });
+  Note(record::OpKind::kAdd, out, {&a, &b});
+  return out;
 }
 
 Variable Sub(const Variable& a, const Variable& b) {
   URCL_PROFILE_OP();
   Tensor value = top::Sub(a.value(), b.value());
-  return Variable::MakeOp(std::move(value), "sub", {a, b}, [a, b](const Tensor& g) {
+  Variable out = Variable::MakeOp(std::move(value), "sub", {a, b}, [a, b](const Tensor& g) {
     a.AccumulateGrad(top::ReduceTo(g, a.shape()));
     b.AccumulateGrad(top::ReduceTo(top::Neg(g), b.shape()));
   });
+  Note(record::OpKind::kSub, out, {&a, &b});
+  return out;
 }
 
 Variable Mul(const Variable& a, const Variable& b) {
   URCL_PROFILE_OP();
   Tensor value = top::Mul(a.value(), b.value());
-  return Variable::MakeOp(std::move(value), "mul", {a, b}, [a, b](const Tensor& g) {
+  Variable out = Variable::MakeOp(std::move(value), "mul", {a, b}, [a, b](const Tensor& g) {
     a.AccumulateGrad(top::ReduceTo(top::Mul(g, b.value()), a.shape()));
     b.AccumulateGrad(top::ReduceTo(top::Mul(g, a.value()), b.shape()));
   });
+  Note(record::OpKind::kMul, out, {&a, &b});
+  return out;
 }
 
 Variable Div(const Variable& a, const Variable& b) {
   URCL_PROFILE_OP();
   Tensor value = top::Div(a.value(), b.value());
-  return Variable::MakeOp(std::move(value), "div", {a, b}, [a, b](const Tensor& g) {
+  Variable out = Variable::MakeOp(std::move(value), "div", {a, b}, [a, b](const Tensor& g) {
     a.AccumulateGrad(top::ReduceTo(top::Div(g, b.value()), a.shape()));
     const Tensor b2 = top::Square(b.value());
     const Tensor db = top::Neg(top::Div(top::Mul(g, a.value()), b2));
     b.AccumulateGrad(top::ReduceTo(db, b.shape()));
   });
+  Note(record::OpKind::kDiv, out, {&a, &b});
+  return out;
 }
 
 Variable AddScalar(const Variable& a, float s) {
   URCL_PROFILE_OP();
-  return Variable::MakeOp(top::AddScalar(a.value(), s), "add_scalar", {a},
-                          [a](const Tensor& g) { a.AccumulateGrad(g); });
+  Variable out = Variable::MakeOp(top::AddScalar(a.value(), s), "add_scalar", {a},
+                                  [a](const Tensor& g) { a.AccumulateGrad(g); });
+  record::OpAttrs attrs;
+  attrs.scalar = s;
+  Note(record::OpKind::kAddScalar, out, {&a}, attrs);
+  return out;
 }
 
 Variable MulScalar(const Variable& a, float s) {
   URCL_PROFILE_OP();
-  return Variable::MakeOp(top::MulScalar(a.value(), s), "mul_scalar", {a},
-                          [a, s](const Tensor& g) {
-                            a.AccumulateGrad(top::MulScalar(g, s));
-                          });
+  Variable out = Variable::MakeOp(top::MulScalar(a.value(), s), "mul_scalar", {a},
+                                  [a, s](const Tensor& g) {
+                                    a.AccumulateGrad(top::MulScalar(g, s));
+                                  });
+  record::OpAttrs attrs;
+  attrs.scalar = s;
+  Note(record::OpKind::kMulScalar, out, {&a}, attrs);
+  return out;
 }
 
 Variable Neg(const Variable& a) { return MulScalar(a, -1.0f); }
@@ -72,68 +102,82 @@ Variable Exp(const Variable& a) {
   URCL_PROFILE_OP();
   Tensor value = top::Exp(a.value());
   const Tensor saved = value;
-  return Variable::MakeOp(std::move(value), "exp", {a}, [a, saved](const Tensor& g) {
+  Variable out = Variable::MakeOp(std::move(value), "exp", {a}, [a, saved](const Tensor& g) {
     a.AccumulateGrad(top::Mul(g, saved));
   });
+  Note(record::OpKind::kExp, out, {&a});
+  return out;
 }
 
 Variable Log(const Variable& a) {
   URCL_PROFILE_OP();
   Tensor value = top::Log(a.value());
-  return Variable::MakeOp(std::move(value), "log", {a}, [a](const Tensor& g) {
+  Variable out = Variable::MakeOp(std::move(value), "log", {a}, [a](const Tensor& g) {
     a.AccumulateGrad(top::Div(g, a.value()));
   });
+  Note(record::OpKind::kLog, out, {&a});
+  return out;
 }
 
 Variable Sqrt(const Variable& a) {
   URCL_PROFILE_OP();
   Tensor value = top::Sqrt(a.value());
   const Tensor saved = value;
-  return Variable::MakeOp(std::move(value), "sqrt", {a}, [a, saved](const Tensor& g) {
+  Variable out = Variable::MakeOp(std::move(value), "sqrt", {a}, [a, saved](const Tensor& g) {
     a.AccumulateGrad(top::Div(g, top::MulScalar(saved, 2.0f)));
   });
+  Note(record::OpKind::kSqrt, out, {&a});
+  return out;
 }
 
 Variable Abs(const Variable& a) {
   URCL_PROFILE_OP();
   Tensor value = top::Abs(a.value());
-  return Variable::MakeOp(std::move(value), "abs", {a}, [a](const Tensor& g) {
+  Variable out = Variable::MakeOp(std::move(value), "abs", {a}, [a](const Tensor& g) {
     a.AccumulateGrad(top::Mul(g, top::Sign(a.value())));
   });
+  Note(record::OpKind::kAbs, out, {&a});
+  return out;
 }
 
 Variable Tanh(const Variable& a) {
   URCL_PROFILE_OP();
   Tensor value = top::Tanh(a.value());
   const Tensor saved = value;
-  return Variable::MakeOp(std::move(value), "tanh", {a}, [a, saved](const Tensor& g) {
+  Variable out = Variable::MakeOp(std::move(value), "tanh", {a}, [a, saved](const Tensor& g) {
     // d/dx tanh = 1 - tanh^2
     const Tensor one_minus = top::AddScalar(top::Neg(top::Square(saved)), 1.0f);
     a.AccumulateGrad(top::Mul(g, one_minus));
   });
+  Note(record::OpKind::kTanh, out, {&a});
+  return out;
 }
 
 Variable Sigmoid(const Variable& a) {
   URCL_PROFILE_OP();
   Tensor value = top::Sigmoid(a.value());
   const Tensor saved = value;
-  return Variable::MakeOp(std::move(value), "sigmoid", {a},
-                          [a, saved](const Tensor& g) {
-                            // d/dx sigmoid = s * (1 - s)
-                            const Tensor ds =
-                                top::Mul(saved, top::AddScalar(top::Neg(saved), 1.0f));
-                            a.AccumulateGrad(top::Mul(g, ds));
-                          });
+  Variable out = Variable::MakeOp(std::move(value), "sigmoid", {a},
+                                  [a, saved](const Tensor& g) {
+                                    // d/dx sigmoid = s * (1 - s)
+                                    const Tensor ds =
+                                        top::Mul(saved, top::AddScalar(top::Neg(saved), 1.0f));
+                                    a.AccumulateGrad(top::Mul(g, ds));
+                                  });
+  Note(record::OpKind::kSigmoid, out, {&a});
+  return out;
 }
 
 Variable Relu(const Variable& a) {
   URCL_PROFILE_OP();
   Tensor value = top::Relu(a.value());
-  return Variable::MakeOp(std::move(value), "relu", {a}, [a](const Tensor& g) {
+  Variable out = Variable::MakeOp(std::move(value), "relu", {a}, [a](const Tensor& g) {
     const Tensor mask =
         top::Map(a.value(), [](float x) { return x > 0.0f ? 1.0f : 0.0f; });
     a.AccumulateGrad(top::Mul(g, mask));
   });
+  Note(record::OpKind::kRelu, out, {&a});
+  return out;
 }
 
 Variable LeakyRelu(const Variable& a, float negative_slope) {
@@ -141,32 +185,40 @@ Variable LeakyRelu(const Variable& a, float negative_slope) {
   Tensor value = top::Map(a.value(), [negative_slope](float x) {
     return x > 0.0f ? x : negative_slope * x;
   });
-  return Variable::MakeOp(std::move(value), "leaky_relu", {a},
-                          [a, negative_slope](const Tensor& g) {
-                            const Tensor mask = top::Map(a.value(), [negative_slope](float x) {
-                              return x > 0.0f ? 1.0f : negative_slope;
-                            });
-                            a.AccumulateGrad(top::Mul(g, mask));
-                          });
+  Variable out = Variable::MakeOp(
+      std::move(value), "leaky_relu", {a}, [a, negative_slope](const Tensor& g) {
+        const Tensor mask = top::Map(a.value(), [negative_slope](float x) {
+          return x > 0.0f ? 1.0f : negative_slope;
+        });
+        a.AccumulateGrad(top::Mul(g, mask));
+      });
+  record::OpAttrs attrs;
+  attrs.scalar = negative_slope;
+  Note(record::OpKind::kLeakyRelu, out, {&a}, attrs);
+  return out;
 }
 
 Variable Square(const Variable& a) {
   URCL_PROFILE_OP();
   Tensor value = top::Square(a.value());
-  return Variable::MakeOp(std::move(value), "square", {a}, [a](const Tensor& g) {
+  Variable out = Variable::MakeOp(std::move(value), "square", {a}, [a](const Tensor& g) {
     a.AccumulateGrad(top::Mul(g, top::MulScalar(a.value(), 2.0f)));
   });
+  Note(record::OpKind::kSquare, out, {&a});
+  return out;
 }
 
 Variable MatMul(const Variable& a, const Variable& b) {
   URCL_PROFILE_OP();
   Tensor value = top::MatMul(a.value(), b.value());
-  return Variable::MakeOp(std::move(value), "matmul", {a, b}, [a, b](const Tensor& g) {
+  Variable out = Variable::MakeOp(std::move(value), "matmul", {a, b}, [a, b](const Tensor& g) {
     const Tensor da = top::MatMul(g, top::TransposeLast2(b.value()));
     const Tensor db = top::MatMul(top::TransposeLast2(a.value()), g);
     a.AccumulateGrad(top::ReduceTo(da, a.shape()));
     b.AccumulateGrad(top::ReduceTo(db, b.shape()));
   });
+  Note(record::OpKind::kMatMul, out, {&a, &b});
+  return out;
 }
 
 namespace {
@@ -188,10 +240,15 @@ Variable Sum(const Variable& a, const std::vector<int64_t>& axes, bool keepdims)
   URCL_PROFILE_OP();
   Tensor value = top::Sum(a.value(), axes, keepdims);
   const Shape kept = KeepdimsShape(a.shape(), axes);
-  return Variable::MakeOp(std::move(value), "sum", {a},
-                          [a, kept](const Tensor& g) {
-                            a.AccumulateGrad(top::BroadcastTo(g.Reshape(kept), a.shape()));
-                          });
+  Variable out = Variable::MakeOp(std::move(value), "sum", {a},
+                                  [a, kept](const Tensor& g) {
+                                    a.AccumulateGrad(top::BroadcastTo(g.Reshape(kept), a.shape()));
+                                  });
+  record::OpAttrs attrs;
+  attrs.ints = axes;
+  attrs.flag = keepdims;
+  Note(record::OpKind::kSum, out, {&a}, attrs);
+  return out;
 }
 
 Variable Mean(const Variable& a, const std::vector<int64_t>& axes, bool keepdims) {
@@ -200,21 +257,30 @@ Variable Mean(const Variable& a, const std::vector<int64_t>& axes, bool keepdims
   const Shape kept = KeepdimsShape(a.shape(), axes);
   const float scale =
       static_cast<float>(kept.NumElements()) / static_cast<float>(a.shape().NumElements());
-  return Variable::MakeOp(std::move(value), "mean", {a},
-                          [a, kept, scale](const Tensor& g) {
-                            a.AccumulateGrad(top::MulScalar(
-                                top::BroadcastTo(g.Reshape(kept), a.shape()), scale));
-                          });
+  Variable out = Variable::MakeOp(std::move(value), "mean", {a},
+                                  [a, kept, scale](const Tensor& g) {
+                                    a.AccumulateGrad(top::MulScalar(
+                                        top::BroadcastTo(g.Reshape(kept), a.shape()), scale));
+                                  });
+  record::OpAttrs attrs;
+  attrs.ints = axes;
+  attrs.flag = keepdims;
+  Note(record::OpKind::kMean, out, {&a}, attrs);
+  return out;
 }
 
 Variable Reshape(const Variable& a, const Shape& shape) {
   URCL_PROFILE_OP();
   Tensor value = a.value().Reshape(shape);
   const Shape original = a.shape();
-  return Variable::MakeOp(std::move(value), "reshape", {a},
-                          [a, original](const Tensor& g) {
-                            a.AccumulateGrad(g.Reshape(original));
-                          });
+  Variable out = Variable::MakeOp(std::move(value), "reshape", {a},
+                                  [a, original](const Tensor& g) {
+                                    a.AccumulateGrad(g.Reshape(original));
+                                  });
+  record::OpAttrs attrs;
+  attrs.ints = shape.dims();
+  Note(record::OpKind::kReshape, out, {&a}, attrs);
+  return out;
 }
 
 Variable Transpose(const Variable& a, const std::vector<int64_t>& perm) {
@@ -225,10 +291,14 @@ Variable Transpose(const Variable& a, const std::vector<int64_t>& perm) {
   for (size_t i = 0; i < perm.size(); ++i) {
     inverse[static_cast<size_t>(a.shape().CanonicalAxis(perm[i]))] = static_cast<int64_t>(i);
   }
-  return Variable::MakeOp(std::move(value), "transpose", {a},
-                          [a, inverse](const Tensor& g) {
-                            a.AccumulateGrad(top::Transpose(g, inverse));
-                          });
+  Variable out = Variable::MakeOp(std::move(value), "transpose", {a},
+                                  [a, inverse](const Tensor& g) {
+                                    a.AccumulateGrad(top::Transpose(g, inverse));
+                                  });
+  record::OpAttrs attrs;
+  attrs.ints = perm;
+  Note(record::OpKind::kTranspose, out, {&a}, attrs);
+  return out;
 }
 
 Variable Slice(const Variable& a, const std::vector<int64_t>& starts,
@@ -236,10 +306,15 @@ Variable Slice(const Variable& a, const std::vector<int64_t>& starts,
   URCL_PROFILE_OP();
   Tensor value = top::Slice(a.value(), starts, sizes);
   const Shape full = a.shape();
-  return Variable::MakeOp(std::move(value), "slice", {a},
-                          [a, full, starts](const Tensor& g) {
-                            a.AccumulateGrad(top::UnSlice(g, full, starts));
-                          });
+  Variable out = Variable::MakeOp(std::move(value), "slice", {a},
+                                  [a, full, starts](const Tensor& g) {
+                                    a.AccumulateGrad(top::UnSlice(g, full, starts));
+                                  });
+  record::OpAttrs attrs;
+  attrs.ints = starts;
+  attrs.ints2 = sizes;
+  Note(record::OpKind::kSlice, out, {&a}, attrs);
+  return out;
 }
 
 Variable Concat(const std::vector<Variable>& parts, int64_t axis) {
@@ -250,7 +325,7 @@ Variable Concat(const std::vector<Variable>& parts, int64_t axis) {
   for (const Variable& p : parts) values.push_back(p.value());
   Tensor value = top::Concat(values, axis);
   const int64_t canonical = parts[0].shape().CanonicalAxis(axis);
-  return Variable::MakeOp(
+  Variable out = Variable::MakeOp(
       std::move(value), "concat", parts, [parts, canonical](const Tensor& g) {
         int64_t offset = 0;
         for (const Variable& p : parts) {
@@ -260,27 +335,43 @@ Variable Concat(const std::vector<Variable>& parts, int64_t axis) {
           offset += p.shape().dim(canonical);
         }
       });
+  if (record::TapeListener* rec = record::ActiveListener()) {
+    record::OpAttrs attrs;
+    attrs.axis = axis;
+    rec->OnOpN(record::OpKind::kConcat, out, parts, attrs);
+  }
+  return out;
 }
 
 Variable Pad(const Variable& a, int64_t axis, int64_t before, int64_t after) {
   URCL_PROFILE_OP();
   Tensor value = top::Pad(a.value(), axis, before, after);
   const int64_t canonical = a.shape().CanonicalAxis(axis);
-  return Variable::MakeOp(std::move(value), "pad", {a},
-                          [a, canonical, before](const Tensor& g) {
-                            std::vector<int64_t> starts(static_cast<size_t>(g.rank()), 0);
-                            starts[static_cast<size_t>(canonical)] = before;
-                            a.AccumulateGrad(top::Slice(g, starts, a.shape().dims()));
-                          });
+  Variable out = Variable::MakeOp(std::move(value), "pad", {a},
+                                  [a, canonical, before](const Tensor& g) {
+                                    std::vector<int64_t> starts(static_cast<size_t>(g.rank()), 0);
+                                    starts[static_cast<size_t>(canonical)] = before;
+                                    a.AccumulateGrad(top::Slice(g, starts, a.shape().dims()));
+                                  });
+  record::OpAttrs attrs;
+  attrs.axis = axis;
+  attrs.before = before;
+  attrs.after = after;
+  Note(record::OpKind::kPad, out, {&a}, attrs);
+  return out;
 }
 
 Variable BroadcastTo(const Variable& a, const Shape& target) {
   URCL_PROFILE_OP();
   Tensor value = top::BroadcastTo(a.value(), target);
-  return Variable::MakeOp(std::move(value), "broadcast_to", {a},
-                          [a](const Tensor& g) {
-                            a.AccumulateGrad(top::ReduceTo(g, a.shape()));
-                          });
+  Variable out = Variable::MakeOp(std::move(value), "broadcast_to", {a},
+                                  [a](const Tensor& g) {
+                                    a.AccumulateGrad(top::ReduceTo(g, a.shape()));
+                                  });
+  record::OpAttrs attrs;
+  attrs.ints = target.dims();
+  Note(record::OpKind::kBroadcastTo, out, {&a}, attrs);
+  return out;
 }
 
 Variable Softmax(const Variable& a, int64_t axis) {
@@ -288,18 +379,24 @@ Variable Softmax(const Variable& a, int64_t axis) {
   Tensor value = top::Softmax(a.value(), axis);
   const Tensor saved = value;
   const int64_t canonical = a.shape().CanonicalAxis(axis);
-  return Variable::MakeOp(
+  Variable out = Variable::MakeOp(
       std::move(value), "softmax", {a}, [a, saved, canonical](const Tensor& g) {
         // dL/dx = (g - sum(g*y, axis)) * y
         const Tensor gy = top::Mul(g, saved);
         const Tensor total = top::Sum(gy, {canonical}, /*keepdims=*/true);
         a.AccumulateGrad(top::Mul(top::Sub(g, total), saved));
       });
+  record::OpAttrs attrs;
+  attrs.axis = axis;
+  Note(record::OpKind::kSoftmax, out, {&a}, attrs);
+  return out;
 }
 
 Variable StopGradient(const Variable& a) {
   // A fresh leaf with no parents: gradient flow ends here.
-  return Variable(a.value(), /*requires_grad=*/false);
+  Variable out(a.value(), /*requires_grad=*/false);
+  if (record::TapeListener* rec = record::ActiveListener()) rec->OnAlias(out, a);
+  return out;
 }
 
 Variable Dropout(const Variable& a, float p, Rng& rng, bool training) {
@@ -313,10 +410,13 @@ Variable Dropout(const Variable& a, float p, Rng& rng, bool training) {
     pm[i] = rng.Bernoulli(p) ? 0.0f : keep_scale;
   }
   Tensor value = top::Mul(a.value(), mask);
-  return Variable::MakeOp(std::move(value), "dropout", {a},
-                          [a, mask](const Tensor& g) {
-                            a.AccumulateGrad(top::Mul(g, mask));
-                          });
+  Variable out = Variable::MakeOp(std::move(value), "dropout", {a},
+                                  [a, mask](const Tensor& g) {
+                                    a.AccumulateGrad(top::Mul(g, mask));
+                                  });
+  // Per-step RNG draws make dropout unreplayable; the recorder aborts capture.
+  Note(record::OpKind::kDropout, out, {&a});
+  return out;
 }
 
 Variable TemporalConv2d(const Variable& input, const Variable& weight, int64_t dilation) {
@@ -324,80 +424,19 @@ Variable TemporalConv2d(const Variable& input, const Variable& weight, int64_t d
   // Shape/dilation validation lives in the shared kernel (ops::TemporalConv2d),
   // which the inference-only serving executor also calls directly.
   Tensor value = top::TemporalConv2d(input.value(), weight.value(), dilation);
-  return Variable::MakeOp(
+  Variable out = Variable::MakeOp(
       std::move(value), "temporal_conv2d", {input, weight},
       [input, weight, dilation](const Tensor& g) {
-        const Tensor& in = input.value();
-        const Tensor& w = weight.value();
-        const int64_t batch = in.dim(0), c_in = in.dim(1), nodes = in.dim(2), time = in.dim(3);
-        const int64_t c_out = w.dim(0), kernel = w.dim(3);
-        const int64_t t_out = g.dim(3);
-        Tensor d_in(in.shape());
-        Tensor d_w(w.shape());
-        const float* pg = g.data();
-        const float* pi = in.data();
-        const float* pw = w.data();
-        float* pdi = d_in.mutable_data();
-        float* pdw = d_w.mutable_data();
-        // Two disjoint passes so each parallel chunk owns its output rows:
-        // d_in rows keyed by [b, ci, n] (co -> k -> t accumulation order) and
-        // d_w rows keyed by [co, ci] (b -> n -> k order) — the same per-slot
-        // orders as a serial b -> co -> ci -> n -> k -> t walk.
-        const int64_t di_rows = batch * c_in * nodes;
-        const int64_t di_cost = c_out * kernel * t_out;
-        const int64_t di_grain = std::max<int64_t>(1, (1 << 15) / std::max<int64_t>(1, di_cost));
-        runtime::ParallelFor(0, di_rows, di_grain, [&](int64_t row_begin, int64_t row_end) {
-          for (int64_t r = row_begin; r < row_end; ++r) {
-            const int64_t n = r % nodes;
-            const int64_t ci = (r / nodes) % c_in;
-            const int64_t b = r / (nodes * c_in);
-            float* di_row = pdi + r * time;
-            for (int64_t co = 0; co < c_out; ++co) {
-              const float* w_row = pw + (co * c_in + ci) * kernel;
-              const float* g_row = pg + ((b * c_out + co) * nodes + n) * t_out;
-              for (int64_t k = 0; k < kernel; ++k) {
-                const int64_t shift = dilation * k;
-                const float wk = w_row[k];
-                // Lane-parallel over independent d_in slots (fixed shift per
-                // k, so the 8 writes never alias); co -> k order per slot is
-                // the scalar one.
-                const simd::F32x8 vw = simd::Broadcast(wk);
-                int64_t t = 0;
-                for (; t + simd::kLanes <= t_out; t += simd::kLanes) {
-                  simd::StoreU(di_row + t + shift,
-                               simd::Add(simd::LoadU(di_row + t + shift),
-                                         simd::Mul(simd::LoadU(g_row + t), vw)));
-                }
-                for (; t < t_out; ++t) di_row[t + shift] += g_row[t] * wk;
-              }
-            }
-          }
-        });
-        runtime::ParallelFor(0, c_out * c_in, 1, [&](int64_t pair_begin, int64_t pair_end) {
-          for (int64_t p = pair_begin; p < pair_end; ++p) {
-            const int64_t ci = p % c_in;
-            const int64_t co = p / c_in;
-            float* dw_row = pdw + p * kernel;
-            for (int64_t b = 0; b < batch; ++b) {
-              for (int64_t n = 0; n < nodes; ++n) {
-                const float* g_row = pg + ((b * c_out + co) * nodes + n) * t_out;
-                const float* in_row = pi + ((b * c_in + ci) * nodes + n) * time;
-                for (int64_t k = 0; k < kernel; ++k) {
-                  const int64_t shift = dilation * k;
-                  // Sequential reduction over t: vectorizing it would need a
-                  // horizontal sum, which reassociates the accumulation order
-                  // and breaks bitwise determinism — stays scalar on purpose.
-                  float dw_acc = 0.0f;
-                  for (int64_t t = 0; t < t_out; ++t) dw_acc += g_row[t] * in_row[t + shift];
-                  dw_row[k] += dw_acc;
-                }
-              }
-            }
-          }
-        });
+        Tensor d_in(input.shape());
+        Tensor d_w(weight.shape());
+        ops::TemporalConv2dBackward(g, input.value(), weight.value(), dilation, &d_in, &d_w);
         input.AccumulateGrad(d_in);
         weight.AccumulateGrad(d_w);
       });
+  record::OpAttrs attrs;
+  attrs.axis = dilation;
+  Note(record::OpKind::kTemporalConv2d, out, {&input, &weight}, attrs);
+  return out;
 }
 
 }  // namespace autograd

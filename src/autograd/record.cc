@@ -1,0 +1,17 @@
+#include "autograd/record.h"
+
+namespace urcl {
+namespace autograd {
+namespace record {
+
+namespace {
+thread_local TapeListener* t_listener = nullptr;
+}  // namespace
+
+TapeListener* ActiveListener() { return t_listener; }
+
+void SetListener(TapeListener* listener) { t_listener = listener; }
+
+}  // namespace record
+}  // namespace autograd
+}  // namespace urcl

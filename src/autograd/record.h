@@ -1,0 +1,121 @@
+// Tape capture hooks for the compiled executor (src/exec/). Every autograd op
+// function notifies the thread-local TapeListener (when one is installed) with
+// its output Variable, its parent Variables and the closed-form attributes
+// needed to re-execute the op without the tape. The listener lives here — not
+// in src/exec/ — so autograd never depends on the executor; exec's
+// GraphRecorder implements the interface.
+//
+// The hook fires for every op, including ops recorded without gradients
+// (whose tape nodes drop their parents), which is exactly why a post-hoc walk
+// of the node graph cannot recover the program: capture must observe the op
+// stream as it happens. StopGradient bypasses Variable::MakeOp entirely (it
+// returns a fresh leaf aliasing the input's storage) and gets the dedicated
+// OnAlias hook.
+#ifndef URCL_AUTOGRAD_RECORD_H_
+#define URCL_AUTOGRAD_RECORD_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace urcl {
+namespace autograd {
+namespace record {
+
+// One enumerator per op function in autograd/ops.h (Neg delegates to
+// MulScalar and records as kMulScalar). kDropout is recorded so a capture
+// that encounters it can abort deterministically: its mask is drawn from the
+// trainer RNG per step, so a replayed plan could never reproduce it.
+enum class OpKind : uint8_t {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kAddScalar,
+  kMulScalar,
+  kExp,
+  kLog,
+  kSqrt,
+  kAbs,
+  kTanh,
+  kSigmoid,
+  kRelu,
+  kLeakyRelu,
+  kSquare,
+  kMatMul,
+  kSum,
+  kMean,
+  kReshape,
+  kTranspose,
+  kSlice,
+  kConcat,
+  kPad,
+  kBroadcastTo,
+  kSoftmax,
+  kTemporalConv2d,
+  kDropout,
+};
+
+// Closed-form op parameters, enough to re-execute the forward kernel and to
+// derive the backward program at compile time. Fields are op-specific:
+//   scalar : AddScalar/MulScalar operand, LeakyRelu negative slope
+//   flag   : Sum/Mean keepdims
+//   axis   : Concat/Pad/Softmax axis (as passed, not canonicalized);
+//            TemporalConv2d dilation
+//   before/after : Pad amounts
+//   ints   : Sum/Mean axes, Reshape/BroadcastTo target dims, Transpose perm,
+//            Slice starts
+//   ints2  : Slice sizes
+struct OpAttrs {
+  float scalar = 0.0f;
+  bool flag = false;
+  int64_t axis = 0;
+  int64_t before = 0;
+  int64_t after = 0;
+  std::vector<int64_t> ints;
+  std::vector<int64_t> ints2;
+};
+
+class TapeListener {
+ public:
+  virtual ~TapeListener() = default;
+
+  // One recorded op: `out` was produced from `parents` with `attrs`. Called
+  // after Variable::MakeOp, on the thread running the forward build.
+  virtual void OnOp(OpKind kind, const Variable& out,
+                    std::initializer_list<const Variable*> parents, const OpAttrs& attrs) = 0;
+
+  // Concat's parent list is dynamically sized.
+  virtual void OnOpN(OpKind kind, const Variable& out, const std::vector<Variable>& parents,
+                     const OpAttrs& attrs) = 0;
+
+  // StopGradient: `out` is a fresh non-grad leaf sharing `in`'s value storage.
+  virtual void OnAlias(const Variable& out, const Variable& in) = 0;
+};
+
+// Thread-local listener; nullptr (the default) makes every hook a single
+// predictable branch on the tape hot path.
+TapeListener* ActiveListener();
+void SetListener(TapeListener* listener);
+
+// RAII installer used by the capture pass.
+class ListenerScope {
+ public:
+  explicit ListenerScope(TapeListener* listener) : previous_(ActiveListener()) {
+    SetListener(listener);
+  }
+  ~ListenerScope() { SetListener(previous_); }
+  ListenerScope(const ListenerScope&) = delete;
+  ListenerScope& operator=(const ListenerScope&) = delete;
+
+ private:
+  TapeListener* previous_;
+};
+
+}  // namespace record
+}  // namespace autograd
+}  // namespace urcl
+
+#endif  // URCL_AUTOGRAD_RECORD_H_

@@ -3,7 +3,9 @@
 #include "tensor/serialize.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <limits>
 #include <sstream>
 
@@ -134,8 +136,37 @@ UrclTrainer::UrclTrainer(const UrclConfig& config, const graph::SensorNetwork& n
 
 std::vector<float> UrclTrainer::PerItemLosses(const std::vector<int64_t>& indices) {
   const auto [inputs, targets] = buffer_.MakeBatch(indices);
-  Variable x(inputs, /*requires_grad=*/false);
-  const Tensor predictions = model_->Forward(x, adjacency_).value();
+  // RMIR scores the whole scan set twice per refresh, so this forward is the
+  // hottest inference path in training — compiled when the executor allows.
+  Tensor predictions;
+  bool have_predictions = false;
+  if (config_.executor == exec::ExecutorMode::kPlan) {
+    const std::string key = exec::PlanCache::ShapeKey({&inputs});
+    exec::CompiledPlan* plan = per_item_plans_.Lookup(key);
+    if (plan == nullptr && per_item_plans_.ShouldCapture(key)) {
+      const std::vector<Tensor> plan_inputs{inputs};
+      exec::CompiledPlan::CaptureResult captured = exec::CompiledPlan::Capture(
+          plan_inputs,
+          [&inputs, this] {
+            return model_->Forward(Variable(inputs, /*requires_grad=*/false), adjacency_);
+          },
+          /*with_backward=*/false);
+      if (captured.plan == nullptr && ::getenv("URCL_PLAN_DEBUG"))
+        std::fprintf(stderr, "[plan-debug] per_item capture failed: %s\n", captured.error.c_str());
+      per_item_plans_.Insert(key, std::move(captured.plan));
+      // The capturing call completes on the tape build's result.
+      predictions = captured.root->value();
+      have_predictions = true;
+    } else if (plan != nullptr) {
+      plan->BindInputs({inputs});
+      predictions = plan->RunForward();  // plan-owned; fully consumed below
+      have_predictions = true;
+    }
+  }
+  if (!have_predictions) {
+    Variable x(inputs, /*requires_grad=*/false);
+    predictions = model_->Forward(x, adjacency_).value();
+  }
   // Per-item MAE: mean |pred - y| over all but the batch axis.
   const Tensor abs_err = ops::Abs(ops::Sub(predictions, targets));
   const Tensor per_item = ops::Mean(abs_err, {1, 2, 3});
@@ -169,10 +200,41 @@ UrclTrainer::ReplayDraw UrclTrainer::DrawReplaySamples(const Tensor& current_inp
     for (const Variable& p : params) snapshot.push_back(p.value().Clone());
 
     for (const Variable& p : params) p.ZeroGrad();
-    Variable x(current_inputs, /*requires_grad=*/false);
-    Variable y(current_targets, /*requires_grad=*/false);
-    Variable loss = nn::MaeLoss(model_->Forward(x, adjacency_), y);
-    loss.Backward();
+    bool virtual_done = false;
+    if (config_.executor == exec::ExecutorMode::kPlan) {
+      const std::string key = exec::PlanCache::ShapeKey({&current_inputs, &current_targets});
+      exec::CompiledPlan* plan = virtual_plans_.Lookup(key);
+      if (plan == nullptr && virtual_plans_.ShouldCapture(key)) {
+        const std::vector<Tensor> plan_inputs{current_inputs, current_targets};
+        exec::CompiledPlan::CaptureResult captured = exec::CompiledPlan::Capture(
+            plan_inputs,
+            [&] {
+              Variable x(current_inputs, /*requires_grad=*/false);
+              Variable y(current_targets, /*requires_grad=*/false);
+              return nn::MaeLoss(model_->Forward(x, adjacency_), y);
+            },
+            /*with_backward=*/true);
+        if (captured.plan == nullptr && ::getenv("URCL_PLAN_DEBUG"))
+          std::fprintf(stderr, "[plan-debug] virtual capture failed: %s\n", captured.error.c_str());
+        virtual_plans_.Insert(key, std::move(captured.plan));
+        // The measure run accumulated real gradients; restart from zero and
+        // complete this refresh on the tape build.
+        for (const Variable& p : params) p.ZeroGrad();
+        captured.root->Backward();
+        virtual_done = true;
+      } else if (plan != nullptr) {
+        plan->BindInputs({current_inputs, current_targets});
+        plan->RunForward();
+        plan->RunBackward();
+        virtual_done = true;
+      }
+    }
+    if (!virtual_done) {
+      Variable x(current_inputs, /*requires_grad=*/false);
+      Variable y(current_targets, /*requires_grad=*/false);
+      Variable loss = nn::MaeLoss(model_->Forward(x, adjacency_), y);
+      loss.Backward();
+    }
     for (const Variable& p : params) {
       Tensor updated = p.value().Clone();
       Tensor grad = p.grad();
@@ -215,6 +277,27 @@ UrclTrainer::ReplayDraw UrclTrainer::DrawReplaySamples(const Tensor& current_inp
   return draw;
 }
 
+Variable UrclTrainer::BuildTrainLoss(const Tensor& inputs, const Tensor& targets) {
+  Variable x(inputs, /*requires_grad=*/false);
+  Variable y(targets, /*requires_grad=*/false);
+  Variable task_loss = nn::MaeLoss(model_->Forward(x, adjacency_), y);
+
+  // STCRL branch (Sec. IV-C): two augmented views through STSimSiam.
+  Variable total_loss = task_loss;
+  if (config_.enable_ssl) {
+    augment::AugmentedView view1{inputs, adjacency_};
+    augment::AugmentedView view2{inputs, adjacency_};
+    if (config_.enable_augmentation) {
+      const auto [aug1, aug2] = augment::PickTwoDistinct(augmentations_, rng_);
+      view1 = aug1->Apply(inputs, network_, rng_);
+      view2 = aug2->Apply(inputs, network_, rng_);
+    }
+    Variable ssl_loss = model_->simsiam().Loss(view1, view2);
+    total_loss = ag::Add(task_loss, ag::MulScalar(ssl_loss, config_.ssl_weight));  // Eq. 29
+  }
+  return total_loss;
+}
+
 std::optional<float> UrclTrainer::TrainStep(const Tensor& inputs, const Tensor& targets) {
   URCL_TRACE_SCOPE("train_step");
   const bool metrics = obs::MetricsEnabled();
@@ -244,49 +327,85 @@ std::optional<float> UrclTrainer::TrainStep(const Tensor& inputs, const Tensor& 
     mixed.targets = targets;
   }
 
-  // Prediction branch (Eq. 17, 28).
-  Variable total_loss;
-  {
-    URCL_TRACE_SCOPE("forward");
-    Variable x(mixed.inputs, /*requires_grad=*/false);
-    Variable y(mixed.targets, /*requires_grad=*/false);
-    Variable task_loss = nn::MaeLoss(model_->Forward(x, adjacency_), y);
-
-    // STCRL branch (Sec. IV-C): two augmented views through STSimSiam.
-    total_loss = task_loss;
-    if (config_.enable_ssl) {
-      augment::AugmentedView view1{mixed.inputs, adjacency_};
-      augment::AugmentedView view2{mixed.inputs, adjacency_};
-      if (config_.enable_augmentation) {
-        const auto [aug1, aug2] = augment::PickTwoDistinct(augmentations_, rng_);
-        view1 = aug1->Apply(mixed.inputs, network_, rng_);
-        view2 = aug2->Apply(mixed.inputs, network_, rng_);
-      }
-      Variable ssl_loss = model_->simsiam().Loss(view1, view2);
-      total_loss = ag::Add(task_loss, ag::MulScalar(ssl_loss, config_.ssl_weight));  // Eq. 29
-    }
-  }
-
-  // Quarantine gate 2: a diverged/overflowed loss is not backpropagated.
-  if (!nn::LossIsFinite(total_loss)) {
-    ++quarantined_batches_;
-    if (metrics) Metrics().quarantined_loss.Add(1);
-    std::fprintf(stderr,
-                 "[urcl] quarantined batch at stage %lld step %lld: non-finite loss\n",
-                 static_cast<long long>(current_stage_), static_cast<long long>(step_count_));
-    return std::nullopt;
-  }
-
+  // Gradients from the previous step are cleared before the forward so a
+  // compiled plan's backward accumulates into fresh storage each run (the
+  // arena replay must repeat the measure run's acquisition sequence; see
+  // exec/arena.h).
   optimizer_->ZeroGrad();
-  if (check::GraphChecksEnabled()) {
-    // URCL_CHECK env gate: full static lint of the recorded loss graph before
-    // differentiating through it (autograd/lint.h). Zero cost when disabled.
-    URCL_TRACE_SCOPE("graph_lint");
-    autograd::CheckGraph(total_loss);
+
+  // Prediction branch (Eq. 17, 28), compiled or on the tape.
+  exec::CompiledPlan* plan = nullptr;
+  std::string plan_key;
+  if (TrainStepPlannable()) {
+    plan_key = exec::PlanCache::ShapeKey({&mixed.inputs, &mixed.targets});
+    plan = train_plans_.Lookup(plan_key);
   }
-  {
-    URCL_TRACE_SCOPE("backward");
-    total_loss.Backward();
+  float loss_value = 0.0f;
+  if (plan != nullptr) {
+    {
+      URCL_TRACE_SCOPE("forward");
+      plan->BindInputs({mixed.inputs, mixed.targets});
+      loss_value = plan->RunForward().Item();
+    }
+    // Quarantine gate 2: a diverged/overflowed loss is not backpropagated.
+    if (!std::isfinite(loss_value)) {
+      plan->Abort();
+      ++quarantined_batches_;
+      if (metrics) Metrics().quarantined_loss.Add(1);
+      std::fprintf(stderr,
+                   "[urcl] quarantined batch at stage %lld step %lld: non-finite loss\n",
+                   static_cast<long long>(current_stage_), static_cast<long long>(step_count_));
+      return std::nullopt;
+    }
+    {
+      URCL_TRACE_SCOPE("backward");
+      plan->RunBackward();
+    }
+  } else {
+    Variable total_loss;
+    {
+      URCL_TRACE_SCOPE("forward");
+      if (TrainStepPlannable() && train_plans_.ShouldCapture(plan_key)) {
+        const std::vector<Tensor> plan_inputs{mixed.inputs, mixed.targets};
+        exec::CompiledPlan::CaptureResult captured = exec::CompiledPlan::Capture(
+            plan_inputs, [&] { return BuildTrainLoss(mixed.inputs, mixed.targets); },
+            /*with_backward=*/true);
+        if (captured.plan == nullptr && ::getenv("URCL_PLAN_DEBUG"))
+          std::fprintf(stderr, "[plan-debug] train capture failed: %s\n", captured.error.c_str());
+        train_plans_.Insert(plan_key, std::move(captured.plan));
+        // The measure run accumulated real gradients; discard them and
+        // complete this step on the tape build (the plan serves the next
+        // same-shape batch).
+        optimizer_->ZeroGrad();
+        total_loss = *captured.root;
+      } else {
+        total_loss = BuildTrainLoss(mixed.inputs, mixed.targets);
+      }
+    }
+
+    // Quarantine gate 2: a diverged/overflowed loss is not backpropagated.
+    if (!nn::LossIsFinite(total_loss)) {
+      ++quarantined_batches_;
+      if (metrics) Metrics().quarantined_loss.Add(1);
+      std::fprintf(stderr,
+                   "[urcl] quarantined batch at stage %lld step %lld: non-finite loss\n",
+                   static_cast<long long>(current_stage_), static_cast<long long>(step_count_));
+      return std::nullopt;
+    }
+
+    if (check::GraphChecksEnabled()) {
+      // URCL_CHECK env gate: full static lint of the recorded loss graph
+      // before differentiating through it (autograd/lint.h). Zero cost when
+      // disabled. Tape-only: a compiled plan was linted by its own AOT shape
+      // inference at capture time.
+      URCL_TRACE_SCOPE("graph_lint");
+      autograd::CheckGraph(total_loss);
+    }
+    {
+      URCL_TRACE_SCOPE("backward");
+      total_loss.Backward();
+    }
+    loss_value = total_loss.value().Item();
   }
   {
     URCL_TRACE_SCOPE("optimizer_step");
@@ -329,7 +448,6 @@ std::optional<float> UrclTrainer::TrainStep(const Tensor& inputs, const Tensor& 
   }
 
   ++step_count_;
-  const float loss_value = total_loss.value().Item();
   if (metrics) {
     TrainerMetrics& m = Metrics();
     m.steps.Add(1);

@@ -17,6 +17,7 @@
 #include "checkpoint/manager.h"
 #include "common/status.h"
 #include "core/backbone.h"
+#include "exec/plan.h"
 #include "core/predictor.h"
 #include "core/stdecoder.h"
 #include "core/stsimsiam.h"
@@ -71,6 +72,16 @@ struct UrclConfig {
   bool enable_augmentation = true;  // w/o_STA: identity views
   bool enable_ssl = true;           // w/o_GCL: task loss only
   bool enable_replay = true;        // plain finetuning when false
+
+  // Executor for steady-state graphs (DESIGN.md §12): kPlan compiles the
+  // training step, the RMIR virtual step and the per-item scoring forward
+  // into replayed arena programs; kTape runs everything on the autograd
+  // tape. Defaults from the URCL_EXEC environment variable. The training
+  // step itself is only plannable when its graph is step-invariant, i.e.
+  // when SSL or augmentation is off (augmented views draw fresh RNG and
+  // perturb the adjacency every step); otherwise it stays on the tape while
+  // the RMIR families still run compiled.
+  exec::ExecutorMode executor = exec::DefaultExecutorMode();
 
   uint64_t seed = 1;
 
@@ -188,6 +199,17 @@ class UrclTrainer : public StPredictor {
   int64_t quarantined_batches() const { return quarantined_batches_; }
 
   UrclModel& model() { return *model_; }
+  // Read-only optimizer view, so tests can compare Adam state (step counter
+  // and moments) byte for byte across executor modes.
+  const nn::Adam& optimizer() const { return *optimizer_; }
+
+  // Number of compiled plans live across the train/virtual/per-item caches.
+  // Zero in tape mode; tests assert it is non-zero after a plan-mode stage so
+  // a capture regression cannot silently fall back to the tape everywhere.
+  size_t compiled_plan_count() const {
+    return train_plans_.num_compiled() + virtual_plans_.num_compiled() +
+           per_item_plans_.num_compiled();
+  }
   const replay::ReplayBuffer& buffer() const { return buffer_; }
   const UrclConfig& config() const { return config_; }
 
@@ -218,6 +240,17 @@ class UrclTrainer : public StPredictor {
   // the batch was quarantined (non-finite inputs, loss or gradients).
   std::optional<float> TrainStep(const Tensor& inputs, const Tensor& targets);
 
+  // Builds the L_all tape graph for one (already mixed) batch — the forward
+  // captured by the compiled executor and replayed on the tape fallback.
+  Variable BuildTrainLoss(const Tensor& inputs, const Tensor& targets);
+
+  // True when the training-step graph is step-invariant and may be compiled
+  // (see UrclConfig::executor).
+  bool TrainStepPlannable() const {
+    return config_.executor == exec::ExecutorMode::kPlan &&
+           (!config_.enable_ssl || !config_.enable_augmentation);
+  }
+
   // RMIR / random retrieval from the buffer (Sec. IV-B1).
   ReplayDraw DrawReplaySamples(const Tensor& current_inputs, const Tensor& current_targets);
 
@@ -241,6 +274,13 @@ class UrclTrainer : public StPredictor {
   std::vector<float> loss_history_;
   int64_t step_count_ = 0;
   std::vector<int64_t> cached_selection_;
+
+  // Compiled-executor plan caches, one per graph family, keyed by input
+  // shapes (DESIGN.md §12). A null cache entry is a permanent tape fallback
+  // for that shape.
+  exec::PlanCache train_plans_;
+  exec::PlanCache virtual_plans_;
+  exec::PlanCache per_item_plans_;
 
   // Snapshot publication state.
   SnapshotSink snapshot_sink_;

@@ -1,0 +1,202 @@
+#include "exec/arena.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace urcl {
+namespace exec {
+
+namespace {
+
+// Slot granularity: 16 floats = 64 bytes, the pool's alignment (cache line).
+constexpr int64_t kAlignFloats = 16;
+
+int64_t RoundUp(int64_t count) {
+  const int64_t n = std::max<int64_t>(count, 1);
+  return (n + kAlignFloats - 1) / kAlignFloats * kAlignFloats;
+}
+
+bool Overlaps(int64_t a_begin, int64_t a_end, int64_t b_begin, int64_t b_end) {
+  return a_begin < b_end && b_begin < a_end;
+}
+
+}  // namespace
+
+bool ValidateLayout(const std::vector<ArenaEvent>& events, int64_t total_floats,
+                    std::string* error) {
+  for (size_t i = 0; i < events.size(); ++i) {
+    const ArenaEvent& e = events[i];
+    if (e.size < e.count || e.offset < 0 || e.offset + e.size > total_floats) {
+      if (error != nullptr) {
+        *error = "event " + std::to_string(i) + " does not fit the arena";
+      }
+      return false;
+    }
+    for (size_t j = i + 1; j < events.size(); ++j) {
+      const ArenaEvent& f = events[j];
+      const bool lifetimes_overlap =
+          Overlaps(e.alloc_tick, e.free_tick, f.alloc_tick, f.free_tick);
+      const bool memory_overlaps =
+          Overlaps(e.offset, e.offset + e.size, f.offset, f.offset + f.size);
+      if (lifetimes_overlap && memory_overlaps) {
+        if (error != nullptr) {
+          *error = "events " + std::to_string(i) + " and " + std::to_string(j) +
+                   " are live simultaneously but share arena bytes";
+        }
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+// Measure-mode handout owner: keeps the real (pool) storage alive and
+// reports the storage's death back to the arena as this event's free tick.
+struct MeasureOwner {
+  PlanArena* arena;
+  size_t event_index;
+  pool::BufferPool::Acquisition inner;
+
+  ~MeasureOwner() { arena->RecordFree(event_index); }
+};
+
+void PlanArena::BeginMeasure() {
+  URCL_CHECK(phase_ == Phase::kIdle) << "arena measure started twice";
+  events_.clear();
+  owners_.clear();
+  base_ = {};
+  tick_ = 0;
+  total_floats_ = 0;
+  phase_ = Phase::kMeasure;
+}
+
+bool PlanArena::FinishMeasure() {
+  URCL_CHECK(phase_ == Phase::kMeasure);
+  phase_ = Phase::kIdle;
+  // Close still-open lifetimes: storage that escapes the measure run (e.g.
+  // parameter gradients the optimizer reads after the step) can never share
+  // bytes with anything, so it gets a dedicated slot.
+  for (ArenaEvent& e : events_) {
+    if (e.free_tick < 0) e.free_tick = kInfiniteTick;
+    e.size = RoundUp(e.count);
+  }
+  // First-fit interval packing in allocation order: place each event at the
+  // lowest aligned offset not occupied by an already-placed event with an
+  // overlapping lifetime.
+  std::vector<size_t> order(events_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+    return events_[a].alloc_tick < events_[b].alloc_tick;
+  });
+  int64_t high_water = 0;
+  std::vector<size_t> placed;
+  placed.reserve(order.size());
+  for (const size_t i : order) {
+    ArenaEvent& e = events_[i];
+    int64_t offset = 0;
+    for (bool moved = true; moved;) {
+      moved = false;
+      for (const size_t j : placed) {
+        const ArenaEvent& f = events_[j];
+        if (Overlaps(e.alloc_tick, e.free_tick, f.alloc_tick, f.free_tick) &&
+            Overlaps(offset, offset + e.size, f.offset, f.offset + f.size)) {
+          offset = f.offset + f.size;  // skip past the conflict, rescan
+          moved = true;
+        }
+      }
+    }
+    e.offset = offset;
+    high_water = std::max(high_water, offset + e.size);
+    placed.push_back(i);
+  }
+  total_floats_ = high_water;
+  std::string error;
+  if (!ValidateLayout(events_, total_floats_, &error)) {
+    URCL_CHECK(false) << "arena layout invalid after packing: " << error;
+    return false;
+  }
+  // The arena's one real allocation. This is the sanctioned pool call in
+  // src/exec/ — everything downstream is served from this block.
+  base_ = pool::BufferPool::Get().AcquireWithVersion(  // lint:allow(exec-pool-acquire)
+      std::max<int64_t>(total_floats_, 1), /*zero_fill=*/true);
+  owners_.reserve(events_.size());
+  for (size_t i = 0; i < events_.size(); ++i) {
+    auto owner = std::make_shared<ReplayOwner>();
+    owner->base = base_.data;
+    owners_.push_back(std::move(owner));
+  }
+  return true;
+}
+
+void PlanArena::BeginReplay() {
+  URCL_CHECK(ready()) << "arena replayed before FinishMeasure";
+  URCL_CHECK(phase_ == Phase::kIdle);
+  phase_ = Phase::kReplay;
+  cursor_ = 0;
+}
+
+void PlanArena::EndReplay() {
+  URCL_CHECK(phase_ == Phase::kReplay);
+  URCL_CHECK_EQ(cursor_, events_.size())
+      << "plan execution performed fewer storage acquisitions than its measure run";
+  phase_ = Phase::kIdle;
+}
+
+void PlanArena::AbortReplay() {
+  URCL_CHECK(phase_ == Phase::kReplay);
+  phase_ = Phase::kIdle;
+  cursor_ = 0;
+}
+
+pool::BufferPool::Acquisition PlanArena::Acquire(int64_t count, bool zero_fill) {
+  if (phase_ == Phase::kMeasure) {
+    const size_t index = events_.size();
+    ArenaEvent e;
+    e.count = count;
+    e.zero_fill = zero_fill;
+    e.alloc_tick = tick_++;
+    events_.push_back(e);
+    // Real storage still comes from the pool during the measure run; the
+    // MeasureOwner wrapper reports its death for lifetime analysis.
+    auto owner = std::make_shared<MeasureOwner>();
+    owner->arena = this;
+    owner->event_index = index;
+    // lint:allow(exec-pool-acquire)
+    owner->inner = pool::BufferPool::Get().AcquireWithVersion(count, zero_fill);
+    pool::BufferPool::Acquisition out;
+    out.data = std::shared_ptr<float>(owner, owner->inner.data.get());
+    out.version =
+        std::shared_ptr<std::atomic<uint64_t>>(owner, owner->inner.version.get());
+    return out;
+  }
+  URCL_CHECK(phase_ == Phase::kReplay) << "arena acquisition outside measure/replay";
+  URCL_CHECK_LT(cursor_, events_.size())
+      << "plan execution performed more storage acquisitions than its measure run";
+  const ArenaEvent& e = events_[cursor_];
+  URCL_CHECK_EQ(count, e.count) << "replayed acquisition size diverged from the measure run";
+  URCL_CHECK(zero_fill == e.zero_fill) << "replayed acquisition mode diverged";
+  const std::shared_ptr<ReplayOwner>& owner = owners_[cursor_];
+  ++cursor_;
+  float* slot = base_.data.get() + e.offset;
+  if (zero_fill) {
+    std::memset(slot, 0, static_cast<size_t>(count) * sizeof(float));
+  } else if (pool::BufferPool::Get().poison_enabled()) {
+    // Mirror the pool's read-before-write tripwire on reused arena bytes.
+    uint32_t* words = reinterpret_cast<uint32_t*>(slot);
+    for (int64_t i = 0; i < count; ++i) words[i] = pool::kPoisonWord;
+  }
+  pool::BufferPool::Acquisition out;
+  out.data = std::shared_ptr<float>(owner, slot);
+  out.version = std::shared_ptr<std::atomic<uint64_t>>(owner, &owner->version);
+  return out;
+}
+
+void PlanArena::RecordFree(size_t event_index) {
+  if (phase_ != Phase::kMeasure) return;  // death after FinishMeasure: already infinite
+  events_[event_index].free_tick = tick_++;
+}
+
+}  // namespace exec
+}  // namespace urcl

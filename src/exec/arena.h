@@ -1,0 +1,127 @@
+// Arena storage for compiled-plan replay (DESIGN.md §12). A CompiledPlan's
+// steady-state step must perform zero BufferPool acquisitions: every tensor
+// the plan's kernels produce lives at a precomputed offset inside one flat
+// arena block, reused across steps.
+//
+// The arena is a pool::StorageHook, so it slots under the Tensor storage
+// funnel without touching any kernel: while a plan Run has the hook
+// installed, every `Tensor(shape)` / `Tensor::Uninitialized` the kernels
+// make is served from the arena instead of the pool.
+//
+// Lifecycle per plan:
+//   1. Measure: one full execution of the plan with the arena in measure
+//      mode. Each acquisition is recorded as an ArenaEvent (element count,
+//      zero-fill flag, allocation tick); the release of its storage records
+//      the free tick. Storage still alive when the measure run ends (e.g.
+//      parameter gradients read by the optimizer afterwards) gets an
+//      infinite lifetime — a dedicated, never-reused slot.
+//   2. Plan: first-fit interval packing assigns each event a 64-byte-aligned
+//      offset such that no two events with overlapping lifetimes overlap in
+//      memory. ValidateLayout re-checks this invariant (it is the arena's
+//      whole correctness argument) and rejects any overlap.
+//   3. Replay: the arena holds one base buffer (a single pool acquisition)
+//      plus one pre-built shared_ptr owner per event; each Run hands out
+//      aliasing shared_ptrs in the recorded event order, allocation-free.
+//      Any divergence from the recorded sequence (count or zero-fill
+//      mismatch, too many events) aborts — a replayed plan that allocates
+//      differently than its measure run is a compiler bug, not a condition
+//      to tolerate.
+//
+// Poison audit: when pool poisoning is enabled, non-zero-filled replay
+// handouts are filled with pool::kPoisonWord exactly like pool buffers, so
+// the PR-5 "every element written before first read" audits apply to arena
+// slots unchanged.
+#ifndef URCL_EXEC_ARENA_H_
+#define URCL_EXEC_ARENA_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/pool.h"
+
+namespace urcl {
+namespace exec {
+
+// One recorded storage acquisition inside a plan execution.
+struct ArenaEvent {
+  int64_t count = 0;        // floats requested
+  bool zero_fill = false;   // zeroed on acquire vs fully-written-by-kernel
+  int64_t alloc_tick = 0;   // position in the global alloc/free tick order
+  int64_t free_tick = -1;   // -1 until freed; kInfiniteTick if never freed
+  int64_t offset = 0;       // assigned arena offset (floats, 16-aligned)
+  int64_t size = 0;         // rounded slot size (floats, multiple of 16)
+};
+
+inline constexpr int64_t kInfiniteTick = INT64_MAX;
+
+// True when the layout is sound: no two events whose lifetimes
+// [alloc_tick, free_tick) overlap occupy overlapping [offset, offset+size)
+// ranges, and every event fits in `total_floats`. On failure, `error`
+// (when non-null) names the offending event pair. Exposed standalone so
+// tests can seed a deliberately overlapping assignment and assert rejection.
+bool ValidateLayout(const std::vector<ArenaEvent>& events, int64_t total_floats,
+                    std::string* error);
+
+class PlanArena : public pool::StorageHook {
+ public:
+  PlanArena() = default;
+  PlanArena(const PlanArena&) = delete;
+  PlanArena& operator=(const PlanArena&) = delete;
+
+  // --- Measure mode --------------------------------------------------------
+  // Between BeginMeasure and FinishMeasure the hook records every
+  // acquisition; FinishMeasure closes still-open lifetimes as infinite,
+  // packs the layout, validates it, and allocates the base buffer.
+  // Returns false (leaving the arena unusable) if validation fails.
+  void BeginMeasure();
+  bool FinishMeasure();
+
+  // --- Replay mode ---------------------------------------------------------
+  // Resets the event cursor for one plan execution. Every subsequent
+  // Acquire must match the recorded sequence.
+  void BeginReplay();
+  // Asserts the execution consumed exactly the recorded events.
+  void EndReplay();
+  // Abandons a replay mid-run (e.g. the trainer quarantined the step between
+  // forward and backward) without the full-consumption assertion.
+  void AbortReplay();
+
+  // pool::StorageHook: measure-mode recording or replay-mode handout,
+  // depending on the current phase.
+  pool::BufferPool::Acquisition Acquire(int64_t count, bool zero_fill) override;
+
+  bool ready() const { return base_.data != nullptr; }
+  int64_t total_floats() const { return total_floats_; }
+  const std::vector<ArenaEvent>& events() const { return events_; }
+
+ private:
+  friend struct MeasureOwner;
+
+  enum class Phase { kIdle, kMeasure, kReplay };
+
+  // Replay handout owner: carries the per-event write-version counter and
+  // keeps the arena's base storage alive. Pre-built once per event so replay
+  // handouts are pure aliasing-constructor shared_ptr copies.
+  struct ReplayOwner {
+    std::atomic<uint64_t> version{0};
+    std::shared_ptr<float> base;  // pins the arena block
+  };
+
+  void RecordFree(size_t event_index);
+
+  Phase phase_ = Phase::kIdle;
+  std::vector<ArenaEvent> events_;
+  int64_t tick_ = 0;
+  size_t cursor_ = 0;  // next event during replay
+  int64_t total_floats_ = 0;
+  pool::BufferPool::Acquisition base_;
+  std::vector<std::shared_ptr<ReplayOwner>> owners_;
+};
+
+}  // namespace exec
+}  // namespace urcl
+
+#endif  // URCL_EXEC_ARENA_H_

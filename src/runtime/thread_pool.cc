@@ -1,5 +1,9 @@
 #include "runtime/thread_pool.h"
 
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "common/stopwatch.h"
@@ -8,6 +12,21 @@
 
 namespace urcl {
 namespace runtime {
+namespace {
+
+std::atomic<bool> g_oversubscribe{[] {
+  const char* env = std::getenv("URCL_OVERSUBSCRIBE");
+  return env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0;
+}()};
+
+}  // namespace
+
+void SetOversubscribe(bool enabled) {
+  g_oversubscribe.store(enabled, std::memory_order_relaxed);
+}
+
+bool OversubscribeEnabled() { return g_oversubscribe.load(std::memory_order_relaxed); }
+
 namespace {
 
 // Registry handles for the pool's metrics, resolved once. Updates are gated
@@ -36,6 +55,8 @@ RuntimeMetrics& Metrics() {
 }  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
+  const unsigned hardware = std::thread::hardware_concurrency();
+  hardware_ = hardware == 0 ? 1 : static_cast<int>(hardware);
   const int worker_count = num_threads > 1 ? num_threads - 1 : 0;
   workers_.reserve(static_cast<size_t>(worker_count));
   for (int i = 0; i < worker_count; ++i) {
@@ -77,6 +98,11 @@ void ThreadPool::WorkerLoop(int worker_index) {
       start_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen_generation; });
       if (shutdown_) return;
       seen_generation = generation_;
+      // Capped out of this region: it was sized for fewer workers than the
+      // pool holds. Skip without touching busy accounting and wait for the
+      // next region.
+      if (claim_budget_ == 0) continue;
+      --claim_budget_;
       region_start_ns = region_start_ns_;
     }
     // Lazily label this thread in the trace once tracing is actually on, so
@@ -102,7 +128,12 @@ void ThreadPool::Run(int64_t num_chunks, const std::function<void(int64_t)>& chu
   if (num_chunks <= 0) return;
   const bool metrics = obs::MetricsEnabled();
   const int64_t start_ns = metrics ? MonotonicNowNs() : 0;
-  if (workers_.empty()) {
+  // Workers actually worth waking: one lane is the calling thread, a chunk
+  // can occupy at most one worker, and — unless oversubscription is forced —
+  // lanes beyond the core count only add context switches.
+  int64_t active = std::min<int64_t>(static_cast<int64_t>(workers_.size()), num_chunks - 1);
+  if (!OversubscribeEnabled()) active = std::min<int64_t>(active, hardware_ - 1);
+  if (active <= 0) {
     // Serial pool: same chunks, caller's thread, exceptions propagate as-is.
     for (int64_t chunk = 0; chunk < num_chunks; ++chunk) chunk_fn(chunk);
     if (metrics) {
@@ -120,7 +151,8 @@ void ThreadPool::Run(int64_t num_chunks, const std::function<void(int64_t)>& chu
     next_chunk_.store(0, std::memory_order_relaxed);
     failed_.store(false, std::memory_order_relaxed);
     error_ = nullptr;
-    busy_workers_ = static_cast<int>(workers_.size());
+    busy_workers_ = static_cast<int>(active);
+    claim_budget_ = static_cast<int>(active);
     region_start_ns_ = start_ns;
     ++generation_;
   }

@@ -214,6 +214,45 @@ HealthState ForecastService::health_state() const {
   return health_.Evaluate(MonotonicNowNs(), hub_.Current() != nullptr);
 }
 
+std::optional<Tensor> ForecastService::TryPlanForward(
+    const std::shared_ptr<const ModelSnapshot>& snapshot, const Tensor& inputs) const {
+  if (config_.executor != exec::ExecutorMode::kPlan) return std::nullopt;
+  std::unique_lock<std::mutex> lock(plan_mu_, std::try_to_lock);
+  // Contended: another query is executing the plan. ForwardInference is
+  // always correct (bitwise-equal output), so don't queue on the arena.
+  if (!lock.owns_lock()) return std::nullopt;
+  if (plan_snapshot_.lock() != snapshot) {
+    // Hot-swap (or a republish reusing the version number): the cached plans
+    // replay the retired snapshot's weights as captured constants/parameters.
+    // Invalidate; this query recompiles.
+    serve_plans_.Clear();
+    plan_snapshot_ = snapshot;
+  }
+  const std::string key = exec::PlanCache::ShapeKey({&inputs});
+  exec::CompiledPlan* plan = serve_plans_.Lookup(key);
+  if (plan == nullptr && serve_plans_.ShouldCapture(key)) {
+    const std::vector<Tensor> plan_inputs{inputs};
+    exec::CompiledPlan::CaptureResult captured = exec::CompiledPlan::Capture(
+        plan_inputs,
+        [&] {
+          return snapshot->model->Forward(autograd::Variable(inputs, /*requires_grad=*/false),
+                                         adjacency_);
+        },
+        /*with_backward=*/false);
+    serve_plans_.Insert(key, std::move(captured.plan));
+    plan_compiles_.fetch_add(1, std::memory_order_relaxed);
+    BumpCounter("urcl.serve.plan_compiles");
+    // The capturing query answers from the tape build (tape Forward and
+    // ForwardInference are bitwise-equal by contract).
+    return captured.root->value();
+  }
+  if (plan == nullptr) return std::nullopt;  // capture failed: permanent fallback
+  plan->BindInputs({inputs});
+  // Clone: the plan owns (and next run overwrites) the returned storage,
+  // while the response outlives this call.
+  return plan->RunForward().Clone();
+}
+
 std::shared_ptr<const ModelSnapshot> ForecastService::AcquireSnapshot() const {
   if (config_.snapshot_poll_every <= 1) return hub_.Current();
   const int64_t seq = query_seq_.fetch_add(1, std::memory_order_relaxed);
@@ -374,8 +413,13 @@ Status ForecastService::Predict(const core::PredictRequest& request,
   }
 
   const Stopwatch stopwatch;
-  Status status = core::FinishPrediction(
-      request, snapshot->model->ForwardInference(request.inputs, adjacency_), response);
+  Tensor raw_predictions;
+  if (std::optional<Tensor> planned = TryPlanForward(snapshot, request.inputs)) {
+    raw_predictions = std::move(*planned);
+  } else {
+    raw_predictions = snapshot->model->ForwardInference(request.inputs, adjacency_);
+  }
+  Status status = core::FinishPrediction(request, raw_predictions, response);
   if (!status.ok()) return status;  // request problem (bad horizon), not a model error
 
   // The hard output invariant: a non-finite forecast is quarantined — it

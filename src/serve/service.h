@@ -31,6 +31,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <shared_mutex>
 #include <string>
 #include <vector>
@@ -91,6 +92,13 @@ struct ServiceConfig {
   // Deadline substituted for requests that carry deadline_ns == 0;
   // 0 = requests without an explicit deadline are never deadline-shed.
   int64_t default_deadline_ns = 0;
+
+  // Inference executor (DESIGN.md §12): kPlan captures the current
+  // snapshot's forward into a compiled arena program (recompiled on every
+  // hot-swap); kTape always runs UrclModel::ForwardInference. Both produce
+  // bitwise-identical forecasts; contended queries fall back to
+  // ForwardInference rather than queue on the plan. Defaults from URCL_EXEC.
+  exec::ExecutorMode executor = exec::DefaultExecutorMode();
 
   // Human-readable message per invalid field; empty when usable.
   std::vector<std::string> Validate() const;
@@ -175,7 +183,18 @@ class ForecastService {
   int64_t nonfinite_outputs() const { return nonfinite_.load(std::memory_order_relaxed); }
   int64_t rollback_count() const { return hub_.rollback_count(); }
 
+  // Compiled inference plans built since construction (also the
+  // urcl.serve.plan_compiles counter). Advances on every hot-swap that
+  // serves a query in plan mode — each new version recompiles.
+  int64_t plan_compiles() const { return plan_compiles_.load(std::memory_order_relaxed); }
+
  private:
+  // Answers `inputs` via the compiled plan for `snapshot`, compiling it
+  // first when this is the first plan-mode query on this (snapshot, shape).
+  // Returns nullopt — caller uses ForwardInference — in tape mode, when the
+  // plan mutex is contended, or when this shape's capture failed.
+  std::optional<Tensor> TryPlanForward(const std::shared_ptr<const ModelSnapshot>& snapshot,
+                                       const Tensor& inputs) const;
   // Acquires the snapshot for one query, honoring snapshot_poll_every.
   std::shared_ptr<const ModelSnapshot> AcquireSnapshot() const;
 
@@ -215,6 +234,19 @@ class ForecastService {
   baselines::HistoricalAverage fallback_;
   // Serializes rollback decisions (never on the success path).
   mutable std::mutex rollback_mu_;
+
+  // Compiled-executor state: plans for the live snapshot, keyed by input
+  // shape. A hot-swap invalidates the whole cache (plan_snapshot_ identity
+  // mismatch) and the next query recompiles against the new weights. One
+  // mutex serializes plan execution; contended queries take the
+  // ForwardInference path instead of blocking (TryPlanForward).
+  mutable std::mutex plan_mu_;
+  mutable exec::PlanCache serve_plans_;
+  // Snapshot the cache was built for — identity, not version: a republish
+  // can reuse a version number with different weights (rollback, re-admit),
+  // and the plans captured the old weights as constants.
+  mutable std::weak_ptr<const ModelSnapshot> plan_snapshot_;
+  mutable std::atomic<int64_t> plan_compiles_{0};
 
   // Cached snapshot for snapshot_poll_every > 1 (refreshed every Nth query).
   mutable std::atomic<std::shared_ptr<const ModelSnapshot>> cached_snapshot_;

@@ -84,6 +84,14 @@ struct StorageBlock {
 
 }  // namespace
 
+namespace {
+thread_local StorageHook* t_storage_hook = nullptr;
+}  // namespace
+
+StorageHook* ActiveStorageHook() { return t_storage_hook; }
+
+void SetStorageHook(StorageHook* hook) { t_storage_hook = hook; }
+
 bool IsPoisonWord(float value) {
   uint32_t bits;
   std::memcpy(&bits, &value, sizeof(bits));

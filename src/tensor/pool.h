@@ -60,6 +60,17 @@ bool IsPoisonWord(float value);
 // Audit helper for "did this kernel write every element" tests.
 int64_t CountPoisonWords(const float* p, int64_t count);
 
+// Pluggable storage source for Tensor construction. The two Tensor funnels
+// (zero-filled construction and Tensor::Uninitialized) route every
+// acquisition through AcquireStorage(), which consults the thread-local hook
+// before falling back to the process-wide BufferPool. The compiled executor
+// (src/exec/) installs its arena as the hook for the duration of a plan
+// replay so steady-state steps make zero pool acquisitions; everything else
+// never notices the indirection (one predictable thread-local branch).
+class StorageHook;  // fwd
+StorageHook* ActiveStorageHook();
+void SetStorageHook(StorageHook* hook);
+
 // Per-process counters, mirrored from the observability registry: the pool's
 // stats live permanently as `urcl.pool.*` counters/gauges (they are updated
 // under the pool mutex the pool already takes, so residency costs nothing),
@@ -153,6 +164,36 @@ class BufferPool {
   uint64_t capacity_bytes_;
   bool enabled_;
   bool poison_enabled_;
+};
+
+// Interface a storage hook implements. Acquire must satisfy the same
+// contract as BufferPool::AcquireWithVersion: `count` floats, zeroed when
+// `zero_fill`, with a live write-version counter aliased to the storage
+// lifetime.
+class StorageHook {
+ public:
+  virtual ~StorageHook() = default;
+  virtual BufferPool::Acquisition Acquire(int64_t count, bool zero_fill) = 0;
+};
+
+// The Tensor storage funnel: thread-local hook when installed, else the pool.
+inline BufferPool::Acquisition AcquireStorage(int64_t count, bool zero_fill) {
+  if (StorageHook* hook = ActiveStorageHook()) return hook->Acquire(count, zero_fill);
+  return BufferPool::Get().AcquireWithVersion(count, zero_fill);
+}
+
+// RAII installer for a storage hook (restores the previous one).
+class StorageHookScope {
+ public:
+  explicit StorageHookScope(StorageHook* hook) : previous_(ActiveStorageHook()) {
+    SetStorageHook(hook);
+  }
+  ~StorageHookScope() { SetStorageHook(previous_); }
+  StorageHookScope(const StorageHookScope&) = delete;
+  StorageHookScope& operator=(const StorageHookScope&) = delete;
+
+ private:
+  StorageHook* previous_;
 };
 
 }  // namespace pool

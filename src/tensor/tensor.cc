@@ -14,9 +14,7 @@ namespace urcl {
 Tensor::Tensor() : Tensor(Shape{}) {}
 
 Tensor::Tensor(const Shape& shape)
-    : Tensor(shape,
-             pool::BufferPool::Get().AcquireWithVersion(shape.NumElements(), /*zero_fill=*/true)) {
-}
+    : Tensor(shape, pool::AcquireStorage(shape.NumElements(), /*zero_fill=*/true)) {}
 
 Tensor::Tensor(Shape shape, pool::BufferPool::Acquisition storage)
     : shape_(std::move(shape)),
@@ -24,8 +22,7 @@ Tensor::Tensor(Shape shape, pool::BufferPool::Acquisition storage)
       version_(std::move(storage.version)) {}
 
 Tensor Tensor::Uninitialized(const Shape& shape) {
-  return Tensor(
-      shape, pool::BufferPool::Get().AcquireWithVersion(shape.NumElements(), /*zero_fill=*/false));
+  return Tensor(shape, pool::AcquireStorage(shape.NumElements(), /*zero_fill=*/false));
 }
 
 Tensor Tensor::Zeros(const Shape& shape) { return Tensor(shape); }

@@ -626,5 +626,77 @@ Tensor TemporalConv2d(const Tensor& input, const Tensor& weight, int64_t dilatio
   return out;
 }
 
+void TemporalConv2dBackward(const Tensor& g, const Tensor& input, const Tensor& weight,
+                            int64_t dilation, Tensor* d_in, Tensor* d_w) {
+  URCL_CHECK(d_in != nullptr && d_w != nullptr);
+  URCL_CHECK(d_in->shape() == input.shape());
+  URCL_CHECK(d_w->shape() == weight.shape());
+  const int64_t batch = input.dim(0), c_in = input.dim(1), nodes = input.dim(2),
+                time = input.dim(3);
+  const int64_t c_out = weight.dim(0), kernel = weight.dim(3);
+  const int64_t t_out = g.dim(3);
+  const float* pg = g.data();
+  const float* pi = input.data();
+  const float* pw = weight.data();
+  float* pdi = d_in->mutable_data();
+  float* pdw = d_w->mutable_data();
+  // Two disjoint passes so each parallel chunk owns its output rows:
+  // d_in rows keyed by [b, ci, n] (co -> k -> t accumulation order) and
+  // d_w rows keyed by [co, ci] (b -> n -> k order) — the same per-slot
+  // orders as a serial b -> co -> ci -> n -> k -> t walk.
+  const int64_t di_rows = batch * c_in * nodes;
+  const int64_t di_cost = c_out * kernel * t_out;
+  const int64_t di_grain = std::max<int64_t>(1, (1 << 15) / std::max<int64_t>(1, di_cost));
+  runtime::ParallelFor(0, di_rows, di_grain, [&](int64_t row_begin, int64_t row_end) {
+    for (int64_t r = row_begin; r < row_end; ++r) {
+      const int64_t n = r % nodes;
+      const int64_t ci = (r / nodes) % c_in;
+      const int64_t b = r / (nodes * c_in);
+      float* di_row = pdi + r * time;
+      for (int64_t co = 0; co < c_out; ++co) {
+        const float* w_row = pw + (co * c_in + ci) * kernel;
+        const float* g_row = pg + ((b * c_out + co) * nodes + n) * t_out;
+        for (int64_t k = 0; k < kernel; ++k) {
+          const int64_t shift = dilation * k;
+          const float wk = w_row[k];
+          // Lane-parallel over independent d_in slots (fixed shift per
+          // k, so the 8 writes never alias); co -> k order per slot is
+          // the scalar one.
+          const simd::F32x8 vw = simd::Broadcast(wk);
+          int64_t t = 0;
+          for (; t + simd::kLanes <= t_out; t += simd::kLanes) {
+            simd::StoreU(di_row + t + shift,
+                         simd::Add(simd::LoadU(di_row + t + shift),
+                                   simd::Mul(simd::LoadU(g_row + t), vw)));
+          }
+          for (; t < t_out; ++t) di_row[t + shift] += g_row[t] * wk;
+        }
+      }
+    }
+  });
+  runtime::ParallelFor(0, c_out * c_in, 1, [&](int64_t pair_begin, int64_t pair_end) {
+    for (int64_t p = pair_begin; p < pair_end; ++p) {
+      const int64_t ci = p % c_in;
+      const int64_t co = p / c_in;
+      float* dw_row = pdw + p * kernel;
+      for (int64_t b = 0; b < batch; ++b) {
+        for (int64_t n = 0; n < nodes; ++n) {
+          const float* g_row = pg + ((b * c_out + co) * nodes + n) * t_out;
+          const float* in_row = pi + ((b * c_in + ci) * nodes + n) * time;
+          for (int64_t k = 0; k < kernel; ++k) {
+            const int64_t shift = dilation * k;
+            // Sequential reduction over t: vectorizing it would need a
+            // horizontal sum, which reassociates the accumulation order
+            // and breaks bitwise determinism — stays scalar on purpose.
+            float dw_acc = 0.0f;
+            for (int64_t t = 0; t < t_out; ++t) dw_acc += g_row[t] * in_row[t + shift];
+            dw_row[k] += dw_acc;
+          }
+        }
+      }
+    }
+  });
+}
+
 }  // namespace ops
 }  // namespace urcl

@@ -85,6 +85,13 @@ Tensor MatMul(const Tensor& a, const Tensor& b);
 // serving executor, so both paths are bitwise identical by construction.
 Tensor TemporalConv2d(const Tensor& input, const Tensor& weight, int64_t dilation);
 
+// Gradient kernel for TemporalConv2d, shared by the autograd tape closure and
+// the compiled executor's backward program. Accumulates (+=) into *d_in
+// ([B, Ci, N, T]) and *d_w ([Co, Ci, 1, K]), which the caller must have
+// zero-initialized; `g` is the upstream gradient [B, Co, N, T_out].
+void TemporalConv2dBackward(const Tensor& g, const Tensor& input, const Tensor& weight,
+                            int64_t dilation, Tensor* d_in, Tensor* d_w);
+
 // --- Shape manipulation ------------------------------------------------------------
 Tensor BroadcastTo(const Tensor& a, const Shape& target);
 Tensor Transpose(const Tensor& a, const std::vector<int64_t>& perm);

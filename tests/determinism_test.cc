@@ -76,7 +76,11 @@ TEST(DeterminismTest, SameSeedSameLossHistory) {
 TEST(DeterminismTest, ThreadCountInvariantTraining) {
   // A full training stage must be bitwise reproducible at any thread count:
   // identical loss history and identical predictions at 1 vs 4 threads.
+  // Oversubscription keeps the 4-thread run genuinely multi-threaded even on
+  // a single-core machine (the hardware cap would serialize it).
   const int saved_threads = runtime::GetNumThreads();
+  const bool saved_oversubscribe = runtime::OversubscribeEnabled();
+  runtime::SetOversubscribe(true);
   Pipeline p = MakePipeline(6, 1, 3);
 
   runtime::SetNumThreads(1);
@@ -100,6 +104,7 @@ TEST(DeterminismTest, ThreadCountInvariantTraining) {
   EXPECT_EQ(std::memcmp(pred_serial.data(), pred_threaded.data(),
                         static_cast<size_t>(pred_serial.NumElements()) * sizeof(float)),
             0);
+  runtime::SetOversubscribe(saved_oversubscribe);
   runtime::SetNumThreads(saved_threads);
 }
 

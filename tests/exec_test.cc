@@ -1,0 +1,404 @@
+// Compiled-executor tests (ctest label `exec`, DESIGN.md §12): bitwise
+// plan-vs-tape equality of forward, backward and Adam state across thread
+// counts, zero steady-state BufferPool traffic, arena layout validation,
+// the sNaN poison audit over arena slots, elementwise-gate fusion, and the
+// capture error paths (dropout RNG, graphs built outside the listener).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "autograd/variable.h"
+#include "core/urcl.h"
+#include "data/synthetic.h"
+#include "exec/arena.h"
+#include "exec/plan.h"
+#include "graph/generator.h"
+#include "runtime/parallel.h"
+#include "tensor/pool.h"
+#include "tensor/tensor.h"
+
+namespace urcl {
+namespace exec {
+namespace {
+
+namespace ag = ::urcl::autograd;
+using ag::Variable;
+
+bool BitwiseEqual(const Tensor& a, const Tensor& b) {
+  if (!(a.shape() == b.shape())) return false;
+  return std::memcmp(a.data(), b.data(),
+                     sizeof(float) * static_cast<size_t>(a.NumElements())) == 0;
+}
+
+// Serialized Adam state (step counter + first/second moments, params order):
+// byte equality here means the two optimizers are indistinguishable.
+std::string AdamStateBytes(const nn::Adam& adam) {
+  std::ostringstream out;
+  adam.SaveState(out);
+  return out.str();
+}
+
+class ExecTrainerTest : public ::testing::Test {
+ protected:
+  core::UrclConfig SmallUrcl(int64_t nodes) {
+    core::UrclConfig config;
+    config.encoder.num_nodes = nodes;
+    config.encoder.in_channels = 2;
+    config.encoder.input_steps = 12;
+    config.encoder.hidden_channels = 4;
+    config.encoder.latent_channels = 8;
+    config.encoder.num_layers = 3;
+    config.encoder.adaptive_embedding_dim = 3;
+    config.batch_size = 4;
+    config.max_batches_per_epoch = 6;
+    config.replay_sample_count = 2;
+    config.rmir_scan_size = 6;
+    config.rmir_candidate_pool = 4;
+    config.buffer_capacity = 32;
+    config.proj_hidden = 8;
+    config.decoder_hidden = 16;
+    return config;
+  }
+
+  data::StDataset SmallDataset(int64_t nodes, int64_t steps = 120) {
+    data::TrafficConfig traffic;
+    traffic.num_nodes = nodes;
+    traffic.num_days = 2;
+    traffic.steps_per_day = steps / 2;
+    traffic.channels = 2;
+    generator_ = std::make_unique<data::SyntheticTraffic>(traffic);
+    Tensor series = generator_->GenerateSeries();
+    normalizer_ = data::MinMaxNormalizer::Fit(series);
+    return data::StDataset(normalizer_.Transform(series), data::WindowConfig{12, 1, 0});
+  }
+
+  // Trains two identically-seeded trainers — one per executor mode — on the
+  // same stream and asserts the entire observable training state is byte
+  // identical: every per-step loss, every parameter tensor, and the Adam
+  // step counter + moments.
+  void ExpectPlanMatchesTape(core::UrclConfig config, int num_threads, int epochs) {
+    const int saved_threads = runtime::GetNumThreads();
+    // A pool wider than the machine is capped to the core count unless
+    // oversubscription is on; force it so 4/8-thread runs on small CI boxes
+    // still execute real cross-thread kernels.
+    runtime::SetOversubscribe(true);
+    runtime::SetNumThreads(num_threads);
+
+    data::StDataset dataset = SmallDataset(6);
+    config.executor = ExecutorMode::kTape;
+    core::UrclTrainer tape(config, generator_->network());
+    config.executor = ExecutorMode::kPlan;
+    core::UrclTrainer plan(config, generator_->network());
+
+    tape.TrainStage(dataset, epochs);
+    plan.TrainStage(dataset, epochs);
+
+    runtime::SetOversubscribe(false);
+    runtime::SetNumThreads(saved_threads);
+
+    // The equality below is only evidence if the plan executor actually
+    // engaged: all-failed captures would fall back to the tape and pass
+    // trivially (exactly how a shape-inference regression once hid).
+    EXPECT_EQ(tape.compiled_plan_count(), 0u);
+    EXPECT_GT(plan.compiled_plan_count(), 0u);
+
+    ASSERT_GT(tape.loss_history().size(), 0u);
+    ASSERT_EQ(tape.loss_history().size(), plan.loss_history().size());
+    for (size_t i = 0; i < tape.loss_history().size(); ++i) {
+      const float a = tape.loss_history()[i];
+      const float b = plan.loss_history()[i];
+      EXPECT_EQ(std::memcmp(&a, &b, sizeof(float)), 0)
+          << "step " << i << ": tape " << a << " plan " << b;
+    }
+
+    const auto tape_params = tape.model().NamedParameters();
+    const auto plan_params = plan.model().NamedParameters();
+    ASSERT_EQ(tape_params.size(), plan_params.size());
+    for (size_t i = 0; i < tape_params.size(); ++i) {
+      EXPECT_EQ(tape_params[i].first, plan_params[i].first);
+      EXPECT_TRUE(BitwiseEqual(tape_params[i].second.value(), plan_params[i].second.value()))
+          << "parameter " << tape_params[i].first;
+    }
+
+    EXPECT_EQ(AdamStateBytes(tape.optimizer()), AdamStateBytes(plan.optimizer()));
+    EXPECT_EQ(tape.quarantined_batches(), plan.quarantined_batches());
+  }
+
+  std::unique_ptr<data::SyntheticTraffic> generator_;
+  data::MinMaxNormalizer normalizer_;
+};
+
+// Fully-planned training step (augmentation off makes the graph
+// step-invariant, so the train family compiles alongside the RMIR virtual
+// and per-item families).
+TEST_F(ExecTrainerTest, PlanMatchesTapeBitwiseSingleThread) {
+  core::UrclConfig config = SmallUrcl(6);
+  config.enable_augmentation = false;
+  ExpectPlanMatchesTape(config, /*num_threads=*/1, /*epochs=*/3);
+}
+
+TEST_F(ExecTrainerTest, PlanMatchesTapeBitwiseFourThreads) {
+  core::UrclConfig config = SmallUrcl(6);
+  config.enable_augmentation = false;
+  ExpectPlanMatchesTape(config, /*num_threads=*/4, /*epochs=*/2);
+}
+
+TEST_F(ExecTrainerTest, PlanMatchesTapeBitwiseEightThreads) {
+  core::UrclConfig config = SmallUrcl(6);
+  config.enable_augmentation = false;
+  ExpectPlanMatchesTape(config, /*num_threads=*/8, /*epochs=*/2);
+}
+
+// With SSL *and* augmentation on, the training graph draws fresh RNG views
+// every step: the train family must fall back to the tape while the virtual
+// and per-item families stay planned — and the mix must still be bitwise
+// equal to a pure tape run.
+TEST_F(ExecTrainerTest, AugmentedStepFallsBackToTapeBitwise) {
+  core::UrclConfig config = SmallUrcl(6);
+  ASSERT_TRUE(config.enable_ssl);
+  ASSERT_TRUE(config.enable_augmentation);
+  ExpectPlanMatchesTape(config, /*num_threads=*/1, /*epochs=*/2);
+}
+
+class PlanUnitTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto& pool = pool::BufferPool::Get();
+    saved_poison_ = pool.poison_enabled();
+    pool.Trim();
+  }
+  void TearDown() override { pool::BufferPool::Get().set_poison_enabled(saved_poison_); }
+
+  // x: [B, C, N, T] ramp; distinct values across the block.
+  static Tensor Ramp(const Shape& shape, float start, float step) {
+    Tensor t = Tensor::Uninitialized(shape);
+    float* p = t.mutable_data();
+    for (int64_t i = 0; i < t.NumElements(); ++i) p[i] = start + step * static_cast<float>(i);
+    return t;
+  }
+
+  bool saved_poison_ = false;
+};
+
+// Steady-state plan execution must never touch the BufferPool: the arena
+// serves every kernel allocation. The window starts after ZeroGrad (which
+// legitimately allocates the empty-grad sentinel from the pool).
+TEST_F(PlanUnitTest, SteadyStateStepPerformsZeroPoolAcquisitions) {
+  const Shape shape{8, 16};
+  Tensor x = Ramp(shape, -0.9f, 0.013f);
+  Variable w(Ramp(shape, 0.2f, 0.004f), /*requires_grad=*/true);
+
+  const std::vector<Tensor> inputs{x};
+  CompiledPlan::CaptureResult captured = CompiledPlan::Capture(
+      inputs,
+      [&] {
+        Variable vx(x, /*requires_grad=*/false);
+        return ag::Sum(ag::Mul(ag::Tanh(vx), w));
+      },
+      /*with_backward=*/true);
+  ASSERT_NE(captured.plan, nullptr) << captured.error;
+  CompiledPlan& plan = *captured.plan;
+
+  // The measure run accumulated a real gradient on w; a fresh step starts
+  // clean, exactly like the trainer's ZeroGrad-before-forward.
+  w.ZeroGrad();
+  plan.BindInputs({x});
+  plan.RunForward();
+  plan.RunBackward();  // warm-up replay
+  w.ZeroGrad();
+
+  auto& pool = pool::BufferPool::Get();
+  pool.ResetCounters();
+  plan.BindInputs({x});
+  const Tensor& out = plan.RunForward();
+  plan.RunBackward();
+  const pool::PoolStats stats = pool.Stats();
+  EXPECT_EQ(stats.hits, 0) << "steady-state plan step hit the BufferPool";
+  EXPECT_EQ(stats.misses, 0) << "steady-state plan step missed into the BufferPool";
+
+  EXPECT_EQ(out.NumElements(), 1);
+  // d(sum(tanh(x) * w))/dw = tanh(x), nonzero for the ramp input.
+  EXPECT_NE(w.grad().data()[0], 0.0f);
+}
+
+// Replays must match the tape bit for bit — forward value and accumulated
+// parameter gradient — across repeated executions of the same plan.
+TEST_F(PlanUnitTest, ReplayMatchesTapeForwardAndGradBitwise) {
+  const Shape shape{4, 3, 5, 7};
+  Tensor x = Ramp(shape, -1.0f, 0.002f);
+  Variable w(Ramp(shape, 0.5f, 0.001f), /*requires_grad=*/true);
+
+  const std::vector<Tensor> inputs{x};
+  CompiledPlan::CaptureResult captured = CompiledPlan::Capture(
+      inputs,
+      [&] {
+        Variable vx(x, /*requires_grad=*/false);
+        return ag::Sum(ag::Mul(ag::Sigmoid(vx), w));
+      },
+      /*with_backward=*/true);
+  ASSERT_NE(captured.plan, nullptr) << captured.error;
+  CompiledPlan& plan = *captured.plan;
+
+  // Tape reference on a twin parameter (same bytes, independent grad).
+  Variable w_ref(w.value().Clone(), /*requires_grad=*/true);
+  Variable loss_ref = ag::Sum(ag::Mul(ag::Sigmoid(Variable(x, false)), w_ref));
+  loss_ref.Backward();
+
+  for (int step = 0; step < 3; ++step) {
+    w.ZeroGrad();
+    plan.BindInputs({x});
+    const Tensor& out = plan.RunForward();
+    EXPECT_TRUE(BitwiseEqual(out, loss_ref.value())) << "step " << step;
+    plan.RunBackward();
+    EXPECT_TRUE(BitwiseEqual(w.grad(), w_ref.grad())) << "step " << step;
+  }
+}
+
+// The gated-TCN elementwise chain Mul(Tanh(x + b1), Sigmoid(y + b2)) fuses
+// into one pass; fusion must be detected and stay bitwise-identical to the
+// unfused tape ops.
+TEST_F(PlanUnitTest, GateFusionDetectedAndBitwiseEqual) {
+  const Shape shape{2, 3, 4, 5};
+  Tensor x = Ramp(shape, -0.8f, 0.011f);
+  Tensor y = Ramp(shape, 0.7f, -0.009f);
+  Tensor b1 = Ramp(Shape{1, 3, 1, 1}, 0.1f, 0.05f);
+  Tensor b2 = Ramp(Shape{1, 3, 1, 1}, -0.2f, 0.07f);
+
+  auto build = [&] {
+    Variable t = ag::Tanh(ag::Add(Variable(x, false), Variable(b1, false)));
+    Variable s = ag::Sigmoid(ag::Add(Variable(y, false), Variable(b2, false)));
+    return ag::Mul(t, s);
+  };
+
+  const std::vector<Tensor> inputs{x, y};
+  CompiledPlan::CaptureResult captured =
+      CompiledPlan::Capture(inputs, build, /*with_backward=*/false);
+  ASSERT_NE(captured.plan, nullptr) << captured.error;
+  CompiledPlan& plan = *captured.plan;
+  EXPECT_EQ(plan.num_fused(), 1);
+
+  const Tensor reference = build().value();
+  for (int run = 0; run < 2; ++run) {
+    plan.BindInputs({x, y});
+    EXPECT_TRUE(BitwiseEqual(plan.RunForward(), reference)) << "run " << run;
+  }
+}
+
+// Poison audit (PR-5 machinery over arena slots): with pool poisoning on,
+// every non-zero-filled arena handout is sNaN-filled, so any slot read
+// before being fully written would poison the output. A clean, bitwise-equal
+// output across repeated replays proves every slot is written first.
+TEST_F(PlanUnitTest, PoisonedArenaSlotsAreFullyWrittenBeforeRead) {
+  pool::BufferPool::Get().set_poison_enabled(true);
+
+  const Shape shape{2, 3, 4, 5};
+  Tensor x = Ramp(shape, -0.6f, 0.007f);
+  Tensor y = Ramp(shape, 0.4f, -0.005f);
+  Tensor b1 = Ramp(Shape{1, 3, 1, 1}, 0.3f, 0.02f);
+  Tensor b2 = Ramp(Shape{1, 3, 1, 1}, -0.1f, 0.04f);
+
+  auto build = [&] {
+    Variable t = ag::Tanh(ag::Add(Variable(x, false), Variable(b1, false)));
+    Variable s = ag::Sigmoid(ag::Add(Variable(y, false), Variable(b2, false)));
+    return ag::Mul(t, s);
+  };
+  const Tensor reference = build().value();
+
+  const std::vector<Tensor> inputs{x, y};
+  CompiledPlan::CaptureResult captured =
+      CompiledPlan::Capture(inputs, build, /*with_backward=*/false);
+  ASSERT_NE(captured.plan, nullptr) << captured.error;
+
+  for (int run = 0; run < 3; ++run) {
+    captured.plan->BindInputs({x, y});
+    const Tensor& out = captured.plan->RunForward();
+    EXPECT_EQ(pool::CountPoisonWords(out.data(), out.NumElements()), 0) << "run " << run;
+    EXPECT_TRUE(BitwiseEqual(out, reference)) << "run " << run;
+  }
+}
+
+// Dropout draws a fresh RNG mask per step — the graph is not replayable and
+// capture must refuse it (the trainer then stays on the tape).
+TEST_F(PlanUnitTest, DropoutGraphRefusesCapture) {
+  Tensor x = Ramp(Shape{4, 4}, 0.0f, 0.1f);
+  Rng rng(3);
+  const std::vector<Tensor> inputs{x};
+  CompiledPlan::CaptureResult captured = CompiledPlan::Capture(
+      inputs,
+      [&] { return ag::Dropout(Variable(x, false), 0.5f, rng, /*training=*/true); },
+      /*with_backward=*/false);
+  EXPECT_EQ(captured.plan, nullptr);
+  EXPECT_NE(captured.error.find("not replayable"), std::string::npos) << captured.error;
+}
+
+// A Variable with a backward function that predates the capture means part
+// of the graph was built outside the listener — the plan would silently
+// miss those ops, so capture must reject it.
+TEST_F(PlanUnitTest, GraphBuiltOutsideListenerRefusesCapture) {
+  Variable w(Ramp(Shape{2, 2}, 1.0f, 0.5f), /*requires_grad=*/true);
+  Variable pre = ag::MulScalar(w, 2.0f);  // built before Capture
+  const std::vector<Tensor> inputs;
+  CompiledPlan::CaptureResult captured = CompiledPlan::Capture(
+      inputs, [&] { return ag::Sum(pre); }, /*with_backward=*/false);
+  EXPECT_EQ(captured.plan, nullptr);
+  EXPECT_NE(captured.error.find("outside the capture"), std::string::npos) << captured.error;
+}
+
+TEST(ExecutorModeTest, DefaultsFollowUrclExecEnv) {
+  ::setenv("URCL_EXEC", "tape", 1);
+  EXPECT_EQ(DefaultExecutorMode(), ExecutorMode::kTape);
+  ::setenv("URCL_EXEC", "plan", 1);
+  EXPECT_EQ(DefaultExecutorMode(), ExecutorMode::kPlan);
+  ::unsetenv("URCL_EXEC");
+  EXPECT_EQ(DefaultExecutorMode(), ExecutorMode::kPlan);
+  EXPECT_STREQ(ExecutorModeName(ExecutorMode::kPlan), "plan");
+  EXPECT_STREQ(ExecutorModeName(ExecutorMode::kTape), "tape");
+}
+
+// The arena's whole correctness argument: no two events with overlapping
+// lifetimes may overlap in memory. Seed a deliberately bad assignment and
+// assert the validator rejects it (and accepts the disjoint fix).
+TEST(ArenaLayoutTest, RejectsOverlappingLifetimesSharingMemory) {
+  std::vector<ArenaEvent> events(2);
+  events[0].count = 32;
+  events[0].alloc_tick = 0;
+  events[0].free_tick = 4;
+  events[0].offset = 0;
+  events[0].size = 32;
+  events[1].count = 32;
+  events[1].alloc_tick = 1;  // alive while event 0 is alive
+  events[1].free_tick = 3;
+  events[1].offset = 16;  // overlaps [0, 32)
+  events[1].size = 32;
+
+  std::string error;
+  EXPECT_FALSE(ValidateLayout(events, /*total_floats=*/64, &error));
+  EXPECT_FALSE(error.empty());
+
+  // Same memory, disjoint lifetimes: sound.
+  events[1].alloc_tick = 4;
+  events[1].free_tick = 6;
+  events[1].offset = 0;
+  EXPECT_TRUE(ValidateLayout(events, /*total_floats=*/64, &error)) << error;
+
+  // Overlapping memory with an infinite-lifetime slot: always rejected.
+  events[0].free_tick = kInfiniteTick;
+  events[1].offset = 16;
+  EXPECT_FALSE(ValidateLayout(events, /*total_floats=*/64, &error));
+
+  // A slot past the end of the arena never validates.
+  events[1].alloc_tick = 100;
+  events[1].free_tick = 101;
+  events[1].offset = 48;  // 48 + 32 > 64
+  EXPECT_FALSE(ValidateLayout(events, /*total_floats=*/64, &error));
+}
+
+}  // namespace
+}  // namespace exec
+}  // namespace urcl

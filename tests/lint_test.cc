@@ -162,6 +162,66 @@ TEST(RepoLintTest, StatusDiscardRespectsGateAndSuppression) {
                    "status-discard"));
 }
 
+TEST(RepoLintTest, ExecPoolAcquireFlagsDirectAcquisitions) {
+  Options exec = LibraryOptions();
+  exec.exec_arena_rules = true;  // how LintTree configures src/exec/
+  EXPECT_TRUE(Has(LintFileContent("src/exec/x.cc",
+                                  "  auto a = pool::BufferPool::Get().Acquire(n);\n", exec),
+                  "exec-pool-acquire"));
+  EXPECT_TRUE(Has(LintFileContent(
+                      "src/exec/x.cc",
+                      "  auto a = pool::BufferPool::Get().AcquireWithVersion(n, false);\n",
+                      exec),
+                  "exec-pool-acquire"));
+  // The AcquireStorage funnel bypasses BufferPool::Get() syntactically but is
+  // the same allocation path.
+  EXPECT_TRUE(Has(LintFileContent("src/exec/x.cc", "  float* p = AcquireStorage(n);\n",
+                                  exec),
+                  "exec-pool-acquire"));
+}
+
+TEST(RepoLintTest, ExecPoolAcquireIgnoresLookalikesAndOtherTrees) {
+  Options exec = LibraryOptions();
+  exec.exec_arena_rules = true;
+  const auto findings = LintFileContent(
+      "src/exec/x.cc",
+      "pool::BufferPool::Acquisition inner;\n"          // type mention
+      "float* PlanArena::Acquire(int64_t count) {\n"    // the arena's own API
+      "  bool p = pool::BufferPool::Get().poison_enabled();\n"
+      "  return nullptr;\n"
+      "}\n",
+      exec);
+  EXPECT_FALSE(Has(findings, "exec-pool-acquire")) << FormatFindings(findings);
+  // Outside src/exec/ the rule is off: the pool is the allocator everywhere
+  // else.
+  EXPECT_FALSE(Has(LintFileContent("src/tensor/x.cc",
+                                   "  auto a = pool::BufferPool::Get().Acquire(n);\n",
+                                   LibraryOptions()),
+                   "exec-pool-acquire"));
+}
+
+TEST(RepoLintTest, ExecPoolAcquireAllowsSameLineAndPrecedingLineSuppressions) {
+  Options exec = LibraryOptions();
+  exec.exec_arena_rules = true;
+  const std::string same_line =
+      "  base_ = pool::BufferPool::Get().AcquireWithVersion(  // lint:allow(exec-pool-acquire)\n"
+      "      total, false);\n";
+  EXPECT_FALSE(Has(LintFileContent("src/exec/arena.cc", same_line, exec), "exec-pool-acquire"));
+  // arena.cc also places the marker alone on the line above the acquisition
+  // (the call line itself has no room before the column limit).
+  const std::string preceding_line =
+      "  // lint:allow(exec-pool-acquire)\n"
+      "  owner->inner = pool::BufferPool::Get().AcquireWithVersion(count, zero_fill);\n";
+  EXPECT_FALSE(
+      Has(LintFileContent("src/exec/arena.cc", preceding_line, exec), "exec-pool-acquire"));
+  // The marker only reaches one line down: two lines above does not suppress.
+  const std::string too_far =
+      "  // lint:allow(exec-pool-acquire)\n"
+      "  int unrelated = 0;\n"
+      "  owner->inner = pool::BufferPool::Get().AcquireWithVersion(count, zero_fill);\n";
+  EXPECT_TRUE(Has(LintFileContent("src/exec/arena.cc", too_far, exec), "exec-pool-acquire"));
+}
+
 TEST(RepoLintTest, SuppressionCommentSilencesOneRule) {
   const auto findings = LintFileContent(
       "src/x.cc", "int v = rand();  // lint:allow(banned-call/rand)\n", LibraryOptions());

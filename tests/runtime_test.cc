@@ -25,13 +25,24 @@ namespace top = ::urcl::ops;
 using ag::Variable;
 
 // Restores the global thread count on scope exit so tests do not leak state.
+// Also forces oversubscription for its scope: these tests exist to exercise
+// real cross-thread pool execution, which the hardware-concurrency cap would
+// silently serialize on single-core CI machines.
 class ThreadCountGuard {
  public:
-  ThreadCountGuard() : saved_(runtime::GetNumThreads()) {}
-  ~ThreadCountGuard() { runtime::SetNumThreads(saved_); }
+  ThreadCountGuard()
+      : saved_(runtime::GetNumThreads()),
+        saved_oversubscribe_(runtime::OversubscribeEnabled()) {
+    runtime::SetOversubscribe(true);
+  }
+  ~ThreadCountGuard() {
+    runtime::SetOversubscribe(saved_oversubscribe_);
+    runtime::SetNumThreads(saved_);
+  }
 
  private:
   int saved_;
+  bool saved_oversubscribe_;
 };
 
 bool BitwiseEqual(const Tensor& a, const Tensor& b) {
@@ -135,6 +146,30 @@ TEST(RuntimeTest, NestedParallelForRunsSerially) {
   EXPECT_TRUE(saw_region.load());
   EXPECT_FALSE(runtime::InParallelRegion());
   EXPECT_EQ(inner_total.load(), 8 * 10);
+}
+
+TEST(RuntimeTest, HardwareCapSkipsWorkersWithoutLosingChunks) {
+  ThreadCountGuard guard;  // the guard forces oversubscription; turn it off
+  runtime::SetNumThreads(8);
+  runtime::SetOversubscribe(false);
+  // With the cap active, a pool wider than the machine wakes at most
+  // cores - 1 workers per region; the excess workers skip via the claim
+  // budget. Coverage and pool reuse across many regions must be unaffected.
+  for (int region = 0; region < 50; ++region) {
+    std::vector<std::atomic<int>> hits(37);
+    runtime::ParallelFor(0, 37, 3, [&](int64_t begin, int64_t end) {
+      for (int64_t i = begin; i < end; ++i) hits[static_cast<size_t>(i)].fetch_add(1);
+    });
+    for (size_t i = 0; i < hits.size(); ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "region " << region << " index " << i;
+    }
+  }
+  // Flipping oversubscription back on mid-stream re-engages every worker.
+  runtime::SetOversubscribe(true);
+  std::atomic<int64_t> total{0};
+  runtime::ParallelFor(0, 64, 1,
+                       [&](int64_t begin, int64_t end) { total.fetch_add(end - begin); });
+  EXPECT_EQ(total.load(), 64);
 }
 
 // --- Determinism contract: bitwise-identical results at any thread count ----

@@ -326,6 +326,56 @@ TEST_F(ServeTrainerTest, HotSwapUnderConcurrentReaders) {
   EXPECT_GE(service.served_queries(), kReaders * kQueriesPerReader - failures.load());
 }
 
+TEST_F(ServeTrainerTest, HotSwapRecompilesPlanAndStaysBitwise) {
+  data::StDataset dataset = MakeDataset();
+  ServiceConfig config;
+  config.model = TinyConfig(kNodes);
+  config.executor = exec::ExecutorMode::kPlan;
+  ForecastService plan_service(config, generator_->network(), normalizer_);
+  config.executor = exec::ExecutorMode::kTape;
+  ForecastService tape_service(config, generator_->network(), normalizer_);
+
+  core::UrclTrainer trainer(config.model, generator_->network());
+  std::vector<checkpoint::Container> published;
+  trainer.SetSnapshotSink([&](const checkpoint::Container& c) { published.push_back(c); },
+                          /*publish_every_steps=*/2);
+  trainer.TrainStage(dataset, 1);
+  ASSERT_GE(published.size(), 3u);
+
+  auto plan_sink = plan_service.SnapshotSink();
+  auto tape_sink = tape_service.SnapshotSink();
+  core::PredictRequest request;
+  Rng rng(17);
+  request.inputs = Tensor::RandomUniform(Shape{2, 12, kNodes, 2}, rng, 0.0f, 1.0f);
+
+  // Every hot-swap must invalidate the plan cache: the next plan-mode query
+  // recompiles against the new weights (and only that one — repeat queries
+  // reuse the cached plan), stamping monotonically advancing versions.
+  int64_t expected_compiles = 0;
+  for (size_t i = 0; i < published.size(); ++i) {
+    plan_sink(published[i]);
+    tape_sink(published[i]);
+    core::PredictResponse plan_response;
+    core::PredictResponse tape_response;
+    ASSERT_TRUE(plan_service.Predict(request, &plan_response).ok());
+    ASSERT_TRUE(tape_service.Predict(request, &tape_response).ok());
+    ++expected_compiles;
+    EXPECT_EQ(plan_service.plan_compiles(), expected_compiles) << "swap " << i;
+    EXPECT_EQ(plan_response.model_version, static_cast<int64_t>(i) + 1);
+    EXPECT_EQ(plan_response.model_version, tape_response.model_version);
+    // The compiled plan and the tape-free inference executor answer the same
+    // query with byte-identical forecasts on every version.
+    EXPECT_TRUE(BitwiseEqual(plan_response.predictions, tape_response.predictions))
+        << "swap " << i;
+
+    // A second query on the same (version, shape) replays the cached plan.
+    ASSERT_TRUE(plan_service.Predict(request, &plan_response).ok());
+    EXPECT_EQ(plan_service.plan_compiles(), expected_compiles) << "swap " << i;
+    EXPECT_TRUE(BitwiseEqual(plan_response.predictions, tape_response.predictions));
+  }
+  EXPECT_EQ(tape_service.plan_compiles(), 0);
+}
+
 TEST(ServiceConfigTest, ValidateFlagsBadFields) {
   ServiceConfig config;
   config.model = TinyConfig(4);

@@ -108,6 +108,21 @@ bool Suppressed(const std::string& raw_line, const std::string& rule) {
   return raw_line.find("lint:allow(" + rule + ")") != std::string::npos;
 }
 
+// True when `code` performs a direct pool acquisition: `BufferPool::Get()`
+// immediately followed by `.Acquire...` (catches Acquire and
+// AcquireWithVersion but not `.poison_enabled()` etc.), or a call of the
+// `AcquireStorage` funnel. Type mentions (`BufferPool::Acquisition`) and
+// methods named Acquire on other classes (`PlanArena::Acquire`) do not match.
+bool HasDirectPoolAcquire(const std::string& code) {
+  static const std::string kGet = "BufferPool::Get()";
+  size_t pos = 0;
+  while ((pos = code.find(kGet, pos)) != std::string::npos) {
+    if (code.compare(pos + kGet.size(), 8, ".Acquire") == 0) return true;
+    pos += kGet.size();
+  }
+  return HasCall(code, "AcquireStorage");
+}
+
 void Add(std::vector<Finding>* findings, const std::string& path, int line, std::string rule,
          std::string detail);
 
@@ -266,6 +281,7 @@ std::vector<Finding> LintFileContent(const std::string& path, const std::string&
   bool in_block_comment = false;
   int line_number = 0;
   char prev_code_tail = ';';  // last code char of the previous non-blank line
+  std::string prev_raw_line;  // for preceding-line lint:allow comments
   while (std::getline(in, line)) {
     ++line_number;
     if (options.format_rules) {
@@ -309,6 +325,18 @@ std::vector<Finding> LintFileContent(const std::string& path, const std::string&
       Add(&findings, path, line_number, "banned-call/clock",
           "direct std::chrono clock read; go through common/stopwatch.h");
     }
+    // Arena-only allocation in compiled-plan code. The allow marker may sit on
+    // the acquisition line itself or alone on the line above it (long
+    // acquisition expressions wrap, pushing trailing comments past the column
+    // limit).
+    if (options.exec_arena_rules && HasDirectPoolAcquire(code) &&
+        !Suppressed(line, "exec-pool-acquire") &&
+        !Suppressed(prev_raw_line, "exec-pool-acquire")) {
+      Add(&findings, path, line_number, "exec-pool-acquire",
+          "direct BufferPool acquisition in src/exec/; compiled plans allocate "
+          "through the PlanArena only");
+    }
+    prev_raw_line = line;
     if (!options.library_rules) continue;
     if ((HasCall(code, "rand") || HasCall(code, "srand")) &&
         !Suppressed(line, "banned-call/rand")) {
@@ -365,6 +393,7 @@ std::vector<Finding> LintTree(const std::string& root) {
       options.status_rules = tree == "src";
       options.allow_clock_reads = repo_relative == "src/common/stopwatch.h" ||
                                   repo_relative == "bench/bench_serving.cc";
+      options.exec_arena_rules = repo_relative.rfind("src/exec/", 0) == 0;
       std::ifstream in(file, std::ios::binary);
       std::ostringstream buffer;
       buffer << in.rdbuf();

@@ -20,7 +20,13 @@
 //                                exemption (closed-loop pacing needs a real
 //                                deadline clock);
 //     include-guard              header guards must spell the repo-relative
-//                                path (URCL_<PATH>_H_).
+//                                path (URCL_<PATH>_H_);
+//     exec-pool-acquire          direct BufferPool acquisitions inside
+//                                src/exec/ — compiled-plan execution is
+//                                arena-only (the PlanArena's own base-buffer
+//                                acquisition carries lint:allow markers; this
+//                                rule honors them on the same OR the
+//                                preceding line, matching arena.cc).
 //
 //   format rules (src/, tests/, bench/, examples/, tools/)
 //     format/line-length         lines over 100 columns;
@@ -64,6 +70,9 @@ struct Options {
   // Exempts common/stopwatch.h and bench/bench_serving.cc (the serving load
   // generator) from banned-call/clock.
   bool allow_clock_reads = false;
+  // exec-pool-acquire: bans direct BufferPool acquisitions (the arena is the
+  // only allocator in compiled-plan code). Set for files under src/exec/.
+  bool exec_arena_rules = false;
 };
 
 // Lints one file's contents. `path` is used only for diagnostics.

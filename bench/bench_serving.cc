@@ -342,7 +342,21 @@ int Run(int argc, char** argv) {
       << "  \"degraded_responses\": " << degraded_responses.load() << ",\n"
       << "  \"rollbacks\": " << service.rollback_count() << ",\n"
       << "  \"snapshots_quarantined\": " << service.quarantined_snapshots() << ",\n"
-      << "  \"backoff_waits\": " << backoff_waits.load() << "\n"
+      << "  \"backoff_waits\": " << backoff_waits.load() << ",\n"
+      << "  \"context\": {\n";
+  // Failure-model context from the obs registry (the `urcl.serve.*` counters
+  // the service exports through the obs facade), so the bench record and the
+  // Prometheus scrape agree on the incident tally for the run.
+  const char* const kContextCounters[] = {
+      "urcl.serve.rollbacks", "urcl.serve.snapshots_quarantined",
+      "urcl.serve.deadline_shed", "urcl.serve.plan_compiles"};
+  for (size_t i = 0; i < 4; ++i) {
+    const auto counter_it = metrics.counters.find(kContextCounters[i]);
+    const uint64_t value = counter_it != metrics.counters.end() ? counter_it->second : 0;
+    out << "    " << obs::JsonString(kContextCounters[i]) << ": " << value
+        << (i + 1 < 4 ? ",\n" : "\n");
+  }
+  out << "  }\n"
       << "}\n";
   std::printf("wrote %s\n", out_path.c_str());
   return 0;

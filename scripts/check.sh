@@ -6,10 +6,12 @@
 #      `analysis`- and `exec`-labeled tests plus the pool/autograd suites
 #      (exec under ASan proves the arena's lifetime-sharing of slots never
 #      reads or writes out of a live slot's window);
-#   3. a TSan build running the `analysis`-, `serving`- and `exec`-labeled
-#      tests (serving is mandatory under TSan: the hot-swap path is lock-free
-#      and its data-race freedom is part of the serving contract; exec covers
-#      plan replay racing the pool from worker threads);
+#   3. a TSan build running the `analysis`-, `serving`-, `exec`- and
+#      `observability`-labeled tests (serving is mandatory under TSan: the
+#      hot-swap path is lock-free and its data-race freedom is part of the
+#      serving contract; exec covers plan replay racing the pool from worker
+#      threads; observability covers the lock-striped flight recorder and the
+#      metrics registry, both written from every serving thread);
 #   4. the `chaos`-labeled suite under both sanitizer builds with a serving
 #      fault storm injected via URCL_FAULT (fault-point names documented in
 #      src/common/fault_injector.h). The chaos tests assert the serving
@@ -49,17 +51,18 @@ URCL_CHECK=1 URCL_POOL_POISON=1 \
 URCL_CHECK=1 URCL_POOL_POISON=1 ./build-check-asan/tests/pool_test
 URCL_CHECK=1 URCL_POOL_POISON=1 ./build-check-asan/tests/autograd_test
 
-echo "== [3/4] TSan: analysis + serving + exec tests =="
+echo "== [3/4] TSan: analysis + serving + exec + observability tests =="
 cmake -B build-check-tsan -S . -DURCL_SANITIZE=thread \
   -DURCL_BUILD_BENCHMARKS=OFF -DURCL_BUILD_EXAMPLES=OFF >/dev/null
 # urcl_lint is built here too: the repo_lint ctest entry runs the binary.
 cmake --build build-check-tsan -j"$jobs" --target \
-  check_test lint_test serve_test exec_test urcl_lint
+  check_test lint_test serve_test exec_test obs_test blackbox_tool_test urcl_lint
 # scripts/tsan.supp silences one libstdc++ atomic<shared_ptr> artifact
 # (relaxed reader unlock in _Sp_atomic::load); see the comment there.
 export TSAN_OPTIONS="suppressions=$root/scripts/tsan.supp${TSAN_OPTIONS:+ $TSAN_OPTIONS}"
 URCL_CHECK=1 URCL_POOL_POISON=1 \
-  ctest --test-dir build-check-tsan -L "analysis|serving|exec" --output-on-failure -j"$jobs"
+  ctest --test-dir build-check-tsan -L "analysis|serving|exec|observability" \
+  --output-on-failure -j"$jobs"
 
 echo "== [4/4] chaos: fault-injected serving under ASan and TSan =="
 # The env spec layers on top of each test's own Configure() call (the storm

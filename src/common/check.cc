@@ -7,6 +7,13 @@ namespace internal {
 
 void CheckFailed(const char* file, int line, const std::string& message) {
   std::cerr << "[URCL FATAL] " << file << ":" << line << ": " << message << std::endl;
+  // Re-entrancy guard: a hook that itself trips a check must not recurse.
+  static std::atomic<bool> in_hook{false};
+  if (CheckFailureHook hook = CheckFailureHookSlot().load(std::memory_order_acquire)) {
+    if (!in_hook.exchange(true, std::memory_order_acq_rel)) {
+      hook(file, line, message.c_str());
+    }
+  }
   std::abort();
 }
 

@@ -5,6 +5,7 @@
 #ifndef URCL_COMMON_CHECK_H_
 #define URCL_COMMON_CHECK_H_
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
@@ -15,6 +16,21 @@ namespace internal {
 
 // Terminates the process after printing `message` with source location.
 [[noreturn]] void CheckFailed(const char* file, int line, const std::string& message);
+
+// Called (once, best effort) between printing the diagnostic and abort(), so
+// the observability layer can flush its flight recorder on a fatal check.
+// The hook must be async-signal-tolerant in spirit: no throwing, no further
+// URCL_CHECKs on its path. One hook per process (last writer wins). Inline
+// (header-only) so src/obs/ can install a hook without linking upward into
+// urcl_common — common sits above obs in the layering.
+using CheckFailureHook = void (*)(const char* file, int line, const char* message);
+inline std::atomic<CheckFailureHook>& CheckFailureHookSlot() {
+  static std::atomic<CheckFailureHook> hook{nullptr};
+  return hook;
+}
+inline void SetCheckFailureHook(CheckFailureHook hook) {
+  CheckFailureHookSlot().store(hook, std::memory_order_release);
+}
 
 // Stream-capture helper so URCL_CHECK can accept `<<`-style payloads.
 class CheckMessageBuilder {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "tensor/tensor_ops.h"
 
@@ -32,15 +33,22 @@ bool PageHinkleyDetector::Update(float value) {
   cumulative_ += value - mean_ - config_.delta;
   minimum_ = std::min(minimum_, cumulative_);
   const bool metrics = obs::MetricsEnabled();
+  const double score = cumulative_ - minimum_;
   if (metrics) {
     auto& registry = obs::MetricsRegistry::Get();
     registry.GetCounter("urcl.drift.samples").Add(1);
-    registry.GetGauge("urcl.drift.cumulative").Set(cumulative_ - minimum_);
+    registry.GetGauge("urcl.drift.cumulative").Set(score);
+    // Score and threshold exported side by side so a dashboard can plot
+    // head-room (how close the stream is to an alarm), not just alarms.
+    registry.GetGauge("urcl.drift.threshold").Set(static_cast<double>(config_.threshold));
   }
   if (count_ < config_.warmup) return false;
-  if (cumulative_ - minimum_ > config_.threshold) {
+  if (score > config_.threshold) {
+    const int64_t samples_at_alarm = count_;
     Reset();
     if (metrics) obs::MetricsRegistry::Get().GetCounter("urcl.drift.alarms").Add(1);
+    obs::RecordFlightEvent(obs::FlightEventType::kDriftTrigger, samples_at_alarm,
+                           static_cast<int64_t>(score * 1e6), "page-hinkley alarm");
     return true;
   }
   return false;

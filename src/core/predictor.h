@@ -28,7 +28,30 @@ struct PredictRequest {
   // cannot answer within the budget is shed up front with a
   // StatusCode::kDeadlineExceeded Status instead of being answered late.
   int64_t deadline_ns = 0;
+  // Request-scoped causal trace ID (obs/trace.h). 0 = the serving layer
+  // mints one; callers propagating a distributed trace pass their own. The
+  // ID is stamped into the response and onto every span and flight-recorder
+  // event the query touches.
+  uint64_t trace_id = 0;
 };
+
+// Which execution engine produced a response's predictions.
+enum class AnswerExecutor : int8_t {
+  kUnknown = 0,   // predictor does not distinguish engines
+  kTape = 1,      // UrclModel::ForwardInference (tape-free reference path)
+  kPlan = 2,      // compiled arena plan (DESIGN.md §12)
+  kFallback = 3,  // HistoricalAverage degraded-mode answer
+};
+
+inline const char* AnswerExecutorName(AnswerExecutor executor) {
+  switch (executor) {
+    case AnswerExecutor::kUnknown: return "unknown";
+    case AnswerExecutor::kTape: return "tape";
+    case AnswerExecutor::kPlan: return "plan";
+    case AnswerExecutor::kFallback: return "fallback";
+  }
+  return "unknown";
+}
 
 // The answer to a PredictRequest. `predictions` is [B, H, N, 1] in
 // normalized space where H is the effective horizon. The version fields
@@ -47,6 +70,15 @@ struct PredictResponse {
   // True when the serving layer's rolling window had not received a tick for
   // longer than the configured staleness threshold when this query ran.
   bool stale = false;
+  // The request's causal trace ID (caller-supplied or minted by the serving
+  // layer; 0 = the answering predictor does not participate in tracing).
+  uint64_t trace_id = 0;
+  // serve::HealthState the service was in when it admitted this query
+  // (kHealthy=0 / kDegraded=1 / kLameDuck=2); -1 = not answered through a
+  // ForecastService. An int so core/ does not depend on serve/ headers.
+  int32_t health_state = -1;
+  // Engine that produced `predictions` (plan vs tape vs degraded fallback).
+  AnswerExecutor executor = AnswerExecutor::kUnknown;
 };
 
 class StPredictor {

@@ -1,5 +1,7 @@
 #include "core/strategies.h"
 
+#include <cstdio>
+
 #include "common/check.h"
 #include "common/stopwatch.h"
 
@@ -50,18 +52,38 @@ std::vector<StageResult> RunContinualProtocol(StPredictor& model,
     int64_t observations = 0;
     if (options.eval_mode == EvalMode::kSeenSoFar) {
       // Pool the test splits of every stage seen so far (0..i): this is the
-      // evaluation that exposes catastrophic forgetting.
+      // evaluation that exposes catastrophic forgetting. Each stage is scored
+      // into its own accumulator and merged, so per-stage MAE feeds the
+      // forgetting matrix without a second evaluation pass.
       data::MetricsAccumulator accumulator;
       for (int64_t j = 0; j <= i; ++j) {
+        data::MetricsAccumulator stage_accumulator;
         EvaluatePredictorInto(model, stream.Stage(j).test, normalizer, target_channel,
-                              options.eval_batch_size, &accumulator);
+                              options.eval_batch_size, &stage_accumulator);
         observations += stream.Stage(j).test.NumSamples();
+        if (options.learning != nullptr) {
+          options.learning->Record(i, j, stage_accumulator.Result().mae);
+        }
+        accumulator.Merge(stage_accumulator);
       }
       result.metrics = accumulator.Result();
+      if (options.learning != nullptr) {
+        options.learning->ExportGauges();
+        if (!options.learning_json_path.empty()) {
+          const Status written = options.learning->WriteJson(options.learning_json_path);
+          if (!written.ok()) {
+            std::fprintf(stderr, "[urcl] learning telemetry write failed: %s\n",
+                         written.message().c_str());
+          }
+        }
+      }
     } else {
       result.metrics = EvaluatePredictor(model, stage.test, normalizer, target_channel,
                                          options.eval_batch_size);
       observations = stage.test.NumSamples();
+      if (options.learning != nullptr) {
+        options.learning->Record(i, i, result.metrics.mae);
+      }
     }
     result.infer_seconds_per_observation =
         observations > 0 ? eval_timer.ElapsedSeconds() / static_cast<double>(observations) : 0.0;

@@ -12,6 +12,7 @@
 
 #include "core/predictor.h"
 #include "data/stream.h"
+#include "obs/learning.h"
 
 namespace urcl {
 namespace core {
@@ -56,6 +57,15 @@ struct ProtocolOptions {
   std::function<void(int64_t stage_index, int64_t epoch, float epoch_loss,
                      const StageResult& stage)>
       epoch_log;
+  // Optional learning-quality recorder. Under kSeenSoFar evaluation the
+  // runner fills its R[t][s] matrix (each earlier stage's holdout is scored
+  // separately, then pooled — same total work) and re-exports the forgetting
+  // / backward-transfer gauges after every stage. Owned by the caller.
+  obs::LearningTelemetry* learning = nullptr;
+  // When set (with `learning`), the telemetry JSON document is rewritten to
+  // this path after every stage, so even an interrupted run leaves the
+  // forgetting matrix of the stages it finished.
+  std::string learning_json_path;
 };
 
 // Runs the protocol over every stage of `stream`; returns one result per

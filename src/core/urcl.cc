@@ -16,6 +16,7 @@
 #include "common/stopwatch.h"
 #include "core/stmixup.h"
 #include "nn/loss.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "tensor/tensor_ops.h"
@@ -309,6 +310,8 @@ std::optional<float> UrclTrainer::TrainStep(const Tensor& inputs, const Tensor& 
   if (!inputs.AllFinite() || !targets.AllFinite()) {
     ++quarantined_batches_;
     if (metrics) Metrics().quarantined_input.Add(1);
+    obs::RecordFlightEvent(obs::FlightEventType::kNonFiniteQuarantine, current_stage_,
+                           step_count_, "trainer: input");
     std::fprintf(stderr,
                  "[urcl] quarantined batch at stage %lld step %lld: non-finite input readings\n",
                  static_cast<long long>(current_stage_), static_cast<long long>(step_count_));
@@ -352,6 +355,8 @@ std::optional<float> UrclTrainer::TrainStep(const Tensor& inputs, const Tensor& 
       plan->Abort();
       ++quarantined_batches_;
       if (metrics) Metrics().quarantined_loss.Add(1);
+      obs::RecordFlightEvent(obs::FlightEventType::kNonFiniteQuarantine, current_stage_,
+                             step_count_, "trainer: loss (plan)");
       std::fprintf(stderr,
                    "[urcl] quarantined batch at stage %lld step %lld: non-finite loss\n",
                    static_cast<long long>(current_stage_), static_cast<long long>(step_count_));
@@ -387,6 +392,8 @@ std::optional<float> UrclTrainer::TrainStep(const Tensor& inputs, const Tensor& 
     if (!nn::LossIsFinite(total_loss)) {
       ++quarantined_batches_;
       if (metrics) Metrics().quarantined_loss.Add(1);
+      obs::RecordFlightEvent(obs::FlightEventType::kNonFiniteQuarantine, current_stage_,
+                             step_count_, "trainer: loss");
       std::fprintf(stderr,
                    "[urcl] quarantined batch at stage %lld step %lld: non-finite loss\n",
                    static_cast<long long>(current_stage_), static_cast<long long>(step_count_));
@@ -420,6 +427,8 @@ std::optional<float> UrclTrainer::TrainStep(const Tensor& inputs, const Tensor& 
       report.has_value()) {
     ++quarantined_batches_;
     if (metrics) Metrics().quarantined_grad.Add(1);
+    obs::RecordFlightEvent(obs::FlightEventType::kNonFiniteQuarantine, current_stage_,
+                           step_count_, "trainer: grad");
     const std::vector<std::pair<std::string, Variable>> named = model_->NamedParameters();
     const bool in_range = report->param_index >= 0 &&
                           report->param_index < static_cast<int64_t>(named.size());
@@ -443,6 +452,7 @@ std::optional<float> UrclTrainer::TrainStep(const Tensor& inputs, const Tensor& 
       item.targets = ops::Slice(targets, {b, 0, 0, 0},
                                 {1, targets.dim(1), targets.dim(2), targets.dim(3)})
                          .Reshape(Shape{targets.dim(1), targets.dim(2), targets.dim(3)});
+      item.stage = current_stage_;
       buffer_.Add(std::move(item));
     }
   }
@@ -574,6 +584,7 @@ std::vector<float> UrclTrainer::TrainStage(const data::StDataset& train, int64_t
   // Stage complete: point the cursor at the next stage and checkpoint, so a
   // crash between stages costs nothing. Serving sinks get the stage's final
   // weights before the kill-point so a completed stage is always published.
+  if (config_.enable_replay) buffer_.ExportComposition(current_stage_);
   PublishSnapshot();
   cursor_ = StageCursor{current_stage_ + 1, 0, 0, 0.0, 0, {}};
   if (checkpoint_manager_ != nullptr) {
@@ -687,6 +698,8 @@ void UrclTrainer::PublishSnapshot() {
   io::WritePod(meta, current_stage_);
   io::WritePod(meta, step_count_);
   container.Add("serve_meta", meta.str());
+  obs::RecordFlightEvent(obs::FlightEventType::kSnapshotPublish, snapshots_published_,
+                         current_stage_);
   snapshot_sink_(container);
 }
 
@@ -749,10 +762,13 @@ Status UrclTrainer::SaveFullCheckpoint() {
   }
 
   const Status saved = checkpoint_manager_->Save(container);
-  if (saved.ok() && obs::MetricsEnabled()) {
-    TrainerMetrics& m = Metrics();
-    m.checkpoint_writes.Add(1);
-    m.checkpoint_write_seconds.Observe(checkpoint_timer.ElapsedSeconds());
+  if (saved.ok()) {
+    obs::RecordFlightEvent(obs::FlightEventType::kCheckpointWrite, cursor_.stage, step_count_);
+    if (obs::MetricsEnabled()) {
+      TrainerMetrics& m = Metrics();
+      m.checkpoint_writes.Add(1);
+      m.checkpoint_write_seconds.Observe(checkpoint_timer.ElapsedSeconds());
+    }
   }
   return saved;
 }

@@ -32,6 +32,15 @@ void MetricsAccumulator::Add(const Tensor& prediction, const Tensor& target) {
   }
 }
 
+void MetricsAccumulator::Merge(const MetricsAccumulator& other) {
+  abs_sum_ += other.abs_sum_;
+  sq_sum_ += other.sq_sum_;
+  ape_sum_ += other.ape_sum_;
+  ape_count_ += other.ape_count_;
+  count_ += other.count_;
+  non_finite_ += other.non_finite_;
+}
+
 EvalMetrics MetricsAccumulator::Result() const {
   URCL_CHECK_GT(count_, 0) << "no finite samples accumulated (" << non_finite_
                            << " non-finite element pair(s) were skipped)";

@@ -26,6 +26,11 @@ EvalMetrics ComputeMetrics(const Tensor& prediction, const Tensor& target);
 class MetricsAccumulator {
  public:
   void Add(const Tensor& prediction, const Tensor& target);
+  // Folds another accumulator's sums into this one, as if its Add calls had
+  // been made here. Lets the seen-so-far protocol evaluate each stage into
+  // its own accumulator (for per-stage forgetting telemetry) and still report
+  // the pooled result without a second evaluation pass.
+  void Merge(const MetricsAccumulator& other);
   EvalMetrics Result() const;
   void Reset();
 

@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <set>
 #include <sstream>
 
 #include "obs/json.h"
@@ -136,19 +137,57 @@ std::string MetricsRegistry::ToJson() const {
   return out.str();
 }
 
-namespace {
+namespace internal {
 
 // Prometheus metric names allow [a-zA-Z0-9_:]; the registry's dotted names
-// map '.' and '-' to '_'.
-std::string PromName(const std::string& name) {
+// map '.' and '-' to '_'. A name starting with a digit gets a '_' prefix.
+std::string PromSanitizeName(const std::string& name) {
   std::string out = name;
   for (char& c : out) {
     const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
                     (c >= '0' && c <= '9') || c == '_' || c == ':';
     if (!ok) c = '_';
   }
+  if (!out.empty() && out.front() >= '0' && out.front() <= '9') out.insert(0, 1, '_');
   return out;
 }
+
+std::string PromEscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size() + 4);
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace internal
+
+std::string LabeledName(
+    const std::string& base,
+    const std::vector<std::pair<std::string, std::string>>& labels) {
+  if (labels.empty()) return base;
+  std::string out = base;
+  out += '{';
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += internal::PromSanitizeName(key);
+    out += "=\"";
+    out += internal::PromEscapeLabelValue(value);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+namespace {
 
 std::string PromDouble(double v) {
   char buf[32];
@@ -156,31 +195,76 @@ std::string PromDouble(double v) {
   return buf;
 }
 
+// Splits a registry series name into sanitized base + the pre-escaped label
+// block ("k=\"v\",...", no braces; empty when the name carries no labels).
+// Labels were escaped by LabeledName at construction and pass through
+// verbatim.
+struct PromSeries {
+  std::string base;
+  std::string labels;
+};
+
+PromSeries SplitPromSeries(const std::string& name) {
+  PromSeries series;
+  const size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    series.base = internal::PromSanitizeName(name);
+    return series;
+  }
+  series.base = internal::PromSanitizeName(name.substr(0, brace));
+  const size_t close = name.rfind('}');
+  if (close != std::string::npos && close > brace) {
+    series.labels = name.substr(brace + 1, close - brace - 1);
+  }
+  return series;
+}
+
+// "# TYPE" must be emitted once per metric family; labeled series share the
+// family of their base name.
+void EmitType(std::ostringstream& out, std::set<std::string>* typed,
+              const std::string& base, const char* type) {
+  if (typed->insert(base).second) out << "# TYPE " << base << " " << type << "\n";
+}
+
 }  // namespace
 
 std::string MetricsRegistry::ToPrometheus() const {
   const MetricsSnapshot snap = Snapshot();
   std::ostringstream out;
+  std::set<std::string> typed;
   for (const auto& [name, value] : snap.counters) {
-    const std::string prom = PromName(name);
-    out << "# TYPE " << prom << " counter\n" << prom << " " << value << "\n";
+    const PromSeries series = SplitPromSeries(name);
+    EmitType(out, &typed, series.base, "counter");
+    out << series.base;
+    if (!series.labels.empty()) out << "{" << series.labels << "}";
+    out << " " << value << "\n";
   }
   for (const auto& [name, value] : snap.gauges) {
-    const std::string prom = PromName(name);
-    out << "# TYPE " << prom << " gauge\n" << prom << " " << PromDouble(value) << "\n";
+    const PromSeries series = SplitPromSeries(name);
+    EmitType(out, &typed, series.base, "gauge");
+    out << series.base;
+    if (!series.labels.empty()) out << "{" << series.labels << "}";
+    out << " " << PromDouble(value) << "\n";
   }
   for (const auto& [name, h] : snap.histograms) {
-    const std::string prom = PromName(name);
-    out << "# TYPE " << prom << " histogram\n";
+    const PromSeries series = SplitPromSeries(name);
+    EmitType(out, &typed, series.base, "histogram");
+    // A labeled histogram folds `le` into its label block.
+    const std::string label_prefix =
+        series.labels.empty() ? "" : series.labels + ",";
     uint64_t cumulative = 0;
     for (size_t i = 0; i < h.bounds.size(); ++i) {
       cumulative += h.bucket_counts[i];
-      out << prom << "_bucket{le=\"" << PromDouble(h.bounds[i]) << "\"} " << cumulative
-          << "\n";
+      out << series.base << "_bucket{" << label_prefix << "le=\"" << PromDouble(h.bounds[i])
+          << "\"} " << cumulative << "\n";
     }
-    out << prom << "_bucket{le=\"+Inf\"} " << h.count << "\n";
-    out << prom << "_sum " << PromDouble(h.sum) << "\n";
-    out << prom << "_count " << h.count << "\n";
+    out << series.base << "_bucket{" << label_prefix << "le=\"+Inf\"} " << h.count << "\n";
+    out << series.base << "_sum";
+    if (!series.labels.empty()) out << "{" << series.labels << "}";
+    out << " " << PromDouble(h.sum) << "\n";
+    out << series.base << "_count";
+    if (!series.labels.empty()) out << "{" << series.labels << "}";
+    out << " " << h.count << "\n";
   }
   return out.str();
 }

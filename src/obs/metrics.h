@@ -25,6 +25,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/obs.h"
@@ -131,6 +132,29 @@ class Histogram {
 // Prometheus-style exponential bucket edges: start, start*factor, ... (count
 // edges). For nanosecond histograms use e.g. ExponentialBuckets(1e3, 4, 12).
 std::vector<double> ExponentialBuckets(double start, double factor, int count);
+
+namespace internal {
+
+// Maps a metric or label name onto the Prometheus charset [a-zA-Z0-9_:]
+// (label names additionally may not hold ':'; callers pass colon-free keys).
+std::string PromSanitizeName(const std::string& name);
+
+// Escapes a label value for the text exposition format: backslash, double
+// quote and newline become \\ \" \n.
+std::string PromEscapeLabelValue(const std::string& value);
+
+}  // namespace internal
+
+// Builds a registry series name carrying Prometheus-style labels:
+// `base{key="value",...}`. Label keys are sanitized and values escaped here,
+// at construction, so the exporter can render the label block verbatim and
+// arbitrary values (including '\n', '"' and '\\') round-trip; the JSON
+// exporter sees the same decorated name as an opaque key. Works with
+// GetCounter/GetGauge/GetHistogram — each distinct label set is its own
+// series.
+std::string LabeledName(
+    const std::string& base,
+    const std::vector<std::pair<std::string, std::string>>& labels);
 
 struct MetricsSnapshot {
   std::map<std::string, uint64_t> counters;

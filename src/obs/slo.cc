@@ -1,0 +1,127 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+
+#include "obs/obs.h"
+
+namespace urcl {
+namespace obs {
+namespace {
+
+// obs sits below common/check.cc in the link order, so invalid configs are
+// clamped into range instead of aborting (a monitoring component must not be
+// able to take the process down anyway).
+double ClampTarget(double target) {
+  if (!(target > 0.0)) return 0.5;
+  if (!(target < 1.0)) return 1.0 - 1e-9;
+  return target;
+}
+
+}  // namespace
+
+SloMonitor::SloMonitor(SloConfig config) : config_(std::move(config)) {
+  config_.availability_target = ClampTarget(config_.availability_target);
+  config_.latency_target = ClampTarget(config_.latency_target);
+  config_.windows_ns.erase(
+      std::remove_if(config_.windows_ns.begin(), config_.windows_ns.end(),
+                     [](int64_t w) { return w <= 0; }),
+      config_.windows_ns.end());
+  if (config_.windows_ns.empty()) {
+    config_.windows_ns = SloConfig().windows_ns;
+  }
+  std::sort(config_.windows_ns.begin(), config_.windows_ns.end());
+}
+
+void SloMonitor::Tick(const Sample& sample) {
+  std::lock_guard<std::mutex> lock(mu_);
+  samples_.push_back(sample);
+  // Keep a little more than the longest window so the oldest in-window
+  // sample always has a predecessor to delta against.
+  const int64_t horizon_ns = 2 * config_.windows_ns.back();
+  while (samples_.size() > 2 &&
+         sample.ts_ns - samples_.front().ts_ns > horizon_ns) {
+    samples_.pop_front();
+  }
+}
+
+void SloMonitor::TickFromRegistry(int64_t now_ns) {
+  auto& registry = MetricsRegistry::Get();
+  Sample sample;
+  sample.ts_ns = now_ns;
+  sample.total = registry.GetCounter(config_.total_counter).Value();
+  for (const std::string& name : config_.error_counters) {
+    sample.errors += registry.GetCounter(name).Value();
+  }
+  const Histogram::Snapshot lat =
+      registry.GetHistogram(config_.latency_histogram, config_.latency_bounds).Snap();
+  sample.lat_total = lat.count;
+  uint64_t under = 0;
+  for (size_t i = 0; i < lat.bounds.size(); ++i) {
+    if (lat.bounds[i] <= config_.latency_threshold_ns) under += lat.bucket_counts[i];
+  }
+  sample.lat_slow = lat.count - under;
+  Tick(sample);
+}
+
+std::vector<SloMonitor::WindowBurn> SloMonitor::Burn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<WindowBurn> burns;
+  burns.reserve(config_.windows_ns.size());
+  if (samples_.empty()) {
+    for (const int64_t w : config_.windows_ns) {
+      WindowBurn burn;
+      burn.window_ns = w;
+      burns.push_back(burn);
+    }
+    return burns;
+  }
+  const Sample& newest = samples_.back();
+  const double availability_budget = 1.0 - config_.availability_target;
+  const double latency_budget = 1.0 - config_.latency_target;
+  for (const int64_t w : config_.windows_ns) {
+    // Oldest buffered sample still inside the window; with one sample the
+    // deltas are zero and the burn reads 0 (no evidence yet).
+    const Sample* oldest = &newest;
+    for (const Sample& s : samples_) {
+      if (newest.ts_ns - s.ts_ns <= w) {
+        oldest = &s;
+        break;
+      }
+    }
+    WindowBurn burn;
+    burn.window_ns = w;
+    burn.total = newest.total - oldest->total;
+    burn.errors = newest.errors - oldest->errors;
+    if (burn.total > 0) {
+      const double ratio = static_cast<double>(burn.errors) / static_cast<double>(burn.total);
+      burn.availability_burn = ratio / availability_budget;
+    }
+    const uint64_t lat_total = newest.lat_total - oldest->lat_total;
+    const uint64_t lat_slow = newest.lat_slow - oldest->lat_slow;
+    if (lat_total > 0) {
+      const double ratio = static_cast<double>(lat_slow) / static_cast<double>(lat_total);
+      burn.latency_burn = ratio / latency_budget;
+    }
+    burns.push_back(burn);
+  }
+  return burns;
+}
+
+void SloMonitor::ExportGauges() const {
+  if (!MetricsEnabled()) return;
+  auto& registry = MetricsRegistry::Get();
+  for (const WindowBurn& burn : Burn()) {
+    const std::vector<std::pair<std::string, std::string>> labels = {
+        {"window", WindowLabel(burn.window_ns)}};
+    registry.GetGauge(LabeledName("urcl.slo.availability_burn", labels))
+        .Set(burn.availability_burn);
+    registry.GetGauge(LabeledName("urcl.slo.latency_burn", labels)).Set(burn.latency_burn);
+  }
+}
+
+std::string SloMonitor::WindowLabel(int64_t window_ns) {
+  return std::to_string(window_ns / (1000 * 1000 * 1000)) + "s";
+}
+
+}  // namespace obs
+}  // namespace urcl

@@ -1,0 +1,102 @@
+// Multi-window SLO burn-rate monitor over the serving error counters and
+// latency histogram (the Google SRE workbook's multi-window multi-burn-rate
+// alerting shape). The monitor is pull-based: the operator (bench harness,
+// embedding server, a metrics scrape loop) calls Tick / TickFromRegistry
+// periodically with the current cumulative totals; each tick appends one
+// sample to a bounded ring and recomputes, per configured window:
+//
+//   availability burn = (errors/total over the window) / (1 - availability_target)
+//   latency burn      = (slow/total over the window)   / (1 - latency_target)
+//
+// where "slow" counts latency observations above latency_threshold_ns,
+// derived from the histogram's cumulative bucket counts. Burn rate 1.0 means
+// the error budget is being consumed exactly at the rate that exhausts it at
+// the end of the SLO period; >1 burns faster. Results are exported as
+// `urcl.slo.*` gauges labeled by window ("300s", "3600s").
+#ifndef URCL_OBS_SLO_H_
+#define URCL_OBS_SLO_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace urcl {
+namespace obs {
+
+struct SloConfig {
+  // Targets: fraction of queries that must succeed / answer under the
+  // latency threshold. Budget = 1 - target.
+  double availability_target = 0.999;
+  double latency_target = 0.99;
+  double latency_threshold_ns = 50e6;  // 50 ms
+
+  // Burn-rate windows, shortest first (5 min + 1 h by default).
+  std::vector<int64_t> windows_ns = {300LL * 1000 * 1000 * 1000,
+                                     3600LL * 1000 * 1000 * 1000};
+
+  // Registry series consumed by TickFromRegistry. Errors are summed over
+  // every listed counter.
+  std::string total_counter = "urcl.serve.queries";
+  std::vector<std::string> error_counters = {"urcl.serve.rejected",
+                                             "urcl.serve.deadline_shed",
+                                             "urcl.serve.nonfinite_outputs"};
+  std::string latency_histogram = "urcl.serve.latency_ns";
+  // Bounds used if the monitor reads the histogram before its first
+  // observer registered it (bounds are fixed by whoever gets there first;
+  // these match the serving layer's latency buckets).
+  std::vector<double> latency_bounds = ExponentialBuckets(1e3, 4, 12);
+};
+
+class SloMonitor {
+ public:
+  explicit SloMonitor(SloConfig config = SloConfig());
+
+  // One observation of the cumulative totals at `ts_ns` (monotonic).
+  struct Sample {
+    int64_t ts_ns = 0;
+    uint64_t total = 0;       // queries attempted
+    uint64_t errors = 0;      // failed queries (summed error counters)
+    uint64_t lat_total = 0;   // latency observations
+    uint64_t lat_slow = 0;    // observations above latency_threshold_ns
+  };
+  void Tick(const Sample& sample);
+
+  // Reads the configured registry series and Ticks with them. The slow count
+  // comes from the histogram's cumulative bucket counts at the threshold.
+  void TickFromRegistry(int64_t now_ns);
+
+  struct WindowBurn {
+    int64_t window_ns = 0;
+    uint64_t total = 0;      // queries inside the window
+    uint64_t errors = 0;
+    double availability_burn = 0.0;
+    double latency_burn = 0.0;
+  };
+  // One entry per configured window, computed from the buffered samples.
+  // Windows longer than the buffered history fall back to all of it.
+  std::vector<WindowBurn> Burn() const;
+
+  // Writes urcl.slo.availability_burn{window=..} / urcl.slo.latency_burn{..}
+  // gauges for every window (no-op cost when metrics are disabled is the
+  // usual gate; this is a periodic path, not a hot one).
+  void ExportGauges() const;
+
+  // "300s" for 5 minutes etc.; the gauge label.
+  static std::string WindowLabel(int64_t window_ns);
+
+  const SloConfig& config() const { return config_; }
+
+ private:
+  SloConfig config_;
+  mutable std::mutex mu_;
+  std::deque<Sample> samples_;
+};
+
+}  // namespace obs
+}  // namespace urcl
+
+#endif  // URCL_OBS_SLO_H_

@@ -1,8 +1,10 @@
 #include "obs/trace.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <sstream>
@@ -44,6 +46,9 @@ TraceState& State() {
 // The calling thread's ring, created and registered on first use. The
 // thread_local shared_ptr keeps the ring alive per-thread; the global list
 // keeps it alive (and exportable) after the thread exits.
+// Thread-bound trace ID (TraceFlow); plain thread_local, no synchronization.
+thread_local uint64_t t_current_trace_id = 0;
+
 TraceRing& ThisThreadRing() {
   thread_local std::shared_ptr<TraceRing> ring = [] {
     TraceState& state = State();
@@ -70,6 +75,7 @@ void RecordSpan(const char* name, int64_t begin_ns, int64_t end_ns) {
   slot.name[sizeof(slot.name) - 1] = '\0';
   slot.begin_ns = begin_ns;
   slot.end_ns = end_ns;
+  slot.flow_id = t_current_trace_id;
   ring.next = (ring.next + 1) % ring.events.size();
   if (ring.size < ring.events.size()) {
     ++ring.size;
@@ -88,6 +94,26 @@ void TraceScope::SetName(const char* name, int64_t index) {
     std::snprintf(name_, sizeof(name_), "%s_%lld", name, static_cast<long long>(index));
   }
 }
+
+uint64_t MintTraceId() {
+  // splitmix64 of a process-wide counter: unique per process, well spread
+  // over 64 bits (so flow IDs do not collide with small literals in tools),
+  // and independent of clocks and the seeded experiment RNGs.
+  static std::atomic<uint64_t> next{1};
+  uint64_t z = next.fetch_add(1, std::memory_order_relaxed) + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return z != 0 ? z : 1;  // 0 means "no trace"; splitmix64(x)==0 has one preimage
+}
+
+uint64_t CurrentTraceId() { return t_current_trace_id; }
+
+TraceFlow::TraceFlow(uint64_t trace_id) : saved_(t_current_trace_id) {
+  t_current_trace_id = trace_id;
+}
+
+TraceFlow::~TraceFlow() { t_current_trace_id = saved_; }
 
 void SetThreadName(const std::string& name) {
   TraceRing& ring = ThisThreadRing();
@@ -115,6 +141,10 @@ std::string ChromeTraceJson() {
   out << "{\"traceEvents\":[";
   bool first = true;
   uint64_t total_dropped = 0;
+  // Flow IDs already emitted, so each flow gets one "s" (start) arrow and
+  // subsequent slices attach with "t" (step) — Perfetto then draws arrows
+  // between every span carrying the same request trace ID.
+  std::map<uint64_t, bool> flows_started;
   for (const auto& ring : rings) {
     std::lock_guard<std::mutex> lock(ring->mu);
     const std::string thread_name =
@@ -133,7 +163,19 @@ std::string ChromeTraceJson() {
       const double dur_us = static_cast<double>(event.end_ns - event.begin_ns) / 1000.0;
       out << ",{\"name\":" << JsonString(event.name)
           << ",\"cat\":\"urcl\",\"ph\":\"X\",\"ts\":" << JsonNumber(ts_us)
-          << ",\"dur\":" << JsonNumber(dur_us) << ",\"pid\":1,\"tid\":" << ring->tid << "}";
+          << ",\"dur\":" << JsonNumber(dur_us) << ",\"pid\":1,\"tid\":" << ring->tid;
+      if (event.flow_id != 0) {
+        char hex[24];
+        std::snprintf(hex, sizeof(hex), "0x%llx",
+                      static_cast<unsigned long long>(event.flow_id));
+        out << ",\"args\":{\"trace_id\":\"" << hex << "\"}";
+        bool& started = flows_started[event.flow_id];
+        out << "},{\"name\":\"request\",\"cat\":\"urcl.flow\",\"ph\":\""
+            << (started ? 't' : 's') << "\",\"id\":\"" << hex
+            << "\",\"ts\":" << JsonNumber(ts_us) << ",\"pid\":1,\"tid\":" << ring->tid;
+        started = true;
+      }
+      out << "}";
     }
     total_dropped += ring->dropped;
   }

@@ -38,12 +38,44 @@ struct TraceEvent {
   char name[kTraceNameCapacity];
   int64_t begin_ns;
   int64_t end_ns;
+  uint64_t flow_id;  // request trace ID active at close; 0 = none
 };
 
-// Appends one completed span to the calling thread's ring.
+// Appends one completed span to the calling thread's ring, stamped with the
+// thread's current trace ID (CurrentTraceId()).
 void RecordSpan(const char* name, int64_t begin_ns, int64_t end_ns);
 
 }  // namespace internal
+
+// --- Request-scoped causal tracing -----------------------------------------
+//
+// A trace ID is a nonzero 64-bit token minted once per request (or supplied
+// by the caller) and carried across the stages that answer it. While a
+// TraceFlow is on a thread's stack, every span that closes on that thread is
+// stamped with the ID, and ChromeTraceJson() links the stamped spans with
+// Perfetto flow arrows — so one slow p99 request can be followed through
+// admission, executor and response stamping end to end.
+
+// Mints a process-unique nonzero trace ID (mixed counter; no clock or global
+// RNG draw, so IDs are cheap and deterministic per process order).
+uint64_t MintTraceId();
+
+// The trace ID bound to the calling thread (0 = none).
+uint64_t CurrentTraceId();
+
+// RAII binding of a trace ID to the calling thread. Nests: the previous
+// binding is restored on destruction.
+class TraceFlow {
+ public:
+  explicit TraceFlow(uint64_t trace_id);
+  ~TraceFlow();
+
+  TraceFlow(const TraceFlow&) = delete;
+  TraceFlow& operator=(const TraceFlow&) = delete;
+
+ private:
+  uint64_t saved_;
+};
 
 // RAII span. Construction with tracing disabled records nothing (and the
 // destructor is a single branch).

@@ -1,6 +1,8 @@
 #include "replay/replay_buffer.h"
 
+#include <algorithm>
 #include <istream>
+#include <map>
 #include <ostream>
 #include <string>
 
@@ -74,8 +76,36 @@ std::pair<Tensor, Tensor> ReplayBuffer::MakeBatch(const std::vector<int64_t>& in
   return {ops::Stack(xs, 0), ops::Stack(ys, 0)};
 }
 
+void ReplayBuffer::ExportComposition(int64_t current_stage) const {
+  if (!obs::MetricsEnabled()) return;
+  std::map<int64_t, int64_t> per_stage;
+  for (const ReplayItem& item : items_) ++per_stage[item.stage];
+  auto& registry = obs::MetricsRegistry::Get();
+  // Write a gauge for every stage up to the current one (not just the stages
+  // present) so a stage whose items were fully evicted reads 0, not its last
+  // non-zero value.
+  const int64_t top = std::max<int64_t>(
+      current_stage, per_stage.empty() ? 0 : per_stage.rbegin()->first);
+  for (int64_t stage = 0; stage <= top; ++stage) {
+    const auto it = per_stage.find(stage);
+    const int64_t count = it == per_stage.end() ? 0 : it->second;
+    registry
+        .GetGauge(obs::LabeledName("urcl.replay.stage_items",
+                                   {{"stage", std::to_string(stage)}}))
+        .Set(static_cast<double>(count));
+  }
+  obs::Histogram& age = registry.GetHistogram(
+      "urcl.replay.item_age_stages", {0.5, 1.5, 2.5, 3.5, 4.5, 6.5, 8.5, 12.5, 16.5});
+  for (const ReplayItem& item : items_) {
+    age.Observe(static_cast<double>(current_stage - item.stage));
+  }
+}
+
 namespace {
-constexpr uint32_t kBufferStateVersion = 1;
+// v1 lacked the per-item stage tag; v2 appends it after time_slot. v1 states
+// are still accepted (stage = 0) so old checkpoints restore.
+constexpr uint32_t kBufferStateVersion = 2;
+constexpr uint32_t kBufferStateVersionNoStage = 1;
 }  // namespace
 
 void ReplayBuffer::Serialize(std::ostream& out) const {
@@ -92,12 +122,13 @@ void ReplayBuffer::Serialize(std::ostream& out) const {
     SaveTensor(item.inputs, out);
     SaveTensor(item.targets, out);
     io::WritePod(out, item.time_slot);
+    io::WritePod(out, item.stage);
   }
 }
 
 Status ReplayBuffer::Deserialize(std::istream& in) {
   const uint32_t version = io::ReadPod<uint32_t>(in);
-  if (version != kBufferStateVersion) {
+  if (version != kBufferStateVersion && version != kBufferStateVersionNoStage) {
     return Status::Error("replay buffer state version " + std::to_string(version) +
                          " unsupported (expected " + std::to_string(kBufferStateVersion) + ")");
   }
@@ -137,6 +168,7 @@ Status ReplayBuffer::Deserialize(std::istream& in) {
     item.inputs = LoadTensor(in);
     item.targets = LoadTensor(in);
     item.time_slot = io::ReadPod<int64_t>(in);
+    if (version >= kBufferStateVersion) item.stage = io::ReadPod<int64_t>(in);
     if (item.inputs.rank() != 3 || item.targets.rank() != 3) {
       return Status::Error("replay buffer state item " + std::to_string(i) +
                            " has non rank-3 tensors");

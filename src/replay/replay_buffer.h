@@ -21,6 +21,10 @@ struct ReplayItem {
   Tensor inputs;   // [M, N, C]
   Tensor targets;  // [N_out, N, 1]
   int64_t time_slot = 0;  // when it was observed (for diagnostics)
+  // Training stage the item was inserted during. Drives the buffer
+  // composition telemetry (which stages the memory still represents); 0 for
+  // items restored from a pre-stage-tagging (v1) checkpoint.
+  int64_t stage = 0;
 };
 
 enum class BufferPolicy {
@@ -54,6 +58,13 @@ class ReplayBuffer {
 
   // Stacks the selected items into ([K, M, N, C], [K, N_out, N, 1]).
   std::pair<Tensor, Tensor> MakeBatch(const std::vector<int64_t>& indices) const;
+
+  // Exports the buffer's composition to the metrics registry: per-stage item
+  // counts as `urcl.replay.stage_items{stage="k"}` gauges and the
+  // age-in-stages distribution (current_stage - item.stage) as the
+  // `urcl.replay.item_age_stages` histogram. Call once per stage boundary —
+  // gauges for stages that dropped out of the buffer are zeroed.
+  void ExportComposition(int64_t current_stage) const;
 
   // Total evictions so far (diagnostics).
   int64_t evictions() const { return evictions_; }

@@ -10,7 +10,8 @@
 #include "common/check.h"
 #include "common/fault_injector.h"
 #include "common/stopwatch.h"
-#include "obs/metrics.h"
+#include "obs/facade.h"
+#include "obs/flight_recorder.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
 
@@ -31,8 +32,30 @@ class InFlightGuard {
   std::atomic<int64_t>& counter_;
 };
 
-void BumpCounter(const char* name) {
-  if (obs::MetricsEnabled()) obs::MetricsRegistry::Get().GetCounter(name).Add(1);
+// Cached registry handles (obs/facade.h): the per-query cost of a bump is
+// one relaxed flag load + one striped add — no mutex-guarded name lookup on
+// the hot path. Leaked with the process like the registry itself.
+struct ServeMetrics {
+  obs::CounterHandle queries{"urcl.serve.queries"};
+  obs::CounterHandle ticks{"urcl.serve.ticks"};
+  obs::CounterHandle rejected{"urcl.serve.rejected"};
+  obs::CounterHandle deadline_shed{"urcl.serve.deadline_shed"};
+  obs::CounterHandle degraded{"urcl.serve.degraded"};
+  obs::CounterHandle nonfinite_outputs{"urcl.serve.nonfinite_outputs"};
+  obs::CounterHandle rollbacks{"urcl.serve.rollbacks"};
+  obs::CounterHandle plan_compiles{"urcl.serve.plan_compiles"};
+  obs::CounterHandle snapshots{"urcl.serve.snapshots"};
+  obs::CounterHandle snapshots_quarantined{"urcl.serve.snapshots_quarantined"};
+  obs::CounterHandle snapshot_parse_failures{"urcl.serve.snapshot_parse_failures"};
+  obs::GaugeHandle model_version{"urcl.serve.model_version"};
+  obs::GaugeHandle health_state{"urcl.serve.health_state"};
+  obs::HistogramHandle latency_ns{"urcl.serve.latency_ns",
+                                  obs::ExponentialBuckets(1e3, 4, 12)};
+};
+
+ServeMetrics& Metrics() {
+  static ServeMetrics* metrics = new ServeMetrics();
+  return *metrics;
 }
 
 }  // namespace
@@ -121,19 +144,20 @@ core::UrclTrainer::SnapshotSink ForecastService::SnapshotSink() {
       quarantined_.fetch_add(1, std::memory_order_relaxed);
       std::fprintf(stderr, "[urcl.serve] snapshot quarantined: %s\n",
                    status.ToString().c_str());
-      BumpCounter("urcl.serve.snapshots_quarantined");
-      BumpCounter("urcl.serve.snapshot_parse_failures");  // legacy alias
+      Metrics().snapshots_quarantined.Add();
+      Metrics().snapshot_parse_failures.Add();  // legacy alias
+      obs::RecordFlightEvent(obs::FlightEventType::kSnapshotQuarantine, /*a=*/-1,
+                             /*b=*/0, status.message().c_str());
       return;
     }
 
     const int64_t version = snapshot->version;
+    obs::RecordFlightEvent(obs::FlightEventType::kSnapshotAdmit, version);
     hub_.Publish(std::move(snapshot));
     health_.OnSwap(MonotonicNowNs());
-    if (obs::MetricsEnabled()) {
-      auto& registry = obs::MetricsRegistry::Get();
-      registry.GetCounter("urcl.serve.snapshots").Add(1);
-      registry.GetGauge("urcl.serve.model_version").Set(static_cast<double>(version));
-    }
+    obs::RecordFlightEvent(obs::FlightEventType::kHotSwap, version);
+    Metrics().snapshots.Add();
+    Metrics().model_version.Set(static_cast<double>(version));
   };
 }
 
@@ -167,9 +191,7 @@ void ForecastService::IngestTick(const Tensor& observations) {
     }
   }
   health_.OnTick(MonotonicNowNs());
-  if (obs::MetricsEnabled()) {
-    obs::MetricsRegistry::Get().GetCounter("urcl.serve.ticks").Add(1);
-  }
+  Metrics().ticks.Add();
 }
 
 bool ForecastService::WindowReady() const {
@@ -239,9 +261,18 @@ std::optional<Tensor> ForecastService::TryPlanForward(
                                          adjacency_);
         },
         /*with_backward=*/false);
+    if (captured.plan == nullptr) {
+      // Unsupported capture: every later query on this shape falls back to
+      // ForwardInference. Recorded once, here, not per query.
+      obs::RecordFlightEvent(obs::FlightEventType::kPlanFallback, snapshot->version,
+                             /*b=*/0, key.c_str());
+    } else {
+      obs::RecordFlightEvent(obs::FlightEventType::kPlanCompile, snapshot->version,
+                             /*b=*/0, key.c_str());
+    }
     serve_plans_.Insert(key, std::move(captured.plan));
     plan_compiles_.fetch_add(1, std::memory_order_relaxed);
-    BumpCounter("urcl.serve.plan_compiles");
+    Metrics().plan_compiles.Add();
     // The capturing query answers from the tape build (tape Forward and
     // ForwardInference are bitwise-equal by contract).
     return captured.root->value();
@@ -281,12 +312,13 @@ void ForecastService::AttemptRollback(int64_t observed_version) const {
                  static_cast<long long>(restored->version));
     cached_snapshot_.store(restored, std::memory_order_release);
     health_.OnSwap(MonotonicNowNs());
-    BumpCounter("urcl.serve.rollbacks");
-    if (obs::MetricsEnabled()) {
-      obs::MetricsRegistry::Get()
-          .GetGauge("urcl.serve.model_version")
-          .Set(static_cast<double>(restored->version));
-    }
+    Metrics().rollbacks.Add();
+    Metrics().model_version.Set(static_cast<double>(restored->version));
+    // The recording thread is the query that crossed the error threshold, so
+    // the event carries that request's trace ID — the dump links the
+    // rollback to the queries that triggered it.
+    obs::RecordFlightEvent(obs::FlightEventType::kRollback, observed_version,
+                           restored->version, "error spike");
   } else {
     // No older version to fall back on: the model path is unusable until the
     // trainer publishes a snapshot that passes admission.
@@ -295,6 +327,34 @@ void ForecastService::AttemptRollback(int64_t observed_version) const {
                  "degrading to fallback\n",
                  static_cast<long long>(observed_version));
     health_.MarkModelUnusable();
+    obs::RecordFlightEvent(obs::FlightEventType::kRollback, observed_version,
+                           /*b=*/-1, "history empty: degraded");
+  }
+  // Rollback is one of the blackbox's auto-dump incidents: flush the event
+  // history next to the process so forensics survive whatever happens next.
+  obs::FlightRecorder::Get().AutoDump("rollback");
+}
+
+void ForecastService::EnterLameDuck() {
+  obs::RecordFlightEvent(obs::FlightEventType::kLameDuck);
+  health_.EnterLameDuck();
+  NoteHealthState(HealthState::kLameDuck);
+}
+
+void ForecastService::NoteHealthState(HealthState state) const {
+  const int next = static_cast<int>(state);
+  int prev = observed_health_.load(std::memory_order_relaxed);
+  if (prev == next) return;
+  // One transition event per edge even under concurrent queries; losers of
+  // the exchange saw an intermediate state someone else already recorded.
+  if (!observed_health_.compare_exchange_strong(prev, next, std::memory_order_relaxed)) {
+    return;
+  }
+  obs::RecordFlightEvent(obs::FlightEventType::kHealthTransition, prev, next,
+                         HealthStateName(state));
+  Metrics().health_state.Set(static_cast<double>(next));
+  if (state == HealthState::kLameDuck) {
+    obs::FlightRecorder::Get().AutoDump("lame_duck");
   }
 }
 
@@ -311,10 +371,11 @@ Status ForecastService::AnswerDegraded(const core::PredictRequest& request,
   response->model_version = 0;  // not a trained-model answer
   response->stage = -1;
   response->degraded = true;
+  response->executor = core::AnswerExecutor::kFallback;
   degraded_.fetch_add(1, std::memory_order_relaxed);
   served_.fetch_add(1, std::memory_order_relaxed);
   health_.NoteDegradedServed();
-  BumpCounter("urcl.serve.degraded");
+  Metrics().degraded.Add();
   return Status::Ok();
 }
 
@@ -326,62 +387,74 @@ int64_t ForecastService::EstimateLatencyNs(int64_t queue_position) const {
 
 Status ForecastService::Predict(const core::PredictRequest& request,
                                 core::PredictResponse* response) const {
+  // Request-scoped causal trace: honor a caller-supplied ID, mint one
+  // otherwise. While the flow is bound, every span below and every flight
+  // event this query triggers (shed, quarantine, rollback) carries the ID.
+  const uint64_t trace_id =
+      request.trace_id != 0 ? request.trace_id : obs::MintTraceId();
+  obs::TraceFlow flow(trace_id);
   URCL_TRACE_SCOPE("serve.predict");
-  const bool metrics = obs::MetricsEnabled();
-  if (metrics) obs::MetricsRegistry::Get().GetCounter("urcl.serve.queries").Add(1);
+  Metrics().queries.Add();
   if (response == nullptr) return Status::InvalidArgument("Predict: null response");
+  response->trace_id = trace_id;
 
   const int64_t now_ns = MonotonicNowNs();
   const bool has_snapshot = hub_.Current() != nullptr;
   const HealthState state = health_.Evaluate(now_ns, has_snapshot);
-  if (metrics) {
-    obs::MetricsRegistry::Get()
-        .GetGauge("urcl.serve.health_state")
-        .Set(static_cast<double>(static_cast<int>(state)));
-  }
+  NoteHealthState(state);
+  Metrics().health_state.Set(static_cast<double>(static_cast<int>(state)));
+  response->health_state = static_cast<int32_t>(state);
   if (state == HealthState::kLameDuck) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
-    BumpCounter("urcl.serve.rejected");
+    Metrics().rejected.Add();
     return Status::Unavailable("service is draining (LAME_DUCK); retry against a peer");
   }
 
-  // Admission control: shed load beyond queue_depth instead of queueing
-  // without bound (the caller decides whether to retry).
-  const int64_t queue_position = in_flight_.fetch_add(1, std::memory_order_relaxed);
-  if (queue_position >= config_.queue_depth) {
-    in_flight_.fetch_sub(1, std::memory_order_relaxed);
-    rejected_.fetch_add(1, std::memory_order_relaxed);
-    BumpCounter("urcl.serve.rejected");
-    return Status::Overloaded("service overloaded: queue_depth " +
-                              std::to_string(config_.queue_depth) +
-                              " queries already in flight");
+  const int64_t deadline_ns =
+      request.deadline_ns > 0 ? request.deadline_ns : config_.default_deadline_ns;
+  int64_t queue_position = 0;
+  {
+    URCL_TRACE_SCOPE("serve.admit");
+    // Admission control: shed load beyond queue_depth instead of queueing
+    // without bound (the caller decides whether to retry).
+    queue_position = in_flight_.fetch_add(1, std::memory_order_relaxed);
+    if (queue_position >= config_.queue_depth) {
+      in_flight_.fetch_sub(1, std::memory_order_relaxed);
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      Metrics().rejected.Add();
+      return Status::Overloaded("service overloaded: queue_depth " +
+                                std::to_string(config_.queue_depth) +
+                                " queries already in flight");
+    }
   }
   InFlightGuard guard(in_flight_);
 
-  if (request.inputs.rank() != 4) {
-    return Status::InvalidArgument("Predict: inputs must be [B, M, N, C], got rank " +
-                                   std::to_string(request.inputs.rank()));
-  }
-  if (request.inputs.dim(0) > config_.max_batch) {
-    return Status::InvalidArgument("Predict: batch " + std::to_string(request.inputs.dim(0)) +
-                                   " exceeds max_batch " + std::to_string(config_.max_batch));
-  }
-  // A client sending NaN/Inf observations is a malformed request, not a model
-  // failure — it must not count against the live version's error window.
-  if (!request.inputs.AllFinite()) {
-    return Status::InvalidArgument("Predict: inputs hold non-finite values");
+  {
+    URCL_TRACE_SCOPE("serve.validate");
+    if (request.inputs.rank() != 4) {
+      return Status::InvalidArgument("Predict: inputs must be [B, M, N, C], got rank " +
+                                     std::to_string(request.inputs.rank()));
+    }
+    if (request.inputs.dim(0) > config_.max_batch) {
+      return Status::InvalidArgument("Predict: batch " + std::to_string(request.inputs.dim(0)) +
+                                     " exceeds max_batch " + std::to_string(config_.max_batch));
+    }
+    // A client sending NaN/Inf observations is a malformed request, not a model
+    // failure — it must not count against the live version's error window.
+    if (!request.inputs.AllFinite()) {
+      return Status::InvalidArgument("Predict: inputs hold non-finite values");
+    }
   }
 
   // Deadline-aware admission: when the EWMA of recent model-path latencies
   // says this query cannot be answered inside its budget (given the queue
   // ahead of it), shed it up front instead of answering late.
-  const int64_t deadline_ns =
-      request.deadline_ns > 0 ? request.deadline_ns : config_.default_deadline_ns;
   if (deadline_ns > 0) {
     const int64_t estimate_ns = EstimateLatencyNs(queue_position);
     if (estimate_ns > deadline_ns) {
       deadline_shed_.fetch_add(1, std::memory_order_relaxed);
-      BumpCounter("urcl.serve.deadline_shed");
+      Metrics().deadline_shed.Add();
+      obs::RecordFlightEvent(obs::FlightEventType::kDeadlineShed, estimate_ns, deadline_ns);
       return Status::DeadlineExceeded(
           "estimated latency " + std::to_string(estimate_ns) + "ns exceeds deadline " +
           std::to_string(deadline_ns) + "ns at queue position " +
@@ -414,10 +487,15 @@ Status ForecastService::Predict(const core::PredictRequest& request,
 
   const Stopwatch stopwatch;
   Tensor raw_predictions;
-  if (std::optional<Tensor> planned = TryPlanForward(snapshot, request.inputs)) {
-    raw_predictions = std::move(*planned);
-  } else {
-    raw_predictions = snapshot->model->ForwardInference(request.inputs, adjacency_);
+  core::AnswerExecutor executor = core::AnswerExecutor::kTape;
+  {
+    URCL_TRACE_SCOPE("serve.exec");
+    if (std::optional<Tensor> planned = TryPlanForward(snapshot, request.inputs)) {
+      raw_predictions = std::move(*planned);
+      executor = core::AnswerExecutor::kPlan;
+    } else {
+      raw_predictions = snapshot->model->ForwardInference(request.inputs, adjacency_);
+    }
   }
   Status status = core::FinishPrediction(request, raw_predictions, response);
   if (!status.ok()) return status;  // request problem (bad horizon), not a model error
@@ -428,7 +506,9 @@ Status ForecastService::Predict(const core::PredictRequest& request,
   if (!response->predictions.AllFinite()) {
     response->predictions = Tensor();
     nonfinite_.fetch_add(1, std::memory_order_relaxed);
-    BumpCounter("urcl.serve.nonfinite_outputs");
+    Metrics().nonfinite_outputs.Add();
+    obs::RecordFlightEvent(obs::FlightEventType::kNonFiniteQuarantine, snapshot->version,
+                           /*b=*/0, "nonfinite forecast");
     if (health_.RecordModelResult(false)) AttemptRollback(snapshot->version);
     return Status::DataLoss("model v" + std::to_string(snapshot->version) +
                             " produced a non-finite forecast (quarantined)");
@@ -443,17 +523,14 @@ Status ForecastService::Predict(const core::PredictRequest& request,
   response->stage = snapshot->stage;
   response->degraded = false;
   response->stale = health_.WindowStale(now_ns);
+  response->executor = executor;
   served_.fetch_add(1, std::memory_order_relaxed);
 
   const int64_t sample_ns = stopwatch.ElapsedNs();
   const int64_t prev_ewma = latency_ewma_ns_.load(std::memory_order_relaxed);
   latency_ewma_ns_.store(prev_ewma <= 0 ? sample_ns : prev_ewma + (sample_ns - prev_ewma) / 8,
                          std::memory_order_relaxed);
-  if (metrics) {
-    obs::MetricsRegistry::Get()
-        .GetHistogram("urcl.serve.latency_ns", obs::ExponentialBuckets(1e3, 4, 12))
-        .Observe(static_cast<double>(sample_ns));
-  }
+  Metrics().latency_ns.Observe(static_cast<double>(sample_ns));
   return Status::Ok();
 }
 

@@ -168,7 +168,9 @@ class ForecastService {
   HealthMonitor& health() { return health_; }
 
   // Begins terminal drain: every subsequent query is shed with kUnavailable.
-  void EnterLameDuck() { health_.EnterLameDuck(); }
+  // Records a lame_duck flight event and dumps the flight recorder (the
+  // blackbox must be on disk before the process drains away).
+  void EnterLameDuck();
 
   // Queries answered / shed since construction.
   int64_t served_queries() const { return served_.load(std::memory_order_relaxed); }
@@ -195,6 +197,11 @@ class ForecastService {
   // plan mutex is contended, or when this shape's capture failed.
   std::optional<Tensor> TryPlanForward(const std::shared_ptr<const ModelSnapshot>& snapshot,
                                        const Tensor& inputs) const;
+
+  // Health-state change detection for the flight recorder: records a
+  // health_transition event when `state` differs from the last state this
+  // service observed, and auto-dumps on the transition into LAME_DUCK.
+  void NoteHealthState(HealthState state) const;
   // Acquires the snapshot for one query, honoring snapshot_poll_every.
   std::shared_ptr<const ModelSnapshot> AcquireSnapshot() const;
 
@@ -251,6 +258,11 @@ class ForecastService {
   // Cached snapshot for snapshot_poll_every > 1 (refreshed every Nth query).
   mutable std::atomic<std::shared_ptr<const ModelSnapshot>> cached_snapshot_;
   mutable std::atomic<int64_t> query_seq_{0};
+
+  // Last health state this service observed (int of HealthState), for flight
+  // recorder transition events. Evaluate() computes state on the fly; this
+  // tracks edges without widening the monitor's API.
+  mutable std::atomic<int> observed_health_{0};
 
   mutable std::atomic<int64_t> in_flight_{0};
   mutable std::atomic<int64_t> served_{0};

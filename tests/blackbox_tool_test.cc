@@ -1,0 +1,108 @@
+// urcl_blackbox forensics tool: the JSONL parser against real
+// FlightRecorder dumps (round-trip) and hostile input, and the report
+// renderer's filtering/summary behavior.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "obs/flight_recorder.h"
+#include "obs/trace.h"
+#include "tools/obs/blackbox_report.h"
+
+namespace urcl {
+namespace {
+
+TEST(BlackboxTool, ParsesRealRecorderDumpRoundTrip) {
+  auto& recorder = obs::FlightRecorder::Get();
+  recorder.Clear();
+  const uint64_t trace_id = obs::MintTraceId();
+  {
+    obs::TraceFlow flow(trace_id);
+    obs::RecordFlightEvent(obs::FlightEventType::kNonFiniteQuarantine, 3, 0,
+                           "nonfinite forecast");
+  }
+  obs::RecordFlightEvent(obs::FlightEventType::kRollback, 3, 2, "error spike");
+  obs::RecordFlightEvent(obs::FlightEventType::kHotSwap, 2, 3,
+                         "detail with \"quotes\" and\nnewline");
+
+  int64_t malformed = -1;
+  const std::vector<tools::BlackboxEvent> events =
+      tools::ParseBlackboxJsonl(recorder.ToJsonl(), &malformed);
+  recorder.Clear();
+  EXPECT_EQ(malformed, 0);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].type, "nonfinite_quarantine");
+  EXPECT_EQ(events[0].trace_id, trace_id);
+  EXPECT_EQ(events[0].a, 3);
+  EXPECT_EQ(events[1].type, "rollback");
+  EXPECT_EQ(events[1].trace_id, 0u);
+  EXPECT_EQ(events[1].detail, "error spike");
+  // JsonEscape escapes survive the parse intact.
+  EXPECT_EQ(events[2].detail, "detail with \"quotes\" and\nnewline");
+}
+
+TEST(BlackboxTool, SkipsMalformedLinesAndSortsBySeq) {
+  const std::string text =
+      "{\"seq\":5,\"ts_ns\":50,\"type\":\"rollback\",\"a\":1,\"b\":0}\n"
+      "not json at all\n"
+      "{\"seq\":2,\"ts_ns\":20,\"type\":\"hot_swap\",\"a\":1,\"b\":0}\n"
+      "{\"truncated\n";
+  int64_t malformed = 0;
+  const std::vector<tools::BlackboxEvent> events =
+      tools::ParseBlackboxJsonl(text, &malformed);
+  EXPECT_EQ(malformed, 2);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].seq, 2u);  // sorted by seq, not file order
+  EXPECT_EQ(events[1].seq, 5u);
+}
+
+TEST(BlackboxTool, ReportFiltersByTraceTypeAndTail) {
+  std::vector<tools::BlackboxEvent> events;
+  for (int i = 0; i < 6; ++i) {
+    tools::BlackboxEvent event;
+    event.seq = static_cast<uint64_t>(i);
+    event.ts_ns = i * 10;
+    event.type = i % 2 == 0 ? "plan_compile" : "deadline_shed";
+    event.trace_id = i < 3 ? 0xabcu : 0xdefu;
+    events.push_back(event);
+  }
+
+  tools::BlackboxReportOptions by_trace;
+  by_trace.trace_id = 0xabc;
+  std::string report = tools::RenderBlackboxReport(events, by_trace);
+  EXPECT_EQ(std::count(report.begin(), report.end(), '\n'), 3);
+  EXPECT_NE(report.find("trace=0xabc"), std::string::npos);
+  EXPECT_EQ(report.find("trace=0xdef"), std::string::npos);
+
+  tools::BlackboxReportOptions by_type;
+  by_type.type = "deadline_shed";
+  by_type.tail = 2;
+  by_type.summary = true;
+  report = tools::RenderBlackboxReport(events, by_type);
+  EXPECT_NE(report.find("deadline_shed: 2"), std::string::npos) << report;
+  EXPECT_NE(report.find("2 shown / 3 matched / 6 in dump"), std::string::npos) << report;
+  EXPECT_EQ(report.find("plan_compile"), std::string::npos);
+}
+
+TEST(BlackboxTool, SummaryFlagsIncidents) {
+  std::vector<tools::BlackboxEvent> events;
+  tools::BlackboxEvent rollback;
+  rollback.seq = 1;
+  rollback.type = "rollback";
+  events.push_back(rollback);
+  tools::BlackboxEvent lame_duck;
+  lame_duck.seq = 2;
+  lame_duck.type = "lame_duck";
+  events.push_back(lame_duck);
+
+  tools::BlackboxReportOptions options;
+  options.summary = true;
+  const std::string report = tools::RenderBlackboxReport(events, options);
+  EXPECT_NE(report.find("INCIDENT: rollback x1"), std::string::npos) << report;
+  EXPECT_NE(report.find("INCIDENT: lame_duck x1"), std::string::npos) << report;
+}
+
+}  // namespace
+}  // namespace urcl

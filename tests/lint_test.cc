@@ -222,6 +222,54 @@ TEST(RepoLintTest, ExecPoolAcquireAllowsSameLineAndPrecedingLineSuppressions) {
   EXPECT_TRUE(Has(LintFileContent("src/exec/arena.cc", too_far, exec), "exec-pool-acquire"));
 }
 
+TEST(RepoLintTest, ServeMetricsRegistryFlagsDirectUse) {
+  Options serve = LibraryOptions();
+  serve.serve_metrics_rules = true;  // how LintTree configures src/serve/
+  EXPECT_TRUE(Has(LintFileContent(
+                      "src/serve/x.cc",
+                      "  obs::MetricsRegistry::Get().GetCounter(\"x\").Add(1);\n", serve),
+                  "serve-metrics-registry"));
+  // Any registry mention counts, not just .Get() — cached references and
+  // aliases reintroduce the same hot-path lookup hazard.
+  EXPECT_TRUE(Has(LintFileContent("src/serve/x.cc",
+                                  "  auto& registry = obs::MetricsRegistry::Get();\n",
+                                  serve),
+                  "serve-metrics-registry"));
+}
+
+TEST(RepoLintTest, ServeMetricsRegistryIgnoresFacadeAndOtherTrees) {
+  Options serve = LibraryOptions();
+  serve.serve_metrics_rules = true;
+  // The facade handles are the sanctioned route.
+  const auto findings = LintFileContent(
+      "src/serve/x.cc",
+      "  obs::CounterHandle queries{\"urcl.serve.queries\"};\n"
+      "  // MetricsRegistry is fine in a comment\n"
+      "  Metrics().queries.Add();\n",
+      serve);
+  EXPECT_FALSE(Has(findings, "serve-metrics-registry")) << FormatFindings(findings);
+  // Outside src/serve/ the registry is the normal init-time route.
+  EXPECT_FALSE(Has(LintFileContent(
+                       "src/core/x.cc",
+                       "  obs::MetricsRegistry::Get().GetCounter(\"x\").Add(1);\n",
+                       LibraryOptions()),
+                   "serve-metrics-registry"));
+}
+
+TEST(RepoLintTest, ServeMetricsRegistryHonorsSuppressions) {
+  Options serve = LibraryOptions();
+  serve.serve_metrics_rules = true;
+  const std::string same_line =
+      "  auto& r = obs::MetricsRegistry::Get();  // lint:allow(serve-metrics-registry)\n";
+  EXPECT_FALSE(
+      Has(LintFileContent("src/serve/x.cc", same_line, serve), "serve-metrics-registry"));
+  const std::string preceding_line =
+      "  // lint:allow(serve-metrics-registry)\n"
+      "  auto& r = obs::MetricsRegistry::Get();\n";
+  EXPECT_FALSE(Has(LintFileContent("src/serve/x.cc", preceding_line, serve),
+                   "serve-metrics-registry"));
+}
+
 TEST(RepoLintTest, SuppressionCommentSilencesOneRule) {
   const auto findings = LintFileContent(
       "src/x.cc", "int v = rand();  // lint:allow(banned-call/rand)\n", LibraryOptions());

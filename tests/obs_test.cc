@@ -10,7 +10,10 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <cstdint>
+#include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -25,10 +28,14 @@
 #include "data/presets.h"
 #include "data/stream.h"
 #include "data/synthetic.h"
+#include "obs/facade.h"
+#include "obs/flight_recorder.h"
 #include "obs/json.h"
+#include "obs/learning.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
 #include "obs/profiler.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
 
 namespace urcl {
@@ -671,6 +678,414 @@ TEST_F(ObsTest, TrainedTrainerExportsNestedTraceAndSubsystemMetrics) {
   std::stringstream metrics_contents;
   metrics_contents << metrics_file.rdbuf();
   EXPECT_NE(metrics_contents.str().find("urcl_trainer_steps"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Request-scoped trace IDs and flow linking
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, MintTraceIdIsNonZeroAndUnique) {
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t id = obs::MintTraceId();
+    EXPECT_NE(id, 0u);
+    ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
+}
+
+TEST_F(ObsTest, TraceFlowBindsAndRestoresCurrentTraceId) {
+  EXPECT_EQ(obs::CurrentTraceId(), 0u);
+  const uint64_t outer = obs::MintTraceId();
+  {
+    obs::TraceFlow flow(outer);
+    EXPECT_EQ(obs::CurrentTraceId(), outer);
+    const uint64_t inner = obs::MintTraceId();
+    {
+      obs::TraceFlow nested(inner);
+      EXPECT_EQ(obs::CurrentTraceId(), inner);
+    }
+    EXPECT_EQ(obs::CurrentTraceId(), outer);  // nested scope restores
+  }
+  EXPECT_EQ(obs::CurrentTraceId(), 0u);
+}
+
+TEST_F(ObsTest, ChromeTraceLinksSpansToTheActiveFlow) {
+  obs::ObsConfig config;
+  config.trace = true;
+  obs::Configure(config);
+
+  const uint64_t trace_id = obs::MintTraceId();
+  {
+    obs::TraceFlow flow(trace_id);
+    { URCL_TRACE_SCOPE("flow.first"); }
+    { URCL_TRACE_SCOPE("flow.second"); }
+  }
+  { URCL_TRACE_SCOPE("no.flow"); }
+
+  char hex[24];
+  std::snprintf(hex, sizeof(hex), "0x%llx", static_cast<unsigned long long>(trace_id));
+  const Json trace = ParseJsonOrDie(obs::ChromeTraceJson());
+  int tagged_slices = 0;
+  int flow_starts = 0;
+  int flow_steps = 0;
+  for (const Json& event : trace.At("traceEvents").array) {
+    const std::string& ph = event.At("ph").str;
+    if (ph == "X" && event.Has("args") && event.At("args").Has("trace_id")) {
+      EXPECT_EQ(event.At("args").At("trace_id").str, hex);
+      EXPECT_NE(event.At("name").str, "no.flow");
+      ++tagged_slices;
+    }
+    if (ph == "s" || ph == "t") {
+      EXPECT_EQ(event.At("id").str, hex);
+      ph == "s" ? ++flow_starts : ++flow_steps;
+    }
+  }
+  EXPECT_EQ(tagged_slices, 2);
+  EXPECT_EQ(flow_starts, 1);  // first occurrence opens the flow
+  EXPECT_EQ(flow_steps, 1);   // later spans continue it
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder (black box)
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, FlightRecorderIsAlwaysOnAndOrdersEventsBySeq) {
+  ASSERT_FALSE(obs::MetricsEnabled());  // recording must not depend on the gate
+  auto& recorder = obs::FlightRecorder::Get();
+  recorder.Clear();
+
+  obs::RecordFlightEvent(obs::FlightEventType::kSnapshotAdmit, 7);
+  obs::RecordFlightEvent(obs::FlightEventType::kHotSwap, 7, 6, "v6 -> v7");
+  obs::RecordFlightEvent(obs::FlightEventType::kRollback, 7, 6, "error spike");
+
+  const std::vector<obs::FlightEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_LT(events[0].seq, events[1].seq);
+  EXPECT_LT(events[1].seq, events[2].seq);
+  EXPECT_EQ(events[0].type, obs::FlightEventType::kSnapshotAdmit);
+  EXPECT_EQ(events[0].a, 7);
+  EXPECT_EQ(events[2].type, obs::FlightEventType::kRollback);
+  EXPECT_STREQ(events[2].detail, "error spike");
+  EXPECT_EQ(events[2].b, 6);
+}
+
+TEST_F(ObsTest, FlightRecorderPicksUpTheActiveTraceId) {
+  auto& recorder = obs::FlightRecorder::Get();
+  recorder.Clear();
+  const uint64_t trace_id = obs::MintTraceId();
+  {
+    obs::TraceFlow flow(trace_id);
+    obs::RecordFlightEvent(obs::FlightEventType::kDeadlineShed, 1000, 500);
+  }
+  obs::RecordFlightEvent(obs::FlightEventType::kSnapshotPublish, 1);
+
+  const std::vector<obs::FlightEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].trace_id, trace_id);
+  EXPECT_EQ(events[1].trace_id, 0u);
+}
+
+TEST_F(ObsTest, FlightRecorderJsonlAndAutoDumpRoundTrip) {
+  auto& recorder = obs::FlightRecorder::Get();
+  recorder.Clear();
+  obs::RecordFlightEvent(obs::FlightEventType::kSnapshotQuarantine, -1, 0,
+                         "bad \"weights\"\nline two");
+  obs::RecordFlightEvent(obs::FlightEventType::kLameDuck);
+
+  // Every JSONL line is valid JSON with the expected fields.
+  std::istringstream lines(recorder.ToJsonl());
+  std::string line;
+  int parsed = 0;
+  while (std::getline(lines, line)) {
+    const Json event = ParseJsonOrDie(line);
+    EXPECT_TRUE(event.Has("seq"));
+    EXPECT_TRUE(event.Has("ts_ns"));
+    EXPECT_TRUE(event.Has("type"));
+    ++parsed;
+  }
+  EXPECT_EQ(parsed, 2);
+
+  // AutoDump writes the deterministic per-reason file into the set dir.
+  const std::string dir = ::testing::TempDir() + "obs_blackbox_test";
+  std::filesystem::create_directories(dir);
+  recorder.SetDumpDir(dir);
+  const std::string path = recorder.AutoDump("unit");
+  recorder.SetDumpDir("");
+  EXPECT_EQ(path, dir + "/urcl_blackbox.unit.jsonl");
+  EXPECT_EQ(recorder.last_dump_path(), path);
+  std::ifstream dump(path);
+  ASSERT_TRUE(dump.good());
+  std::stringstream contents;
+  contents << dump.rdbuf();
+  EXPECT_NE(contents.str().find("\"type\":\"snapshot_quarantine\""), std::string::npos);
+  EXPECT_NE(contents.str().find("\"type\":\"lame_duck\""), std::string::npos);
+  // The escaped detail survives the dump verbatim.
+  EXPECT_NE(contents.str().find("bad \\\"weights\\\"\\nline two"), std::string::npos);
+}
+
+TEST_F(ObsTest, FlightRecorderRingBoundsMemoryUnderOverflow) {
+  auto& recorder = obs::FlightRecorder::Get();
+  recorder.Clear();
+  const uint64_t before = recorder.events_recorded();
+  for (int i = 0; i < 10000; ++i) {
+    obs::RecordFlightEvent(obs::FlightEventType::kPlanCompile, i);
+  }
+  EXPECT_EQ(recorder.events_recorded() - before, 10000u);
+  const std::vector<obs::FlightEvent> events = recorder.Snapshot();
+  // Bounded ring: everything recorded is counted, only the tail is retained.
+  EXPECT_LE(events.size(), 4096u);
+  EXPECT_GT(events.size(), 0u);
+  recorder.Clear();
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus exposition conformance (names, label escaping, histogram edges)
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, PrometheusSanitizesHostileMetricNames) {
+  auto& registry = obs::MetricsRegistry::Get();
+  registry.GetCounter("9lives.of-a.metric!name").Add(3);
+  const std::string prom = registry.ToPrometheus();
+  EXPECT_NE(prom.find("_9lives_of_a_metric_name 3"), std::string::npos) << prom;
+  EXPECT_EQ(prom.find("9lives.of"), std::string::npos);
+}
+
+TEST_F(ObsTest, PrometheusEscapesLabelValues) {
+  const std::string name = obs::LabeledName(
+      "urcl.test.escaped", {{"msg", "quote\" slash\\ newline\n end"}, {"bad-key!", "v"}});
+  auto& registry = obs::MetricsRegistry::Get();
+  registry.GetGauge(name).Set(1.0);
+  const std::string prom = registry.ToPrometheus();
+  // Escapes: \" for quotes, \\ for backslash, \n for newline — and the label
+  // key is sanitized like a metric name.
+  EXPECT_NE(prom.find("urcl_test_escaped{msg=\"quote\\\" slash\\\\ newline\\n end\","
+                      "bad_key_=\"v\"} 1"),
+            std::string::npos)
+      << prom;
+}
+
+TEST_F(ObsTest, PrometheusHistogramEmitsCumulativeBucketsAndInfEdge) {
+  auto& registry = obs::MetricsRegistry::Get();
+  obs::Histogram& plain = registry.GetHistogram("urcl.test.edges", {1.0, 2.0});
+  plain.Reset();
+  plain.Observe(1.0);  // == edge: counts into le="1" (Prometheus semantics)
+  plain.Observe(1.5);
+  plain.Observe(99.0);  // above every bound: +Inf only
+  const std::string prom = registry.ToPrometheus();
+  EXPECT_NE(prom.find("urcl_test_edges_bucket{le=\"1\"} 1"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("urcl_test_edges_bucket{le=\"2\"} 2"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("urcl_test_edges_bucket{le=\"+Inf\"} 3"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("urcl_test_edges_count 3"), std::string::npos) << prom;
+}
+
+TEST_F(ObsTest, PrometheusLabeledHistogramFoldsLabelsBeforeLe) {
+  auto& registry = obs::MetricsRegistry::Get();
+  const std::string name =
+      obs::LabeledName("urcl.test.labeled_hist", {{"stage", "2"}});
+  obs::Histogram& labeled = registry.GetHistogram(name, {1.0});
+  labeled.Reset();
+  labeled.Observe(0.5);
+  const std::string prom = registry.ToPrometheus();
+  EXPECT_NE(prom.find("urcl_test_labeled_hist_bucket{stage=\"2\",le=\"1\"} 1"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("urcl_test_labeled_hist_bucket{stage=\"2\",le=\"+Inf\"} 1"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("urcl_test_labeled_hist_count{stage=\"2\"} 1"), std::string::npos)
+      << prom;
+  // One # TYPE line per family even with labels present.
+  EXPECT_EQ(prom.find("# TYPE urcl_test_labeled_hist histogram"),
+            prom.rfind("# TYPE urcl_test_labeled_hist histogram"));
+}
+
+// ---------------------------------------------------------------------------
+// SLO burn rates
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, SloBurnComputesPerWindowFromCumulativeDeltas) {
+  obs::SloConfig config;
+  config.availability_target = 0.99;  // budget 1%
+  config.latency_target = 0.9;        // budget 10%
+  config.windows_ns = {100, 1000};
+  obs::SloMonitor monitor(config);
+
+  // t=0: baseline. t=500: 1000 queries, 5 errors. t=1000: 1000 more, 20
+  // errors, plus 100 latency samples of which 30 were slow.
+  monitor.Tick({0, 0, 0, 0, 0});
+  monitor.Tick({500, 1000, 5, 0, 0});
+  monitor.Tick({1000, 2000, 25, 100, 30});
+
+  const std::vector<obs::SloMonitor::WindowBurn> burns = monitor.Burn();
+  ASSERT_EQ(burns.size(), 2u);
+  // 100ns window: only the newest sample is inside, so deltas are zero.
+  EXPECT_EQ(burns[0].window_ns, 100);
+  EXPECT_EQ(burns[0].total, 0u);
+  EXPECT_DOUBLE_EQ(burns[0].availability_burn, 0.0);
+  // 1000ns window: spans from t=0 — 25/2000 error ratio over a 1% budget.
+  EXPECT_EQ(burns[1].window_ns, 1000);
+  EXPECT_EQ(burns[1].total, 2000u);
+  EXPECT_EQ(burns[1].errors, 25u);
+  // NEAR, not exact: sanitizer builds round the ratio division differently.
+  EXPECT_NEAR(burns[1].availability_burn, (25.0 / 2000.0) / 0.01, 1e-9);
+  EXPECT_NEAR(burns[1].latency_burn, (30.0 / 100.0) / 0.1, 1e-9);
+}
+
+TEST_F(ObsTest, SloTickFromRegistryCountsSlowFromHistogram) {
+  obs::ObsConfig obs_config;
+  obs_config.metrics = true;
+  obs::Configure(obs_config);
+
+  obs::SloConfig config;
+  config.windows_ns = {1000};
+  config.latency_threshold_ns = 10.0;
+  config.total_counter = "urcl.test.slo_total";
+  config.error_counters = {"urcl.test.slo_errors"};
+  config.latency_histogram = "urcl.test.slo_latency";
+  config.latency_bounds = {10.0, 100.0};
+  obs::SloMonitor monitor(config);
+
+  auto& registry = obs::MetricsRegistry::Get();
+  registry.GetHistogram("urcl.test.slo_latency", config.latency_bounds).Reset();
+  monitor.TickFromRegistry(0);
+  registry.GetCounter("urcl.test.slo_total").Add(10);
+  registry.GetCounter("urcl.test.slo_errors").Add(1);
+  obs::Histogram& latency =
+      registry.GetHistogram("urcl.test.slo_latency", config.latency_bounds);
+  latency.Observe(5.0);    // fast
+  latency.Observe(10.0);   // == threshold: still fast (le semantics)
+  latency.Observe(50.0);   // slow
+  latency.Observe(500.0);  // slow (+Inf bucket)
+  monitor.TickFromRegistry(500);
+
+  const std::vector<obs::SloMonitor::WindowBurn> burns = monitor.Burn();
+  ASSERT_EQ(burns.size(), 1u);
+  EXPECT_EQ(burns[0].total, 10u);
+  EXPECT_EQ(burns[0].errors, 1u);
+  // 2 of 4 observations exceeded the threshold; default budget 1%. NEAR,
+  // not exact: sanitizer builds round the ratio division differently.
+  EXPECT_NEAR(burns[0].latency_burn, 0.5 / 0.01, 1e-9);
+
+  monitor.ExportGauges();
+  const std::string prom = registry.ToPrometheus();
+  EXPECT_NE(prom.find("urcl_slo_availability_burn{window=\"0s\"}"), std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("urcl_slo_latency_burn{window=\"0s\"}"), std::string::npos) << prom;
+}
+
+// ---------------------------------------------------------------------------
+// Learning-quality telemetry
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, LearningTelemetryComputesForgettingAndBackwardTransfer) {
+  obs::LearningTelemetry telemetry;
+  EXPECT_TRUE(telemetry.empty());
+  // Stage 0 trains to MAE 2.0, then degrades to 3.0 after stage 1, 3.5 after
+  // stage 2. Stage 1 trains to 1.5 and *improves* to 1.0 after stage 2.
+  telemetry.Record(0, 0, 2.0);
+  telemetry.Record(1, 0, 3.0);
+  telemetry.Record(1, 1, 1.5);
+  telemetry.Record(2, 0, 3.5);
+  telemetry.Record(2, 1, 1.0);
+  telemetry.Record(2, 2, 4.0);
+
+  EXPECT_EQ(telemetry.latest_trained_stage(), 2);
+  EXPECT_DOUBLE_EQ(telemetry.Diagonal(0), 2.0);
+  EXPECT_DOUBLE_EQ(telemetry.Latest(0), 3.5);
+  EXPECT_DOUBLE_EQ(telemetry.Forgetting(0), 1.5);    // 3.5 - 2.0
+  EXPECT_DOUBLE_EQ(telemetry.Forgetting(1), -0.5);   // 1.0 - 1.5 (improved)
+  EXPECT_DOUBLE_EQ(telemetry.MeanForgetting(), 0.5);  // (1.5 - 0.5) / 2
+  EXPECT_DOUBLE_EQ(telemetry.BackwardTransfer(), -0.5);
+  EXPECT_TRUE(std::isnan(telemetry.Forgetting(5)));
+
+  const Json json = ParseJsonOrDie(telemetry.ToJson());
+  EXPECT_DOUBLE_EQ(json.At("stages").number, 3.0);
+  EXPECT_DOUBLE_EQ(json.At("matrix").At("2").At("0").number, 3.5);
+  EXPECT_DOUBLE_EQ(json.At("forgetting").At("0").number, 1.5);
+  EXPECT_DOUBLE_EQ(json.At("backward_transfer").number, -0.5);
+
+  obs::ObsConfig config;
+  config.metrics = true;
+  obs::Configure(config);
+  telemetry.ExportGauges();
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::Get().Snapshot();
+  EXPECT_DOUBLE_EQ(snap.gauges.at("urcl.learn.forgetting{stage=\"0\"}"), 1.5);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("urcl.learn.backward_transfer"), -0.5);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("urcl.learn.stages_trained"), 3.0);
+}
+
+TEST_F(ObsTest, ProtocolRunnerFillsLearningTelemetryUnderSeenSoFar) {
+  const data::DatasetPreset preset = data::MetrLaPreset();
+  data::TrafficConfig traffic = preset.MakeTrafficConfig(6, 10, 7);
+  traffic.steps_per_day = 48;
+  data::SyntheticTraffic generator(traffic);
+  const Tensor series = generator.GenerateSeries();
+  const data::MinMaxNormalizer normalizer = data::MinMaxNormalizer::Fit(series);
+  data::StDataset dataset(normalizer.Transform(series), preset.MakeWindowConfig());
+  data::StreamConfig stream_config;
+  stream_config.num_incremental = 2;
+  data::StreamSplitter stream(dataset, stream_config);
+
+  core::UrclConfig urcl_config;
+  urcl_config.encoder.num_nodes = 6;
+  urcl_config.encoder.in_channels = 2;
+  urcl_config.encoder.input_steps = 12;
+  urcl_config.encoder.hidden_channels = 4;
+  urcl_config.encoder.latent_channels = 8;
+  urcl_config.batch_size = 4;
+  urcl_config.max_batches_per_epoch = 2;
+  urcl_config.buffer_capacity = 16;
+  core::UrclTrainer trainer(urcl_config, generator.network());
+
+  obs::LearningTelemetry telemetry;
+  core::ProtocolOptions options;
+  options.epochs_per_stage = 1;
+  options.learning = &telemetry;
+  options.learning_json_path = ::testing::TempDir() + "obs_test_learning.json";
+  const std::vector<core::StageResult> results =
+      core::RunContinualProtocol(trainer, stream, normalizer, 0, options);
+
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(telemetry.latest_trained_stage(), 2);
+  // The diagonal and the final row of the matrix are filled for every stage,
+  // so forgetting is defined for each earlier stage.
+  for (int64_t s = 0; s <= 2; ++s) {
+    EXPECT_FALSE(std::isnan(telemetry.Diagonal(s))) << "R[" << s << "][" << s << "]";
+    EXPECT_FALSE(std::isnan(telemetry.Latest(s))) << "R[2][" << s << "]";
+  }
+  EXPECT_FALSE(std::isnan(telemetry.Forgetting(0)));
+  EXPECT_FALSE(std::isnan(telemetry.Forgetting(1)));
+  std::ifstream json_file(options.learning_json_path);
+  ASSERT_TRUE(json_file.good());
+  std::stringstream json_contents;
+  json_contents << json_file.rdbuf();
+  const Json json = ParseJsonOrDie(json_contents.str());
+  EXPECT_DOUBLE_EQ(json.At("stages").number, 3.0);
+}
+
+// ---------------------------------------------------------------------------
+// Facade handles
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, FacadeHandlesGateOnMetricsEnabled) {
+  obs::CounterHandle counter("urcl.test.facade_counter");
+  obs::GaugeHandle gauge("urcl.test.facade_gauge");
+  obs::MetricsRegistry::Get().GetCounter("urcl.test.facade_counter").Reset();
+
+  ASSERT_FALSE(obs::MetricsEnabled());
+  counter.Add();
+  gauge.Set(5.0);
+  EXPECT_EQ(counter.Value(), 0u);  // gated off: no mutation
+
+  obs::ObsConfig config;
+  config.metrics = true;
+  obs::Configure(config);
+  counter.Add(2);
+  gauge.Set(5.0);
+  EXPECT_EQ(counter.Value(), 2u);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 5.0);
 }
 
 }  // namespace

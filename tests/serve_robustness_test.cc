@@ -9,6 +9,8 @@
 
 #include <chrono>
 #include <cstdint>
+#include <filesystem>
+#include <fstream>
 #include <limits>
 #include <memory>
 #include <sstream>
@@ -17,6 +19,7 @@
 #include <vector>
 
 #include "checkpoint/container.h"
+#include "obs/flight_recorder.h"
 #include "core/urcl.h"
 #include "data/synthetic.h"
 #include "graph/generator.h"
@@ -272,6 +275,62 @@ TEST_F(ServeRobustnessTest, ErrorSpikeRollsBackToLastGoodVersion) {
   EXPECT_EQ(response.model_version, good);
   EXPECT_FALSE(response.degraded);
   EXPECT_TRUE(response.predictions.AllFinite());
+}
+
+// DESIGN.md §13 acceptance: a rollback auto-dumps the flight recorder as
+// JSONL, and the dump reconstructs the incident — poisoned version swapped
+// in, its forecasts quarantined (tagged with the caller's trace ID), service
+// rolled back — in seq order, readable by `urcl_blackbox`.
+TEST_F(ServeRobustnessTest, RollbackAutoDumpsFlightRecorderJsonl) {
+  auto& recorder = obs::FlightRecorder::Get();
+  recorder.Clear();
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "urcl_blackbox_rollback_test").string();
+  std::filesystem::create_directories(dir);
+  const std::string dump_path = dir + "/urcl_blackbox.rollback.jsonl";
+  std::filesystem::remove(dump_path);
+  recorder.SetDumpDir(dir);
+
+  ServiceConfig config;
+  config.model = TinyConfig(kNodes);
+  config.admission.run_canary = false;
+  config.health.error_window = 16;
+  config.health.rollback_errors = 2;
+  ForecastService service(config, generator_->network(), normalizer_);
+  const std::vector<checkpoint::Container> published = TrainAndCollect(config.model, 2);
+
+  auto sink = service.SnapshotSink();
+  sink(published.front());
+  sink(PoisonWeights(published.back(), config.model, 1e30f));
+
+  core::PredictRequest request = MakeRequest();
+  request.trace_id = 0x5eedf00dull;  // caller-supplied; must appear in the dump
+  core::PredictResponse response;
+  for (int i = 0; i < 8 && service.rollback_count() == 0; ++i) {
+    const Status status = service.Predict(request, &response);
+    (void)status;  // kDataLoss while the poisoned version serves; see above
+  }
+  ASSERT_EQ(service.rollback_count(), 1);
+
+  ASSERT_TRUE(std::filesystem::exists(dump_path)) << dump_path;
+  std::ifstream in(dump_path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  recorder.Clear();
+
+  const size_t swap = text.find("\"type\":\"hot_swap\"");
+  const size_t quarantine = text.find("\"type\":\"nonfinite_quarantine\"");
+  const size_t rollback = text.find("\"type\":\"rollback\"");
+  ASSERT_NE(swap, std::string::npos) << text;
+  ASSERT_NE(quarantine, std::string::npos) << text;
+  ASSERT_NE(rollback, std::string::npos) << text;
+  // Causal order survives the lock-striped ring: the poisoned swap precedes
+  // the first quarantine, which precedes the rollback.
+  EXPECT_LT(swap, quarantine);
+  EXPECT_LT(quarantine, rollback);
+  // The quarantine events were recorded inside the request's trace flow.
+  EXPECT_NE(text.find("\"trace_id\":\"0x5eedf00d\""), std::string::npos) << text;
 }
 
 TEST_F(ServeRobustnessTest, ErrorSpikeWithNoHistoryDegradesToFallback) {

@@ -205,6 +205,20 @@ TEST_F(ServeTrainerTest, ServiceServesQueriesAndStampsVersions) {
   EXPECT_EQ(response.model_version, 1);
   EXPECT_EQ(response.stage, 3);
   EXPECT_EQ(response.predictions.shape(), (Shape{1, 1, kNodes, 1}));
+  // Observability stamps: the serving health state the query was admitted
+  // under, the executor that answered, and a minted causal trace ID.
+  EXPECT_EQ(response.health_state, static_cast<int32_t>(HealthState::kHealthy));
+  EXPECT_TRUE(response.executor == core::AnswerExecutor::kPlan ||
+              response.executor == core::AnswerExecutor::kTape)
+      << core::AnswerExecutorName(response.executor);
+  EXPECT_NE(response.trace_id, 0u);
+
+  // A caller-supplied trace ID is honored and echoed back.
+  core::PredictRequest traced = request;
+  traced.trace_id = 0xfeedbeefu;
+  core::PredictResponse traced_response;
+  ASSERT_TRUE(service.Predict(traced, &traced_response).ok());
+  EXPECT_EQ(traced_response.trace_id, 0xfeedbeefu);
 
   // Oversized batches and horizons are shed with an error, not a crash.
   core::PredictRequest big = request;

@@ -336,6 +336,16 @@ std::vector<Finding> LintFileContent(const std::string& path, const std::string&
           "direct BufferPool acquisition in src/exec/; compiled plans allocate "
           "through the PlanArena only");
     }
+    // Facade-only metrics in serving code: any mention of the registry type
+    // (lookups, cached references, aliases) is flagged, not just `.Get()`
+    // calls — the point is that serve/ holds no registry handles at all.
+    if (options.serve_metrics_rules && code.find("MetricsRegistry") != std::string::npos &&
+        !Suppressed(line, "serve-metrics-registry") &&
+        !Suppressed(prev_raw_line, "serve-metrics-registry")) {
+      Add(&findings, path, line_number, "serve-metrics-registry",
+          "direct MetricsRegistry use in src/serve/; publish through the "
+          "obs/facade.h counter/gauge/histogram handles");
+    }
     prev_raw_line = line;
     if (!options.library_rules) continue;
     if ((HasCall(code, "rand") || HasCall(code, "srand")) &&
@@ -394,6 +404,7 @@ std::vector<Finding> LintTree(const std::string& root) {
       options.allow_clock_reads = repo_relative == "src/common/stopwatch.h" ||
                                   repo_relative == "bench/bench_serving.cc";
       options.exec_arena_rules = repo_relative.rfind("src/exec/", 0) == 0;
+      options.serve_metrics_rules = repo_relative.rfind("src/serve/", 0) == 0;
       std::ifstream in(file, std::ios::binary);
       std::ostringstream buffer;
       buffer << in.rdbuf();

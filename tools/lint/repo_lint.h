@@ -26,7 +26,12 @@
 //                                arena-only (the PlanArena's own base-buffer
 //                                acquisition carries lint:allow markers; this
 //                                rule honors them on the same OR the
-//                                preceding line, matching arena.cc).
+//                                preceding line, matching arena.cc);
+//     serve-metrics-registry     direct MetricsRegistry mentions inside
+//                                src/serve/ — serving code publishes through
+//                                the obs/facade.h handles (which cache the
+//                                lookup and gate on MetricsEnabled) so the
+//                                hot path never pays a registry mutex.
 //
 //   format rules (src/, tests/, bench/, examples/, tools/)
 //     format/line-length         lines over 100 columns;
@@ -73,6 +78,10 @@ struct Options {
   // exec-pool-acquire: bans direct BufferPool acquisitions (the arena is the
   // only allocator in compiled-plan code). Set for files under src/exec/.
   bool exec_arena_rules = false;
+  // serve-metrics-registry: bans direct obs::MetricsRegistry access (the
+  // obs/facade.h handles are the sanctioned route). Set for files under
+  // src/serve/.
+  bool serve_metrics_rules = false;
 };
 
 // Lints one file's contents. `path` is used only for diagnostics.

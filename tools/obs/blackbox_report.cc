@@ -1,0 +1,151 @@
+#include "tools/obs/blackbox_report.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
+namespace urcl {
+namespace tools {
+namespace {
+
+// Extracts the value of "key":<integer> from `line`; false when absent.
+bool FindInt(const std::string& line, const std::string& key, int64_t* out) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  const char* start = line.c_str() + at + needle.size();
+  char* end = nullptr;
+  const long long value = std::strtoll(start, &end, 10);
+  if (end == start) return false;
+  *out = static_cast<int64_t>(value);
+  return true;
+}
+
+// Extracts the value of "key":"<string>" from `line`, undoing the escapes
+// obs::JsonEscape applies; false when absent or unterminated.
+bool FindString(const std::string& line, const std::string& key, std::string* out) {
+  const std::string needle = "\"" + key + "\":\"";
+  const size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  std::string value;
+  for (size_t i = at + needle.size(); i < line.size(); ++i) {
+    const char c = line[i];
+    if (c == '"') {
+      *out = std::move(value);
+      return true;
+    }
+    if (c == '\\' && i + 1 < line.size()) {
+      const char next = line[++i];
+      switch (next) {
+        case 'n': value += '\n'; break;
+        case 'r': value += '\r'; break;
+        case 't': value += '\t'; break;
+        case 'u':
+          // \u00XX escapes only encode control bytes here; keep a marker.
+          i += std::min<size_t>(4, line.size() - i - 1);
+          value += '?';
+          break;
+        default: value += next;
+      }
+      continue;
+    }
+    value += c;
+  }
+  return false;  // unterminated string: truncated dump line
+}
+
+}  // namespace
+
+std::vector<BlackboxEvent> ParseBlackboxJsonl(const std::string& text, int64_t* malformed) {
+  std::vector<BlackboxEvent> events;
+  int64_t bad = 0;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    BlackboxEvent event;
+    int64_t seq = 0;
+    if (!FindInt(line, "seq", &seq) || !FindInt(line, "ts_ns", &event.ts_ns) ||
+        !FindString(line, "type", &event.type)) {
+      ++bad;
+      continue;
+    }
+    event.seq = static_cast<uint64_t>(seq);
+    FindInt(line, "a", &event.a);
+    FindInt(line, "b", &event.b);
+    std::string trace_hex;
+    if (FindString(line, "trace_id", &trace_hex)) {
+      event.trace_id = std::strtoull(trace_hex.c_str(), nullptr, 16);
+    }
+    FindString(line, "detail", &event.detail);
+    events.push_back(std::move(event));
+  }
+  std::sort(events.begin(), events.end(),
+            [](const BlackboxEvent& x, const BlackboxEvent& y) { return x.seq < y.seq; });
+  if (malformed != nullptr) *malformed = bad;
+  return events;
+}
+
+std::string RenderBlackboxReport(const std::vector<BlackboxEvent>& events,
+                                 const BlackboxReportOptions& options) {
+  std::vector<BlackboxEvent> kept;
+  for (const BlackboxEvent& event : events) {
+    if (options.trace_id != 0 && event.trace_id != options.trace_id) continue;
+    if (!options.type.empty() && event.type != options.type) continue;
+    kept.push_back(event);
+  }
+  const size_t total_matched = kept.size();
+  if (options.tail > 0 && kept.size() > static_cast<size_t>(options.tail)) {
+    kept.erase(kept.begin(), kept.end() - options.tail);
+  }
+
+  std::ostringstream out;
+  char buf[160];
+  for (const BlackboxEvent& event : kept) {
+    // Timestamps are monotonic-clock offsets; render as seconds for scale.
+    std::snprintf(buf, sizeof(buf), "%6" PRIu64 "  %12.6fs  %-22s", event.seq,
+                  static_cast<double>(event.ts_ns) / 1e9, event.type.c_str());
+    out << buf;
+    if (event.trace_id != 0) {
+      std::snprintf(buf, sizeof(buf), "  trace=0x%" PRIx64, event.trace_id);
+      out << buf;
+    }
+    std::snprintf(buf, sizeof(buf), "  a=%lld b=%lld", static_cast<long long>(event.a),
+                  static_cast<long long>(event.b));
+    out << buf;
+    if (!event.detail.empty()) out << "  " << event.detail;
+    out << "\n";
+  }
+
+  if (options.summary) {
+    std::map<std::string, int64_t> by_type;
+    std::map<uint64_t, int64_t> by_trace;
+    for (const BlackboxEvent& event : kept) {
+      ++by_type[event.type];
+      if (event.trace_id != 0) ++by_trace[event.trace_id];
+    }
+    out << "---\n"
+        << "events: " << kept.size() << " shown / " << total_matched << " matched / "
+        << events.size() << " in dump\n";
+    for (const auto& [type, count] : by_type) {
+      out << "  " << type << ": " << count << "\n";
+    }
+    if (!by_trace.empty()) {
+      out << "traced requests: " << by_trace.size() << "\n";
+    }
+    // Incident highlight: the event types that warrant paging someone.
+    for (const char* incident : {"rollback", "lame_duck", "fatal_abort"}) {
+      const auto it = by_type.find(incident);
+      if (it != by_type.end()) {
+        out << "INCIDENT: " << it->first << " x" << it->second << "\n";
+      }
+    }
+  }
+  return out.str();
+}
+
+}  // namespace tools
+}  // namespace urcl

@@ -1,0 +1,51 @@
+// Offline analysis of flight-recorder dumps (src/obs/flight_recorder.h).
+// The recorder writes one JSON object per line; this library parses those
+// lines back into events and renders filtered reports for the urcl_blackbox
+// CLI — the incident-forensics entry point (README "Incident forensics").
+//
+// Library form (rather than logic in main.cc) so the parser and report
+// renderer are unit-testable without spawning the binary.
+#ifndef URCL_TOOLS_OBS_BLACKBOX_REPORT_H_
+#define URCL_TOOLS_OBS_BLACKBOX_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace urcl {
+namespace tools {
+
+// One parsed flight-recorder event (mirrors obs::FlightEvent, but carries the
+// type as the dumped string so the tool keeps working when the enum grows).
+struct BlackboxEvent {
+  uint64_t seq = 0;
+  int64_t ts_ns = 0;
+  std::string type;
+  uint64_t trace_id = 0;  // 0 = event carried no trace ID
+  int64_t a = 0;
+  int64_t b = 0;
+  std::string detail;
+};
+
+// Parses JSONL text produced by FlightRecorder::ToJsonl. Lines that are empty
+// or fail to parse are skipped and counted into `*malformed` (pass nullptr to
+// ignore); the recorder only ever emits well-formed lines, so a non-zero
+// count means the dump was truncated or hand-edited.
+std::vector<BlackboxEvent> ParseBlackboxJsonl(const std::string& text, int64_t* malformed);
+
+struct BlackboxReportOptions {
+  uint64_t trace_id = 0;   // keep only events with this trace ID (0 = all)
+  std::string type;        // keep only events of this type name (empty = all)
+  int64_t tail = 0;        // keep only the last N events after filtering (0 = all)
+  bool summary = false;    // append per-type counts and incident highlights
+};
+
+// Renders the filtered event list as an aligned human-readable table,
+// optionally followed by the summary block.
+std::string RenderBlackboxReport(const std::vector<BlackboxEvent>& events,
+                                 const BlackboxReportOptions& options);
+
+}  // namespace tools
+}  // namespace urcl
+
+#endif  // URCL_TOOLS_OBS_BLACKBOX_REPORT_H_

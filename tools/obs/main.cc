@@ -1,0 +1,74 @@
+// urcl_blackbox: the incident-forensics CLI over flight-recorder dumps.
+//
+//   urcl_blackbox <dump.jsonl> [--trace 0x<id>] [--type <name>]
+//                 [--tail N] [--summary]
+//
+// Reads a JSONL dump written by the serving/training process (automatically
+// on rollback / LAME_DUCK / fatal abort, or on demand via
+// obs::FlightRecorder::DumpToFile) and prints the event timeline, optionally
+// narrowed to one request's trace ID or one event type.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "tools/obs/blackbox_report.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <dump.jsonl> [--trace 0x<id>] [--type <name>] [--tail N] "
+               "[--summary]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  urcl::tools::BlackboxReportOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--summary") {
+      options.summary = true;
+    } else if (arg == "--trace" && i + 1 < argc) {
+      options.trace_id = std::strtoull(argv[++i], nullptr, 16);
+      if (options.trace_id == 0) {
+        std::fprintf(stderr, "error: --trace expects a hex trace ID\n");
+        return 2;
+      }
+    } else if (arg == "--type" && i + 1 < argc) {
+      options.type = argv[++i];
+    } else if (arg == "--tail" && i + 1 < argc) {
+      options.tail = std::strtoll(argv[++i], nullptr, 10);
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage(argv[0]);
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (path.empty()) return Usage(argv[0]);
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+
+  int64_t malformed = 0;
+  const auto events = urcl::tools::ParseBlackboxJsonl(text.str(), &malformed);
+  std::fputs(urcl::tools::RenderBlackboxReport(events, options).c_str(), stdout);
+  if (malformed > 0) {
+    std::fprintf(stderr, "warning: %lld malformed line(s) skipped (truncated dump?)\n",
+                 static_cast<long long>(malformed));
+  }
+  return 0;
+}

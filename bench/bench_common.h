@@ -17,6 +17,7 @@
 
 #include "baselines/zoo.h"
 #include "common/flags.h"
+#include "runtime/runtime_flags.h"
 #include "core/strategies.h"
 #include "core/urcl.h"
 #include "data/presets.h"

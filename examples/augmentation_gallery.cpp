@@ -8,6 +8,7 @@
 
 #include "augment/augmentation.h"
 #include "common/flags.h"
+#include "runtime/runtime_flags.h"
 #include "common/table_printer.h"
 #include "data/synthetic.h"
 #include "graph/generator.h"

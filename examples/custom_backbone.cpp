@@ -11,6 +11,7 @@
 #include "autograd/ops.h"
 #include "baselines/deep_baseline.h"
 #include "common/flags.h"
+#include "runtime/runtime_flags.h"
 #include "common/table_printer.h"
 #include "core/strategies.h"
 #include "core/urcl.h"

@@ -28,6 +28,7 @@
 
 #include "common/fault_injector.h"
 #include "common/flags.h"
+#include "runtime/runtime_flags.h"
 #include "common/table_printer.h"
 #include "core/strategies.h"
 #include "core/urcl.h"

@@ -25,6 +25,7 @@
 #include <thread>
 
 #include "common/flags.h"
+#include "runtime/runtime_flags.h"
 #include "common/table_printer.h"
 #include "core/urcl.h"
 #include "data/presets.h"

@@ -42,7 +42,7 @@ FaultInjector& FaultInjector::Instance() {
 }
 
 void FaultInjector::Reset() {
-  std::lock_guard<std::mutex> lock(serve_mu_);
+  MutexLock lock(serve_mu_);
   enabled_ = false;
   nan_rate_ = inf_rate_ = drop_rate_ = dup_rate_ = 0.0;
   bitflip_rate_ = drop_publish_rate_ = tick_drop_rate_ = tick_dup_rate_ = slow_rate_ = 0.0;
@@ -54,7 +54,7 @@ void FaultInjector::Reset() {
 
 bool FaultInjector::ServeDraw(double rate, int64_t* counter) {
   if (rate <= 0.0) return false;
-  std::lock_guard<std::mutex> lock(serve_mu_);
+  MutexLock lock(serve_mu_);
   if (!rng_.Bernoulli(rate)) return false;
   ++*counter;
   return true;
@@ -82,7 +82,7 @@ bool FaultInjector::NextQuerySlowed() {
 
 size_t FaultInjector::PickByte(size_t size) {
   if (size == 0) return 0;
-  std::lock_guard<std::mutex> lock(serve_mu_);
+  MutexLock lock(serve_mu_);
   return static_cast<size_t>(
       rng_.UniformInt(0, static_cast<int64_t>(size) - 1));
 }

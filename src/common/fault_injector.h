@@ -56,11 +56,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 
 namespace urcl {
 namespace fault {
@@ -171,8 +171,15 @@ class FaultInjector {
   double tick_dup_rate_ = 0.0;
   double slow_rate_ = 0.0;
   int64_t slow_ms_ = 2;
+  // rng_, kills_ and counters_ cannot be URCL_GUARDED_BY(serve_mu_): the
+  // training-path draws (NextLossNaN etc.), kill points and Configure run on
+  // the single driver thread without the lock by design, while the
+  // serving-path draws (ServeDraw, PickByte, Reset) fire from ingestion,
+  // publisher and query threads concurrently and do lock. serve_mu_ makes
+  // only the serving draws atomic; mixing the two modes on one member is a
+  // documented pre-TSA contract, not an analysis escape.
   Rng rng_{0xFA117};
-  std::mutex serve_mu_;  // guards rng_ + serving counters across threads
+  Mutex serve_mu_;
   std::map<std::string, KillSpec> kills_;
   FaultCounters counters_;
 };

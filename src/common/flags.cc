@@ -2,10 +2,6 @@
 
 #include <cstdlib>
 
-#include "common/fault_injector.h"
-#include "obs/obs.h"
-#include "runtime/parallel.h"
-
 namespace urcl {
 namespace {
 
@@ -52,16 +48,6 @@ bool Flags::GetBool(const std::string& name, bool fallback) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;
   return it->second == "true" || it->second == "1" || it->second == "yes";
-}
-
-void ApplyRuntimeFlags(const Flags& flags) {
-  const int64_t threads = flags.GetInt("threads", 0);
-  if (threads > 0) runtime::SetNumThreads(static_cast<int>(threads));
-  fault::FaultInjector::Instance().LoadFromEnv();
-  obs::InitFromEnv();
-  obs::SetMetricsOutPath(flags.GetString("metrics-out", ""));
-  obs::SetTraceOutPath(flags.GetString("trace-out", ""));
-  obs::SetProfileOutPath(flags.GetString("profile-out", ""));
 }
 
 }  // namespace urcl

@@ -25,14 +25,9 @@ class Flags {
   std::map<std::string, std::string> values_;
 };
 
-// Applies flags that configure the process-wide runtime: `--threads N` sets
-// the compute thread count (runtime::SetNumThreads), the URCL_FAULT env var
-// arms the fault-injection harness (common/fault_injector.h), and the
-// observability layer is configured from URCL_OBS plus `--metrics-out`,
-// `--trace-out` and `--profile-out` (each enables its subsystem and sets the
-// file obs::WriteConfiguredOutputs() writes at exit). Call once at startup in
-// any binary that accepts flags; a no-op when nothing is set.
-void ApplyRuntimeFlags(const Flags& flags);
+// ApplyRuntimeFlags — the startup glue that pushes parsed flags into the
+// runtime/obs layers — lives in runtime/runtime_flags.h: common/ sits at the
+// bottom of the layer DAG and may not reach upward (tools/lint/layering.cc).
 
 }  // namespace urcl
 

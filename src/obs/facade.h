@@ -17,6 +17,12 @@
 // registry: the repo lint (rule serve-metrics-registry) bans direct
 // MetricsRegistry use under src/serve/ so per-query code cannot reintroduce
 // a mutex-guarded map lookup on the hot path.
+//
+// Beyond metrics, this facade is serve's whole observability surface: the
+// layering analyzer (rule layering/obs-facade, tools/lint/layering.cc) bans
+// any other obs/ include from src/serve/, so the re-exports below — trace
+// spans/flows, the flight recorder, and the obs runtime gates — define
+// exactly what the serving layer may observe with.
 #ifndef URCL_OBS_FACADE_H_
 #define URCL_OBS_FACADE_H_
 
@@ -24,8 +30,10 @@
 #include <string>
 #include <vector>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
+#include "obs/trace.h"
 
 namespace urcl {
 namespace obs {

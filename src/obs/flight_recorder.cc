@@ -7,10 +7,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
-#include <mutex>
 #include <sstream>
 
 #include "common/check.h"
+#include "common/thread_annotations.h"
 #include "common/stopwatch.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
@@ -28,10 +28,10 @@ constexpr size_t kFlightStripes = 8;
 constexpr size_t kFlightStripeCapacity = 512;
 
 struct FlightStripe {
-  mutable std::mutex mu;
-  std::array<FlightEvent, kFlightStripeCapacity> ring;
-  size_t next = 0;
-  size_t size = 0;
+  mutable Mutex mu;
+  std::array<FlightEvent, kFlightStripeCapacity> ring URCL_GUARDED_BY(mu);
+  size_t next URCL_GUARDED_BY(mu) = 0;
+  size_t size URCL_GUARDED_BY(mu) = 0;
 };
 
 }  // namespace
@@ -60,9 +60,10 @@ struct FlightRecorder::Impl {
   std::array<FlightStripe, kFlightStripes> stripes;
   std::atomic<uint64_t> seq{0};
   std::atomic<uint64_t> dumps{0};
-  mutable std::mutex dump_mu;  // guards dump_dir / last_dump_path
-  std::string dump_dir;        // empty = env / cwd default
-  std::string last_dump_path;
+  mutable Mutex dump_mu;
+  // Dump directory (empty = env / cwd default) and last written path.
+  std::string dump_dir URCL_GUARDED_BY(dump_mu);
+  std::string last_dump_path URCL_GUARDED_BY(dump_mu);
 };
 
 namespace {
@@ -95,7 +96,7 @@ void FlightRecorder::Record(FlightEventType type, int64_t a, int64_t b,
                             const char* detail) {
   const uint64_t seq = impl_->seq.fetch_add(1, std::memory_order_relaxed);
   FlightStripe& stripe = impl_->stripes[internal::ThreadShardIndex()];
-  std::lock_guard<std::mutex> lock(stripe.mu);
+  MutexLock lock(stripe.mu);
   FlightEvent& slot = stripe.ring[stripe.next];
   slot.seq = seq;
   slot.ts_ns = MonotonicNowNs();
@@ -116,7 +117,7 @@ void FlightRecorder::Record(FlightEventType type, int64_t a, int64_t b,
 std::vector<FlightEvent> FlightRecorder::Snapshot() const {
   std::vector<FlightEvent> events;
   for (const FlightStripe& stripe : impl_->stripes) {
-    std::lock_guard<std::mutex> lock(stripe.mu);
+    MutexLock lock(stripe.mu);
     const size_t capacity = stripe.ring.size();
     const size_t start = (stripe.next + capacity - stripe.size) % capacity;
     for (size_t i = 0; i < stripe.size; ++i) {
@@ -161,7 +162,7 @@ Status FlightRecorder::DumpToFile(const std::string& path) const {
 std::string FlightRecorder::AutoDump(const char* reason) {
   std::string dir;
   {
-    std::lock_guard<std::mutex> lock(impl_->dump_mu);
+    MutexLock lock(impl_->dump_mu);
     dir = impl_->dump_dir;
   }
   if (dir.empty()) {
@@ -178,7 +179,7 @@ std::string FlightRecorder::AutoDump(const char* reason) {
   }
   impl_->dumps.fetch_add(1, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(impl_->dump_mu);
+    MutexLock lock(impl_->dump_mu);
     impl_->last_dump_path = path;
   }
   std::fprintf(stderr, "[urcl.obs] flight recorder dumped to %s (%s)\n", path.c_str(),
@@ -187,13 +188,13 @@ std::string FlightRecorder::AutoDump(const char* reason) {
 }
 
 void FlightRecorder::SetDumpDir(std::string dir) {
-  std::lock_guard<std::mutex> lock(impl_->dump_mu);
+  MutexLock lock(impl_->dump_mu);
   impl_->dump_dir = std::move(dir);
 }
 
 void FlightRecorder::Clear() {
   for (FlightStripe& stripe : impl_->stripes) {
-    std::lock_guard<std::mutex> lock(stripe.mu);
+    MutexLock lock(stripe.mu);
     stripe.next = 0;
     stripe.size = 0;
   }
@@ -208,7 +209,7 @@ uint64_t FlightRecorder::dumps_written() const {
 }
 
 std::string FlightRecorder::last_dump_path() const {
-  std::lock_guard<std::mutex> lock(impl_->dump_mu);
+  MutexLock lock(impl_->dump_mu);
   return impl_->last_dump_path;
 }
 

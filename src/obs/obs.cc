@@ -2,8 +2,8 @@
 
 #include <cstdlib>
 #include <fstream>
-#include <mutex>
 
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/trace.h"
@@ -13,10 +13,10 @@ namespace obs {
 namespace {
 
 struct OutputPaths {
-  std::mutex mu;
-  std::string metrics;
-  std::string trace;
-  std::string profile;
+  Mutex mu;
+  std::string metrics URCL_GUARDED_BY(mu);
+  std::string trace URCL_GUARDED_BY(mu);
+  std::string profile URCL_GUARDED_BY(mu);
 };
 
 OutputPaths& Paths() {
@@ -88,7 +88,7 @@ void InitFromEnv() {
 void SetMetricsOutPath(std::string path) {
   const bool enable = !path.empty();
   {
-    std::lock_guard<std::mutex> lock(Paths().mu);
+    MutexLock lock(Paths().mu);
     Paths().metrics = std::move(path);
   }
   if (enable) SetFlag(internal::kMetricsBit, true);
@@ -97,7 +97,7 @@ void SetMetricsOutPath(std::string path) {
 void SetTraceOutPath(std::string path) {
   const bool enable = !path.empty();
   {
-    std::lock_guard<std::mutex> lock(Paths().mu);
+    MutexLock lock(Paths().mu);
     Paths().trace = std::move(path);
   }
   if (enable) SetFlag(internal::kTraceBit, true);
@@ -106,7 +106,7 @@ void SetTraceOutPath(std::string path) {
 void SetProfileOutPath(std::string path) {
   const bool enable = !path.empty();
   {
-    std::lock_guard<std::mutex> lock(Paths().mu);
+    MutexLock lock(Paths().mu);
     Paths().profile = std::move(path);
   }
   if (enable) SetFlag(internal::kProfilerBit, true);
@@ -117,7 +117,7 @@ std::vector<std::string> WriteConfiguredOutputs(std::vector<std::string>* errors
   std::string trace_path;
   std::string profile_path;
   {
-    std::lock_guard<std::mutex> lock(Paths().mu);
+    MutexLock lock(Paths().mu);
     metrics_path = Paths().metrics;
     trace_path = Paths().trace;
     profile_path = Paths().profile;

@@ -2,11 +2,11 @@
 
 #include <cstdio>
 #include <memory>
-#include <mutex>
 #include <sstream>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "obs/json.h"
 
 namespace urcl {
@@ -29,8 +29,10 @@ struct OpCell {
 };
 
 struct ProfState {
-  std::mutex mu;
-  std::vector<std::shared_ptr<OpCell>> cells;  // every thread's cells
+  Mutex mu;
+  // Every thread's cells; the shared_ptrs are copied out under mu and the
+  // cells themselves are atomics (see OpCell).
+  std::vector<std::shared_ptr<OpCell>> cells URCL_GUARDED_BY(mu);
 };
 
 ProfState& State() {
@@ -68,7 +70,7 @@ OpCell& CellFor(const std::string& op_name) {
   cell->name = op_name;
   {
     ProfState& state = State();
-    std::lock_guard<std::mutex> lock(state.mu);
+    MutexLock lock(state.mu);
     state.cells.push_back(cell);
   }
   if (it == tl_fast.end()) {
@@ -149,7 +151,7 @@ std::map<std::string, OpProfile> ProfilerSnapshot() {
   ProfState& state = State();
   std::vector<std::shared_ptr<OpCell>> cells;
   {
-    std::lock_guard<std::mutex> lock(state.mu);
+    MutexLock lock(state.mu);
     cells = state.cells;
   }
   std::map<std::string, OpProfile> merged;
@@ -174,7 +176,7 @@ void ResetProfiler() {
   ProfState& state = State();
   std::vector<std::shared_ptr<OpCell>> cells;
   {
-    std::lock_guard<std::mutex> lock(state.mu);
+    MutexLock lock(state.mu);
     cells = state.cells;
   }
   for (const auto& cell : cells) {

@@ -33,7 +33,7 @@ SloMonitor::SloMonitor(SloConfig config) : config_(std::move(config)) {
 }
 
 void SloMonitor::Tick(const Sample& sample) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   samples_.push_back(sample);
   // Keep a little more than the longest window so the oldest in-window
   // sample always has a predecessor to delta against.
@@ -64,7 +64,7 @@ void SloMonitor::TickFromRegistry(int64_t now_ns) {
 }
 
 std::vector<SloMonitor::WindowBurn> SloMonitor::Burn() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<WindowBurn> burns;
   burns.reserve(config_.windows_ns.size());
   if (samples_.empty()) {

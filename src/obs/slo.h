@@ -18,10 +18,10 @@
 
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 
 namespace urcl {
@@ -92,8 +92,8 @@ class SloMonitor {
 
  private:
   SloConfig config_;
-  mutable std::mutex mu_;
-  std::deque<Sample> samples_;
+  mutable Mutex mu_;
+  std::deque<Sample> samples_ URCL_GUARDED_BY(mu_);
 };
 
 }  // namespace obs

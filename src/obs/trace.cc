@@ -6,10 +6,10 @@
 #include <fstream>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <sstream>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "obs/json.h"
 
 namespace urcl {
@@ -23,19 +23,20 @@ struct TraceRing {
       : tid(tid_in), events(capacity) {}
 
   const int tid;
-  std::mutex mu;
-  std::vector<TraceEvent> events;  // ring storage
-  size_t next = 0;                 // write cursor
-  size_t size = 0;                 // valid events (<= events.size())
-  uint64_t dropped = 0;            // overwritten events
-  std::string thread_name;
+  Mutex mu;
+  std::vector<TraceEvent> events URCL_GUARDED_BY(mu);  // ring storage
+  size_t next URCL_GUARDED_BY(mu) = 0;                 // write cursor
+  size_t size URCL_GUARDED_BY(mu) = 0;                 // valid events
+  uint64_t dropped URCL_GUARDED_BY(mu) = 0;            // overwritten events
+  std::string thread_name URCL_GUARDED_BY(mu);
 };
 
 struct TraceState {
-  std::mutex mu;
-  std::vector<std::shared_ptr<TraceRing>> rings;
-  size_t ring_capacity = 65536;
-  int64_t epoch_ns = 0;  // ts origin; first registration wins
+  Mutex mu;
+  std::vector<std::shared_ptr<TraceRing>> rings URCL_GUARDED_BY(mu);
+  size_t ring_capacity URCL_GUARDED_BY(mu) = 65536;
+  // ts origin; first registration wins.
+  int64_t epoch_ns URCL_GUARDED_BY(mu) = 0;
 };
 
 TraceState& State() {
@@ -52,7 +53,7 @@ thread_local uint64_t t_current_trace_id = 0;
 TraceRing& ThisThreadRing() {
   thread_local std::shared_ptr<TraceRing> ring = [] {
     TraceState& state = State();
-    std::lock_guard<std::mutex> lock(state.mu);
+    MutexLock lock(state.mu);
     if (state.rings.empty()) state.epoch_ns = MonotonicNowNs();
     auto created = std::make_shared<TraceRing>(static_cast<int>(state.rings.size()),
                                                state.ring_capacity);
@@ -68,7 +69,7 @@ namespace internal {
 
 void RecordSpan(const char* name, int64_t begin_ns, int64_t end_ns) {
   TraceRing& ring = ThisThreadRing();
-  std::lock_guard<std::mutex> lock(ring.mu);
+  MutexLock lock(ring.mu);
   if (ring.events.empty()) return;
   TraceEvent& slot = ring.events[ring.next];
   std::strncpy(slot.name, name, sizeof(slot.name) - 1);
@@ -117,13 +118,13 @@ TraceFlow::~TraceFlow() { t_current_trace_id = saved_; }
 
 void SetThreadName(const std::string& name) {
   TraceRing& ring = ThisThreadRing();
-  std::lock_guard<std::mutex> lock(ring.mu);
+  MutexLock lock(ring.mu);
   ring.thread_name = name;
 }
 
 void SetTraceRingCapacity(size_t events) {
   TraceState& state = State();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(state.mu);
   state.ring_capacity = events;
 }
 
@@ -132,7 +133,7 @@ std::string ChromeTraceJson() {
   std::vector<std::shared_ptr<TraceRing>> rings;
   int64_t epoch_ns = 0;
   {
-    std::lock_guard<std::mutex> lock(state.mu);
+    MutexLock lock(state.mu);
     rings = state.rings;
     epoch_ns = state.epoch_ns;
   }
@@ -146,7 +147,7 @@ std::string ChromeTraceJson() {
   // between every span carrying the same request trace ID.
   std::map<uint64_t, bool> flows_started;
   for (const auto& ring : rings) {
-    std::lock_guard<std::mutex> lock(ring->mu);
+    MutexLock lock(ring->mu);
     const std::string thread_name =
         ring->thread_name.empty() ? "thread-" + std::to_string(ring->tid)
                                   : ring->thread_name;
@@ -197,12 +198,12 @@ size_t TraceEventCount() {
   TraceState& state = State();
   std::vector<std::shared_ptr<TraceRing>> rings;
   {
-    std::lock_guard<std::mutex> lock(state.mu);
+    MutexLock lock(state.mu);
     rings = state.rings;
   }
   size_t total = 0;
   for (const auto& ring : rings) {
-    std::lock_guard<std::mutex> lock(ring->mu);
+    MutexLock lock(ring->mu);
     total += ring->size;
   }
   return total;
@@ -212,11 +213,11 @@ void ClearTrace() {
   TraceState& state = State();
   std::vector<std::shared_ptr<TraceRing>> rings;
   {
-    std::lock_guard<std::mutex> lock(state.mu);
+    MutexLock lock(state.mu);
     rings = state.rings;
   }
   for (const auto& ring : rings) {
-    std::lock_guard<std::mutex> lock(ring->mu);
+    MutexLock lock(ring->mu);
     ring->next = 0;
     ring->size = 0;
     ring->dropped = 0;

@@ -40,13 +40,13 @@ ExecutionContext& ExecutionContext::Get() {
 }
 
 int ExecutionContext::num_threads() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return pool_->num_threads();
 }
 
 void ExecutionContext::SetNumThreads(int num_threads) {
   num_threads = std::max(num_threads, 1);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (pool_->num_threads() == num_threads) return;
   pool_.reset();  // join old workers before spawning the new pool
   pool_ = std::make_unique<ThreadPool>(num_threads);
@@ -67,7 +67,7 @@ void ExecutionContext::ParallelFor(int64_t begin, int64_t end, int64_t grain,
     for (int64_t chunk = 0; chunk < num_chunks; ++chunk) run_chunk(chunk);
     return;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   pool_->Run(num_chunks, run_chunk);
 }
 

@@ -14,8 +14,8 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 
+#include "common/thread_annotations.h"
 #include "runtime/thread_pool.h"
 
 namespace urcl {
@@ -49,8 +49,10 @@ class ExecutionContext {
  private:
   ExecutionContext();
 
-  std::mutex mu_;
-  std::unique_ptr<ThreadPool> pool_;
+  // mu_ serializes pool replacement against top-level regions; holding it for
+  // the whole Run keeps SetNumThreads from joining a pool mid-region.
+  Mutex mu_;
+  std::unique_ptr<ThreadPool> pool_ URCL_GUARDED_BY(mu_);
 };
 
 // Convenience wrappers over ExecutionContext::Get().

@@ -1,0 +1,23 @@
+#include "runtime/runtime_flags.h"
+
+#include <cstdint>
+
+#include "common/fault_injector.h"
+#include "obs/obs.h"
+#include "runtime/parallel.h"
+
+namespace urcl {
+namespace runtime {
+
+void ApplyRuntimeFlags(const Flags& flags) {
+  const int64_t threads = flags.GetInt("threads", 0);
+  if (threads > 0) runtime::SetNumThreads(static_cast<int>(threads));
+  fault::FaultInjector::Instance().LoadFromEnv();
+  obs::InitFromEnv();
+  obs::SetMetricsOutPath(flags.GetString("metrics-out", ""));
+  obs::SetTraceOutPath(flags.GetString("trace-out", ""));
+  obs::SetProfileOutPath(flags.GetString("profile-out", ""));
+}
+
+}  // namespace runtime
+}  // namespace urcl

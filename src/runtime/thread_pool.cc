@@ -66,22 +66,22 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  start_cv_.notify_all();
+  start_cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
-void ThreadPool::DrainChunks() {
-  const std::function<void(int64_t)>& fn = *chunk_fn_;
+void ThreadPool::DrainChunks(const std::function<void(int64_t)>& chunk_fn,
+                             int64_t num_chunks) {
   while (!failed_.load(std::memory_order_relaxed)) {
     const int64_t chunk = next_chunk_.fetch_add(1, std::memory_order_relaxed);
-    if (chunk >= num_chunks_) break;
+    if (chunk >= num_chunks) break;
     try {
-      fn(chunk);
+      chunk_fn(chunk);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (!error_) error_ = std::current_exception();
       failed_.store(true, std::memory_order_relaxed);
     }
@@ -93,9 +93,11 @@ void ThreadPool::WorkerLoop(int worker_index) {
   bool named = false;
   for (;;) {
     int64_t region_start_ns = 0;
+    const std::function<void(int64_t)>* region_fn = nullptr;
+    int64_t region_chunks = 0;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      start_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen_generation; });
+      MutexLock lock(mu_);
+      while (!shutdown_ && generation_ == seen_generation) start_cv_.Wait(mu_);
       if (shutdown_) return;
       seen_generation = generation_;
       // Capped out of this region: it was sized for fewer workers than the
@@ -104,6 +106,8 @@ void ThreadPool::WorkerLoop(int worker_index) {
       if (claim_budget_ == 0) continue;
       --claim_budget_;
       region_start_ns = region_start_ns_;
+      region_fn = chunk_fn_;
+      region_chunks = num_chunks_;
     }
     // Lazily label this thread in the trace once tracing is actually on, so
     // idle workers never allocate a trace ring.
@@ -115,12 +119,12 @@ void ThreadPool::WorkerLoop(int worker_index) {
       Metrics().wake_delay_ns.Observe(
           static_cast<double>(MonotonicNowNs() - region_start_ns));
     }
-    DrainChunks();
+    DrainChunks(*region_fn, region_chunks);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --busy_workers_;
     }
-    done_cv_.notify_one();
+    done_cv_.NotifyOne();
   }
 }
 
@@ -145,7 +149,7 @@ void ThreadPool::Run(int64_t num_chunks, const std::function<void(int64_t)>& chu
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     chunk_fn_ = &chunk_fn;
     num_chunks_ = num_chunks;
     next_chunk_.store(0, std::memory_order_relaxed);
@@ -156,18 +160,17 @@ void ThreadPool::Run(int64_t num_chunks, const std::function<void(int64_t)>& chu
     region_start_ns_ = start_ns;
     ++generation_;
   }
-  start_cv_.notify_all();
-  DrainChunks();
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [&] { return busy_workers_ == 0; });
-  chunk_fn_ = nullptr;
-  if (error_) {
-    std::exception_ptr error = error_;
+  start_cv_.NotifyAll();
+  DrainChunks(chunk_fn, num_chunks);
+  std::exception_ptr error;
+  {
+    MutexLock lock(mu_);
+    while (busy_workers_ != 0) done_cv_.Wait(mu_);
+    chunk_fn_ = nullptr;
+    error = error_;
     error_ = nullptr;
-    lock.unlock();
-    std::rethrow_exception(error);
   }
-  lock.unlock();
+  if (error) std::rethrow_exception(error);
   if (metrics) {
     RuntimeMetrics& m = Metrics();
     m.regions.Add(1);

@@ -7,13 +7,13 @@
 #define URCL_RUNTIME_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace urcl {
 namespace runtime {
@@ -60,30 +60,36 @@ class ThreadPool {
 
  private:
   void WorkerLoop(int worker_index);
-  void DrainChunks();
+  // Claims and runs chunks of the region described by (chunk_fn, num_chunks).
+  // The region description is passed by value-from-under-the-lock rather than
+  // read from the guarded members, so every member access in this class is
+  // provably locked; the referenced function outlives the call because Run
+  // keeps the region alive until busy_workers_ drains to zero.
+  void DrainChunks(const std::function<void(int64_t)>& chunk_fn, int64_t num_chunks);
 
   std::vector<std::thread> workers_;
   int hardware_ = 1;  // hardware_concurrency() resolved once at construction
 
-  std::mutex mu_;
-  std::condition_variable start_cv_;
-  std::condition_variable done_cv_;
-  uint64_t generation_ = 0;
-  bool shutdown_ = false;
-  int busy_workers_ = 0;
+  Mutex mu_;
+  CondVar start_cv_;
+  CondVar done_cv_;
+  uint64_t generation_ URCL_GUARDED_BY(mu_) = 0;
+  bool shutdown_ URCL_GUARDED_BY(mu_) = false;
+  int busy_workers_ URCL_GUARDED_BY(mu_) = 0;
   // Participation slots remaining in the current region; a woken worker that
   // finds the budget empty records the generation and resumes waiting.
-  int claim_budget_ = 0;
+  int claim_budget_ URCL_GUARDED_BY(mu_) = 0;
 
-  // State of the active region; written under mu_ before workers are woken.
-  const std::function<void(int64_t)>* chunk_fn_ = nullptr;
-  int64_t num_chunks_ = 0;
+  // State of the active region; written under mu_ before workers are woken
+  // and read back under mu_ by each woken worker.
+  const std::function<void(int64_t)>* chunk_fn_ URCL_GUARDED_BY(mu_) = nullptr;
+  int64_t num_chunks_ URCL_GUARDED_BY(mu_) = 0;
   // Region submission timestamp (0 when metrics are off); workers observe
   // now - region_start_ns_ as their wake-up latency.
-  int64_t region_start_ns_ = 0;
+  int64_t region_start_ns_ URCL_GUARDED_BY(mu_) = 0;
   std::atomic<int64_t> next_chunk_{0};
   std::atomic<bool> failed_{false};
-  std::exception_ptr error_;
+  std::exception_ptr error_ URCL_GUARDED_BY(mu_);
 };
 
 }  // namespace runtime

@@ -2,7 +2,6 @@
 
 #include <chrono>
 #include <cstdio>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
@@ -11,9 +10,6 @@
 #include "common/fault_injector.h"
 #include "common/stopwatch.h"
 #include "obs/facade.h"
-#include "obs/flight_recorder.h"
-#include "obs/obs.h"
-#include "obs/trace.h"
 
 namespace urcl {
 namespace serve {
@@ -177,7 +173,7 @@ void ForecastService::IngestTick(const Tensor& observations) {
   const float* raw = observations.data();
   const int64_t tick_size = num_nodes_ * num_channels_;
   {
-    std::unique_lock<std::shared_mutex> lock(window_mu_);
+    WriterMutexLock lock(window_mu_);
     for (int64_t w = 0; w < writes; ++w) {
       float* slot = ring_.data() + next_slot_ * tick_size;
       for (int64_t i = 0; i < tick_size; ++i) {
@@ -195,12 +191,12 @@ void ForecastService::IngestTick(const Tensor& observations) {
 }
 
 bool ForecastService::WindowReady() const {
-  std::shared_lock<std::shared_mutex> lock(window_mu_);
+  ReaderMutexLock lock(window_mu_);
   return ticks_ >= window_steps_;
 }
 
 int64_t ForecastService::ticks_ingested() const {
-  std::shared_lock<std::shared_mutex> lock(window_mu_);
+  ReaderMutexLock lock(window_mu_);
   return ticks_;
 }
 
@@ -208,7 +204,7 @@ Tensor ForecastService::CurrentWindow() const {
   Tensor window(Shape{1, window_steps_, num_nodes_, num_channels_});
   float* dst = window.mutable_data();
   const int64_t tick_size = num_nodes_ * num_channels_;
-  std::shared_lock<std::shared_mutex> lock(window_mu_);
+  ReaderMutexLock lock(window_mu_);
   URCL_CHECK_GE(ticks_, window_steps_) << "rolling window is still filling";
   // Oldest tick lives in the slot the next write would overwrite.
   for (int64_t t = 0; t < window_steps_; ++t) {
@@ -239,10 +235,10 @@ HealthState ForecastService::health_state() const {
 std::optional<Tensor> ForecastService::TryPlanForward(
     const std::shared_ptr<const ModelSnapshot>& snapshot, const Tensor& inputs) const {
   if (config_.executor != exec::ExecutorMode::kPlan) return std::nullopt;
-  std::unique_lock<std::mutex> lock(plan_mu_, std::try_to_lock);
   // Contended: another query is executing the plan. ForwardInference is
   // always correct (bitwise-equal output), so don't queue on the arena.
-  if (!lock.owns_lock()) return std::nullopt;
+  if (!plan_mu_.TryLock()) return std::nullopt;
+  MutexLock lock(plan_mu_, kAdoptLock);
   if (plan_snapshot_.lock() != snapshot) {
     // Hot-swap (or a republish reusing the version number): the cached plans
     // replay the retired snapshot's weights as captured constants/parameters.
@@ -298,7 +294,7 @@ std::shared_ptr<const ModelSnapshot> ForecastService::AcquireSnapshot() const {
 }
 
 void ForecastService::AttemptRollback(int64_t observed_version) const {
-  std::lock_guard<std::mutex> lock(rollback_mu_);
+  MutexLock lock(rollback_mu_);
   const std::shared_ptr<const ModelSnapshot> current = hub_.Current();
   // Lost the race: another thread already rolled back (or the trainer
   // published past the bad version). Nothing to do.

@@ -30,13 +30,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "baselines/historical_average.h"
+#include "common/thread_annotations.h"
 #include "core/predictor.h"
 #include "core/urcl.h"
 #include "data/normalizer.h"
@@ -231,28 +230,33 @@ class ForecastService {
   // Rolling window storage: ring of `window_steps_` ticks, each tick a
   // contiguous [N, C] block, guarded by a reader/writer lock (ingest writes,
   // query threads read).
-  mutable std::shared_mutex window_mu_;
-  std::vector<float> ring_;   // [window_steps_, N, C], slot-indexed
-  int64_t next_slot_ = 0;     // ring slot the next tick lands in
-  int64_t ticks_ = 0;         // total ticks ingested
+  mutable SharedMutex window_mu_;
+  // [window_steps_, N, C], slot-indexed ring storage.
+  std::vector<float> ring_ URCL_GUARDED_BY(window_mu_);
+  // Ring slot the next tick lands in.
+  int64_t next_slot_ URCL_GUARDED_BY(window_mu_) = 0;
+  // Total ticks ingested.
+  int64_t ticks_ URCL_GUARDED_BY(window_mu_) = 0;
 
   mutable ModelHub hub_;
   mutable HealthMonitor health_;
   baselines::HistoricalAverage fallback_;
-  // Serializes rollback decisions (never on the success path).
-  mutable std::mutex rollback_mu_;
+  // Serializes rollback decisions (never on the success path). Guards no
+  // members: the hub's state is its own; this capability only makes the
+  // observe-decide-rollback sequence in AttemptRollback atomic.
+  mutable Mutex rollback_mu_;
 
   // Compiled-executor state: plans for the live snapshot, keyed by input
   // shape. A hot-swap invalidates the whole cache (plan_snapshot_ identity
   // mismatch) and the next query recompiles against the new weights. One
   // mutex serializes plan execution; contended queries take the
   // ForwardInference path instead of blocking (TryPlanForward).
-  mutable std::mutex plan_mu_;
-  mutable exec::PlanCache serve_plans_;
+  mutable Mutex plan_mu_;
+  mutable exec::PlanCache serve_plans_ URCL_GUARDED_BY(plan_mu_);
   // Snapshot the cache was built for — identity, not version: a republish
   // can reuse a version number with different weights (rollback, re-admit),
   // and the plans captured the old weights as constants.
-  mutable std::weak_ptr<const ModelSnapshot> plan_snapshot_;
+  mutable std::weak_ptr<const ModelSnapshot> plan_snapshot_ URCL_GUARDED_BY(plan_mu_);
   mutable std::atomic<int64_t> plan_compiles_{0};
 
   // Cached snapshot for snapshot_poll_every > 1 (refreshed every Nth query).

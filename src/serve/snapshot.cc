@@ -86,7 +86,7 @@ Status ParseModelSnapshot(const checkpoint::Container& container,
 ModelHub::ModelHub(int64_t history_depth) : history_depth_(history_depth) {}
 
 void ModelHub::Publish(std::shared_ptr<const ModelSnapshot> snapshot) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Retire-then-install: a reader loading current_ around the store sees
   // either the old or the new version, both fully constructed. The release
   // store pairs with the acquire load in Current() so the snapshot's weights
@@ -101,7 +101,7 @@ void ModelHub::Publish(std::shared_ptr<const ModelSnapshot> snapshot) {
 }
 
 std::shared_ptr<const ModelSnapshot> ModelHub::RollBack() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (history_.empty()) return nullptr;
   std::shared_ptr<const ModelSnapshot> restored = history_.back();
   history_.pop_back();
@@ -113,12 +113,12 @@ std::shared_ptr<const ModelSnapshot> ModelHub::RollBack() {
 }
 
 std::shared_ptr<const ModelSnapshot> ModelHub::Previous() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return history_.empty() ? nullptr : history_.back();
 }
 
 int64_t ModelHub::history_size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return static_cast<int64_t>(history_.size());
 }
 

@@ -16,10 +16,10 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 
 #include "checkpoint/container.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "core/urcl.h"
 
 namespace urcl {
@@ -98,8 +98,8 @@ class ModelHub {
   // Retired versions, oldest first, newest at the back; bounded to
   // history_depth_. Guarded by mu_ (publisher/rollback/diagnostic paths only
   // — the query hot path never touches it).
-  mutable std::mutex mu_;
-  std::deque<std::shared_ptr<const ModelSnapshot>> history_;
+  mutable Mutex mu_;
+  std::deque<std::shared_ptr<const ModelSnapshot>> history_ URCL_GUARDED_BY(mu_);
 };
 
 }  // namespace serve

@@ -153,7 +153,7 @@ BufferPool::Acquisition BufferPool::AcquireWithVersion(int64_t count, bool zero_
   bool pooled = false;
   bool poison = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto& list = free_lists_[static_cast<size_t>(cls)];
     if (enabled_ && !list.empty()) {
       ptr = list.back();
@@ -198,7 +198,7 @@ void BufferPool::Release(float* ptr, int size_class) {
   const uint64_t bytes = ClassBytes(size_class);
   bool cache = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     live_bytes_.Add(-static_cast<double>(bytes));
     if (enabled_ &&
         static_cast<uint64_t>(pooled_bytes_.Value()) + bytes <= capacity_bytes_) {
@@ -219,7 +219,7 @@ void BufferPool::Release(float* ptr, int size_class) {
 }
 
 PoolStats BufferPool::Stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   PoolStats stats;
   stats.hits = hits_.Value();
   stats.misses = misses_.Value();
@@ -231,7 +231,7 @@ PoolStats BufferPool::Stats() const {
 }
 
 void BufferPool::ResetCounters() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   hits_.Reset();
   misses_.Reset();
   returns_.Reset();
@@ -242,7 +242,7 @@ int64_t BufferPool::Trim() {
   std::vector<float*> to_free;
   uint64_t freed = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (size_t cls = 0; cls < free_lists_.size(); ++cls) {
       for (float* ptr : free_lists_[cls]) {
         // Cached buffers are ASan-poisoned; make them addressable again
@@ -261,35 +261,35 @@ int64_t BufferPool::Trim() {
 }
 
 bool BufferPool::enabled() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return enabled_;
 }
 
 void BufferPool::set_enabled(bool enabled) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     enabled_ = enabled;
   }
   if (!enabled) Trim();
 }
 
 bool BufferPool::poison_enabled() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return poison_enabled_;
 }
 
 void BufferPool::set_poison_enabled(bool enabled) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   poison_enabled_ = enabled;
 }
 
 void BufferPool::set_capacity_bytes(uint64_t cap) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   capacity_bytes_ = cap;
 }
 
 uint64_t BufferPool::capacity_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return capacity_bytes_;
 }
 

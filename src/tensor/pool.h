@@ -41,9 +41,9 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 
 namespace urcl {
@@ -151,19 +151,21 @@ class BufferPool {
 
   static void FreeRaw(float* ptr);
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   // Free lists indexed by log2 of the class size in floats.
-  std::array<std::vector<float*>, 48> free_lists_;
+  std::array<std::vector<float*>, 48> free_lists_ URCL_GUARDED_BY(mu_);
   // Registry-resident stats (stable references; registry outlives the pool).
+  // Not guarded: counters/gauges are internally synchronized — updating them
+  // under mu_ is a residency convenience, not a requirement.
   obs::Counter& hits_;
   obs::Counter& misses_;
   obs::Counter& returns_;
   obs::Counter& trims_;
   obs::Gauge& live_bytes_;
   obs::Gauge& pooled_bytes_;
-  uint64_t capacity_bytes_;
-  bool enabled_;
-  bool poison_enabled_;
+  uint64_t capacity_bytes_ URCL_GUARDED_BY(mu_);
+  bool enabled_ URCL_GUARDED_BY(mu_);
+  bool poison_enabled_ URCL_GUARDED_BY(mu_);
 };
 
 // Interface a storage hook implements. Acquire must satisfy the same

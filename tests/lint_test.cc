@@ -7,7 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include "tools/lint/layering.h"
 #include "tools/lint/repo_lint.h"
+#include "tools/lint/source.h"
 
 namespace urcl {
 namespace lint {
@@ -321,6 +323,169 @@ TEST(RepoLintTest, IncludeGuardMustMatchPath) {
   EXPECT_TRUE(Has(LintFileContent("src/tensor/pool.h", bad, options), "include-guard"));
   const std::string missing = "int x;\n";
   EXPECT_TRUE(Has(LintFileContent("src/tensor/pool.h", missing, options), "include-guard"));
+}
+
+TEST(RepoLintTest, LockRuleFlagsRawStdSynchronization) {
+  Options lock = LibraryOptions();
+  lock.lock_rules = true;  // how LintTree configures src/ (minus the wrapper header)
+  EXPECT_TRUE(Has(LintFileContent("src/x.h", "  std::mutex mu_;\n", lock),
+                  "lock/unannotated-mutex"));
+  EXPECT_TRUE(Has(LintFileContent("src/x.cc", "  std::lock_guard<std::mutex> g(mu_);\n",
+                                  lock),
+                  "lock/unannotated-mutex"));
+  EXPECT_TRUE(Has(LintFileContent("src/x.h", "  std::condition_variable cv_;\n", lock),
+                  "lock/unannotated-mutex"));
+  EXPECT_TRUE(Has(LintFileContent("src/x.h", "  std::shared_mutex window_mu_;\n", lock),
+                  "lock/unannotated-mutex"));
+}
+
+TEST(RepoLintTest, LockRuleAcceptsAnnotatedWrappers) {
+  Options lock = LibraryOptions();
+  lock.lock_rules = true;
+  const auto findings = LintFileContent(
+      "src/x.h",
+      "  Mutex mu_;\n"
+      "  CondVar cv_;\n"
+      "  int64_t ticks_ URCL_GUARDED_BY(mu_) = 0;\n"
+      "  void Tick() URCL_EXCLUDES(mu_) { MutexLock lock(mu_); ++ticks_; }\n",
+      lock);
+  EXPECT_FALSE(Has(findings, "lock/unannotated-mutex")) << FormatFindings(findings);
+  EXPECT_FALSE(Has(findings, "lock/bare-lock")) << FormatFindings(findings);
+}
+
+TEST(RepoLintTest, LockRuleFlagsBareLockTransitions) {
+  Options lock = LibraryOptions();
+  lock.lock_rules = true;
+  EXPECT_TRUE(Has(LintFileContent("src/x.cc", "  mu_.Unlock();\n", lock), "lock/bare-lock"));
+  EXPECT_TRUE(Has(LintFileContent("src/x.cc", "  mu_.Lock();\n", lock), "lock/bare-lock"));
+  EXPECT_TRUE(Has(LintFileContent("src/x.cc", "  guard->unlock();\n", lock),
+                  "lock/bare-lock"));
+  EXPECT_TRUE(Has(LintFileContent("src/x.cc", "  rw_.UnlockShared();\n", lock),
+                  "lock/bare-lock"));
+  EXPECT_TRUE(Has(LintFileContent("src/x.cc", "  cv_.wait(mu_.native());\n", lock),
+                  "lock/bare-lock"));
+}
+
+TEST(RepoLintTest, LockRuleAcceptsTryLockAdoptAndWeakPtrLock) {
+  Options lock = LibraryOptions();
+  lock.lock_rules = true;
+  const auto findings = LintFileContent(
+      "src/x.cc",
+      "  if (!plan_mu_.TryLock()) return std::nullopt;\n"
+      "  MutexLock lock(plan_mu_, kAdoptLock);\n"
+      "  auto snapshot = plan_snapshot_.lock();\n",  // std::weak_ptr::lock()
+      lock);
+  EXPECT_FALSE(Has(findings, "lock/bare-lock")) << FormatFindings(findings);
+}
+
+TEST(RepoLintTest, LockRulesAreGatedOff) {
+  // tests/, bench/, examples/ and the wrapper header itself run without the
+  // lock group (Options default).
+  const auto findings =
+      LintFileContent("tests/x_test.cc", "  std::mutex mu;\n  mu.unlock();\n",
+                      Options{.library_rules = false});
+  EXPECT_FALSE(Has(findings, "lock/unannotated-mutex")) << FormatFindings(findings);
+  EXPECT_FALSE(Has(findings, "lock/bare-lock")) << FormatFindings(findings);
+}
+
+SourceFile Src(const std::string& path, const std::string& content) {
+  return AnalyzeSource(path, content);
+}
+
+TEST(RepoLintTest, LayeringAcceptsStrictlyDownwardIncludes) {
+  const auto findings = CheckLayering({
+      Src("src/tensor/pool.h", "#include \"common/status.h\"\n#include \"obs/metrics.h\"\n"),
+      Src("src/serve/service.cc",
+          "#include \"serve/service.h\"\n#include \"obs/facade.h\"\n"),
+      Src("src/serve/service.h", "#include \"tensor/pool.h\"\n"),
+  });
+  EXPECT_TRUE(findings.empty()) << FormatFindings(findings);
+}
+
+TEST(RepoLintTest, LayeringFlagsUpwardInclude) {
+  // common is rank 0; reaching up into runtime is the seeded violation that
+  // motivated moving ApplyRuntimeFlags into runtime/runtime_flags.h.
+  const auto findings =
+      CheckLayering({Src("src/common/flags.cc", "#include \"runtime/parallel.h\"\n")});
+  ASSERT_EQ(Rules(findings), std::vector<std::string>{"layering/upward-include"});
+  EXPECT_NE(findings[0].detail.find("strictly downward"), std::string::npos)
+      << findings[0].detail;
+  // Same-rank cross-module edges are upward too: graph and autograd are peers.
+  const auto peers =
+      CheckLayering({Src("src/graph/window.h", "#include \"autograd/tape.h\"\n")});
+  EXPECT_TRUE(Has(peers, "layering/upward-include")) << FormatFindings(peers);
+}
+
+TEST(RepoLintTest, LayeringFlagsIncludeCycle) {
+  const auto findings = CheckLayering({
+      Src("src/tensor/a.h", "#include \"tensor/b.h\"\n"),
+      Src("src/tensor/b.h", "#include \"tensor/c.h\"\n"),
+      Src("src/tensor/c.h", "#include \"tensor/a.h\"\n"),
+  });
+  EXPECT_TRUE(Has(findings, "layering/include-cycle")) << FormatFindings(findings);
+  bool described = false;
+  for (const Finding& finding : findings) {
+    if (finding.rule == "layering/include-cycle" &&
+        finding.detail.find("src/tensor/a.h") != std::string::npos &&
+        finding.detail.find("->") != std::string::npos) {
+      described = true;
+    }
+  }
+  EXPECT_TRUE(described) << FormatFindings(findings);
+}
+
+TEST(RepoLintTest, LayeringFlagsServeBypassingObsFacade) {
+  const auto bypass = CheckLayering(
+      {Src("src/serve/service.cc", "#include \"serve/service.h\"\n"
+                                   "#include \"obs/metrics.h\"\n"),
+       Src("src/serve/service.h", "#include \"common/status.h\"\n")});
+  EXPECT_TRUE(Has(bypass, "layering/obs-facade")) << FormatFindings(bypass);
+  const auto facade = CheckLayering(
+      {Src("src/serve/service.cc", "#include \"serve/service.h\"\n"
+                                   "#include \"obs/facade.h\"\n"),
+       Src("src/serve/service.h", "#include \"common/status.h\"\n")});
+  EXPECT_FALSE(Has(facade, "layering/obs-facade")) << FormatFindings(facade);
+}
+
+TEST(RepoLintTest, LayeringFlagsSelfIncludeNotFirst) {
+  const auto findings = CheckLayering({
+      Src("src/tensor/pool.cc", "#include \"common/status.h\"\n"
+                                "#include \"tensor/pool.h\"\n"),
+      Src("src/tensor/pool.h", "#include \"common/status.h\"\n"),
+  });
+  EXPECT_TRUE(Has(findings, "layering/self-include-first")) << FormatFindings(findings);
+  // With the own header first the same pair is clean.
+  const auto clean = CheckLayering({
+      Src("src/tensor/pool.cc", "#include \"tensor/pool.h\"\n"
+                                "#include \"common/status.h\"\n"),
+      Src("src/tensor/pool.h", "#include \"common/status.h\"\n"),
+  });
+  EXPECT_FALSE(Has(clean, "layering/self-include-first")) << FormatFindings(clean);
+}
+
+TEST(RepoLintTest, LayeringFlagsUnknownModule) {
+  const auto findings = CheckLayering({Src("src/widgets/w.h", "int x;\n")});
+  EXPECT_TRUE(Has(findings, "layering/unknown-module")) << FormatFindings(findings);
+}
+
+TEST(RepoLintTest, LayeringIgnoresCommentedAndSystemIncludes) {
+  const auto findings = CheckLayering({
+      Src("src/common/status.h",
+          "#include <string>\n"
+          "// #include \"serve/service.h\"\n"
+          "/* #include \"core/learner.h\" */\n"),
+  });
+  EXPECT_TRUE(findings.empty()) << FormatFindings(findings);
+}
+
+TEST(RepoLintTest, LayerRankTableOrdersTheDag) {
+  EXPECT_EQ(LayerRank("common"), 0);
+  EXPECT_LT(LayerRank("obs"), LayerRank("runtime"));
+  EXPECT_LT(LayerRank("runtime"), LayerRank("tensor"));
+  EXPECT_EQ(LayerRank("graph"), LayerRank("autograd"));  // peers, mutually invisible
+  EXPECT_LT(LayerRank("core"), LayerRank("baselines"));
+  EXPECT_LT(LayerRank("baselines"), LayerRank("serve"));
+  EXPECT_EQ(LayerRank("widgets"), -1);
 }
 
 TEST(RepoLintTest, FormatFindingsIncludesFileLineAndRule) {

@@ -6,248 +6,26 @@
 #include <fstream>
 #include <sstream>
 
+#include "tools/lint/layering.h"
+#include "tools/lint/rules.h"
+#include "tools/lint/source.h"
+
 namespace urcl {
 namespace lint {
 namespace {
 
-constexpr int kMaxLineLength = 100;
-
-bool IsWordChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-// Replaces string/char literal contents and comments with spaces so the
-// banned-call scans only see code. `in_block_comment` carries /* */ state
-// across lines.
-std::string StripCommentsAndStrings(const std::string& line, bool* in_block_comment) {
-  std::string out = line;
-  size_t i = 0;
-  while (i < out.size()) {
-    if (*in_block_comment) {
-      if (out.compare(i, 2, "*/") == 0) {
-        out[i] = ' ';
-        out[i + 1] = ' ';
-        *in_block_comment = false;
-        i += 2;
-      } else {
-        out[i++] = ' ';
-      }
-      continue;
-    }
-    const char c = out[i];
-    if (c == '/' && i + 1 < out.size() && out[i + 1] == '/') {
-      for (size_t j = i; j < out.size(); ++j) out[j] = ' ';
-      break;
-    }
-    if (c == '/' && i + 1 < out.size() && out[i + 1] == '*') {
-      out[i] = ' ';
-      out[i + 1] = ' ';
-      *in_block_comment = true;
-      i += 2;
-      continue;
-    }
-    if (c == '"' || c == '\'') {
-      const char quote = c;
-      out[i++] = ' ';
-      while (i < out.size()) {
-        if (out[i] == '\\' && i + 1 < out.size()) {
-          out[i] = ' ';
-          out[i + 1] = ' ';
-          i += 2;
-          continue;
-        }
-        const bool closing = out[i] == quote;
-        out[i++] = ' ';
-        if (closing) break;
-      }
-      continue;
-    }
-    ++i;
-  }
-  return out;
-}
-
-// True when `code` contains a call of `name` as a whole identifier: the
-// previous character is not part of a longer identifier and the next
-// non-space character is '('.
-bool HasCall(const std::string& code, const std::string& name) {
-  size_t pos = 0;
-  while ((pos = code.find(name, pos)) != std::string::npos) {
-    const bool starts_word = pos == 0 || !IsWordChar(code[pos - 1]);
-    size_t after = pos + name.size();
-    while (after < code.size() && code[after] == ' ') ++after;
-    if (starts_word && after < code.size() && code[after] == '(') return true;
-    pos += name.size();
-  }
-  return false;
-}
-
-// True for `new T[...]` / `new T(...)[]`-style raw array allocations.
-bool HasNewArray(const std::string& code) {
-  size_t pos = 0;
-  while ((pos = code.find("new", pos)) != std::string::npos) {
-    const bool starts_word = pos == 0 || !IsWordChar(code[pos - 1]);
-    const size_t after = pos + 3;
-    if (!starts_word || after >= code.size() || IsWordChar(code[after])) {
-      pos = after;
-      continue;
-    }
-    // Scan the type name that follows; an opening '[' before any terminator
-    // means an array allocation.
-    for (size_t i = after; i < code.size(); ++i) {
-      const char c = code[i];
-      if (c == '[') return true;
-      if (c == ';' || c == ',' || c == ')' || c == '(' || c == '{') break;
-    }
-    pos = after;
-  }
-  return false;
-}
-
-bool Suppressed(const std::string& raw_line, const std::string& rule) {
-  return raw_line.find("lint:allow(" + rule + ")") != std::string::npos;
-}
-
-// True when `code` performs a direct pool acquisition: `BufferPool::Get()`
-// immediately followed by `.Acquire...` (catches Acquire and
-// AcquireWithVersion but not `.poison_enabled()` etc.), or a call of the
-// `AcquireStorage` funnel. Type mentions (`BufferPool::Acquisition`) and
-// methods named Acquire on other classes (`PlanArena::Acquire`) do not match.
-bool HasDirectPoolAcquire(const std::string& code) {
-  static const std::string kGet = "BufferPool::Get()";
-  size_t pos = 0;
-  while ((pos = code.find(kGet, pos)) != std::string::npos) {
-    if (code.compare(pos + kGet.size(), 8, ".Acquire") == 0) return true;
-    pos += kGet.size();
-  }
-  return HasCall(code, "AcquireStorage");
-}
-
-void Add(std::vector<Finding>* findings, const std::string& path, int line, std::string rule,
-         std::string detail);
-
-// Status-returning functions in this repo (curated, not discovered — the
-// linter is a single-file scanner with no type information). The discard rule
-// flags statement-position calls of these names, where the returned Status is
-// dropped on the floor, plus `(void)` laundering of the same calls.
-// Expression-position uses (assignment, return, condition, argument) pass.
-const char* const kStatusReturningNames[] = {
-    "AdmitSnapshot", "AdmitSnapshotBytes",     "Deserialize", "FinishPrediction",
-    "Forecast",      "LoadNewestValid",        "LoadState",   "Parse",
-    "ParseModelSnapshot", "Predict",           "ReadFile",    "RestoreFromCheckpointDir",
-    "Save",          "SaveFullCheckpoint",     "TryImportSeriesCsv",
-    "WriteChromeTrace",   "WriteFile"};
-
-// True when `prefix` (the code before the called name on its line) can only
-// be a receiver expression: identifier chars, member/scope accessors and
-// whitespace. Anything else (operators, '(', '=', a `return` keyword) means
-// the call's value is consumed.
-bool IsReceiverOnly(const std::string& prefix) {
-  bool pending_space = false;  // whitespace seen since the last word char
-  bool any_word = false;
-  for (const char c : prefix) {
-    if (c == ' ' || c == '\t') {
-      pending_space = any_word;
-      continue;
-    }
-    if (IsWordChar(c)) {
-      // Two identifiers separated by whitespace is a declaration
-      // ("static Status Parse(...)"), not a receiver expression.
-      if (pending_space) return false;
-      any_word = true;
-      continue;
-    }
-    if (c == '.' || c == ':' || c == '-' || c == '>') {
-      pending_space = false;
-      continue;
-    }
-    return false;
-  }
-  return prefix.find("return") == std::string::npos;
-}
-
-// Flags statement-position calls of kStatusReturningNames whose result is
-// discarded. Heuristic on one stripped line: a receiver-only prefix, the
-// call's parentheses balanced on the line, and nothing after them but `;`.
-// Multi-line calls escape the net (the [[nodiscard]] compiler check is the
-// backstop; this rule exists so discards are caught even where the result is
-// laundered through `(void)`).
-void CheckStatusDiscards(const std::string& path, int line_number, const std::string& code,
-                         const std::string& raw_line, std::vector<Finding>* findings) {
-  if (Suppressed(raw_line, "status-discard")) return;
-  for (const char* name_cstr : kStatusReturningNames) {
-    const std::string name(name_cstr);
-    size_t pos = 0;
-    while ((pos = code.find(name, pos)) != std::string::npos) {
-      const size_t name_start = pos;
-      pos += name.size();
-      const bool starts_word = name_start == 0 || !IsWordChar(code[name_start - 1]);
-      size_t open = pos;
-      while (open < code.size() && code[open] == ' ') ++open;
-      if (!starts_word || open >= code.size() || code[open] != '(') continue;
-
-      std::string prefix = code.substr(0, name_start);
-      const size_t first = prefix.find_first_not_of(" \t");
-      prefix = first == std::string::npos ? "" : prefix.substr(first);
-      bool laundered = false;
-      if (prefix.compare(0, 6, "(void)") == 0) {
-        laundered = true;
-        prefix = prefix.substr(6);
-      }
-      // A receiver expression abuts the name (`hub.`, `ns::`); an identifier
-      // prefix ending in whitespace is a declaration ("Status Save(...)").
-      if (!prefix.empty() && (prefix.back() == ' ' || prefix.back() == '\t')) continue;
-      if (!IsReceiverOnly(prefix)) continue;
-
-      int depth = 0;
-      size_t i = open;
-      for (; i < code.size(); ++i) {
-        if (code[i] == '(') ++depth;
-        if (code[i] == ')' && --depth == 0) break;
-      }
-      if (depth != 0) continue;  // call continues on the next line: give up
-      ++i;
-      while (i < code.size() && code[i] == ' ') ++i;
-      if (i >= code.size() || code[i] != ';') continue;
-      if (code.find_first_not_of(" \t", i + 1) != std::string::npos) continue;
-
-      Add(findings, path, line_number, "status-discard",
-          laundered ? "Status returned by " + name + "() is (void)-laundered; handle or "
-                          "propagate it (Status is [[nodiscard]] for a reason)"
-                    : "Status returned by " + name + "() is silently discarded; check "
-                          "ok() or propagate it");
-      return;  // one finding per line is enough
-    }
-  }
-}
-
-void Add(std::vector<Finding>* findings, const std::string& path, int line, std::string rule,
-         std::string detail) {
-  findings->push_back(Finding{path, line, std::move(rule), std::move(detail)});
+// Runs every registered rule pass over one tokenized file, then orders the
+// findings by line so output is stable regardless of pass registration order.
+std::vector<Finding> RunRulePasses(const SourceFile& file, const Options& options) {
+  std::vector<Finding> findings;
+  for (const RulePass pass : RulePasses()) pass(file, options, &findings);
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) { return a.line < b.line; });
+  return findings;
 }
 
 bool IsHeader(const std::string& path) {
   return path.size() > 2 && path.compare(path.size() - 2, 2, ".h") == 0;
-}
-
-void CheckIncludeGuard(const std::string& path, const std::string& content,
-                       const std::string& expected, std::vector<Finding>* findings) {
-  std::istringstream in(content);
-  std::string line;
-  while (std::getline(in, line)) {
-    const size_t pos = line.find("#ifndef");
-    if (pos == std::string::npos) continue;
-    std::istringstream fields(line.substr(pos));
-    std::string directive, guard;
-    fields >> directive >> guard;
-    if (guard != expected) {
-      Add(findings, path, 0, "include-guard",
-          "guard '" + guard + "' does not match path (expected '" + expected + "')");
-    }
-    return;
-  }
-  Add(findings, path, 0, "include-guard", "header has no include guard (expected '" +
-                                              expected + "')");
 }
 
 }  // namespace
@@ -267,107 +45,13 @@ std::string ExpectedGuard(const std::string& relative_path) {
 
 std::vector<Finding> LintFileContent(const std::string& path, const std::string& content,
                                      const Options& options) {
-  std::vector<Finding> findings;
-
-  if (options.format_rules && !content.empty() && content.back() != '\n') {
-    Add(&findings, path, 0, "format/final-newline", "file does not end with a newline");
-  }
-  if (options.library_rules && !options.expected_guard.empty() && IsHeader(path)) {
-    CheckIncludeGuard(path, content, options.expected_guard, &findings);
-  }
-
-  std::istringstream in(content);
-  std::string line;
-  bool in_block_comment = false;
-  int line_number = 0;
-  char prev_code_tail = ';';  // last code char of the previous non-blank line
-  std::string prev_raw_line;  // for preceding-line lint:allow comments
-  while (std::getline(in, line)) {
-    ++line_number;
-    if (options.format_rules) {
-      if (!line.empty() && line.back() == '\r') {
-        if (!Suppressed(line, "format/crlf")) {
-          Add(&findings, path, line_number, "format/crlf", "CRLF line ending");
-        }
-        line.pop_back();
-      }
-      if (line.find('\t') != std::string::npos && !Suppressed(line, "format/tab")) {
-        Add(&findings, path, line_number, "format/tab", "tab character (indent with spaces)");
-      }
-      if (!line.empty() && (line.back() == ' ' || line.back() == '\t') &&
-          !Suppressed(line, "format/trailing-whitespace")) {
-        Add(&findings, path, line_number, "format/trailing-whitespace", "trailing whitespace");
-      }
-      if (line.size() > static_cast<size_t>(kMaxLineLength) &&
-          !Suppressed(line, "format/line-length")) {
-        std::ostringstream detail;
-        detail << "line is " << line.size() << " columns (limit " << kMaxLineLength << ")";
-        Add(&findings, path, line_number, "format/line-length", detail.str());
-      }
-    }
-    const std::string code = StripCommentsAndStrings(line, &in_block_comment);
-    // A line can only open a new statement after `;`, `{` or `}` — anything
-    // else means this line continues an expression (`status =` on the line
-    // above) and its leading call is not a discard.
-    if (options.status_rules && (prev_code_tail == ';' || prev_code_tail == '{' ||
-                                 prev_code_tail == '}')) {
-      CheckStatusDiscards(path, line_number, code, line, &findings);
-    }
-    const size_t tail = code.find_last_not_of(" \t");
-    if (tail != std::string::npos) prev_code_tail = code[tail];
-    // The clock rule outlives the library_rules gate: tests and benches are
-    // timing-sensitive too (see the header comment).
-    if (options.clock_rules && !options.allow_clock_reads &&
-        (code.find("steady_clock::now") != std::string::npos ||
-         code.find("system_clock::now") != std::string::npos ||
-         code.find("high_resolution_clock::now") != std::string::npos) &&
-        !Suppressed(line, "banned-call/clock")) {
-      Add(&findings, path, line_number, "banned-call/clock",
-          "direct std::chrono clock read; go through common/stopwatch.h");
-    }
-    // Arena-only allocation in compiled-plan code. The allow marker may sit on
-    // the acquisition line itself or alone on the line above it (long
-    // acquisition expressions wrap, pushing trailing comments past the column
-    // limit).
-    if (options.exec_arena_rules && HasDirectPoolAcquire(code) &&
-        !Suppressed(line, "exec-pool-acquire") &&
-        !Suppressed(prev_raw_line, "exec-pool-acquire")) {
-      Add(&findings, path, line_number, "exec-pool-acquire",
-          "direct BufferPool acquisition in src/exec/; compiled plans allocate "
-          "through the PlanArena only");
-    }
-    // Facade-only metrics in serving code: any mention of the registry type
-    // (lookups, cached references, aliases) is flagged, not just `.Get()`
-    // calls — the point is that serve/ holds no registry handles at all.
-    if (options.serve_metrics_rules && code.find("MetricsRegistry") != std::string::npos &&
-        !Suppressed(line, "serve-metrics-registry") &&
-        !Suppressed(prev_raw_line, "serve-metrics-registry")) {
-      Add(&findings, path, line_number, "serve-metrics-registry",
-          "direct MetricsRegistry use in src/serve/; publish through the "
-          "obs/facade.h counter/gauge/histogram handles");
-    }
-    prev_raw_line = line;
-    if (!options.library_rules) continue;
-    if ((HasCall(code, "rand") || HasCall(code, "srand")) &&
-        !Suppressed(line, "banned-call/rand")) {
-      Add(&findings, path, line_number, "banned-call/rand",
-          "rand()/srand() break the determinism contract; use a seeded std::mt19937");
-    }
-    if (HasNewArray(code) && !Suppressed(line, "banned-call/new-array")) {
-      Add(&findings, path, line_number, "banned-call/new-array",
-          "raw new[]; use the buffer pool or a std container");
-    }
-    if (HasCall(code, "printf") && !Suppressed(line, "banned-call/printf")) {
-      Add(&findings, path, line_number, "banned-call/printf",
-          "bare printf in library code; write to stderr or use the obs layer");
-    }
-  }
-  return findings;
+  return RunRulePasses(AnalyzeSource(path, content), options);
 }
 
 std::vector<Finding> LintTree(const std::string& root) {
   namespace fs = std::filesystem;
   std::vector<Finding> findings;
+  std::vector<SourceFile> src_files;  // collected for the layering analyzer
   const std::vector<std::string> trees = {"src", "tests", "bench", "examples", "tools"};
   for (const std::string& tree : trees) {
     const fs::path tree_root = fs::path(root) / tree;
@@ -405,14 +89,21 @@ std::vector<Finding> LintTree(const std::string& root) {
                                   repo_relative == "bench/bench_serving.cc";
       options.exec_arena_rules = repo_relative.rfind("src/exec/", 0) == 0;
       options.serve_metrics_rules = repo_relative.rfind("src/serve/", 0) == 0;
+      // Lock discipline holds across src/; the annotations header is the one
+      // place allowed to touch the raw std primitives it wraps.
+      options.lock_rules =
+          tree == "src" && repo_relative != "src/common/thread_annotations.h";
       std::ifstream in(file, std::ios::binary);
       std::ostringstream buffer;
       buffer << in.rdbuf();
-      std::vector<Finding> file_findings =
-          LintFileContent(repo_relative, buffer.str(), options);
+      const SourceFile source = AnalyzeSource(repo_relative, buffer.str());
+      std::vector<Finding> file_findings = RunRulePasses(source, options);
       findings.insert(findings.end(), file_findings.begin(), file_findings.end());
+      if (tree == "src") src_files.push_back(source);
     }
   }
+  std::vector<Finding> layering = CheckLayering(src_files);
+  findings.insert(findings.end(), layering.begin(), layering.end());
   return findings;
 }
 

@@ -1,6 +1,10 @@
-// Repo lint (`urcl::check`, DESIGN.md §9): mechanical source checks run as a
-// ctest (`repo_lint`, label `analysis`) so style and banned-construct drift
-// fails the build instead of accumulating. Two rule groups:
+// Repo lint (`urcl::check`, DESIGN.md §9, §14): mechanical source checks run
+// as a ctest (`repo_lint`, label `analysis`) so style and banned-construct
+// drift fails the build instead of accumulating. The engine is a multi-pass
+// pipeline: tools/lint/source.h tokenizes each file once (comment/string
+// stripping, CRLF handling, unified suppressions), tools/lint/rules.h runs
+// the per-file rule passes registered there, and tools/lint/layering.h checks
+// the cross-file include-graph contracts. Rule groups:
 //
 //   library rules (src/ only)
 //     banned-call/rand           rand()/srand() — the determinism contract
@@ -33,14 +37,37 @@
 //                                lookup and gate on MetricsEnabled) so the
 //                                hot path never pays a registry mutex.
 //
+//   lock discipline (src/ only, except common/thread_annotations.h)
+//     lock/unannotated-mutex     raw std synchronization vocabulary
+//                                (std::mutex, std::lock_guard, ...) — only the
+//                                capability-annotated wrappers in
+//                                common/thread_annotations.h are visible to
+//                                Clang -Wthread-safety, so raw primitives are
+//                                unanalyzable holes;
+//     lock/bare-lock             manual .Lock()/.Unlock()/.native() calls —
+//                                locks are held through RAII guards (TryLock
+//                                pairs with the kAdoptLock constructor), so no
+//                                early return can leak a held mutex.
+//
+//   layering rules (src/ only, cross-file — tools/lint/layering.h)
+//     layering/unknown-module, layering/upward-include,
+//     layering/include-cycle, layering/obs-facade,
+//     layering/self-include-first
+//                                the include-graph architecture contracts: a
+//                                declared layer DAG with strictly-downward
+//                                dependencies; see layering.h for the rules
+//                                and layering.cc for the ranks.
+//
 //   format rules (src/, tests/, bench/, examples/, tools/)
 //     format/line-length         lines over 100 columns;
 //     format/tab, format/crlf, format/trailing-whitespace,
 //     format/final-newline       mechanical whitespace hygiene (the subset of
 //                                .clang-format enforceable without the binary).
 //
-// A line containing `lint:allow(<rule>)` suppresses that rule for the line.
-// Directories named `testdata` are skipped.
+// A `lint:allow(<rule>)` comment on the finding's line or the line directly
+// above suppresses that rule there (one shared mechanism for every rule).
+// First-party src/ code is expected to carry no suppressions for the lock and
+// layering groups. Directories named `testdata` are skipped.
 #ifndef URCL_TOOLS_LINT_REPO_LINT_H_
 #define URCL_TOOLS_LINT_REPO_LINT_H_
 
@@ -82,6 +109,10 @@ struct Options {
   // obs/facade.h handles are the sanctioned route). Set for files under
   // src/serve/.
   bool serve_metrics_rules = false;
+  // lock/unannotated-mutex + lock/bare-lock: bans raw std synchronization
+  // primitives and manual lock transitions in favor of the annotated wrappers
+  // in common/thread_annotations.h. Set for src/ except that header itself.
+  bool lock_rules = false;
 };
 
 // Lints one file's contents. `path` is used only for diagnostics.

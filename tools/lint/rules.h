@@ -1,0 +1,27 @@
+// Rule-pass registry for the lint engine. Each pass is a free function over
+// one tokenized SourceFile (tools/lint/source.h); it reads its own gates from
+// Options and appends Findings. LintFileContent runs every registered pass —
+// adding a rule means writing one pass and one registry entry, not threading
+// state through a monolithic per-line loop.
+#ifndef URCL_TOOLS_LINT_RULES_H_
+#define URCL_TOOLS_LINT_RULES_H_
+
+#include <vector>
+
+#include "tools/lint/repo_lint.h"
+#include "tools/lint/source.h"
+
+namespace urcl {
+namespace lint {
+
+using RulePass = void (*)(const SourceFile& file, const Options& options,
+                          std::vector<Finding>* findings);
+
+// All registered passes, in the order they run. Findings are sorted by line
+// afterwards, so registration order does not affect output.
+const std::vector<RulePass>& RulePasses();
+
+}  // namespace lint
+}  // namespace urcl
+
+#endif  // URCL_TOOLS_LINT_RULES_H_

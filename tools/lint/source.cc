@@ -1,0 +1,129 @@
+#include "tools/lint/source.h"
+
+#include <cctype>
+#include <sstream>
+#include <utility>
+
+namespace urcl {
+namespace lint {
+namespace {
+
+// Replaces string/char literal contents and comments with spaces so rule
+// scans only see code. `in_block_comment` carries /* */ state across lines.
+std::string StripCommentsAndStrings(const std::string& line, bool* in_block_comment) {
+  std::string out = line;
+  size_t i = 0;
+  while (i < out.size()) {
+    if (*in_block_comment) {
+      if (out.compare(i, 2, "*/") == 0) {
+        out[i] = ' ';
+        out[i + 1] = ' ';
+        *in_block_comment = false;
+        i += 2;
+      } else {
+        out[i++] = ' ';
+      }
+      continue;
+    }
+    const char c = out[i];
+    if (c == '/' && i + 1 < out.size() && out[i + 1] == '/') {
+      for (size_t j = i; j < out.size(); ++j) out[j] = ' ';
+      break;
+    }
+    if (c == '/' && i + 1 < out.size() && out[i + 1] == '*') {
+      out[i] = ' ';
+      out[i + 1] = ' ';
+      *in_block_comment = true;
+      i += 2;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      out[i++] = ' ';
+      while (i < out.size()) {
+        if (out[i] == '\\' && i + 1 < out.size()) {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          i += 2;
+          continue;
+        }
+        const bool closing = out[i] == quote;
+        out[i++] = ' ';
+        if (closing) break;
+      }
+      continue;
+    }
+    ++i;
+  }
+  return out;
+}
+
+bool HasAllowMarker(const std::string& raw_line, const std::string& rule) {
+  return raw_line.find("lint:allow(" + rule + ")") != std::string::npos;
+}
+
+}  // namespace
+
+SourceFile AnalyzeSource(std::string path, const std::string& content) {
+  SourceFile file;
+  file.path = std::move(path);
+  file.ends_with_newline = content.empty() || content.back() == '\n';
+  std::istringstream in(content);
+  std::string line;
+  bool in_block_comment = false;
+  while (std::getline(in, line)) {
+    SourceLine out;
+    if (!line.empty() && line.back() == '\r') {
+      out.crlf = true;
+      line.pop_back();
+    }
+    out.code = StripCommentsAndStrings(line, &in_block_comment);
+    out.raw = std::move(line);
+    file.lines.push_back(std::move(out));
+  }
+  return file;
+}
+
+bool LineSuppressed(const SourceFile& file, int line_number, const std::string& rule) {
+  if (line_number < 1 || static_cast<size_t>(line_number) > file.lines.size()) return false;
+  if (HasAllowMarker(file.lines[static_cast<size_t>(line_number) - 1].raw, rule)) return true;
+  return line_number >= 2 &&
+         HasAllowMarker(file.lines[static_cast<size_t>(line_number) - 2].raw, rule);
+}
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool HasCall(const std::string& code, const std::string& name) {
+  size_t pos = 0;
+  while ((pos = code.find(name, pos)) != std::string::npos) {
+    const bool starts_word = pos == 0 || !IsWordChar(code[pos - 1]);
+    size_t after = pos + name.size();
+    while (after < code.size() && code[after] == ' ') ++after;
+    if (starts_word && after < code.size() && code[after] == '(') return true;
+    pos += name.size();
+  }
+  return false;
+}
+
+bool HasMemberCall(const std::string& code, const std::string& name) {
+  size_t pos = 0;
+  while ((pos = code.find(name, pos)) != std::string::npos) {
+    const size_t start = pos;
+    pos += name.size();
+    if (start == 0) continue;
+    const char before = code[start - 1];
+    if (before != '.' && before != '>') continue;  // `.name` or `->name`
+    size_t after = start + name.size();
+    while (after < code.size() && code[after] == ' ') ++after;
+    if (after < code.size() && code[after] == '(' &&
+        (start + name.size() >= code.size() || !IsWordChar(code[start + name.size()]))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace lint
+}  // namespace urcl

@@ -1,0 +1,53 @@
+// Shared source model for the lint engine (tools/lint/repo_lint.h). A file
+// is tokenized once — split into lines, comments and string/char literal
+// contents blanked — and every rule pass plus the layering analyzer works
+// from this one view, so no pass re-implements comment stripping and all
+// passes agree on what counts as code.
+#ifndef URCL_TOOLS_LINT_SOURCE_H_
+#define URCL_TOOLS_LINT_SOURCE_H_
+
+#include <string>
+#include <vector>
+
+namespace urcl {
+namespace lint {
+
+// One physical line, prepared for rule passes.
+struct SourceLine {
+  std::string raw;   // as read, minus any trailing CR (recorded in `crlf`)
+  std::string code;  // comments and string/char literal contents blanked
+  bool crlf = false;
+};
+
+// A whole file after the shared tokenize/strip pass.
+struct SourceFile {
+  std::string path;  // as given; repo-relative when walking a tree
+  std::vector<SourceLine> lines;
+  bool ends_with_newline = true;
+};
+
+// Tokenizes `content` (block-comment state carries across lines).
+SourceFile AnalyzeSource(std::string path, const std::string& content);
+
+// Unified suppression semantics for every rule: `lint:allow(<rule>)` on the
+// finding's line or on the line directly above it silences `rule` there.
+// `line_number` is 1-based; line 0 (whole-file findings) is never
+// suppressible.
+bool LineSuppressed(const SourceFile& file, int line_number, const std::string& rule);
+
+// Token helpers shared by the passes.
+bool IsWordChar(char c);
+
+// True when `code` contains a call of `name` as a whole identifier: the
+// previous character is not part of a longer identifier and the next
+// non-space character is '('.
+bool HasCall(const std::string& code, const std::string& name);
+
+// True when `code` calls `name` as a member (`.name(` or `->name(`), the
+// receiver operator immediately preceding the identifier.
+bool HasMemberCall(const std::string& code, const std::string& name);
+
+}  // namespace lint
+}  // namespace urcl
+
+#endif  // URCL_TOOLS_LINT_SOURCE_H_
